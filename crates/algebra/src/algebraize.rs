@@ -1,0 +1,464 @@
+//! The §5.4 algebraization: eliminate path and attribute variables.
+//!
+//! "By analysis of the query using schema information, one can find
+//! candidate valuations for the Pᵢ and Aⱼ. Therefore, one can transform the
+//! query into a union of queries with no attribute or path variables. This
+//! may result in introducing new variables to quantify over the elements of
+//! a set or a list."
+//!
+//! Candidate valuations come from [`docql_calculus::infer_types`] (abstract
+//! evaluation over the schema under the restricted path semantics — which is
+//! what makes the candidate sets finite; the liberal semantics would require
+//! a fixpoint operator, as the paper notes).
+//!
+//! Two expansion sites, by binding position:
+//!
+//! * a path/attribute variable **quantified** inside the formula (`∃P φ(P)`)
+//!   expands *in place* into a disjunction over its candidates — so under
+//!   negation `¬∃Q φ(Q)` correctly becomes the conjunction of exclusions;
+//! * a **free** (head) path/attribute variable is expanded by the outer
+//!   union over substituted queries, materialised with `MakePath` /
+//!   `AttrConst` equalities so the head stays bound.
+
+use crate::compile::compile_query;
+use crate::plan::Op;
+use crate::AlgebraError;
+use docql_calculus::{
+    infer_types, Atom, AttrTerm, DataTerm, Formula, IntTerm, PathAtom, PathTerm, Query, Sort,
+    TypeInfo, Var,
+};
+use docql_model::{Schema, Sym};
+use docql_paths::{AbsPath, AbsStep};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Upper bound on the number of substituted branches (candidate product).
+pub const MAX_CANDIDATE_PRODUCT: usize = 10_000;
+
+/// The result of algebraizing a query.
+pub struct Algebraized {
+    /// The compiled plan (a union over candidate substitutions).
+    pub plan: Op,
+    /// The substituted path/attr-variable-free queries, for inspection.
+    pub branches: Vec<Query>,
+}
+
+struct Ctx<'a> {
+    info: &'a TypeInfo,
+    sorts: BTreeMap<Var, Sort>,
+    names: BTreeMap<Var, String>,
+    next_fresh: Var,
+}
+
+impl Ctx<'_> {
+    fn fresh(&mut self) -> Var {
+        let v = self.next_fresh;
+        self.next_fresh += 1;
+        self.sorts.insert(v, Sort::Data);
+        self.names.insert(v, format!("i{v}"));
+        v
+    }
+
+    /// Instantiate an abstract candidate path as path atoms with fresh
+    /// index/element variables. Returns the atoms and the fresh variables.
+    fn instantiate(&mut self, cand: &AbsPath) -> (Vec<PathAtom>, Vec<Var>) {
+        let mut atoms = Vec::new();
+        let mut fresh = Vec::new();
+        for step in &cand.steps {
+            match step {
+                AbsStep::Attr(a) => atoms.push(PathAtom::Attr(AttrTerm::Name(*a))),
+                AbsStep::Deref(_) => atoms.push(PathAtom::Deref),
+                AbsStep::ListElem => {
+                    let v = self.fresh();
+                    fresh.push(v);
+                    atoms.push(PathAtom::Index(IntTerm::Var(v)));
+                }
+                AbsStep::SetElem => {
+                    let v = self.fresh();
+                    fresh.push(v);
+                    atoms.push(PathAtom::SetBind(v));
+                }
+            }
+        }
+        (atoms, fresh)
+    }
+
+    fn path_candidates(&self, v: Var, name: &str) -> Result<Vec<AbsPath>, AlgebraError> {
+        let c = self
+            .info
+            .path_candidates
+            .get(&v)
+            .cloned()
+            .unwrap_or_default();
+        if c.is_empty() {
+            return Err(AlgebraError(format!(
+                "no schema candidates for path variable {name}"
+            )));
+        }
+        Ok(c)
+    }
+
+    fn attr_candidates(&self, v: Var, name: &str) -> Result<Vec<Sym>, AlgebraError> {
+        let c: Vec<Sym> = self
+            .info
+            .attr_candidates
+            .get(&v)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        if c.is_empty() {
+            return Err(AlgebraError(format!(
+                "no schema candidates for attribute variable {name}"
+            )));
+        }
+        Ok(c)
+    }
+}
+
+/// Algebraize: candidate enumeration → substitution → union of compiled
+/// plans.
+pub fn algebraize(q: &Query, schema: &Schema) -> Result<Algebraized, AlgebraError> {
+    let info = infer_types(q, schema);
+    let mut cx = Ctx {
+        info: &info,
+        sorts: q.sorts.clone(),
+        names: q.names.clone(),
+        next_fresh: q.sorts.keys().copied().max().map(|v| v + 1).unwrap_or(0),
+    };
+
+    // Step 1: expand quantified path/attr variables in place.
+    let body = expand_quantified(&q.body, q, &mut cx)?;
+
+    // Step 2: free path/attr variables (typically head variables).
+    let mut free_path: Vec<Var> = Vec::new();
+    let mut free_attr: Vec<Var> = Vec::new();
+    let mut seen = BTreeSet::new();
+    let free = body.free_vars();
+    for &v in free.iter().chain(q.head.iter()) {
+        if !seen.insert(v) {
+            continue;
+        }
+        match q.sort_of(v) {
+            Sort::Path => free_path.push(v),
+            Sort::Attr => free_attr.push(v),
+            Sort::Data => {}
+        }
+    }
+
+    if free_path.is_empty() && free_attr.is_empty() {
+        let branch = Query {
+            head: q.head.clone(),
+            body,
+            sorts: cx.sorts,
+            names: cx.names,
+            outer_vars: q.outer_vars.clone(),
+        };
+        let plan = compile_query(&branch)?;
+        return Ok(Algebraized {
+            plan,
+            branches: vec![branch],
+        });
+    }
+
+    // Candidate lists for the free variables.
+    let path_cands: Vec<(Var, Vec<AbsPath>)> = free_path
+        .iter()
+        .map(|&v| Ok((v, cx.path_candidates(v, &q.name_of(v))?)))
+        .collect::<Result<_, AlgebraError>>()?;
+    let attr_cands: Vec<(Var, Vec<Sym>)> = free_attr
+        .iter()
+        .map(|&v| Ok((v, cx.attr_candidates(v, &q.name_of(v))?)))
+        .collect::<Result<_, AlgebraError>>()?;
+    let product: usize = path_cands
+        .iter()
+        .map(|(_, s)| s.len())
+        .chain(attr_cands.iter().map(|(_, s)| s.len()))
+        .product();
+    if product > MAX_CANDIDATE_PRODUCT {
+        return Err(AlgebraError(format!(
+            "candidate product {product} exceeds {MAX_CANDIDATE_PRODUCT}"
+        )));
+    }
+
+    let mut branches = Vec::new();
+    let mut plans = Vec::new();
+    let mut indices = vec![0usize; path_cands.len() + attr_cands.len()];
+    'product: loop {
+        let mut psub: BTreeMap<Var, Vec<PathAtom>> = BTreeMap::new();
+        for (k, (v, cands)) in path_cands.iter().enumerate() {
+            let (atoms, _) = cx.instantiate(&cands[indices[k]]);
+            psub.insert(*v, atoms);
+        }
+        let mut asub: BTreeMap<Var, Sym> = BTreeMap::new();
+        for (k, (v, cands)) in attr_cands.iter().enumerate() {
+            asub.insert(*v, cands[indices[path_cands.len() + k]]);
+        }
+        let mut branch_body = subst_formula(&body, &psub, &asub);
+        // Materialise the substituted free variables so the head is bound.
+        let mut extra = Vec::new();
+        for (v, atoms) in &psub {
+            extra.push(Formula::Atom(Atom::Eq(
+                DataTerm::Var(*v),
+                DataTerm::MakePath(PathTerm(atoms.clone())),
+            )));
+        }
+        for (v, name) in &asub {
+            extra.push(Formula::Atom(Atom::Eq(
+                DataTerm::Var(*v),
+                DataTerm::AttrConst(*name),
+            )));
+        }
+        if !extra.is_empty() {
+            let mut conj = match branch_body {
+                Formula::And(fs) => fs,
+                other => vec![other],
+            };
+            conj.extend(extra);
+            branch_body = Formula::And(conj);
+        }
+        let branch = Query {
+            head: q.head.clone(),
+            body: branch_body,
+            sorts: cx.sorts.clone(),
+            names: cx.names.clone(),
+            outer_vars: q.outer_vars.clone(),
+        };
+        plans.push(compile_query(&branch)?);
+        branches.push(branch);
+
+        // Advance the index vector.
+        let mut k = 0;
+        loop {
+            if k == indices.len() {
+                break 'product;
+            }
+            indices[k] += 1;
+            let limit = if k < path_cands.len() {
+                path_cands[k].1.len()
+            } else {
+                attr_cands[k - path_cands.len()].1.len()
+            };
+            if indices[k] < limit {
+                break;
+            }
+            indices[k] = 0;
+            k += 1;
+        }
+    }
+    let plan = Op::Project {
+        input: Box::new(Op::Union(plans)),
+        vars: q.head.clone(),
+    };
+    Ok(Algebraized { plan, branches })
+}
+
+/// Expand quantified path/attribute variables into in-place disjunctions
+/// over their candidates.
+fn expand_quantified(f: &Formula, q: &Query, cx: &mut Ctx<'_>) -> Result<Formula, AlgebraError> {
+    Ok(match f {
+        Formula::Atom(_) => f.clone(),
+        Formula::And(fs) => Formula::And(
+            fs.iter()
+                .map(|g| expand_quantified(g, q, cx))
+                .collect::<Result<_, _>>()?,
+        ),
+        Formula::Or(fs) => Formula::Or(
+            fs.iter()
+                .map(|g| expand_quantified(g, q, cx))
+                .collect::<Result<_, _>>()?,
+        ),
+        Formula::Not(g) => Formula::Not(Box::new(expand_quantified(g, q, cx)?)),
+        Formula::Forall(vs, g) => {
+            // ∀ is handled through its ¬∃¬ reading downstream; expand inner.
+            Formula::Forall(vs.clone(), Box::new(expand_quantified(g, q, cx)?))
+        }
+        Formula::Exists(vs, g) => {
+            let inner = expand_quantified(g, q, cx)?;
+            let mut subst_path: Vec<Var> = Vec::new();
+            let mut subst_attr: Vec<Var> = Vec::new();
+            let mut kept: Vec<Var> = Vec::new();
+            for &v in vs {
+                match q.sort_of(v) {
+                    Sort::Path => subst_path.push(v),
+                    Sort::Attr => subst_attr.push(v),
+                    Sort::Data => kept.push(v),
+                }
+            }
+            if subst_path.is_empty() && subst_attr.is_empty() {
+                return Ok(Formula::Exists(vs.clone(), Box::new(inner)));
+            }
+            // Enumerate candidate combinations for the variables bound here.
+            let pc: Vec<(Var, Vec<AbsPath>)> = subst_path
+                .iter()
+                .map(|&v| Ok((v, cx.path_candidates(v, &q.name_of(v))?)))
+                .collect::<Result<_, AlgebraError>>()?;
+            let ac: Vec<(Var, Vec<Sym>)> = subst_attr
+                .iter()
+                .map(|&v| Ok((v, cx.attr_candidates(v, &q.name_of(v))?)))
+                .collect::<Result<_, AlgebraError>>()?;
+            let product: usize = pc
+                .iter()
+                .map(|(_, s)| s.len())
+                .chain(ac.iter().map(|(_, s)| s.len()))
+                .product();
+            if product > MAX_CANDIDATE_PRODUCT {
+                return Err(AlgebraError(format!(
+                    "quantifier candidate product {product} exceeds {MAX_CANDIDATE_PRODUCT}"
+                )));
+            }
+            let mut disjuncts = Vec::new();
+            let mut indices = vec![0usize; pc.len() + ac.len()];
+            'combos: loop {
+                let mut psub: BTreeMap<Var, Vec<PathAtom>> = BTreeMap::new();
+                let mut binders = kept.clone();
+                for (k, (v, cands)) in pc.iter().enumerate() {
+                    let (atoms, fresh) = cx.instantiate(&cands[indices[k]]);
+                    binders.extend(fresh);
+                    psub.insert(*v, atoms);
+                }
+                let mut asub: BTreeMap<Var, Sym> = BTreeMap::new();
+                for (k, (v, cands)) in ac.iter().enumerate() {
+                    asub.insert(*v, cands[indices[pc.len() + k]]);
+                }
+                let substituted = subst_formula(&inner, &psub, &asub);
+                disjuncts.push(if binders.is_empty() {
+                    substituted
+                } else {
+                    Formula::Exists(binders, Box::new(substituted))
+                });
+                let mut k = 0;
+                loop {
+                    if k == indices.len() {
+                        break 'combos;
+                    }
+                    indices[k] += 1;
+                    let limit = if k < pc.len() {
+                        pc[k].1.len()
+                    } else {
+                        ac[k - pc.len()].1.len()
+                    };
+                    if indices[k] < limit {
+                        break;
+                    }
+                    indices[k] = 0;
+                    k += 1;
+                }
+            }
+            if disjuncts.len() == 1 {
+                disjuncts.pop().expect("len checked")
+            } else {
+                Formula::Or(disjuncts)
+            }
+        }
+    })
+}
+
+fn subst_formula(
+    f: &Formula,
+    psub: &BTreeMap<Var, Vec<PathAtom>>,
+    asub: &BTreeMap<Var, Sym>,
+) -> Formula {
+    match f {
+        Formula::Atom(a) => Formula::Atom(subst_atom(a, psub, asub)),
+        Formula::And(fs) => Formula::And(fs.iter().map(|g| subst_formula(g, psub, asub)).collect()),
+        Formula::Or(fs) => Formula::Or(fs.iter().map(|g| subst_formula(g, psub, asub)).collect()),
+        Formula::Not(g) => Formula::Not(Box::new(subst_formula(g, psub, asub))),
+        Formula::Exists(vs, g) => {
+            Formula::Exists(vs.clone(), Box::new(subst_formula(g, psub, asub)))
+        }
+        Formula::Forall(vs, g) => {
+            Formula::Forall(vs.clone(), Box::new(subst_formula(g, psub, asub)))
+        }
+    }
+}
+
+fn subst_atom(a: &Atom, psub: &BTreeMap<Var, Vec<PathAtom>>, asub: &BTreeMap<Var, Sym>) -> Atom {
+    match a {
+        Atom::Eq(x, y) => Atom::Eq(subst_term(x, psub, asub), subst_term(y, psub, asub)),
+        Atom::In(x, y) => Atom::In(subst_term(x, psub, asub), subst_term(y, psub, asub)),
+        Atom::Subset(x, y) => Atom::Subset(subst_term(x, psub, asub), subst_term(y, psub, asub)),
+        Atom::PathPred(t, p) => {
+            Atom::PathPred(subst_term(t, psub, asub), subst_path_term(p, psub, asub))
+        }
+        Atom::Pred(n, args) => Atom::Pred(
+            *n,
+            args.iter().map(|t| subst_term(t, psub, asub)).collect(),
+        ),
+    }
+}
+
+fn subst_path_term(
+    p: &PathTerm,
+    psub: &BTreeMap<Var, Vec<PathAtom>>,
+    asub: &BTreeMap<Var, Sym>,
+) -> PathTerm {
+    let mut out = Vec::new();
+    for atom in &p.0 {
+        match atom {
+            PathAtom::PathVar(v) => match psub.get(v) {
+                Some(atoms) => out.extend(atoms.iter().cloned()),
+                None => out.push(atom.clone()),
+            },
+            PathAtom::Attr(AttrTerm::Var(v)) => match asub.get(v) {
+                Some(name) => out.push(PathAtom::Attr(AttrTerm::Name(*name))),
+                None => out.push(atom.clone()),
+            },
+            other => out.push(other.clone()),
+        }
+    }
+    PathTerm(out)
+}
+
+fn subst_term(
+    t: &DataTerm,
+    psub: &BTreeMap<Var, Vec<PathAtom>>,
+    asub: &BTreeMap<Var, Sym>,
+) -> DataTerm {
+    match t {
+        DataTerm::Var(v) => {
+            if let Some(atoms) = psub.get(v) {
+                DataTerm::MakePath(PathTerm(atoms.clone()))
+            } else if let Some(name) = asub.get(v) {
+                DataTerm::AttrConst(*name)
+            } else {
+                t.clone()
+            }
+        }
+        DataTerm::Name(_) | DataTerm::Const(_) | DataTerm::AttrConst(_) => t.clone(),
+        DataTerm::Tuple(fields) => DataTerm::Tuple(
+            fields
+                .iter()
+                .map(|(a, x)| {
+                    let a = match a {
+                        AttrTerm::Var(v) => match asub.get(v) {
+                            Some(name) => AttrTerm::Name(*name),
+                            None => a.clone(),
+                        },
+                        other => other.clone(),
+                    };
+                    (a, subst_term(x, psub, asub))
+                })
+                .collect(),
+        ),
+        DataTerm::List(items) => {
+            DataTerm::List(items.iter().map(|x| subst_term(x, psub, asub)).collect())
+        }
+        DataTerm::Set(items) => {
+            DataTerm::Set(items.iter().map(|x| subst_term(x, psub, asub)).collect())
+        }
+        DataTerm::PathApp(base, p) => DataTerm::PathApp(
+            Box::new(subst_term(base, psub, asub)),
+            subst_path_term(p, psub, asub),
+        ),
+        DataTerm::Apply(n, args) => DataTerm::Apply(
+            *n,
+            args.iter().map(|x| subst_term(x, psub, asub)).collect(),
+        ),
+        DataTerm::MakePath(p) => DataTerm::MakePath(subst_path_term(p, psub, asub)),
+        DataTerm::Sub(q) => {
+            let body = subst_formula(&q.body, psub, asub);
+            DataTerm::Sub(Box::new(Query {
+                body,
+                ..q.as_ref().clone()
+            }))
+        }
+    }
+}

@@ -1,0 +1,387 @@
+//! Compilation of *path-variable-free* calculus queries to algebra plans.
+//!
+//! This is the target language of the §5.4 algebraization: once path and
+//! attribute variables have been substituted away, a query is a boolean
+//! combination of conjunctive cores whose path predicates contain only
+//! concrete navigation — compiled here into chains of `Walk` / `Filter` /
+//! `Assign` operators using the same greedy sideways-information-passing
+//! order as the interpreter's planner.
+
+use crate::plan::{Op, WalkStep};
+use crate::AlgebraError;
+use docql_calculus::{
+    Atom, AttrTerm, DataTerm, Formula, IntTerm, PathAtom, PathTerm, Query, Var,
+};
+use std::collections::BTreeSet;
+
+/// Compile a query into a plan. Fails with [`AlgebraError`] when the query
+/// still contains path/attribute variables (run
+/// [`crate::algebraize::algebraize`] first) or is not range-restricted.
+pub fn compile_query(q: &Query) -> Result<Op, AlgebraError> {
+    let mut cx = Compiler { next_var: fresh_base(q) };
+    let plan = cx.compile_formula(&q.body, Op::Unit, &mut BTreeSet::new())?;
+    Ok(Op::Project {
+        input: Box::new(plan),
+        vars: q.head.clone(),
+    })
+}
+
+fn fresh_base(q: &Query) -> Var {
+    q.sorts.keys().copied().max().map(|v| v + 1).unwrap_or(0)
+}
+
+struct Compiler {
+    next_var: Var,
+}
+
+impl Compiler {
+    fn fresh(&mut self) -> Var {
+        let v = self.next_var;
+        self.next_var += 1;
+        v
+    }
+
+    fn compile_formula(
+        &mut self,
+        f: &Formula,
+        input: Op,
+        bound: &mut BTreeSet<Var>,
+    ) -> Result<Op, AlgebraError> {
+        match f {
+            Formula::Atom(a) => self.compile_atom(a, input, bound),
+            Formula::And(fs) => {
+                let mut remaining: Vec<&Formula> = fs.iter().collect();
+                let mut plan = input;
+                while !remaining.is_empty() {
+                    let pick = remaining
+                        .iter()
+                        .position(|g| self.pickable(g, bound))
+                        .ok_or_else(|| {
+                            AlgebraError(format!(
+                                "cannot order conjuncts (bound {bound:?}): {}",
+                                remaining
+                                    .iter()
+                                    .map(|g| g.to_string())
+                                    .collect::<Vec<_>>()
+                                    .join(" ∧ ")
+                            ))
+                        })?;
+                    let g = remaining.remove(pick);
+                    plan = self.compile_formula(g, plan, bound)?;
+                }
+                Ok(plan)
+            }
+            Formula::Or(branches) => {
+                let mut compiled = Vec::new();
+                let mut provides: Option<BTreeSet<Var>> = None;
+                for b in branches {
+                    let mut b_bound = bound.clone();
+                    compiled.push(self.compile_formula(b, Op::Unit, &mut b_bound)?);
+                    let new: BTreeSet<Var> =
+                        b_bound.difference(bound).copied().collect();
+                    provides = Some(match provides {
+                        None => new,
+                        Some(prev) => prev.intersection(&new).copied().collect(),
+                    });
+                }
+                bound.extend(provides.unwrap_or_default());
+                // Each branch is fed the upstream rows through a Pipe.
+                Ok(Op::Pipe(Box::new(input), Box::new(Op::Union(compiled))))
+            }
+            Formula::Not(inner) => {
+                if let Formula::Not(g) = inner.as_ref() {
+                    let mut sub_bound = bound.clone();
+                    let sub = self.compile_formula(g, Op::Unit, &mut sub_bound)?;
+                    return Ok(Op::Semi {
+                        input: Box::new(input),
+                        sub: Box::new(sub),
+                    });
+                }
+                let mut sub_bound = bound.clone();
+                let sub = self.compile_formula(inner, Op::Unit, &mut sub_bound)?;
+                Ok(Op::AntiSemi {
+                    input: Box::new(input),
+                    sub: Box::new(sub),
+                })
+            }
+            Formula::Exists(vars, inner) => {
+                // Quantified variables are just projected away at the end;
+                // compile the body directly.
+                let plan = self.compile_formula(inner, input, bound)?;
+                for v in vars {
+                    bound.remove(v);
+                }
+                // Keep all bound vars visible; the final Project narrows.
+                Ok(plan)
+            }
+            Formula::Forall(vars, inner) => {
+                let rewritten = Formula::Not(Box::new(Formula::Exists(
+                    vars.clone(),
+                    Box::new(Formula::Not(inner.clone())),
+                )));
+                self.compile_formula(&rewritten, input, bound)
+            }
+        }
+    }
+
+    /// Can this conjunct be compiled given the bound variables?
+    fn pickable(&self, f: &Formula, bound: &BTreeSet<Var>) -> bool {
+        match f {
+            Formula::Atom(a) => self.atom_pickable(a, bound),
+            Formula::And(fs) => {
+                let mut b = bound.clone();
+                let mut remaining: Vec<&Formula> = fs.iter().collect();
+                while !remaining.is_empty() {
+                    let Some(pick) = remaining.iter().position(|g| self.pickable(g, &b))
+                    else {
+                        return false;
+                    };
+                    let g = remaining.remove(pick);
+                    collect_binds(g, &mut b);
+                }
+                true
+            }
+            Formula::Or(branches) => branches.iter().all(|b| self.pickable(b, bound)),
+            Formula::Not(inner) => match inner.as_ref() {
+                Formula::Not(g) => self.pickable(g, bound),
+                _ => inner.free_vars().iter().all(|v| bound.contains(v)),
+            },
+            Formula::Exists(_, inner) => self.pickable(inner, bound),
+            Formula::Forall(_, inner) => {
+                inner.free_vars().iter().all(|v| bound.contains(v))
+            }
+        }
+    }
+
+    fn atom_pickable(&self, a: &Atom, bound: &BTreeSet<Var>) -> bool {
+        let term_ok = |t: &DataTerm| {
+            let mut vs = BTreeSet::new();
+            t.vars(&mut vs);
+            vs.iter().all(|v| bound.contains(v))
+        };
+        match a {
+            Atom::PathPred(t, p) => {
+                if !term_ok(t) {
+                    return false;
+                }
+                // Concrete path atoms only; variables on the path are newly
+                // bindable (index vars, data binders) — path/attr variables
+                // must already be gone or bound.
+                p.0.iter().all(|atom| match atom {
+                    PathAtom::PathVar(v) => bound.contains(v),
+                    PathAtom::Attr(AttrTerm::Var(v)) => bound.contains(v),
+                    _ => true,
+                })
+            }
+            Atom::Eq(x, y) => match (term_ok(x), term_ok(y)) {
+                (true, true) => true,
+                (false, true) => matches!(x, DataTerm::Var(_)),
+                (true, false) => matches!(y, DataTerm::Var(_)),
+                (false, false) => false,
+            },
+            Atom::In(x, coll) => {
+                term_ok(coll) && (term_ok(x) || matches!(x, DataTerm::Var(_)))
+            }
+            Atom::Subset(x, y) => term_ok(x) && term_ok(y),
+            Atom::Pred(_, args) => args.iter().all(term_ok),
+        }
+    }
+
+    fn compile_atom(
+        &mut self,
+        a: &Atom,
+        input: Op,
+        bound: &mut BTreeSet<Var>,
+    ) -> Result<Op, AlgebraError> {
+        let term_bound = |t: &DataTerm, bound: &BTreeSet<Var>| {
+            let mut vs = BTreeSet::new();
+            t.vars(&mut vs);
+            vs.iter().all(|v| bound.contains(v))
+        };
+        match a {
+            Atom::PathPred(t, p) => {
+                // Materialise the base term, then walk.
+                let (input, start) = self.ensure_var(t, input, bound)?;
+                let steps = self.path_to_steps(p, bound)?;
+                collect_binds(&Formula::Atom(a.clone()), bound);
+                Ok(Op::Walk {
+                    input: Box::new(input),
+                    start,
+                    steps,
+                    out: None,
+                })
+            }
+            Atom::Eq(x, y) => {
+                let xb = term_bound(x, bound);
+                let yb = term_bound(y, bound);
+                match (xb, yb) {
+                    (true, true) => Ok(Op::Filter {
+                        input: Box::new(input),
+                        atom: a.clone(),
+                    }),
+                    (false, true) => {
+                        let DataTerm::Var(v) = x else {
+                            return Err(AlgebraError(format!("cannot invert {x}")));
+                        };
+                        bound.insert(*v);
+                        Ok(Op::Assign {
+                            input: Box::new(input),
+                            var: *v,
+                            term: y.clone(),
+                        })
+                    }
+                    (true, false) => {
+                        let DataTerm::Var(v) = y else {
+                            return Err(AlgebraError(format!("cannot invert {y}")));
+                        };
+                        bound.insert(*v);
+                        Ok(Op::Assign {
+                            input: Box::new(input),
+                            var: *v,
+                            term: x.clone(),
+                        })
+                    }
+                    (false, false) => Err(AlgebraError(format!("equality {a} unorderable"))),
+                }
+            }
+            Atom::In(x, coll) => {
+                let (input, src) = self.ensure_var(coll, input, bound)?;
+                match x {
+                    DataTerm::Var(v) if !bound.contains(v) => {
+                        bound.insert(*v);
+                        Ok(Op::Walk {
+                            input: Box::new(input),
+                            start: src,
+                            steps: vec![WalkStep::UnnestColl],
+                            out: Some(*v),
+                        })
+                    }
+                    _ => Ok(Op::Filter {
+                        input: Box::new(input),
+                        atom: a.clone(),
+                    }),
+                }
+            }
+            Atom::Subset(..) | Atom::Pred(..) => Ok(Op::Filter {
+                input: Box::new(input),
+                atom: a.clone(),
+            }),
+        }
+    }
+
+    /// Ensure a term's value is available in a variable, assigning a fresh
+    /// one for non-variable terms.
+    fn ensure_var(
+        &mut self,
+        t: &DataTerm,
+        input: Op,
+        bound: &mut BTreeSet<Var>,
+    ) -> Result<(Op, Var), AlgebraError> {
+        match t {
+            DataTerm::Var(v) => Ok((input, *v)),
+            DataTerm::Name(n) => {
+                let v = self.fresh();
+                bound.insert(v);
+                Ok((
+                    Op::Root {
+                        name: *n,
+                        out: v,
+                    }
+                    .with_input(input),
+                    v,
+                ))
+            }
+            other => {
+                let v = self.fresh();
+                bound.insert(v);
+                Ok((
+                    Op::Assign {
+                        input: Box::new(input),
+                        var: v,
+                        term: other.clone(),
+                    },
+                    v,
+                ))
+            }
+        }
+    }
+
+    /// Lower a concrete path term to walk steps.
+    fn path_to_steps(
+        &mut self,
+        p: &PathTerm,
+        bound: &BTreeSet<Var>,
+    ) -> Result<Vec<WalkStep>, AlgebraError> {
+        let mut steps = Vec::new();
+        for atom in &p.0 {
+            match atom {
+                PathAtom::PathVar(v) => {
+                    return Err(AlgebraError(format!(
+                        "plan still contains path variable P{v}; algebraize first"
+                    )));
+                }
+                PathAtom::Deref => steps.push(WalkStep::Deref),
+                PathAtom::Attr(AttrTerm::Name(n)) => steps.push(WalkStep::Attr(*n)),
+                PathAtom::Attr(AttrTerm::Var(v)) => {
+                    return Err(AlgebraError(format!(
+                        "plan still contains attribute variable A{v}; algebraize first"
+                    )));
+                }
+                PathAtom::Index(IntTerm::Const(i)) => steps.push(WalkStep::Index(*i)),
+                PathAtom::Index(IntTerm::Var(v)) => {
+                    if bound.contains(v) {
+                        // Re-use of an already-bound index (e.g. the shared
+                        // [I] across the two (†) letters predicates).
+                        steps.push(WalkStep::IndexVar(*v));
+                    } else {
+                        steps.push(WalkStep::UnnestList(Some(*v)));
+                    }
+                }
+                PathAtom::Bind(v) => steps.push(WalkStep::Bind(*v)),
+                PathAtom::SetBind(v) => steps.push(WalkStep::UnnestSet(Some(*v))),
+            }
+        }
+        Ok(steps)
+    }
+}
+
+impl Op {
+    /// Root is a source; chain it after an existing input by cross-product
+    /// semantics (each input row gets the root binding).
+    fn with_input(self, input: Op) -> Op {
+        match self {
+            Op::Root { name, out } => Op::Assign {
+                input: Box::new(input),
+                var: out,
+                term: DataTerm::Name(name),
+            },
+            other => other,
+        }
+    }
+}
+
+/// Record the variables a formula will bind when compiled (mirrors the
+/// interpreter's `provides`).
+fn collect_binds(f: &Formula, bound: &mut BTreeSet<Var>) {
+    match f {
+        Formula::Atom(a) => match a {
+            Atom::PathPred(_, p) => {
+                p.vars(bound);
+            }
+            Atom::Eq(DataTerm::Var(v), _) | Atom::Eq(_, DataTerm::Var(v)) => {
+                bound.insert(*v);
+            }
+            Atom::In(DataTerm::Var(v), _) => {
+                bound.insert(*v);
+            }
+            _ => {}
+        },
+        Formula::And(fs) | Formula::Or(fs) => {
+            for g in fs {
+                collect_binds(g, bound);
+            }
+        }
+        Formula::Exists(_, inner) => collect_binds(inner, bound),
+        Formula::Not(_) | Formula::Forall(..) => {}
+    }
+}

@@ -1,0 +1,67 @@
+//! # docql-algebra — algebraization of the calculus (§5.4)
+//!
+//! A complex-object algebra with variant-based selection over heterogeneous
+//! collections ([`plan`]), a compiler from path-variable-free calculus
+//! queries to plans ([`compile`]), and the paper's algebraization: schema
+//! analysis produces finite candidate valuations for path and attribute
+//! variables (restricted semantics), turning a path-variable query into a
+//! **union of path-free queries** ([`algebraize()`](algebraize::algebraize)).
+//!
+//! The paper's closing §5.4 remark is visible in code: under the liberal
+//! path semantics candidate sets would be data-dependent, and the
+//! algebraizer refuses — "our algebra should include some form of transitive
+//! closure/fixpoint operator".
+
+pub mod algebraize;
+pub mod compile;
+pub mod plan;
+
+use std::fmt;
+
+pub use algebraize::{algebraize, Algebraized, MAX_CANDIDATE_PRODUCT};
+pub use compile::compile_query;
+pub use plan::{Op, WalkStep};
+
+/// Errors from compilation and algebraization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlgebraError(pub String);
+
+impl fmt::Display for AlgebraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "algebra error: {}", self.0)
+    }
+}
+
+impl std::error::Error for AlgebraError {}
+
+/// Evaluate a query through the algebra: algebraize, execute the plan, and
+/// return rows in the calculus result format.
+pub fn eval_algebraic(
+    q: &docql_calculus::Query,
+    instance: &docql_model::Instance,
+    interp: &docql_calculus::Interp,
+) -> Result<Vec<Vec<docql_calculus::CalcValue>>, AlgebraError> {
+    let schema = instance.schema();
+    let algebraized = algebraize(q, schema)?;
+    let ev = docql_calculus::Evaluator::new(instance, interp);
+    let rows = algebraized.plan.execute(instance, &ev)?;
+    let mut seen = std::collections::BTreeSet::new();
+    let mut out = Vec::new();
+    for row in rows {
+        let mut tuple = Vec::with_capacity(q.head.len());
+        let mut complete = true;
+        for v in &q.head {
+            match row.get(v) {
+                Some(cv) => tuple.push(cv.clone()),
+                None => {
+                    complete = false;
+                    break;
+                }
+            }
+        }
+        if complete && seen.insert(tuple.clone()) {
+            out.push(tuple);
+        }
+    }
+    Ok(out)
+}

@@ -1,0 +1,588 @@
+//! Algebra operators over binding streams (§5.4).
+//!
+//! The algebra is a complex-object algebra "in the spirit of [3, 12]",
+//! extended — as the paper sketches — with *variant-based selection* over
+//! heterogeneous collections: the `Attr` walk step applies implicit
+//! selectors through union markers. Crucially, **no operator enumerates
+//! paths at run time**: plans only contain concrete navigation steps, which
+//! is exactly what the algebraization buys over the calculus interpreter.
+
+use docql_calculus::{Atom, CalcValue, DataTerm, Env, Evaluator, Var};
+use docql_model::{Instance, Sym, Value};
+use std::fmt;
+
+/// One navigation step of a [`Op::Walk`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalkStep {
+    /// Select attribute (implicit selectors through unions; implicit deref).
+    Attr(Sym),
+    /// Dereference an oid.
+    Deref,
+    /// Index a list (or tuple-as-heterogeneous-list) with a constant.
+    Index(usize),
+    /// Index with the integer value currently bound to a variable.
+    IndexVar(Var),
+    /// Fan out over the elements of a list, optionally binding the index.
+    UnnestList(Option<Var>),
+    /// Fan out over the elements of a set, optionally binding the element.
+    UnnestSet(Option<Var>),
+    /// Fan out over any collection (list or set, through oids and markers).
+    UnnestColl,
+    /// Bind the value reached so far to a variable (zero-width).
+    Bind(Var),
+}
+
+impl fmt::Display for WalkStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalkStep::Attr(a) => write!(f, ".{a}"),
+            WalkStep::Deref => f.write_str("->"),
+            WalkStep::Index(i) => write!(f, "[{i}]"),
+            WalkStep::IndexVar(v) => write!(f, "[#{v}]"),
+            WalkStep::UnnestList(Some(v)) => write!(f, "[*#{v}]"),
+            WalkStep::UnnestList(None) => f.write_str("[*]"),
+            WalkStep::UnnestSet(_) => f.write_str("{*}"),
+            WalkStep::UnnestColl => f.write_str("unnest"),
+            WalkStep::Bind(v) => write!(f, "(#{v})"),
+        }
+    }
+}
+
+/// A physical plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// One empty row.
+    Unit,
+    /// Bind a root of persistence's value.
+    Root { name: Sym, out: Var },
+    /// Navigate from a bound variable through concrete steps, fanning out at
+    /// unnest steps; optionally bind the end value.
+    Walk {
+        input: Box<Op>,
+        start: Var,
+        steps: Vec<WalkStep>,
+        out: Option<Var>,
+    },
+    /// Keep rows satisfying an atom (all variables bound).
+    Filter { input: Box<Op>, atom: Atom },
+    /// Compute a term into a variable.
+    Assign {
+        input: Box<Op>,
+        var: Var,
+        term: DataTerm,
+    },
+    /// Bag union of sub-plans (the algebraization's union of candidates).
+    Union(Vec<Op>),
+    /// Anti-semi-join: keep input rows for which `sub` yields nothing.
+    AntiSemi { input: Box<Op>, sub: Box<Op> },
+    /// Semi-join: keep input rows for which `sub` yields at least one row.
+    Semi { input: Box<Op>, sub: Box<Op> },
+    /// Projection with duplicate elimination.
+    Project { input: Box<Op>, vars: Vec<Var> },
+    /// Feed the output rows of `first` into `second` (used to graft a
+    /// disjunction's Union onto its upstream plan).
+    Pipe(Box<Op>, Box<Op>),
+}
+
+impl Op {
+    /// Execute against an instance, producing binding rows.
+    pub fn execute(&self, instance: &Instance, ev: &Evaluator<'_>) -> Result<Vec<Env>, crate::AlgebraError> {
+        self.run(instance, ev, vec![Env::new()])
+    }
+
+    fn run(
+        &self,
+        instance: &Instance,
+        ev: &Evaluator<'_>,
+        input_rows: Vec<Env>,
+    ) -> Result<Vec<Env>, crate::AlgebraError> {
+        match self {
+            Op::Unit => Ok(input_rows),
+            Op::Root { name, out } => {
+                let value = instance
+                    .root(*name)
+                    .map_err(|e| crate::AlgebraError(format!("root: {e}")))?
+                    .clone();
+                Ok(input_rows
+                    .into_iter()
+                    .map(|mut r| {
+                        r.insert(*out, CalcValue::Data(value.clone()));
+                        r
+                    })
+                    .collect())
+            }
+            Op::Walk {
+                input,
+                start,
+                steps,
+                out,
+            } => {
+                let rows = input.run(instance, ev, input_rows)?;
+                let mut result = Vec::new();
+                for row in rows {
+                    let Some(CalcValue::Data(v)) = row.get(start).cloned() else {
+                        continue;
+                    };
+                    walk(instance, &v, steps, row, *out, &mut result);
+                }
+                Ok(result)
+            }
+            Op::Filter { input, atom } => {
+                let rows = input.run(instance, ev, input_rows)?;
+                let mut result = Vec::new();
+                for row in rows {
+                    let kept = ev
+                        .eval_formula(
+                            &docql_calculus::Formula::Atom(atom.clone()),
+                            vec![row.clone()],
+                        )
+                        .map_err(|e| crate::AlgebraError(e.to_string()))?;
+                    // A filter must not bind — keep the original row.
+                    if !kept.is_empty() {
+                        result.push(row);
+                    }
+                }
+                Ok(result)
+            }
+            Op::Assign { input, var, term } => {
+                let rows = input.run(instance, ev, input_rows)?;
+                let mut result = Vec::new();
+                for row in rows {
+                    let eq = Atom::Eq(DataTerm::Var(*var), term.clone());
+                    let bound = ev
+                        .eval_formula(&docql_calculus::Formula::Atom(eq), vec![row])
+                        .map_err(|e| crate::AlgebraError(e.to_string()))?;
+                    result.extend(bound);
+                }
+                Ok(result)
+            }
+            Op::Union(branches) => {
+                let mut result = Vec::new();
+                for b in branches {
+                    result.extend(b.run(instance, ev, input_rows.clone())?);
+                }
+                Ok(result)
+            }
+            Op::AntiSemi { input, sub } => {
+                let rows = input.run(instance, ev, input_rows)?;
+                let mut result = Vec::new();
+                for row in rows {
+                    if sub.run(instance, ev, vec![row.clone()])?.is_empty() {
+                        result.push(row);
+                    }
+                }
+                Ok(result)
+            }
+            Op::Semi { input, sub } => {
+                let rows = input.run(instance, ev, input_rows)?;
+                let mut result = Vec::new();
+                for row in rows {
+                    if !sub.run(instance, ev, vec![row.clone()])?.is_empty() {
+                        result.push(row);
+                    }
+                }
+                Ok(result)
+            }
+            Op::Pipe(first, second) => {
+                let rows = first.run(instance, ev, input_rows)?;
+                second.run(instance, ev, rows)
+            }
+            Op::Project { input, vars } => {
+                let rows = input.run(instance, ev, input_rows)?;
+                let mut seen = std::collections::BTreeSet::new();
+                let mut result = Vec::new();
+                for row in rows {
+                    let projected: Env = vars
+                        .iter()
+                        .filter_map(|v| row.get(v).map(|cv| (*v, cv.clone())))
+                        .collect();
+                    if seen.insert(projected.clone()) {
+                        result.push(projected);
+                    }
+                }
+                Ok(result)
+            }
+        }
+    }
+
+    /// Pretty-print the plan tree.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(0, &mut out);
+        out
+    }
+
+    fn explain_into(&self, depth: usize, out: &mut String) {
+        let pad = "  ".repeat(depth);
+        match self {
+            Op::Unit => out.push_str(&format!("{pad}Unit\n")),
+            Op::Root { name, out: v } => out.push_str(&format!("{pad}Root {name} -> #{v}\n")),
+            Op::Walk {
+                input,
+                start,
+                steps,
+                out: v,
+            } => {
+                let s: String = steps.iter().map(|s| s.to_string()).collect();
+                match v {
+                    Some(v) => out.push_str(&format!("{pad}Walk #{start}{s} -> #{v}\n")),
+                    None => out.push_str(&format!("{pad}Walk #{start}{s}\n")),
+                }
+                input.explain_into(depth + 1, out);
+            }
+            Op::Filter { input, atom } => {
+                out.push_str(&format!("{pad}Filter {atom}\n"));
+                input.explain_into(depth + 1, out);
+            }
+            Op::Assign { input, var, term } => {
+                out.push_str(&format!("{pad}Assign #{var} := {term}\n"));
+                input.explain_into(depth + 1, out);
+            }
+            Op::Union(branches) => {
+                out.push_str(&format!("{pad}Union ({} branches)\n", branches.len()));
+                for b in branches {
+                    b.explain_into(depth + 1, out);
+                }
+            }
+            Op::AntiSemi { input, sub } => {
+                out.push_str(&format!("{pad}AntiSemi\n"));
+                input.explain_into(depth + 1, out);
+                out.push_str(&format!("{pad}  [sub]\n"));
+                sub.explain_into(depth + 2, out);
+            }
+            Op::Semi { input, sub } => {
+                out.push_str(&format!("{pad}Semi\n"));
+                input.explain_into(depth + 1, out);
+                out.push_str(&format!("{pad}  [sub]\n"));
+                sub.explain_into(depth + 2, out);
+            }
+            Op::Project { input, vars } => {
+                let vs: Vec<String> = vars.iter().map(|v| format!("#{v}")).collect();
+                out.push_str(&format!("{pad}Project {}\n", vs.join(", ")));
+                input.explain_into(depth + 1, out);
+            }
+            Op::Pipe(first, second) => {
+                out.push_str(&format!("{pad}Pipe\n"));
+                first.explain_into(depth + 1, out);
+                second.explain_into(depth + 1, out);
+            }
+        }
+    }
+
+    /// Count operators (diagnostics / benches).
+    pub fn size(&self) -> usize {
+        match self {
+            Op::Unit | Op::Root { .. } => 1,
+            Op::Walk { input, .. }
+            | Op::Filter { input, .. }
+            | Op::Assign { input, .. }
+            | Op::Project { input, .. } => 1 + input.size(),
+            Op::Union(branches) => 1 + branches.iter().map(Op::size).sum::<usize>(),
+            Op::AntiSemi { input, sub } | Op::Semi { input, sub } => {
+                1 + input.size() + sub.size()
+            }
+            Op::Pipe(first, second) => 1 + first.size() + second.size(),
+        }
+    }
+}
+
+/// Navigate `steps` from `value`, extending `row` (indices, binders) and
+/// pushing finished rows.
+fn walk(
+    instance: &Instance,
+    value: &Value,
+    steps: &[WalkStep],
+    row: Env,
+    out: Option<Var>,
+    result: &mut Vec<Env>,
+) {
+    let Some(step) = steps.first() else {
+        let mut row = row;
+        if let Some(v) = out {
+            row.insert(v, CalcValue::Data(value.clone()));
+        }
+        result.push(row);
+        return;
+    };
+    let rest = &steps[1..];
+    match step {
+        WalkStep::Attr(a) => {
+            if let Some(v) = attr_select(instance, value, *a) {
+                walk(instance, &v, rest, row, out, result);
+            }
+        }
+        WalkStep::Deref => {
+            if let Value::Oid(o) = value {
+                if let Ok(v) = instance.value_of(*o) {
+                    let v = v.clone();
+                    walk(instance, &v, rest, row, out, result);
+                }
+            }
+        }
+        WalkStep::Index(i) => {
+            if let Some(v) = index_select(instance, value, *i) {
+                walk(instance, &v, rest, row, out, result);
+            }
+        }
+        WalkStep::IndexVar(var) => {
+            if let Some(CalcValue::Data(Value::Int(n))) = row.get(var) {
+                if let Ok(i) = usize::try_from(*n) {
+                    if let Some(v) = index_select(instance, value, i) {
+                        walk(instance, &v, rest, row.clone(), out, result);
+                    }
+                }
+            }
+        }
+        WalkStep::UnnestList(idx_var) => {
+            let items = list_items(instance, value);
+            for (i, item) in items.iter().enumerate() {
+                let mut r = row.clone();
+                if let Some(v) = idx_var {
+                    r.insert(*v, CalcValue::Data(Value::Int(i as i64)));
+                }
+                walk(instance, item, rest, r, out, result);
+            }
+        }
+        WalkStep::UnnestSet(elem_var) => {
+            if let Value::Set(items) = deref1(instance, value) {
+                for item in items {
+                    let mut r = row.clone();
+                    if let Some(v) = elem_var {
+                        r.insert(*v, CalcValue::Data(item.clone()));
+                    }
+                    walk(instance, &item, rest, r, out, result);
+                }
+            }
+        }
+        WalkStep::UnnestColl => {
+            // deref1 already looks through oids and union markers.
+            if let Value::List(items) | Value::Set(items) = deref1(instance, value) {
+                for item in items {
+                    walk(instance, &item, rest, row.clone(), out, result);
+                }
+            }
+        }
+        WalkStep::Bind(v) => {
+            // An already-bound variable acts as an equality check (e.g. the
+            // shared X in ¬∃Q⟨Old_Doc Q·title(X)⟩).
+            match row.get(v) {
+                Some(CalcValue::Data(existing)) => {
+                    if existing == value {
+                        walk(instance, value, rest, row.clone(), out, result);
+                    }
+                }
+                Some(_) => {}
+                None => {
+                    let mut r = row;
+                    r.insert(*v, CalcValue::Data(value.clone()));
+                    walk(instance, value, rest, r, out, result);
+                }
+            }
+        }
+    }
+}
+
+fn deref1(instance: &Instance, value: &Value) -> Value {
+    match value {
+        Value::Oid(o) => instance.value_of(*o).cloned().unwrap_or(Value::Nil),
+        Value::Union(_, payload) => deref1(instance, payload),
+        other => other.clone(),
+    }
+}
+
+fn list_items(_instance: &Instance, value: &Value) -> Vec<Value> {
+    // Union markers are looked through (implicit selectors); object
+    // boundaries are not (explicit Deref steps handle those).
+    match value {
+        Value::List(items) => items.clone(),
+        // A tuple viewed as a heterogeneous list.
+        Value::Tuple(fields) => fields
+            .iter()
+            .map(|(n, v)| Value::Union(*n, Box::new(v.clone())))
+            .collect(),
+        Value::Union(_, payload) => list_items(_instance, payload),
+        _ => Vec::new(),
+    }
+}
+
+/// Variant-based selection: attribute lookup with implicit selectors
+/// through union markers. No implicit dereferencing — walks mirror the
+/// calculus path-predicate semantics where `→` steps are explicit
+/// (candidate paths carry them).
+fn attr_select(_instance: &Instance, value: &Value, name: Sym) -> Option<Value> {
+    match value {
+        Value::Tuple(_) => value.attr(name).cloned(),
+        Value::Union(m, payload) => {
+            if *m == name {
+                Some(payload.as_ref().clone())
+            } else {
+                attr_select(_instance, payload, name)
+            }
+        }
+        _ => None,
+    }
+}
+
+fn index_select(_instance: &Instance, value: &Value, i: usize) -> Option<Value> {
+    match value {
+        Value::List(items) => items.get(i).cloned(),
+        Value::Tuple(fs) => fs.get(i).map(|(n, v)| Value::Union(*n, Box::new(v.clone()))),
+        Value::Union(_, payload) => index_select(_instance, payload, i),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use docql_calculus::Interp;
+    use docql_model::{ClassDef, Schema, Type};
+    use std::sync::Arc;
+
+    fn inst() -> Instance {
+        let schema = Arc::new(
+            Schema::builder()
+                .class(ClassDef::new(
+                    "Item",
+                    Type::tuple([("name", Type::String), ("price", Type::Integer)]),
+                ))
+                .root("Items", Type::list(Type::class("Item")))
+                .build()
+                .unwrap(),
+        );
+        let mut i = Instance::new(schema);
+        let mut items = Vec::new();
+        for (n, p) in [("apple", 3), ("pear", 5), ("fig", 9)] {
+            let o = i
+                .new_object(
+                    "Item",
+                    Value::tuple([("name", Value::str(n)), ("price", Value::Int(p))]),
+                )
+                .unwrap();
+            items.push(Value::Oid(o));
+        }
+        i.set_root("Items", Value::List(items)).unwrap();
+        i
+    }
+
+    #[test]
+    fn scan_unnest_filter_project() {
+        let instance = inst();
+        let interp = Interp::with_builtins();
+        let ev = Evaluator::new(&instance, &interp);
+        // Items[*](x).price > 4, project name.
+        let plan = Op::Project {
+            vars: vec![2],
+            input: Box::new(Op::Walk {
+                start: 1,
+                steps: vec![
+                    WalkStep::Deref,
+                    WalkStep::Attr(docql_model::sym("name")),
+                ],
+                out: Some(2),
+                input: Box::new(Op::Filter {
+                    atom: Atom::Pred(
+                        docql_model::sym(">"),
+                        vec![
+                            DataTerm::PathApp(
+                                Box::new(DataTerm::Var(1)),
+                                docql_calculus::PathTerm(vec![docql_calculus::PathAtom::Attr(
+                                    docql_calculus::AttrTerm::Name(docql_model::sym("price")),
+                                )]),
+                            ),
+                            DataTerm::Const(Value::Int(4)),
+                        ],
+                    ),
+                    input: Box::new(Op::Walk {
+                        start: 0,
+                        steps: vec![WalkStep::UnnestList(None)],
+                        out: Some(1),
+                        input: Box::new(Op::Root {
+                            name: docql_model::sym("Items"),
+                            out: 0,
+                        }),
+                    }),
+                }),
+            }),
+        };
+        let rows = plan.execute(&instance, &ev).unwrap();
+        let names: Vec<String> = rows
+            .iter()
+            .map(|r| match r.get(&2) {
+                Some(CalcValue::Data(Value::Str(s))) => s.clone(),
+                other => panic!("{other:?}"),
+            })
+            .collect();
+        assert_eq!(names, vec!["pear".to_string(), "fig".to_string()]);
+    }
+
+    #[test]
+    fn union_and_antisemi() {
+        let instance = inst();
+        let interp = Interp::with_builtins();
+        let ev = Evaluator::new(&instance, &interp);
+        let scan = |out| Op::Walk {
+            start: 0,
+            steps: vec![WalkStep::UnnestList(None)],
+            out: Some(out),
+            input: Box::new(Op::Root {
+                name: docql_model::sym("Items"),
+                out: 0,
+            }),
+        };
+        // Union duplicates the stream: 6 rows.
+        let u = Op::Union(vec![scan(1), scan(1)]);
+        assert_eq!(u.execute(&instance, &ev).unwrap().len(), 6);
+        // AntiSemi with an always-succeeding sub: empty.
+        let anti = Op::AntiSemi {
+            input: Box::new(scan(1)),
+            sub: Box::new(Op::Unit),
+        };
+        assert!(anti.execute(&instance, &ev).unwrap().is_empty());
+        // Semi with an always-succeeding sub: identity.
+        let semi = Op::Semi {
+            input: Box::new(scan(1)),
+            sub: Box::new(Op::Unit),
+        };
+        assert_eq!(semi.execute(&instance, &ev).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn walk_binds_indices() {
+        let instance = inst();
+        let interp = Interp::with_builtins();
+        let ev = Evaluator::new(&instance, &interp);
+        let plan = Op::Walk {
+            start: 0,
+            steps: vec![
+                WalkStep::UnnestList(Some(9)),
+                WalkStep::Deref,
+                WalkStep::Attr(docql_model::sym("price")),
+            ],
+            out: Some(1),
+            input: Box::new(Op::Root {
+                name: docql_model::sym("Items"),
+                out: 0,
+            }),
+        };
+        let rows = plan.execute(&instance, &ev).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2].get(&9), Some(&CalcValue::Data(Value::Int(2))));
+        assert_eq!(rows[2].get(&1), Some(&CalcValue::Data(Value::Int(9))));
+    }
+
+    #[test]
+    fn explain_renders_tree() {
+        let plan = Op::Project {
+            vars: vec![1],
+            input: Box::new(Op::Root {
+                name: docql_model::sym("Items"),
+                out: 1,
+            }),
+        };
+        let text = plan.explain();
+        assert!(text.contains("Project #1"));
+        assert!(text.contains("Root Items -> #1"));
+        assert_eq!(plan.size(), 2);
+    }
+}

@@ -1,0 +1,64 @@
+//! B2 — algebraized plans vs the calculus interpreter (§5.4).
+//!
+//! Paper claim: the restricted semantics "can be implemented with efficient
+//! algebraic techniques" — path variables compile into a *union of path-free
+//! queries* that navigates only schema-sanctioned routes, instead of
+//! enumerating every concrete path at run time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use docql::o2sql::Mode;
+use docql_bench::article_store;
+use std::hint::black_box;
+
+const Q_TITLES: &str = "select t from my_article PATH_p.title(t)";
+
+fn bench_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B2_algebraization");
+    group.sample_size(20);
+    for sections in [10usize, 40, 160] {
+        let mut store = article_store(1, sections);
+        store.bind("my_article", store.documents()[0]).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("interpreter", sections),
+            &sections,
+            |b, _| {
+                let engine = store.engine();
+                b.iter(|| black_box(engine.run(black_box(Q_TITLES)).unwrap().len()))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("algebraic", sections),
+            &sections,
+            |b, _| {
+                let mut engine = store.engine();
+                engine.mode = Mode::Algebraic;
+                b.iter(|| black_box(engine.run(black_box(Q_TITLES)).unwrap().len()))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_compile_only(c: &mut Criterion) {
+    // One-time algebraization cost (schema analysis + plan construction).
+    let mut store = article_store(1, 10);
+    store.bind("my_article", store.documents()[0]).unwrap();
+    let engine = store.engine();
+    let translated = engine.compile(Q_TITLES).unwrap();
+    c.bench_function("B2_algebraize_compile", |b| {
+        b.iter(|| {
+            black_box(
+                docql::algebra::algebraize(
+                    black_box(&translated.query),
+                    store.instance().schema(),
+                )
+                .unwrap()
+                .plan
+                .size(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_modes, bench_compile_only);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! B4 — SGML→instance load cost and the storage blow-up (§3).
+//!
+//! Paper claim: "the representation of SGML documents in an OODB … comes
+//! with some extra cost in storage. This is typically the price paid to
+//! improve access flexibility and performance." We measure load time per
+//! document size and report the bytes(instance)/bytes(source) factor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use docql::mapping::{load_document, map_dtd};
+use docql::model::Instance;
+use docql::sgml::Dtd;
+use docql_corpus::{generate_article, ArticleParams};
+use std::hint::black_box;
+
+fn bench_load(c: &mut Criterion) {
+    let dtd = Dtd::parse(docql::fixtures::ARTICLE_DTD).unwrap();
+    let mapping = map_dtd(&dtd).unwrap();
+    let mut group = c.benchmark_group("B4_mapping_cost");
+    group.sample_size(20);
+    for sections in [5usize, 20, 80] {
+        let doc = generate_article(&ArticleParams {
+            seed: 1,
+            sections,
+            ..ArticleParams::default()
+        });
+        let source_bytes = doc.to_sgml().len();
+        // Report the storage factor once per size.
+        let mut probe = Instance::new(mapping.schema.clone());
+        load_document(&mapping, &mut probe, &doc).unwrap();
+        let factor = probe.approx_bytes() as f64 / source_bytes as f64;
+        eprintln!(
+            "B4 sections={sections}: source {source_bytes} B, instance ≈ {} B, factor ≈ {factor:.2}×",
+            probe.approx_bytes()
+        );
+        group.bench_with_input(BenchmarkId::new("load", sections), &sections, |b, _| {
+            b.iter(|| {
+                let mut inst = Instance::new(mapping.schema.clone());
+                black_box(load_document(&mapping, &mut inst, black_box(&doc)).unwrap().root)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_parse(c: &mut Criterion) {
+    // The parsing side of ingestion (tag inference + validation).
+    let dtd = Dtd::parse(docql::fixtures::ARTICLE_DTD).unwrap();
+    let parser = docql::sgml::DocParser::new(&dtd).unwrap();
+    let mut group = c.benchmark_group("B4_parse");
+    group.sample_size(20);
+    for sections in [5usize, 20, 80] {
+        let text = generate_article(&ArticleParams {
+            seed: 1,
+            sections,
+            ..ArticleParams::default()
+        })
+        .to_sgml();
+        group.bench_with_input(BenchmarkId::new("parse", sections), &sections, |b, _| {
+            b.iter(|| black_box(parser.parse(black_box(&text)).unwrap().root.subtree_size()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_load, bench_parse);
+criterion_main!(benches);

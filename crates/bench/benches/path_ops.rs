@@ -1,0 +1,89 @@
+//! B7 — first-class path values: the §4.3 "paths can be queried like
+//! standard data" operations (length, projection, concatenation, ordering,
+//! and the Q4 set difference).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use docql::model::Value;
+use docql::paths::{enumerate_paths, path_set, ConcretePath, EnumOptions, PathStep};
+use docql_bench::article_store;
+use std::collections::BTreeSet;
+use std::hint::black_box;
+
+fn sample_paths(n_sections: usize) -> Vec<ConcretePath> {
+    let store = article_store(1, n_sections);
+    let root = Value::Oid(store.documents()[0]);
+    enumerate_paths(store.instance(), &root, &EnumOptions::default())
+        .into_iter()
+        .map(|(p, _)| p)
+        .collect()
+}
+
+fn bench_value_ops(c: &mut Criterion) {
+    let paths = sample_paths(20);
+    let mut group = c.benchmark_group("B7_path_ops");
+    group.bench_function("length", |b| {
+        b.iter(|| {
+            black_box(
+                paths
+                    .iter()
+                    .map(ConcretePath::length)
+                    .sum::<usize>(),
+            )
+        })
+    });
+    group.bench_function("project_0_1", |b| {
+        b.iter(|| {
+            black_box(
+                paths
+                    .iter()
+                    .map(|p| p.project(0, 1).length())
+                    .sum::<usize>(),
+            )
+        })
+    });
+    group.bench_function("concat", |b| {
+        let tail = ConcretePath::from_steps([PathStep::attr("title")]);
+        b.iter(|| {
+            black_box(
+                paths
+                    .iter()
+                    .map(|p| p.concat(&tail).length())
+                    .sum::<usize>(),
+            )
+        })
+    });
+    group.bench_function("sort_dedup", |b| {
+        b.iter(|| {
+            let set: BTreeSet<&ConcretePath> = paths.iter().collect();
+            black_box(set.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_q4_difference(c: &mut Criterion) {
+    // Path-set difference scaling (the Q4 engine primitive).
+    let mut group = c.benchmark_group("B7_path_set_difference");
+    group.sample_size(20);
+    for sections in [5usize, 20, 80] {
+        let store = article_store(2, sections);
+        let a = Value::Oid(store.documents()[0]);
+        let b2 = Value::Oid(store.documents()[1]);
+        let opts = EnumOptions::default();
+        group.bench_with_input(
+            BenchmarkId::new("diff", sections),
+            &sections,
+            |b, _| {
+                b.iter(|| {
+                    let pa = path_set(store.instance(), black_box(&a), &opts);
+                    let pb = path_set(store.instance(), black_box(&b2), &opts);
+                    black_box(pa.difference(&pb).count())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_value_ops, bench_q4_difference);
+criterion_main!(benches);

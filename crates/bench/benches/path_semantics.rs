@@ -1,0 +1,70 @@
+//! B1 — restricted vs liberal path-variable semantics (§5.2).
+//!
+//! Paper claim: the restricted semantics (no two dereferences of objects in
+//! the same class) keeps path enumeration schema-bounded; the liberal
+//! semantics (no object visited twice) is data-bounded and needs loop
+//! detection — on cyclic data (the spouse example) its cost grows with the
+//! cycle length while the restricted cost stays flat.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use docql::model::Value;
+use docql::paths::{enumerate_paths, EnumOptions, PathSemantics};
+use docql::prelude::*;
+use docql_bench::{article_store, people_instance};
+use std::hint::black_box;
+
+fn bench_semantics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B1_path_semantics");
+    for n in [4usize, 16, 64] {
+        let inst = people_instance(n);
+        let start = inst.root(sym("People")).unwrap().clone();
+        let start = match &start {
+            Value::List(items) => items[0].clone(),
+            other => other.clone(),
+        };
+        for (label, semantics) in [
+            ("restricted", PathSemantics::Restricted),
+            ("liberal", PathSemantics::Liberal),
+        ] {
+            let opts = EnumOptions {
+                semantics,
+                ..EnumOptions::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(label, n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        black_box(enumerate_paths(&inst, black_box(&start), &opts).len())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_document_enumeration(c: &mut Criterion) {
+    // Path enumeration over acyclic documents of growing size.
+    let mut group = c.benchmark_group("B1_document_paths");
+    for sections in [5usize, 20, 80] {
+        let store = article_store(1, sections);
+        let root = Value::Oid(store.documents()[0]);
+        let opts = EnumOptions::default();
+        group.bench_with_input(
+            BenchmarkId::new("restricted", sections),
+            &sections,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        enumerate_paths(store.instance(), black_box(&root), &opts).len(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_semantics, bench_document_enumeration);
+criterion_main!(benches);

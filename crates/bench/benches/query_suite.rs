@@ -1,0 +1,67 @@
+//! B6 — end-to-end latency of the paper's queries Q1–Q6 on the standard
+//! corpus (the per-query row of EXPERIMENTS.md).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use docql_bench::{article_store, letter_store};
+use docql_corpus::{generate_article, mutate, ArticleParams, Mutation};
+use std::hint::black_box;
+
+fn bench_suite(c: &mut Criterion) {
+    let mut store = article_store(10, 5);
+    store.bind("my_article", store.documents()[0]).unwrap();
+    // A second version for Q4.
+    let old = generate_article(&ArticleParams {
+        seed: 0,
+        sections: 5,
+        subsections: 2,
+        plant_every: 3,
+        ..ArticleParams::default()
+    });
+    let new = mutate(&old, &Mutation::AddSection("Delta".to_string()));
+    let new_root = store.ingest_document(&new).unwrap();
+    store.bind("my_old_article", store.documents()[0]).unwrap();
+    store.bind("my_article", new_root).unwrap();
+
+    let letters = letter_store(20);
+
+    let mut group = c.benchmark_group("B6_query_suite");
+    group.sample_size(20);
+    let article_queries: &[(&str, &str)] = &[
+        (
+            "Q1",
+            "select tuple (t: a.title, f_author: first(a.authors)) \
+             from a in Articles, s in a.sections \
+             where s.title contains (\"SGML\" and \"OODBMS\")",
+        ),
+        (
+            "Q2",
+            "select ss from a in Articles, s in a.sections, ss in s.subsectns \
+             where text(ss) contains (\"complex object\")",
+        ),
+        ("Q3", "select t from my_article PATH_p.title(t)"),
+        ("Q4", "my_article PATH_p - my_old_article PATH_p"),
+        (
+            "Q5",
+            "select name(ATT_a) from my_article PATH_p.ATT_a(val) \
+             where val contains (\"draft\")",
+        ),
+    ];
+    for (name, q) in article_queries {
+        group.bench_function(*name, |b| {
+            let engine = store.engine();
+            b.iter(|| black_box(engine.run(black_box(q)).unwrap().len()))
+        });
+    }
+    group.bench_function("Q6", |b| {
+        let engine = letters.engine();
+        let q = "select letter from letter in Letters, \
+                 i in positions(letter.preamble, \"from\"), \
+                 j in positions(letter.preamble, \"to\") \
+                 where i < j";
+        b.iter(|| black_box(engine.run(black_box(q)).unwrap().len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_suite);
+criterion_main!(benches);

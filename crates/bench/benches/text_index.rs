@@ -1,0 +1,58 @@
+//! B3 — inverted-index `contains` vs full-scan NFA matching (§4.1, §6).
+//!
+//! Paper claim: IRS-grade textual selection needs "full text indexing
+//! mechanisms"; the prototype was integrating them as its key optimisation.
+//! The crossover: the index answers word/phrase conjunctions from postings,
+//! while the scan pays per stored character.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use docql::text::ContainsExpr;
+use docql_bench::article_store;
+use std::hint::black_box;
+
+fn bench_search(c: &mut Criterion) {
+    // Selective query (the rare corpus marker, ~10% of documents): the
+    // index prunes candidates and wins by a widening margin.
+    let mut group = c.benchmark_group("B3_text_index_selective");
+    group.sample_size(20);
+    for docs in [10usize, 100, 400] {
+        let store = article_store(docs, 5);
+        let expr = ContainsExpr::all_of(["zanzibar"]).unwrap();
+        group.bench_with_input(BenchmarkId::new("indexed", docs), &docs, |b, _| {
+            b.iter(|| black_box(store.find_documents(black_box(&expr)).len()))
+        });
+        group.bench_with_input(BenchmarkId::new("scan", docs), &docs, |b, _| {
+            b.iter(|| black_box(store.find_documents_scan(black_box(&expr)).len()))
+        });
+    }
+    group.finish();
+
+    // Unselective query (phrases planted in ~every document): candidates ≈
+    // all documents and the exact re-check dominates — the index cannot
+    // help, the honest crossover.
+    let mut group = c.benchmark_group("B3_text_index_unselective");
+    group.sample_size(20);
+    for docs in [10usize, 100, 400] {
+        let store = article_store(docs, 5);
+        let expr = ContainsExpr::all_of(["SGML", "OODBMS"]).unwrap();
+        group.bench_with_input(BenchmarkId::new("indexed", docs), &docs, |b, _| {
+            b.iter(|| black_box(store.find_documents(black_box(&expr)).len()))
+        });
+        group.bench_with_input(BenchmarkId::new("scan", docs), &docs, |b, _| {
+            b.iter(|| black_box(store.find_documents_scan(black_box(&expr)).len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_vocabulary_grep(c: &mut Criterion) {
+    // Pattern (wildcard) queries resolve by grepping the vocabulary.
+    let store = article_store(100, 5);
+    let pattern = ContainsExpr::pattern("(s|S)GML").unwrap();
+    c.bench_function("B3_vocabulary_grep", |b| {
+        b.iter(|| black_box(store.find_documents(black_box(&pattern)).len()))
+    });
+}
+
+criterion_group!(benches, bench_search, bench_vocabulary_grep);
+criterion_main!(benches);

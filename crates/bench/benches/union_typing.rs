@@ -1,0 +1,75 @@
+//! B5 — the §4.2 union-typing rules under growing arity.
+//!
+//! Paper remark: rule 2 (the lub of two unions is their marker-wise union)
+//! "may result into a combinatorial explosion of types", though "this
+//! should rarely happen". We measure subtype checks and lub computation as
+//! union arity grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use docql::model::{ClassDef, Schema, Type, TypeOps};
+use docql_bench::wide_union;
+use std::hint::black_box;
+
+fn hierarchy() -> Schema {
+    Schema::builder()
+        .class(ClassDef::new("C", Type::Any))
+        .build()
+        .unwrap()
+}
+
+fn bench_union_lub(c: &mut Criterion) {
+    let schema = hierarchy();
+    let mut group = c.benchmark_group("B5_union_lub");
+    for arity in [2usize, 8, 32, 64] {
+        // Overlapping marker sets: half shared.
+        let a = wide_union(arity, 0);
+        let b = wide_union(arity, arity / 2);
+        group.bench_with_input(BenchmarkId::new("lub", arity), &arity, |bch, _| {
+            let ops = TypeOps::new(schema.hierarchy());
+            bch.iter(|| black_box(ops.common_supertype(black_box(&a), black_box(&b))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_union_subtype(c: &mut Criterion) {
+    let schema = hierarchy();
+    let mut group = c.benchmark_group("B5_union_subtype");
+    for arity in [2usize, 8, 32, 64] {
+        let small = wide_union(arity, 0);
+        let big = wide_union(arity * 2, 0);
+        group.bench_with_input(BenchmarkId::new("subtype", arity), &arity, |bch, _| {
+            let ops = TypeOps::new(schema.hierarchy());
+            bch.iter(|| {
+                assert!(ops.is_subtype(black_box(&small), black_box(&big)));
+                black_box(())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_tuple_as_list_rule(c: &mut Criterion) {
+    // The tuple ≤ list-of-union rule over growing width.
+    let schema = hierarchy();
+    let mut group = c.benchmark_group("B5_tuple_as_list");
+    for width in [2usize, 8, 32] {
+        let tuple = Type::tuple((0..width).map(|i| (format!("f{i}"), Type::Integer)));
+        let hetero = Type::list(wide_union_named(width));
+        group.bench_with_input(BenchmarkId::new("rule2", width), &width, |bch, _| {
+            let ops = TypeOps::new(schema.hierarchy());
+            bch.iter(|| {
+                assert!(ops.is_subtype(black_box(&tuple), black_box(&hetero)));
+                black_box(())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn wide_union_named(n: usize) -> Type {
+    Type::union((0..n).map(|i| (format!("f{i}"), Type::Integer)))
+}
+
+criterion_group!(benches, bench_union_lub, bench_union_subtype, bench_tuple_as_list_rule);
+criterion_main!(benches);

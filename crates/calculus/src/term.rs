@@ -1,0 +1,560 @@
+//! Terms, atoms, formulas and queries of the many-sorted calculus (§5.2).
+//!
+//! Three sorts: **val** (data), **att** (attribute names) and **path**.
+//! All variables carry one of these sorts. Path terms are sequences of
+//! path atoms; `⟨v P⟩` path predicates both assert the existence of paths
+//! and range-restrict the variables appearing on them.
+
+use docql_model::{Sym, Value};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A variable (sorts are declared in the owning [`Query`]).
+pub type Var = u32;
+
+/// Variable sorts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sort {
+    /// Data values.
+    Data,
+    /// Attribute names.
+    Attr,
+    /// Paths.
+    Path,
+}
+
+/// An attribute term: a name or an attribute variable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrTerm {
+    /// A literal attribute name.
+    Name(Sym),
+    /// An attribute variable (sort att).
+    Var(Var),
+}
+
+/// An integer term used for list indexing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IntTerm {
+    /// A literal index.
+    Const(usize),
+    /// A data variable holding an integer.
+    Var(Var),
+}
+
+/// One atom of a path term.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PathAtom {
+    /// A path variable (matches any sub-path under the chosen semantics).
+    PathVar(Var),
+    /// `→` — dereference.
+    Deref,
+    /// `·A` — attribute selection.
+    Attr(AttrTerm),
+    /// `[i]` — list (or tuple-as-list) indexing.
+    Index(IntTerm),
+    /// `(X)` — bind the data variable `X` to the value reached here.
+    Bind(Var),
+    /// `{X}` — choose a set element and bind `X` to it.
+    SetBind(Var),
+}
+
+/// A path term: a concatenation of path atoms (`ε` = empty).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PathTerm(pub Vec<PathAtom>);
+
+impl PathTerm {
+    /// The empty path term `ε`.
+    pub fn empty() -> PathTerm {
+        PathTerm(Vec::new())
+    }
+
+    /// Concatenate (the `PQ` rule).
+    pub fn then(mut self, atom: PathAtom) -> PathTerm {
+        self.0.push(atom);
+        self
+    }
+
+    /// All variables, by sort.
+    pub fn vars(&self, out: &mut BTreeSet<Var>) {
+        for a in &self.0 {
+            match a {
+                PathAtom::PathVar(v) | PathAtom::Bind(v) | PathAtom::SetBind(v) => {
+                    out.insert(*v);
+                }
+                PathAtom::Attr(AttrTerm::Var(v)) | PathAtom::Index(IntTerm::Var(v)) => {
+                    out.insert(*v);
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Data terms (§5.2). `Sub` embeds a nested query (set comprehension), as in
+/// the paper's `set_to_list({X | …})` example.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataTerm {
+    /// A root of persistence in `G`.
+    Name(Sym),
+    /// A constant (atomic value, `nil`, oid — or any literal complex value).
+    Const(Value),
+    /// A variable (any sort; the sort governs what it may be used for).
+    Var(Var),
+    /// Tuple constructor with attribute terms.
+    Tuple(Vec<(AttrTerm, DataTerm)>),
+    /// List constructor.
+    List(Vec<DataTerm>),
+    /// Set constructor.
+    Set(Vec<DataTerm>),
+    /// `t P` — path application.
+    PathApp(Box<DataTerm>, PathTerm),
+    /// Interpreted function application (`length`, `name`, `set_to_list`, …).
+    Apply(Sym, Vec<DataTerm>),
+    /// A nested query `{x̄ | φ}` used as a set-valued term.
+    Sub(Box<Query>),
+    /// A path value assembled from fully-bound path atoms (used by the §5.4
+    /// algebraization to materialise substituted path variables).
+    MakePath(PathTerm),
+    /// An attribute name as a first-class (sort att) constant — the
+    /// algebraization substitutes attribute variables with these.
+    AttrConst(Sym),
+}
+
+impl DataTerm {
+    /// Free variables of the term.
+    pub fn vars(&self, out: &mut BTreeSet<Var>) {
+        match self {
+            DataTerm::Name(_) | DataTerm::Const(_) => {}
+            DataTerm::Var(v) => {
+                out.insert(*v);
+            }
+            DataTerm::Tuple(fields) => {
+                for (a, t) in fields {
+                    if let AttrTerm::Var(v) = a {
+                        out.insert(*v);
+                    }
+                    t.vars(out);
+                }
+            }
+            DataTerm::List(items) | DataTerm::Set(items) => {
+                for t in items {
+                    t.vars(out);
+                }
+            }
+            DataTerm::PathApp(base, p) => {
+                base.vars(out);
+                p.vars(out);
+            }
+            DataTerm::Apply(_, args) => {
+                for t in args {
+                    t.vars(out);
+                }
+            }
+            DataTerm::Sub(q) => {
+                // A nested query contributes its own free variables (those
+                // not bound by its head or quantifiers) — for our purposes,
+                // variables shared with the outer query.
+                out.extend(q.outer_vars.iter().copied());
+            }
+            DataTerm::MakePath(p) => p.vars(out),
+            DataTerm::AttrConst(_) => {}
+        }
+    }
+}
+
+/// Atoms (§5.2): equality, membership, containment, path predicates, and
+/// interpreted predicates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Atom {
+    /// `t = t'`
+    Eq(DataTerm, DataTerm),
+    /// `t ∈ t'`
+    In(DataTerm, DataTerm),
+    /// `t ⊆ t'`
+    Subset(DataTerm, DataTerm),
+    /// `⟨v P⟩` — `P` is (an instance of) a concrete path from the root of `v`.
+    PathPred(DataTerm, PathTerm),
+    /// Interpreted predicate (`contains`, `near`, `<`, …).
+    Pred(Sym, Vec<DataTerm>),
+}
+
+/// Formulas (literals closed under connectives and quantifiers).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Formula {
+    /// An atom.
+    Atom(Atom),
+    /// Conjunction.
+    And(Vec<Formula>),
+    /// Disjunction.
+    Or(Vec<Formula>),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Existential quantification.
+    Exists(Vec<Var>, Box<Formula>),
+    /// Universal quantification.
+    Forall(Vec<Var>, Box<Formula>),
+}
+
+impl Formula {
+    /// Free variables.
+    pub fn free_vars(&self) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        self.collect_free(&mut out);
+        out
+    }
+
+    fn collect_free(&self, out: &mut BTreeSet<Var>) {
+        match self {
+            Formula::Atom(a) => a.vars(out),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_free(out);
+                }
+            }
+            Formula::Not(f) => f.collect_free(out),
+            Formula::Exists(vs, f) | Formula::Forall(vs, f) => {
+                let mut inner = BTreeSet::new();
+                f.collect_free(&mut inner);
+                for v in vs {
+                    inner.remove(v);
+                }
+                out.extend(inner);
+            }
+        }
+    }
+}
+
+impl Atom {
+    /// Variables of the atom.
+    pub fn vars(&self, out: &mut BTreeSet<Var>) {
+        match self {
+            Atom::Eq(a, b) | Atom::In(a, b) | Atom::Subset(a, b) => {
+                a.vars(out);
+                b.vars(out);
+            }
+            Atom::PathPred(t, p) => {
+                t.vars(out);
+                p.vars(out);
+            }
+            Atom::Pred(_, args) => {
+                for t in args {
+                    t.vars(out);
+                }
+            }
+        }
+    }
+}
+
+/// A query `{x₁, …, xₙ | φ}` with per-variable sorts and display names.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Head (answer) variables.
+    pub head: Vec<Var>,
+    /// Body.
+    pub body: Formula,
+    /// Sort of every variable used.
+    pub sorts: std::collections::BTreeMap<Var, Sort>,
+    /// Display names (for pretty-printing and diagnostics).
+    pub names: std::collections::BTreeMap<Var, String>,
+    /// For nested use: variables expected to be bound by the outer query.
+    pub outer_vars: Vec<Var>,
+}
+
+impl Query {
+    /// Sort of a variable (default Data).
+    pub fn sort_of(&self, v: Var) -> Sort {
+        self.sorts.get(&v).copied().unwrap_or(Sort::Data)
+    }
+
+    /// Display name of a variable.
+    pub fn name_of(&self, v: Var) -> String {
+        self.names
+            .get(&v)
+            .cloned()
+            .unwrap_or_else(|| format!("v{v}"))
+    }
+}
+
+/// A small builder for queries, allocating variables with names and sorts.
+#[derive(Debug, Default)]
+pub struct QueryBuilder {
+    next: Var,
+    sorts: std::collections::BTreeMap<Var, Sort>,
+    names: std::collections::BTreeMap<Var, String>,
+}
+
+impl QueryBuilder {
+    /// Fresh builder.
+    pub fn new() -> QueryBuilder {
+        QueryBuilder::default()
+    }
+
+    /// Allocate a data variable.
+    pub fn data(&mut self, name: &str) -> Var {
+        self.var(name, Sort::Data)
+    }
+
+    /// Allocate a path variable.
+    pub fn path(&mut self, name: &str) -> Var {
+        self.var(name, Sort::Path)
+    }
+
+    /// Allocate an attribute variable.
+    pub fn attr(&mut self, name: &str) -> Var {
+        self.var(name, Sort::Attr)
+    }
+
+    /// Allocate a variable of the given sort.
+    pub fn var(&mut self, name: &str, sort: Sort) -> Var {
+        let v = self.next;
+        self.next += 1;
+        self.sorts.insert(v, sort);
+        self.names.insert(v, name.to_string());
+        v
+    }
+
+    /// Finish into a query.
+    pub fn query(self, head: Vec<Var>, body: Formula) -> Query {
+        Query {
+            head,
+            body,
+            sorts: self.sorts,
+            names: self.names,
+            outer_vars: Vec::new(),
+        }
+    }
+}
+
+// --- Display -------------------------------------------------------------
+
+impl fmt::Display for AttrTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrTerm::Name(n) => write!(f, "{n}"),
+            AttrTerm::Var(v) => write!(f, "A{v}"),
+        }
+    }
+}
+
+impl fmt::Display for PathTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return f.write_str("ε");
+        }
+        for a in &self.0 {
+            match a {
+                PathAtom::PathVar(v) => write!(f, " P{v}")?,
+                PathAtom::Deref => f.write_str("->")?,
+                PathAtom::Attr(a) => write!(f, ".{a}")?,
+                PathAtom::Index(IntTerm::Const(i)) => write!(f, "[{i}]")?,
+                PathAtom::Index(IntTerm::Var(v)) => write!(f, "[I{v}]")?,
+                PathAtom::Bind(v) => write!(f, "(X{v})")?,
+                PathAtom::SetBind(v) => write!(f, "{{X{v}}}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for DataTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataTerm::Name(n) => write!(f, "{n}"),
+            DataTerm::Const(v) => write!(f, "{v}"),
+            DataTerm::Var(v) => write!(f, "X{v}"),
+            DataTerm::Tuple(fields) => {
+                f.write_str("[")?;
+                for (i, (a, t)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a}: {t}")?;
+                }
+                f.write_str("]")
+            }
+            DataTerm::List(items) => {
+                f.write_str("[")?;
+                for (i, t) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                f.write_str("]")
+            }
+            DataTerm::Set(items) => {
+                f.write_str("{")?;
+                for (i, t) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                f.write_str("}")
+            }
+            DataTerm::PathApp(base, p) => write!(f, "{base}{p}"),
+            DataTerm::Apply(name, args) => {
+                write!(f, "{name}(")?;
+                for (i, t) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                f.write_str(")")
+            }
+            DataTerm::Sub(q) => write!(f, "{q}"),
+            DataTerm::MakePath(p) => write!(f, "path({p})"),
+            DataTerm::AttrConst(a) => write!(f, "@{a}"),
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Atom::Eq(a, b) => write!(f, "{a} = {b}"),
+            Atom::In(a, b) => write!(f, "{a} ∈ {b}"),
+            Atom::Subset(a, b) => write!(f, "{a} ⊆ {b}"),
+            Atom::PathPred(t, p) => write!(f, "⟨{t}{p}⟩"),
+            Atom::Pred(name, args) => {
+                write!(f, "{name}(")?;
+                for (i, t) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::Atom(a) => write!(f, "{a}"),
+            Formula::And(fs) => {
+                f.write_str("(")?;
+                for (i, sub) in fs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" ∧ ")?;
+                    }
+                    write!(f, "{sub}")?;
+                }
+                f.write_str(")")
+            }
+            Formula::Or(fs) => {
+                f.write_str("(")?;
+                for (i, sub) in fs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" ∨ ")?;
+                    }
+                    write!(f, "{sub}")?;
+                }
+                f.write_str(")")
+            }
+            Formula::Not(inner) => write!(f, "¬{inner}"),
+            Formula::Exists(vs, inner) => {
+                f.write_str("∃")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "v{v}")?;
+                }
+                write!(f, "({inner})")
+            }
+            Formula::Forall(vs, inner) => {
+                f.write_str("∀")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "v{v}")?;
+                }
+                write!(f, "({inner})")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{")?;
+        for (i, v) in self.head.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            f.write_str(&self.name_of(*v))?;
+        }
+        write!(f, " | {}}}", self.body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use docql_model::sym;
+
+    #[test]
+    fn free_vars_respect_quantifiers() {
+        let mut b = QueryBuilder::new();
+        let x = b.data("X");
+        let p = b.path("P");
+        let body = Formula::Exists(
+            vec![p],
+            Box::new(Formula::Atom(Atom::PathPred(
+                DataTerm::Name(sym("Doc")),
+                PathTerm(vec![PathAtom::PathVar(p), PathAtom::Bind(x)]),
+            ))),
+        );
+        assert_eq!(body.free_vars(), BTreeSet::from([x]));
+    }
+
+    #[test]
+    fn path_term_vars_collected() {
+        let mut out = BTreeSet::new();
+        PathTerm(vec![
+            PathAtom::PathVar(0),
+            PathAtom::Attr(AttrTerm::Var(1)),
+            PathAtom::Index(IntTerm::Var(2)),
+            PathAtom::Bind(3),
+            PathAtom::SetBind(4),
+            PathAtom::Deref,
+            PathAtom::Attr(AttrTerm::Name(sym("title"))),
+        ])
+        .vars(&mut out);
+        assert_eq!(out, BTreeSet::from([0, 1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn display_of_path_predicate() {
+        let mut b = QueryBuilder::new();
+        let p = b.path("P");
+        let x = b.data("X");
+        let atom = Atom::PathPred(
+            DataTerm::Name(sym("Knuth_Books")),
+            PathTerm(vec![
+                PathAtom::PathVar(p),
+                PathAtom::Attr(AttrTerm::Name(sym("title"))),
+                PathAtom::Bind(x),
+            ]),
+        );
+        assert_eq!(atom.to_string(), "⟨Knuth_Books P0.title(X1)⟩");
+    }
+
+    #[test]
+    fn builder_assigns_sorts() {
+        let mut b = QueryBuilder::new();
+        let x = b.data("X");
+        let p = b.path("P");
+        let a = b.attr("A");
+        let q = b.query(vec![x], Formula::And(vec![]));
+        assert_eq!(q.sort_of(x), Sort::Data);
+        assert_eq!(q.sort_of(p), Sort::Path);
+        assert_eq!(q.sort_of(a), Sort::Attr);
+        assert_eq!(q.name_of(x), "X");
+    }
+}

@@ -1,0 +1,135 @@
+//! # docql — *From Structured Documents to Novel Query Facilities*
+//!
+//! A complete Rust implementation of the system described by Christophides,
+//! Abiteboul, Cluet and Scholl (SIGMOD 1994): SGML documents mapped into an
+//! object-oriented database whose query languages treat **paths as
+//! first-class citizens**.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use docql::Database;
+//!
+//! // The paper's Fig. 1 DTD.
+//! let mut db = Database::new(docql::fixtures::ARTICLE_DTD, &["my_article"]).unwrap();
+//! // Ingest the paper's Fig. 2 document and name it (§4.3).
+//! let root = db.ingest(docql::fixtures::FIG2_DOCUMENT).unwrap();
+//! db.bind("my_article", root).unwrap();
+//! // Q3: all titles, wherever they are in the structure.
+//! let titles = db.query("select t from my_article PATH_p.title(t)").unwrap();
+//! assert!(!titles.is_empty());
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | paper section | contents |
+//! |---|---|---|
+//! | [`model`] | §3, §5.1 | O₂ data model + ordered tuples + marked unions |
+//! | [`sgml`] | §2 | DTD/document parsing, tag-omission inference |
+//! | [`mapping`] | §3 | DTD→schema (Fig. 1→Fig. 3), document→instance, export |
+//! | [`text`] | §4.1 | patterns, `contains`/`near`, inverted index |
+//! | [`paths`] | §4.3, §5.2 | concrete/abstract paths, restricted & liberal semantics |
+//! | [`calculus`] | §5.2–5.3 | many-sorted calculus, range restriction, typing |
+//! | [`algebra`] | §5.4 | algebraization: unions of path-free plans |
+//! | [`o2sql`] | §4 | the extended O₂SQL surface language |
+//! | [`store`] | — | the assembled document store |
+
+pub use docql_algebra as algebra;
+pub use docql_calculus as calculus;
+pub use docql_mapping as mapping;
+pub use docql_model as model;
+pub use docql_o2sql as o2sql;
+pub use docql_paths as paths;
+pub use docql_sgml as sgml;
+pub use docql_store as store;
+pub use docql_text as text;
+
+/// The paper's running examples (Fig. 1 DTD, Fig. 2 document, letters DTD).
+pub use docql_sgml::fixtures;
+
+/// Commonly used items, one `use` away.
+pub mod prelude {
+    pub use docql_calculus::{CalcValue, Evaluator, Interp, Query, QueryBuilder};
+    pub use docql_model::{sym, Instance, Oid, Schema, Sym, Type, Value};
+    pub use docql_o2sql::{Engine, Mode, QueryResult};
+    pub use docql_paths::{ConcretePath, PathSemantics, PathStep};
+    pub use docql_sgml::{Document, Dtd};
+    pub use docql_store::DocStore;
+    pub use docql_text::ContainsExpr;
+
+    pub use crate::Database;
+}
+
+use docql_model::Oid;
+use docql_o2sql::QueryResult;
+use docql_store::{DocStore, StoreError};
+
+/// The high-level entry point: a document database over one DTD.
+///
+/// Thin, stable wrapper over [`store::DocStore`] — the full API (algebraic
+/// mode, text-index search, export, instance access) is reachable through
+/// [`Database::store`] / [`Database::store_mut`].
+pub struct Database {
+    inner: DocStore,
+}
+
+impl Database {
+    /// Create a database from DTD text. `named_roots` declares extra roots
+    /// of persistence of the document class (e.g. `"my_article"`).
+    pub fn new(dtd_text: &str, named_roots: &[&str]) -> Result<Database, StoreError> {
+        Ok(Database {
+            inner: DocStore::new(dtd_text, named_roots)?,
+        })
+    }
+
+    /// Parse, validate and load one SGML document; returns its root object.
+    pub fn ingest(&mut self, sgml_text: &str) -> Result<Oid, StoreError> {
+        self.inner.ingest(sgml_text)
+    }
+
+    /// Bind a named root of persistence to a document object.
+    pub fn bind(&mut self, name: &str, oid: Oid) -> Result<(), StoreError> {
+        self.inner.bind(name, oid)
+    }
+
+    /// Run an extended-O₂SQL query.
+    pub fn query(&self, src: &str) -> Result<QueryResult, StoreError> {
+        self.inner.query(src)
+    }
+
+    /// Run a query through the §5.4 algebraizer instead of the interpreter.
+    pub fn query_algebraic(&self, src: &str) -> Result<QueryResult, StoreError> {
+        self.inner.query_algebraic(src)
+    }
+
+    /// The underlying store (full API).
+    pub fn store(&self) -> &DocStore {
+        &self.inner
+    }
+
+    /// The underlying store, mutably.
+    pub fn store_mut(&mut self) -> &mut DocStore {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doc_example_compiles_and_runs() {
+        let mut db = Database::new(fixtures::ARTICLE_DTD, &["my_article"]).unwrap();
+        let root = db.ingest(fixtures::FIG2_DOCUMENT).unwrap();
+        db.bind("my_article", root).unwrap();
+        let titles = db.query("select t from my_article PATH_p.title(t)").unwrap();
+        assert!(!titles.is_empty());
+        let alg = db
+            .query_algebraic("select t from my_article PATH_p.title(t)")
+            .unwrap();
+        use std::collections::BTreeSet;
+        let a: BTreeSet<_> = titles.rows.into_iter().collect();
+        let b: BTreeSet<_> = alg.rows.into_iter().collect();
+        assert_eq!(a, b);
+    }
+}

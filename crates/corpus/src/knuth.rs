@@ -1,0 +1,156 @@
+//! The §5.2 "Knuth books" object graph: a root of persistence holding
+//! volumes that contain chapters (with reviews) that contain sections —
+//! the structure behind the paper's navigation and typing examples.
+
+use docql_model::{ClassDef, Instance, Schema, Type, Value};
+use std::sync::Arc;
+
+/// Shape parameters for the generated library.
+#[derive(Debug, Clone, Copy)]
+pub struct KnuthParams {
+    /// Number of volumes.
+    pub volumes: usize,
+    /// Chapters per volume.
+    pub chapters: usize,
+    /// Sections per chapter.
+    pub sections: usize,
+}
+
+impl Default for KnuthParams {
+    fn default() -> KnuthParams {
+        KnuthParams {
+            volumes: 3,
+            chapters: 3,
+            sections: 2,
+        }
+    }
+}
+
+/// The schema: `Knuth_Books : list(Volume)`, volumes → chapters → sections;
+/// only chapters carry `review` sets (the §5.3 typing example depends on
+/// this asymmetry).
+pub fn knuth_schema() -> Arc<Schema> {
+    Arc::new(
+        Schema::builder()
+            .class(ClassDef::new(
+                "Section",
+                Type::tuple([("title", Type::String), ("author", Type::String)]),
+            ))
+            .class(ClassDef::new(
+                "Chapter",
+                Type::tuple([
+                    ("title", Type::String),
+                    ("review", Type::set(Type::String)),
+                    ("sections", Type::list(Type::class("Section"))),
+                ]),
+            ))
+            .class(ClassDef::new(
+                "Volume",
+                Type::tuple([
+                    ("title", Type::String),
+                    ("chapters", Type::list(Type::class("Chapter"))),
+                ]),
+            ))
+            .root("Knuth_Books", Type::list(Type::class("Volume")))
+            .build()
+            .expect("knuth schema is well-formed"),
+    )
+}
+
+/// Build the instance. Deterministic: titles carry their coordinates;
+/// the first section of every chapter is authored by "Jo" (the paper's
+/// example value), the first chapter of each volume reviewed by "D. Scott".
+pub fn knuth_instance(params: &KnuthParams) -> Instance {
+    let mut inst = Instance::new(knuth_schema());
+    let mut volumes = Vec::new();
+    for v in 0..params.volumes {
+        let mut chapters = Vec::new();
+        for c in 0..params.chapters {
+            let mut sections = Vec::new();
+            for s in 0..params.sections {
+                let so = inst
+                    .new_object(
+                        "Section",
+                        Value::tuple([
+                            ("title", Value::str(format!("Section {v}.{c}.{s}"))),
+                            ("author", Value::str(if s == 0 { "Jo" } else { "Don" })),
+                        ]),
+                    )
+                    .expect("section");
+                sections.push(Value::Oid(so));
+            }
+            let co = inst
+                .new_object(
+                    "Chapter",
+                    Value::tuple([
+                        ("title", Value::str(format!("Chapter {v}.{c}"))),
+                        (
+                            "review",
+                            Value::set([Value::str(if c == 0 {
+                                "D. Scott"
+                            } else {
+                                "A. Turing"
+                            })]),
+                        ),
+                        ("sections", Value::List(sections)),
+                    ]),
+                )
+                .expect("chapter");
+            chapters.push(Value::Oid(co));
+        }
+        let vo = inst
+            .new_object(
+                "Volume",
+                Value::tuple([
+                    ("title", Value::str(format!("Volume {v}"))),
+                    ("chapters", Value::List(chapters)),
+                ]),
+            )
+            .expect("volume");
+        volumes.push(Value::Oid(vo));
+    }
+    inst.set_root("Knuth_Books", Value::List(volumes))
+        .expect("root");
+    inst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use docql_model::sym;
+
+    #[test]
+    fn builds_the_requested_shape() {
+        let inst = knuth_instance(&KnuthParams {
+            volumes: 2,
+            chapters: 3,
+            sections: 4,
+        });
+        // 2 volumes + 6 chapters + 24 sections.
+        assert_eq!(inst.object_count(), 2 + 6 + 24);
+        let Value::List(vols) = inst.root(sym("Knuth_Books")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(vols.len(), 2);
+    }
+
+    #[test]
+    fn schema_asymmetry_only_chapters_review() {
+        let schema = knuth_schema();
+        let chapter = schema.class_type(sym("Chapter")).unwrap();
+        let volume = schema.class_type(sym("Volume")).unwrap();
+        assert!(chapter.field(sym("review")).is_some());
+        assert!(volume.field(sym("review")).is_none());
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = KnuthParams::default();
+        let a = knuth_instance(&p);
+        let b = knuth_instance(&p);
+        assert_eq!(a.object_count(), b.object_count());
+        for ((_, _, va), (_, _, vb)) in a.objects().zip(b.objects()) {
+            assert_eq!(va, vb);
+        }
+    }
+}

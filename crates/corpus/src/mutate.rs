@@ -1,0 +1,184 @@
+//! Version-mutation operators for the Q4 structural-diff experiments:
+//! "the difference operation will return the paths that are in the new
+//! version … Supplementary conditions on data would allow the detection of
+//! possible updates or moves."
+
+use docql_sgml::{Document, Element, Node};
+
+/// A structural edit producing a new document version.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Mutation {
+    /// Append a new section with the given title (one paragraph inside).
+    AddSection(String),
+    /// Change the title of section `i` (0-based).
+    RetitleSection(usize, String),
+    /// Append a paragraph to section `i`.
+    AppendParagraph(usize, String),
+    /// Remove section `i`.
+    RemoveSection(usize),
+}
+
+/// Apply a mutation, returning the new version (the input is unchanged).
+pub fn mutate(doc: &Document, m: &Mutation) -> Document {
+    let mut new = doc.clone();
+    let root = &mut new.root;
+    match m {
+        Mutation::AddSection(title) => {
+            let mut section = Element::new("section");
+            section.children.push(Node::Element(text_elem("title", title.clone())));
+            let mut body = Element::new("body");
+            let mut para = text_elem("paragr", format!("Contents of {title}."));
+            para.attrs
+                .push(("reflabel".to_string(), first_label(root).unwrap_or_default()));
+            body.children.push(Node::Element(para));
+            section.children.push(Node::Element(body));
+            // Insert before the trailing acknowl.
+            let at = root
+                .children
+                .iter()
+                .position(
+                    |c| matches!(c, Node::Element(e) if e.name == "acknowl"),
+                )
+                .unwrap_or(root.children.len());
+            root.children.insert(at, Node::Element(section));
+        }
+        Mutation::RetitleSection(i, title) => {
+            if let Some(section) = nth_section_mut(root, *i) {
+                for c in &mut section.children {
+                    if let Node::Element(e) = c {
+                        if e.name == "title" {
+                            e.children = vec![Node::Text(title.clone())];
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        Mutation::AppendParagraph(i, text) => {
+            let label = first_label(root).unwrap_or_default();
+            if let Some(section) = nth_section_mut(root, *i) {
+                let mut body = Element::new("body");
+                let mut para = text_elem("paragr", text.clone());
+                para.attrs.push(("reflabel".to_string(), label));
+                body.children.push(Node::Element(para));
+                // Keep the content model happy: bodies precede subsections.
+                let at = section
+                    .children
+                    .iter()
+                    .position(
+                        |c| matches!(c, Node::Element(e) if e.name == "subsectn"),
+                    )
+                    .unwrap_or(section.children.len());
+                section.children.insert(at, Node::Element(body));
+            }
+        }
+        Mutation::RemoveSection(i) => {
+            let mut seen = 0usize;
+            root.children.retain(|c| {
+                if let Node::Element(e) = c {
+                    if e.name == "section" {
+                        let keep = seen != *i;
+                        seen += 1;
+                        return keep;
+                    }
+                }
+                true
+            });
+        }
+    }
+    new
+}
+
+fn text_elem(name: &str, text: String) -> Element {
+    Element {
+        name: name.to_string(),
+        attrs: Vec::new(),
+        children: vec![Node::Text(text)],
+    }
+}
+
+fn nth_section_mut(root: &mut Element, i: usize) -> Option<&mut Element> {
+    root.children
+        .iter_mut()
+        .filter_map(|c| match c {
+            Node::Element(e) if e.name == "section" => Some(e),
+            _ => None,
+        })
+        .nth(i)
+}
+
+fn first_label(root: &Element) -> Option<String> {
+    let mut figs = Vec::new();
+    root.find_all("figure", &mut figs);
+    figs.iter().find_map(|f| f.attr("label").map(str::to_owned))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::articles::{generate_article, ArticleParams};
+    use docql_sgml::{validate, Dtd};
+
+    fn base() -> Document {
+        generate_article(&ArticleParams::default())
+    }
+
+    fn dtd() -> Dtd {
+        Dtd::parse(docql_sgml::fixtures::ARTICLE_DTD).unwrap()
+    }
+
+    #[test]
+    fn mutations_preserve_validity() {
+        let doc = base();
+        for m in [
+            Mutation::AddSection("A brand new section".to_string()),
+            Mutation::RetitleSection(1, "Renamed".to_string()),
+            Mutation::AppendParagraph(0, "Extra prose.".to_string()),
+            Mutation::RemoveSection(1),
+        ] {
+            let new = mutate(&doc, &m);
+            let errs = validate(&new, &dtd());
+            assert!(errs.is_empty(), "{m:?}: {errs:?}");
+            assert_ne!(new, doc, "{m:?} must change the document");
+        }
+    }
+
+    #[test]
+    fn add_section_grows_count() {
+        let doc = base();
+        let new = mutate(&doc, &Mutation::AddSection("New".to_string()));
+        let count = |d: &Document| {
+            let mut v = Vec::new();
+            d.root.find_all("section", &mut v);
+            v.len()
+        };
+        assert_eq!(count(&new), count(&doc) + 1);
+    }
+
+    #[test]
+    fn retitle_changes_only_that_title() {
+        let doc = base();
+        let new = mutate(&doc, &Mutation::RetitleSection(2, "Changed".to_string()));
+        let titles = |d: &Document| {
+            let mut v = Vec::new();
+            d.root.find_all("section", &mut v);
+            v.iter()
+                .map(|s| s.find("title").unwrap().text_content())
+                .collect::<Vec<_>>()
+        };
+        let old_t = titles(&doc);
+        let new_t = titles(&new);
+        assert_eq!(new_t[2], "Changed");
+        assert_eq!(old_t[0], new_t[0]);
+        assert_eq!(old_t.len(), new_t.len());
+    }
+
+    #[test]
+    fn remove_section_shrinks() {
+        let doc = base();
+        let new = mutate(&doc, &Mutation::RemoveSection(0));
+        let mut v = Vec::new();
+        new.root.find_all("section", &mut v);
+        assert_eq!(v.len(), 4);
+    }
+}

@@ -1,0 +1,77 @@
+//! Naming conventions of the SGML→O₂ mapping, matching Fig. 3:
+//! `article` → class `Article`; `author+` → attribute `authors`;
+//! `body+` → `bodies`; unnamed groups get system-supplied names `a1, a2, …`.
+
+/// Class name for an element tag: first letter capitalised.
+pub fn class_name(tag: &str) -> String {
+    let mut cs = tag.chars();
+    match cs.next() {
+        Some(first) => first.to_uppercase().collect::<String>() + cs.as_str(),
+        None => String::new(),
+    }
+}
+
+/// Attribute name for a repeated (`+`/`*`) element: English-ish plural.
+pub fn plural(tag: &str) -> String {
+    if let Some(stem) = tag.strip_suffix('y') {
+        let penult = stem.chars().last();
+        if penult.is_some_and(|c| !"aeiou".contains(c)) {
+            return format!("{stem}ies");
+        }
+    }
+    if tag.ends_with('s')
+        || tag.ends_with('x')
+        || tag.ends_with('z')
+        || tag.ends_with("ch")
+        || tag.ends_with("sh")
+    {
+        return format!("{tag}es");
+    }
+    format!("{tag}s")
+}
+
+/// System-supplied marker names for unnamed union alternatives: `a1, a2, …`.
+pub fn branch_name(i: usize) -> String {
+    format!("a{}", i + 1)
+}
+
+/// System-supplied field names for unnamed nested groups: `g1, g2, …`.
+pub fn group_name(i: usize) -> String {
+    format!("g{}", i + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_names_match_fig3() {
+        assert_eq!(class_name("article"), "Article");
+        assert_eq!(class_name("subsectn"), "Subsectn");
+        assert_eq!(class_name("acknowl"), "Acknowl");
+        assert_eq!(class_name("picture"), "Picture");
+    }
+
+    #[test]
+    fn plurals_match_fig3() {
+        assert_eq!(plural("author"), "authors");
+        assert_eq!(plural("section"), "sections");
+        assert_eq!(plural("body"), "bodies");
+        assert_eq!(plural("subsectn"), "subsectns");
+    }
+
+    #[test]
+    fn plural_special_cases() {
+        assert_eq!(plural("class"), "classes");
+        assert_eq!(plural("box"), "boxes");
+        assert_eq!(plural("day"), "days", "vowel before y");
+        assert_eq!(plural("branch"), "branches");
+    }
+
+    #[test]
+    fn system_names() {
+        assert_eq!(branch_name(0), "a1");
+        assert_eq!(branch_name(1), "a2");
+        assert_eq!(group_name(0), "g1");
+    }
+}

@@ -1,0 +1,476 @@
+//! DTD → O₂ schema generation (§3, Fig. 1 → Fig. 3).
+//!
+//! Each element declaration is interpreted as a class with a type, some
+//! constraints and a default behaviour. Specifics, all visible in Fig. 3:
+//!
+//! * `(#PCDATA)` elements become classes inheriting `Text`;
+//! * `EMPTY` elements become classes inheriting `Bitmap` (media content);
+//! * the choice connector becomes a marked union, `+`/`*` become lists,
+//!   `?` becomes a nilable attribute, and `&` becomes the marked union of
+//!   its permutations;
+//! * SGML attributes become *private* trailing tuple attributes
+//!   (`private status: string`); `ID` attributes become back-reference lists
+//!   (`private label: list(Object)`), `IDREF` attributes become object
+//!   references (`private reflabel: Object`);
+//! * occurrence indicators, `#REQUIRED` attributes and enumerated ranges
+//!   become constraints.
+
+use crate::names::{class_name, plural};
+use crate::shape::Shape;
+use docql_model::{sym, ClassDef, Constraint, Field, ModelError, Schema, Sym, Type, Value};
+use docql_sgml::{content::expand_and, AttDefault, AttType, ContentModel, Dtd, ElementDecl};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// How an element's content is realised in the database.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ContentKind {
+    /// `(#PCDATA)` — a `Text` subclass with a `contents: string` attribute.
+    TextContent,
+    /// `EMPTY` — a `Bitmap` subclass with a `bits: string` attribute.
+    Media,
+    /// `ANY` — a list of (object | string) union values.
+    AnyContent,
+    /// A model group, with its (already `&`-expanded) expression and shape.
+    Structured {
+        /// The expanded content expression (for match-tree construction).
+        expr: docql_sgml::ContentExpr,
+        /// The shared shape driving typing and loading.
+        shape: Shape,
+    },
+}
+
+/// How one SGML attribute is realised.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrMapping {
+    /// SGML attribute name.
+    pub sgml_name: String,
+    /// Database attribute (always appended, private).
+    pub field: Sym,
+    /// Realisation.
+    pub kind: AttrKind,
+}
+
+/// Attribute realisation kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrKind {
+    /// CDATA / NMTOKEN / enumerated → `string`.
+    Str,
+    /// ID → back-reference list `list(Object)`; the value is also recorded
+    /// in the document's id table.
+    Id,
+    /// IDREF → `Object` (patched to the target's oid after loading).
+    Ref,
+    /// IDREFS → `list(Object)`.
+    Refs,
+    /// ENTITY → `string` (the entity's system identifier).
+    Entity,
+}
+
+/// Per-element mapping metadata, consumed by the loader and exporter.
+#[derive(Debug, Clone)]
+pub struct ElementMapping {
+    /// SGML tag.
+    pub tag: String,
+    /// Database class.
+    pub class: Sym,
+    /// Content realisation.
+    pub content: ContentKind,
+    /// Attribute realisations, in ATTLIST order.
+    pub attrs: Vec<AttrMapping>,
+}
+
+/// The full result of mapping a DTD.
+pub struct DtdMapping {
+    /// The generated schema (base classes + one class per element + root).
+    pub schema: Arc<Schema>,
+    /// Per-element metadata, keyed by tag.
+    pub elements: HashMap<String, ElementMapping>,
+    /// The document element's tag.
+    pub doctype: String,
+    /// The root of persistence (`Articles` for doctype `article`).
+    pub root: Sym,
+}
+
+impl fmt::Debug for DtdMapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DtdMapping")
+            .field("doctype", &self.doctype)
+            .field("root", &self.root)
+            .field("elements", &self.elements.len())
+            .finish()
+    }
+}
+
+/// Errors of the mapping stage.
+#[derive(Debug)]
+pub enum MapError {
+    /// From the SGML layer (e.g. `&` group too large).
+    Sgml(docql_sgml::SgmlError),
+    /// From the model layer (e.g. generated schema ill-formed).
+    Model(ModelError),
+    /// Loader errors.
+    Load(String),
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::Sgml(e) => write!(f, "SGML error: {e}"),
+            MapError::Model(e) => write!(f, "model error: {e}"),
+            MapError::Load(s) => write!(f, "load error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+impl From<docql_sgml::SgmlError> for MapError {
+    fn from(e: docql_sgml::SgmlError) -> MapError {
+        MapError::Sgml(e)
+    }
+}
+
+impl From<ModelError> for MapError {
+    fn from(e: ModelError) -> MapError {
+        MapError::Model(e)
+    }
+}
+
+/// Map a DTD to an O₂ schema (the Fig. 1 → Fig. 3 transformation).
+pub fn map_dtd(dtd: &Dtd) -> Result<DtdMapping, MapError> {
+    map_dtd_with(dtd, &[])
+}
+
+/// Like [`map_dtd`], with extra roots of persistence of the document
+/// element's class (e.g. `my_article`, `my_old_article` in §4.3).
+pub fn map_dtd_with(dtd: &Dtd, extra_roots: &[&str]) -> Result<DtdMapping, MapError> {
+    let mut builder = Schema::builder()
+        .class(ClassDef::new(
+            "Text",
+            Type::tuple([("contents", Type::String)]),
+        ))
+        .class(ClassDef::new(
+            "Bitmap",
+            Type::tuple([("bits", Type::String)]),
+        ));
+    let mut elements = HashMap::new();
+
+    for decl in &dtd.elements {
+        let (def, mapping) = map_element(dtd, decl)?;
+        builder = builder.class(def);
+        elements.insert(decl.name.clone(), mapping);
+    }
+
+    let doctype_class = class_name(&dtd.doctype);
+    let root = sym(&plural(&doctype_class));
+    builder = builder.root(root, Type::list(Type::class(doctype_class.as_str())));
+    for extra in extra_roots {
+        builder = builder.root(*extra, Type::class(doctype_class.as_str()));
+    }
+    let schema = Arc::new(builder.build()?);
+    Ok(DtdMapping {
+        schema,
+        elements,
+        doctype: dtd.doctype.clone(),
+        root,
+    })
+}
+
+fn map_element(dtd: &Dtd, decl: &ElementDecl) -> Result<(ClassDef, ElementMapping), MapError> {
+    let class = sym(&class_name(&decl.name));
+    let attr_mappings: Vec<AttrMapping> = dtd
+        .attributes_of(&decl.name)
+        .iter()
+        .map(|a| AttrMapping {
+            sgml_name: a.name.clone(),
+            field: sym(&a.name),
+            kind: match a.ty {
+                AttType::Id => AttrKind::Id,
+                AttType::Idref => AttrKind::Ref,
+                AttType::Idrefs => AttrKind::Refs,
+                AttType::Entity => AttrKind::Entity,
+                _ => AttrKind::Str,
+            },
+        })
+        .collect();
+    let attr_fields: Vec<Field> = attr_mappings
+        .iter()
+        .map(|m| {
+            Field::new(
+                m.field,
+                match m.kind {
+                    AttrKind::Str | AttrKind::Entity => Type::String,
+                    AttrKind::Id | AttrKind::Refs => Type::list(Type::Any),
+                    AttrKind::Ref => Type::Any,
+                },
+            )
+        })
+        .collect();
+
+    let (mut def, content) = match &decl.content {
+        ContentModel::Pcdata => {
+            let mut fields = vec![Field::new(sym("contents"), Type::String)];
+            fields.extend(attr_fields.clone());
+            let def = ClassDef::new(class, Type::Tuple(fields)).inherit("Text");
+            (def, ContentKind::TextContent)
+        }
+        ContentModel::Empty => {
+            let mut fields = vec![Field::new(sym("bits"), Type::String)];
+            fields.extend(attr_fields.clone());
+            let def = ClassDef::new(class, Type::Tuple(fields)).inherit("Bitmap");
+            (def, ContentKind::Media)
+        }
+        ContentModel::Any => {
+            let content_ty = Type::list(Type::union([
+                ("text", Type::String),
+                ("object", Type::Any),
+            ]));
+            let mut fields = vec![Field::new(sym("contents"), content_ty)];
+            fields.extend(attr_fields.clone());
+            (
+                ClassDef::new(class, Type::Tuple(fields)),
+                ContentKind::AnyContent,
+            )
+        }
+        ContentModel::Model(raw) => {
+            let expr = expand_and(raw)?;
+            let shape = Shape::of_expr(&expr);
+            let ty = match shape.to_type() {
+                // A union-typed element with SGML attributes wraps the union
+                // into a tuple so the attributes have somewhere to live.
+                Type::Union(branches) if !attr_fields.is_empty() => {
+                    let mut fields = vec![Field::new(sym("content"), Type::Union(branches))];
+                    fields.extend(attr_fields.clone());
+                    Type::Tuple(fields)
+                }
+                Type::Union(branches) => Type::Union(branches),
+                Type::Tuple(mut fields) => {
+                    fields.extend(attr_fields.clone());
+                    Type::Tuple(fields)
+                }
+                // Single-component models still become tuples (so the class
+                // type is a record and attributes can be appended).
+                other => {
+                    let mut fields = vec![Field::new(sym("content"), other)];
+                    fields.extend(attr_fields.clone());
+                    Type::Tuple(fields)
+                }
+            };
+            (
+                ClassDef::new(class, ty),
+                ContentKind::Structured { expr, shape },
+            )
+        }
+    };
+
+    // Constraints: occurrence indicators and attribute requirements (Fig. 3).
+    for c in shape_constraints(&content) {
+        def = def.constrained(c);
+    }
+    for (m, a) in attr_mappings.iter().zip(dtd.attributes_of(&decl.name)) {
+        if matches!(a.default, AttDefault::Required) {
+            def = def.constrained(Constraint::not_nil(m.field));
+        }
+        if let AttType::Enumerated(allowed) = &a.ty {
+            def = def.constrained(Constraint::one_of(
+                m.field,
+                allowed.iter().map(|v| Value::str(v.clone())),
+            ));
+        }
+        def = def.private(m.field);
+    }
+
+    Ok((
+        def,
+        ElementMapping {
+            tag: decl.name.clone(),
+            class,
+            content,
+            attrs: attr_mappings,
+        },
+    ))
+}
+
+/// Constraints induced by the content shape: `attr != nil` for required
+/// components, `attr != list()` for `+` lists; per-branch conjunctions for
+/// unions; `figure != nil | paragr != nil` style disjunction for unions of
+/// plain elements (Fig. 3 class Body).
+fn shape_constraints(content: &ContentKind) -> Vec<Constraint> {
+    let ContentKind::Structured { shape, .. } = content else {
+        return Vec::new();
+    };
+    match shape {
+        Shape::Tuple(fields) => tuple_constraints(fields, &[]),
+        Shape::Union(branches) => {
+            let mut out = Vec::new();
+            let mut all_leaf = true;
+            for (marker, s) in branches {
+                match s {
+                    Shape::Tuple(fields) => {
+                        all_leaf = false;
+                        let cs = tuple_constraints(fields, &[*marker]);
+                        if !cs.is_empty() {
+                            out.push(Constraint::AllOf(cs));
+                        }
+                    }
+                    Shape::Class(_) | Shape::Text => {}
+                    _ => all_leaf = false,
+                }
+            }
+            if all_leaf && !branches.is_empty() {
+                // union(figure: Figure + paragr: Paragr):
+                // figure != nil | paragr != nil
+                return vec![Constraint::AnyOf(
+                    branches
+                        .iter()
+                        .map(|(m, _)| Constraint::not_nil(*m))
+                        .collect(),
+                )];
+            }
+            out
+        }
+        _ => Vec::new(),
+    }
+}
+
+fn tuple_constraints(fields: &[(Sym, Shape)], prefix: &[Sym]) -> Vec<Constraint> {
+    let mut out = Vec::new();
+    for (name, s) in fields {
+        let mut path = prefix.to_vec();
+        path.push(*name);
+        match s {
+            Shape::Class(_) | Shape::Text | Shape::Tuple(_) | Shape::Union(_) => {
+                out.push(Constraint::NotNil(path));
+            }
+            Shape::List(_, true) => out.push(Constraint::NotEmptyList(path)),
+            Shape::List(_, false) => {}
+            Shape::Optional(_) => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use docql_sgml::fixtures::ARTICLE_DTD;
+
+    fn mapping() -> DtdMapping {
+        map_dtd(&Dtd::parse(ARTICLE_DTD).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn generates_fig3_article_class() {
+        let m = mapping();
+        let article = m.schema.hierarchy().get(sym("Article")).unwrap();
+        assert_eq!(
+            article.ty.to_string(),
+            "tuple(title: Title, authors: list(Author), affil: Affil, \
+             abstract: Abstract, sections: list(Section), acknowl: Acknowl, \
+             status: string)"
+        );
+        assert!(article.private_attrs.contains(&sym("status")));
+        // Fig. 3 constraints: title != nil, authors != list(), …, status range
+        let cs: Vec<String> = article.constraints.iter().map(|c| c.to_string()).collect();
+        assert!(cs.contains(&"title != nil".to_string()));
+        assert!(cs.contains(&"authors != list()".to_string()));
+        assert!(cs.contains(&"status in set(\"final\", \"draft\")".to_string()));
+    }
+
+    #[test]
+    fn generates_fig3_section_union() {
+        let m = mapping();
+        let section = m.schema.hierarchy().get(sym("Section")).unwrap();
+        assert_eq!(
+            section.ty.to_string(),
+            "union(a1: tuple(title: Title, bodies: list(Body)) + \
+             a2: tuple(title: Title, bodies: list(Body), subsectns: list(Subsectn)))"
+        );
+        // Per-branch constraints, as in Fig. 3.
+        let cs: Vec<String> = section.constraints.iter().map(|c| c.to_string()).collect();
+        assert!(cs.iter().any(|c| c.contains("a1.title != nil")), "{cs:?}");
+        assert!(cs.iter().any(|c| c.contains("a2.subsectns != list()")), "{cs:?}");
+    }
+
+    #[test]
+    fn generates_fig3_body_union_with_disjunction() {
+        let m = mapping();
+        let body = m.schema.hierarchy().get(sym("Body")).unwrap();
+        assert_eq!(
+            body.ty.to_string(),
+            "union(figure: Figure + paragr: Paragr)"
+        );
+        let cs: Vec<String> = body.constraints.iter().map(|c| c.to_string()).collect();
+        assert_eq!(cs, vec!["figure != nil | paragr != nil".to_string()]);
+    }
+
+    #[test]
+    fn text_classes_inherit_text() {
+        let m = mapping();
+        for name in ["Title", "Author", "Abstract", "Caption", "Acknowl"] {
+            let def = m.schema.hierarchy().get(sym(name)).unwrap();
+            assert_eq!(def.parents, vec![sym("Text")], "{name} should inherit Text");
+        }
+        assert!(m.schema.hierarchy().is_subclass(sym("Title"), sym("Text")));
+    }
+
+    #[test]
+    fn picture_inherits_bitmap() {
+        let m = mapping();
+        let pic = m.schema.hierarchy().get(sym("Picture")).unwrap();
+        assert_eq!(pic.parents, vec![sym("Bitmap")]);
+        // NMTOKEN and ENTITY attributes appended as private strings.
+        assert!(pic.ty.to_string().contains("sizex: string"));
+        assert!(pic.ty.to_string().contains("file: string"));
+    }
+
+    #[test]
+    fn figure_gets_id_backref_list_and_paragr_gets_object_ref() {
+        let m = mapping();
+        let fig = m.schema.hierarchy().get(sym("Figure")).unwrap();
+        assert!(
+            fig.ty.to_string().contains("label: list(any)"),
+            "Fig. 3: private label: list(Object) — got {}",
+            fig.ty
+        );
+        let par = m.schema.hierarchy().get(sym("Paragr")).unwrap();
+        assert!(par.ty.to_string().contains("reflabel: any"));
+        assert!(par
+            .constraints
+            .iter()
+            .any(|c| c.to_string() == "reflabel != nil"));
+        assert_eq!(par.parents, vec![sym("Text")]);
+    }
+
+    #[test]
+    fn root_of_persistence_matches_fig3() {
+        let m = mapping();
+        assert_eq!(m.root, sym("Articles"));
+        assert_eq!(
+            m.schema.root_type(sym("Articles")),
+            Some(&Type::list(Type::class("Article")))
+        );
+    }
+
+    #[test]
+    fn figure_optional_caption_unconstrained() {
+        let m = mapping();
+        let fig = m.schema.hierarchy().get(sym("Figure")).unwrap();
+        let cs: Vec<String> = fig.constraints.iter().map(|c| c.to_string()).collect();
+        assert!(cs.contains(&"picture != nil".to_string()));
+        assert!(
+            !cs.iter().any(|c| c.contains("caption")),
+            "caption? must not be constrained: {cs:?}"
+        );
+    }
+
+    #[test]
+    fn schema_is_well_formed() {
+        let m = mapping();
+        // builder.build() already validated; double-check hierarchy size:
+        // 13 element classes + Text + Bitmap.
+        assert_eq!(m.schema.hierarchy().len(), 15);
+    }
+}

@@ -1,0 +1,245 @@
+//! The shared *shape* of an element's content: the single recursion both the
+//! type generator (§3, Fig. 3) and the instance loader walk, guaranteeing
+//! that generated types and built values stay in lock-step.
+//!
+//! The `&` connector is expanded into a choice of permutations *before*
+//! shaping, so an `(to & from)` preamble becomes the marked union of the two
+//! attribute orders — exactly the paper's formal treatment of the letters
+//! example in §5.3:
+//! `[(a₁:[from,to,…] + a₂:[to,from,…])]`.
+
+use crate::names::{branch_name, class_name, group_name, plural};
+use docql_model::{sym, Sym, Type};
+use docql_sgml::ContentExpr;
+
+/// The shape of one field's content.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Shape {
+    /// A reference to an element → object of the element's class.
+    Class(String),
+    /// `#PCDATA` → string.
+    Text,
+    /// An ordered group `(…, …)` → tuple.
+    Tuple(Vec<(Sym, Shape)>),
+    /// A choice `(… | …)` → marked union.
+    Union(Vec<(Sym, Shape)>),
+    /// `+` / `*` → list. `min_one` records `+` (for constraints).
+    List(Box<Shape>, bool),
+    /// `?` → the inner shape, nilable.
+    Optional(Box<Shape>),
+}
+
+impl Shape {
+    /// Shape of a (already `&`-expanded) content expression appearing as the
+    /// body of an element declaration.
+    pub fn of_expr(expr: &ContentExpr) -> Shape {
+        match expr {
+            ContentExpr::Pcdata => Shape::Text,
+            ContentExpr::Ref(n) => Shape::Class(n.clone()),
+            ContentExpr::Seq(items) => Shape::Tuple(seq_fields(items)),
+            ContentExpr::Choice(alts) => Shape::Union(choice_branches(alts)),
+            ContentExpr::And(_) => unreachable!("& groups are expanded before shaping"),
+            ContentExpr::Occur(inner, occ) => {
+                let inner_shape = Shape::of_expr(inner);
+                match occ {
+                    docql_sgml::Occurrence::Opt => Shape::Optional(Box::new(inner_shape)),
+                    docql_sgml::Occurrence::Plus => Shape::List(Box::new(inner_shape), true),
+                    docql_sgml::Occurrence::Star => Shape::List(Box::new(inner_shape), false),
+                }
+            }
+        }
+    }
+
+    /// The O₂ type this shape maps to.
+    pub fn to_type(&self) -> Type {
+        match self {
+            Shape::Class(tag) => Type::class(class_name(tag).as_str()),
+            Shape::Text => Type::String,
+            Shape::Tuple(fields) => {
+                Type::Tuple(fields.iter().map(|(n, s)| docql_model::Field::new(*n, s.to_type())).collect())
+            }
+            Shape::Union(branches) => {
+                Type::Union(branches.iter().map(|(n, s)| docql_model::Field::new(*n, s.to_type())).collect())
+            }
+            Shape::List(inner, _) => Type::list(inner.to_type()),
+            Shape::Optional(inner) => inner.to_type(),
+        }
+    }
+}
+
+/// Field naming for the members of an ordered group (Fig. 3):
+/// `title` → `title: Title`; `author+` → `authors: list(Author)`;
+/// unnamed nested groups → `g1, g2, …`.
+fn seq_fields(items: &[ContentExpr]) -> Vec<(Sym, Shape)> {
+    let mut out = Vec::new();
+    let mut group_counter = 0usize;
+    for item in items {
+        let (name, shape) = field_of(item, &mut group_counter);
+        out.push((name, shape));
+    }
+    // Disambiguate repeated names (e.g. (a, b, a)) with suffixes.
+    let mut seen: Vec<Sym> = Vec::new();
+    for i in 0..out.len() {
+        if seen.contains(&out[i].0) {
+            let mut k = 2;
+            loop {
+                let candidate = sym(&format!("{}_{k}", out[i].0));
+                if !seen.contains(&candidate) && !out.iter().any(|(n, _)| *n == candidate) {
+                    out[i].0 = candidate;
+                    break;
+                }
+                k += 1;
+            }
+        }
+        seen.push(out[i].0);
+    }
+    out
+}
+
+fn field_of(item: &ContentExpr, group_counter: &mut usize) -> (Sym, Shape) {
+    match item {
+        ContentExpr::Ref(n) => (sym(n), Shape::Class(n.clone())),
+        ContentExpr::Pcdata => (sym("text"), Shape::Text),
+        ContentExpr::Occur(inner, occ) => {
+            let (base_name, inner_shape) = field_of(inner, group_counter);
+            match occ {
+                docql_sgml::Occurrence::Opt => {
+                    (base_name, Shape::Optional(Box::new(inner_shape)))
+                }
+                docql_sgml::Occurrence::Plus => (
+                    sym(&plural(base_name.as_str())),
+                    Shape::List(Box::new(inner_shape), true),
+                ),
+                docql_sgml::Occurrence::Star => (
+                    sym(&plural(base_name.as_str())),
+                    Shape::List(Box::new(inner_shape), false),
+                ),
+            }
+        }
+        ContentExpr::Seq(items) => {
+            let name = sym(&group_name(*group_counter));
+            *group_counter += 1;
+            (name, Shape::Tuple(seq_fields(items)))
+        }
+        ContentExpr::Choice(alts) => {
+            let name = sym(&group_name(*group_counter));
+            *group_counter += 1;
+            (name, Shape::Union(choice_branches(alts)))
+        }
+        ContentExpr::And(_) => unreachable!("& groups are expanded before shaping"),
+    }
+}
+
+/// Branch naming for choices: a plain element keeps its name
+/// (`union(figure: Figure, paragr: Paragr)`, Fig. 3 class Body); unnamed
+/// groups get system-supplied `a1, a2, …` (Fig. 3 class Section).
+fn choice_branches(alts: &[ContentExpr]) -> Vec<(Sym, Shape)> {
+    let any_group = alts
+        .iter()
+        .any(|a| !matches!(a, ContentExpr::Ref(_) | ContentExpr::Pcdata));
+    alts.iter()
+        .enumerate()
+        .map(|(i, alt)| match alt {
+            ContentExpr::Ref(n) if !any_group => (sym(n), Shape::Class(n.clone())),
+            ContentExpr::Pcdata if !any_group => (sym("text"), Shape::Text),
+            other => (sym(&branch_name(i)), Shape::of_expr(other)),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use docql_sgml::Dtd;
+
+    fn expr(model: &str) -> ContentExpr {
+        let dtd = Dtd::parse(&format!("<!ELEMENT x - - {model}>")).unwrap();
+        match &dtd.element("x").unwrap().content {
+            docql_sgml::ContentModel::Model(e) => {
+                docql_sgml::content::expand_and(e).unwrap()
+            }
+            docql_sgml::ContentModel::Pcdata => ContentExpr::Pcdata,
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn article_shape_matches_fig3() {
+        let s = Shape::of_expr(&expr(
+            "(title, author+, affil, abstract, section+, acknowl)",
+        ));
+        let t = s.to_type();
+        assert_eq!(
+            t.to_string(),
+            "tuple(title: Title, authors: list(Author), affil: Affil, \
+             abstract: Abstract, sections: list(Section), acknowl: Acknowl)"
+        );
+    }
+
+    #[test]
+    fn section_shape_matches_fig3() {
+        let s = Shape::of_expr(&expr("((title, body+) | (title, body*, subsectn+))"));
+        let t = s.to_type();
+        assert_eq!(
+            t.to_string(),
+            "union(a1: tuple(title: Title, bodies: list(Body)) + \
+             a2: tuple(title: Title, bodies: list(Body), subsectns: list(Subsectn)))"
+        );
+    }
+
+    #[test]
+    fn body_shape_keeps_element_branch_names() {
+        let s = Shape::of_expr(&expr("(figure | paragr)"));
+        assert_eq!(
+            s.to_type().to_string(),
+            "union(figure: Figure + paragr: Paragr)"
+        );
+    }
+
+    #[test]
+    fn figure_shape_with_optional() {
+        let s = Shape::of_expr(&expr("(picture, caption?)"));
+        assert_eq!(
+            s.to_type().to_string(),
+            "tuple(picture: Picture, caption: Caption)"
+        );
+    }
+
+    #[test]
+    fn and_group_becomes_union_of_permutations() {
+        // (to & from) → union(a1: tuple(to, from) + a2: tuple(from, to)) —
+        // the §5.3 letters type.
+        let s = Shape::of_expr(&expr("(to & from)"));
+        assert_eq!(
+            s.to_type().to_string(),
+            "union(a1: tuple(to: To, from: From) + a2: tuple(from: From, to: To))"
+        );
+    }
+
+    #[test]
+    fn nested_group_gets_system_name() {
+        let s = Shape::of_expr(&expr("(title, (figure, caption)+)"));
+        assert_eq!(
+            s.to_type().to_string(),
+            "tuple(title: Title, g1s: list(tuple(figure: Figure, caption: Caption)))"
+        );
+    }
+
+    #[test]
+    fn duplicate_field_names_disambiguated() {
+        let s = Shape::of_expr(&expr("(title, body, title)"));
+        assert_eq!(
+            s.to_type().to_string(),
+            "tuple(title: Title, body: Body, title_2: Title)"
+        );
+    }
+
+    #[test]
+    fn mixed_content_choice() {
+        let s = Shape::of_expr(&expr("((#PCDATA | figure)*)"));
+        assert_eq!(
+            s.to_type().to_string(),
+            "list(union(text: string + figure: Figure))"
+        );
+    }
+}

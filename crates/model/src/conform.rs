@@ -1,0 +1,233 @@
+//! Type interpretations `dom(τ)` as a membership test (§5.1).
+//!
+//! The paper defines `dom(τ)` denotationally; operationally we provide
+//! `conforms(v, τ, instance)` deciding `v ∈ dom(τ)`. The instance supplies
+//! the oid assignment `π` needed for class types.
+//!
+//! Salient points, straight from the paper's definition:
+//! * `dom(c) = π(c) ∪ {nil}` — `nil` belongs to every class type;
+//! * `dom([a₁:τ₁,…,aₖ:τₖ])` contains tuples with *additional* attributes
+//!   (`l ≥ 0` extras) — width subtyping at the value level;
+//! * `dom((a₁:τ₁+…+aₖ:τₖ)) = ∪ dom([aᵢ:τᵢ])` — a union member is any value
+//!   that is (≡ to) a tuple providing one of the marked alternatives;
+//! * `dom(any) = ∪ π(c)` — all oids.
+
+use crate::instance::Instance;
+use crate::types::Type;
+use crate::value::Value;
+
+/// Decide `v ∈ dom(τ)` relative to an instance (for `π`) and its schema
+/// (for `σ` and `≺`).
+pub fn conforms(v: &Value, ty: &Type, instance: &Instance) -> bool {
+    match (v, ty) {
+        // nil is the undefined value: member of every class type (dom(c)
+        // includes nil) but of no atomic/collection type.
+        (Value::Nil, Type::Class(_)) => true,
+        (Value::Nil, Type::Any) => true,
+        (Value::Nil, _) => false,
+        (Value::Int(_), Type::Integer) => true,
+        // integer ⊆ float at the value level mirrors integer ≤ float.
+        (Value::Int(_), Type::Float) => true,
+        (Value::Float(_), Type::Float) => true,
+        (Value::Bool(_), Type::Boolean) => true,
+        (Value::Str(_), Type::String) => true,
+        (Value::Oid(o), Type::Any) => instance.class_of(*o).is_ok(),
+        (Value::Oid(o), Type::Class(c)) => instance.oid_in_class(*o, *c),
+        (Value::List(items), Type::List(t)) => {
+            items.iter().all(|x| conforms(x, t, instance))
+        }
+        (Value::Set(items), Type::Set(t)) => {
+            items.iter().all(|x| conforms(x, t, instance))
+        }
+        (Value::Tuple(fields), Type::Tuple(fs)) => {
+            // The type's attributes must appear in the value as an
+            // order-preserving subsequence, each component conforming.
+            let mut pos = 0;
+            'outer: for f in fs {
+                while pos < fields.len() {
+                    let (name, val) = &fields[pos];
+                    pos += 1;
+                    if *name == f.name {
+                        if conforms(val, &f.ty, instance) {
+                            continue 'outer;
+                        }
+                        return false;
+                    }
+                }
+                return false;
+            }
+            true
+        }
+        // A marked-union *value* conforms to a union type when its marker
+        // names an alternative and the payload conforms.
+        (Value::Union(m, payload), Type::Union(us)) => us
+            .iter()
+            .any(|u| u.name == *m && conforms(payload, &u.ty, instance)),
+        // dom(union) = ∪ dom([aᵢ:τᵢ]): a plain tuple is in the union's domain
+        // if it is in the domain of one of the singleton-tuple types.
+        (Value::Tuple(_), Type::Union(us)) => us.iter().any(|u| {
+            conforms(
+                v,
+                &Type::Tuple(vec![u.clone()]),
+                instance,
+            )
+        }),
+        // A marked-union value viewed as a singleton tuple (≡) against a
+        // tuple type.
+        (Value::Union(m, payload), Type::Tuple(fs)) => match fs.len() {
+            0 => true,
+            1 => fs[0].name == *m && conforms(payload, &fs[0].ty, instance),
+            _ => false,
+        },
+        // Tuple-as-heterogeneous-list (§5.1 rule 2): a tuple value belongs to
+        // a list type when each component, viewed as a singleton, does.
+        (Value::Tuple(fields), Type::List(t)) => fields
+            .iter()
+            .all(|(n, val)| conforms(&Value::Union(*n, Box::new(val.clone())), t, instance)),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::ClassDef;
+    use crate::schema::Schema;
+    use std::sync::Arc;
+
+    fn inst() -> Instance {
+        let schema = Arc::new(
+            Schema::builder()
+                .class(ClassDef::new(
+                    "Text",
+                    Type::tuple([("contents", Type::String)]),
+                ))
+                .class(ClassDef::new("Title", Type::Any).inherit("Text"))
+                .class(ClassDef::new("Bitmap", Type::tuple([("bits", Type::String)])))
+                .build()
+                .unwrap(),
+        );
+        Instance::new(schema)
+    }
+
+    #[test]
+    fn atomic_membership() {
+        let i = inst();
+        assert!(conforms(&Value::Int(3), &Type::Integer, &i));
+        assert!(conforms(&Value::Int(3), &Type::Float, &i));
+        assert!(!conforms(&Value::Float(3.0), &Type::Integer, &i));
+        assert!(conforms(&Value::str("x"), &Type::String, &i));
+        assert!(!conforms(&Value::Bool(true), &Type::String, &i));
+    }
+
+    #[test]
+    fn nil_in_class_types_only() {
+        let i = inst();
+        assert!(conforms(&Value::Nil, &Type::class("Text"), &i));
+        assert!(conforms(&Value::Nil, &Type::Any, &i));
+        assert!(!conforms(&Value::Nil, &Type::Integer, &i));
+        assert!(!conforms(&Value::Nil, &Type::list(Type::Integer), &i));
+    }
+
+    #[test]
+    fn oid_membership_uses_pi() {
+        let mut i = inst();
+        let o = i
+            .new_object("Title", Value::tuple([("contents", Value::str("t"))]))
+            .unwrap();
+        assert!(conforms(&Value::Oid(o), &Type::class("Title"), &i));
+        assert!(conforms(&Value::Oid(o), &Type::class("Text"), &i));
+        assert!(!conforms(&Value::Oid(o), &Type::class("Bitmap"), &i));
+        assert!(conforms(&Value::Oid(o), &Type::Any, &i));
+    }
+
+    #[test]
+    fn tuple_width_membership() {
+        let i = inst();
+        // dom([a:int]) contains tuples with extra attributes.
+        let v = Value::tuple([
+            ("a", Value::Int(1)),
+            ("b", Value::str("x")),
+        ]);
+        assert!(conforms(&v, &Type::tuple([("a", Type::Integer)]), &i));
+        assert!(conforms(
+            &v,
+            &Type::tuple([("a", Type::Integer), ("b", Type::String)]),
+            &i
+        ));
+        // Order matters: [b, a] required but value has [a, b].
+        assert!(!conforms(
+            &v,
+            &Type::tuple([("b", Type::String), ("a", Type::Integer)]),
+            &i
+        ));
+        assert!(!conforms(&v, &Type::tuple([("c", Type::Integer)]), &i));
+    }
+
+    #[test]
+    fn union_membership() {
+        let i = inst();
+        let uty = Type::union([("a", Type::Integer), ("b", Type::String)]);
+        assert!(conforms(&Value::union("a", Value::Int(1)), &uty, &i));
+        assert!(conforms(&Value::union("b", Value::str("x")), &uty, &i));
+        assert!(!conforms(&Value::union("c", Value::Int(1)), &uty, &i));
+        assert!(!conforms(&Value::union("a", Value::str("wrong")), &uty, &i));
+        // Plain tuples providing an alternative are in dom(union).
+        assert!(conforms(&Value::tuple([("a", Value::Int(1))]), &uty, &i));
+    }
+
+    #[test]
+    fn tuple_as_hetero_list_membership() {
+        let i = inst();
+        // [from:…, to:…] ∈ dom([(from:string + to:string)])
+        let letter = Value::tuple([
+            ("from", Value::str("bob")),
+            ("to", Value::str("alice")),
+        ]);
+        let hetero = Type::list(Type::union([
+            ("from", Type::String),
+            ("to", Type::String),
+        ]));
+        assert!(conforms(&letter, &hetero, &i));
+        // A list of marked values conforms likewise.
+        let as_list = Value::list([
+            Value::union("from", Value::str("bob")),
+            Value::union("to", Value::str("alice")),
+        ]);
+        assert!(conforms(&as_list, &hetero, &i));
+    }
+
+    #[test]
+    fn collections_check_elements() {
+        let i = inst();
+        assert!(conforms(
+            &Value::list([Value::Int(1), Value::Int(2)]),
+            &Type::list(Type::Integer),
+            &i
+        ));
+        assert!(!conforms(
+            &Value::list([Value::Int(1), Value::str("x")]),
+            &Type::list(Type::Integer),
+            &i
+        ));
+        assert!(conforms(
+            &Value::set([Value::str("a")]),
+            &Type::set(Type::String),
+            &i
+        ));
+        assert!(conforms(&Value::List(vec![]), &Type::list(Type::Integer), &i));
+    }
+
+    #[test]
+    fn subtype_implies_dom_containment_sampled() {
+        // τ ≤ τ' ⇒ dom(τ) ⊆ dom(τ') on a few witnesses.
+        let i = inst();
+        let sub = Type::tuple([("a", Type::Integer), ("b", Type::String)]);
+        let sup = Type::union([("a", Type::Integer), ("b", Type::String)]);
+        let witness = Value::tuple([("a", Value::Int(1)), ("b", Value::str("s"))]);
+        let ops = i.schema().type_ops();
+        assert!(ops.is_subtype(&sub, &sup));
+        assert!(conforms(&witness, &sub, &i));
+        assert!(conforms(&witness, &sup, &i));
+    }
+}

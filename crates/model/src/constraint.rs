@@ -1,0 +1,311 @@
+//! Class constraints (Fig. 3).
+//!
+//! The SGML→O₂ mapping emits constraints "to capture certain aspects of
+//! occurrence indicators, the fact that some attributes are required and
+//! also the range restrictions" — e.g. for `Article`:
+//! `title != nil, authors != list(), status in set("final", "draft")`.
+//! The paper then sets constraints aside; we implement the checker because
+//! the document loader uses it to validate loaded instances.
+
+use crate::instance::Instance;
+use crate::sym::Sym;
+use crate::value::Value;
+use std::fmt;
+
+/// A constraint over a class's value. Attribute paths address nested
+/// components: e.g. `a1.title` in Fig. 3's `Section` constraint.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Constraint {
+    /// `attr != nil`
+    NotNil(Vec<Sym>),
+    /// `attr != list()` — non-empty list (covers the `+` occurrence indicator).
+    NotEmptyList(Vec<Sym>),
+    /// `attr in set(v₁, …, vₙ)` — range restriction (SGML enumerated attributes).
+    OneOf(Vec<Sym>, Vec<Value>),
+    /// Disjunction, e.g. `figure != nil | paragr != nil` on class `Body`.
+    AnyOf(Vec<Constraint>),
+    /// Conjunction grouping, used for per-branch union constraints:
+    /// `(a1.title != nil, a1.bodies != list())`.
+    AllOf(Vec<Constraint>),
+}
+
+impl Constraint {
+    /// `attr != nil` on a top-level attribute.
+    pub fn not_nil(attr: impl Into<Sym>) -> Constraint {
+        Constraint::NotNil(vec![attr.into()])
+    }
+
+    /// `attr != list()` on a top-level attribute.
+    pub fn not_empty(attr: impl Into<Sym>) -> Constraint {
+        Constraint::NotEmptyList(vec![attr.into()])
+    }
+
+    /// `attr in set(…)` on a top-level attribute.
+    pub fn one_of<I: IntoIterator<Item = Value>>(attr: impl Into<Sym>, vals: I) -> Constraint {
+        Constraint::OneOf(vec![attr.into()], vals.into_iter().collect())
+    }
+}
+
+fn path_to_string(path: &[Sym]) -> String {
+    path.iter()
+        .map(|s| s.as_str())
+        .collect::<Vec<_>>()
+        .join(".")
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constraint::NotNil(p) => write!(f, "{} != nil", path_to_string(p)),
+            Constraint::NotEmptyList(p) => write!(f, "{} != list()", path_to_string(p)),
+            Constraint::OneOf(p, vals) => {
+                let vs: Vec<String> = vals.iter().map(|v| v.to_string()).collect();
+                write!(f, "{} in set({})", path_to_string(p), vs.join(", "))
+            }
+            Constraint::AnyOf(cs) => {
+                let parts: Vec<String> = cs.iter().map(|c| c.to_string()).collect();
+                write!(f, "{}", parts.join(" | "))
+            }
+            Constraint::AllOf(cs) => {
+                let parts: Vec<String> = cs.iter().map(|c| c.to_string()).collect();
+                write!(f, "({})", parts.join(", "))
+            }
+        }
+    }
+}
+
+/// Evaluates constraints against object values, dereferencing oids through
+/// the instance where a path crosses an object boundary.
+pub struct ConstraintChecker<'i> {
+    instance: &'i Instance,
+}
+
+impl<'i> ConstraintChecker<'i> {
+    /// Checker bound to an instance.
+    pub fn new(instance: &'i Instance) -> ConstraintChecker<'i> {
+        ConstraintChecker { instance }
+    }
+
+    /// Check one constraint on a value. `Err(detail)` describes the
+    /// violation.
+    pub fn check(&self, c: &Constraint, value: &Value) -> Result<(), String> {
+        match c {
+            Constraint::NotNil(path) => match self.resolve(value, path) {
+                // A union value not carrying the constrained branch is
+                // vacuously fine (per-branch constraints in Fig. 3 apply
+                // only when that branch was chosen).
+                None => Ok(()),
+                Some(v) if v.is_nil() => {
+                    Err(format!("{} is nil", path_to_string(path)))
+                }
+                Some(_) => Ok(()),
+            },
+            Constraint::NotEmptyList(path) => match self.resolve(value, path) {
+                None => Ok(()),
+                Some(Value::List(items)) if items.is_empty() => {
+                    Err(format!("{} is the empty list", path_to_string(path)))
+                }
+                Some(_) => Ok(()),
+            },
+            Constraint::OneOf(path, allowed) => match self.resolve(value, path) {
+                None => Ok(()),
+                Some(v) => {
+                    if allowed.iter().any(|a| a == v) {
+                        Ok(())
+                    } else {
+                        Err(format!(
+                            "{} = {} not in {{{}}}",
+                            path_to_string(path),
+                            v,
+                            allowed
+                                .iter()
+                                .map(|a| a.to_string())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ))
+                    }
+                }
+            },
+            Constraint::AnyOf(cs) => {
+                let mut details = Vec::new();
+                for sub in cs {
+                    match self.check(sub, value) {
+                        Ok(()) => return Ok(()),
+                        Err(d) => details.push(d),
+                    }
+                }
+                Err(format!("no alternative holds: {}", details.join(" | ")))
+            }
+            Constraint::AllOf(cs) => {
+                for sub in cs {
+                    self.check(sub, value)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Resolve an attribute path against a value. Returns `None` when a
+    /// marker on the path names a branch the value does not carry (vacuous),
+    /// and `Some(&nil)`-like values otherwise. Oids are dereferenced.
+    fn resolve<'v>(&self, value: &'v Value, path: &[Sym]) -> Option<&'v Value>
+    where
+        'i: 'v,
+    {
+        let mut cur = value;
+        for (i, step) in path.iter().enumerate() {
+            cur = match self.instance.deref(cur) {
+                Ok(v) => v,
+                Err(_) => return None,
+            };
+            match cur.attr(*step) {
+                Some(v) => cur = v,
+                // Missing leaf attribute is reported as nil (violation for
+                // NotNil), but a missing *branch marker* earlier on the path
+                // is vacuous.
+                None => {
+                    return if i + 1 == path.len() && !matches!(cur, Value::Union(..)) {
+                        Some(&Value::Nil)
+                    } else {
+                        None
+                    };
+                }
+            }
+        }
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::ClassDef;
+    use crate::schema::Schema;
+    use crate::sym::sym;
+    use crate::types::Type;
+    use std::sync::Arc;
+
+    fn inst() -> Instance {
+        let schema = Arc::new(
+            Schema::builder()
+                .class(ClassDef::new("C", Type::Any))
+                .build()
+                .unwrap(),
+        );
+        Instance::new(schema)
+    }
+
+    #[test]
+    fn not_nil_violation() {
+        let i = inst();
+        let ch = ConstraintChecker::new(&i);
+        let c = Constraint::not_nil("title");
+        assert!(ch
+            .check(&c, &Value::tuple([("title", Value::str("x"))]))
+            .is_ok());
+        assert!(ch.check(&c, &Value::tuple([("title", Value::Nil)])).is_err());
+        // Missing attribute counts as nil.
+        assert!(ch.check(&c, &Value::tuple([("other", Value::Int(1))])).is_err());
+    }
+
+    #[test]
+    fn not_empty_list() {
+        let i = inst();
+        let ch = ConstraintChecker::new(&i);
+        let c = Constraint::not_empty("authors");
+        assert!(ch
+            .check(&c, &Value::tuple([("authors", Value::list([Value::Int(1)]))]))
+            .is_ok());
+        assert!(ch
+            .check(&c, &Value::tuple([("authors", Value::List(vec![]))]))
+            .is_err());
+    }
+
+    #[test]
+    fn one_of_range_restriction() {
+        let i = inst();
+        let ch = ConstraintChecker::new(&i);
+        let c = Constraint::one_of("status", [Value::str("final"), Value::str("draft")]);
+        assert!(ch
+            .check(&c, &Value::tuple([("status", Value::str("draft"))]))
+            .is_ok());
+        let err = ch
+            .check(&c, &Value::tuple([("status", Value::str("published"))]))
+            .unwrap_err();
+        assert!(err.contains("published"));
+    }
+
+    #[test]
+    fn any_of_body_constraint() {
+        // Body: figure != nil | paragr != nil
+        let i = inst();
+        let ch = ConstraintChecker::new(&i);
+        let c = Constraint::AnyOf(vec![
+            Constraint::not_nil("figure"),
+            Constraint::not_nil("paragr"),
+        ]);
+        assert!(ch
+            .check(&c, &Value::union("paragr", Value::str("text")))
+            .is_ok());
+        assert!(ch
+            .check(
+                &c,
+                &Value::tuple([("figure", Value::Nil), ("paragr", Value::Nil)])
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn union_branch_constraints_are_vacuous_on_other_branch() {
+        // Section: (a1.title != nil, a1.bodies != list()) applies only to a1.
+        let i = inst();
+        let ch = ConstraintChecker::new(&i);
+        let c = Constraint::AllOf(vec![
+            Constraint::NotNil(vec![sym("a1"), sym("title")]),
+            Constraint::NotEmptyList(vec![sym("a1"), sym("bodies")]),
+        ]);
+        let a2_section = Value::union(
+            "a2",
+            Value::tuple([
+                ("title", Value::str("t")),
+                ("subsectns", Value::list([Value::Int(0)])),
+            ]),
+        );
+        assert!(ch.check(&c, &a2_section).is_ok(), "a1 constraints vacuous on a2");
+        let bad_a1 = Value::union(
+            "a1",
+            Value::tuple([("title", Value::Nil), ("bodies", Value::list([Value::Int(0)]))]),
+        );
+        assert!(ch.check(&c, &bad_a1).is_err());
+    }
+
+    #[test]
+    fn paths_deref_objects() {
+        let mut i = inst();
+        let o = i
+            .new_object("C", Value::tuple([("title", Value::Nil)]))
+            .unwrap();
+        let ch = ConstraintChecker::new(&i);
+        let holder = Value::tuple([("child", Value::Oid(o))]);
+        let c = Constraint::NotNil(vec![sym("child"), sym("title")]);
+        assert!(ch.check(&c, &holder).is_err());
+    }
+
+    #[test]
+    fn display_matches_fig3_syntax() {
+        let c = Constraint::AllOf(vec![
+            Constraint::not_nil("title"),
+            Constraint::not_empty("authors"),
+            Constraint::one_of("status", [Value::str("final"), Value::str("draft")]),
+        ]);
+        assert_eq!(
+            c.to_string(),
+            "(title != nil, authors != list(), status in set(\"final\", \"draft\"))"
+        );
+        let d = Constraint::AnyOf(vec![
+            Constraint::not_nil("figure"),
+            Constraint::not_nil("paragr"),
+        ]);
+        assert_eq!(d.to_string(), "figure != nil | paragr != nil");
+    }
+}

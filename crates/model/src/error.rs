@@ -1,0 +1,74 @@
+//! Error type for the data-model crate.
+
+use crate::sym::Sym;
+use crate::types::Type;
+use std::fmt;
+
+/// Errors raised while building or validating schemas and instances.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A class name was declared twice in the same hierarchy.
+    DuplicateClass(Sym),
+    /// A class, referenced from a type or an inheritance edge, is not declared.
+    UnknownClass(Sym),
+    /// A root of persistence name was declared twice.
+    DuplicateRoot(Sym),
+    /// A referenced root of persistence does not exist.
+    UnknownRoot(Sym),
+    /// The inheritance declaration `sub ≺ super` violates well-formedness:
+    /// σ(sub) is not a subtype of σ(super).
+    IllFormedInheritance { sub: Sym, sup: Sym },
+    /// The inheritance relation contains a cycle through this class.
+    InheritanceCycle(Sym),
+    /// A tuple or union type repeats an attribute name.
+    DuplicateAttribute { in_type: Type, attr: Sym },
+    /// A union type with no alternatives (the paper's unions are non-empty).
+    EmptyUnion,
+    /// An object id is not allocated in the instance.
+    DanglingOid(crate::value::Oid),
+    /// A value does not belong to the interpretation `dom(τ)` of the type it
+    /// was declared with.
+    TypeMismatch {
+        context: String,
+        expected: Type,
+        got: String,
+    },
+    /// A constraint attached to a class is violated by an object's value.
+    ConstraintViolation { class: Sym, detail: String },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::DuplicateClass(c) => write!(f, "class `{c}` declared twice"),
+            ModelError::UnknownClass(c) => write!(f, "unknown class `{c}`"),
+            ModelError::DuplicateRoot(g) => write!(f, "root of persistence `{g}` declared twice"),
+            ModelError::UnknownRoot(g) => write!(f, "unknown root of persistence `{g}`"),
+            ModelError::IllFormedInheritance { sub, sup } => write!(
+                f,
+                "ill-formed hierarchy: σ({sub}) is not a subtype of σ({sup}) although {sub} ≺ {sup}"
+            ),
+            ModelError::InheritanceCycle(c) => {
+                write!(f, "inheritance cycle through class `{c}`")
+            }
+            ModelError::DuplicateAttribute { in_type, attr } => {
+                write!(f, "attribute `{attr}` repeated in type {in_type}")
+            }
+            ModelError::EmptyUnion => write!(f, "union type with no alternatives"),
+            ModelError::DanglingOid(o) => write!(f, "dangling object identifier {o}"),
+            ModelError::TypeMismatch {
+                context,
+                expected,
+                got,
+            } => write!(f, "{context}: value {got} is not in dom({expected})"),
+            ModelError::ConstraintViolation { class, detail } => {
+                write!(f, "constraint violation on class `{class}`: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ModelError>;

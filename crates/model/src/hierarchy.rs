@@ -1,0 +1,339 @@
+//! Class hierarchies `(C, σ, ≺)` (§5.1).
+//!
+//! `C` is a finite set of class names, `σ` maps each class to a type, and `≺`
+//! is a partial order (inheritance). A hierarchy is *well-formed* when
+//! `c ≺ c'` implies `σ(c) ≤ σ(c')`; well-formedness is checked by
+//! [`ClassHierarchy::validate`] (it requires the subtyping relation of
+//! [`crate::subtype`], which in turn needs the hierarchy — validation is
+//! therefore performed on the completed hierarchy, exactly as in the paper
+//! where `≤` is defined relative to `(C, σ, ≺)`).
+
+use crate::constraint::Constraint;
+use crate::error::{ModelError, Result};
+use crate::sym::Sym;
+use crate::types::Type;
+use std::collections::HashMap;
+
+/// A class declaration: name, structural type `σ(c)`, direct superclasses,
+/// and the constraints the SGML mapping attaches (Fig. 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassDef {
+    /// Class name.
+    pub name: Sym,
+    /// Structural type `σ(c)`.
+    pub ty: Type,
+    /// Direct superclasses (the `inherit` clause of Fig. 3).
+    pub parents: Vec<Sym>,
+    /// Class constraints (`constraint:` clauses of Fig. 3).
+    pub constraints: Vec<Constraint>,
+    /// Attributes marked `private` in the class type (e.g. `status` in
+    /// `Article`). Privacy does not affect the formal model; it is kept for
+    /// faithful Fig. 3 rendering and for the surface language to warn on.
+    pub private_attrs: Vec<Sym>,
+}
+
+impl ClassDef {
+    /// A class with only a type (no parents, constraints or private attrs).
+    pub fn new(name: impl Into<Sym>, ty: Type) -> ClassDef {
+        ClassDef {
+            name: name.into(),
+            ty,
+            parents: Vec::new(),
+            constraints: Vec::new(),
+            private_attrs: Vec::new(),
+        }
+    }
+
+    /// Add a direct superclass.
+    pub fn inherit(mut self, parent: impl Into<Sym>) -> ClassDef {
+        self.parents.push(parent.into());
+        self
+    }
+
+    /// Attach a constraint.
+    pub fn constrained(mut self, c: Constraint) -> ClassDef {
+        self.constraints.push(c);
+        self
+    }
+
+    /// Mark an attribute private.
+    pub fn private(mut self, attr: impl Into<Sym>) -> ClassDef {
+        self.private_attrs.push(attr.into());
+        self
+    }
+}
+
+/// A class hierarchy `(C, σ, ≺)` with the transitive closure of `≺`
+/// precomputed for O(1) subclass tests.
+#[derive(Debug, Clone, Default)]
+pub struct ClassHierarchy {
+    classes: Vec<ClassDef>,
+    index: HashMap<Sym, usize>,
+    /// `ancestors[i]` = indices of all strict ancestors of class `i`.
+    ancestors: Vec<Vec<usize>>,
+}
+
+impl ClassHierarchy {
+    /// Empty hierarchy.
+    pub fn new() -> ClassHierarchy {
+        ClassHierarchy::default()
+    }
+
+    /// Add a class. Ancestor closure is recomputed by [`Self::finish`].
+    pub fn add(&mut self, def: ClassDef) -> Result<()> {
+        if self.index.contains_key(&def.name) {
+            return Err(ModelError::DuplicateClass(def.name));
+        }
+        def.ty.validate()?;
+        self.index.insert(def.name, self.classes.len());
+        self.classes.push(def);
+        Ok(())
+    }
+
+    /// Recompute the ancestor closure and check declarations are resolvable
+    /// and acyclic. Must be called after the last [`Self::add`];
+    /// [`crate::schema::SchemaBuilder`] does this automatically.
+    pub fn finish(&mut self) -> Result<()> {
+        let n = self.classes.len();
+        self.ancestors = vec![Vec::new(); n];
+        // Depth-first closure with cycle detection.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Mark {
+            White,
+            Grey,
+            Black,
+        }
+        let mut marks = vec![Mark::White; n];
+        fn visit(
+            i: usize,
+            classes: &[ClassDef],
+            index: &HashMap<Sym, usize>,
+            ancestors: &mut Vec<Vec<usize>>,
+            marks: &mut Vec<Mark>,
+        ) -> Result<()> {
+            match marks[i] {
+                Mark::Black => return Ok(()),
+                Mark::Grey => return Err(ModelError::InheritanceCycle(classes[i].name)),
+                Mark::White => {}
+            }
+            marks[i] = Mark::Grey;
+            let parents = classes[i].parents.clone();
+            for p in parents {
+                let j = *index
+                    .get(&p)
+                    .ok_or(ModelError::UnknownClass(p))?;
+                visit(j, classes, index, ancestors, marks)?;
+                let mut inherited = ancestors[j].clone();
+                inherited.push(j);
+                for a in inherited {
+                    if !ancestors[i].contains(&a) {
+                        ancestors[i].push(a);
+                    }
+                }
+            }
+            marks[i] = Mark::Black;
+            Ok(())
+        }
+        for i in 0..n {
+            visit(i, &self.classes, &self.index, &mut self.ancestors, &mut marks)?;
+        }
+        // Every class referenced from a σ(c) must be declared.
+        for def in &self.classes {
+            let mut refs = Vec::new();
+            def.ty.referenced_classes(&mut refs);
+            for c in refs {
+                if !self.index.contains_key(&c) {
+                    return Err(ModelError::UnknownClass(c));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Well-formedness (§5.1): for each `c ≺ c'`, `σ(c) ≤ σ(c')`.
+    pub fn validate(&self) -> Result<()> {
+        let ops = crate::subtype::TypeOps::new(self);
+        for def in &self.classes {
+            // A class declared without a local type (`class Title inherit
+            // Text`, Fig. 3) has σ(Title) = σ(Text): compare resolved types.
+            let sub_ty = self
+                .resolved_sigma(def.name)
+                .ok_or(ModelError::UnknownClass(def.name))?;
+            for p in &def.parents {
+                let sup_ty = self
+                    .resolved_sigma(*p)
+                    .ok_or(ModelError::UnknownClass(*p))?;
+                if !ops.is_subtype(&sub_ty, &sup_ty) {
+                    return Err(ModelError::IllFormedInheritance {
+                        sub: def.name,
+                        sup: *p,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Look a class up by name.
+    pub fn get(&self, name: Sym) -> Option<&ClassDef> {
+        self.index.get(&name).map(|&i| &self.classes[i])
+    }
+
+    /// σ(c): the structural type of a class.
+    pub fn sigma(&self, name: Sym) -> Option<&Type> {
+        self.get(name).map(|d| &d.ty)
+    }
+
+    /// Does the hierarchy declare this class?
+    pub fn contains(&self, name: Sym) -> bool {
+        self.index.contains_key(&name)
+    }
+
+    /// Reflexive-transitive `≺*`: is `sub` the same class as or a descendant
+    /// of `sup`?
+    pub fn is_subclass(&self, sub: Sym, sup: Sym) -> bool {
+        if sub == sup {
+            return self.contains(sub);
+        }
+        match (self.index.get(&sub), self.index.get(&sup)) {
+            (Some(&i), Some(&j)) => self.ancestors[i].contains(&j),
+            _ => false,
+        }
+    }
+
+    /// Strict ancestors of a class, nearest-first order not guaranteed.
+    pub fn ancestors_of(&self, name: Sym) -> Vec<Sym> {
+        match self.index.get(&name) {
+            Some(&i) => self.ancestors[i]
+                .iter()
+                .map(|&j| self.classes[j].name)
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// All declared classes, in declaration order.
+    pub fn classes(&self) -> &[ClassDef] {
+        &self.classes
+    }
+
+    /// Number of declared classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Is the hierarchy empty?
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// The *resolved* structural type of a class: σ(c) if declared with a
+    /// type of its own, otherwise the resolved type of its (first) parent.
+    /// Fig. 3 classes such as `class Title inherit Text` have no local type;
+    /// we model that as σ(Title) = σ(Text).
+    pub fn resolved_sigma(&self, name: Sym) -> Option<Type> {
+        let def = self.get(name)?;
+        match &def.ty {
+            Type::Any if !def.parents.is_empty() => self.resolved_sigma(def.parents[0]),
+            t => Some(t.clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sym::sym;
+
+    fn text_class() -> ClassDef {
+        ClassDef::new("Text", Type::tuple([("contents", Type::String)]))
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let mut h = ClassHierarchy::new();
+        h.add(text_class()).unwrap();
+        h.add(ClassDef::new("Title", Type::Any).inherit("Text"))
+            .unwrap();
+        h.finish().unwrap();
+        assert!(h.contains(sym("Text")));
+        assert!(h.is_subclass(sym("Title"), sym("Text")));
+        assert!(!h.is_subclass(sym("Text"), sym("Title")));
+        assert!(h.is_subclass(sym("Text"), sym("Text")));
+    }
+
+    #[test]
+    fn duplicate_class_rejected() {
+        let mut h = ClassHierarchy::new();
+        h.add(text_class()).unwrap();
+        assert_eq!(
+            h.add(text_class()),
+            Err(ModelError::DuplicateClass(sym("Text")))
+        );
+    }
+
+    #[test]
+    fn unknown_parent_rejected() {
+        let mut h = ClassHierarchy::new();
+        h.add(ClassDef::new("Title", Type::Any).inherit("Missing"))
+            .unwrap();
+        assert_eq!(h.finish(), Err(ModelError::UnknownClass(sym("Missing"))));
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut h = ClassHierarchy::new();
+        h.add(ClassDef::new("A", Type::Any).inherit("B")).unwrap();
+        h.add(ClassDef::new("B", Type::Any).inherit("A")).unwrap();
+        assert!(matches!(
+            h.finish(),
+            Err(ModelError::InheritanceCycle(_))
+        ));
+    }
+
+    #[test]
+    fn transitive_ancestors() {
+        let mut h = ClassHierarchy::new();
+        h.add(ClassDef::new("A", Type::Any)).unwrap();
+        h.add(ClassDef::new("B", Type::Any).inherit("A")).unwrap();
+        h.add(ClassDef::new("C", Type::Any).inherit("B")).unwrap();
+        h.finish().unwrap();
+        assert!(h.is_subclass(sym("C"), sym("A")));
+        let mut anc = h.ancestors_of(sym("C"));
+        anc.sort_by(|a, b| a.cmp_str(*b));
+        assert_eq!(anc, vec![sym("A"), sym("B")]);
+    }
+
+    #[test]
+    fn unresolved_type_reference_rejected() {
+        let mut h = ClassHierarchy::new();
+        h.add(ClassDef::new("A", Type::class("Ghost"))).unwrap();
+        assert_eq!(h.finish(), Err(ModelError::UnknownClass(sym("Ghost"))));
+    }
+
+    #[test]
+    fn resolved_sigma_follows_inheritance() {
+        let mut h = ClassHierarchy::new();
+        h.add(text_class()).unwrap();
+        h.add(ClassDef::new("Title", Type::Any).inherit("Text"))
+            .unwrap();
+        h.finish().unwrap();
+        assert_eq!(
+            h.resolved_sigma(sym("Title")),
+            Some(Type::tuple([("contents", Type::String)]))
+        );
+    }
+
+    #[test]
+    fn diamond_inheritance_closure() {
+        let mut h = ClassHierarchy::new();
+        h.add(ClassDef::new("Top", Type::Any)).unwrap();
+        h.add(ClassDef::new("L", Type::Any).inherit("Top")).unwrap();
+        h.add(ClassDef::new("R", Type::Any).inherit("Top")).unwrap();
+        h.add(ClassDef::new("Bot", Type::Any).inherit("L").inherit("R"))
+            .unwrap();
+        h.finish().unwrap();
+        assert!(h.is_subclass(sym("Bot"), sym("Top")));
+        assert_eq!(h.ancestors_of(sym("Bot")).len(), 3);
+    }
+}

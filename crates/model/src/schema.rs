@@ -1,0 +1,291 @@
+//! Schemas `(C, σ, ≺, M, G)` (§5.1).
+//!
+//! A schema couples a well-formed class hierarchy with method signatures `M`
+//! (carried for completeness, as in the paper) and named roots of persistence
+//! `G`, each with an associated type.
+
+use crate::error::{ModelError, Result};
+use crate::hierarchy::{ClassDef, ClassHierarchy};
+use crate::sym::Sym;
+use crate::types::Type;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A method signature in `M`. The paper introduces methods "just for the sake
+/// of completeness" and never uses them; we do the same, plus optional
+/// interpreted-function dispatch in the calculus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodSig {
+    /// Receiver class.
+    pub class: Sym,
+    /// Method name.
+    pub name: Sym,
+    /// Argument types (excluding receiver).
+    pub args: Vec<Type>,
+    /// Result type.
+    pub result: Type,
+}
+
+/// A schema `(C, σ, ≺, M, G)`.
+#[derive(Debug, Clone, Default)]
+pub struct Schema {
+    hierarchy: ClassHierarchy,
+    methods: Vec<MethodSig>,
+    roots: Vec<(Sym, Type)>,
+    root_index: HashMap<Sym, usize>,
+}
+
+impl Schema {
+    /// Start building a schema.
+    pub fn builder() -> SchemaBuilder {
+        SchemaBuilder::default()
+    }
+
+    /// The class hierarchy `(C, σ, ≺)`.
+    pub fn hierarchy(&self) -> &ClassHierarchy {
+        &self.hierarchy
+    }
+
+    /// Method signatures `M`.
+    pub fn methods(&self) -> &[MethodSig] {
+        &self.methods
+    }
+
+    /// Roots of persistence `G` with their types, in declaration order.
+    pub fn roots(&self) -> &[(Sym, Type)] {
+        &self.roots
+    }
+
+    /// The declared type of a root of persistence.
+    pub fn root_type(&self, name: Sym) -> Option<&Type> {
+        self.root_index.get(&name).map(|&i| &self.roots[i].1)
+    }
+
+    /// Is `name` a root of persistence?
+    pub fn has_root(&self, name: Sym) -> bool {
+        self.root_index.contains_key(&name)
+    }
+
+    /// Subtype / lub operations bound to this schema's hierarchy.
+    pub fn type_ops(&self) -> crate::subtype::TypeOps<'_> {
+        crate::subtype::TypeOps::new(&self.hierarchy)
+    }
+
+    /// σ(c), resolved through inheritance for classes declared as
+    /// `class X inherit Y` without a local type.
+    pub fn class_type(&self, class: Sym) -> Option<Type> {
+        self.hierarchy.resolved_sigma(class)
+    }
+}
+
+impl fmt::Display for Schema {
+    /// Render in the Fig. 3 style (`class … public type … constraint: …`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for def in self.hierarchy.classes() {
+            write!(f, "class {}", def.name)?;
+            for p in &def.parents {
+                write!(f, " inherit {p}")?;
+            }
+            if def.ty != Type::Any {
+                write!(f, " public type {}", display_with_private(&def.ty, &def.private_attrs))?;
+            }
+            if !def.constraints.is_empty() {
+                let cs: Vec<String> = def.constraints.iter().map(|c| c.to_string()).collect();
+                write!(f, " constraint: {}", cs.join(", "))?;
+            }
+            writeln!(f)?;
+        }
+        for (name, ty) in &self.roots {
+            writeln!(f, "name {name}: {ty}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Render a type, prefixing `private ` on the listed top-level attributes,
+/// as Fig. 3 does for e.g. `private status: string`.
+fn display_with_private(ty: &Type, private: &[Sym]) -> String {
+    match ty {
+        Type::Tuple(fs) if !private.is_empty() => {
+            let parts: Vec<String> = fs
+                .iter()
+                .map(|f| {
+                    if private.contains(&f.name) {
+                        format!("private {}: {}", f.name, f.ty)
+                    } else {
+                        format!("{}: {}", f.name, f.ty)
+                    }
+                })
+                .collect();
+            format!("tuple({})", parts.join(", "))
+        }
+        _ => ty.to_string(),
+    }
+}
+
+/// Builder enforcing the §5.1 invariants at `build()` time: well-formed
+/// hierarchy, resolvable root types, no duplicate roots.
+#[derive(Debug, Default)]
+pub struct SchemaBuilder {
+    hierarchy: ClassHierarchy,
+    methods: Vec<MethodSig>,
+    roots: Vec<(Sym, Type)>,
+    pending_error: Option<ModelError>,
+}
+
+impl SchemaBuilder {
+    /// Declare a class.
+    pub fn class(mut self, def: ClassDef) -> Self {
+        if self.pending_error.is_none() {
+            if let Err(e) = self.hierarchy.add(def) {
+                self.pending_error = Some(e);
+            }
+        }
+        self
+    }
+
+    /// Declare a method signature.
+    pub fn method(mut self, sig: MethodSig) -> Self {
+        self.methods.push(sig);
+        self
+    }
+
+    /// Declare a root of persistence `name: τ`.
+    pub fn root(mut self, name: impl Into<Sym>, ty: Type) -> Self {
+        self.roots.push((name.into(), ty));
+        self
+    }
+
+    /// Finish: checks hierarchy closure, well-formedness, root name
+    /// uniqueness and that root/method types only reference declared classes.
+    pub fn build(mut self) -> Result<Schema> {
+        if let Some(e) = self.pending_error.take() {
+            return Err(e);
+        }
+        self.hierarchy.finish()?;
+        self.hierarchy.validate()?;
+        let mut root_index = HashMap::new();
+        for (i, (name, ty)) in self.roots.iter().enumerate() {
+            if root_index.insert(*name, i).is_some() {
+                return Err(ModelError::DuplicateRoot(*name));
+            }
+            ty.validate()?;
+            let mut refs = Vec::new();
+            ty.referenced_classes(&mut refs);
+            for c in refs {
+                if !self.hierarchy.contains(c) {
+                    return Err(ModelError::UnknownClass(c));
+                }
+            }
+        }
+        Ok(Schema {
+            hierarchy: self.hierarchy,
+            methods: self.methods,
+            roots: self.roots,
+            root_index,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sym::sym;
+
+    fn text() -> ClassDef {
+        ClassDef::new("Text", Type::tuple([("contents", Type::String)]))
+    }
+
+    #[test]
+    fn build_simple_schema() {
+        let s = Schema::builder()
+            .class(text())
+            .class(ClassDef::new("Title", Type::Any).inherit("Text"))
+            .root("Articles", Type::list(Type::class("Title")))
+            .build()
+            .unwrap();
+        assert!(s.has_root(sym("Articles")));
+        assert_eq!(
+            s.root_type(sym("Articles")),
+            Some(&Type::list(Type::class("Title")))
+        );
+        assert_eq!(s.class_type(sym("Title")), Some(Type::tuple([("contents", Type::String)])));
+    }
+
+    #[test]
+    fn duplicate_root_rejected() {
+        let r = Schema::builder()
+            .class(text())
+            .root("G", Type::Integer)
+            .root("G", Type::String)
+            .build();
+        assert_eq!(r.unwrap_err(), ModelError::DuplicateRoot(sym("G")));
+    }
+
+    #[test]
+    fn root_referencing_unknown_class_rejected() {
+        let r = Schema::builder().root("G", Type::class("Nope")).build();
+        assert_eq!(r.unwrap_err(), ModelError::UnknownClass(sym("Nope")));
+    }
+
+    #[test]
+    fn class_error_is_deferred_to_build() {
+        let r = Schema::builder().class(text()).class(text()).build();
+        assert_eq!(r.unwrap_err(), ModelError::DuplicateClass(sym("Text")));
+    }
+
+    #[test]
+    fn display_renders_fig3_style() {
+        let s = Schema::builder()
+            .class(text())
+            .class(ClassDef::new("Title", Type::Any).inherit("Text"))
+            .class(
+                ClassDef::new(
+                    "Article",
+                    Type::tuple([
+                        ("title", Type::class("Title")),
+                        ("status", Type::String),
+                    ]),
+                )
+                .private("status"),
+            )
+            .root("Articles", Type::list(Type::class("Article")))
+            .build()
+            .unwrap();
+        let text = s.to_string();
+        assert!(text.contains("class Title inherit Text"));
+        assert!(text.contains("private status: string"));
+        assert!(text.contains("name Articles: list(Article)"));
+    }
+
+    #[test]
+    fn ill_formed_inheritance_rejected() {
+        // Child's σ must be a subtype of parent's σ.
+        let r = Schema::builder()
+            .class(ClassDef::new("P", Type::tuple([("a", Type::Integer)])))
+            .class(
+                ClassDef::new("K", Type::tuple([("b", Type::String)])).inherit("P"),
+            )
+            .build();
+        assert!(matches!(
+            r.unwrap_err(),
+            ModelError::IllFormedInheritance { .. }
+        ));
+    }
+
+    #[test]
+    fn well_formed_inheritance_accepted() {
+        // K adds attributes and refines — [a:int, b:str] ≤ [a:float].
+        let s = Schema::builder()
+            .class(ClassDef::new("P", Type::tuple([("a", Type::Float)])))
+            .class(
+                ClassDef::new(
+                    "K",
+                    Type::tuple([("a", Type::Integer), ("b", Type::String)]),
+                )
+                .inherit("P"),
+            )
+            .build();
+        assert!(s.is_ok());
+    }
+}

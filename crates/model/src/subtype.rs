@@ -1,0 +1,428 @@
+//! The extended subtyping relation `≤` and least common supertypes (§5.1, §4.2).
+//!
+//! Standard O₂ subtyping (class specialisation, covariant collections,
+//! width/depth tuple subtyping) is extended with the paper's two new rules:
+//!
+//! 1. `[aᵢ:τᵢ] ≤ (… + aᵢ:τᵢ + …)` — a (singleton) tuple is a value of any
+//!    marked union offering that alternative. Combined with width subtyping
+//!    this yields the chain highlighted in the paper:
+//!    `[a₁:τ₁,…,aₙ:τₙ] ≤ [aᵢ:τᵢ] ≤ (a₁:τ₁+…+aₙ:τₙ)`.
+//! 2. `[a₁:τ₁,…,aₙ:τₙ] ≤ [(a₁:τ₁+…+aₙ:τₙ)]` — a tuple is a special case of a
+//!    *heterogeneous list*, blurring the tuple/list distinction (used by the
+//!    §4.4 position queries, Q6).
+//!
+//! [`TypeOps::common_supertype`] implements the §4.2 typing rules for the
+//! query language: no common supertype between union and non-union types
+//! (rule 1), and the marker-conflict rule for pairs of unions (rule 2).
+
+use crate::hierarchy::ClassHierarchy;
+use crate::sym::Sym;
+use crate::types::{Field, Type};
+
+/// Subtyping and least-upper-bound operations, relative to a class hierarchy.
+pub struct TypeOps<'h> {
+    hierarchy: &'h ClassHierarchy,
+}
+
+impl<'h> TypeOps<'h> {
+    /// Operations over the given hierarchy.
+    pub fn new(hierarchy: &'h ClassHierarchy) -> TypeOps<'h> {
+        TypeOps { hierarchy }
+    }
+
+    /// The extended subtyping relation `a ≤ b`.
+    pub fn is_subtype(&self, a: &Type, b: &Type) -> bool {
+        use Type::*;
+        if a == b {
+            return true;
+        }
+        match (a, b) {
+            // integer ≤ float (standard O₂ numeric widening).
+            (Integer, Float) => true,
+            // Classes: c ≤ c' iff c ≺* c'; every class ≤ any.
+            (Class(_), Any) => true,
+            (Class(c), Class(d)) => self.hierarchy.is_subclass(*c, *d),
+            // Covariant collections.
+            (Set(x), Set(y)) => self.is_subtype(x, y),
+            // Tuple-as-heterogeneous-list (new rule 2) first, then covariance.
+            (Tuple(fs), List(y)) => fs
+                .iter()
+                .all(|f| self.is_subtype(&Tuple(vec![f.clone()]), y)),
+            (List(x), List(y)) => self.is_subtype(x, y),
+            // Tuple width + depth subtyping: the supertype's attributes must
+            // appear in the subtype as an order-preserving subsequence, with
+            // covariant component types. (The paper's dom() definition adds
+            // trailing attributes; dropping interior attributes is the
+            // generalisation needed for the chain [a₁..aₙ] ≤ [aᵢ:τᵢ].)
+            (Tuple(fs), Tuple(gs)) => is_subsequence(fs, gs, |f, g| {
+                f.name == g.name && self.is_subtype(&f.ty, &g.ty)
+            }),
+            // New rule 1: a tuple is a value of a union offering one of its
+            // attributes (via its singleton projection).
+            (Tuple(fs), Union(us)) => fs.iter().any(|f| {
+                us.iter()
+                    .any(|u| u.name == f.name && self.is_subtype(&f.ty, &u.ty))
+            }),
+            // Union values are singleton tuples, so a union is a subtype of τ
+            // iff each alternative's singleton tuple is.
+            (Union(us), b) => us
+                .iter()
+                .all(|u| self.is_subtype(&Tuple(vec![u.clone()]), b)),
+            _ => false,
+        }
+    }
+
+    /// Least common supertype per the §4.2 typing rules. Returns `None` when
+    /// the two types have no common supertype (so e.g. collections mixing
+    /// them must be rejected).
+    pub fn common_supertype(&self, a: &Type, b: &Type) -> Option<Type> {
+        use Type::*;
+        if a == b {
+            return Some(a.clone());
+        }
+        if self.is_subtype(a, b) {
+            return Some(b.clone());
+        }
+        if self.is_subtype(b, a) {
+            return Some(a.clone());
+        }
+        match (a, b) {
+            // §4.2 rule 1: no common supertype between a union type and a
+            // non-union type.
+            (Union(_), t) | (t, Union(_)) if !t.is_union() => None,
+            // §4.2 rule 2: two unions join iff they have no marker conflict;
+            // the lub is then the union of the two alternative lists.
+            (Union(us), Union(vs)) => {
+                let mut out: Vec<Field> = us.clone();
+                for v in vs {
+                    match out.iter_mut().find(|u| u.name == v.name) {
+                        Some(u) => {
+                            // Shared marker: domains must join.
+                            let joined = self.common_supertype(&u.ty, &v.ty)?;
+                            u.ty = joined;
+                        }
+                        None => out.push(v.clone()),
+                    }
+                }
+                Some(Union(out))
+            }
+            (Integer, Float) | (Float, Integer) => Some(Float),
+            (Class(c), Class(d)) => Some(self.least_common_class(*c, *d)),
+            (Class(_), Any) | (Any, Class(_)) => Some(Any),
+            (Set(x), Set(y)) => Some(Type::set(self.common_supertype(x, y)?)),
+            (List(x), List(y)) => Some(Type::list(self.common_supertype(x, y)?)),
+            // Tuples: keep the longest order-preserving common subsequence of
+            // attributes whose component types join. (Always defined — the
+            // empty tuple is a supertype of every tuple.)
+            (Tuple(fs), Tuple(gs)) => Some(Tuple(self.tuple_lcs(fs, gs))),
+            // A tuple joins with a list through its heterogeneous-list view.
+            (Tuple(_), List(_)) => {
+                let hl = a.as_hetero_list_type()?;
+                self.common_supertype(&hl, b)
+            }
+            (List(_), Tuple(_)) => {
+                let hl = b.as_hetero_list_type()?;
+                self.common_supertype(a, &hl)
+            }
+            _ => None,
+        }
+    }
+
+    /// Nearest common superclass, defaulting to `any` (the top of the class
+    /// hierarchy) when the classes share no declared ancestor.
+    fn least_common_class(&self, c: Sym, d: Sym) -> Type {
+        if self.hierarchy.is_subclass(c, d) {
+            return Type::Class(d);
+        }
+        if self.hierarchy.is_subclass(d, c) {
+            return Type::Class(c);
+        }
+        let anc_c = self.hierarchy.ancestors_of(c);
+        let anc_d = self.hierarchy.ancestors_of(d);
+        // Pick a common ancestor none of whose descendants is also common —
+        // i.e. a minimal element of the intersection.
+        let common: Vec<_> = anc_c.iter().filter(|a| anc_d.contains(a)).collect();
+        let minimal = common.iter().find(|&&&a| {
+            !common
+                .iter()
+                .any(|&&other| other != a && self.hierarchy.is_subclass(other, a))
+        });
+        match minimal {
+            Some(&&a) => Type::Class(a),
+            None => Type::Any,
+        }
+    }
+
+    /// Longest common subsequence of tuple fields under joinability; on join
+    /// failure for a shared attribute name the attribute is dropped (the
+    /// empty tuple is always a common supertype).
+    fn tuple_lcs(&self, fs: &[Field], gs: &[Field]) -> Vec<Field> {
+        // Classic O(n·m) LCS over field names, joining component types.
+        let n = fs.len();
+        let m = gs.len();
+        let mut table = vec![vec![0usize; m + 1]; n + 1];
+        for i in (0..n).rev() {
+            for j in (0..m).rev() {
+                table[i][j] = if fs[i].name == gs[j].name
+                    && self.common_supertype(&fs[i].ty, &gs[j].ty).is_some()
+                {
+                    table[i + 1][j + 1] + 1
+                } else {
+                    table[i + 1][j].max(table[i][j + 1])
+                };
+            }
+        }
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < n && j < m {
+            if fs[i].name == gs[j].name {
+                if let Some(joined) = self.common_supertype(&fs[i].ty, &gs[j].ty) {
+                    out.push(Field::new(fs[i].name, joined));
+                    i += 1;
+                    j += 1;
+                    continue;
+                }
+            }
+            if table[i + 1][j] >= table[i][j + 1] {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        out
+    }
+}
+
+
+
+/// Is `needle` an order-preserving subsequence of `hay` under `matches`?
+fn is_subsequence<T>(hay: &[T], needle: &[T], mut matches: impl FnMut(&T, &T) -> bool) -> bool {
+    let mut it = hay.iter();
+    'outer: for n in needle {
+        for h in it.by_ref() {
+            if matches(h, n) {
+                continue 'outer;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::ClassDef;
+
+    fn hierarchy() -> ClassHierarchy {
+        let mut h = ClassHierarchy::new();
+        h.add(ClassDef::new("Text", Type::tuple([("contents", Type::String)])))
+            .unwrap();
+        h.add(ClassDef::new("Title", Type::Any).inherit("Text"))
+            .unwrap();
+        h.add(ClassDef::new("Caption", Type::Any).inherit("Text"))
+            .unwrap();
+        h.add(ClassDef::new("Bitmap", Type::tuple([("bits", Type::String)])))
+            .unwrap();
+        h.finish().unwrap();
+        h
+    }
+
+    fn t(pairs: &[(&str, Type)]) -> Type {
+        Type::tuple(pairs.iter().map(|(n, t)| (*n, t.clone())))
+    }
+
+    fn u(pairs: &[(&str, Type)]) -> Type {
+        Type::union(pairs.iter().map(|(n, t)| (*n, t.clone())))
+    }
+
+    #[test]
+    fn reflexivity_and_atomics() {
+        let h = hierarchy();
+        let ops = TypeOps::new(&h);
+        assert!(ops.is_subtype(&Type::Integer, &Type::Integer));
+        assert!(ops.is_subtype(&Type::Integer, &Type::Float));
+        assert!(!ops.is_subtype(&Type::Float, &Type::Integer));
+        assert!(!ops.is_subtype(&Type::String, &Type::Integer));
+    }
+
+    #[test]
+    fn class_subtyping() {
+        let h = hierarchy();
+        let ops = TypeOps::new(&h);
+        assert!(ops.is_subtype(&Type::class("Title"), &Type::class("Text")));
+        assert!(ops.is_subtype(&Type::class("Title"), &Type::Any));
+        assert!(!ops.is_subtype(&Type::class("Text"), &Type::class("Title")));
+        assert!(!ops.is_subtype(&Type::class("Bitmap"), &Type::class("Text")));
+    }
+
+    #[test]
+    fn collection_covariance() {
+        let h = hierarchy();
+        let ops = TypeOps::new(&h);
+        assert!(ops.is_subtype(
+            &Type::list(Type::class("Title")),
+            &Type::list(Type::class("Text"))
+        ));
+        assert!(ops.is_subtype(
+            &Type::set(Type::Integer),
+            &Type::set(Type::Float)
+        ));
+        assert!(!ops.is_subtype(
+            &Type::set(Type::Float),
+            &Type::set(Type::Integer)
+        ));
+    }
+
+    #[test]
+    fn paper_chain_tuple_projection_union() {
+        // [a₁:τ₁,…,aₙ:τₙ] ≤ [aᵢ:τᵢ] ≤ (a₁:τ₁+…+aₙ:τₙ)
+        let h = hierarchy();
+        let ops = TypeOps::new(&h);
+        let full = t(&[("a", Type::Integer), ("b", Type::String)]);
+        let proj_a = t(&[("a", Type::Integer)]);
+        let proj_b = t(&[("b", Type::String)]);
+        let union = u(&[("a", Type::Integer), ("b", Type::String)]);
+        assert!(ops.is_subtype(&full, &proj_a));
+        assert!(ops.is_subtype(&full, &proj_b));
+        assert!(ops.is_subtype(&proj_a, &union));
+        assert!(ops.is_subtype(&full, &union));
+        assert!(!ops.is_subtype(&union, &full));
+    }
+
+    #[test]
+    fn paper_rule_tuple_as_hetero_list() {
+        // [a₁:τ₁,…,aₙ:τₙ] ≤ [(a₁:τ₁+…+aₙ:τₙ)]
+        let h = hierarchy();
+        let ops = TypeOps::new(&h);
+        let tup = t(&[("from", Type::String), ("to", Type::String)]);
+        let hetero = Type::list(u(&[("from", Type::String), ("to", Type::String)]));
+        assert!(ops.is_subtype(&tup, &hetero));
+        // Also into a *wider* union list.
+        let wider = Type::list(u(&[
+            ("from", Type::String),
+            ("to", Type::String),
+            ("cc", Type::String),
+        ]));
+        assert!(ops.is_subtype(&tup, &wider));
+        // But not into a list missing one attribute.
+        let narrower = Type::list(u(&[("from", Type::String)]));
+        assert!(!ops.is_subtype(&tup, &narrower));
+    }
+
+    #[test]
+    fn union_subtyping_widens() {
+        let h = hierarchy();
+        let ops = TypeOps::new(&h);
+        let small = u(&[("a", Type::Integer)]);
+        let big = u(&[("a", Type::Integer), ("b", Type::String)]);
+        assert!(ops.is_subtype(&small, &big));
+        assert!(!ops.is_subtype(&big, &small));
+        // Covariant in alternative domains.
+        let refined = u(&[("a", Type::Integer), ("b", Type::class("Title"))]);
+        let loose = u(&[("a", Type::Float), ("b", Type::class("Text"))]);
+        assert!(ops.is_subtype(&refined, &loose));
+    }
+
+    #[test]
+    fn lub_rule1_union_vs_non_union() {
+        // §4.2 rule 1: set of integers vs set of (a:integer + b:char)'s has
+        // no common supertype.
+        let h = hierarchy();
+        let ops = TypeOps::new(&h);
+        let iu = u(&[("a", Type::Integer), ("b", Type::String)]);
+        assert_eq!(ops.common_supertype(&Type::Integer, &iu), None);
+        assert_eq!(
+            ops.common_supertype(
+                &Type::set(Type::Integer),
+                &Type::set(iu.clone())
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn lub_rule2_union_union() {
+        // lub of (a:int + b:char) and (b:char + c:string) is
+        // (a:int + b:char + c:string) — paper's example with char→string.
+        let h = hierarchy();
+        let ops = TypeOps::new(&h);
+        let ab = u(&[("a", Type::Integer), ("b", Type::Boolean)]);
+        let bc = u(&[("b", Type::Boolean), ("c", Type::String)]);
+        assert_eq!(
+            ops.common_supertype(&ab, &bc),
+            Some(u(&[
+                ("a", Type::Integer),
+                ("b", Type::Boolean),
+                ("c", Type::String)
+            ]))
+        );
+    }
+
+    #[test]
+    fn lub_rule2_marker_conflict() {
+        let h = hierarchy();
+        let ops = TypeOps::new(&h);
+        let ab = u(&[("a", Type::Integer), ("b", Type::Boolean)]);
+        let conflict = u(&[("b", Type::class("Bitmap")), ("c", Type::String)]);
+        assert_eq!(ops.common_supertype(&ab, &conflict), None);
+    }
+
+    #[test]
+    fn lub_classes() {
+        let h = hierarchy();
+        let ops = TypeOps::new(&h);
+        assert_eq!(
+            ops.common_supertype(&Type::class("Title"), &Type::class("Caption")),
+            Some(Type::class("Text"))
+        );
+        assert_eq!(
+            ops.common_supertype(&Type::class("Title"), &Type::class("Bitmap")),
+            Some(Type::Any)
+        );
+    }
+
+    #[test]
+    fn lub_tuples_keeps_joinable_common_subsequence() {
+        let h = hierarchy();
+        let ops = TypeOps::new(&h);
+        let x = t(&[
+            ("title", Type::class("Title")),
+            ("n", Type::Integer),
+            ("extra", Type::String),
+        ]);
+        let y = t(&[("title", Type::class("Caption")), ("n", Type::Float)]);
+        assert_eq!(
+            ops.common_supertype(&x, &y),
+            Some(t(&[("title", Type::class("Text")), ("n", Type::Float)]))
+        );
+    }
+
+    #[test]
+    fn lub_numeric_and_collections() {
+        let h = hierarchy();
+        let ops = TypeOps::new(&h);
+        assert_eq!(
+            ops.common_supertype(&Type::Integer, &Type::Float),
+            Some(Type::Float)
+        );
+        assert_eq!(
+            ops.common_supertype(
+                &Type::list(Type::Integer),
+                &Type::list(Type::Float)
+            ),
+            Some(Type::list(Type::Float))
+        );
+        assert_eq!(ops.common_supertype(&Type::Integer, &Type::String), None);
+    }
+
+    #[test]
+    fn subtype_implies_lub_is_super() {
+        let h = hierarchy();
+        let ops = TypeOps::new(&h);
+        let sub = t(&[("a", Type::Integer), ("b", Type::String)]);
+        let sup = t(&[("a", Type::Float)]);
+        assert!(ops.is_subtype(&sub, &sup));
+        assert_eq!(ops.common_supertype(&sub, &sup), Some(sup));
+    }
+}

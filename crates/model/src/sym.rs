@@ -1,0 +1,164 @@
+//! Interned symbols for attribute, class, method and root-of-persistence names.
+//!
+//! The paper's formal model (§5.1) assumes infinite alphabets `att` of attribute
+//! names and `class` of class names. We intern every name into a process-global
+//! table so that the `Sym` handle is `Copy` and name comparison — which sits on
+//! the hot path of subtyping, path matching and query evaluation — is a single
+//! `u32` compare.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{OnceLock, RwLock};
+
+/// An interned name (attribute, class, marker, root, method, …).
+///
+/// Two `Sym`s are equal iff they intern the same string. The ordering of
+/// `Sym` values is *intern order*, not lexicographic; use [`Sym::as_str`]
+/// when a lexicographic order is needed.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(u32);
+
+struct Interner {
+    names: Vec<&'static str>,
+    index: HashMap<&'static str, u32>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static TABLE: OnceLock<RwLock<Interner>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        RwLock::new(Interner {
+            names: Vec::new(),
+            index: HashMap::new(),
+        })
+    })
+}
+
+impl Sym {
+    /// Intern `name`, returning its symbol. Idempotent.
+    pub fn new(name: &str) -> Sym {
+        {
+            let table = interner().read().expect("symbol table poisoned");
+            if let Some(&id) = table.index.get(name) {
+                return Sym(id);
+            }
+        }
+        let mut table = interner().write().expect("symbol table poisoned");
+        if let Some(&id) = table.index.get(name) {
+            return Sym(id);
+        }
+        // Leaking is deliberate: the set of distinct names in a session is
+        // bounded by schema + query text, and a 'static str lets lookups
+        // avoid any allocation.
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        let id = u32::try_from(table.names.len()).expect("symbol table overflow");
+        table.names.push(leaked);
+        table.index.insert(leaked, id);
+        Sym(id)
+    }
+
+    /// The interned string.
+    pub fn as_str(self) -> &'static str {
+        let table = interner().read().expect("symbol table poisoned");
+        table.names[self.0 as usize]
+    }
+
+    /// Raw interner id (stable within a process run).
+    pub fn id(self) -> u32 {
+        self.0
+    }
+
+    /// Compare two symbols by their textual names.
+    pub fn cmp_str(self, other: Sym) -> std::cmp::Ordering {
+        if self == other {
+            std::cmp::Ordering::Equal
+        } else {
+            self.as_str().cmp(other.as_str())
+        }
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sym({:?})", self.as_str())
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Sym {
+    fn from(s: &str) -> Sym {
+        Sym::new(s)
+    }
+}
+
+impl From<String> for Sym {
+    fn from(s: String) -> Sym {
+        Sym::new(&s)
+    }
+}
+
+/// Convenience: intern a name.
+pub fn sym(name: &str) -> Sym {
+    Sym::new(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Sym::new("title");
+        let b = Sym::new("title");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "title");
+    }
+
+    #[test]
+    fn distinct_names_are_distinct() {
+        assert_ne!(Sym::new("title"), Sym::new("author"));
+    }
+
+    #[test]
+    fn display_matches_source() {
+        assert_eq!(Sym::new("sections").to_string(), "sections");
+    }
+
+    #[test]
+    fn cmp_str_is_lexicographic() {
+        use std::cmp::Ordering;
+        assert_eq!(Sym::new("abstract").cmp_str(Sym::new("title")), Ordering::Less);
+        assert_eq!(Sym::new("title").cmp_str(Sym::new("title")), Ordering::Equal);
+    }
+
+    #[test]
+    fn empty_name_is_internable() {
+        let e = Sym::new("");
+        assert_eq!(e.as_str(), "");
+    }
+
+    #[test]
+    fn interning_from_many_threads() {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    for j in 0..100 {
+                        let s = Sym::new(&format!("thread-shared-{}", j % 10));
+                        assert!(s.as_str().starts_with("thread-shared-"));
+                        let _ = Sym::new(&format!("thread-{i}-{j}"));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // All threads must agree on the interning of the shared names.
+        let s = Sym::new("thread-shared-3");
+        assert_eq!(s, Sym::new("thread-shared-3"));
+    }
+}

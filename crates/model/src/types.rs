@@ -1,0 +1,311 @@
+//! The type language of the extended O₂ data model (§5.1).
+//!
+//! Compared with standard O₂, two constructors are added (the "boxed" material
+//! of the paper): **marked union types** `(a₁:τ₁ + … + aₙ:τₙ)` and **ordered
+//! tuples** `[a₁:τ₁, …, aₙ:τₙ]` whose attribute order is meaningful — required
+//! because the SGML aggregation connector `,` imposes an order between
+//! elements.
+
+use crate::error::{ModelError, Result};
+use crate::sym::Sym;
+use std::fmt;
+
+/// A named, typed component of a tuple or marked union.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Field {
+    /// Attribute name (tuple attribute, or union *marker*).
+    pub name: Sym,
+    /// Component type.
+    pub ty: Type,
+}
+
+impl Field {
+    /// Build a field.
+    pub fn new(name: impl Into<Sym>, ty: Type) -> Field {
+        Field {
+            name: name.into(),
+            ty,
+        }
+    }
+}
+
+/// Types over a set of classes `C` (§5.1, `types(C)`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Type {
+    /// Atomic type `integer`.
+    Integer,
+    /// Atomic type `string`.
+    String,
+    /// Atomic type `boolean`.
+    Boolean,
+    /// Atomic type `float`.
+    Float,
+    /// `any`, the top of the class hierarchy.
+    Any,
+    /// A class name in `C`; its interpretation is a set of oids plus `nil`.
+    Class(Sym),
+    /// List type `[τ]`.
+    List(Box<Type>),
+    /// Set type `{τ}`.
+    Set(Box<Type>),
+    /// Ordered tuple type `[a₁:τ₁, …, aₙ:τₙ]`. Attribute order is meaningful:
+    /// `[a:…, b:…] ≠ [b:…, a:…]`.
+    Tuple(Vec<Field>),
+    /// Marked union type `(a₁:τ₁ + … + aₙ:τₙ)`. A value of this type is a
+    /// tuple of the form `[aᵢ:v]` with `v : τᵢ`.
+    Union(Vec<Field>),
+}
+
+impl Type {
+    /// `[τ]`
+    pub fn list(elem: Type) -> Type {
+        Type::List(Box::new(elem))
+    }
+
+    /// `{τ}`
+    pub fn set(elem: Type) -> Type {
+        Type::Set(Box::new(elem))
+    }
+
+    /// Ordered tuple from `(name, type)` pairs.
+    pub fn tuple<I, N>(fields: I) -> Type
+    where
+        I: IntoIterator<Item = (N, Type)>,
+        N: Into<Sym>,
+    {
+        Type::Tuple(
+            fields
+                .into_iter()
+                .map(|(n, t)| Field::new(n, t))
+                .collect(),
+        )
+    }
+
+    /// Marked union from `(marker, type)` pairs.
+    pub fn union<I, N>(alts: I) -> Type
+    where
+        I: IntoIterator<Item = (N, Type)>,
+        N: Into<Sym>,
+    {
+        Type::Union(
+            alts.into_iter()
+                .map(|(n, t)| Field::new(n, t))
+                .collect(),
+        )
+    }
+
+    /// Class reference type.
+    pub fn class(name: impl Into<Sym>) -> Type {
+        Type::Class(name.into())
+    }
+
+    /// Is this one of the four atomic types?
+    pub fn is_atomic(&self) -> bool {
+        matches!(
+            self,
+            Type::Integer | Type::String | Type::Boolean | Type::Float
+        )
+    }
+
+    /// Is this a (marked) union type? Drives the §4.2 typing rules.
+    pub fn is_union(&self) -> bool {
+        matches!(self, Type::Union(_))
+    }
+
+    /// The fields of a tuple or union type, if any.
+    pub fn fields(&self) -> Option<&[Field]> {
+        match self {
+            Type::Tuple(fs) | Type::Union(fs) => Some(fs),
+            _ => None,
+        }
+    }
+
+    /// Look up an attribute/marker by name in a tuple or union type.
+    pub fn field(&self, name: Sym) -> Option<&Field> {
+        self.fields()
+            .and_then(|fs| fs.iter().find(|f| f.name == name))
+    }
+
+    /// Structural well-formedness: attribute names within one tuple/union are
+    /// distinct, unions are non-empty; checked recursively.
+    pub fn validate(&self) -> Result<()> {
+        match self {
+            Type::Tuple(fs) | Type::Union(fs) => {
+                if matches!(self, Type::Union(_)) && fs.is_empty() {
+                    return Err(ModelError::EmptyUnion);
+                }
+                for (i, f) in fs.iter().enumerate() {
+                    if fs[..i].iter().any(|g| g.name == f.name) {
+                        return Err(ModelError::DuplicateAttribute {
+                            in_type: self.clone(),
+                            attr: f.name,
+                        });
+                    }
+                    f.ty.validate()?;
+                }
+                Ok(())
+            }
+            Type::List(t) | Type::Set(t) => t.validate(),
+            _ => Ok(()),
+        }
+    }
+
+    /// All class names referenced (transitively) by this type.
+    pub fn referenced_classes(&self, out: &mut Vec<Sym>) {
+        match self {
+            Type::Class(c)
+                if !out.contains(c) => {
+                    out.push(*c);
+                }
+            Type::List(t) | Type::Set(t) => t.referenced_classes(out),
+            Type::Tuple(fs) | Type::Union(fs) => {
+                for f in fs {
+                    f.ty.referenced_classes(out);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// The §5.1 "tuple as heterogeneous list" view at the *type* level:
+    /// `[a₁:τ₁,…,aₙ:τₙ] ≤ [(a₁:τ₁+…+aₙ:τₙ)]`. Returns the list-of-union type
+    /// a tuple type embeds into, or `None` for non-tuple types.
+    pub fn as_hetero_list_type(&self) -> Option<Type> {
+        match self {
+            Type::Tuple(fs) if !fs.is_empty() => {
+                Some(Type::List(Box::new(Type::Union(fs.clone()))))
+            }
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn fields(f: &mut fmt::Formatter<'_>, fs: &[Field], sep: &str) -> fmt::Result {
+            for (i, field) in fs.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(sep)?;
+                }
+                write!(f, "{}: {}", field.name, field.ty)?;
+            }
+            Ok(())
+        }
+        match self {
+            Type::Integer => f.write_str("integer"),
+            Type::String => f.write_str("string"),
+            Type::Boolean => f.write_str("boolean"),
+            Type::Float => f.write_str("float"),
+            Type::Any => f.write_str("any"),
+            Type::Class(c) => write!(f, "{c}"),
+            Type::List(t) => write!(f, "list({t})"),
+            Type::Set(t) => write!(f, "set({t})"),
+            Type::Tuple(fs) => {
+                f.write_str("tuple(")?;
+                fields(f, fs, ", ")?;
+                f.write_str(")")
+            }
+            Type::Union(fs) => {
+                f.write_str("union(")?;
+                fields(f, fs, " + ")?;
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sym::sym;
+
+    fn section_union() -> Type {
+        Type::union([
+            (
+                "a1",
+                Type::tuple([
+                    ("title", Type::class("Title")),
+                    ("bodies", Type::list(Type::class("Body"))),
+                ]),
+            ),
+            (
+                "a2",
+                Type::tuple([
+                    ("title", Type::class("Title")),
+                    ("bodies", Type::list(Type::class("Body"))),
+                    ("subsectns", Type::list(Type::class("Subsectn"))),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn display_round_trips_structure() {
+        let t = section_union();
+        assert_eq!(
+            t.to_string(),
+            "union(a1: tuple(title: Title, bodies: list(Body)) + \
+             a2: tuple(title: Title, bodies: list(Body), subsectns: list(Subsectn)))"
+        );
+    }
+
+    #[test]
+    fn tuple_order_is_meaningful() {
+        let ab = Type::tuple([("a", Type::Integer), ("b", Type::String)]);
+        let ba = Type::tuple([("b", Type::String), ("a", Type::Integer)]);
+        assert_ne!(ab, ba);
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_attrs() {
+        let t = Type::tuple([("a", Type::Integer), ("a", Type::String)]);
+        assert!(matches!(
+            t.validate(),
+            Err(ModelError::DuplicateAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_empty_union() {
+        let t = Type::Union(vec![]);
+        assert_eq!(t.validate(), Err(ModelError::EmptyUnion));
+    }
+
+    #[test]
+    fn validate_recurses_into_collections() {
+        let t = Type::list(Type::union([("a", Type::Integer), ("a", Type::Float)]));
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn field_lookup() {
+        let t = section_union();
+        assert!(t.field(sym("a1")).is_some());
+        assert!(t.field(sym("a3")).is_none());
+    }
+
+    #[test]
+    fn referenced_classes_are_collected_once() {
+        let t = section_union();
+        let mut out = Vec::new();
+        t.referenced_classes(&mut out);
+        assert_eq!(
+            out,
+            vec![sym("Title"), sym("Body"), sym("Subsectn")]
+        );
+    }
+
+    #[test]
+    fn hetero_list_type_of_tuple() {
+        let t = Type::tuple([("from", Type::String), ("to", Type::String)]);
+        let l = t.as_hetero_list_type().unwrap();
+        assert_eq!(
+            l,
+            Type::list(Type::union([
+                ("from", Type::String),
+                ("to", Type::String)
+            ]))
+        );
+        assert!(Type::Integer.as_hetero_list_type().is_none());
+    }
+}

@@ -1,0 +1,448 @@
+//! Values over a set of oids (§5.1, `val(O)`).
+//!
+//! A value is `nil`, an atomic constant, an oid, or a tuple / set / list of
+//! values. Two representation choices matter downstream:
+//!
+//! * **Tuples are ordered**: `[a:1, b:2] ≠ [b:2, a:1]` (the paper makes the
+//!   non-identity permutation inequality explicit).
+//! * A value of a **marked union** type `(… + aᵢ:τᵢ + …)` is a tuple of the
+//!   form `[aᵢ:v]`; we give it a dedicated constructor [`Value::Union`] that
+//!   is *equal* to the singleton tuple under the §5.1 equivalence `≡`
+//!   (see [`Value::equiv`]), but kept distinct for `Eq` so that pattern
+//!   matching on representations stays cheap and loss-free.
+//!
+//! `Value` implements a *total* order (floats via `f64::total_cmp`) so sets
+//! can be canonically sorted and values can key maps.
+
+use crate::sym::Sym;
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// An object identifier. Oids are allocated by an [`crate::instance::Instance`]
+/// and index into its object table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Oid(pub u32);
+
+impl fmt::Display for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+/// A database value (§5.1).
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// The undefined value `nil`.
+    Nil,
+    /// Integer atom.
+    Int(i64),
+    /// Float atom.
+    Float(f64),
+    /// Boolean atom.
+    Bool(bool),
+    /// String atom.
+    Str(String),
+    /// An object identifier (crossing it requires dereferencing, `→`).
+    Oid(Oid),
+    /// Ordered tuple `[a₁:v₁, …, aₙ:vₙ]`.
+    Tuple(Vec<(Sym, Value)>),
+    /// Marked-union value `[aᵢ:v]` — the chosen alternative `aᵢ` with payload.
+    Union(Sym, Box<Value>),
+    /// List `[v₁, …, vₙ]`.
+    List(Vec<Value>),
+    /// Set `{v₁, …, vₙ}` — canonically sorted, deduplicated.
+    Set(Vec<Value>),
+}
+
+impl Value {
+    /// String value.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Tuple from `(name, value)` pairs.
+    pub fn tuple<I, N>(fields: I) -> Value
+    where
+        I: IntoIterator<Item = (N, Value)>,
+        N: Into<Sym>,
+    {
+        Value::Tuple(fields.into_iter().map(|(n, v)| (n.into(), v)).collect())
+    }
+
+    /// Marked-union value.
+    pub fn union(marker: impl Into<Sym>, v: Value) -> Value {
+        Value::Union(marker.into(), Box::new(v))
+    }
+
+    /// Canonical set: sorted and deduplicated.
+    pub fn set<I: IntoIterator<Item = Value>>(items: I) -> Value {
+        let mut v: Vec<Value> = items.into_iter().collect();
+        v.sort();
+        v.dedup();
+        Value::Set(v)
+    }
+
+    /// List in given order.
+    pub fn list<I: IntoIterator<Item = Value>>(items: I) -> Value {
+        Value::List(items.into_iter().collect())
+    }
+
+    /// Is this `nil`?
+    pub fn is_nil(&self) -> bool {
+        matches!(self, Value::Nil)
+    }
+
+    /// Tuple attribute lookup (also looks through a union's singleton view).
+    pub fn attr(&self, name: Sym) -> Option<&Value> {
+        match self {
+            Value::Tuple(fs) => fs.iter().find(|(n, _)| *n == name).map(|(_, v)| v),
+            Value::Union(m, v) if *m == name => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Position (rank) of an attribute within a tuple, viewing the tuple as a
+    /// heterogeneous list (used by the §4.4 / Q6 position queries). For a
+    /// union value the singleton view gives the marker position 0.
+    pub fn attr_position(&self, name: Sym) -> Option<usize> {
+        match self {
+            Value::Tuple(fs) => fs.iter().position(|(n, _)| *n == name),
+            Value::Union(m, _) if *m == name => Some(0),
+            _ => None,
+        }
+    }
+
+    /// The heterogeneous-list view of a tuple (§5.1):
+    /// `[a₁:v₁, …, aₙ:vₙ] ≡ [[a₁:v₁], …, [aₙ:vₙ]]`.
+    ///
+    /// Returns the `(marker, value)` pairs for tuples and union values, the
+    /// element pairs for lists whose elements are all singleton tuples or
+    /// union values, and `None` otherwise.
+    pub fn as_hetero_list(&self) -> Option<Vec<(Sym, &Value)>> {
+        match self {
+            Value::Tuple(fs) => Some(fs.iter().map(|(n, v)| (*n, v)).collect()),
+            Value::Union(m, v) => Some(vec![(*m, v.as_ref())]),
+            Value::List(items) => {
+                let mut out = Vec::with_capacity(items.len());
+                for item in items {
+                    match item {
+                        Value::Union(m, v) => out.push((*m, v.as_ref())),
+                        Value::Tuple(fs) if fs.len() == 1 => out.push((fs[0].0, &fs[0].1)),
+                        _ => return None,
+                    }
+                }
+                Some(out)
+            }
+            _ => None,
+        }
+    }
+
+    /// The §5.1 equivalence `≡`: identity extended with
+    /// `[a₁:v₁,…,aₖ:vₖ] ≡ [[a₁:v₁],…,[aₖ:vₖ]]` (tuple vs heterogeneous list)
+    /// and `Union(a, v) ≡ [a:v]` (marked value vs singleton tuple), applied
+    /// congruently through constructors.
+    pub fn equiv(&self, other: &Value) -> bool {
+        use Value::*;
+        match (self, other) {
+            (Union(a, v), Union(b, w)) => a == b && v.equiv(w),
+            (Union(a, v), Tuple(fs)) | (Tuple(fs), Union(a, v)) => {
+                fs.len() == 1 && fs[0].0 == *a && fs[0].1.equiv(v)
+            }
+            (Tuple(fs), Tuple(gs)) => {
+                fs.len() == gs.len()
+                    && fs
+                        .iter()
+                        .zip(gs)
+                        .all(|((a, v), (b, w))| a == b && v.equiv(w))
+            }
+            (List(xs), List(ys)) => {
+                xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| x.equiv(y))
+            }
+            (Set(xs), Set(ys)) => {
+                // Canonical order may differ between ≡-equal members; compare
+                // as multisets under ≡.
+                xs.len() == ys.len()
+                    && xs.iter().all(|x| ys.iter().any(|y| x.equiv(y)))
+                    && ys.iter().all(|y| xs.iter().any(|x| x.equiv(y)))
+            }
+            (t @ (Tuple(_) | Union(..)), l @ List(_)) | (l @ List(_), t @ (Tuple(_) | Union(..))) => {
+                match (t.as_hetero_list(), l.as_hetero_list()) {
+                    (Some(a), Some(b)) => {
+                        a.len() == b.len()
+                            && a.iter()
+                                .zip(&b)
+                                .all(|((n, v), (m, w))| n == m && v.equiv(w))
+                    }
+                    _ => false,
+                }
+            }
+            _ => self == other,
+        }
+    }
+
+    /// A short kind name for diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Nil => "nil",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "boolean",
+            Value::Str(_) => "string",
+            Value::Oid(_) => "oid",
+            Value::Tuple(_) => "tuple",
+            Value::Union(..) => "union",
+            Value::List(_) => "list",
+            Value::Set(_) => "set",
+        }
+    }
+
+    fn rank(&self) -> u8 {
+        match self {
+            Value::Nil => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Float(_) => 3,
+            Value::Str(_) => 4,
+            Value::Oid(_) => 5,
+            Value::Tuple(_) => 6,
+            Value::Union(..) => 7,
+            Value::List(_) => 8,
+            Value::Set(_) => 9,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Nil, Nil) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            // Cross-numeric comparison keeps Int and Float distinct kinds;
+            // query-level numeric coercion is done by the evaluators.
+            (Str(a), Str(b)) => a.cmp(b),
+            (Oid(a), Oid(b)) => a.cmp(b),
+            (Tuple(a), Tuple(b)) => {
+                for ((an, av), (bn, bv)) in a.iter().zip(b.iter()) {
+                    match an.cmp_str(*bn).then_with(|| av.cmp(bv)) {
+                        Ordering::Equal => continue,
+                        ord => return ord,
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (Union(am, av), Union(bm, bv)) => am.cmp_str(*bm).then_with(|| av.cmp(bv)),
+            (List(a), List(b)) | (Set(a), Set(b)) => {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    match x.cmp(y) {
+                        Ordering::Equal => continue,
+                        ord => return ord,
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            _ => self.rank().cmp(&other.rank()),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.rank().hash(state);
+        match self {
+            Value::Nil => {}
+            Value::Int(i) => i.hash(state),
+            Value::Float(x) => x.to_bits().hash(state),
+            Value::Bool(b) => b.hash(state),
+            Value::Str(s) => s.hash(state),
+            Value::Oid(o) => o.hash(state),
+            Value::Tuple(fs) => {
+                for (n, v) in fs {
+                    n.hash(state);
+                    v.hash(state);
+                }
+            }
+            Value::Union(m, v) => {
+                m.hash(state);
+                v.hash(state);
+            }
+            Value::List(items) | Value::Set(items) => {
+                for v in items {
+                    v.hash(state);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                Value::Nil => f.write_str("nil"),
+                Value::Int(i) => write!(f, "{i}"),
+                Value::Float(x) => write!(f, "{x}"),
+                Value::Bool(b) => write!(f, "{b}"),
+                Value::Str(s) => write!(f, "{s:?}"),
+                Value::Oid(o) => write!(f, "{o}"),
+                Value::Tuple(fs) => {
+                    f.write_str("tuple(")?;
+                    for (i, (n, v)) in fs.iter().enumerate() {
+                        if i > 0 {
+                            f.write_str(", ")?;
+                        }
+                        write!(f, "{n}: {v}")?;
+                    }
+                    f.write_str(")")
+                }
+                Value::Union(m, v) => write!(f, "[{m}: {v}]"),
+                Value::List(items) => {
+                    f.write_str("list(")?;
+                    for (i, v) in items.iter().enumerate() {
+                        if i > 0 {
+                            f.write_str(", ")?;
+                        }
+                        write!(f, "{v}")?;
+                    }
+                    f.write_str(")")
+                }
+                Value::Set(items) => {
+                    f.write_str("set(")?;
+                    for (i, v) in items.iter().enumerate() {
+                        if i > 0 {
+                            f.write_str(", ")?;
+                        }
+                        write!(f, "{v}")?;
+                    }
+                    f.write_str(")")
+                }
+            }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sym::sym;
+
+    #[test]
+    fn tuple_order_matters_for_equality() {
+        let ab = Value::tuple([("a", Value::Int(1)), ("b", Value::Int(2))]);
+        let ba = Value::tuple([("b", Value::Int(2)), ("a", Value::Int(1))]);
+        assert_ne!(ab, ba);
+    }
+
+    #[test]
+    fn set_is_canonical() {
+        let s1 = Value::set([Value::Int(3), Value::Int(1), Value::Int(3)]);
+        let s2 = Value::set([Value::Int(1), Value::Int(3)]);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn float_ordering_is_total() {
+        let nan = Value::Float(f64::NAN);
+        let one = Value::Float(1.0);
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+        assert_ne!(nan.cmp(&one), Ordering::Equal);
+    }
+
+    #[test]
+    fn union_equiv_singleton_tuple() {
+        let u = Value::union("a1", Value::Int(5));
+        let t = Value::tuple([("a1", Value::Int(5))]);
+        assert_ne!(u, t, "representations stay distinct under Eq");
+        assert!(u.equiv(&t), "but are identified under ≡");
+    }
+
+    #[test]
+    fn tuple_equiv_hetero_list() {
+        // [A:5, B:6] ≡ [[A:5], [B:6]]
+        let t = Value::tuple([("A", Value::Int(5)), ("B", Value::Int(6))]);
+        let l = Value::list([
+            Value::tuple([("A", Value::Int(5))]),
+            Value::tuple([("B", Value::Int(6))]),
+        ]);
+        assert!(t.equiv(&l));
+        let l2 = Value::list([
+            Value::union("A", Value::Int(5)),
+            Value::union("B", Value::Int(6)),
+        ]);
+        assert!(t.equiv(&l2));
+    }
+
+    #[test]
+    fn equiv_is_congruent_through_lists() {
+        let a = Value::list([Value::union("x", Value::Int(1))]);
+        let b = Value::list([Value::tuple([("x", Value::Int(1))])]);
+        assert!(a.equiv(&b));
+    }
+
+    #[test]
+    fn non_equiv_values() {
+        let t = Value::tuple([("A", Value::Int(5))]);
+        assert!(!t.equiv(&Value::Int(5)));
+        assert!(!t.equiv(&Value::tuple([("A", Value::Int(6))])));
+        assert!(!t.equiv(&Value::tuple([("B", Value::Int(5))])));
+    }
+
+    #[test]
+    fn attr_lookup_and_position() {
+        let t = Value::tuple([
+            ("to", Value::str("alice")),
+            ("from", Value::str("bob")),
+        ]);
+        assert_eq!(t.attr(sym("from")), Some(&Value::str("bob")));
+        assert_eq!(t.attr_position(sym("to")), Some(0));
+        assert_eq!(t.attr_position(sym("from")), Some(1));
+        assert_eq!(t.attr_position(sym("cc")), None);
+        let u = Value::union("from", Value::str("bob"));
+        assert_eq!(u.attr(sym("from")), Some(&Value::str("bob")));
+        assert_eq!(u.attr_position(sym("from")), Some(0));
+    }
+
+    #[test]
+    fn hetero_list_view_of_mixed_list_fails() {
+        let l = Value::list([Value::Int(1), Value::union("a", Value::Int(2))]);
+        assert!(l.as_hetero_list().is_none());
+    }
+
+    #[test]
+    fn display_forms() {
+        let v = Value::tuple([
+            ("t", Value::str("Intro")),
+            ("n", Value::Int(3)),
+        ]);
+        assert_eq!(v.to_string(), "tuple(t: \"Intro\", n: 3)");
+        assert_eq!(Value::union("a1", Value::Nil).to_string(), "[a1: nil]");
+        assert_eq!(
+            Value::list([Value::Int(1), Value::Int(2)]).to_string(),
+            "list(1, 2)"
+        );
+        assert_eq!(Value::Oid(Oid(7)).to_string(), "o7");
+    }
+
+    #[test]
+    fn hash_agrees_with_eq_for_sets() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Value::set([Value::Int(2), Value::Int(1)]));
+        assert!(set.contains(&Value::set([Value::Int(1), Value::Int(2)])));
+    }
+}

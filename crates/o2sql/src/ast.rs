@@ -1,0 +1,142 @@
+//! Abstract syntax of the extended O₂SQL language (§4).
+
+use docql_model::Value;
+
+/// A top-level query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopQuery {
+    /// `select … from … where …`
+    Select(SelectQuery),
+    /// A bare path-pattern query, e.g. `my_article PATH_p` (returns the
+    /// tuple of pattern variables; a single variable yields a plain set).
+    PathQuery { base: String, steps: Vec<PatStep> },
+    /// Set operation between two queries (Q4's difference).
+    SetOp(Box<TopQuery>, SetOpKind, Box<TopQuery>),
+}
+
+/// Set operations on query results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetOpKind {
+    /// `-` (difference; Q4).
+    Difference,
+    /// `union`
+    Union,
+    /// `intersect`
+    Intersect,
+}
+
+/// A select-from-where query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectQuery {
+    /// The select expression.
+    pub select: Expr,
+    /// The iteration clauses.
+    pub from: Vec<FromItem>,
+    /// Optional filter.
+    pub where_: Option<Expr>,
+}
+
+/// One from-clause item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FromItem {
+    /// `v in expr`
+    In(String, Expr),
+    /// `base STEPS` — a path expression with variables
+    /// (`my_article PATH_p.title(t)`).
+    Pattern { base: String, steps: Vec<PatStep> },
+}
+
+/// One step of a surface path pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PatStep {
+    /// `PATH_x`
+    PathVar(String),
+    /// `..` — anonymous path variable.
+    AnonPath,
+    /// `.name`
+    Attr(String),
+    /// `.ATT_x`
+    AttrVar(String),
+    /// `[3]`
+    Index(usize),
+    /// `[i]` — index variable.
+    IndexVar(String),
+    /// `(x)` — bind the value reached here.
+    Bind(String),
+    /// `{x}` — set-element binding.
+    SetBind(String),
+    /// `->`
+    Deref,
+}
+
+/// Expressions (value- and boolean-valued; the translator enforces use).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal.
+    Lit(Value),
+    /// Identifier: a from-variable, pattern variable, or root of persistence.
+    Ident(String),
+    /// Postfix navigation `e.a[i]…`.
+    Path(Box<Expr>, Vec<Sel>),
+    /// Function call `f(e, …)`.
+    Call(String, Vec<Expr>),
+    /// `tuple(a: e, …)`
+    TupleCons(Vec<(String, Expr)>),
+    /// `list(e, …)`
+    ListCons(Vec<Expr>),
+    /// `set(e, …)`
+    SetCons(Vec<Expr>),
+    /// Comparison.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Conjunction.
+    And(Vec<Expr>),
+    /// Disjunction.
+    Or(Vec<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+    /// `e contains ( … )` — boolean pattern combination (§4.1).
+    Contains(Box<Expr>, CBool),
+    /// `e in e'` — membership test.
+    InTest(Box<Expr>, Box<Expr>),
+    /// `exists(v in e : cond)` — the O₂SQL exists iterator.
+    Exists(String, Box<Expr>, Box<Expr>),
+}
+
+/// Postfix selector.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Sel {
+    /// `.name`
+    Attr(String),
+    /// `[3]`
+    Index(usize),
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Boolean combination of patterns, the argument of `contains`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CBool {
+    /// A single pattern.
+    Pat(String),
+    /// All must occur.
+    And(Vec<CBool>),
+    /// At least one must occur.
+    Or(Vec<CBool>),
+    /// Must not occur.
+    Not(Box<CBool>),
+}

@@ -1,0 +1,309 @@
+//! The query engine façade: parse → translate → (type-check) → evaluate.
+
+use crate::parser::parse;
+use crate::translate::{translate, Translated};
+use crate::O2sqlError;
+use docql_calculus::{infer_types, CalcValue, Evaluator, Interp, TypeInfo};
+use docql_model::Instance;
+use std::collections::BTreeSet;
+
+use crate::ast::SetOpKind;
+
+/// A query result: labelled columns and deduplicated rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Column labels.
+    pub columns: Vec<String>,
+    /// Rows (sets — duplicates eliminated, order unspecified but stable).
+    pub rows: Vec<Vec<CalcValue>>,
+}
+
+impl QueryResult {
+    /// Single-column results as a vector of values.
+    pub fn values(&self) -> Vec<CalcValue> {
+        self.rows.iter().filter_map(|r| r.first().cloned()).collect()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the result empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as simple aligned text (for the repro binary and examples).
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.columns.join(" | "));
+        out.push('\n');
+        out.push_str(&"-".repeat(self.columns.join(" | ").len().max(4)));
+        out.push('\n');
+        let mut rendered: Vec<String> = self
+            .rows
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" | ")
+            })
+            .collect();
+        rendered.sort();
+        for r in rendered {
+            out.push_str(&r);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Evaluation strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// The calculus interpreter (run-time path enumeration).
+    #[default]
+    Interpret,
+    /// The §5.4 algebraization (schema-derived unions of path-free plans).
+    Algebraic,
+}
+
+/// The O₂SQL engine over an instance.
+pub struct Engine<'a> {
+    instance: &'a Instance,
+    interp: &'a Interp,
+    /// Evaluation strategy.
+    pub mode: Mode,
+    /// Path-variable semantics (§5.2): restricted (default) or liberal.
+    /// The algebraic mode only supports the restricted semantics — under
+    /// the liberal one candidate sets are data-bounded and the paper notes
+    /// the algebra "should include some form of transitive closure".
+    pub semantics: docql_paths::PathSemantics,
+}
+
+impl<'a> Engine<'a> {
+    /// Engine with the interpreter strategy.
+    pub fn new(instance: &'a Instance, interp: &'a Interp) -> Engine<'a> {
+        Engine {
+            instance,
+            interp,
+            mode: Mode::Interpret,
+            semantics: docql_paths::PathSemantics::Restricted,
+        }
+    }
+
+    /// Parse, translate, and evaluate a query.
+    pub fn run(&self, src: &str) -> Result<QueryResult, O2sqlError> {
+        let ast = parse(src)?;
+        let translated = translate(&ast, self.instance.schema())?;
+        self.eval_translated(&translated)
+    }
+
+    /// Parse and translate only — exposes the calculus query (for EXPLAIN,
+    /// tests, and the bench harness).
+    pub fn compile(&self, src: &str) -> Result<Translated, O2sqlError> {
+        let ast = parse(src)?;
+        translate(&ast, self.instance.schema())
+    }
+
+    /// EXPLAIN: the calculus translation and, when algebraizable, the
+    /// compiled §5.4 plan tree.
+    pub fn explain(&self, src: &str) -> Result<String, O2sqlError> {
+        let ast = parse(src)?;
+        let translated = translate(&ast, self.instance.schema())?;
+        let mut out = String::new();
+        out.push_str("calculus: ");
+        out.push_str(&translated.query.to_string());
+        out.push('\n');
+        match docql_algebra::algebraize(&translated.query, self.instance.schema()) {
+            Ok(a) => {
+                out.push_str(&format!(
+                    "algebra plan ({} operators, {} branch(es)):
+",
+                    a.plan.size(),
+                    a.branches.len()
+                ));
+                out.push_str(&a.plan.explain());
+            }
+            Err(e) => {
+                out.push_str(&format!("not algebraizable: {e}
+"));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Static type-check (§4.2/§5.3): runs inference and reports errors —
+    /// path patterns no schema path can satisfy, and collection
+    /// constructors whose elements have no common supertype ("sets
+    /// containing integers and characters are forbidden").
+    pub fn check(&self, src: &str) -> Result<TypeInfo, O2sqlError> {
+        let ast = parse(src)?;
+        let translated = translate(&ast, self.instance.schema())?;
+        let mut info = infer_types(&translated.query, self.instance.schema());
+        check_constructors(
+            &translated.query.body,
+            &info.var_types.clone(),
+            self.instance.schema(),
+            &mut info.errors,
+        );
+        Ok(info)
+    }
+
+    fn eval_translated(&self, t: &Translated) -> Result<QueryResult, O2sqlError> {
+        let rows = self.eval_rows(t)?;
+        Ok(QueryResult {
+            columns: t.columns.clone(),
+            rows,
+        })
+    }
+
+    fn eval_rows(&self, t: &Translated) -> Result<Vec<Vec<CalcValue>>, O2sqlError> {
+        let left = match self.mode {
+            Mode::Interpret => {
+                let mut ev = Evaluator::new(self.instance, self.interp);
+                ev.semantics = self.semantics;
+                ev.eval_query(&t.query)
+                    .map_err(|e| O2sqlError::Eval(e.to_string()))?
+            }
+            Mode::Algebraic => {
+                if self.semantics == docql_paths::PathSemantics::Liberal {
+                    return Err(O2sqlError::Eval(
+                        "the algebraic mode requires the restricted path                          semantics (liberal candidate sets are data-bounded;                          §5.4)"
+                            .to_string(),
+                    ));
+                }
+                docql_algebra_eval(&t.query, self.instance, self.interp)?
+            }
+        };
+        match &t.set_op {
+            None => Ok(left),
+            Some((op, right)) => {
+                let right_rows: BTreeSet<Vec<CalcValue>> =
+                    self.eval_rows(right)?.into_iter().collect();
+                Ok(match op {
+                    SetOpKind::Difference => left
+                        .into_iter()
+                        .filter(|r| !right_rows.contains(r))
+                        .collect(),
+                    SetOpKind::Intersect => left
+                        .into_iter()
+                        .filter(|r| right_rows.contains(r))
+                        .collect(),
+                    SetOpKind::Union => {
+                        let mut seen: BTreeSet<Vec<CalcValue>> =
+                            left.iter().cloned().collect();
+                        let mut out = left;
+                        for r in right_rows {
+                            if seen.insert(r.clone()) {
+                                out.push(r);
+                            }
+                        }
+                        out
+                    }
+                })
+            }
+        }
+    }
+}
+
+/// §4.2 collection-construction rule: elements of a constructed list/set
+/// must share a common supertype — in particular, unions never mix with
+/// non-unions (rule 1), and unions join only without marker conflicts
+/// (rule 2).
+fn check_constructors(
+    f: &docql_calculus::Formula,
+    var_types: &std::collections::BTreeMap<docql_calculus::Var, docql_model::Type>,
+    schema: &docql_model::Schema,
+    errors: &mut Vec<String>,
+) {
+    use docql_calculus::{Atom, DataTerm, Formula};
+    fn term_type(
+        t: &DataTerm,
+        var_types: &std::collections::BTreeMap<docql_calculus::Var, docql_model::Type>,
+    ) -> Option<docql_model::Type> {
+        use docql_model::{Type, Value};
+        match t {
+            DataTerm::Const(Value::Int(_)) => Some(Type::Integer),
+            DataTerm::Const(Value::Float(_)) => Some(Type::Float),
+            DataTerm::Const(Value::Bool(_)) => Some(Type::Boolean),
+            DataTerm::Const(Value::Str(_)) => Some(Type::String),
+            DataTerm::Var(v) => var_types.get(v).cloned(),
+            _ => None,
+        }
+    }
+    fn walk_term(
+        t: &DataTerm,
+        var_types: &std::collections::BTreeMap<docql_calculus::Var, docql_model::Type>,
+        schema: &docql_model::Schema,
+        errors: &mut Vec<String>,
+    ) {
+        match t {
+            DataTerm::List(items) | DataTerm::Set(items) => {
+                let ops = schema.type_ops();
+                let mut joined: Option<docql_model::Type> = None;
+                for item in items {
+                    walk_term(item, var_types, schema, errors);
+                    let Some(ty) = term_type(item, var_types) else {
+                        continue;
+                    };
+                    joined = Some(match joined {
+                        None => ty,
+                        Some(prev) => match ops.common_supertype(&prev, &ty) {
+                            Some(j) => j,
+                            None => {
+                                errors.push(format!(
+                                    "collection constructor mixes {prev} and {ty},                                      which have no common supertype (§4.2)"
+                                ));
+                                return;
+                            }
+                        },
+                    });
+                }
+            }
+            DataTerm::Tuple(fields) => {
+                for (_, x) in fields {
+                    walk_term(x, var_types, schema, errors);
+                }
+            }
+            DataTerm::Apply(_, args) => {
+                for x in args {
+                    walk_term(x, var_types, schema, errors);
+                }
+            }
+            DataTerm::PathApp(base, _) => walk_term(base, var_types, schema, errors),
+            _ => {}
+        }
+    }
+    match f {
+        Formula::Atom(a) => {
+            let terms: Vec<&DataTerm> = match a {
+                Atom::Eq(x, y) | Atom::In(x, y) | Atom::Subset(x, y) => vec![x, y],
+                Atom::PathPred(t, _) => vec![t],
+                Atom::Pred(_, args) => args.iter().collect(),
+            };
+            for t in terms {
+                walk_term(t, var_types, schema, errors);
+            }
+        }
+        Formula::And(fs) | Formula::Or(fs) => {
+            for g in fs {
+                check_constructors(g, var_types, schema, errors);
+            }
+        }
+        Formula::Not(g) | Formula::Exists(_, g) | Formula::Forall(_, g) => {
+            check_constructors(g, var_types, schema, errors);
+        }
+    }
+}
+
+fn docql_algebra_eval(
+    q: &docql_calculus::Query,
+    instance: &Instance,
+    interp: &Interp,
+) -> Result<Vec<Vec<CalcValue>>, O2sqlError> {
+    docql_algebra::eval_algebraic(q, instance, interp)
+        .map_err(|e| O2sqlError::Eval(e.to_string()))
+}

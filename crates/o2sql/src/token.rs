@@ -1,0 +1,358 @@
+//! Lexer for the extended O₂SQL language (§4).
+
+use std::fmt;
+
+/// A token with its source offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Byte offset in the query text.
+    pub at: usize,
+    /// The token.
+    pub kind: Tok,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are recognised case-insensitively by
+    /// the parser; identifiers keep their case).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (quotes stripped, `\"` unescaped).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `.`
+    Dot,
+    /// `..`
+    DotDot,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `-`
+    Minus,
+    /// `->`
+    Arrow,
+    /// `+`
+    Plus,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Int(i) => write!(f, "{i}"),
+            Tok::Float(x) => write!(f, "{x}"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::LParen => f.write_str("("),
+            Tok::RParen => f.write_str(")"),
+            Tok::LBracket => f.write_str("["),
+            Tok::RBracket => f.write_str("]"),
+            Tok::LBrace => f.write_str("{"),
+            Tok::RBrace => f.write_str("}"),
+            Tok::Dot => f.write_str("."),
+            Tok::DotDot => f.write_str(".."),
+            Tok::Comma => f.write_str(","),
+            Tok::Colon => f.write_str(":"),
+            Tok::Eq => f.write_str("="),
+            Tok::Ne => f.write_str("!="),
+            Tok::Lt => f.write_str("<"),
+            Tok::Le => f.write_str("<="),
+            Tok::Gt => f.write_str(">"),
+            Tok::Ge => f.write_str(">="),
+            Tok::Minus => f.write_str("-"),
+            Tok::Arrow => f.write_str("->"),
+            Tok::Plus => f.write_str("+"),
+        }
+    }
+}
+
+/// Lexing error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Byte offset.
+    pub at: usize,
+    /// Message.
+    pub msg: String,
+}
+
+/// Tokenise a query.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        let at = i;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+            }
+            b'(' => {
+                out.push(Token { at, kind: Tok::LParen });
+                i += 1;
+            }
+            b')' => {
+                out.push(Token { at, kind: Tok::RParen });
+                i += 1;
+            }
+            b'[' => {
+                out.push(Token { at, kind: Tok::LBracket });
+                i += 1;
+            }
+            b']' => {
+                out.push(Token { at, kind: Tok::RBracket });
+                i += 1;
+            }
+            b'{' => {
+                out.push(Token { at, kind: Tok::LBrace });
+                i += 1;
+            }
+            b'}' => {
+                out.push(Token { at, kind: Tok::RBrace });
+                i += 1;
+            }
+            b',' => {
+                out.push(Token { at, kind: Tok::Comma });
+                i += 1;
+            }
+            b':' => {
+                out.push(Token { at, kind: Tok::Colon });
+                i += 1;
+            }
+            b'+' => {
+                out.push(Token { at, kind: Tok::Plus });
+                i += 1;
+            }
+            b'.' => {
+                if bytes.get(i + 1) == Some(&b'.') {
+                    out.push(Token { at, kind: Tok::DotDot });
+                    i += 2;
+                } else {
+                    out.push(Token { at, kind: Tok::Dot });
+                    i += 1;
+                }
+            }
+            b'=' => {
+                out.push(Token { at, kind: Tok::Eq });
+                i += 1;
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token { at, kind: Tok::Ne });
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        at,
+                        msg: "`!` must be followed by `=`".to_string(),
+                    });
+                }
+            }
+            b'<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token { at, kind: Tok::Le });
+                    i += 2;
+                } else {
+                    out.push(Token { at, kind: Tok::Lt });
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token { at, kind: Tok::Ge });
+                    i += 2;
+                } else {
+                    out.push(Token { at, kind: Tok::Gt });
+                    i += 1;
+                }
+            }
+            b'-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    out.push(Token { at, kind: Tok::Arrow });
+                    i += 2;
+                } else {
+                    out.push(Token { at, kind: Tok::Minus });
+                    i += 1;
+                }
+            }
+            b'"' | b'\'' => {
+                let quote = b;
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(LexError {
+                                at,
+                                msg: "unterminated string literal".to_string(),
+                            });
+                        }
+                        Some(&c) if c == quote => {
+                            i += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            if let Some(&esc) = bytes.get(i + 1) {
+                                s.push(esc as char);
+                                i += 2;
+                            } else {
+                                return Err(LexError {
+                                    at,
+                                    msg: "dangling escape".to_string(),
+                                });
+                            }
+                        }
+                        Some(&c) => {
+                            // Copy raw bytes (UTF-8 continuation safe since
+                            // we only break on ASCII quote/backslash).
+                            s.push(c as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Token { at, kind: Tok::Str(s) });
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit()) {
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let text = &src[start..i];
+                    out.push(Token {
+                        at,
+                        kind: Tok::Float(text.parse().map_err(|e| LexError {
+                            at,
+                            msg: format!("bad float: {e}"),
+                        })?),
+                    });
+                } else {
+                    let text = &src[start..i];
+                    out.push(Token {
+                        at,
+                        kind: Tok::Int(text.parse().map_err(|e| LexError {
+                            at,
+                            msg: format!("bad integer: {e}"),
+                        })?),
+                    });
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Token {
+                    at,
+                    kind: Tok::Ident(src[start..i].to_string()),
+                });
+            }
+            other => {
+                return Err(LexError {
+                    at,
+                    msg: format!("unexpected character `{}`", other as char),
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_q1_fragment() {
+        let toks = kinds("select tuple (t: a.title) from a in Articles");
+        assert_eq!(toks[0], Tok::Ident("select".into()));
+        assert!(toks.contains(&Tok::Colon));
+        assert!(toks.contains(&Tok::Dot));
+        assert!(toks.contains(&Tok::Ident("Articles".into())));
+    }
+
+    #[test]
+    fn path_variable_tokens() {
+        let toks = kinds("my_article PATH_p.title(t)");
+        assert_eq!(toks[0], Tok::Ident("my_article".into()));
+        assert_eq!(toks[1], Tok::Ident("PATH_p".into()));
+        assert_eq!(toks[2], Tok::Dot);
+    }
+
+    #[test]
+    fn dotdot_and_arrow() {
+        assert_eq!(kinds(".."), vec![Tok::DotDot]);
+        assert_eq!(kinds("->"), vec![Tok::Arrow]);
+        assert_eq!(kinds("- >"), vec![Tok::Minus, Tok::Gt]);
+        assert_eq!(kinds(". ."), vec![Tok::Dot, Tok::Dot]);
+    }
+
+    #[test]
+    fn strings_and_numbers() {
+        assert_eq!(
+            kinds(r#""SGML" 'x' 42 3.25"#),
+            vec![
+                Tok::Str("SGML".into()),
+                Tok::Str("x".into()),
+                Tok::Int(42),
+                Tok::Float(3.25)
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("= != < <= > >="),
+            vec![Tok::Eq, Tok::Ne, Tok::Lt, Tok::Le, Tok::Gt, Tok::Ge]
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("a ! b").is_err());
+        assert!(lex("§").is_err());
+    }
+
+    #[test]
+    fn escaped_quote_in_string() {
+        assert_eq!(kinds(r#""a\"b""#), vec![Tok::Str("a\"b".into())]);
+    }
+}

@@ -1,0 +1,325 @@
+//! Surface-language tests: translation shapes, evaluation over a small
+//! hand-built instance, the liberal-semantics switch (hypertext navigation,
+//! §5.2), and error reporting.
+
+use docql_calculus::{CalcValue, Interp};
+use docql_model::{ClassDef, Instance, Schema, Type, Value};
+use docql_o2sql::{Engine, Mode, O2sqlError};
+use docql_paths::PathSemantics;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// People with spouses: a two-object cycle (the paper's Alice example).
+fn spouses() -> Instance {
+    let schema = Arc::new(
+        Schema::builder()
+            .class(ClassDef::new(
+                "Person",
+                Type::tuple([
+                    ("name", Type::String),
+                    ("spouse", Type::class("Person")),
+                ]),
+            ))
+            .root("Alice", Type::class("Person"))
+            .build()
+            .unwrap(),
+    );
+    let mut inst = Instance::new(schema);
+    let alice = inst.new_object("Person", Value::Nil).unwrap();
+    let bob = inst.new_object("Person", Value::Nil).unwrap();
+    inst.set_value(
+        alice,
+        Value::tuple([("name", Value::str("Alice")), ("spouse", Value::Oid(bob))]),
+    )
+    .unwrap();
+    inst.set_value(
+        bob,
+        Value::tuple([("name", Value::str("Bob")), ("spouse", Value::Oid(alice))]),
+    )
+    .unwrap();
+    inst.set_root("Alice", Value::Oid(alice)).unwrap();
+    inst
+}
+
+fn names(rows: &[Vec<CalcValue>]) -> BTreeSet<String> {
+    rows.iter()
+        .filter_map(|r| match &r[0] {
+            CalcValue::Data(Value::Str(s)) => Some(s.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn restricted_semantics_stops_at_class_repeat() {
+    // The paper's example: under the restricted semantics, `Alice P.name`
+    // reaches Alice's name but NOT Alice's spouse's name (that would
+    // dereference Person twice).
+    let inst = spouses();
+    let interp = Interp::with_builtins();
+    let engine = Engine::new(&inst, &interp);
+    let r = engine.run("select n from Alice PATH_p.name(n)").unwrap();
+    assert_eq!(names(&r.rows), BTreeSet::from(["Alice".to_string()]));
+}
+
+#[test]
+fn liberal_semantics_follows_objects_once() {
+    let inst = spouses();
+    let interp = Interp::with_builtins();
+    let mut engine = Engine::new(&inst, &interp);
+    engine.semantics = PathSemantics::Liberal;
+    let r = engine.run("select n from Alice PATH_p.name(n)").unwrap();
+    assert_eq!(
+        names(&r.rows),
+        BTreeSet::from(["Alice".to_string(), "Bob".to_string()]),
+        "liberal navigation reaches the spouse but not the cycle"
+    );
+}
+
+#[test]
+fn explicit_deref_chains_extend_restricted_reach() {
+    // "Queries going more in depth can still be specified using paths of
+    // the form P → P'": two path variables, each restricted independently.
+    let inst = spouses();
+    let interp = Interp::with_builtins();
+    let engine = Engine::new(&inst, &interp);
+    let r = engine
+        .run("select n from Alice PATH_p.spouse PATH_q.name(n)")
+        .unwrap();
+    assert!(names(&r.rows).contains("Bob"), "{:?}", r.rows);
+}
+
+#[test]
+fn algebraic_mode_rejects_liberal_semantics() {
+    let inst = spouses();
+    let interp = Interp::with_builtins();
+    let mut engine = Engine::new(&inst, &interp);
+    engine.mode = Mode::Algebraic;
+    engine.semantics = PathSemantics::Liberal;
+    let err = engine
+        .run("select n from Alice PATH_p.name(n)")
+        .unwrap_err();
+    assert!(matches!(err, O2sqlError::Eval(_)));
+}
+
+#[test]
+fn translation_produces_single_head_for_select() {
+    let inst = spouses();
+    let interp = Interp::with_builtins();
+    let engine = Engine::new(&inst, &interp);
+    let t = engine
+        .compile("select n from Alice PATH_p.name(n)")
+        .unwrap();
+    assert_eq!(t.query.head.len(), 1);
+    assert_eq!(t.columns, vec!["result".to_string()]);
+    assert!(t.set_op.is_none());
+}
+
+#[test]
+fn bare_path_query_heads_are_pattern_variables() {
+    let inst = spouses();
+    let interp = Interp::with_builtins();
+    let engine = Engine::new(&inst, &interp);
+    let t = engine.compile("Alice PATH_p.name(n)").unwrap();
+    assert_eq!(t.query.head.len(), 2, "PATH_p and n");
+    assert_eq!(t.columns, vec!["PATH_p".to_string(), "n".to_string()]);
+    let r = engine.run("Alice PATH_p.name(n)").unwrap();
+    assert_eq!(r.rows.len(), 1);
+    assert!(r.rows[0][0].as_path().is_some());
+}
+
+#[test]
+fn set_operations_on_path_queries() {
+    let inst = spouses();
+    let interp = Interp::with_builtins();
+    let engine = Engine::new(&inst, &interp);
+    // Self-difference is empty; self-union/intersection are identity.
+    let base = engine.run("Alice PATH_p").unwrap().rows.len();
+    assert!(base > 0);
+    assert_eq!(engine.run("Alice PATH_p - Alice PATH_p").unwrap().len(), 0);
+    assert_eq!(
+        engine.run("Alice PATH_p union Alice PATH_p").unwrap().len(),
+        base
+    );
+    assert_eq!(
+        engine
+            .run("Alice PATH_p intersect Alice PATH_p")
+            .unwrap()
+            .len(),
+        base
+    );
+}
+
+#[test]
+fn arity_mismatch_in_set_ops_is_a_type_error() {
+    let inst = spouses();
+    let interp = Interp::with_builtins();
+    let engine = Engine::new(&inst, &interp);
+    let err = engine
+        .run("Alice PATH_p - Alice PATH_p.name(n)")
+        .unwrap_err();
+    assert!(matches!(err, O2sqlError::Type(_)), "{err}");
+}
+
+#[test]
+fn where_clause_boolean_structure() {
+    let inst = spouses();
+    let interp = Interp::with_builtins();
+    let engine = Engine::new(&inst, &interp);
+    let r = engine
+        .run(
+            "select n from Alice PATH_p.name(n) \
+             where n contains (\"Ali\" or \"Zzz\") and not n contains (\"Bob\")",
+        )
+        .unwrap();
+    assert_eq!(names(&r.rows), BTreeSet::from(["Alice".to_string()]));
+}
+
+#[test]
+fn comparisons_and_literals() {
+    let inst = spouses();
+    let interp = Interp::with_builtins();
+    let engine = Engine::new(&inst, &interp);
+    let r = engine
+        .run("select n from Alice PATH_p.name(n) where n != \"Bob\"")
+        .unwrap();
+    assert_eq!(r.len(), 1);
+    let r2 = engine
+        .run("select n from Alice PATH_p.name(n) where n = \"Nobody\"")
+        .unwrap();
+    assert!(r2.is_empty());
+}
+
+#[test]
+fn parse_error_positions_are_byte_offsets() {
+    let inst = spouses();
+    let interp = Interp::with_builtins();
+    let engine = Engine::new(&inst, &interp);
+    match engine.run("select § from x in Y") {
+        Err(O2sqlError::Parse { at, .. }) => assert_eq!(at, 7),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn unknown_root_is_reported_by_name() {
+    let inst = spouses();
+    let interp = Interp::with_builtins();
+    let engine = Engine::new(&inst, &interp);
+    match engine.run("select x from x in Ghosts") {
+        Err(O2sqlError::UnknownIdent(n)) => assert_eq!(n, "Ghosts"),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn exists_iterator() {
+    // exists(v in e : φ): does Alice have a spouse named Bob?
+    let inst = spouses();
+    let interp = Interp::with_builtins();
+    let engine = Engine::new(&inst, &interp);
+    let r = engine
+        .run(
+            "select n from Alice PATH_p.name(n) \
+             where exists(s in Alice.spouse.name : s contains (\"Bob\"))",
+        );
+    // Alice.spouse.name is a string, not a collection — exists over it is
+    // simply empty; use a collection form instead:
+    assert!(r.is_ok());
+    let schema = inst.schema();
+    let _ = schema;
+}
+
+#[test]
+fn exists_over_collections() {
+    // A store-level test: articles with at least one section whose title
+    // mentions SGML.
+    use docql_model::{ClassDef, Schema, Type, Value};
+    let schema = Arc::new(
+        Schema::builder()
+            .class(ClassDef::new("C", Type::Any))
+            .root(
+                "Docs",
+                Type::list(Type::tuple([
+                    ("name", Type::String),
+                    ("tags", Type::list(Type::String)),
+                ])),
+            )
+            .build()
+            .unwrap(),
+    );
+    let mut inst = Instance::new(schema);
+    inst.set_root(
+        "Docs",
+        Value::list([
+            Value::tuple([
+                ("name", Value::str("d1")),
+                ("tags", Value::list([Value::str("sgml"), Value::str("db")])),
+            ]),
+            Value::tuple([
+                ("name", Value::str("d2")),
+                ("tags", Value::list([Value::str("xml")])),
+            ]),
+        ]),
+    )
+    .unwrap();
+    let interp = Interp::with_builtins();
+    let engine = Engine::new(&inst, &interp);
+    let r = engine
+        .run(
+            "select d.name from d in Docs \
+             where exists(t in d.tags : t = \"sgml\")",
+        )
+        .unwrap();
+    assert_eq!(names(&r.rows), BTreeSet::from(["d1".to_string()]));
+    // Negated exists.
+    let r2 = engine
+        .run(
+            "select d.name from d in Docs \
+             where not exists(t in d.tags : t = \"sgml\")",
+        )
+        .unwrap();
+    assert_eq!(names(&r2.rows), BTreeSet::from(["d2".to_string()]));
+    // The bound variable does not leak into the outer scope.
+    let err = engine.run(
+        "select t from d in Docs where exists(t in d.tags : t = \"sgml\")",
+    );
+    assert!(err.is_err(), "{err:?}");
+}
+
+#[test]
+fn collection_constructor_type_check() {
+    // §4.2: "sets containing integers and characters are forbidden".
+    let inst = spouses();
+    let interp = Interp::with_builtins();
+    let engine = Engine::new(&inst, &interp);
+    let bad = engine
+        .check("select list(1, \"x\") from p in set(1)")
+        .unwrap();
+    assert!(
+        bad.errors.iter().any(|e| e.contains("common supertype")),
+        "{:?}",
+        bad.errors
+    );
+    let good = engine
+        .check("select list(1, 2.5) from p in set(1)")
+        .unwrap();
+    assert!(
+        !good.errors.iter().any(|e| e.contains("common supertype")),
+        "{:?}",
+        good.errors
+    );
+}
+
+#[test]
+fn explain_shows_calculus_and_plan() {
+    let inst = spouses();
+    let interp = Interp::with_builtins();
+    let engine = Engine::new(&inst, &interp);
+    let text = engine
+        .explain("select n from Alice PATH_p.name(n)")
+        .unwrap();
+    assert!(text.contains("calculus: {"), "{text}");
+    assert!(text.contains("algebra plan"), "{text}");
+    assert!(text.contains("Union"), "{text}");
+}

@@ -1,0 +1,169 @@
+//! First-class path values (§4.3): paths "can be queried like standard
+//! data" and "come equipped with functions", in particular the list
+//! functions — length, projection `P[i:j]`, concatenation.
+
+use crate::step::PathStep;
+use std::fmt;
+
+/// A concrete path: a sequence of steps. The empty path `ε` is a path.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConcretePath(pub Vec<PathStep>);
+
+impl ConcretePath {
+    /// The empty path `ε`.
+    pub fn empty() -> ConcretePath {
+        ConcretePath(Vec::new())
+    }
+
+    /// Path from steps.
+    pub fn from_steps<I: IntoIterator<Item = PathStep>>(steps: I) -> ConcretePath {
+        ConcretePath(steps.into_iter().collect())
+    }
+
+    /// `length(P)` — the number of steps. The paper's example: for
+    /// `P = .sections[0].subsectns[0]`, `length(P) = 4`.
+    pub fn length(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Is this `ε`?
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// `P[i:j]` — projection on steps `i..=j`. The paper's example: with
+    /// `P = .sections[0].subsectns[0]`, `P[0:1] = .sections[0]`.
+    /// Out-of-range projections clamp to the available steps.
+    pub fn project(&self, i: usize, j: usize) -> ConcretePath {
+        if i > j || i >= self.0.len() {
+            return ConcretePath::empty();
+        }
+        let j = j.min(self.0.len() - 1);
+        ConcretePath(self.0[i..=j].to_vec())
+    }
+
+    /// Concatenation `PQ`.
+    pub fn concat(&self, other: &ConcretePath) -> ConcretePath {
+        let mut steps = self.0.clone();
+        steps.extend(other.0.iter().cloned());
+        ConcretePath(steps)
+    }
+
+    /// Append one step.
+    pub fn push(&mut self, step: PathStep) {
+        self.0.push(step);
+    }
+
+    /// The steps.
+    pub fn steps(&self) -> &[PathStep] {
+        &self.0
+    }
+
+    /// Is `prefix` a prefix of this path?
+    pub fn starts_with(&self, prefix: &ConcretePath) -> bool {
+        self.0.len() >= prefix.0.len() && self.0[..prefix.0.len()] == prefix.0[..]
+    }
+
+    /// The final step, if any.
+    pub fn last(&self) -> Option<&PathStep> {
+        self.0.last()
+    }
+
+    /// Does the path end with attribute `a` (the shape of path predicates
+    /// like `⟨v P ·title⟩`)?
+    pub fn ends_with_attr(&self, name: docql_model::Sym) -> bool {
+        matches!(self.last(), Some(PathStep::Attr(a)) if *a == name)
+    }
+}
+
+impl fmt::Display for ConcretePath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return f.write_str("ε");
+        }
+        for s in &self.0 {
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<PathStep> for ConcretePath {
+    fn from_iter<I: IntoIterator<Item = PathStep>>(iter: I) -> ConcretePath {
+        ConcretePath(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_path() -> ConcretePath {
+        // .sections[0].subsectns[0]
+        ConcretePath::from_steps([
+            PathStep::attr("sections"),
+            PathStep::Index(0),
+            PathStep::attr("subsectns"),
+            PathStep::Index(0),
+        ])
+    }
+
+    #[test]
+    fn paper_length_example() {
+        assert_eq!(paper_path().length(), 4);
+    }
+
+    #[test]
+    fn paper_projection_example() {
+        let p = paper_path();
+        assert_eq!(
+            p.project(0, 1),
+            ConcretePath::from_steps([PathStep::attr("sections"), PathStep::Index(0)])
+        );
+        assert_eq!(p.project(0, 1).to_string(), ".sections[0]");
+    }
+
+    #[test]
+    fn projection_edge_cases() {
+        let p = paper_path();
+        assert_eq!(p.project(2, 99), p.project(2, 3));
+        assert_eq!(p.project(9, 12), ConcretePath::empty());
+        assert_eq!(p.project(2, 1), ConcretePath::empty());
+        assert_eq!(p.project(0, 3), p);
+    }
+
+    #[test]
+    fn display_matches_paper_syntax() {
+        assert_eq!(paper_path().to_string(), ".sections[0].subsectns[0]");
+        assert_eq!(ConcretePath::empty().to_string(), "ε");
+    }
+
+    #[test]
+    fn concat_and_prefix() {
+        let a = paper_path().project(0, 1);
+        let b = paper_path().project(2, 3);
+        assert_eq!(a.concat(&b), paper_path());
+        assert!(paper_path().starts_with(&a));
+        assert!(!a.starts_with(&paper_path()));
+        assert!(paper_path().starts_with(&ConcretePath::empty()));
+    }
+
+    #[test]
+    fn ends_with_attr() {
+        use docql_model::sym;
+        let p = ConcretePath::from_steps([PathStep::attr("sections"), PathStep::attr("title")]);
+        assert!(p.ends_with_attr(sym("title")));
+        assert!(!p.ends_with_attr(sym("sections")));
+        assert!(!paper_path().ends_with_attr(sym("title")));
+    }
+
+    #[test]
+    fn paths_are_ordered_and_hashable() {
+        use std::collections::BTreeSet;
+        let mut s = BTreeSet::new();
+        s.insert(paper_path());
+        s.insert(paper_path().project(0, 1));
+        s.insert(paper_path());
+        assert_eq!(s.len(), 2);
+    }
+}

@@ -1,0 +1,268 @@
+//! Matching concrete paths against path *patterns* with variables.
+//!
+//! A path term like `P ·volumes[2] Q ·chapters[J]` (§5.2) is, at evaluation
+//! time, a pattern over concrete paths: path variables (`P`, `Q`) match any
+//! (possibly empty) sub-path, attribute variables (`A`) match one attribute
+//! step, index variables (`J`) match one index step. Matching a concrete
+//! path against a pattern yields bindings for all the variables.
+
+use crate::path::ConcretePath;
+use crate::step::PathStep;
+use docql_model::{Sym, Value};
+use std::collections::BTreeMap;
+
+/// Identifier of a variable slot in a pattern (caller-assigned).
+pub type VarId = u32;
+
+/// One element of a path pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PatElem {
+    /// A literal step that must match exactly. A literal `Attr` also matches
+    /// a `→` *immediately before it* being absent — no, exact matching; see
+    /// pattern construction in the calculus for implicit-deref insertion.
+    Lit(PathStep),
+    /// A path variable: matches any sub-path (zero or more steps).
+    PathVar(VarId),
+    /// An attribute variable: matches exactly one `·a` step.
+    AttrVar(VarId),
+    /// An index variable: matches exactly one `[i]` step.
+    IndexVar(VarId),
+    /// A set-element variable: matches exactly one `{v}` step, binding the
+    /// chosen element.
+    ElemVar(VarId),
+    /// Matches a single `→` or nothing — inserted by the calculus so that
+    /// attribute selection works across object boundaries transparently.
+    OptDeref,
+}
+
+/// Bindings produced by a successful match.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PathBindings {
+    /// Path variables → matched sub-paths.
+    pub paths: BTreeMap<VarId, ConcretePath>,
+    /// Attribute variables → attribute names.
+    pub attrs: BTreeMap<VarId, Sym>,
+    /// Index variables → indices.
+    pub indices: BTreeMap<VarId, usize>,
+    /// Set-element variables → chosen elements.
+    pub elems: BTreeMap<VarId, Value>,
+}
+
+/// All ways `path` matches `pattern`. Path variables are existential, so a
+/// single path may match in several ways; every distinct binding is
+/// returned.
+pub fn match_path(path: &ConcretePath, pattern: &[PatElem]) -> Vec<PathBindings> {
+    let mut out = Vec::new();
+    let mut b = PathBindings::default();
+    go(path.steps(), 0, pattern, &mut b, &mut out);
+    out
+}
+
+fn go(
+    steps: &[PathStep],
+    at: usize,
+    pattern: &[PatElem],
+    bindings: &mut PathBindings,
+    out: &mut Vec<PathBindings>,
+) {
+    let Some(first) = pattern.first() else {
+        if at == steps.len() {
+            out.push(bindings.clone());
+        }
+        return;
+    };
+    let rest = &pattern[1..];
+    match first {
+        PatElem::Lit(step) => {
+            if steps.get(at) == Some(step) {
+                go(steps, at + 1, rest, bindings, out);
+            }
+        }
+        PatElem::AttrVar(v) => {
+            if let Some(PathStep::Attr(a)) = steps.get(at) {
+                let prev = bindings.attrs.insert(*v, *a);
+                // Repeated variable occurrences must agree.
+                if prev.is_none() || prev == Some(*a) {
+                    go(steps, at + 1, rest, bindings, out);
+                }
+                match prev {
+                    Some(p) => {
+                        bindings.attrs.insert(*v, p);
+                    }
+                    None => {
+                        bindings.attrs.remove(v);
+                    }
+                }
+            }
+        }
+        PatElem::IndexVar(v) => {
+            if let Some(PathStep::Index(i)) = steps.get(at) {
+                let prev = bindings.indices.insert(*v, *i);
+                if prev.is_none() || prev == Some(*i) {
+                    go(steps, at + 1, rest, bindings, out);
+                }
+                match prev {
+                    Some(p) => {
+                        bindings.indices.insert(*v, p);
+                    }
+                    None => {
+                        bindings.indices.remove(v);
+                    }
+                }
+            }
+        }
+        PatElem::ElemVar(v) => {
+            if let Some(PathStep::Elem(e)) = steps.get(at) {
+                let prev = bindings.elems.insert(*v, e.clone());
+                if prev.is_none() || prev.as_ref() == Some(e) {
+                    go(steps, at + 1, rest, bindings, out);
+                }
+                match prev {
+                    Some(p) => {
+                        bindings.elems.insert(*v, p);
+                    }
+                    None => {
+                        bindings.elems.remove(v);
+                    }
+                }
+            }
+        }
+        PatElem::OptDeref => {
+            // Zero-width alternative first (prefer not crossing a boundary).
+            go(steps, at, rest, bindings, out);
+            if steps.get(at) == Some(&PathStep::Deref) {
+                go(steps, at + 1, rest, bindings, out);
+            }
+        }
+        PatElem::PathVar(v) => {
+            match bindings.paths.get(v).cloned() {
+                // Repeated path variable: must match the same sub-path.
+                Some(bound) => {
+                    let n = bound.length();
+                    if steps.len() >= at + n && steps[at..at + n] == bound.0[..] {
+                        go(steps, at + n, rest, bindings, out);
+                    }
+                }
+                None => {
+                    // Try every split point.
+                    for n in 0..=(steps.len() - at) {
+                        let sub = ConcretePath(steps[at..at + n].to_vec());
+                        bindings.paths.insert(*v, sub);
+                        go(steps, at + n, rest, bindings, out);
+                        bindings.paths.remove(v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use docql_model::sym;
+
+    fn p(steps: &[PathStep]) -> ConcretePath {
+        ConcretePath(steps.to_vec())
+    }
+
+    #[test]
+    fn path_var_matches_prefix() {
+        // Pattern: P .title  against  .sections[0].title
+        let path = p(&[
+            PathStep::attr("sections"),
+            PathStep::Index(0),
+            PathStep::attr("title"),
+        ]);
+        let pattern = vec![PatElem::PathVar(0), PatElem::Lit(PathStep::attr("title"))];
+        let ms = match_path(&path, &pattern);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].paths[&0].to_string(), ".sections[0]");
+    }
+
+    #[test]
+    fn no_match_when_tail_differs() {
+        let path = p(&[PathStep::attr("sections"), PathStep::attr("body")]);
+        let pattern = vec![PatElem::PathVar(0), PatElem::Lit(PathStep::attr("title"))];
+        assert!(match_path(&path, &pattern).is_empty());
+    }
+
+    #[test]
+    fn attr_var_binds_name() {
+        let path = p(&[PathStep::attr("status")]);
+        let pattern = vec![PatElem::PathVar(0), PatElem::AttrVar(1)];
+        let ms = match_path(&path, &pattern);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].attrs[&1], sym("status"));
+        assert!(ms[0].paths[&0].is_empty(), "P bound to ε");
+    }
+
+    #[test]
+    fn multiple_splits_reported() {
+        // P Q against a two-step path: three split points.
+        let path = p(&[PathStep::attr("a"), PathStep::attr("b")]);
+        let pattern = vec![PatElem::PathVar(0), PatElem::PathVar(1)];
+        let ms = match_path(&path, &pattern);
+        assert_eq!(ms.len(), 3);
+    }
+
+    #[test]
+    fn index_var_binds_position() {
+        // Knuth_Books P ·volumes[I]: pattern P .volumes [I]
+        let path = p(&[
+            PathStep::Deref,
+            PathStep::attr("volumes"),
+            PathStep::Index(2),
+        ]);
+        let pattern = vec![
+            PatElem::PathVar(0),
+            PatElem::Lit(PathStep::attr("volumes")),
+            PatElem::IndexVar(5),
+        ];
+        let ms = match_path(&path, &pattern);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].indices[&5], 2);
+    }
+
+    #[test]
+    fn repeated_path_variable_must_agree() {
+        // Pattern P P against .a.a → P = .a works; against .a.b → no match.
+        let ok = p(&[PathStep::attr("a"), PathStep::attr("a")]);
+        let pattern = vec![PatElem::PathVar(0), PatElem::PathVar(0)];
+        let ms = match_path(&ok, &pattern);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].paths[&0].to_string(), ".a");
+        let bad = p(&[PathStep::attr("a"), PathStep::attr("b")]);
+        assert!(match_path(&bad, &pattern).is_empty());
+    }
+
+    #[test]
+    fn opt_deref_matches_zero_or_one() {
+        let with = p(&[PathStep::Deref, PathStep::attr("title")]);
+        let without = p(&[PathStep::attr("title")]);
+        let pattern = vec![PatElem::OptDeref, PatElem::Lit(PathStep::attr("title"))];
+        assert_eq!(match_path(&with, &pattern).len(), 1);
+        assert_eq!(match_path(&without, &pattern).len(), 1);
+    }
+
+    #[test]
+    fn elem_var_binds_value() {
+        let path = p(&[
+            PathStep::attr("tags"),
+            PathStep::Elem(Value::str("db")),
+        ]);
+        let pattern = vec![
+            PatElem::Lit(PathStep::attr("tags")),
+            PatElem::ElemVar(3),
+        ];
+        let ms = match_path(&path, &pattern);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].elems[&3], Value::str("db"));
+    }
+
+    #[test]
+    fn empty_pattern_matches_only_empty_path() {
+        assert_eq!(match_path(&ConcretePath::empty(), &[]).len(), 1);
+        assert!(match_path(&p(&[PathStep::Deref]), &[]).is_empty());
+    }
+}

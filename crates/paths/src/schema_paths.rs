@@ -1,0 +1,340 @@
+//! Schema-level path enumeration (§5.4, *Algebraization*).
+//!
+//! "By analysis of the query using schema information, one can find
+//! candidate valuations for the Pᵢ and Aⱼ." Under the restricted semantics
+//! (each class dereferenced at most once per path) the set of *abstract*
+//! paths from a type is finite; the algebraizer instantiates path variables
+//! with these candidates, turning a path-variable query into a union of
+//! path-free queries.
+
+use docql_model::{Schema, Sym, Type};
+use std::collections::HashSet;
+use std::fmt;
+
+/// One step of an abstract (schema-level) path.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AbsStep {
+    /// Select a tuple attribute or union marker.
+    Attr(Sym),
+    /// Iterate a list (concretely: some `[i]`).
+    ListElem,
+    /// Iterate a set (concretely: some `{v}`).
+    SetElem,
+    /// Dereference an object of this class.
+    Deref(Sym),
+}
+
+impl fmt::Display for AbsStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbsStep::Attr(a) => write!(f, ".{a}"),
+            AbsStep::ListElem => f.write_str("[*]"),
+            AbsStep::SetElem => f.write_str("{*}"),
+            AbsStep::Deref(c) => write!(f, "->({c})"),
+        }
+    }
+}
+
+/// An abstract path with its end type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbsPath {
+    /// The steps.
+    pub steps: Vec<AbsStep>,
+    /// The type reached by following the steps.
+    pub end_type: Type,
+}
+
+impl fmt::Display for AbsPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.steps.is_empty() {
+            f.write_str("ε")?;
+        }
+        for s in &self.steps {
+            write!(f, "{s}")?;
+        }
+        write!(f, " : {}", self.end_type)
+    }
+}
+
+/// Options for schema-path enumeration.
+#[derive(Debug, Clone)]
+pub struct SchemaPathOptions {
+    /// Include `{*}` steps through sets.
+    pub include_set_elements: bool,
+    /// Hard bound on path length (defense in depth; the per-class deref
+    /// restriction already makes the space finite).
+    pub max_len: usize,
+}
+
+impl Default for SchemaPathOptions {
+    fn default() -> SchemaPathOptions {
+        SchemaPathOptions {
+            include_set_elements: true,
+            max_len: 64,
+        }
+    }
+}
+
+/// Enumerate all abstract paths from `start`, each class dereferenced at
+/// most once per path. Every prefix is reported (including `ε`).
+pub fn schema_paths(schema: &Schema, start: &Type, opts: &SchemaPathOptions) -> Vec<AbsPath> {
+    let mut out = Vec::new();
+    let mut walker = SchemaWalker {
+        schema,
+        opts,
+        derefed: HashSet::new(),
+        steps: Vec::new(),
+        out: &mut out,
+    };
+    walker.go(start);
+    out
+}
+
+struct SchemaWalker<'s, 'o, 'r> {
+    schema: &'s Schema,
+    opts: &'o SchemaPathOptions,
+    derefed: HashSet<Sym>,
+    steps: Vec<AbsStep>,
+    out: &'r mut Vec<AbsPath>,
+}
+
+impl SchemaWalker<'_, '_, '_> {
+    fn go(&mut self, ty: &Type) {
+        self.out.push(AbsPath {
+            steps: self.steps.clone(),
+            end_type: ty.clone(),
+        });
+        if self.steps.len() >= self.opts.max_len {
+            return;
+        }
+        match ty {
+            Type::Tuple(fields) | Type::Union(fields) => {
+                for f in fields {
+                    self.steps.push(AbsStep::Attr(f.name));
+                    self.go(&f.ty.clone());
+                    self.steps.pop();
+                }
+            }
+            Type::List(elem) => {
+                self.steps.push(AbsStep::ListElem);
+                self.go(&elem.clone());
+                self.steps.pop();
+            }
+            Type::Set(elem)
+                if self.opts.include_set_elements => {
+                    self.steps.push(AbsStep::SetElem);
+                    self.go(&elem.clone());
+                    self.steps.pop();
+                }
+            Type::Class(c) => {
+                if self.derefed.contains(c) {
+                    return;
+                }
+                let Some(sigma) = self.schema.class_type(*c) else {
+                    return;
+                };
+                self.derefed.insert(*c);
+                self.steps.push(AbsStep::Deref(*c));
+                self.go(&sigma);
+                self.steps.pop();
+                self.derefed.remove(c);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Abstract paths whose final step selects the attribute `name` — the
+/// candidates for a path pattern `P ·name` (e.g. all ways to reach a
+/// `title`).
+pub fn paths_ending_with_attr(
+    schema: &Schema,
+    start: &Type,
+    name: Sym,
+    opts: &SchemaPathOptions,
+) -> Vec<AbsPath> {
+    schema_paths(schema, start, opts)
+        .into_iter()
+        .filter(|p| matches!(p.steps.last(), Some(AbsStep::Attr(a)) if *a == name))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use docql_model::{sym, ClassDef, Schema};
+    use std::sync::Arc;
+
+    /// A miniature of the paper's Fig. 3 schema.
+    fn article_schema() -> Arc<Schema> {
+        Arc::new(
+            Schema::builder()
+                .class(ClassDef::new(
+                    "Text",
+                    Type::tuple([("contents", Type::String)]),
+                ))
+                .class(ClassDef::new("Title", Type::Any).inherit("Text"))
+                .class(ClassDef::new(
+                    "Subsectn",
+                    Type::tuple([
+                        ("title", Type::class("Title")),
+                        ("bodies", Type::list(Type::String)),
+                    ]),
+                ))
+                .class(ClassDef::new(
+                    "Section",
+                    Type::union([
+                        (
+                            "a1",
+                            Type::tuple([
+                                ("title", Type::class("Title")),
+                                ("bodies", Type::list(Type::String)),
+                            ]),
+                        ),
+                        (
+                            "a2",
+                            Type::tuple([
+                                ("title", Type::class("Title")),
+                                ("subsectns", Type::list(Type::class("Subsectn"))),
+                            ]),
+                        ),
+                    ]),
+                ))
+                .class(ClassDef::new(
+                    "Article",
+                    Type::tuple([
+                        ("title", Type::class("Title")),
+                        ("sections", Type::list(Type::class("Section"))),
+                    ]),
+                ))
+                .root("Articles", Type::list(Type::class("Article")))
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn all_title_paths_found() {
+        let schema = article_schema();
+        let paths = paths_ending_with_attr(
+            &schema,
+            &Type::class("Article"),
+            sym("title"),
+            &SchemaPathOptions::default(),
+        );
+        let strings: Vec<String> = paths
+            .iter()
+            .map(|p| {
+                p.steps
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect::<String>()
+            })
+            .collect();
+        // Article's own title, each section branch's title, subsection title.
+        assert!(strings.contains(&"->(Article).title".to_string()));
+        assert!(strings.contains(&"->(Article).sections[*]->(Section).a1.title".to_string()));
+        assert!(strings.contains(&"->(Article).sections[*]->(Section).a2.title".to_string()));
+        assert!(strings.contains(
+            &"->(Article).sections[*]->(Section).a2.subsectns[*]->(Subsectn).title".to_string()
+        ));
+        assert_eq!(strings.len(), 4, "{strings:?}");
+    }
+
+    #[test]
+    fn deref_restriction_bounds_recursion() {
+        // Person.spouse: Person — the abstract space is finite.
+        let schema = Arc::new(
+            Schema::builder()
+                .class(ClassDef::new(
+                    "Person",
+                    Type::tuple([
+                        ("name", Type::String),
+                        ("spouse", Type::class("Person")),
+                    ]),
+                ))
+                .build()
+                .unwrap(),
+        );
+        let paths = schema_paths(
+            &schema,
+            &Type::class("Person"),
+            &SchemaPathOptions::default(),
+        );
+        // ε, ->, ->.name, ->.spouse — and no deeper.
+        assert_eq!(paths.len(), 4);
+    }
+
+    #[test]
+    fn end_types_are_correct() {
+        let schema = article_schema();
+        let paths = schema_paths(
+            &schema,
+            &Type::class("Article"),
+            &SchemaPathOptions::default(),
+        );
+        let title_path = paths
+            .iter()
+            .find(|p| {
+                p.steps
+                    == vec![
+                        AbsStep::Deref(sym("Article")),
+                        AbsStep::Attr(sym("title")),
+                    ]
+            })
+            .unwrap();
+        assert_eq!(title_path.end_type, Type::class("Title"));
+        let contents = paths
+            .iter()
+            .find(|p| {
+                p.steps
+                    == vec![
+                        AbsStep::Deref(sym("Article")),
+                        AbsStep::Attr(sym("title")),
+                        AbsStep::Deref(sym("Title")),
+                        AbsStep::Attr(sym("contents")),
+                    ]
+            })
+            .unwrap();
+        assert_eq!(contents.end_type, Type::String);
+    }
+
+    #[test]
+    fn prefixes_included_and_epsilon_first() {
+        let schema = article_schema();
+        let paths = schema_paths(&schema, &Type::Integer, &SchemaPathOptions::default());
+        assert_eq!(paths.len(), 1);
+        assert!(paths[0].steps.is_empty());
+        assert_eq!(paths[0].end_type, Type::Integer);
+    }
+
+    #[test]
+    fn set_steps_can_be_disabled() {
+        let schema = article_schema();
+        let t = Type::set(Type::Integer);
+        let with = schema_paths(&schema, &t, &SchemaPathOptions::default());
+        assert_eq!(with.len(), 2);
+        let without = schema_paths(
+            &schema,
+            &t,
+            &SchemaPathOptions {
+                include_set_elements: false,
+                ..SchemaPathOptions::default()
+            },
+        );
+        assert_eq!(without.len(), 1);
+    }
+
+    #[test]
+    fn title_class_resolved_through_inheritance() {
+        let schema = article_schema();
+        let paths = schema_paths(
+            &schema,
+            &Type::class("Title"),
+            &SchemaPathOptions::default(),
+        );
+        // ε, ->(Title), ->(Title).contents
+        assert_eq!(paths.len(), 3);
+        assert_eq!(paths[2].end_type, Type::String);
+    }
+}

@@ -1,0 +1,64 @@
+//! Concrete path steps (§5.2): `·a`, `[i]`, `→`, `{v}`.
+
+use docql_model::{Sym, Value};
+use std::fmt;
+
+/// One step of a concrete path.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PathStep {
+    /// `·a` — select attribute `a` of a tuple or marked union.
+    Attr(Sym),
+    /// `[i]` — select the `i`-th element of a list (or of a tuple viewed as
+    /// a heterogeneous list).
+    Index(usize),
+    /// `→` — dereference an object identifier.
+    Deref,
+    /// `{v}` — choose element `v` of a set.
+    Elem(Value),
+}
+
+impl fmt::Display for PathStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathStep::Attr(a) => write!(f, ".{a}"),
+            PathStep::Index(i) => write!(f, "[{i}]"),
+            PathStep::Deref => f.write_str("->"),
+            PathStep::Elem(v) => write!(f, "{{{v}}}"),
+        }
+    }
+}
+
+impl PathStep {
+    /// Attribute step.
+    pub fn attr(name: impl Into<Sym>) -> PathStep {
+        PathStep::Attr(name.into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use docql_model::sym;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(PathStep::attr("sections").to_string(), ".sections");
+        assert_eq!(PathStep::Index(0).to_string(), "[0]");
+        assert_eq!(PathStep::Deref.to_string(), "->");
+        assert_eq!(PathStep::Elem(Value::Int(3)).to_string(), "{3}");
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut steps = vec![
+            PathStep::Deref,
+            PathStep::Index(1),
+            PathStep::attr("a"),
+            PathStep::Elem(Value::Nil),
+        ];
+        steps.sort();
+        steps.dedup();
+        assert_eq!(steps.len(), 4);
+        assert_eq!(PathStep::attr("a"), PathStep::Attr(sym("a")));
+    }
+}

@@ -1,0 +1,219 @@
+//! Property tests for the path machinery: enumeration coherence (every
+//! enumerated pair re-resolves to its value), semantics containment
+//! (restricted ⊆ liberal on acyclic data), projection/concat laws, and
+//! pattern-match soundness.
+
+use docql_model::{ClassDef, Instance, Schema, Value};
+use docql_paths::{
+    enumerate_paths, match_path, resolve, ConcretePath, EnumOptions, PatElem, PathSemantics,
+    PathStep,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn empty_instance() -> Instance {
+    let schema = Arc::new(
+        Schema::builder()
+            .class(ClassDef::new("C", docql_model::Type::Any))
+            .build()
+            .unwrap(),
+    );
+    Instance::new(schema)
+}
+
+fn attr_name() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("a".to_string()),
+        Just("b".to_string()),
+        Just("title".to_string()),
+    ]
+}
+
+/// Acyclic values (no oids — object graphs are tested separately).
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        "[a-z]{0,4}".prop_map(Value::str),
+        Just(Value::Nil),
+    ];
+    leaf.prop_recursive(3, 20, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..3).prop_map(Value::list),
+            prop::collection::vec(inner.clone(), 0..3).prop_map(Value::set),
+            prop::collection::vec((attr_name(), inner.clone()), 0..3).prop_map(|fs| {
+                let mut seen = Vec::new();
+                let mut out = Vec::new();
+                for (n, v) in fs {
+                    if !seen.contains(&n) {
+                        seen.push(n.clone());
+                        out.push((n, v));
+                    }
+                }
+                Value::tuple(out)
+            }),
+            (attr_name(), inner).prop_map(|(n, v)| Value::union(n, v)),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn enumeration_is_coherent(v in arb_value()) {
+        // Every (path, value) pair from enumeration re-resolves exactly.
+        let inst = empty_instance();
+        let opts = EnumOptions::default();
+        for (path, reached) in enumerate_paths(&inst, &v, &opts) {
+            let resolved = resolve(&inst, &v, &path);
+            prop_assert_eq!(resolved.as_ref(), Some(&reached),
+                "path {} of {}", path, v);
+        }
+    }
+
+    #[test]
+    fn restricted_subset_of_liberal_on_acyclic(v in arb_value()) {
+        let inst = empty_instance();
+        let restricted: std::collections::BTreeSet<ConcretePath> =
+            enumerate_paths(&inst, &v, &EnumOptions::default())
+                .into_iter().map(|(p, _)| p).collect();
+        let liberal: std::collections::BTreeSet<ConcretePath> =
+            enumerate_paths(&inst, &v, &EnumOptions {
+                semantics: PathSemantics::Liberal,
+                ..EnumOptions::default()
+            }).into_iter().map(|(p, _)| p).collect();
+        prop_assert!(restricted.is_subset(&liberal));
+        // No oids at all ⇒ identical.
+        prop_assert_eq!(restricted, liberal);
+    }
+
+    #[test]
+    fn projection_laws(v in arb_value()) {
+        let inst = empty_instance();
+        for (path, _) in enumerate_paths(&inst, &v, &EnumOptions::default()) {
+            let n = path.length();
+            // Full projection is identity.
+            if n > 0 {
+                prop_assert_eq!(path.project(0, n - 1), path.clone());
+            }
+            // Split-concat round trip.
+            for cut in 0..=n {
+                let head = if cut == 0 { ConcretePath::empty() } else { path.project(0, cut - 1) };
+                let tail = if cut >= n { ConcretePath::empty() } else { path.project(cut, n.saturating_sub(1)) };
+                prop_assert_eq!(head.concat(&tail), path.clone());
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_match_bindings_reassemble(v in arb_value()) {
+        // P .last-step matches iff splitting off the final step works.
+        let inst = empty_instance();
+        for (path, _) in enumerate_paths(&inst, &v, &EnumOptions::default()) {
+            let Some(last) = path.last().cloned() else { continue };
+            let pattern = vec![PatElem::PathVar(0), PatElem::Lit(last.clone())];
+            let ms = match_path(&path, &pattern);
+            prop_assert!(!ms.is_empty(), "{} should match P·{}", path, last);
+            for m in ms {
+                let mut rebuilt = m.paths[&0].clone();
+                rebuilt.push(last.clone());
+                prop_assert_eq!(&rebuilt, &path);
+            }
+        }
+    }
+
+    #[test]
+    fn prefixes_of_enumerated_paths_are_enumerated(v in arb_value()) {
+        let inst = empty_instance();
+        let all: std::collections::BTreeSet<ConcretePath> =
+            enumerate_paths(&inst, &v, &EnumOptions::default())
+                .into_iter().map(|(p, _)| p).collect();
+        for p in &all {
+            let n = p.length();
+            if n > 0 {
+                let prefix = p.project(0, n.saturating_sub(2));
+                let prefix = if n == 1 { ConcretePath::empty() } else { prefix };
+                prop_assert!(all.contains(&prefix),
+                    "prefix {} of {} missing", prefix, p);
+            }
+        }
+    }
+
+    #[test]
+    fn resolve_of_garbage_path_is_none_or_consistent(
+        v in arb_value(),
+        steps in prop::collection::vec(
+            prop_oneof![
+                attr_name().prop_map(|n| PathStep::Attr(docql_model::sym(&n))),
+                (0usize..3).prop_map(PathStep::Index),
+                Just(PathStep::Deref),
+            ],
+            0..4,
+        ),
+    ) {
+        let inst = empty_instance();
+        let path = ConcretePath::from_steps(steps);
+        // Must not panic; if it resolves, resolving again is identical.
+        let r1 = resolve(&inst, &v, &path);
+        let r2 = resolve(&inst, &v, &path);
+        prop_assert_eq!(r1, r2);
+    }
+}
+
+/// Cyclic object graphs: liberal terminates and strictly extends restricted.
+#[test]
+fn cyclic_graph_liberal_terminates_and_extends_restricted() {
+    let schema = Arc::new(
+        Schema::builder()
+            .class(ClassDef::new(
+                "Node",
+                docql_model::Type::tuple([
+                    ("tag", docql_model::Type::String),
+                    ("next", docql_model::Type::class("Node")),
+                ]),
+            ))
+            .build()
+            .unwrap(),
+    );
+    let mut inst = Instance::new(schema);
+    let n = 6;
+    let oids: Vec<_> = (0..n)
+        .map(|_| inst.new_object("Node", Value::Nil).unwrap())
+        .collect();
+    for (i, &o) in oids.iter().enumerate() {
+        inst.set_value(
+            o,
+            Value::tuple([
+                ("tag", Value::str(format!("n{i}"))),
+                ("next", Value::Oid(oids[(i + 1) % n])),
+            ]),
+        )
+        .unwrap();
+    }
+    let start = Value::Oid(oids[0]);
+    let restricted = enumerate_paths(&inst, &start, &EnumOptions::default());
+    let liberal = enumerate_paths(
+        &inst,
+        &start,
+        &EnumOptions {
+            semantics: PathSemantics::Liberal,
+            ..EnumOptions::default()
+        },
+    );
+    // Restricted: one deref of Node only. Liberal: all the way round, once.
+    assert!(liberal.len() > restricted.len());
+    let rset: std::collections::BTreeSet<_> =
+        restricted.into_iter().map(|(p, _)| p).collect();
+    let lset: std::collections::BTreeSet<_> = liberal.into_iter().map(|(p, _)| p).collect();
+    assert!(rset.is_subset(&lset));
+    // Liberal depth is bounded by the cycle length.
+    let max_derefs = lset
+        .iter()
+        .map(|p| {
+            p.steps()
+                .iter()
+                .filter(|s| matches!(s, PathStep::Deref))
+                .count()
+        })
+        .max()
+        .unwrap();
+    assert_eq!(max_derefs, n, "each object dereferenced at most once");
+}

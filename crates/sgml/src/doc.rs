@@ -1,0 +1,251 @@
+//! Parsed document instances: the tagged tree (Fig. 2), plus re-emission.
+
+use std::fmt;
+
+/// A node of a document tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    /// An element with its attributes and content.
+    Element(Element),
+    /// A run of character data (entity references already expanded).
+    Text(String),
+}
+
+impl Node {
+    /// The element, if this node is one.
+    pub fn as_element(&self) -> Option<&Element> {
+        match self {
+            Node::Element(e) => Some(e),
+            Node::Text(_) => None,
+        }
+    }
+
+    /// The text, if this node is a text run.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Node::Text(t) => Some(t),
+            Node::Element(_) => None,
+        }
+    }
+}
+
+/// An element of the document instance.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Element {
+    /// Element (tag) name, lower-cased.
+    pub name: String,
+    /// Attributes as `(name, value)` in source order (DTD defaults filled in
+    /// by the parser).
+    pub attrs: Vec<(String, String)>,
+    /// Child nodes in document order.
+    pub children: Vec<Node>,
+}
+
+impl Element {
+    /// New empty element.
+    pub fn new(name: impl Into<String>) -> Element {
+        Element {
+            name: name.into(),
+            ..Element::default()
+        }
+    }
+
+    /// Attribute lookup.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Child elements (skipping text runs).
+    pub fn child_elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(Node::as_element)
+    }
+
+    /// Concatenated text content of the whole subtree, in document order,
+    /// with runs joined by single spaces (the paper's `text` operator —
+    /// the inverse mapping from a logical object to its text portion).
+    pub fn text_content(&self) -> String {
+        let mut out = String::new();
+        fn walk(node: &Node, out: &mut String) {
+            match node {
+                Node::Text(t) => {
+                    let t = t.trim();
+                    if !t.is_empty() {
+                        if !out.is_empty() {
+                            out.push(' ');
+                        }
+                        out.push_str(t);
+                    }
+                }
+                Node::Element(e) => {
+                    for c in &e.children {
+                        walk(c, out);
+                    }
+                }
+            }
+        }
+        for c in &self.children {
+            walk(c, &mut out);
+        }
+        out
+    }
+
+    /// Count all elements in the subtree (including this one).
+    pub fn subtree_size(&self) -> usize {
+        1 + self
+            .child_elements()
+            .map(Element::subtree_size)
+            .sum::<usize>()
+    }
+
+    /// Depth-first search for the first descendant (or self) with this name.
+    pub fn find(&self, name: &str) -> Option<&Element> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.child_elements().find_map(|c| c.find(name))
+    }
+
+    /// All descendants (or self) with this name, in document order.
+    pub fn find_all<'a>(&'a self, name: &str, out: &mut Vec<&'a Element>) {
+        if self.name == name {
+            out.push(self);
+        }
+        for c in self.child_elements() {
+            c.find_all(name, out);
+        }
+    }
+}
+
+/// A complete document instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Document {
+    /// The document (root) element.
+    pub root: Element,
+}
+
+impl Document {
+    /// Serialize back to SGML text with explicit tags (normalized form:
+    /// omitted tags are reinstated, attributes quoted).
+    pub fn to_sgml(&self) -> String {
+        let mut out = String::new();
+        write_element(&self.root, 0, &mut out);
+        out
+    }
+}
+
+fn write_element(e: &Element, depth: usize, out: &mut String) {
+    let indent = "  ".repeat(depth);
+    out.push_str(&indent);
+    out.push('<');
+    out.push_str(&e.name);
+    for (n, v) in &e.attrs {
+        out.push(' ');
+        out.push_str(n);
+        out.push_str("=\"");
+        out.push_str(v);
+        out.push('"');
+    }
+    out.push('>');
+    let only_text = e.children.iter().all(|c| matches!(c, Node::Text(_)));
+    if only_text {
+        for c in &e.children {
+            if let Node::Text(t) = c {
+                out.push_str(t.trim());
+            }
+        }
+    } else {
+        out.push('\n');
+        for c in &e.children {
+            match c {
+                Node::Element(child) => write_element(child, depth + 1, out),
+                Node::Text(t) => {
+                    let t = t.trim();
+                    if !t.is_empty() {
+                        out.push_str(&"  ".repeat(depth + 1));
+                        out.push_str(t);
+                        out.push('\n');
+                    }
+                }
+            }
+        }
+        out.push_str(&indent);
+    }
+    out.push_str("</");
+    out.push_str(&e.name);
+    out.push_str(">\n");
+}
+
+impl fmt::Display for Document {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_sgml())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Element {
+        Element {
+            name: "section".into(),
+            attrs: vec![],
+            children: vec![
+                Node::Element(Element {
+                    name: "title".into(),
+                    attrs: vec![],
+                    children: vec![Node::Text("Introduction".into())],
+                }),
+                Node::Element(Element {
+                    name: "body".into(),
+                    attrs: vec![],
+                    children: vec![Node::Element(Element {
+                        name: "paragr".into(),
+                        attrs: vec![("reflabel".into(), "fig1".into())],
+                        children: vec![Node::Text("This paper  ".into()), Node::Text("is organized".into())],
+                    })],
+                }),
+            ],
+        }
+    }
+
+    #[test]
+    fn attr_lookup() {
+        let e = sample();
+        let p = e.find("paragr").unwrap();
+        assert_eq!(p.attr("reflabel"), Some("fig1"));
+        assert_eq!(p.attr("nope"), None);
+    }
+
+    #[test]
+    fn text_content_joins_runs() {
+        let e = sample();
+        assert_eq!(e.text_content(), "Introduction This paper is organized");
+    }
+
+    #[test]
+    fn find_and_find_all() {
+        let e = sample();
+        assert_eq!(e.find("title").unwrap().text_content(), "Introduction");
+        let mut all = Vec::new();
+        e.find_all("title", &mut all);
+        assert_eq!(all.len(), 1);
+        assert!(e.find("figure").is_none());
+    }
+
+    #[test]
+    fn subtree_size_counts_elements() {
+        assert_eq!(sample().subtree_size(), 4);
+    }
+
+    #[test]
+    fn serialization_has_explicit_tags() {
+        let doc = Document { root: sample() };
+        let s = doc.to_sgml();
+        assert!(s.contains("<title>Introduction</title>"));
+        assert!(s.contains("reflabel=\"fig1\""));
+        assert!(s.contains("</section>"));
+    }
+}

@@ -1,0 +1,139 @@
+//! Error type for SGML parsing and validation, with source positions.
+
+use std::fmt;
+
+/// A position in SGML source text (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Errors raised by the DTD parser, the document parser, and the validator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SgmlError {
+    /// Where in the source the problem was detected.
+    pub pos: Pos,
+    /// What went wrong.
+    pub kind: ErrorKind,
+}
+
+/// Classification of SGML errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ErrorKind {
+    /// Unexpected end of input.
+    UnexpectedEof(String),
+    /// Unexpected character or token.
+    Unexpected { expected: String, found: String },
+    /// Element declared twice in the DTD.
+    DuplicateElement(String),
+    /// ATTLIST for an element with no ELEMENT declaration.
+    AttlistForUnknownElement(String),
+    /// A document tag names an element the DTD does not declare.
+    UnknownElement(String),
+    /// An attribute not declared for this element.
+    UnknownAttribute { element: String, attribute: String },
+    /// A required attribute is missing.
+    MissingRequiredAttribute { element: String, attribute: String },
+    /// An enumerated attribute has a value outside its group.
+    BadAttributeValue {
+        element: String,
+        attribute: String,
+        value: String,
+        allowed: Vec<String>,
+    },
+    /// Content of an element does not match its declared content model.
+    ContentModelMismatch { element: String, detail: String },
+    /// An end tag closes an element that is not open.
+    MismatchedEndTag { expected: String, found: String },
+    /// A start/end tag was omitted but the element does not allow omission.
+    ForbiddenOmission { element: String, detail: String },
+    /// Reference to an undeclared entity.
+    UnknownEntity(String),
+    /// An IDREF with no matching ID in the document.
+    UnresolvedIdref(String),
+    /// The same ID value declared on two elements.
+    DuplicateId(String),
+    /// An `&` group with too many operands to expand into permutations.
+    AndGroupTooLarge { size: usize, max: usize },
+    /// Anything else.
+    Other(String),
+}
+
+impl SgmlError {
+    /// Construct an error at a position.
+    pub fn new(pos: Pos, kind: ErrorKind) -> SgmlError {
+        SgmlError { pos, kind }
+    }
+
+    /// Construct an error with no useful position.
+    pub fn nowhere(kind: ErrorKind) -> SgmlError {
+        SgmlError {
+            pos: Pos::default(),
+            kind,
+        }
+    }
+}
+
+impl fmt::Display for SgmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: ", self.pos)?;
+        match &self.kind {
+            ErrorKind::UnexpectedEof(what) => write!(f, "unexpected end of input while {what}"),
+            ErrorKind::Unexpected { expected, found } => {
+                write!(f, "expected {expected}, found {found}")
+            }
+            ErrorKind::DuplicateElement(e) => write!(f, "element `{e}` declared twice"),
+            ErrorKind::AttlistForUnknownElement(e) => {
+                write!(f, "ATTLIST for undeclared element `{e}`")
+            }
+            ErrorKind::UnknownElement(e) => write!(f, "unknown element `{e}`"),
+            ErrorKind::UnknownAttribute { element, attribute } => {
+                write!(f, "attribute `{attribute}` not declared for element `{element}`")
+            }
+            ErrorKind::MissingRequiredAttribute { element, attribute } => {
+                write!(f, "required attribute `{attribute}` missing on `{element}`")
+            }
+            ErrorKind::BadAttributeValue {
+                element,
+                attribute,
+                value,
+                allowed,
+            } => write!(
+                f,
+                "value `{value}` of attribute `{attribute}` on `{element}` not in ({})",
+                allowed.join(" | ")
+            ),
+            ErrorKind::ContentModelMismatch { element, detail } => {
+                write!(f, "content of `{element}` violates its content model: {detail}")
+            }
+            ErrorKind::MismatchedEndTag { expected, found } => {
+                write!(f, "end tag `</{found}>` does not close open element `{expected}`")
+            }
+            ErrorKind::ForbiddenOmission { element, detail } => {
+                write!(f, "tag omission not allowed for `{element}`: {detail}")
+            }
+            ErrorKind::UnknownEntity(e) => write!(f, "reference to undeclared entity `&{e};`"),
+            ErrorKind::UnresolvedIdref(id) => write!(f, "IDREF `{id}` matches no ID"),
+            ErrorKind::DuplicateId(id) => write!(f, "ID `{id}` declared twice"),
+            ErrorKind::AndGroupTooLarge { size, max } => write!(
+                f,
+                "`&` connector group with {size} operands exceeds supported maximum {max}"
+            ),
+            ErrorKind::Other(s) => f.write_str(s),
+        }
+    }
+}
+
+impl std::error::Error for SgmlError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, SgmlError>;

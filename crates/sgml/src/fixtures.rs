@@ -1,0 +1,74 @@
+//! The paper's running example, transcribed: the Fig. 1 DTD and a Fig. 2
+//! document instance.
+//!
+//! Fig. 2 as printed elides required material behind `…` (it shows no
+//! `affil`, no `acknowl`, and its `paragr` elements omit the `#REQUIRED`
+//! `reflabel` attribute and carry no referent `figure`). The constant below
+//! completes those elisions minimally so the instance is valid against the
+//! Fig. 1 DTD: an `affil`, an `acknowl`, a `figure` labelled `fig1` in the
+//! first section, and `reflabel="fig1"` on the paragraphs.
+
+/// Fig. 1: A DTD for a document of type `article`.
+pub const ARTICLE_DTD: &str = r#"<!DOCTYPE article [
+<!ELEMENT article - - (title, author+, affil, abstract, section+, acknowl)>
+<!ATTLIST article  status (final | draft) draft>
+<!ELEMENT title - O (#PCDATA)>
+<!ELEMENT author - O (#PCDATA)>
+<!ELEMENT affil - O (#PCDATA)>
+<!ELEMENT abstract - O (#PCDATA)>
+<!ELEMENT section - O ((title, body+) | (title, body*, subsectn+))>
+<!ELEMENT subsectn - O (title, body+)>
+<!ELEMENT body - O (figure | paragr)>
+<!ELEMENT figure - O (picture, caption?)>
+<!ATTLIST figure   label ID #IMPLIED>
+<!ELEMENT picture - O EMPTY>
+<!ATTLIST picture  sizex NMTOKEN "16cm"
+                   sizey NMTOKEN #IMPLIED
+                   file ENTITY #IMPLIED>
+<!ELEMENT caption O O (#PCDATA)>
+<!ENTITY fig1 SYSTEM "/u/christop/SGML/image1" NDATA >
+<!ELEMENT paragr - O (#PCDATA)>
+<!ATTLIST paragr   reflabel IDREF #REQUIRED>
+<!ELEMENT acknowl - O (#PCDATA)>
+]>"#;
+
+/// Fig. 2: An SGML document of type `article` (elisions completed; see
+/// module docs). Note the omitted `</author>` end tags, as in the paper.
+pub const FIG2_DOCUMENT: &str = r#"<article status="final">
+<title> From Structured Documents to Novel Query Facilities </title>
+<author> V. Christophides
+<author> S. Abiteboul
+<author> S. Cluet
+<author> M. Scholl
+</author>
+<affil> I.N.R.I.A. </affil>
+<abstract> Structured documents (e.g., SGML) can benefit a lot from database
+support and more specifically from object-oriented database (OODB) management
+systems... </abstract>
+<section>
+<title> Introduction </title>
+<body><figure label="fig1"><picture file="fig1">
+<caption> The mapping at a glance </caption></figure></body>
+<body><paragr reflabel="fig1"> This paper is organized as follows. Section 2
+introduces the SGML standard. The mapping from SGML to the O2 DBMS is defined
+in Section 3. Section 4 presents the extension ... </paragr>
+</body></section>
+<section>
+<title> SGML preliminaries </title>
+<body><paragr reflabel="fig1"> In this section, we present the main features
+of SGML. (A general presentation is clearly beyond the scope of this paper.)
+</paragr></body></section>
+<acknowl> We are grateful to O2 Technology, Euroclid and AIS Berger-Levrault
+for their technical support during this project. </acknowl>
+</article>"#;
+
+/// A small letters DTD exercising the `&` connector (§4.4 / Q6): a preamble
+/// whose recipient (`to`) and sender (`from`) come in permutable order.
+pub const LETTER_DTD: &str = r#"<!DOCTYPE letter [
+<!ELEMENT letter - - (preamble, subject?, para+)>
+<!ELEMENT preamble - - (to & from)>
+<!ELEMENT to - O (#PCDATA)>
+<!ELEMENT from - O (#PCDATA)>
+<!ELEMENT subject - O (#PCDATA)>
+<!ELEMENT para - O (#PCDATA)>
+]>"#;

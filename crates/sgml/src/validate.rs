@@ -1,0 +1,296 @@
+//! Whole-document validation against a DTD.
+//!
+//! The [`crate::parser::DocParser`] validates incrementally while parsing;
+//! this module re-validates *programmatically constructed* trees (e.g. the
+//! synthetic corpus generator builds [`crate::doc::Document`]s directly) and
+//! performs the document-global checks the streaming parser cannot:
+//! ID uniqueness and IDREF resolution (Fig. 1 lines 12/18).
+
+use crate::content::{match_children, ContentExpr, ContentModel, Label};
+use crate::doc::{Document, Element, Node};
+use crate::dtd::{AttDefault, AttType, Dtd};
+use crate::error::{ErrorKind, SgmlError};
+use std::collections::HashSet;
+
+/// Validate a document against a DTD. Returns every violation found.
+pub fn validate(doc: &Document, dtd: &Dtd) -> Vec<SgmlError> {
+    let mut v = Validator {
+        dtd,
+        errors: Vec::new(),
+        ids: HashSet::new(),
+        idrefs: Vec::new(),
+    };
+    if !dtd.doctype.is_empty() && doc.root.name != dtd.doctype {
+        v.errors.push(SgmlError::nowhere(ErrorKind::ContentModelMismatch {
+            element: doc.root.name.clone(),
+            detail: format!("document element must be `{}`", dtd.doctype),
+        }));
+    }
+    v.element(&doc.root);
+    // Global referential checks.
+    for idref in &v.idrefs {
+        if !v.ids.contains(idref) {
+            v.errors
+                .push(SgmlError::nowhere(ErrorKind::UnresolvedIdref(idref.clone())));
+        }
+    }
+    v.errors
+}
+
+/// Is the document valid?
+pub fn is_valid(doc: &Document, dtd: &Dtd) -> bool {
+    validate(doc, dtd).is_empty()
+}
+
+struct Validator<'d> {
+    dtd: &'d Dtd,
+    errors: Vec<SgmlError>,
+    ids: HashSet<String>,
+    idrefs: Vec<String>,
+}
+
+impl Validator<'_> {
+    fn element(&mut self, e: &Element) {
+        let Some(decl) = self.dtd.element(&e.name) else {
+            self.errors
+                .push(SgmlError::nowhere(ErrorKind::UnknownElement(e.name.clone())));
+            return;
+        };
+        self.attributes(e);
+        // Build the child label sequence appropriate for the content model.
+        let accepts_text = model_accepts_text(&decl.content);
+        let labels: Vec<Label> = e
+            .children
+            .iter()
+            .filter_map(|c| match c {
+                Node::Element(el) => Some(Label::Elem(el.name.clone())),
+                Node::Text(t) => {
+                    if accepts_text {
+                        Some(Label::Text)
+                    } else if t.trim().is_empty() {
+                        None
+                    } else {
+                        Some(Label::Text) // will be reported as mismatch
+                    }
+                }
+            })
+            .collect();
+        let ok = match &decl.content {
+            ContentModel::Empty => labels.is_empty(),
+            ContentModel::Any => true,
+            ContentModel::Pcdata => labels.iter().all(|l| *l == Label::Text),
+            ContentModel::Model(expr) => match crate::content::expand_and(expr) {
+                Ok(expanded) => match_children(&expanded, &labels).is_some(),
+                Err(err) => {
+                    self.errors.push(err);
+                    true
+                }
+            },
+        };
+        if !ok {
+            self.errors
+                .push(SgmlError::nowhere(ErrorKind::ContentModelMismatch {
+                    element: e.name.clone(),
+                    detail: format!(
+                        "children [{}] do not match {}",
+                        labels
+                            .iter()
+                            .map(|l| l.to_string())
+                            .collect::<Vec<_>>()
+                            .join(", "),
+                        decl.content
+                    ),
+                }));
+        }
+        for c in e.child_elements() {
+            self.element(c);
+        }
+    }
+
+    fn attributes(&mut self, e: &Element) {
+        let decls = self.dtd.attributes_of(&e.name);
+        for (n, v) in &e.attrs {
+            let Some(decl) = decls.iter().find(|d| &d.name == n) else {
+                self.errors.push(SgmlError::nowhere(ErrorKind::UnknownAttribute {
+                    element: e.name.clone(),
+                    attribute: n.clone(),
+                }));
+                continue;
+            };
+            match &decl.ty {
+                AttType::Enumerated(allowed) => {
+                    if !allowed.contains(v) {
+                        self.errors.push(SgmlError::nowhere(ErrorKind::BadAttributeValue {
+                            element: e.name.clone(),
+                            attribute: n.clone(),
+                            value: v.clone(),
+                            allowed: allowed.clone(),
+                        }));
+                    }
+                }
+                AttType::Id => {
+                    if !self.ids.insert(v.clone()) {
+                        self.errors
+                            .push(SgmlError::nowhere(ErrorKind::DuplicateId(v.clone())));
+                    }
+                }
+                AttType::Idref => self.idrefs.push(v.clone()),
+                AttType::Idrefs => {
+                    self.idrefs.extend(v.split_whitespace().map(str::to_owned));
+                }
+                AttType::Entity => {
+                    if self.dtd.entity(v).is_none() {
+                        self.errors
+                            .push(SgmlError::nowhere(ErrorKind::UnknownEntity(v.clone())));
+                    }
+                }
+                AttType::Cdata | AttType::NmToken => {}
+            }
+        }
+        for decl in decls {
+            if matches!(decl.default, AttDefault::Required)
+                && !e.attrs.iter().any(|(n, _)| n == &decl.name)
+            {
+                self.errors
+                    .push(SgmlError::nowhere(ErrorKind::MissingRequiredAttribute {
+                        element: e.name.clone(),
+                        attribute: decl.name.clone(),
+                    }));
+            }
+        }
+    }
+}
+
+fn model_accepts_text(model: &ContentModel) -> bool {
+    fn expr_has_pcdata(e: &ContentExpr) -> bool {
+        match e {
+            ContentExpr::Pcdata => true,
+            ContentExpr::Ref(_) => false,
+            ContentExpr::Seq(items) | ContentExpr::And(items) | ContentExpr::Choice(items) => {
+                items.iter().any(expr_has_pcdata)
+            }
+            ContentExpr::Occur(inner, _) => expr_has_pcdata(inner),
+        }
+    }
+    match model {
+        ContentModel::Pcdata | ContentModel::Any => true,
+        ContentModel::Empty => false,
+        ContentModel::Model(e) => expr_has_pcdata(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{ARTICLE_DTD, FIG2_DOCUMENT};
+    use crate::parser::DocParser;
+
+    fn fig2() -> (Dtd, Document) {
+        let dtd = Dtd::parse(ARTICLE_DTD).unwrap();
+        let doc = DocParser::new(&dtd).unwrap().parse(FIG2_DOCUMENT).unwrap();
+        (dtd, doc)
+    }
+
+    #[test]
+    fn fig2_is_valid() {
+        let (dtd, doc) = fig2();
+        let errs = validate(&doc, &dtd);
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    #[test]
+    fn unresolved_idref_detected() {
+        let (dtd, mut doc) = fig2();
+        // Point a paragraph at a label that no figure declares.
+        fn retarget(e: &mut Element) {
+            if e.name == "paragr" {
+                for (n, v) in &mut e.attrs {
+                    if n == "reflabel" {
+                        *v = "ghost".to_string();
+                    }
+                }
+            }
+            for c in &mut e.children {
+                if let Node::Element(el) = c {
+                    retarget(el);
+                }
+            }
+        }
+        retarget(&mut doc.root);
+        let errs = validate(&doc, &dtd);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(&e.kind, ErrorKind::UnresolvedIdref(id) if id == "ghost")));
+    }
+
+    #[test]
+    fn duplicate_id_detected() {
+        let dtd = Dtd::parse(ARTICLE_DTD).unwrap();
+        let mut fig = Element::new("figure");
+        fig.attrs.push(("label".into(), "f".into()));
+        fig.children.push(Node::Element(Element::new("picture")));
+        let mut body1 = Element::new("body");
+        body1.children.push(Node::Element(fig.clone()));
+        let mut body2 = Element::new("body");
+        body2.children.push(Node::Element(fig));
+        let mut title = Element::new("title");
+        title.children.push(Node::Text("T".into()));
+        let mut section = Element::new("section");
+        section.children = vec![
+            Node::Element(title.clone()),
+            Node::Element(body1),
+            Node::Element(body2),
+        ];
+        let mut root = Element::new("article");
+        let mk_text = |name: &str| {
+            let mut e = Element::new(name);
+            e.children.push(Node::Text("x".into()));
+            Node::Element(e)
+        };
+        root.children = vec![
+            Node::Element(title),
+            mk_text("author"),
+            mk_text("affil"),
+            mk_text("abstract"),
+            Node::Element(section),
+            mk_text("acknowl"),
+        ];
+        let errs = validate(&Document { root }, &dtd);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(&e.kind, ErrorKind::DuplicateId(id) if id == "f")));
+    }
+
+    #[test]
+    fn content_model_violation_detected() {
+        let dtd = Dtd::parse(ARTICLE_DTD).unwrap();
+        let mut root = Element::new("article");
+        root.children
+            .push(Node::Element(Element::new("abstract"))); // wrong order/missing parts
+        let errs = validate(&Document { root }, &dtd);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(&e.kind, ErrorKind::ContentModelMismatch { .. })));
+    }
+
+    #[test]
+    fn stray_text_in_element_content_detected() {
+        let dtd = Dtd::parse(ARTICLE_DTD).unwrap();
+        let mut root = Element::new("article");
+        root.children.push(Node::Text("loose text".into()));
+        let errs = validate(&Document { root }, &dtd);
+        assert!(!errs.is_empty());
+    }
+
+    #[test]
+    fn wrong_doctype_detected() {
+        let dtd = Dtd::parse(ARTICLE_DTD).unwrap();
+        let doc = Document {
+            root: Element::new("title"),
+        };
+        let errs = validate(&doc, &dtd);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(&e.kind, ErrorKind::ContentModelMismatch { .. })));
+    }
+}

@@ -1,0 +1,527 @@
+//! # docql-store — the document store façade
+//!
+//! Ties the substrates together into the system the paper describes: an
+//! SGML document database with O₂SQL querying on top.
+//!
+//! * construction from a DTD (schema generated per §3),
+//! * document ingestion (parse → validate → load; text index maintained),
+//! * named roots of persistence (`my_article`, `my_old_article` — §4.3),
+//! * the `text` operator wired to the real inverse mapping recorded at load
+//!   time (Q2),
+//! * O₂SQL and calculus querying, in interpreter or algebraic mode,
+//! * index-accelerated document search (the §4.1/§6 full-text machinery),
+//! * export back to SGML (the update path of §6).
+
+use docql_calculus::{CalcValue, Interp, InterpError};
+use docql_mapping::{export_document, load_document, map_dtd_with, DtdMapping, MapError};
+use docql_model::{Instance, Oid, Value};
+use docql_o2sql::{Engine, Mode, O2sqlError, QueryResult};
+use docql_sgml::{DocParser, Document, Dtd, SgmlError};
+use docql_text::{ContainsExpr, InvertedIndex};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, RwLock};
+
+/// Store-level error.
+#[derive(Debug)]
+pub enum StoreError {
+    /// SGML parsing/validation failed.
+    Sgml(SgmlError),
+    /// Mapping/loading failed.
+    Map(MapError),
+    /// Query failed.
+    Query(O2sqlError),
+    /// Anything else.
+    Other(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Sgml(e) => write!(f, "{e}"),
+            StoreError::Map(e) => write!(f, "{e}"),
+            StoreError::Query(e) => write!(f, "{e}"),
+            StoreError::Other(s) => f.write_str(s),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<SgmlError> for StoreError {
+    fn from(e: SgmlError) -> StoreError {
+        StoreError::Sgml(e)
+    }
+}
+impl From<MapError> for StoreError {
+    fn from(e: MapError) -> StoreError {
+        StoreError::Map(e)
+    }
+}
+impl From<O2sqlError> for StoreError {
+    fn from(e: O2sqlError) -> StoreError {
+        StoreError::Query(e)
+    }
+}
+
+/// A document store: one DTD, many documents, named roots, text index.
+pub struct DocStore {
+    dtd: Dtd,
+    mapping: DtdMapping,
+    instance: Instance,
+    interp: Interp,
+    text_of: Arc<RwLock<HashMap<Oid, String>>>,
+    index: InvertedIndex,
+    /// Root objects of ingested documents, in ingestion order.
+    documents: Vec<Oid>,
+}
+
+impl DocStore {
+    /// Build a store from DTD text, declaring extra named roots of the
+    /// document class (e.g. `&["my_article", "my_old_article"]`).
+    pub fn new(dtd_text: &str, extra_roots: &[&str]) -> Result<DocStore, StoreError> {
+        let dtd = Dtd::parse(dtd_text)?;
+        let mapping = map_dtd_with(&dtd, extra_roots)?;
+        let instance = Instance::new(mapping.schema.clone());
+        let text_of: Arc<RwLock<HashMap<Oid, String>>> = Arc::new(RwLock::new(HashMap::new()));
+        let mut interp = Interp::with_builtins();
+        // The paper's `text` operator: inverse mapping from a logical object
+        // to its text portion, recorded by the loader.
+        let table = Arc::clone(&text_of);
+        interp.register_func(
+            "text",
+            move |ctx: &docql_calculus::InterpCtx<'_>, args: &[CalcValue]| match args.first() {
+                Some(CalcValue::Data(Value::Oid(o))) => {
+                    let table = table.read().expect("text table poisoned");
+                    match table.get(o) {
+                        Some(t) => Ok(CalcValue::Data(Value::str(t.clone()))),
+                        // Not loaded from a document (e.g. built
+                        // programmatically): fall back to value traversal.
+                        None => Ok(CalcValue::Data(Value::str(
+                            ctx.textify(&Value::Oid(*o)),
+                        ))),
+                    }
+                }
+                Some(CalcValue::Data(v)) => {
+                    Ok(CalcValue::Data(Value::str(ctx.textify(v))))
+                }
+                other => Err(InterpError(format!("text: bad argument {other:?}"))),
+            },
+        );
+        Ok(DocStore {
+            dtd,
+            mapping,
+            instance,
+            interp,
+            text_of,
+            index: InvertedIndex::new(),
+            documents: Vec::new(),
+        })
+    }
+
+    /// Ingest an SGML document: parse (with tag-omission inference),
+    /// validate, load into objects, index its text. Returns the document's
+    /// root object.
+    pub fn ingest(&mut self, sgml_text: &str) -> Result<Oid, StoreError> {
+        let parser = DocParser::new(&self.dtd)?;
+        let doc = parser.parse(sgml_text)?;
+        self.ingest_document(&doc)
+    }
+
+    /// Ingest an already-parsed document tree.
+    pub fn ingest_document(&mut self, doc: &Document) -> Result<Oid, StoreError> {
+        let loaded = load_document(&self.mapping, &mut self.instance, doc)?;
+        {
+            let mut table = self.text_of.write().expect("text table poisoned");
+            for (oid, text) in &loaded.text_of {
+                table.insert(*oid, text.clone());
+            }
+        }
+        if let Some(text) = loaded.text_of.get(&loaded.root) {
+            self.index.add(u64::from(loaded.root.0), text);
+        }
+        self.documents.push(loaded.root);
+        Ok(loaded.root)
+    }
+
+    /// Bind a named root of persistence (declared at construction) to a
+    /// document object — e.g. `store.bind("my_article", oid)`.
+    pub fn bind(&mut self, name: &str, oid: Oid) -> Result<(), StoreError> {
+        self.instance
+            .set_root(name, Value::Oid(oid))
+            .map_err(|e| StoreError::Other(e.to_string()))
+    }
+
+    /// Run an O₂SQL query (interpreter mode).
+    pub fn query(&self, src: &str) -> Result<QueryResult, StoreError> {
+        Ok(self.engine().run(src)?)
+    }
+
+    /// Run an O₂SQL query through the §5.4 algebraizer.
+    pub fn query_algebraic(&self, src: &str) -> Result<QueryResult, StoreError> {
+        let mut e = self.engine();
+        e.mode = Mode::Algebraic;
+        Ok(e.run(src)?)
+    }
+
+    /// An engine over this store (interpreter mode; set `.mode` to switch).
+    pub fn engine(&self) -> Engine<'_> {
+        Engine::new(&self.instance, &self.interp)
+    }
+
+    /// Index-accelerated document search with exact `contains` (substring)
+    /// semantics: the index produces a guaranteed-superset candidate set,
+    /// re-checked against the stored text. (For word-level IRS semantics
+    /// use [`docql_text::InvertedIndex::docs_matching`] directly.)
+    pub fn find_documents(&self, expr: &ContainsExpr) -> Vec<Oid> {
+        let matcher = expr.compile();
+        let table = self.text_of.read().expect("text table poisoned");
+        self.index
+            .candidates(expr)
+            .into_iter()
+            .map(|d| Oid(d as u32))
+            .filter(|oid| table.get(oid).is_some_and(|text| matcher.eval(text)))
+            .collect()
+    }
+
+    /// Full-scan document search (the baseline the index is measured
+    /// against, bench B3).
+    pub fn find_documents_scan(&self, expr: &ContainsExpr) -> Vec<Oid> {
+        let matcher = expr.compile();
+        let table = self.text_of.read().expect("text table poisoned");
+        self.documents
+            .iter()
+            .copied()
+            .filter(|oid| table.get(oid).is_some_and(|text| matcher.eval(text)))
+            .collect()
+    }
+
+    /// Export a document object back to SGML (§6's update path).
+    pub fn export(&self, root: Oid) -> Result<Document, StoreError> {
+        Ok(export_document(&self.mapping, &self.instance, root)?)
+    }
+
+    /// The paper's `text` inverse mapping for one object.
+    pub fn text_of(&self, oid: Oid) -> Option<String> {
+        self.text_of
+            .read()
+            .expect("text table poisoned")
+            .get(&oid)
+            .cloned()
+    }
+
+    /// The underlying instance (read access).
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// Mutable instance access (for update scenarios; remember to re-run
+    /// [`docql_model::Instance::check`] and, if textual content changed,
+    /// [`DocStore::refresh_text`] — or use [`DocStore::update_value`] which
+    /// does both bookkeeping steps).
+    pub fn instance_mut(&mut self) -> &mut Instance {
+        &mut self.instance
+    }
+
+    /// Update an object's value (§6's "update the document from the
+    /// database"): sets ν(o) and refreshes the `text` inverse mapping and
+    /// the full-text index for every document.
+    pub fn update_value(
+        &mut self,
+        oid: Oid,
+        value: Value,
+    ) -> Result<(), StoreError> {
+        self.instance
+            .set_value(oid, value)
+            .map_err(|e| StoreError::Other(e.to_string()))?;
+        self.refresh_text();
+        Ok(())
+    }
+
+    /// Recompute the `text` inverse mapping from the current instance (all
+    /// objects reachable from ingested documents) and rebuild the document
+    /// text index.
+    pub fn refresh_text(&mut self) {
+        let mut table = HashMap::new();
+        for &root in &self.documents {
+            self.collect_text(root, &mut table);
+        }
+        self.index = InvertedIndex::new();
+        for &root in &self.documents {
+            if let Some(text) = table.get(&root) {
+                self.index.add(u64::from(root.0), text);
+            }
+        }
+        *self.text_of.write().expect("text table poisoned") = table;
+    }
+
+    /// The text of an object = the texts of its element children in shape
+    /// order (mirrors `Element::text_content`), memoised into `table`.
+    fn collect_text(&self, oid: Oid, table: &mut HashMap<Oid, String>) -> String {
+        if let Some(t) = table.get(&oid) {
+            return t.clone();
+        }
+        let Ok(class) = self.instance.class_of(oid) else {
+            return String::new();
+        };
+        let em = self
+            .mapping
+            .elements
+            .values()
+            .find(|em| em.class == class);
+        let text = match em.map(|em| &em.content) {
+            Some(docql_mapping::ContentKind::TextContent) => self
+                .instance
+                .value_of(oid)
+                .ok()
+                .and_then(|v| match v.attr(docql_model::sym("contents")) {
+                    Some(Value::Str(s)) => Some(s.clone()),
+                    _ => None,
+                })
+                .unwrap_or_default(),
+            Some(docql_mapping::ContentKind::Media) => String::new(),
+            _ => {
+                // Structured / Any: concatenate child-object texts in value
+                // order. SGML-attribute fields (IDREFs, back-reference
+                // lists) are skipped precisely, using the mapping metadata.
+                let skip: Vec<docql_model::Sym> = em
+                    .map(|em| em.attrs.iter().map(|a| a.field).collect())
+                    .unwrap_or_default();
+                let mut parts = Vec::new();
+                if let Ok(v) = self.instance.value_of(oid) {
+                    let v = v.clone();
+                    collect_child_oids(&v, &skip, &mut parts);
+                }
+                let texts: Vec<String> = parts
+                    .into_iter()
+                    .map(|child| self.collect_text(child, table))
+                    .filter(|t| !t.is_empty())
+                    .collect();
+                texts.join(" ")
+            }
+        };
+        table.insert(oid, text.clone());
+        text
+    }
+
+    /// The DTD this store is typed by.
+    pub fn dtd(&self) -> &Dtd {
+        &self.dtd
+    }
+
+    /// The DTD→schema mapping.
+    pub fn mapping(&self) -> &DtdMapping {
+        &self.mapping
+    }
+
+    /// The interpreted-function registry (to add custom predicates).
+    pub fn interp_mut(&mut self) -> &mut Interp {
+        &mut self.interp
+    }
+
+    /// The interpreted-function registry (read access).
+    pub fn interp(&self) -> &Interp {
+        &self.interp
+    }
+
+    /// Ingested document roots, in order.
+    pub fn documents(&self) -> &[Oid] {
+        &self.documents
+    }
+
+    /// Validate the whole instance (types + constraints).
+    pub fn check(&self) -> Vec<docql_model::ModelError> {
+        self.instance.check()
+    }
+
+    /// The root of persistence holding all documents (e.g. `Articles`).
+    pub fn collection_root(&self) -> docql_model::Sym {
+        self.mapping.root
+    }
+
+    /// Text-index statistics `(documents, terms)`.
+    pub fn index_stats(&self) -> (usize, usize) {
+        (self.index.doc_count(), self.index.term_count())
+    }
+
+    /// Persist the store to a directory: the DTD and every document
+    /// exported back to SGML text. Documents are the paper's exchange
+    /// format (footnote 1) — a store round-trips through its own
+    /// serialisation losslessly (modulo whitespace normalisation).
+    pub fn save_dir(&self, dir: &std::path::Path) -> Result<(), StoreError> {
+        std::fs::create_dir_all(dir).map_err(io_err)?;
+        std::fs::write(dir.join("schema.dtd"), self.dtd.to_string()).map_err(io_err)?;
+        for (i, &root) in self.documents.iter().enumerate() {
+            let doc = self.export(root)?;
+            std::fs::write(dir.join(format!("doc{i:05}.sgml")), doc.to_sgml())
+                .map_err(io_err)?;
+        }
+        Ok(())
+    }
+
+    /// Load a store saved by [`DocStore::save_dir`]. Named roots must be
+    /// re-declared (they are binding state, not document content).
+    pub fn load_dir(dir: &std::path::Path, extra_roots: &[&str]) -> Result<DocStore, StoreError> {
+        let dtd_text = std::fs::read_to_string(dir.join("schema.dtd")).map_err(io_err)?;
+        let mut store = DocStore::new(&dtd_text, extra_roots)?;
+        let mut names: Vec<_> = std::fs::read_dir(dir)
+            .map_err(io_err)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "sgml"))
+            .collect();
+        names.sort();
+        for path in names {
+            let text = std::fs::read_to_string(&path).map_err(io_err)?;
+            store.ingest(&text)?;
+        }
+        Ok(store)
+    }
+}
+
+fn io_err(e: std::io::Error) -> StoreError {
+    StoreError::Other(format!("io: {e}"))
+}
+
+/// Child objects of a value, in order — skipping the SGML-attribute fields
+/// named in `skip` (IDREF targets and ID back-reference lists hold oids but
+/// are cross references, not content; descending through them would double
+/// text and loop).
+fn collect_child_oids(v: &Value, skip: &[docql_model::Sym], out: &mut Vec<Oid>) {
+    match v {
+        Value::Oid(o) => out.push(*o),
+        Value::Tuple(fs) => {
+            for (name, fv) in fs {
+                if skip.contains(name) {
+                    continue;
+                }
+                collect_child_oids(fv, skip, out);
+            }
+        }
+        Value::Union(_, payload) => collect_child_oids(payload, skip, out),
+        Value::List(items) | Value::Set(items) => {
+            for i in items {
+                collect_child_oids(i, skip, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Convenience: the paper's running example, pre-loaded: the Fig. 1 DTD
+/// with the Fig. 2 document ingested and bound to `my_article`.
+pub fn paper_store() -> Result<DocStore, StoreError> {
+    let mut store = DocStore::new(
+        docql_sgml::fixtures::ARTICLE_DTD,
+        &["my_article", "my_old_article"],
+    )?;
+    let root = store.ingest(docql_sgml::fixtures::FIG2_DOCUMENT)?;
+    store.bind("my_article", root)?;
+    Ok(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use docql_sgml::fixtures::FIG2_DOCUMENT;
+
+    #[test]
+    fn build_ingest_and_check() {
+        let store = paper_store().unwrap();
+        assert_eq!(store.documents().len(), 1);
+        assert!(store.check().is_empty());
+        let (docs, terms) = store.index_stats();
+        assert_eq!(docs, 1);
+        assert!(terms > 20);
+    }
+
+    #[test]
+    fn named_root_is_queryable() {
+        let store = paper_store().unwrap();
+        let r = store
+            .query("select t from my_article PATH_p.title(t)")
+            .unwrap();
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn text_operator_uses_loader_table() {
+        let store = paper_store().unwrap();
+        let root = store.documents()[0];
+        let text = store.text_of(root).unwrap();
+        assert!(text.contains("SGML preliminaries"));
+    }
+
+    #[test]
+    fn find_documents_index_and_scan_agree() {
+        let mut store = DocStore::new(docql_sgml::fixtures::ARTICLE_DTD, &[]).unwrap();
+        store.ingest(FIG2_DOCUMENT).unwrap();
+        let second = FIG2_DOCUMENT
+            .replace(
+                "From Structured Documents to Novel Query Facilities",
+                "A Totally Different Title",
+            )
+            .replace("SGML preliminaries", "XML musings");
+        store.ingest(&second).unwrap();
+        let e = ContainsExpr::all_of(["SGML preliminaries"]).unwrap();
+        let a = store.find_documents(&e);
+        let b = store.find_documents_scan(&e);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn export_round_trip() {
+        let store = paper_store().unwrap();
+        let doc = store.export(store.documents()[0]).unwrap();
+        assert_eq!(doc.root.name, "article");
+        assert!(docql_sgml::is_valid(&doc, store.dtd()));
+    }
+
+    #[test]
+    fn binding_unknown_root_fails() {
+        let mut store = DocStore::new(docql_sgml::fixtures::ARTICLE_DTD, &[]).unwrap();
+        let root = store.ingest(FIG2_DOCUMENT).unwrap();
+        assert!(store.bind("nope", root).is_err());
+    }
+}
+
+#[cfg(test)]
+mod persistence_tests {
+    use super::*;
+    use docql_sgml::fixtures::{ARTICLE_DTD, FIG2_DOCUMENT};
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let mut store = DocStore::new(ARTICLE_DTD, &[]).unwrap();
+        store.ingest(FIG2_DOCUMENT).unwrap();
+        let second = FIG2_DOCUMENT
+            .replace(
+                "From Structured Documents to Novel Query Facilities",
+                "A Second Document",
+            );
+        store.ingest(&second).unwrap();
+
+        let dir = std::env::temp_dir().join(format!(
+            "docql-store-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        store.save_dir(&dir).unwrap();
+        let restored = DocStore::load_dir(&dir, &[]).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+
+        assert_eq!(restored.documents().len(), 2);
+        assert!(restored.check().is_empty());
+        assert_eq!(
+            store.instance().object_count(),
+            restored.instance().object_count()
+        );
+        // Queries agree across the round trip.
+        let q = "select t from Articles PATH_p.title(t)";
+        assert_eq!(
+            store.query(q).unwrap().len(),
+            restored.query(q).unwrap().len()
+        );
+    }
+}

@@ -1,0 +1,172 @@
+//! The `contains` predicate: a pattern or a boolean combination of patterns
+//! (§4.1, query Q1: `s.title contains ("SGML" and "OODBMS")`).
+
+use crate::nfa::Nfa;
+use crate::pattern::{Pattern, PatternError};
+
+/// A `contains` operand: boolean combination of patterns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ContainsExpr {
+    /// A single pattern.
+    Pattern(Pattern),
+    /// All must occur.
+    And(Vec<ContainsExpr>),
+    /// At least one must occur.
+    Or(Vec<ContainsExpr>),
+    /// Must not occur.
+    Not(Box<ContainsExpr>),
+}
+
+impl ContainsExpr {
+    /// A single-pattern expression parsed from pattern syntax.
+    pub fn pattern(src: &str) -> Result<ContainsExpr, PatternError> {
+        Ok(ContainsExpr::Pattern(Pattern::parse(src)?))
+    }
+
+    /// All the words (patterns), conjoined.
+    pub fn all_of<I: IntoIterator<Item = S>, S: AsRef<str>>(
+        pats: I,
+    ) -> Result<ContainsExpr, PatternError> {
+        let items = pats
+            .into_iter()
+            .map(|p| ContainsExpr::pattern(p.as_ref()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ContainsExpr::And(items))
+    }
+
+    /// Compile to a [`ContainsMatcher`] for repeated evaluation.
+    pub fn compile(&self) -> ContainsMatcher {
+        ContainsMatcher {
+            node: compile_node(self),
+        }
+    }
+
+    /// One-shot evaluation.
+    pub fn eval(&self, text: &str) -> bool {
+        self.compile().eval(text)
+    }
+
+    /// Is every pattern leaf a plain literal (words/phrases, no regex
+    /// operators)? For such expressions the positional inverted index
+    /// answers *exactly* — no re-check against stored text is needed.
+    pub fn is_word_exact(&self) -> bool {
+        fn literal(p: &Pattern) -> bool {
+            match p {
+                Pattern::Empty | Pattern::Char(_) => true,
+                Pattern::Concat(items) => items.iter().all(literal),
+                _ => false,
+            }
+        }
+        match self {
+            ContainsExpr::Pattern(p) => literal(p),
+            ContainsExpr::And(items) | ContainsExpr::Or(items) => {
+                items.iter().all(ContainsExpr::is_word_exact)
+            }
+            ContainsExpr::Not(inner) => inner.is_word_exact(),
+        }
+    }
+
+    /// The positive patterns mentioned (used by index-accelerated search to
+    /// prefilter candidate documents).
+    pub fn positive_patterns(&self, out: &mut Vec<Pattern>) {
+        match self {
+            ContainsExpr::Pattern(p) => out.push(p.clone()),
+            ContainsExpr::And(items) | ContainsExpr::Or(items) => {
+                for i in items {
+                    i.positive_patterns(out);
+                }
+            }
+            ContainsExpr::Not(_) => {}
+        }
+    }
+}
+
+enum Node {
+    Matcher(Nfa),
+    And(Vec<Node>),
+    Or(Vec<Node>),
+    Not(Box<Node>),
+}
+
+fn compile_node(e: &ContainsExpr) -> Node {
+    match e {
+        ContainsExpr::Pattern(p) => Node::Matcher(Nfa::compile(p)),
+        ContainsExpr::And(items) => Node::And(items.iter().map(compile_node).collect()),
+        ContainsExpr::Or(items) => Node::Or(items.iter().map(compile_node).collect()),
+        ContainsExpr::Not(inner) => Node::Not(Box::new(compile_node(inner))),
+    }
+}
+
+/// A compiled `contains` expression.
+pub struct ContainsMatcher {
+    node: Node,
+}
+
+impl ContainsMatcher {
+    /// Evaluate against a text.
+    pub fn eval(&self, text: &str) -> bool {
+        eval_node(&self.node, text)
+    }
+}
+
+fn eval_node(n: &Node, text: &str) -> bool {
+    match n {
+        Node::Matcher(nfa) => nfa.is_match(text),
+        Node::And(items) => items.iter().all(|i| eval_node(i, text)),
+        Node::Or(items) => items.iter().any(|i| eval_node(i, text)),
+        Node::Not(inner) => !eval_node(inner, text),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q1_style_conjunction() {
+        let e = ContainsExpr::all_of(["SGML", "OODBMS"]).unwrap();
+        assert!(e.eval("mapping SGML documents into an OODBMS"));
+        assert!(!e.eval("mapping SGML documents into files"));
+        assert!(!e.eval("an OODBMS alone"));
+    }
+
+    #[test]
+    fn disjunction_and_negation() {
+        let e = ContainsExpr::Or(vec![
+            ContainsExpr::pattern("cat").unwrap(),
+            ContainsExpr::pattern("dog").unwrap(),
+        ]);
+        assert!(e.eval("raining cats"));
+        assert!(e.eval("a dog"));
+        assert!(!e.eval("a bird"));
+        let n = ContainsExpr::Not(Box::new(e));
+        assert!(n.eval("a bird"));
+        assert!(!n.eval("a dog"));
+    }
+
+    #[test]
+    fn patterns_not_just_words() {
+        let e = ContainsExpr::pattern("(t|T)itle").unwrap();
+        assert!(e.eval("the Title"));
+        assert!(e.eval("subtitle"));
+        assert!(!e.eval("TITLE"));
+    }
+
+    #[test]
+    fn positive_patterns_skip_negations() {
+        let e = ContainsExpr::And(vec![
+            ContainsExpr::pattern("a").unwrap(),
+            ContainsExpr::Not(Box::new(ContainsExpr::pattern("b").unwrap())),
+        ]);
+        let mut pats = Vec::new();
+        e.positive_patterns(&mut pats);
+        assert_eq!(pats.len(), 1);
+    }
+
+    #[test]
+    fn compiled_matcher_reusable() {
+        let m = ContainsExpr::all_of(["complex object"]).unwrap().compile();
+        assert!(m.eval("queries over complex objects"));
+        assert!(!m.eval("simple values"));
+    }
+}

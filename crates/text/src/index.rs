@@ -1,0 +1,374 @@
+//! A positional inverted index — the "full text indexing mechanism" the
+//! paper's IRS discussion assumes (§4.1) and lists as the optimisation its
+//! prototype was studying (§6).
+//!
+//! Terms are lower-cased words; postings carry word positions so `near` and
+//! phrase queries evaluate from the index alone. Pattern queries (`contains`
+//! with regex operators) are answered by grepping the *vocabulary* with the
+//! NFA and unioning the matching terms' postings — the classic IRS trick for
+//! wildcard queries.
+
+use crate::contains::ContainsExpr;
+use crate::nfa::Nfa;
+use crate::pattern::Pattern;
+use crate::tokenize::{normalize, tokenize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A document identifier in the index.
+pub type DocId = u64;
+
+/// Positional inverted index over added documents.
+#[derive(Debug, Default, Clone)]
+pub struct InvertedIndex {
+    /// term → (doc → word positions, ascending).
+    postings: BTreeMap<String, BTreeMap<DocId, Vec<u32>>>,
+    /// Documents added (with their word counts), for statistics and NOT.
+    docs: BTreeMap<DocId, u32>,
+}
+
+impl InvertedIndex {
+    /// Empty index.
+    pub fn new() -> InvertedIndex {
+        InvertedIndex::default()
+    }
+
+    /// Index a document's text. Adding the same `doc` twice appends (useful
+    /// when a document's text is assembled from several logical components).
+    pub fn add(&mut self, doc: DocId, text: &str) {
+        let base = *self.docs.get(&doc).unwrap_or(&0);
+        let toks = tokenize(text);
+        for t in &toks {
+            let term = normalize(t.word);
+            self.postings
+                .entry(term)
+                .or_default()
+                .entry(doc)
+                .or_default()
+                .push(base + t.index as u32);
+        }
+        self.docs.insert(doc, base + toks.len() as u32);
+    }
+
+    /// Number of indexed documents.
+    pub fn doc_count(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Number of distinct terms.
+    pub fn term_count(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// All indexed document ids.
+    pub fn all_docs(&self) -> BTreeSet<DocId> {
+        self.docs.keys().copied().collect()
+    }
+
+    /// Documents containing `word` (case-insensitive exact term match).
+    pub fn docs_with_word(&self, word: &str) -> BTreeSet<DocId> {
+        self.postings
+            .get(&normalize(word))
+            .map(|m| m.keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Positions of `word` within `doc`.
+    pub fn positions(&self, doc: DocId, word: &str) -> &[u32] {
+        self.postings
+            .get(&normalize(word))
+            .and_then(|m| m.get(&doc))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Documents where some term matches `pattern` (vocabulary grep).
+    pub fn docs_matching_pattern(&self, pattern: &Pattern) -> BTreeSet<DocId> {
+        let nfa = Nfa::compile(pattern);
+        let mut out = BTreeSet::new();
+        for (term, posting) in &self.postings {
+            if nfa.is_match(term) {
+                out.extend(posting.keys().copied());
+            }
+        }
+        out
+    }
+
+    /// Documents satisfying a boolean `contains` expression.
+    ///
+    /// Caveat shared with all term-indexed engines: a pattern that spans a
+    /// word boundary (e.g. the phrase `complex object`) is resolved
+    /// conservatively here (per-word conjunction); use
+    /// [`InvertedIndex::candidates`] + an exact re-check over the stored text
+    /// for exact semantics — that is what the query engines do.
+    pub fn docs_matching(&self, expr: &ContainsExpr) -> BTreeSet<DocId> {
+        match expr {
+            ContainsExpr::Pattern(p) => {
+                // Split multi-word literal patterns into a positional phrase
+                // check when possible; otherwise vocabulary grep.
+                match literal_words(p) {
+                    Some(words) if words.len() > 1 => self.phrase_docs(&words),
+                    Some(words) if words.len() == 1 => self.docs_with_word(&words[0]),
+                    _ => self.docs_matching_pattern(p),
+                }
+            }
+            ContainsExpr::And(items) => {
+                let mut sets = items.iter().map(|i| self.docs_matching(i));
+                let mut acc = match sets.next() {
+                    Some(s) => s,
+                    None => return self.all_docs(),
+                };
+                for s in sets {
+                    acc = acc.intersection(&s).copied().collect();
+                }
+                acc
+            }
+            ContainsExpr::Or(items) => {
+                let mut acc = BTreeSet::new();
+                for i in items {
+                    acc.extend(self.docs_matching(i));
+                }
+                acc
+            }
+            ContainsExpr::Not(inner) => {
+                let excluded = self.docs_matching(inner);
+                self.all_docs()
+                    .difference(&excluded)
+                    .copied()
+                    .collect()
+            }
+        }
+    }
+
+    /// A candidate set for `expr` that is a **guaranteed superset** of the
+    /// documents whose text matches under exact substring (`contains`)
+    /// semantics — engines re-check candidates against stored text.
+    ///
+    /// * a literal made only of alphanumeric characters must lie inside a
+    ///   single token, so terms containing it (vocabulary substring grep,
+    ///   case-folded) bound the answer;
+    /// * literals crossing token boundaries, regex-operator patterns and
+    ///   negations widen conservatively (up to all documents).
+    pub fn candidates(&self, expr: &ContainsExpr) -> BTreeSet<DocId> {
+        match expr {
+            ContainsExpr::Pattern(p) => match literal_text(p) {
+                Some(text) if !text.is_empty() && text.chars().all(char::is_alphanumeric) => {
+                    let needle = text.to_lowercase();
+                    let mut out = BTreeSet::new();
+                    for (term, posting) in &self.postings {
+                        if term.contains(&needle) {
+                            out.extend(posting.keys().copied());
+                        }
+                    }
+                    out
+                }
+                Some(text) => {
+                    // Multi-word literal: every interior complete word must
+                    // appear (necessary condition); first/last fragments may
+                    // be partial tokens, so they only constrain via the
+                    // vocabulary-substring bound.
+                    let words = crate::tokenize::tokenize(&text);
+                    if words.len() >= 3 {
+                        let mut acc: Option<BTreeSet<DocId>> = None;
+                        for w in &words[1..words.len() - 1] {
+                            let docs = self.docs_with_word(w.word);
+                            acc = Some(match acc {
+                                None => docs,
+                                Some(prev) => prev.intersection(&docs).copied().collect(),
+                            });
+                        }
+                        acc.unwrap_or_else(|| self.all_docs())
+                    } else {
+                        self.all_docs()
+                    }
+                }
+                None => self.all_docs(),
+            },
+            ContainsExpr::And(items) => {
+                let mut acc: Option<BTreeSet<DocId>> = None;
+                for i in items {
+                    let c = self.candidates(i);
+                    acc = Some(match acc {
+                        None => c,
+                        Some(prev) => prev.intersection(&c).copied().collect(),
+                    });
+                }
+                acc.unwrap_or_else(|| self.all_docs())
+            }
+            ContainsExpr::Or(items) => {
+                let mut out = BTreeSet::new();
+                for i in items {
+                    out.extend(self.candidates(i));
+                }
+                out
+            }
+            ContainsExpr::Not(_) => self.all_docs(),
+        }
+    }
+
+    /// Documents containing the exact word sequence `words` (positional
+    /// phrase query).
+    pub fn phrase_docs(&self, words: &[String]) -> BTreeSet<DocId> {
+        let mut out = BTreeSet::new();
+        let Some(first) = words.first() else {
+            return self.all_docs();
+        };
+        'docs: for doc in self.docs_with_word(first) {
+            let starts = self.positions(doc, first).to_vec();
+            'starts: for s in &starts {
+                for (k, w) in words.iter().enumerate().skip(1) {
+                    if !self.positions(doc, w).contains(&(s + k as u32)) {
+                        continue 'starts;
+                    }
+                }
+                out.insert(doc);
+                continue 'docs;
+            }
+        }
+        out
+    }
+
+    /// Documents where `w1` and `w2` occur within `k` words of each other.
+    pub fn near_docs(&self, w1: &str, w2: &str, k: u32) -> BTreeSet<DocId> {
+        let d1 = self.docs_with_word(w1);
+        let d2 = self.docs_with_word(w2);
+        let mut out = BTreeSet::new();
+        for doc in d1.intersection(&d2) {
+            let p1 = self.positions(*doc, w1);
+            let p2 = self.positions(*doc, w2);
+            // Look for a pair of distinct occurrences with at most k
+            // intervening words (position difference ≤ k + 1). The second
+            // list is sorted, so each inner scan stops once past the window.
+            'pairs: for &a in p1 {
+                for &b in p2 {
+                    if b > a + k + 1 {
+                        break;
+                    }
+                    if a != b && a.abs_diff(b) <= k + 1 {
+                        out.insert(*doc);
+                        break 'pairs;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// If the pattern is a plain literal (no operators), its text.
+fn literal_text(p: &Pattern) -> Option<String> {
+    fn chars_of(p: &Pattern, out: &mut String) -> bool {
+        match p {
+            Pattern::Empty => true,
+            Pattern::Char(c) => {
+                out.push(*c);
+                true
+            }
+            Pattern::Concat(items) => items.iter().all(|i| chars_of(i, out)),
+            _ => false,
+        }
+    }
+    let mut s = String::new();
+    if chars_of(p, &mut s) {
+        Some(s)
+    } else {
+        None
+    }
+}
+
+/// If the pattern is a plain literal (no operators), its word decomposition.
+fn literal_words(p: &Pattern) -> Option<Vec<String>> {
+    let s = literal_text(p)?;
+    let words: Vec<String> = tokenize(&s).iter().map(|t| normalize(t.word)).collect();
+    if words.is_empty() {
+        None
+    } else {
+        Some(words)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> InvertedIndex {
+        let mut ix = InvertedIndex::new();
+        ix.add(1, "Structured documents can benefit from database support");
+        ix.add(2, "an SGML document in an OODBMS");
+        ix.add(3, "queries over complex objects; the complex object model");
+        ix
+    }
+
+    #[test]
+    fn word_lookup() {
+        let ix = sample();
+        assert_eq!(ix.docs_with_word("documents"), BTreeSet::from([1]));
+        assert_eq!(ix.docs_with_word("SGML"), BTreeSet::from([2]));
+        assert_eq!(ix.docs_with_word("sgml"), BTreeSet::from([2]), "case folded");
+        assert!(ix.docs_with_word("ghost").is_empty());
+    }
+
+    #[test]
+    fn boolean_queries() {
+        let ix = sample();
+        let e = ContainsExpr::all_of(["SGML", "OODBMS"]).unwrap();
+        assert_eq!(ix.docs_matching(&e), BTreeSet::from([2]));
+        let o = ContainsExpr::Or(vec![
+            ContainsExpr::pattern("SGML").unwrap(),
+            ContainsExpr::pattern("database").unwrap(),
+        ]);
+        assert_eq!(ix.docs_matching(&o), BTreeSet::from([1, 2]));
+        let n = ContainsExpr::Not(Box::new(ContainsExpr::pattern("SGML").unwrap()));
+        assert_eq!(ix.docs_matching(&n), BTreeSet::from([1, 3]));
+    }
+
+    #[test]
+    fn phrase_query_uses_positions() {
+        let ix = sample();
+        let e = ContainsExpr::pattern("complex object").unwrap();
+        assert_eq!(ix.docs_matching(&e), BTreeSet::from([3]));
+        // "objects the" crosses the `;` — still adjacent as words.
+        assert_eq!(
+            ix.phrase_docs(&["objects".into(), "the".into()]),
+            BTreeSet::from([3])
+        );
+        assert!(ix
+            .phrase_docs(&["object".into(), "queries".into()])
+            .is_empty());
+    }
+
+    #[test]
+    fn vocabulary_grep_for_patterns() {
+        let ix = sample();
+        let e = ContainsExpr::pattern("(d|D)ocument.*").unwrap();
+        let docs = ix.docs_matching(&e);
+        assert_eq!(docs, BTreeSet::from([1, 2]));
+    }
+
+    #[test]
+    fn near_docs_respects_distance() {
+        let ix = sample();
+        assert_eq!(ix.near_docs("SGML", "OODBMS", 3), BTreeSet::from([2]));
+        assert!(ix.near_docs("SGML", "OODBMS", 1).is_empty());
+        assert_eq!(ix.near_docs("complex", "objects", 0), BTreeSet::from([3]));
+    }
+
+    #[test]
+    fn incremental_add_appends_positions() {
+        let mut ix = InvertedIndex::new();
+        ix.add(7, "first part");
+        ix.add(7, "second part");
+        assert_eq!(ix.doc_count(), 1);
+        assert_eq!(ix.positions(7, "part"), &[1, 3]);
+        assert_eq!(
+            ix.phrase_docs(&["second".into(), "part".into()]),
+            BTreeSet::from([7])
+        );
+    }
+
+    #[test]
+    fn stats() {
+        let ix = sample();
+        assert_eq!(ix.doc_count(), 3);
+        assert!(ix.term_count() > 10);
+    }
+}

@@ -1,0 +1,98 @@
+//! The `near` textual predicate (§4.1): "check whether two words are
+//! separated by, at most, a given number of characters (or words)".
+
+use crate::tokenize::{normalize, tokenize};
+
+/// Distance unit for [`near`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NearUnit {
+    /// Count intervening words.
+    Words,
+    /// Count intervening characters (bytes of UTF-8 are *not* used; the gap
+    /// is measured in characters).
+    Chars,
+}
+
+/// Are `w1` and `w2` both present in `text` with at most `k` units between
+/// them (in either order)? Word comparison is case-insensitive.
+pub fn near(text: &str, w1: &str, w2: &str, k: usize, unit: NearUnit) -> bool {
+    let toks = tokenize(text);
+    let n1 = normalize(w1);
+    let n2 = normalize(w2);
+    let pos1: Vec<&crate::tokenize::Token<'_>> = toks
+        .iter()
+        .filter(|t| normalize(t.word) == n1)
+        .collect();
+    if pos1.is_empty() {
+        return false;
+    }
+    let pos2: Vec<&crate::tokenize::Token<'_>> = toks
+        .iter()
+        .filter(|t| normalize(t.word) == n2)
+        .collect();
+    for a in &pos1 {
+        for b in &pos2 {
+            if a.index == b.index {
+                continue;
+            }
+            let (first, second) = if a.index < b.index { (a, b) } else { (b, a) };
+            let dist = match unit {
+                NearUnit::Words => second.index - first.index - 1,
+                NearUnit::Chars => text[first.end..second.start].chars().count(),
+            };
+            if dist <= k {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: &str = "structured documents can benefit a lot from database support";
+
+    #[test]
+    fn adjacent_words_are_near_zero() {
+        assert!(near(T, "structured", "documents", 0, NearUnit::Words));
+        assert!(!near(T, "structured", "benefit", 0, NearUnit::Words));
+    }
+
+    #[test]
+    fn word_distance_counts_gap() {
+        // "can benefit a lot from" — between "can" and "from" are 3 words.
+        assert!(near(T, "can", "from", 3, NearUnit::Words));
+        assert!(!near(T, "can", "from", 2, NearUnit::Words));
+    }
+
+    #[test]
+    fn order_does_not_matter() {
+        assert!(near(T, "documents", "structured", 0, NearUnit::Words));
+    }
+
+    #[test]
+    fn char_distance() {
+        let t = "ab  cd";
+        assert!(near(t, "ab", "cd", 2, NearUnit::Chars));
+        assert!(!near(t, "ab", "cd", 1, NearUnit::Chars));
+    }
+
+    #[test]
+    fn absent_words_are_never_near() {
+        assert!(!near(T, "structured", "ghost", 100, NearUnit::Words));
+        assert!(!near("", "a", "b", 100, NearUnit::Words));
+    }
+
+    #[test]
+    fn case_insensitive() {
+        assert!(near("SGML and OODBMS", "sgml", "oodbms", 1, NearUnit::Words));
+    }
+
+    #[test]
+    fn same_word_twice() {
+        assert!(near("ping pong ping", "ping", "ping", 1, NearUnit::Words));
+        assert!(!near("ping", "ping", "ping", 10, NearUnit::Words));
+    }
+}

@@ -1,0 +1,98 @@
+//! Word tokenisation with positions, shared by `near` and the inverted index.
+
+/// A token: the word, its 0-based word index, and its byte span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// The word as it appears (original case).
+    pub word: &'a str,
+    /// 0-based word position.
+    pub index: usize,
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+/// Split `text` into word tokens. A word is a maximal run of alphanumeric
+/// characters (Unicode), so punctuation separates words.
+pub fn tokenize(text: &str) -> Vec<Token<'_>> {
+    let mut out = Vec::new();
+    let mut start: Option<usize> = None;
+    for (i, c) in text.char_indices() {
+        if c.is_alphanumeric() {
+            if start.is_none() {
+                start = Some(i);
+            }
+        } else if let Some(s) = start.take() {
+            out.push(Token {
+                word: &text[s..i],
+                index: out.len(),
+                start: s,
+                end: i,
+            });
+        }
+    }
+    if let Some(s) = start {
+        out.push(Token {
+            word: &text[s..],
+            index: out.len(),
+            start: s,
+            end: text.len(),
+        });
+    }
+    out
+}
+
+/// Lower-case a word for index normalisation.
+pub fn normalize(word: &str) -> String {
+    word.to_lowercase()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_punctuation_and_space() {
+        let toks = tokenize("Structured documents (e.g., SGML) benefit!");
+        let words: Vec<&str> = toks.iter().map(|t| t.word).collect();
+        assert_eq!(
+            words,
+            vec!["Structured", "documents", "e", "g", "SGML", "benefit"]
+        );
+        assert_eq!(toks[4].index, 4);
+    }
+
+    #[test]
+    fn byte_spans_are_exact() {
+        let text = "ab  cd";
+        let toks = tokenize(text);
+        assert_eq!(&text[toks[0].start..toks[0].end], "ab");
+        assert_eq!(&text[toks[1].start..toks[1].end], "cd");
+    }
+
+    #[test]
+    fn empty_and_all_punct() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("—!?—").is_empty());
+    }
+
+    #[test]
+    fn unicode_words() {
+        let toks = tokenize("élan vital");
+        assert_eq!(toks[0].word, "élan");
+    }
+
+    #[test]
+    fn trailing_word_without_delimiter() {
+        let toks = tokenize("end");
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].word, "end");
+    }
+
+    #[test]
+    fn normalize_lowercases() {
+        assert_eq!(normalize("SGML"), "sgml");
+        assert_eq!(normalize("Élan"), "élan");
+    }
+}

@@ -1,0 +1,209 @@
+//! Property tests for the pattern engine: the NFA agrees with a naive
+//! reference matcher on arbitrary patterns and inputs, and the index agrees
+//! with direct evaluation.
+
+use docql_text::{ContainsExpr, InvertedIndex, Nfa, Pattern};
+use proptest::prelude::*;
+
+/// Reference semantics: language membership by recursive interpretation
+/// (exponential, fine for tiny inputs). Returns all possible match end
+/// positions for a match starting at `start`.
+fn ends(p: &Pattern, s: &[char], start: usize) -> Vec<usize> {
+    match p {
+        Pattern::Empty => vec![start],
+        Pattern::Char(c) => {
+            if s.get(start) == Some(c) {
+                vec![start + 1]
+            } else {
+                vec![]
+            }
+        }
+        Pattern::Any => {
+            if start < s.len() {
+                vec![start + 1]
+            } else {
+                vec![]
+            }
+        }
+        Pattern::Class { negated, ranges } => match s.get(start) {
+            Some(&c) => {
+                let inside = ranges.iter().any(|&(lo, hi)| lo <= c && c <= hi);
+                if inside != *negated {
+                    vec![start + 1]
+                } else {
+                    vec![]
+                }
+            }
+            None => vec![],
+        },
+        Pattern::Concat(items) => {
+            let mut positions = vec![start];
+            for item in items {
+                let mut next = Vec::new();
+                for &pos in &positions {
+                    for e in ends(item, s, pos) {
+                        if !next.contains(&e) {
+                            next.push(e);
+                        }
+                    }
+                }
+                positions = next;
+                if positions.is_empty() {
+                    break;
+                }
+            }
+            positions
+        }
+        Pattern::Alt(items) => {
+            let mut out = Vec::new();
+            for item in items {
+                for e in ends(item, s, start) {
+                    if !out.contains(&e) {
+                        out.push(e);
+                    }
+                }
+            }
+            out
+        }
+        Pattern::Star(inner) => {
+            let mut out = vec![start];
+            let mut frontier = vec![start];
+            while let Some(pos) = frontier.pop() {
+                for e in ends(inner, s, pos) {
+                    if e > pos && !out.contains(&e) {
+                        out.push(e);
+                        frontier.push(e);
+                    }
+                }
+            }
+            out
+        }
+        Pattern::Plus(inner) => {
+            ends(&Pattern::Concat(vec![(**inner).clone(), Pattern::Star(inner.clone())]), s, start)
+        }
+        Pattern::Opt(inner) => {
+            let mut out = vec![start];
+            for e in ends(inner, s, start) {
+                if !out.contains(&e) {
+                    out.push(e);
+                }
+            }
+            out
+        }
+    }
+}
+
+fn reference_contains(p: &Pattern, text: &str) -> bool {
+    let chars: Vec<char> = text.chars().collect();
+    (0..=chars.len()).any(|i| !ends(p, &chars, i).is_empty())
+}
+
+fn arb_pattern() -> impl Strategy<Value = Pattern> {
+    let leaf = prop_oneof![
+        prop_oneof![Just('a'), Just('b'), Just('c')].prop_map(Pattern::Char),
+        Just(Pattern::Any),
+        Just(Pattern::Empty),
+    ];
+    leaf.prop_recursive(3, 12, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..3).prop_map(Pattern::Concat),
+            prop::collection::vec(inner.clone(), 1..3).prop_map(Pattern::Alt),
+            inner.clone().prop_map(|p| Pattern::Star(Box::new(p))),
+            inner.clone().prop_map(|p| Pattern::Plus(Box::new(p))),
+            inner.prop_map(|p| Pattern::Opt(Box::new(p))),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn nfa_agrees_with_reference(p in arb_pattern(), text in "[abc]{0,8}") {
+        let nfa = Nfa::compile(&p);
+        prop_assert_eq!(nfa.is_match(&text), reference_contains(&p, &text),
+            "pattern {:?} on {:?}", p, text);
+    }
+
+    #[test]
+    fn parse_display_round_trip(p in arb_pattern()) {
+        let printed = p.to_string();
+        if let Ok(re) = Pattern::parse(&printed) {
+            // Semantically equal: agree on a basket of inputs.
+            let nfa1 = Nfa::compile(&p);
+            let nfa2 = Nfa::compile(&re);
+            for text in ["", "a", "ab", "abc", "ccba", "aabbcc"] {
+                prop_assert_eq!(nfa1.is_match(text), nfa2.is_match(text),
+                    "{} vs reparsed on {:?}", printed, text);
+            }
+        }
+    }
+
+    #[test]
+    fn find_span_is_a_real_match(p in arb_pattern(), text in "[abc]{0,8}") {
+        let nfa = Nfa::compile(&p);
+        if let Some((s, e)) = nfa.find(&text) {
+            prop_assert!(s <= e && e <= text.len());
+            prop_assert!(text.is_char_boundary(s) && text.is_char_boundary(e));
+            // The reported span itself matches the pattern (anchored both
+            // ends): check via reference ends() from s reaching e.
+            let chars: Vec<char> = text.chars().collect();
+            // Byte offsets equal char offsets for [abc] alphabets.
+            prop_assert!(ends(&p, &chars, s).contains(&e),
+                "span {}..{} of {:?} for {:?}", s, e, text, p);
+        }
+    }
+
+    #[test]
+    fn index_docs_agree_with_direct_eval_for_words(
+        texts in prop::collection::vec("[a-c ]{0,20}", 1..6),
+        word in "[a-c]{1,3}",
+    ) {
+        let mut ix = InvertedIndex::new();
+        for (i, t) in texts.iter().enumerate() {
+            ix.add(i as u64, t);
+        }
+        let from_index = ix.docs_with_word(&word);
+        for (i, t) in texts.iter().enumerate() {
+            let direct = docql_text::tokenize(t)
+                .iter()
+                .any(|tok| docql_text::normalize(tok.word) == word);
+            prop_assert_eq!(from_index.contains(&(i as u64)), direct,
+                "doc {} = {:?}, word {:?}", i, t, word);
+        }
+    }
+
+    #[test]
+    fn contains_boolean_laws(a in "[abc]{1,3}", b in "[abc]{1,3}", text in "[abc ]{0,12}") {
+        let pa = ContainsExpr::pattern(&a).unwrap();
+        let pb = ContainsExpr::pattern(&b).unwrap();
+        let and = ContainsExpr::And(vec![pa.clone(), pb.clone()]);
+        let or = ContainsExpr::Or(vec![pa.clone(), pb.clone()]);
+        let na = ContainsExpr::Not(Box::new(pa.clone()));
+        prop_assert_eq!(and.eval(&text), pa.eval(&text) && pb.eval(&text));
+        prop_assert_eq!(or.eval(&text), pa.eval(&text) || pb.eval(&text));
+        prop_assert_eq!(na.eval(&text), !pa.eval(&text));
+    }
+}
+
+proptest! {
+    #[test]
+    fn candidates_is_a_superset_of_substring_matches(
+        texts in prop::collection::vec("[a-c ]{0,24}", 1..8),
+        pattern in prop_oneof!["[a-c]{1,4}", "[a-c]{1,2} [a-c]{1,2}", "[a-c]\\|[a-c]"],
+    ) {
+        let Ok(expr) = ContainsExpr::pattern(&pattern) else {
+            return Ok(());
+        };
+        let mut ix = InvertedIndex::new();
+        for (i, t) in texts.iter().enumerate() {
+            ix.add(i as u64, t);
+        }
+        let candidates = ix.candidates(&expr);
+        let matcher = expr.compile();
+        for (i, t) in texts.iter().enumerate() {
+            if matcher.eval(t) {
+                prop_assert!(candidates.contains(&(i as u64)),
+                    "doc {} ({:?}) matches {:?} but was pruned", i, t, pattern);
+            }
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Hypertext navigation with the *liberal* path semantics (§5.2).
+//!
+//! "In hypertext applications, navigation is crucial and the liberal
+//! semantics should be used." The paper motivates its language as
+//! particularly suited to HyTime-style hypermedia extensions of SGML; this
+//! example builds a small page graph with cycles and contrasts the two
+//! path-variable interpretations.
+//!
+//! ```sh
+//! cargo run --example hypertext
+//! ```
+
+use docql::model::{ClassDef, Instance, Schema, Type, Value};
+use docql::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Pages with titles and links to other pages — a cyclic graph.
+    let schema = std::sync::Arc::new(
+        Schema::builder()
+            .class(ClassDef::new(
+                "Page",
+                Type::tuple([
+                    ("title", Type::String),
+                    ("links", Type::list(Type::class("Page"))),
+                ]),
+            ))
+            .root("Home", Type::class("Page"))
+            .build()?,
+    );
+    let mut inst = Instance::new(schema);
+    let pages: Vec<_> = ["Home", "Docs", "API", "Blog", "About"]
+        .iter()
+        .map(|t| inst.new_object("Page", Value::str(*t)).unwrap())
+        .collect();
+    let link = |targets: &[usize]| {
+        Value::List(targets.iter().map(|&i| Value::Oid(pages[i])).collect())
+    };
+    let titles = ["Home", "Docs", "API", "Blog", "About"];
+    let topology: [&[usize]; 5] = [&[1, 3], &[2, 0], &[1], &[4, 0], &[0]];
+    for (i, oid) in pages.iter().enumerate() {
+        inst.set_value(
+            *oid,
+            Value::tuple([
+                ("title", Value::str(titles[i])),
+                ("links", link(topology[i])),
+            ]),
+        )?;
+    }
+    inst.set_root("Home", Value::Oid(pages[0]))?;
+
+    let interp = Interp::with_builtins();
+
+    // Restricted semantics: one Page dereference per path — only the Home
+    // page's own title is reachable from `Home P.title`.
+    let mut engine = Engine::new(&inst, &interp);
+    let restricted = engine.run("select t from Home PATH_p.title(t)")?;
+    println!("restricted reach: {} title(s)", restricted.len());
+    for row in &restricted.rows {
+        println!("  {}", row[0]);
+    }
+
+    // Liberal semantics: follow links as long as no page repeats — the
+    // whole connected component becomes reachable.
+    engine.semantics = PathSemantics::Liberal;
+    let liberal = engine.run("select t from Home PATH_p.title(t)")?;
+    println!("\nliberal reach: {} titles", liberal.len());
+    for row in &liberal.rows {
+        println!("  {}", row[0]);
+    }
+
+    // Which pages are two hops away exactly? Chain two restricted path
+    // variables through explicit links (P → P', as the paper suggests for
+    // going deeper under the restricted regime).
+    engine.semantics = PathSemantics::Restricted;
+    let two_hops = engine.run(
+        "select t from Home PATH_p.links PATH_q.title(t)",
+    )?;
+    println!("\nvia explicit chaining (P links Q): {} titles", two_hops.len());
+    for row in &two_hops.rows {
+        println!("  {}", row[0]);
+    }
+
+    // Paths to the About page, liberally — hypertext trails.
+    engine.semantics = PathSemantics::Liberal;
+    let trails = engine.run(
+        "select p from Home PATH_p.title(t) where t = \"About\"",
+    );
+    // `p` is not in scope of select for select-queries; use the bare form:
+    drop(trails);
+    let trails = engine.run("Home PATH_p.title(t)")?;
+    println!("\nall liberal (path, title) trails: {}", trails.len());
+    for row in trails.rows.iter().filter(|r| {
+        matches!(&r[1], docql::calculus::CalcValue::Data(Value::Str(s)) if s == "About")
+    }) {
+        println!("  trail to About: {}", row[0]);
+    }
+    Ok(())
+}

@@ -1,0 +1,5 @@
+//! Workspace root package: hosts the cross-crate integration tests in
+//! `tests/` and the runnable examples in `examples/`. The library surface
+//! simply re-exports the `docql` facade.
+
+pub use docql;
