@@ -378,10 +378,9 @@ fn subst_atom(a: &Atom, psub: &BTreeMap<Var, Vec<PathAtom>>, asub: &BTreeMap<Var
         Atom::PathPred(t, p) => {
             Atom::PathPred(subst_term(t, psub, asub), subst_path_term(p, psub, asub))
         }
-        Atom::Pred(n, args) => Atom::Pred(
-            *n,
-            args.iter().map(|t| subst_term(t, psub, asub)).collect(),
-        ),
+        Atom::Pred(n, args) => {
+            Atom::Pred(*n, args.iter().map(|t| subst_term(t, psub, asub)).collect())
+        }
     }
 }
 
@@ -448,10 +447,9 @@ fn subst_term(
             Box::new(subst_term(base, psub, asub)),
             subst_path_term(p, psub, asub),
         ),
-        DataTerm::Apply(n, args) => DataTerm::Apply(
-            *n,
-            args.iter().map(|x| subst_term(x, psub, asub)).collect(),
-        ),
+        DataTerm::Apply(n, args) => {
+            DataTerm::Apply(*n, args.iter().map(|x| subst_term(x, psub, asub)).collect())
+        }
         DataTerm::MakePath(p) => DataTerm::MakePath(subst_path_term(p, psub, asub)),
         DataTerm::Sub(q) => {
             let body = subst_formula(&q.body, psub, asub);

@@ -9,16 +9,16 @@
 
 use crate::plan::{Op, WalkStep};
 use crate::AlgebraError;
-use docql_calculus::{
-    Atom, AttrTerm, DataTerm, Formula, IntTerm, PathAtom, PathTerm, Query, Var,
-};
+use docql_calculus::{Atom, AttrTerm, DataTerm, Formula, IntTerm, PathAtom, PathTerm, Query, Var};
 use std::collections::BTreeSet;
 
 /// Compile a query into a plan. Fails with [`AlgebraError`] when the query
 /// still contains path/attribute variables (run
 /// [`crate::algebraize::algebraize`] first) or is not range-restricted.
 pub fn compile_query(q: &Query) -> Result<Op, AlgebraError> {
-    let mut cx = Compiler { next_var: fresh_base(q) };
+    let mut cx = Compiler {
+        next_var: fresh_base(q),
+    };
     let plan = cx.compile_formula(&q.body, Op::Unit, &mut BTreeSet::new())?;
     Ok(Op::Project {
         input: Box::new(plan),
@@ -77,8 +77,7 @@ impl Compiler {
                 for b in branches {
                     let mut b_bound = bound.clone();
                     compiled.push(self.compile_formula(b, Op::Unit, &mut b_bound)?);
-                    let new: BTreeSet<Var> =
-                        b_bound.difference(bound).copied().collect();
+                    let new: BTreeSet<Var> = b_bound.difference(bound).copied().collect();
                     provides = Some(match provides {
                         None => new,
                         Some(prev) => prev.intersection(&new).copied().collect(),
@@ -132,8 +131,7 @@ impl Compiler {
                 let mut b = bound.clone();
                 let mut remaining: Vec<&Formula> = fs.iter().collect();
                 while !remaining.is_empty() {
-                    let Some(pick) = remaining.iter().position(|g| self.pickable(g, &b))
-                    else {
+                    let Some(pick) = remaining.iter().position(|g| self.pickable(g, &b)) else {
                         return false;
                     };
                     let g = remaining.remove(pick);
@@ -147,9 +145,7 @@ impl Compiler {
                 _ => inner.free_vars().iter().all(|v| bound.contains(v)),
             },
             Formula::Exists(_, inner) => self.pickable(inner, bound),
-            Formula::Forall(_, inner) => {
-                inner.free_vars().iter().all(|v| bound.contains(v))
-            }
+            Formula::Forall(_, inner) => inner.free_vars().iter().all(|v| bound.contains(v)),
         }
     }
 
@@ -179,9 +175,7 @@ impl Compiler {
                 (true, false) => matches!(y, DataTerm::Var(_)),
                 (false, false) => false,
             },
-            Atom::In(x, coll) => {
-                term_ok(coll) && (term_ok(x) || matches!(x, DataTerm::Var(_)))
-            }
+            Atom::In(x, coll) => term_ok(coll) && (term_ok(x) || matches!(x, DataTerm::Var(_))),
             Atom::Subset(x, y) => term_ok(x) && term_ok(y),
             Atom::Pred(_, args) => args.iter().all(term_ok),
         }
@@ -282,14 +276,7 @@ impl Compiler {
             DataTerm::Name(n) => {
                 let v = self.fresh();
                 bound.insert(v);
-                Ok((
-                    Op::Root {
-                        name: *n,
-                        out: v,
-                    }
-                    .with_input(input),
-                    v,
-                ))
+                Ok((Op::Root { name: *n, out: v }.with_input(input), v))
             }
             other => {
                 let v = self.fresh();

@@ -41,10 +41,22 @@ pub fn eval_algebraic(
     instance: &docql_model::Instance,
     interp: &docql_calculus::Interp,
 ) -> Result<Vec<Vec<docql_calculus::CalcValue>>, AlgebraError> {
-    let schema = instance.schema();
-    let algebraized = algebraize(q, schema)?;
+    let algebraized = algebraize(q, instance.schema())?;
+    eval_plan(&algebraized, q, instance, interp)
+}
+
+/// Execute an already-algebraized plan — the reuse path for plan caches:
+/// algebraization (schema analysis + candidate substitution) is paid once
+/// per query text, execution once per run. `q` must be the query `a` was
+/// algebraized from (its head names the output columns).
+pub fn eval_plan(
+    a: &Algebraized,
+    q: &docql_calculus::Query,
+    instance: &docql_model::Instance,
+    interp: &docql_calculus::Interp,
+) -> Result<Vec<Vec<docql_calculus::CalcValue>>, AlgebraError> {
     let ev = docql_calculus::Evaluator::new(instance, interp);
-    let rows = algebraized.plan.execute(instance, &ev)?;
+    let rows = a.plan.execute(instance, &ev)?;
     let mut seen = std::collections::BTreeSet::new();
     let mut out = Vec::new();
     for row in rows {

@@ -86,7 +86,11 @@ pub enum Op {
 
 impl Op {
     /// Execute against an instance, producing binding rows.
-    pub fn execute(&self, instance: &Instance, ev: &Evaluator<'_>) -> Result<Vec<Env>, crate::AlgebraError> {
+    pub fn execute(
+        &self,
+        instance: &Instance,
+        ev: &Evaluator<'_>,
+    ) -> Result<Vec<Env>, crate::AlgebraError> {
         self.run(instance, ev, vec![Env::new()])
     }
 
@@ -278,9 +282,7 @@ impl Op {
             | Op::Assign { input, .. }
             | Op::Project { input, .. } => 1 + input.size(),
             Op::Union(branches) => 1 + branches.iter().map(Op::size).sum::<usize>(),
-            Op::AntiSemi { input, sub } | Op::Semi { input, sub } => {
-                1 + input.size() + sub.size()
-            }
+            Op::AntiSemi { input, sub } | Op::Semi { input, sub } => 1 + input.size() + sub.size(),
             Op::Pipe(first, second) => 1 + first.size() + second.size(),
         }
     }
@@ -426,7 +428,9 @@ fn attr_select(_instance: &Instance, value: &Value, name: Sym) -> Option<Value> 
 fn index_select(_instance: &Instance, value: &Value, i: usize) -> Option<Value> {
     match value {
         Value::List(items) => items.get(i).cloned(),
-        Value::Tuple(fs) => fs.get(i).map(|(n, v)| Value::Union(*n, Box::new(v.clone()))),
+        Value::Tuple(fs) => fs
+            .get(i)
+            .map(|(n, v)| Value::Union(*n, Box::new(v.clone()))),
         Value::Union(_, payload) => index_select(_instance, payload, i),
         _ => None,
     }
@@ -475,10 +479,7 @@ mod tests {
             vars: vec![2],
             input: Box::new(Op::Walk {
                 start: 1,
-                steps: vec![
-                    WalkStep::Deref,
-                    WalkStep::Attr(docql_model::sym("name")),
-                ],
+                steps: vec![WalkStep::Deref, WalkStep::Attr(docql_model::sym("name"))],
                 out: Some(2),
                 input: Box::new(Op::Filter {
                     atom: Atom::Pred(

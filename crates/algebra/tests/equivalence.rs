@@ -5,8 +5,8 @@
 
 use docql_algebra::{algebraize, eval_algebraic};
 use docql_calculus::{
-    Atom, AttrTerm, CalcValue, DataTerm, Evaluator, Formula, IntTerm, Interp, PathAtom,
-    PathTerm, Query, QueryBuilder,
+    Atom, AttrTerm, CalcValue, DataTerm, Evaluator, Formula, IntTerm, Interp, PathAtom, PathTerm,
+    Query, QueryBuilder,
 };
 use docql_model::{sym, ClassDef, Instance, Schema, Type, Value};
 use std::collections::BTreeSet;
@@ -49,7 +49,14 @@ fn library_instance() -> Instance {
                         "Section",
                         Value::tuple([
                             ("title", Value::str(format!("S{v}.{c}.{s}"))),
-                            ("author", Value::str(if (v + c + s).is_multiple_of(2) { "Jo" } else { "Ann" })),
+                            (
+                                "author",
+                                Value::str(if (v + c + s).is_multiple_of(2) {
+                                    "Jo"
+                                } else {
+                                    "Ann"
+                                }),
+                            ),
                         ]),
                     )
                     .unwrap();
@@ -89,8 +96,7 @@ fn library_instance() -> Instance {
 fn assert_equivalent(q: &Query, inst: &Instance) {
     let interp = Interp::with_builtins();
     let ev = Evaluator::new(inst, &interp);
-    let reference: BTreeSet<Vec<CalcValue>> =
-        ev.eval_query(q).unwrap().into_iter().collect();
+    let reference: BTreeSet<Vec<CalcValue>> = ev.eval_query(q).unwrap().into_iter().collect();
     let algebraic: BTreeSet<Vec<CalcValue>> = eval_algebraic(q, inst, &interp)
         .unwrap()
         .into_iter()

@@ -5,9 +5,10 @@
 //! queries* that navigates only schema-sanctioned routes, instead of
 //! enumerating every concrete path at run time.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use docql::o2sql::Mode;
 use docql_bench::article_store;
+use docql_bench::harness::{BenchmarkId, Criterion};
+use docql_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 const Q_TITLES: &str = "select t from my_article PATH_p.title(t)";
@@ -48,13 +49,10 @@ fn bench_compile_only(c: &mut Criterion) {
     c.bench_function("B2_algebraize_compile", |b| {
         b.iter(|| {
             black_box(
-                docql::algebra::algebraize(
-                    black_box(&translated.query),
-                    store.instance().schema(),
-                )
-                .unwrap()
-                .plan
-                .size(),
+                docql::algebra::algebraize(black_box(&translated.query), store.instance().schema())
+                    .unwrap()
+                    .plan
+                    .size(),
             )
         })
     });

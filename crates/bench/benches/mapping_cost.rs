@@ -5,10 +5,11 @@
 //! improve access flexibility and performance." We measure load time per
 //! document size and report the bytes(instance)/bytes(source) factor.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use docql::mapping::{load_document, map_dtd};
 use docql::model::Instance;
 use docql::sgml::Dtd;
+use docql_bench::harness::{BenchmarkId, Criterion};
+use docql_bench::{criterion_group, criterion_main};
 use docql_corpus::{generate_article, ArticleParams};
 use std::hint::black_box;
 
@@ -35,7 +36,11 @@ fn bench_load(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("load", sections), &sections, |b, _| {
             b.iter(|| {
                 let mut inst = Instance::new(mapping.schema.clone());
-                black_box(load_document(&mapping, &mut inst, black_box(&doc)).unwrap().root)
+                black_box(
+                    load_document(&mapping, &mut inst, black_box(&doc))
+                        .unwrap()
+                        .root,
+                )
             })
         });
     }

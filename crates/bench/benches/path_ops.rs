@@ -2,10 +2,11 @@
 //! standard data" operations (length, projection, concatenation, ordering,
 //! and the Q4 set difference).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use docql::model::Value;
 use docql::paths::{enumerate_paths, path_set, ConcretePath, EnumOptions, PathStep};
 use docql_bench::article_store;
+use docql_bench::harness::{BenchmarkId, Criterion};
+use docql_bench::{criterion_group, criterion_main};
 use std::collections::BTreeSet;
 use std::hint::black_box;
 
@@ -22,14 +23,7 @@ fn bench_value_ops(c: &mut Criterion) {
     let paths = sample_paths(20);
     let mut group = c.benchmark_group("B7_path_ops");
     group.bench_function("length", |b| {
-        b.iter(|| {
-            black_box(
-                paths
-                    .iter()
-                    .map(ConcretePath::length)
-                    .sum::<usize>(),
-            )
-        })
+        b.iter(|| black_box(paths.iter().map(ConcretePath::length).sum::<usize>()))
     });
     group.bench_function("project_0_1", |b| {
         b.iter(|| {
@@ -70,17 +64,13 @@ fn bench_q4_difference(c: &mut Criterion) {
         let a = Value::Oid(store.documents()[0]);
         let b2 = Value::Oid(store.documents()[1]);
         let opts = EnumOptions::default();
-        group.bench_with_input(
-            BenchmarkId::new("diff", sections),
-            &sections,
-            |b, _| {
-                b.iter(|| {
-                    let pa = path_set(store.instance(), black_box(&a), &opts);
-                    let pb = path_set(store.instance(), black_box(&b2), &opts);
-                    black_box(pa.difference(&pb).count())
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("diff", sections), &sections, |b, _| {
+            b.iter(|| {
+                let pa = path_set(store.instance(), black_box(&a), &opts);
+                let pb = path_set(store.instance(), black_box(&b2), &opts);
+                black_box(pa.difference(&pb).count())
+            })
+        });
     }
     group.finish();
 }

@@ -6,11 +6,12 @@
 //! detection — on cyclic data (the spouse example) its cost grows with the
 //! cycle length while the restricted cost stays flat.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use docql::model::Value;
 use docql::paths::{enumerate_paths, EnumOptions, PathSemantics};
 use docql::prelude::*;
+use docql_bench::harness::{BenchmarkId, Criterion};
 use docql_bench::{article_store, people_instance};
+use docql_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn bench_semantics(c: &mut Criterion) {
@@ -30,15 +31,9 @@ fn bench_semantics(c: &mut Criterion) {
                 semantics,
                 ..EnumOptions::default()
             };
-            group.bench_with_input(
-                BenchmarkId::new(label, n),
-                &n,
-                |b, _| {
-                    b.iter(|| {
-                        black_box(enumerate_paths(&inst, black_box(&start), &opts).len())
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| black_box(enumerate_paths(&inst, black_box(&start), &opts).len()))
+            });
         }
     }
     group.finish();
@@ -56,9 +51,7 @@ fn bench_document_enumeration(c: &mut Criterion) {
             &sections,
             |b, _| {
                 b.iter(|| {
-                    black_box(
-                        enumerate_paths(store.instance(), black_box(&root), &opts).len(),
-                    )
+                    black_box(enumerate_paths(store.instance(), black_box(&root), &opts).len())
                 })
             },
         );

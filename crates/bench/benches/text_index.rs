@@ -5,9 +5,10 @@
 //! The crossover: the index answers word/phrase conjunctions from postings,
 //! while the scan pays per stored character.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use docql::text::ContainsExpr;
 use docql_bench::article_store;
+use docql_bench::harness::{BenchmarkId, Criterion};
+use docql_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn bench_search(c: &mut Criterion) {

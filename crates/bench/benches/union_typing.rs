@@ -5,9 +5,10 @@
 //! should rarely happen". We measure subtype checks and lub computation as
 //! union arity grows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use docql::model::{ClassDef, Schema, Type, TypeOps};
+use docql_bench::harness::{BenchmarkId, Criterion};
 use docql_bench::wide_union;
+use docql_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn hierarchy() -> Schema {
@@ -71,5 +72,10 @@ fn wide_union_named(n: usize) -> Type {
     Type::union((0..n).map(|i| (format!("f{i}"), Type::Integer)))
 }
 
-criterion_group!(benches, bench_union_lub, bench_union_subtype, bench_tuple_as_list_rule);
+criterion_group!(
+    benches,
+    bench_union_lub,
+    bench_union_subtype,
+    bench_tuple_as_list_rule
+);
 criterion_main!(benches);

@@ -14,7 +14,9 @@ use docql::model::{Instance, Value};
 use docql::prelude::*;
 use docql::sgml::{DocParser, Dtd};
 use docql_bench::article_store;
-use docql_corpus::{generate_article, generate_letter, mutate, ArticleParams, LetterParams, Mutation};
+use docql_corpus::{
+    generate_article, generate_letter, mutate, ArticleParams, LetterParams, Mutation,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -67,7 +69,10 @@ fn banner(id: &str, title: &str) {
 
 /// F1: parse Fig. 1's DTD and re-emit it.
 fn fig1() {
-    banner("F1", "Figure 1: the article DTD (parse → re-emit round trip)");
+    banner(
+        "F1",
+        "Figure 1: the article DTD (parse → re-emit round trip)",
+    );
     let dtd = Dtd::parse(docql::fixtures::ARTICLE_DTD).expect("Fig. 1 parses");
     println!("{dtd}");
     let reparsed = Dtd::parse(&dtd.to_string()).expect("re-emitted DTD parses");
@@ -82,7 +87,10 @@ fn fig1() {
 
 /// F2: parse Fig. 2's document (omitted end tags included) and validate.
 fn fig2() {
-    banner("F2", "Figure 2: the article instance (tag omission inference)");
+    banner(
+        "F2",
+        "Figure 2: the article instance (tag omission inference)",
+    );
     let dtd = Dtd::parse(docql::fixtures::ARTICLE_DTD).expect("dtd");
     let doc = DocParser::new(&dtd)
         .expect("parser")
@@ -107,12 +115,18 @@ fn fig3() {
     let dtd = Dtd::parse(docql::fixtures::ARTICLE_DTD).expect("dtd");
     let mapping = docql::mapping::map_dtd(&dtd).expect("mapping");
     println!("{}", mapping.schema);
-    println!("[ok] {} classes (13 elements + Text + Bitmap), root `{}`",
-        mapping.schema.hierarchy().len(), mapping.root);
+    println!(
+        "[ok] {} classes (13 elements + Text + Bitmap), root `{}`",
+        mapping.schema.hierarchy().len(),
+        mapping.root
+    );
 }
 
 fn q1() {
-    banner("Q1", "titles + first authors of articles mentioning SGML ∧ OODBMS");
+    banner(
+        "Q1",
+        "titles + first authors of articles mentioning SGML ∧ OODBMS",
+    );
     let store = article_store(6, 5);
     let q = "select tuple (t: a.title, f_author: first(a.authors)) \
              from a in Articles, s in a.sections \
@@ -137,7 +151,10 @@ fn q2() {
             println!("  {cut}…");
         }
     }
-    println!("[ok] {} subsections (union branch a2 only, via implicit selectors)", r.len());
+    println!(
+        "[ok] {} subsections (union branch a2 only, via implicit selectors)",
+        r.len()
+    );
 }
 
 fn q3() {
@@ -159,7 +176,10 @@ fn q3() {
             println!("  {:?}", store.text_of(*o).unwrap_or_default());
         }
     }
-    println!("[ok] {} titles: article + 4 sections + 2 subsections", r.len());
+    println!(
+        "[ok] {} titles: article + 4 sections + 2 subsections",
+        r.len()
+    );
 }
 
 fn q4() {
@@ -263,8 +283,10 @@ fn calculus_examples() {
         ),
     );
     let rows = ev.eval_query(&q).expect("C1");
-    println!("C1  {{A | ∃P(⟨Knuth_Books P·A(X)⟩ ∧ X=\"Jo\")}}  →  {:?}",
-        rows.iter().map(|r| r[0].to_string()).collect::<Vec<_>>());
+    println!(
+        "C1  {{A | ∃P(⟨Knuth_Books P·A(X)⟩ ∧ X=\"Jo\")}}  →  {:?}",
+        rows.iter().map(|r| r[0].to_string()).collect::<Vec<_>>()
+    );
 
     // C2: which paths lead to "Jo"?
     let mut b = QueryBuilder::new();
@@ -287,8 +309,11 @@ fn calculus_examples() {
         ),
     );
     let rows = ev.eval_query(&q).expect("C2");
-    println!("C2  {{P | ⟨Knuth_Books P(X)⟩ ∧ X=\"Jo\"}}  →  {} paths, e.g. {}",
-        rows.len(), rows[0][0]);
+    println!(
+        "C2  {{P | ⟨Knuth_Books P(X)⟩ ∧ X=\"Jo\"}}  →  {} paths, e.g. {}",
+        rows.len(),
+        rows[0][0]
+    );
 
     // C3: length-restricted titles.
     let mut b = QueryBuilder::new();
@@ -318,7 +343,10 @@ fn calculus_examples() {
         ),
     );
     let rows = ev.eval_query(&q).expect("C3");
-    println!("C3  length(P) < 3  →  {} titled values close to the root", rows.len());
+    println!(
+        "C3  length(P) < 3  →  {} titled values close to the root",
+        rows.len()
+    );
 
     // C4: set_to_list of b-strings after an a-string (§5.2 nesting).
     let mut inst2 = Instance::new(inst.schema_arc());
@@ -393,15 +421,21 @@ fn knuth() -> Instance {
             .expect("obj");
         volumes.push(Value::Oid(vo));
     }
-    inst.set_root("Knuth_Books", Value::List(volumes)).expect("root");
+    inst.set_root("Knuth_Books", Value::List(volumes))
+        .expect("root");
     inst
 }
 
 /// A1: interpreter ≡ algebra on the paper queries.
 fn algebra_equivalence() {
-    banner("A1", "§5.4 algebraization: interpreter ≡ union-of-path-free-plans");
+    banner(
+        "A1",
+        "§5.4 algebraization: interpreter ≡ union-of-path-free-plans",
+    );
     let mut store = article_store(3, 4);
-    store.bind("my_article", store.documents()[0]).expect("bind");
+    store
+        .bind("my_article", store.documents()[0])
+        .expect("bind");
     let queries = [
         "select t from my_article PATH_p.title(t)",
         "select name(ATT_a) from my_article PATH_p.ATT_a(val) where val contains (\"draft\")",

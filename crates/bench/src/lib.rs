@@ -1,4 +1,7 @@
-//! Shared workload builders for the benchmarks and the `repro` binary.
+//! Shared workload builders for the benchmarks and the `repro` binary,
+//! plus the std-only [`harness`] the bench targets run on.
+
+pub mod harness;
 
 use docql::model::{ClassDef, Instance, Schema, Type, Value};
 use docql::prelude::*;
@@ -48,10 +51,7 @@ pub fn people_instance(n: usize) -> Instance {
         Schema::builder()
             .class(ClassDef::new(
                 "Person",
-                Type::tuple([
-                    ("name", Type::String),
-                    ("spouse", Type::class("Person")),
-                ]),
+                Type::tuple([("name", Type::String), ("spouse", Type::class("Person"))]),
             ))
             .root("People", Type::list(Type::class("Person")))
             .build()
@@ -83,9 +83,7 @@ pub fn people_instance(n: usize) -> Instance {
 /// A wide marked-union type of arity `n` (for the §4.2 rule-2 "combinatorial
 /// explosion" bench, B5).
 pub fn wide_union(n: usize, offset: usize) -> Type {
-    Type::union(
-        (0..n).map(|i| (format!("m{}", i + offset), Type::Integer)),
-    )
+    Type::union((0..n).map(|i| (format!("m{}", i + offset), Type::Integer)))
 }
 
 #[cfg(test)]

@@ -200,8 +200,7 @@ impl<'a> Evaluator<'a> {
                     }
                 }
                 None => {
-                    let descr: Vec<String> =
-                        remaining.iter().map(|f| f.to_string()).collect();
+                    let descr: Vec<String> = remaining.iter().map(|f| f.to_string()).collect();
                     return Err(CalcError::RangeRestriction(format!(
                         "cannot order conjuncts {descr:?} with bound set {bound:?}"
                     )));
@@ -355,9 +354,7 @@ impl<'a> Evaluator<'a> {
                     }
                 }
                 Atom::In(x, coll) => {
-                    let Some(CalcValue::Data(cv)) =
-                        self.term_value(coll, &env)?
-                    else {
+                    let Some(CalcValue::Data(cv)) = self.term_value(coll, &env)? else {
                         continue;
                     };
                     let Some(items) = self.element_collection(&cv) else {
@@ -389,10 +386,9 @@ impl<'a> Evaluator<'a> {
                     else {
                         continue;
                     };
-                    let (Some(xs), Some(ys)) = (
-                        self.element_collection(&xv),
-                        self.element_collection(&yv),
-                    ) else {
+                    let (Some(xs), Some(ys)) =
+                        (self.element_collection(&xv), self.element_collection(&yv))
+                    else {
                         continue;
                     };
                     if xs.iter().all(|i| ys.contains(i)) {
@@ -490,9 +486,7 @@ impl<'a> Evaluator<'a> {
                         PathAtom::Attr(a) => {
                             let name = match a {
                                 AttrTerm::Name(n) => Some(*n),
-                                AttrTerm::Var(v) => {
-                                    env.get(v).and_then(|cv| cv.as_attr())
-                                }
+                                AttrTerm::Var(v) => env.get(v).and_then(|cv| cv.as_attr()),
                             };
                             name.and_then(|n| self.attr_select(&cur, n))
                         }
@@ -555,12 +549,10 @@ impl<'a> Evaluator<'a> {
                         },
                         PathAtom::Index(IntTerm::Const(i)) => steps.push(PathStep::Index(*i)),
                         PathAtom::Index(IntTerm::Var(v)) => match env.get(v) {
-                            Some(CalcValue::Data(Value::Int(n))) => {
-                                match usize::try_from(*n) {
-                                    Ok(i) => steps.push(PathStep::Index(i)),
-                                    Err(_) => return Ok(None),
-                                }
-                            }
+                            Some(CalcValue::Data(Value::Int(n))) => match usize::try_from(*n) {
+                                Ok(i) => steps.push(PathStep::Index(i)),
+                                Err(_) => return Ok(None),
+                            },
                             _ => return Ok(None),
                         },
                         // Zero-width data binders contribute no step.
@@ -587,10 +579,7 @@ impl<'a> Evaluator<'a> {
                                 row.iter()
                                     .enumerate()
                                     .map(|(i, cv)| {
-                                        (
-                                            docql_model::sym(&q.name_of(q.head[i])),
-                                            calc_to_value(cv),
-                                        )
+                                        (docql_model::sym(&q.name_of(q.head[i])), calc_to_value(cv))
                                     })
                                     .collect(),
                             )
@@ -865,7 +854,6 @@ impl<'a> Evaluator<'a> {
             }
         }
     }
-
 }
 
 /// Equality over calc values; data compares with `Value::Eq` (identity up to
@@ -897,7 +885,11 @@ pub fn calc_to_value(cv: &CalcValue) -> Value {
 /// Check range-restriction statically (without evaluating): every head
 /// variable and every free variable must be bindable in some conjunct
 /// order.
-pub fn check_range_restricted(q: &Query, instance: &Instance, interp: &Interp) -> Result<(), CalcError> {
+pub fn check_range_restricted(
+    q: &Query,
+    instance: &Instance,
+    interp: &Interp,
+) -> Result<(), CalcError> {
     let ev = Evaluator::new(instance, interp);
     let mut bound: BTreeSet<Var> = q.outer_vars.iter().copied().collect();
     match ev.runnable(&q.body, &bound) {

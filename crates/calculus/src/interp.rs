@@ -114,13 +114,12 @@ impl InterpCtx<'_> {
                     self.collect_text(v, out, visited);
                 }
             }
-            Value::Oid(o)
-                if visited.insert(o.0) => {
-                    if let Ok(inner) = self.instance.value_of(*o) {
-                        let inner = inner.clone();
-                        self.collect_text(&inner, out, visited);
-                    }
+            Value::Oid(o) if visited.insert(o.0) => {
+                if let Ok(inner) = self.instance.value_of(*o) {
+                    let inner = inner.clone();
+                    self.collect_text(&inner, out, visited);
                 }
+            }
             _ => {}
         }
     }
@@ -358,16 +357,16 @@ fn f_length(_ctx: &InterpCtx<'_>, args: &[CalcValue]) -> Result<CalcValue, Inter
 fn f_name(_ctx: &InterpCtx<'_>, args: &[CalcValue]) -> Result<CalcValue, InterpError> {
     match args.first() {
         Some(CalcValue::Attr(a)) => Ok(CalcValue::Data(Value::str(a.as_str()))),
-        other => Err(InterpError(format!("name: expected an attribute, got {other:?}"))),
+        other => Err(InterpError(format!(
+            "name: expected an attribute, got {other:?}"
+        ))),
     }
 }
 
 /// `set_to_list(S)` — deterministic (sorted) listing of a set.
 fn f_set_to_list(_ctx: &InterpCtx<'_>, args: &[CalcValue]) -> Result<CalcValue, InterpError> {
     match args.first() {
-        Some(CalcValue::Data(Value::Set(items))) => {
-            Ok(CalcValue::Data(Value::List(items.clone())))
-        }
+        Some(CalcValue::Data(Value::Set(items))) => Ok(CalcValue::Data(Value::List(items.clone()))),
         Some(CalcValue::Data(Value::List(items))) => {
             Ok(CalcValue::Data(Value::List(items.clone())))
         }
@@ -442,13 +441,13 @@ fn f_element(ctx: &InterpCtx<'_>, args: &[CalcValue]) -> Result<CalcValue, Inter
             let v = ctx.deref(v);
             let out = match &v {
                 Value::List(items) => items.get(i).cloned(),
-                Value::Tuple(fs) => {
-                    fs.get(i).map(|(n, x)| Value::Union(*n, Box::new(x.clone())))
-                }
+                Value::Tuple(fs) => fs
+                    .get(i)
+                    .map(|(n, x)| Value::Union(*n, Box::new(x.clone()))),
                 Value::Union(_, payload) => match payload.as_ref() {
-                    Value::Tuple(fs) => {
-                        fs.get(i).map(|(n, x)| Value::Union(*n, Box::new(x.clone())))
-                    }
+                    Value::Tuple(fs) => fs
+                        .get(i)
+                        .map(|(n, x)| Value::Union(*n, Box::new(x.clone()))),
                     _ => None,
                 },
                 _ => None,
@@ -545,9 +544,10 @@ fn f_positions(ctx: &InterpCtx<'_>, args: &[CalcValue]) -> Result<CalcValue, Int
 fn f_concat(_ctx: &InterpCtx<'_>, args: &[CalcValue]) -> Result<CalcValue, InterpError> {
     let mut out = String::new();
     for (i, a) in args.iter().enumerate() {
-        out.push_str(&str_arg(std::slice::from_ref(a), 0, "concat").map_err(|_| {
-            InterpError(format!("concat: argument {i} is not a string"))
-        })?);
+        out.push_str(
+            &str_arg(std::slice::from_ref(a), 0, "concat")
+                .map_err(|_| InterpError(format!("concat: argument {i} is not a string")))?,
+        );
     }
     Ok(CalcValue::Data(Value::Str(out)))
 }
@@ -587,46 +587,47 @@ mod tests {
     #[test]
     fn contains_with_pattern_operators() {
         let i = Interp::with_builtins();
-        assert!(call_pred(&i, sym("contains"),
-                &[d(Value::str("the Title")), d(Value::str("(t|T)itle"))]
-            )
-            .unwrap());
-        assert!(!call_pred(&i, sym("contains"),
-                &[d(Value::str("TITLE")), d(Value::str("(t|T)itle"))]
-            )
-            .unwrap());
+        assert!(call_pred(
+            &i,
+            sym("contains"),
+            &[d(Value::str("the Title")), d(Value::str("(t|T)itle"))]
+        )
+        .unwrap());
+        assert!(!call_pred(
+            &i,
+            sym("contains"),
+            &[d(Value::str("TITLE")), d(Value::str("(t|T)itle"))]
+        )
+        .unwrap());
     }
 
     #[test]
     fn contains_on_non_string_is_false_not_error() {
         let i = Interp::with_builtins();
-        assert!(!call_pred(&i, sym("contains"),
-                &[d(Value::Int(7)), d(Value::str("x"))]
-            )
-            .unwrap());
+        assert!(!call_pred(&i, sym("contains"), &[d(Value::Int(7)), d(Value::str("x"))]).unwrap());
     }
 
     #[test]
     fn near_predicate() {
         let i = Interp::with_builtins();
-        assert!(call_pred(&i, sym("near"),
-                &[
-                    d(Value::str("SGML and OODBMS queries")),
-                    d(Value::str("SGML")),
-                    d(Value::str("OODBMS")),
-                    d(Value::Int(1))
-                ]
-            )
-            .unwrap());
+        assert!(call_pred(
+            &i,
+            sym("near"),
+            &[
+                d(Value::str("SGML and OODBMS queries")),
+                d(Value::str("SGML")),
+                d(Value::str("OODBMS")),
+                d(Value::Int(1))
+            ]
+        )
+        .unwrap());
     }
 
     #[test]
     fn comparisons_mixed_numeric() {
         let i = Interp::with_builtins();
-        assert!(call_pred(&i, sym("<"), &[d(Value::Int(1)), d(Value::Float(1.5))])
-            .unwrap());
-        assert!(call_pred(&i, sym(">="), &[d(Value::str("b")), d(Value::str("a"))])
-            .unwrap());
+        assert!(call_pred(&i, sym("<"), &[d(Value::Int(1)), d(Value::Float(1.5))]).unwrap());
+        assert!(call_pred(&i, sym(">="), &[d(Value::str("b")), d(Value::str("a"))]).unwrap());
     }
 
     #[test]
@@ -648,8 +649,7 @@ mod tests {
     fn name_of_attr() {
         let i = Interp::with_builtins();
         assert_eq!(
-            call_func(&i, sym("name"), &[CalcValue::Attr(sym("status"))])
-                .unwrap(),
+            call_func(&i, sym("name"), &[CalcValue::Attr(sym("status"))]).unwrap(),
             d(Value::str("status"))
         );
         assert!(call_func(&i, sym("name"), &[d(Value::Int(1))]).is_err());
@@ -663,7 +663,10 @@ mod tests {
             call_func(&i, sym("first"), &[d(l.clone())]).unwrap(),
             d(Value::Int(3))
         );
-        assert_eq!(call_func(&i, sym("count"), &[d(l)]).unwrap(), d(Value::Int(2)));
+        assert_eq!(
+            call_func(&i, sym("count"), &[d(l)]).unwrap(),
+            d(Value::Int(2))
+        );
         let s = Value::set([Value::Int(3), Value::Int(1)]);
         assert_eq!(
             call_func(&i, sym("set_to_list"), &[d(s)]).unwrap(),

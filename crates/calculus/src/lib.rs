@@ -16,7 +16,6 @@ pub mod typing;
 pub use eval::{calc_to_value, check_range_restricted, CalcError, Env, Evaluator};
 pub use interp::{CalcValue, Interp, InterpCtx, InterpError};
 pub use term::{
-    Atom, AttrTerm, DataTerm, Formula, IntTerm, PathAtom, PathTerm, Query, QueryBuilder, Sort,
-    Var,
+    Atom, AttrTerm, DataTerm, Formula, IntTerm, PathAtom, PathTerm, Query, QueryBuilder, Sort, Var,
 };
 pub use typing::{infer_types, TypeInfo};

@@ -247,45 +247,49 @@ impl Cx<'_> {
         let mut trail = Vec::new();
         let schema = self.schema;
         let requirements = self.requirements.clone();
-        walk_abs(schema, &opts, start, atoms, &mut trail, &mut |trail, _end| {
-            // §5.3 refinement: drop valuations whose bound data variables
-            // cannot carry the attributes other atoms select on them.
-            for item in trail.iter() {
-                if let TrailItem::Data(v, ty) = item {
-                    if let Some(required) = requirements.get(v) {
-                        if required
-                            .iter()
-                            .any(|a| attr_select_types(schema, ty, *a).is_empty())
-                        {
-                            return;
+        walk_abs(
+            schema,
+            &opts,
+            start,
+            atoms,
+            &mut trail,
+            &mut |trail, _end| {
+                // §5.3 refinement: drop valuations whose bound data variables
+                // cannot carry the attributes other atoms select on them.
+                for item in trail.iter() {
+                    if let TrailItem::Data(v, ty) = item {
+                        if let Some(required) = requirements.get(v) {
+                            if required
+                                .iter()
+                                .any(|a| attr_select_types(schema, ty, *a).is_empty())
+                            {
+                                return;
+                            }
                         }
                     }
                 }
-            }
-            count += 1;
-            for item in trail {
-                match item {
-                    TrailItem::Data(v, ty) => {
-                        self.data_types.entry(*v).or_default().insert(ty.clone());
-                    }
-                    TrailItem::Attr(v, name) => {
-                        self.attr_cands.entry(*v).or_default().insert(*name);
-                    }
-                    TrailItem::Path(v, p) => {
-                        let entry = self.path_cands.entry(*v).or_default();
-                        if !entry.iter().any(|e| e.steps == p.steps) {
-                            entry.push(p.clone());
+                count += 1;
+                for item in trail {
+                    match item {
+                        TrailItem::Data(v, ty) => {
+                            self.data_types.entry(*v).or_default().insert(ty.clone());
+                        }
+                        TrailItem::Attr(v, name) => {
+                            self.attr_cands.entry(*v).or_default().insert(*name);
+                        }
+                        TrailItem::Path(v, p) => {
+                            let entry = self.path_cands.entry(*v).or_default();
+                            if !entry.iter().any(|e| e.steps == p.steps) {
+                                entry.push(p.clone());
+                            }
+                        }
+                        TrailItem::Index(v) => {
+                            self.data_types.entry(*v).or_default().insert(Type::Integer);
                         }
                     }
-                    TrailItem::Index(v) => {
-                        self.data_types
-                            .entry(*v)
-                            .or_default()
-                            .insert(Type::Integer);
-                    }
                 }
-            }
-        });
+            },
+        );
         count
     }
 }
@@ -551,8 +555,7 @@ mod tests {
         let ty = info.type_of(x).unwrap();
         match ty {
             Type::Union(branches) => {
-                let names: BTreeSet<String> =
-                    branches.iter().map(|b| b.ty.to_string()).collect();
+                let names: BTreeSet<String> = branches.iter().map(|b| b.ty.to_string()).collect();
                 assert!(names.contains("Volume"), "{names:?}");
                 assert!(names.contains("Chapter"), "{names:?}");
                 assert!(names.contains("Section"), "{names:?}");
@@ -660,10 +663,7 @@ mod tests {
             vec![x],
             Formula::Atom(Atom::PathPred(
                 DataTerm::Name(sym("Knuth_Books")),
-                PathTerm(vec![
-                    PathAtom::Index(IntTerm::Var(i)),
-                    PathAtom::Bind(x),
-                ]),
+                PathTerm(vec![PathAtom::Index(IntTerm::Var(i)), PathAtom::Bind(x)]),
             )),
         );
         let info = infer_types(&q, &schema);
@@ -733,9 +733,9 @@ mod refinement_tests {
                         DataTerm::Const(Value::str("D. Scott")),
                         DataTerm::PathApp(
                             Box::new(DataTerm::Var(x)),
-                            PathTerm(vec![PathAtom::Attr(AttrTerm::Name(
-                                docql_model::sym("review"),
-                            ))]),
+                            PathTerm(vec![PathAtom::Attr(AttrTerm::Name(docql_model::sym(
+                                "review",
+                            )))]),
                         ),
                     )),
                 ])),
@@ -797,9 +797,9 @@ mod refinement_tests {
                         DataTerm::Const(Value::str("x")),
                         DataTerm::PathApp(
                             Box::new(DataTerm::Var(x)),
-                            PathTerm(vec![PathAtom::Attr(AttrTerm::Name(
-                                docql_model::sym("review"),
-                            ))]),
+                            PathTerm(vec![PathAtom::Attr(AttrTerm::Name(docql_model::sym(
+                                "review",
+                            )))]),
                         ),
                     )))),
                 ])),

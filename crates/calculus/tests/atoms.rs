@@ -14,16 +14,22 @@ fn inst() -> Instance {
         Schema::builder()
             .class(ClassDef::new("C", Type::Any))
             .root("Nums", Type::set(Type::Integer))
-            .root("Pairs", Type::list(Type::tuple([
-                ("k", Type::String),
-                ("vals", Type::set(Type::Integer)),
-            ])))
+            .root(
+                "Pairs",
+                Type::list(Type::tuple([
+                    ("k", Type::String),
+                    ("vals", Type::set(Type::Integer)),
+                ])),
+            )
             .build()
             .unwrap(),
     );
     let mut i = Instance::new(schema);
-    i.set_root("Nums", Value::set([Value::Int(1), Value::Int(2), Value::Int(3)]))
-        .unwrap();
+    i.set_root(
+        "Nums",
+        Value::set([Value::Int(1), Value::Int(2), Value::Int(3)]),
+    )
+    .unwrap();
     i.set_root(
         "Pairs",
         Value::list([
@@ -66,9 +72,9 @@ fn subset_atom_filters() {
                 Formula::Atom(Atom::Subset(
                     DataTerm::PathApp(
                         Box::new(DataTerm::Var(x)),
-                        PathTerm(vec![PathAtom::Attr(docql_calculus::AttrTerm::Name(
-                            sym("vals"),
-                        ))]),
+                        PathTerm(vec![PathAtom::Attr(docql_calculus::AttrTerm::Name(sym(
+                            "vals",
+                        )))]),
                     ),
                     DataTerm::Name(sym("Nums")),
                 )),
@@ -76,9 +82,9 @@ fn subset_atom_filters() {
                     DataTerm::Var(k),
                     DataTerm::PathApp(
                         Box::new(DataTerm::Var(x)),
-                        PathTerm(vec![PathAtom::Attr(docql_calculus::AttrTerm::Name(
-                            sym("k"),
-                        ))]),
+                        PathTerm(vec![PathAtom::Attr(docql_calculus::AttrTerm::Name(sym(
+                            "k",
+                        )))]),
                     ),
                 )),
             ])),
@@ -214,10 +220,7 @@ fn tuple_constructor_terms_evaluate() {
             Formula::Atom(Atom::Eq(
                 DataTerm::Var(h),
                 DataTerm::Tuple(vec![
-                    (
-                        docql_calculus::AttrTerm::Name(sym("n")),
-                        DataTerm::Var(x),
-                    ),
+                    (docql_calculus::AttrTerm::Name(sym("n")), DataTerm::Var(x)),
                     (
                         docql_calculus::AttrTerm::Name(sym("marker")),
                         DataTerm::Const(Value::str("fixed")),
@@ -289,10 +292,7 @@ fn sort_by_orders_elements_by_attribute() {
     let CalcValue::Data(Value::List(items)) = &rows[0][0] else {
         panic!()
     };
-    let keys: Vec<&Value> = items
-        .iter()
-        .map(|i| i.attr(sym("k")).unwrap())
-        .collect();
+    let keys: Vec<&Value> = items.iter().map(|i| i.attr(sym("k")).unwrap()).collect();
     assert_eq!(keys, vec![&Value::str("big"), &Value::str("small")]);
 }
 

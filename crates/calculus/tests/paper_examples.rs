@@ -209,7 +209,10 @@ fn structural_diff_between_documents() {
         Value::tuple([
             ("title", Value::str("t")),
             ("abstract", Value::str("a")),
-            ("sections", Value::list([Value::str("s0"), Value::str("s1")])),
+            (
+                "sections",
+                Value::list([Value::str("s0"), Value::str("s1")]),
+            ),
         ]),
     )
     .unwrap();
@@ -263,7 +266,10 @@ fn new_titles_between_versions() {
         "Doc",
         Value::tuple([
             ("title", Value::str("Paper")),
-            ("sections", Value::list([section("Intro"), section("New Results")])),
+            (
+                "sections",
+                Value::list([section("Intro"), section("New Results")]),
+            ),
         ]),
     )
     .unwrap();
@@ -310,10 +316,7 @@ fn new_titles_between_versions() {
     );
     let rows = ev.eval_query(&q).unwrap();
     assert_eq!(rows.len(), 1);
-    assert_eq!(
-        rows[0][0],
-        CalcValue::Data(Value::str("New Results"))
-    );
+    assert_eq!(rows[0][0], CalcValue::Data(Value::str("New Results")));
 }
 
 #[test]
@@ -529,7 +532,9 @@ fn letters_exact_structure_query() {
     );
     let rows = ev.eval_query(&q).unwrap();
     assert_eq!(rows.len(), 1);
-    let CalcValue::Data(v) = &rows[0][0] else { panic!() };
+    let CalcValue::Data(v) = &rows[0][0] else {
+        panic!()
+    };
     assert_eq!(v.attr(sym("content")), Some(&Value::str("letter one")));
 }
 
@@ -691,10 +696,7 @@ fn set_to_list_nested_query() {
         vec![y],
         Formula::Atom(Atom::Eq(
             DataTerm::Var(y),
-            DataTerm::Apply(
-                sym("set_to_list"),
-                vec![DataTerm::Sub(Box::new(inner))],
-            ),
+            DataTerm::Apply(sym("set_to_list"), vec![DataTerm::Sub(Box::new(inner))]),
         )),
     );
     let rows = ev.eval_query(&outer).unwrap();
@@ -777,9 +779,7 @@ fn forall_quantifier() {
                             sym("count"),
                             vec![DataTerm::PathApp(
                                 Box::new(DataTerm::Var(x)),
-                                PathTerm(vec![PathAtom::Attr(AttrTerm::Name(sym(
-                                    "chapters",
-                                )))]),
+                                PathTerm(vec![PathAtom::Attr(AttrTerm::Name(sym("chapters")))]),
                             )],
                         ),
                         DataTerm::Const(Value::Int(0)),

@@ -54,7 +54,7 @@ pub mod prelude {
     pub use docql_o2sql::{Engine, Mode, QueryResult};
     pub use docql_paths::{ConcretePath, PathSemantics, PathStep};
     pub use docql_sgml::{Document, Dtd};
-    pub use docql_store::DocStore;
+    pub use docql_store::{DocStore, SharedStore};
     pub use docql_text::ContainsExpr;
 
     pub use crate::Database;
@@ -85,6 +85,18 @@ impl Database {
     /// Parse, validate and load one SGML document; returns its root object.
     pub fn ingest(&mut self, sgml_text: &str) -> Result<Oid, StoreError> {
         self.inner.ingest(sgml_text)
+    }
+
+    /// Batch-ingest documents, parallelising parse/validation and index
+    /// construction across threads (see [`store::DocStore::ingest_batch`]).
+    pub fn ingest_batch(&mut self, docs: &[&str]) -> Result<Vec<Oid>, StoreError> {
+        self.inner.ingest_batch(docs)
+    }
+
+    /// Convert into a clonable multi-thread serving handle
+    /// (see [`store::SharedStore`]).
+    pub fn into_shared(self) -> docql_store::SharedStore {
+        docql_store::SharedStore::new(self.inner)
     }
 
     /// Bind a named root of persistence to a document object.
@@ -122,7 +134,9 @@ mod tests {
         let mut db = Database::new(fixtures::ARTICLE_DTD, &["my_article"]).unwrap();
         let root = db.ingest(fixtures::FIG2_DOCUMENT).unwrap();
         db.bind("my_article", root).unwrap();
-        let titles = db.query("select t from my_article PATH_p.title(t)").unwrap();
+        let titles = db
+            .query("select t from my_article PATH_p.title(t)")
+            .unwrap();
         assert!(!titles.is_empty());
         let alg = db
             .query_algebraic("select t from my_article PATH_p.title(t)")

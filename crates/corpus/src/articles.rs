@@ -1,17 +1,50 @@
 //! Synthetic articles valid against the paper's Fig. 1 DTD.
 
+use crate::rng::SeededRng;
 use docql_sgml::{Document, Element, Node};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Vocabulary for generated prose (database-paper flavoured, so textual
 /// queries like `contains "SGML"` have non-trivial selectivity).
 const WORDS: &[&str] = &[
-    "structured", "documents", "can", "benefit", "from", "database", "support", "object",
-    "oriented", "management", "systems", "query", "languages", "provide", "pattern", "matching",
-    "facilities", "logical", "structure", "hierarchical", "elements", "attributes", "schema",
-    "instances", "paths", "navigation", "retrieval", "indexing", "textual", "data", "model",
-    "types", "union", "tuples", "lists", "ordered", "markup", "standard", "exchange",
+    "structured",
+    "documents",
+    "can",
+    "benefit",
+    "from",
+    "database",
+    "support",
+    "object",
+    "oriented",
+    "management",
+    "systems",
+    "query",
+    "languages",
+    "provide",
+    "pattern",
+    "matching",
+    "facilities",
+    "logical",
+    "structure",
+    "hierarchical",
+    "elements",
+    "attributes",
+    "schema",
+    "instances",
+    "paths",
+    "navigation",
+    "retrieval",
+    "indexing",
+    "textual",
+    "data",
+    "model",
+    "types",
+    "union",
+    "tuples",
+    "lists",
+    "ordered",
+    "markup",
+    "standard",
+    "exchange",
 ];
 
 /// Phrases planted with known probability so tests can predict answers.
@@ -49,7 +82,7 @@ impl Default for ArticleParams {
     }
 }
 
-fn words(rng: &mut StdRng, n: usize) -> String {
+fn words(rng: &mut SeededRng, n: usize) -> String {
     let mut out = String::new();
     for i in 0..n {
         if i > 0 {
@@ -75,11 +108,16 @@ fn text_elem(name: &str, text: String) -> Element {
 /// Generate one article as a document tree (already valid: no parsing
 /// needed; `docql_sgml::validate` agrees by construction).
 pub fn generate_article(params: &ArticleParams) -> Document {
-    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut rng = SeededRng::seed_from_u64(params.seed);
     let mut root = Element::new("article");
     root.attrs.push((
         "status".to_string(),
-        if rng.gen_range(0..4) == 0 { "final" } else { "draft" }.to_string(),
+        if rng.gen_range(0..4) == 0 {
+            "final"
+        } else {
+            "draft"
+        }
+        .to_string(),
     ));
     root.children.push(Node::Element(text_elem(
         "title",
@@ -98,7 +136,8 @@ pub fn generate_article(params: &ArticleParams) -> Document {
     if params.seed.is_multiple_of(10) {
         abstract_text.push_str(" zanzibar");
     }
-    root.children.push(Node::Element(text_elem("abstract", abstract_text)));
+    root.children
+        .push(Node::Element(text_elem("abstract", abstract_text)));
 
     let mut label_counter = 0usize;
     for s in 0..params.sections.max(1) {
@@ -108,24 +147,23 @@ pub fn generate_article(params: &ArticleParams) -> Document {
         } else {
             format!("Section {s}: {}", words(&mut rng, 3))
         };
-        section.children.push(Node::Element(text_elem("title", title)));
+        section
+            .children
+            .push(Node::Element(text_elem("title", title)));
         let with_subsections = params.subsections > 0 && s % 3 == 2;
         // One figure (with an ID) per section so IDREFs resolve locally.
         label_counter += 1;
         let label = format!("fig{}-{}", params.seed, label_counter);
         let mut figure = Element::new("figure");
         figure.attrs.push(("label".to_string(), label.clone()));
+        figure.children.push(Node::Element(Element::new("picture")));
         figure
             .children
-            .push(Node::Element(Element::new("picture")));
-        figure.children.push(Node::Element(text_elem(
-            "caption",
-            words(&mut rng, 5),
-        )));
+            .push(Node::Element(text_elem("caption", words(&mut rng, 5))));
         let mut fig_body = Element::new("body");
         fig_body.children.push(Node::Element(figure));
         section.children.push(Node::Element(fig_body));
-        let mk_para_body = |rng: &mut StdRng, label: &str| {
+        let mk_para_body = |rng: &mut SeededRng, label: &str| {
             let mut p = text_elem("paragr", words(rng, params.paragraph_words));
             p.attrs.push(("reflabel".to_string(), label.to_string()));
             let mut b = Element::new("body");
@@ -183,7 +221,10 @@ mod tests {
         let p = ArticleParams::default();
         assert_eq!(generate_article(&p), generate_article(&p));
         let p2 = ArticleParams { seed: 43, ..p };
-        assert_ne!(generate_article(&ArticleParams::default()), generate_article(&p2));
+        assert_ne!(
+            generate_article(&ArticleParams::default()),
+            generate_article(&p2)
+        );
     }
 
     #[test]

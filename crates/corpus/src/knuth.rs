@@ -86,11 +86,7 @@ pub fn knuth_instance(params: &KnuthParams) -> Instance {
                         ("title", Value::str(format!("Chapter {v}.{c}"))),
                         (
                             "review",
-                            Value::set([Value::str(if c == 0 {
-                                "D. Scott"
-                            } else {
-                                "A. Turing"
-                            })]),
+                            Value::set([Value::str(if c == 0 { "D. Scott" } else { "A. Turing" })]),
                         ),
                         ("sections", Value::List(sections)),
                     ]),

@@ -1,8 +1,7 @@
 //! Synthetic letters for the §4.4/Q6 ordered-tuple experiments.
 
+use crate::rng::SeededRng;
 use docql_sgml::{Document, Element, Node};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 const PEOPLE: &[&str] = &[
     "alice", "bob", "carol", "dan", "erin", "frank", "grace", "heidi",
@@ -40,7 +39,7 @@ fn text_elem(name: &str, text: String) -> Element {
 
 /// Generate one letter (valid against [`docql_sgml::fixtures::LETTER_DTD`]).
 pub fn generate_letter(params: &LetterParams) -> Document {
-    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut rng = SeededRng::seed_from_u64(params.seed);
     let from = PEOPLE[rng.gen_range(0..PEOPLE.len())];
     let mut to = PEOPLE[rng.gen_range(0..PEOPLE.len())];
     while to == from {

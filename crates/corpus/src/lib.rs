@@ -16,8 +16,10 @@ pub mod articles;
 pub mod knuth;
 pub mod letters;
 pub mod mutate;
+pub mod rng;
 
 pub use articles::{generate_article, ArticleParams};
 pub use knuth::{knuth_instance, knuth_schema, KnuthParams};
 pub use letters::{generate_letter, LetterParams};
 pub use mutate::{mutate, Mutation};
+pub use rng::SeededRng;

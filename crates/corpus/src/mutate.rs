@@ -25,20 +25,22 @@ pub fn mutate(doc: &Document, m: &Mutation) -> Document {
     match m {
         Mutation::AddSection(title) => {
             let mut section = Element::new("section");
-            section.children.push(Node::Element(text_elem("title", title.clone())));
+            section
+                .children
+                .push(Node::Element(text_elem("title", title.clone())));
             let mut body = Element::new("body");
             let mut para = text_elem("paragr", format!("Contents of {title}."));
-            para.attrs
-                .push(("reflabel".to_string(), first_label(root).unwrap_or_default()));
+            para.attrs.push((
+                "reflabel".to_string(),
+                first_label(root).unwrap_or_default(),
+            ));
             body.children.push(Node::Element(para));
             section.children.push(Node::Element(body));
             // Insert before the trailing acknowl.
             let at = root
                 .children
                 .iter()
-                .position(
-                    |c| matches!(c, Node::Element(e) if e.name == "acknowl"),
-                )
+                .position(|c| matches!(c, Node::Element(e) if e.name == "acknowl"))
                 .unwrap_or(root.children.len());
             root.children.insert(at, Node::Element(section));
         }
@@ -65,9 +67,7 @@ pub fn mutate(doc: &Document, m: &Mutation) -> Document {
                 let at = section
                     .children
                     .iter()
-                    .position(
-                        |c| matches!(c, Node::Element(e) if e.name == "subsectn"),
-                    )
+                    .position(|c| matches!(c, Node::Element(e) if e.name == "subsectn"))
                     .unwrap_or(section.children.len());
                 section.children.insert(at, Node::Element(body));
             }

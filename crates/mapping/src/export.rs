@@ -95,9 +95,9 @@ impl Exporter<'_, '_> {
             ContentKind::Structured { shape, .. } => {
                 // Unwrap the attribute-carrying wrapper if present.
                 let content_val = match value {
-                    Value::Tuple(_) if matches!(shape, Shape::Union(_)) => value
-                        .attr(docql_model::sym("content"))
-                        .unwrap_or(value),
+                    Value::Tuple(_) if matches!(shape, Shape::Union(_)) => {
+                        value.attr(docql_model::sym("content")).unwrap_or(value)
+                    }
                     v => v,
                 };
                 self.shape_children(shape, content_val, &mut out)?;

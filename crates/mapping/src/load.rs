@@ -81,9 +81,11 @@ struct Loader<'m, 'i> {
 
 impl Loader<'_, '_> {
     fn element(&mut self, e: &Element) -> Result<Oid, MapError> {
-        let em = self.mapping.elements.get(&e.name).ok_or_else(|| {
-            MapError::Load(format!("element `{}` has no mapping", e.name))
-        })?;
+        let em = self
+            .mapping
+            .elements
+            .get(&e.name)
+            .ok_or_else(|| MapError::Load(format!("element `{}` has no mapping", e.name)))?;
         // Children first (bottom-up).
         let mut child_vals: Vec<ChildVal> = Vec::new();
         for c in &e.children {
@@ -131,9 +133,7 @@ impl Loader<'_, '_> {
                                 .map_err(|err| MapError::Load(err.to_string()))?;
                             // Tag = lower-cased class name is not reliable;
                             // look it up from the element child list instead.
-                            Ok(Label::Elem(
-                                self.tag_of_class(class).unwrap_or_default(),
-                            ))
+                            Ok(Label::Elem(self.tag_of_class(class).unwrap_or_default()))
                         }
                         ChildVal::Text(_) => Ok(Label::Text),
                     })
@@ -266,7 +266,9 @@ impl Loader<'_, '_> {
                     }
                 }
             }
-            self.instance.set_value(holder, v).map_err(MapError::Model)?;
+            self.instance
+                .set_value(holder, v)
+                .map_err(MapError::Model)?;
             backrefs.entry(target).or_default().push(Value::Oid(holder));
         }
         // Back-reference lists on ID holders (Fig. 3 `label: list(Object)`).
@@ -278,13 +280,11 @@ impl Loader<'_, '_> {
                 .clone();
             if let Value::Tuple(fs) = &mut v {
                 for (n, fv) in fs.iter_mut() {
-                    let is_id_field = self
-                        .mapping
-                        .elements
-                        .values()
-                        .any(|em| em.attrs.iter().any(|a| {
-                            a.field == *n && matches!(a.kind, AttrKind::Id)
-                        }));
+                    let is_id_field = self.mapping.elements.values().any(|em| {
+                        em.attrs
+                            .iter()
+                            .any(|a| a.field == *n && matches!(a.kind, AttrKind::Id))
+                    });
                     if is_id_field {
                         *fv = Value::List(refs.clone());
                     }
@@ -354,9 +354,10 @@ fn build_value(shape: &Shape, m: &MatchNode, children: &[&ChildVal]) -> Value {
         },
         (Shape::Optional(inner), node) => build_value(inner, node, children),
         // A single-`Ref` model can be matched by a bare Child node.
-        (Shape::Tuple(fields), node) if fields.len() == 1 => {
-            Value::Tuple(vec![(fields[0].0, build_value(&fields[0].1, node, children))])
-        }
+        (Shape::Tuple(fields), node) if fields.len() == 1 => Value::Tuple(vec![(
+            fields[0].0,
+            build_value(&fields[0].1, node, children),
+        )]),
         (shape, node) => {
             debug_assert!(false, "shape/match mismatch: {shape:?} vs {node:?}");
             Value::Nil
@@ -435,7 +436,9 @@ mod tests {
         let Value::List(sections) = v.attr(sym("sections")).unwrap() else {
             panic!()
         };
-        let Value::Oid(s0) = sections[0] else { panic!() };
+        let Value::Oid(s0) = sections[0] else {
+            panic!()
+        };
         let sv = instance.value_of(s0).unwrap();
         match sv {
             Value::Union(m, inner) => {

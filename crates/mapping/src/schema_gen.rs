@@ -223,10 +223,8 @@ fn map_element(dtd: &Dtd, decl: &ElementDecl) -> Result<(ClassDef, ElementMappin
             (def, ContentKind::Media)
         }
         ContentModel::Any => {
-            let content_ty = Type::list(Type::union([
-                ("text", Type::String),
-                ("object", Type::Any),
-            ]));
+            let content_ty =
+                Type::list(Type::union([("text", Type::String), ("object", Type::Any)]));
             let mut fields = vec![Field::new(sym("contents"), content_ty)];
             fields.extend(attr_fields.clone());
             (
@@ -391,7 +389,10 @@ mod tests {
         // Per-branch constraints, as in Fig. 3.
         let cs: Vec<String> = section.constraints.iter().map(|c| c.to_string()).collect();
         assert!(cs.iter().any(|c| c.contains("a1.title != nil")), "{cs:?}");
-        assert!(cs.iter().any(|c| c.contains("a2.subsectns != list()")), "{cs:?}");
+        assert!(
+            cs.iter().any(|c| c.contains("a2.subsectns != list()")),
+            "{cs:?}"
+        );
     }
 
     #[test]

@@ -55,12 +55,18 @@ impl Shape {
         match self {
             Shape::Class(tag) => Type::class(class_name(tag).as_str()),
             Shape::Text => Type::String,
-            Shape::Tuple(fields) => {
-                Type::Tuple(fields.iter().map(|(n, s)| docql_model::Field::new(*n, s.to_type())).collect())
-            }
-            Shape::Union(branches) => {
-                Type::Union(branches.iter().map(|(n, s)| docql_model::Field::new(*n, s.to_type())).collect())
-            }
+            Shape::Tuple(fields) => Type::Tuple(
+                fields
+                    .iter()
+                    .map(|(n, s)| docql_model::Field::new(*n, s.to_type()))
+                    .collect(),
+            ),
+            Shape::Union(branches) => Type::Union(
+                branches
+                    .iter()
+                    .map(|(n, s)| docql_model::Field::new(*n, s.to_type()))
+                    .collect(),
+            ),
             Shape::List(inner, _) => Type::list(inner.to_type()),
             Shape::Optional(inner) => inner.to_type(),
         }
@@ -103,9 +109,7 @@ fn field_of(item: &ContentExpr, group_counter: &mut usize) -> (Sym, Shape) {
         ContentExpr::Occur(inner, occ) => {
             let (base_name, inner_shape) = field_of(inner, group_counter);
             match occ {
-                docql_sgml::Occurrence::Opt => {
-                    (base_name, Shape::Optional(Box::new(inner_shape)))
-                }
+                docql_sgml::Occurrence::Opt => (base_name, Shape::Optional(Box::new(inner_shape))),
                 docql_sgml::Occurrence::Plus => (
                     sym(&plural(base_name.as_str())),
                     Shape::List(Box::new(inner_shape), true),
@@ -155,9 +159,7 @@ mod tests {
     fn expr(model: &str) -> ContentExpr {
         let dtd = Dtd::parse(&format!("<!ELEMENT x - - {model}>")).unwrap();
         match &dtd.element("x").unwrap().content {
-            docql_sgml::ContentModel::Model(e) => {
-                docql_sgml::content::expand_and(e).unwrap()
-            }
+            docql_sgml::ContentModel::Model(e) => docql_sgml::content::expand_and(e).unwrap(),
             docql_sgml::ContentModel::Pcdata => ContentExpr::Pcdata,
             other => panic!("{other:?}"),
         }

@@ -6,7 +6,14 @@ use docql_mapping::{load_sgml_text, map_dtd, schema_to_dtd};
 use docql_model::{sym, Instance, Value};
 use docql_sgml::{validate, Dtd};
 
-fn load(dtd_text: &str, doc_text: &str) -> (docql_mapping::DtdMapping, Instance, docql_mapping::LoadedDocument) {
+fn load(
+    dtd_text: &str,
+    doc_text: &str,
+) -> (
+    docql_mapping::DtdMapping,
+    Instance,
+    docql_mapping::LoadedDocument,
+) {
     let dtd = Dtd::parse(dtd_text).unwrap();
     let mapping = map_dtd(&dtd).unwrap();
     let mut instance = Instance::new(mapping.schema.clone());
@@ -17,15 +24,16 @@ fn load(dtd_text: &str, doc_text: &str) -> (docql_mapping::DtdMapping, Instance,
 #[test]
 fn any_content_loads_as_mixed_list() {
     let dtd = "<!DOCTYPE note [ <!ELEMENT note - - ANY> <!ELEMENT b - - (#PCDATA)> ]>";
-    let (_, instance, loaded) =
-        load(dtd, "<note>plain <b>bold</b> tail</note>");
+    let (_, instance, loaded) = load(dtd, "<note>plain <b>bold</b> tail</note>");
     let v = instance.value_of(loaded.root).unwrap();
     let Some(Value::List(items)) = v.attr(sym("contents")) else {
         panic!("{v}");
     };
     assert_eq!(items.len(), 3);
     assert!(matches!(&items[0], Value::Union(m, _) if m.as_str() == "text"));
-    assert!(matches!(&items[1], Value::Union(m, p) if m.as_str() == "object" && matches!(p.as_ref(), Value::Oid(_))));
+    assert!(
+        matches!(&items[1], Value::Union(m, p) if m.as_str() == "object" && matches!(p.as_ref(), Value::Oid(_)))
+    );
     assert!(instance.check().is_empty());
     assert_eq!(loaded.text_of[&loaded.root], "plain bold tail");
 }
@@ -101,10 +109,7 @@ fn nested_group_with_plus_loads_grouped_values() {
         <!ELEMENT pairs - - ((k, v)+)> \
         <!ELEMENT k - O (#PCDATA)> \
         <!ELEMENT v - O (#PCDATA)> ]>";
-    let (_, instance, loaded) = load(
-        dtd,
-        "<pairs><k>a</k><v>1</v><k>b</k><v>2</v></pairs>",
-    );
+    let (_, instance, loaded) = load(dtd, "<pairs><k>a</k><v>1</v><k>b</k><v>2</v></pairs>");
     let val = instance.value_of(loaded.root).unwrap();
     // A top-level `(group)+` model wraps as `content: list(tuple(k, v))`.
     let Some(Value::List(items)) = val.attr(sym("content")) else {
@@ -112,7 +117,9 @@ fn nested_group_with_plus_loads_grouped_values() {
     };
     assert_eq!(items.len(), 2);
     for item in items {
-        let Value::Tuple(fs) = item else { panic!("{item}") };
+        let Value::Tuple(fs) = item else {
+            panic!("{item}")
+        };
         assert_eq!(fs.len(), 2);
     }
     assert!(instance.check().is_empty());
@@ -123,10 +130,7 @@ fn mixed_content_star_loads_union_list() {
     let dtd = "<!DOCTYPE para [ \
         <!ELEMENT para - - ((#PCDATA | emph)*)> \
         <!ELEMENT emph - - (#PCDATA)> ]>";
-    let (_, instance, loaded) = load(
-        dtd,
-        "<para>before <emph>shiny</emph> after</para>",
-    );
+    let (_, instance, loaded) = load(dtd, "<para>before <emph>shiny</emph> after</para>");
     let val = instance.value_of(loaded.root).unwrap();
     let Some(Value::List(items)) = val.attr(sym("content")) else {
         panic!("{val}");
@@ -161,8 +165,7 @@ fn inverse_mapping_round_trips_edge_models() {
 #[test]
 fn exported_any_content_round_trips() {
     let dtd_text = "<!DOCTYPE note [ <!ELEMENT note - - ANY> <!ELEMENT b - - (#PCDATA)> ]>";
-    let (mapping, instance, loaded) =
-        load(dtd_text, "<note>plain <b>bold</b> tail</note>");
+    let (mapping, instance, loaded) = load(dtd_text, "<note>plain <b>bold</b> tail</note>");
     let doc = docql_mapping::export_document(&mapping, &instance, loaded.root).unwrap();
     let dtd = Dtd::parse(dtd_text).unwrap();
     assert!(validate(&doc, &dtd).is_empty());

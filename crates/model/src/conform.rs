@@ -33,12 +33,8 @@ pub fn conforms(v: &Value, ty: &Type, instance: &Instance) -> bool {
         (Value::Str(_), Type::String) => true,
         (Value::Oid(o), Type::Any) => instance.class_of(*o).is_ok(),
         (Value::Oid(o), Type::Class(c)) => instance.oid_in_class(*o, *c),
-        (Value::List(items), Type::List(t)) => {
-            items.iter().all(|x| conforms(x, t, instance))
-        }
-        (Value::Set(items), Type::Set(t)) => {
-            items.iter().all(|x| conforms(x, t, instance))
-        }
+        (Value::List(items), Type::List(t)) => items.iter().all(|x| conforms(x, t, instance)),
+        (Value::Set(items), Type::Set(t)) => items.iter().all(|x| conforms(x, t, instance)),
         (Value::Tuple(fields), Type::Tuple(fs)) => {
             // The type's attributes must appear in the value as an
             // order-preserving subsequence, each component conforming.
@@ -65,13 +61,9 @@ pub fn conforms(v: &Value, ty: &Type, instance: &Instance) -> bool {
             .any(|u| u.name == *m && conforms(payload, &u.ty, instance)),
         // dom(union) = ∪ dom([aᵢ:τᵢ]): a plain tuple is in the union's domain
         // if it is in the domain of one of the singleton-tuple types.
-        (Value::Tuple(_), Type::Union(us)) => us.iter().any(|u| {
-            conforms(
-                v,
-                &Type::Tuple(vec![u.clone()]),
-                instance,
-            )
-        }),
+        (Value::Tuple(_), Type::Union(us)) => us
+            .iter()
+            .any(|u| conforms(v, &Type::Tuple(vec![u.clone()]), instance)),
         // A marked-union value viewed as a singleton tuple (≡) against a
         // tuple type.
         (Value::Union(m, payload), Type::Tuple(fs)) => match fs.len() {
@@ -103,7 +95,10 @@ mod tests {
                     Type::tuple([("contents", Type::String)]),
                 ))
                 .class(ClassDef::new("Title", Type::Any).inherit("Text"))
-                .class(ClassDef::new("Bitmap", Type::tuple([("bits", Type::String)])))
+                .class(ClassDef::new(
+                    "Bitmap",
+                    Type::tuple([("bits", Type::String)]),
+                ))
                 .build()
                 .unwrap(),
         );
@@ -145,10 +140,7 @@ mod tests {
     fn tuple_width_membership() {
         let i = inst();
         // dom([a:int]) contains tuples with extra attributes.
-        let v = Value::tuple([
-            ("a", Value::Int(1)),
-            ("b", Value::str("x")),
-        ]);
+        let v = Value::tuple([("a", Value::Int(1)), ("b", Value::str("x"))]);
         assert!(conforms(&v, &Type::tuple([("a", Type::Integer)]), &i));
         assert!(conforms(
             &v,
@@ -180,14 +172,8 @@ mod tests {
     fn tuple_as_hetero_list_membership() {
         let i = inst();
         // [from:…, to:…] ∈ dom([(from:string + to:string)])
-        let letter = Value::tuple([
-            ("from", Value::str("bob")),
-            ("to", Value::str("alice")),
-        ]);
-        let hetero = Type::list(Type::union([
-            ("from", Type::String),
-            ("to", Type::String),
-        ]));
+        let letter = Value::tuple([("from", Value::str("bob")), ("to", Value::str("alice"))]);
+        let hetero = Type::list(Type::union([("from", Type::String), ("to", Type::String)]));
         assert!(conforms(&letter, &hetero, &i));
         // A list of marked values conforms likewise.
         let as_list = Value::list([
@@ -215,7 +201,11 @@ mod tests {
             &Type::set(Type::String),
             &i
         ));
-        assert!(conforms(&Value::List(vec![]), &Type::list(Type::Integer), &i));
+        assert!(conforms(
+            &Value::List(vec![]),
+            &Type::list(Type::Integer),
+            &i
+        ));
     }
 
     #[test]

@@ -95,9 +95,7 @@ impl<'i> ConstraintChecker<'i> {
                 // vacuously fine (per-branch constraints in Fig. 3 apply
                 // only when that branch was chosen).
                 None => Ok(()),
-                Some(v) if v.is_nil() => {
-                    Err(format!("{} is nil", path_to_string(path)))
-                }
+                Some(v) if v.is_nil() => Err(format!("{} is nil", path_to_string(path))),
                 Some(_) => Ok(()),
             },
             Constraint::NotEmptyList(path) => match self.resolve(value, path) {
@@ -203,9 +201,13 @@ mod tests {
         assert!(ch
             .check(&c, &Value::tuple([("title", Value::str("x"))]))
             .is_ok());
-        assert!(ch.check(&c, &Value::tuple([("title", Value::Nil)])).is_err());
+        assert!(ch
+            .check(&c, &Value::tuple([("title", Value::Nil)]))
+            .is_err());
         // Missing attribute counts as nil.
-        assert!(ch.check(&c, &Value::tuple([("other", Value::Int(1))])).is_err());
+        assert!(ch
+            .check(&c, &Value::tuple([("other", Value::Int(1))]))
+            .is_err());
     }
 
     #[test]
@@ -214,7 +216,10 @@ mod tests {
         let ch = ConstraintChecker::new(&i);
         let c = Constraint::not_empty("authors");
         assert!(ch
-            .check(&c, &Value::tuple([("authors", Value::list([Value::Int(1)]))]))
+            .check(
+                &c,
+                &Value::tuple([("authors", Value::list([Value::Int(1)]))])
+            )
             .is_ok());
         assert!(ch
             .check(&c, &Value::tuple([("authors", Value::List(vec![]))]))
@@ -271,10 +276,16 @@ mod tests {
                 ("subsectns", Value::list([Value::Int(0)])),
             ]),
         );
-        assert!(ch.check(&c, &a2_section).is_ok(), "a1 constraints vacuous on a2");
+        assert!(
+            ch.check(&c, &a2_section).is_ok(),
+            "a1 constraints vacuous on a2"
+        );
         let bad_a1 = Value::union(
             "a1",
-            Value::tuple([("title", Value::Nil), ("bodies", Value::list([Value::Int(0)]))]),
+            Value::tuple([
+                ("title", Value::Nil),
+                ("bodies", Value::list([Value::Int(0)])),
+            ]),
         );
         assert!(ch.check(&c, &bad_a1).is_err());
     }

@@ -119,9 +119,7 @@ impl ClassHierarchy {
             marks[i] = Mark::Grey;
             let parents = classes[i].parents.clone();
             for p in parents {
-                let j = *index
-                    .get(&p)
-                    .ok_or(ModelError::UnknownClass(p))?;
+                let j = *index.get(&p).ok_or(ModelError::UnknownClass(p))?;
                 visit(j, classes, index, ancestors, marks)?;
                 let mut inherited = ancestors[j].clone();
                 inherited.push(j);
@@ -135,7 +133,13 @@ impl ClassHierarchy {
             Ok(())
         }
         for i in 0..n {
-            visit(i, &self.classes, &self.index, &mut self.ancestors, &mut marks)?;
+            visit(
+                i,
+                &self.classes,
+                &self.index,
+                &mut self.ancestors,
+                &mut marks,
+            )?;
         }
         // Every class referenced from a σ(c) must be declared.
         for def in &self.classes {
@@ -285,10 +289,7 @@ mod tests {
         let mut h = ClassHierarchy::new();
         h.add(ClassDef::new("A", Type::Any).inherit("B")).unwrap();
         h.add(ClassDef::new("B", Type::Any).inherit("A")).unwrap();
-        assert!(matches!(
-            h.finish(),
-            Err(ModelError::InheritanceCycle(_))
-        ));
+        assert!(matches!(h.finish(), Err(ModelError::InheritanceCycle(_))));
     }
 
     #[test]

@@ -197,9 +197,7 @@ impl Instance {
                         .map(|(_, v)| std::mem::size_of::<Sym>() + value_bytes(v))
                         .sum(),
                     Value::Union(_, v) => value_bytes(v),
-                    Value::List(items) | Value::Set(items) => {
-                        items.iter().map(value_bytes).sum()
-                    }
+                    Value::List(items) | Value::Set(items) => items.iter().map(value_bytes).sum(),
                     _ => 0,
                 }
         }
@@ -330,8 +328,11 @@ mod tests {
     fn approx_bytes_grows_with_content() {
         let mut i = Instance::new(schema());
         let before = i.approx_bytes();
-        i.new_object("Title", Value::tuple([("contents", Value::str("hello world"))]))
-            .unwrap();
+        i.new_object(
+            "Title",
+            Value::tuple([("contents", Value::str("hello world"))]),
+        )
+        .unwrap();
         assert!(i.approx_bytes() > before);
     }
 }

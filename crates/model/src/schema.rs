@@ -87,7 +87,11 @@ impl fmt::Display for Schema {
                 write!(f, " inherit {p}")?;
             }
             if def.ty != Type::Any {
-                write!(f, " public type {}", display_with_private(&def.ty, &def.private_attrs))?;
+                write!(
+                    f,
+                    " public type {}",
+                    display_with_private(&def.ty, &def.private_attrs)
+                )?;
             }
             if !def.constraints.is_empty() {
                 let cs: Vec<String> = def.constraints.iter().map(|c| c.to_string()).collect();
@@ -209,7 +213,10 @@ mod tests {
             s.root_type(sym("Articles")),
             Some(&Type::list(Type::class("Title")))
         );
-        assert_eq!(s.class_type(sym("Title")), Some(Type::tuple([("contents", Type::String)])));
+        assert_eq!(
+            s.class_type(sym("Title")),
+            Some(Type::tuple([("contents", Type::String)]))
+        );
     }
 
     #[test]
@@ -242,10 +249,7 @@ mod tests {
             .class(
                 ClassDef::new(
                     "Article",
-                    Type::tuple([
-                        ("title", Type::class("Title")),
-                        ("status", Type::String),
-                    ]),
+                    Type::tuple([("title", Type::class("Title")), ("status", Type::String)]),
                 )
                 .private("status"),
             )
@@ -263,9 +267,7 @@ mod tests {
         // Child's σ must be a subtype of parent's σ.
         let r = Schema::builder()
             .class(ClassDef::new("P", Type::tuple([("a", Type::Integer)])))
-            .class(
-                ClassDef::new("K", Type::tuple([("b", Type::String)])).inherit("P"),
-            )
+            .class(ClassDef::new("K", Type::tuple([("b", Type::String)])).inherit("P"))
             .build();
         assert!(matches!(
             r.unwrap_err(),

@@ -193,8 +193,6 @@ impl<'h> TypeOps<'h> {
     }
 }
 
-
-
 /// Is `needle` an order-preserving subsequence of `hay` under `matches`?
 fn is_subsequence<T>(hay: &[T], needle: &[T], mut matches: impl FnMut(&T, &T) -> bool) -> bool {
     let mut it = hay.iter();
@@ -216,14 +214,20 @@ mod tests {
 
     fn hierarchy() -> ClassHierarchy {
         let mut h = ClassHierarchy::new();
-        h.add(ClassDef::new("Text", Type::tuple([("contents", Type::String)])))
-            .unwrap();
+        h.add(ClassDef::new(
+            "Text",
+            Type::tuple([("contents", Type::String)]),
+        ))
+        .unwrap();
         h.add(ClassDef::new("Title", Type::Any).inherit("Text"))
             .unwrap();
         h.add(ClassDef::new("Caption", Type::Any).inherit("Text"))
             .unwrap();
-        h.add(ClassDef::new("Bitmap", Type::tuple([("bits", Type::String)])))
-            .unwrap();
+        h.add(ClassDef::new(
+            "Bitmap",
+            Type::tuple([("bits", Type::String)]),
+        ))
+        .unwrap();
         h.finish().unwrap();
         h
     }
@@ -264,14 +268,8 @@ mod tests {
             &Type::list(Type::class("Title")),
             &Type::list(Type::class("Text"))
         ));
-        assert!(ops.is_subtype(
-            &Type::set(Type::Integer),
-            &Type::set(Type::Float)
-        ));
-        assert!(!ops.is_subtype(
-            &Type::set(Type::Float),
-            &Type::set(Type::Integer)
-        ));
+        assert!(ops.is_subtype(&Type::set(Type::Integer), &Type::set(Type::Float)));
+        assert!(!ops.is_subtype(&Type::set(Type::Float), &Type::set(Type::Integer)));
     }
 
     #[test]
@@ -333,10 +331,7 @@ mod tests {
         let iu = u(&[("a", Type::Integer), ("b", Type::String)]);
         assert_eq!(ops.common_supertype(&Type::Integer, &iu), None);
         assert_eq!(
-            ops.common_supertype(
-                &Type::set(Type::Integer),
-                &Type::set(iu.clone())
-            ),
+            ops.common_supertype(&Type::set(Type::Integer), &Type::set(iu.clone())),
             None
         );
     }
@@ -407,10 +402,7 @@ mod tests {
             Some(Type::Float)
         );
         assert_eq!(
-            ops.common_supertype(
-                &Type::list(Type::Integer),
-                &Type::list(Type::Float)
-            ),
+            ops.common_supertype(&Type::list(Type::Integer), &Type::list(Type::Float)),
             Some(Type::list(Type::Float))
         );
         assert_eq!(ops.common_supertype(&Type::Integer, &Type::String), None);

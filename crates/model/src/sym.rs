@@ -131,8 +131,14 @@ mod tests {
     #[test]
     fn cmp_str_is_lexicographic() {
         use std::cmp::Ordering;
-        assert_eq!(Sym::new("abstract").cmp_str(Sym::new("title")), Ordering::Less);
-        assert_eq!(Sym::new("title").cmp_str(Sym::new("title")), Ordering::Equal);
+        assert_eq!(
+            Sym::new("abstract").cmp_str(Sym::new("title")),
+            Ordering::Less
+        );
+        assert_eq!(
+            Sym::new("title").cmp_str(Sym::new("title")),
+            Ordering::Equal
+        );
     }
 
     #[test]

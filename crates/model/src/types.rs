@@ -73,12 +73,7 @@ impl Type {
         I: IntoIterator<Item = (N, Type)>,
         N: Into<Sym>,
     {
-        Type::Tuple(
-            fields
-                .into_iter()
-                .map(|(n, t)| Field::new(n, t))
-                .collect(),
-        )
+        Type::Tuple(fields.into_iter().map(|(n, t)| Field::new(n, t)).collect())
     }
 
     /// Marked union from `(marker, type)` pairs.
@@ -87,11 +82,7 @@ impl Type {
         I: IntoIterator<Item = (N, Type)>,
         N: Into<Sym>,
     {
-        Type::Union(
-            alts.into_iter()
-                .map(|(n, t)| Field::new(n, t))
-                .collect(),
-        )
+        Type::Union(alts.into_iter().map(|(n, t)| Field::new(n, t)).collect())
     }
 
     /// Class reference type.
@@ -153,10 +144,9 @@ impl Type {
     /// All class names referenced (transitively) by this type.
     pub fn referenced_classes(&self, out: &mut Vec<Sym>) {
         match self {
-            Type::Class(c)
-                if !out.contains(c) => {
-                    out.push(*c);
-                }
+            Type::Class(c) if !out.contains(c) => {
+                out.push(*c);
+            }
             Type::List(t) | Type::Set(t) => t.referenced_classes(out),
             Type::Tuple(fs) | Type::Union(fs) => {
                 for f in fs {
@@ -289,10 +279,7 @@ mod tests {
         let t = section_union();
         let mut out = Vec::new();
         t.referenced_classes(&mut out);
-        assert_eq!(
-            out,
-            vec![sym("Title"), sym("Body"), sym("Subsectn")]
-        );
+        assert_eq!(out, vec![sym("Title"), sym("Body"), sym("Subsectn")]);
     }
 
     #[test]
@@ -301,10 +288,7 @@ mod tests {
         let l = t.as_hetero_list_type().unwrap();
         assert_eq!(
             l,
-            Type::list(Type::union([
-                ("from", Type::String),
-                ("to", Type::String)
-            ]))
+            Type::list(Type::union([("from", Type::String), ("to", Type::String)]))
         );
         assert!(Type::Integer.as_hetero_list_type().is_none());
     }

@@ -166,7 +166,8 @@ impl Value {
                     && xs.iter().all(|x| ys.iter().any(|y| x.equiv(y)))
                     && ys.iter().all(|y| xs.iter().any(|x| x.equiv(y)))
             }
-            (t @ (Tuple(_) | Union(..)), l @ List(_)) | (l @ List(_), t @ (Tuple(_) | Union(..))) => {
+            (t @ (Tuple(_) | Union(..)), l @ List(_))
+            | (l @ List(_), t @ (Tuple(_) | Union(..))) => {
                 match (t.as_hetero_list(), l.as_hetero_list()) {
                     (Some(a), Some(b)) => {
                         a.len() == b.len()
@@ -294,45 +295,45 @@ impl Hash for Value {
 
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-            match self {
-                Value::Nil => f.write_str("nil"),
-                Value::Int(i) => write!(f, "{i}"),
-                Value::Float(x) => write!(f, "{x}"),
-                Value::Bool(b) => write!(f, "{b}"),
-                Value::Str(s) => write!(f, "{s:?}"),
-                Value::Oid(o) => write!(f, "{o}"),
-                Value::Tuple(fs) => {
-                    f.write_str("tuple(")?;
-                    for (i, (n, v)) in fs.iter().enumerate() {
-                        if i > 0 {
-                            f.write_str(", ")?;
-                        }
-                        write!(f, "{n}: {v}")?;
+        match self {
+            Value::Nil => f.write_str("nil"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Oid(o) => write!(f, "{o}"),
+            Value::Tuple(fs) => {
+                f.write_str("tuple(")?;
+                for (i, (n, v)) in fs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
                     }
-                    f.write_str(")")
+                    write!(f, "{n}: {v}")?;
                 }
-                Value::Union(m, v) => write!(f, "[{m}: {v}]"),
-                Value::List(items) => {
-                    f.write_str("list(")?;
-                    for (i, v) in items.iter().enumerate() {
-                        if i > 0 {
-                            f.write_str(", ")?;
-                        }
-                        write!(f, "{v}")?;
-                    }
-                    f.write_str(")")
-                }
-                Value::Set(items) => {
-                    f.write_str("set(")?;
-                    for (i, v) in items.iter().enumerate() {
-                        if i > 0 {
-                            f.write_str(", ")?;
-                        }
-                        write!(f, "{v}")?;
-                    }
-                    f.write_str(")")
-                }
+                f.write_str(")")
             }
+            Value::Union(m, v) => write!(f, "[{m}: {v}]"),
+            Value::List(items) => {
+                f.write_str("list(")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str(")")
+            }
+            Value::Set(items) => {
+                f.write_str("set(")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str(")")
+            }
+        }
     }
 }
 
@@ -404,10 +405,7 @@ mod tests {
 
     #[test]
     fn attr_lookup_and_position() {
-        let t = Value::tuple([
-            ("to", Value::str("alice")),
-            ("from", Value::str("bob")),
-        ]);
+        let t = Value::tuple([("to", Value::str("alice")), ("from", Value::str("bob"))]);
         assert_eq!(t.attr(sym("from")), Some(&Value::str("bob")));
         assert_eq!(t.attr_position(sym("to")), Some(0));
         assert_eq!(t.attr_position(sym("from")), Some(1));
@@ -425,10 +423,7 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        let v = Value::tuple([
-            ("t", Value::str("Intro")),
-            ("n", Value::Int(3)),
-        ]);
+        let v = Value::tuple([("t", Value::str("Intro")), ("n", Value::Int(3))]);
         assert_eq!(v.to_string(), "tuple(t: \"Intro\", n: 3)");
         assert_eq!(Value::union("a1", Value::Nil).to_string(), "[a1: nil]");
         assert_eq!(

@@ -1,0 +1,287 @@
+//! A bounded query-plan cache: source text → compiled plan.
+//!
+//! Repeated queries — the dominant shape of serving traffic — skip lexing,
+//! parsing, translation to the calculus, and (in algebraic mode) the §5.4
+//! algebraization. The cache is safe to share across reader threads: the
+//! map is guarded by a [`Mutex`] held only for lookups/insertions (never
+//! during evaluation), hit/miss counters are atomics, and the lazily
+//! algebraized plans live in a [`OnceLock`] per entry.
+//!
+//! Plans depend only on the *schema* (translation resolves identifiers
+//! against roots of persistence; algebraization substitutes schema paths),
+//! so ingesting more documents never invalidates the cache. A schema change
+//! means a new store, and with it a new cache.
+
+use crate::translate::Translated;
+use crate::O2sqlError;
+use docql_algebra::{algebraize, AlgebraError, Algebraized};
+use docql_model::Schema;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+/// Default number of cached plans ([`PlanCache::with_capacity`] overrides).
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 256;
+
+/// A compiled query, ready for repeated evaluation.
+pub struct CachedPlan {
+    /// The translated calculus query (with set-op chain).
+    pub translated: Translated,
+    /// Algebraized plans for the set-op chain in pre-order (left query
+    /// first, then each right-hand side), computed on the first algebraic
+    /// run. `Err` is cached too: a query that cannot be algebraized fails
+    /// identically on every run.
+    algebra: OnceLock<Result<Vec<Arc<Algebraized>>, AlgebraError>>,
+}
+
+impl CachedPlan {
+    /// Wrap a translation as a cacheable plan.
+    pub fn new(translated: Translated) -> CachedPlan {
+        CachedPlan {
+            translated,
+            algebra: OnceLock::new(),
+        }
+    }
+
+    /// The algebraized plans for this query's set-op chain (pre-order),
+    /// computing and memoising them on first use.
+    pub fn algebra_plans(&self, schema: &Schema) -> Result<&[Arc<Algebraized>], O2sqlError> {
+        fn collect(
+            t: &Translated,
+            schema: &Schema,
+            out: &mut Vec<Arc<Algebraized>>,
+        ) -> Result<(), AlgebraError> {
+            out.push(Arc::new(algebraize(&t.query, schema)?));
+            if let Some((_, right)) = &t.set_op {
+                collect(right, schema, out)?;
+            }
+            Ok(())
+        }
+        let computed = self.algebra.get_or_init(|| {
+            let mut out = Vec::new();
+            collect(&self.translated, schema, &mut out)?;
+            Ok(out)
+        });
+        match computed {
+            Ok(plans) => Ok(plans.as_slice()),
+            Err(e) => Err(O2sqlError::Eval(e.to_string())),
+        }
+    }
+}
+
+/// Cache observability for benches and ops counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compile.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Maximum entries before eviction.
+    pub capacity: usize,
+}
+
+struct Inner {
+    map: HashMap<String, Arc<CachedPlan>>,
+    /// Recency order, least-recently-used first.
+    order: Vec<String>,
+}
+
+/// A bounded (LRU) map from query source text to compiled plan.
+pub struct PlanCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for PlanCache {
+    fn default() -> PlanCache {
+        PlanCache::with_capacity(DEFAULT_PLAN_CACHE_CAPACITY)
+    }
+}
+
+impl PlanCache {
+    /// A cache evicting past `capacity` entries (least recently used
+    /// first). A capacity of 0 disables caching but keeps the counters.
+    pub fn with_capacity(capacity: usize) -> PlanCache {
+        PlanCache {
+            capacity,
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                order: Vec::new(),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up `src`, or compile it with `compile` and cache the result.
+    /// Compilation runs outside the lock, so a slow compile never blocks
+    /// concurrent lookups (two threads may race to compile the same text;
+    /// both get valid plans and one insertion wins).
+    pub fn get_or_compile<F>(&self, src: &str, compile: F) -> Result<Arc<CachedPlan>, O2sqlError>
+    where
+        F: FnOnce() -> Result<CachedPlan, O2sqlError>,
+    {
+        if let Some(hit) = self.lookup(src) {
+            return Ok(hit);
+        }
+        let plan = Arc::new(compile()?);
+        self.insert(src, Arc::clone(&plan));
+        Ok(plan)
+    }
+
+    /// Look up `src`, refreshing its recency; counts a hit or a miss.
+    pub fn lookup(&self, src: &str) -> Option<Arc<CachedPlan>> {
+        let mut inner = self.lock();
+        match inner.map.get(src).cloned() {
+            Some(plan) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                if let Some(i) = inner.order.iter().position(|k| k == src) {
+                    let k = inner.order.remove(i);
+                    inner.order.push(k);
+                }
+                Some(plan)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert a compiled plan, evicting the least recently used entries
+    /// past capacity.
+    pub fn insert(&self, src: &str, plan: Arc<CachedPlan>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.lock();
+        if inner.map.insert(src.to_string(), plan).is_none() {
+            inner.order.push(src.to_string());
+        } else if let Some(i) = inner.order.iter().position(|k| k == src) {
+            let k = inner.order.remove(i);
+            inner.order.push(k);
+        }
+        while inner.map.len() > self.capacity {
+            let evicted = inner.order.remove(0);
+            inner.map.remove(&evicted);
+        }
+    }
+
+    /// Hit/miss counters and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        let entries = self.lock().map.len();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries,
+            capacity: self.capacity,
+        }
+    }
+
+    /// Drop all entries (counters are kept).
+    pub fn clear(&self) {
+        let mut inner = self.lock();
+        inner.map.clear();
+        inner.order.clear();
+    }
+
+    /// Entries currently resident.
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The guarded state. Poisoning is recovered rather than propagated:
+    /// every critical section leaves `map`/`order` consistent before any
+    /// call that could panic, so the state a panicking thread abandons is
+    /// still valid (worst case: a stale recency order).
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::translate::translate;
+    use docql_model::{ClassDef, Type};
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .class(ClassDef::new("Doc", Type::tuple([("title", Type::String)])))
+            .root("Docs", Type::list(Type::class("Doc")))
+            .build()
+            .unwrap()
+    }
+
+    fn compile(src: &str, schema: &Schema) -> CachedPlan {
+        CachedPlan::new(translate(&parse(src).unwrap(), schema).unwrap())
+    }
+
+    #[test]
+    fn hit_and_miss_counters() {
+        let schema = schema();
+        let cache = PlanCache::with_capacity(8);
+        let q = "select d.title from d in Docs";
+        for _ in 0..3 {
+            cache.get_or_compile(q, || Ok(compile(q, &schema))).unwrap();
+        }
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (2, 1, 1));
+    }
+
+    #[test]
+    fn eviction_is_lru() {
+        let schema = schema();
+        let cache = PlanCache::with_capacity(2);
+        let qs = [
+            "select d.title from d in Docs",
+            "select d from d in Docs",
+            "select x.title from x in Docs",
+        ];
+        cache
+            .get_or_compile(qs[0], || Ok(compile(qs[0], &schema)))
+            .unwrap();
+        cache
+            .get_or_compile(qs[1], || Ok(compile(qs[1], &schema)))
+            .unwrap();
+        // Touch qs[0] so qs[1] is the LRU entry, then overflow.
+        cache
+            .get_or_compile(qs[0], || Ok(compile(qs[0], &schema)))
+            .unwrap();
+        cache
+            .get_or_compile(qs[2], || Ok(compile(qs[2], &schema)))
+            .unwrap();
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(qs[0]).is_some(), "recently used entry kept");
+        assert!(cache.lookup(qs[1]).is_none(), "LRU entry evicted");
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let schema = schema();
+        let cache = PlanCache::with_capacity(0);
+        let q = "select d.title from d in Docs";
+        cache.get_or_compile(q, || Ok(compile(q, &schema))).unwrap();
+        cache.get_or_compile(q, || Ok(compile(q, &schema))).unwrap();
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 2, 0));
+    }
+
+    #[test]
+    fn compile_errors_are_not_cached() {
+        let cache = PlanCache::with_capacity(4);
+        let r = cache.get_or_compile("select", || Err(O2sqlError::Eval("boom".into())));
+        assert!(r.is_err());
+        assert_eq!(cache.len(), 0);
+    }
+}

@@ -1,11 +1,14 @@
 //! The query engine façade: parse → translate → (type-check) → evaluate.
 
+use crate::cache::{CachedPlan, PlanCache};
 use crate::parser::parse;
 use crate::translate::{translate, Translated};
 use crate::O2sqlError;
+use docql_algebra::Algebraized;
 use docql_calculus::{infer_types, CalcValue, Evaluator, Interp, TypeInfo};
 use docql_model::Instance;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use crate::ast::SetOpKind;
 
@@ -21,7 +24,10 @@ pub struct QueryResult {
 impl QueryResult {
     /// Single-column results as a vector of values.
     pub fn values(&self) -> Vec<CalcValue> {
-        self.rows.iter().filter_map(|r| r.first().cloned()).collect()
+        self.rows
+            .iter()
+            .filter_map(|r| r.first().cloned())
+            .collect()
     }
 
     /// Number of rows.
@@ -101,6 +107,37 @@ impl<'a> Engine<'a> {
         self.eval_translated(&translated)
     }
 
+    /// Evaluate a query through a plan cache: on a hit the lex → parse →
+    /// translate (and, in algebraic mode, algebraization) work is skipped
+    /// and only evaluation runs. Results are identical to [`Engine::run`].
+    pub fn run_cached(&self, src: &str, cache: &PlanCache) -> Result<QueryResult, O2sqlError> {
+        let plan = cache.get_or_compile(src, || self.compile_plan(src))?;
+        self.eval_plan(&plan)
+    }
+
+    /// Compile a query into a cacheable plan (parse + translate; algebraic
+    /// plans are added lazily on the first algebraic run).
+    pub fn compile_plan(&self, src: &str) -> Result<CachedPlan, O2sqlError> {
+        let ast = parse(src)?;
+        Ok(CachedPlan::new(translate(&ast, self.instance.schema())?))
+    }
+
+    /// Evaluate an already-compiled plan (see [`Engine::compile_plan`]).
+    pub fn eval_plan(&self, plan: &CachedPlan) -> Result<QueryResult, O2sqlError> {
+        match self.mode {
+            Mode::Interpret => self.eval_translated(&plan.translated),
+            Mode::Algebraic => {
+                let plans = plan.algebra_plans(self.instance.schema())?;
+                let mut pos = 0;
+                let rows = self.eval_rows_with(&plan.translated, Some(plans), &mut pos)?;
+                Ok(QueryResult {
+                    columns: plan.translated.columns.clone(),
+                    rows,
+                })
+            }
+        }
+    }
+
     /// Parse and translate only — exposes the calculus query (for EXPLAIN,
     /// tests, and the bench harness).
     pub fn compile(&self, src: &str) -> Result<Translated, O2sqlError> {
@@ -128,8 +165,10 @@ impl<'a> Engine<'a> {
                 out.push_str(&a.plan.explain());
             }
             Err(e) => {
-                out.push_str(&format!("not algebraizable: {e}
-"));
+                out.push_str(&format!(
+                    "not algebraizable: {e}
+"
+                ));
             }
         }
         Ok(out)
@@ -161,6 +200,19 @@ impl<'a> Engine<'a> {
     }
 
     fn eval_rows(&self, t: &Translated) -> Result<Vec<Vec<CalcValue>>, O2sqlError> {
+        self.eval_rows_with(t, None, &mut 0)
+    }
+
+    /// Evaluate a translated query's set-op chain. When `plans` is given
+    /// (the cached-plan path), the algebraic mode consumes one
+    /// pre-algebraized plan per chain node in pre-order via `pos` instead
+    /// of re-running the §5.4 algebraization.
+    fn eval_rows_with(
+        &self,
+        t: &Translated,
+        plans: Option<&[Arc<Algebraized>]>,
+        pos: &mut usize,
+    ) -> Result<Vec<Vec<CalcValue>>, O2sqlError> {
         let left = match self.mode {
             Mode::Interpret => {
                 let mut ev = Evaluator::new(self.instance, self.interp);
@@ -175,14 +227,23 @@ impl<'a> Engine<'a> {
                             .to_string(),
                     ));
                 }
-                docql_algebra_eval(&t.query, self.instance, self.interp)?
+                match plans.and_then(|ps| ps.get(*pos)) {
+                    Some(plan) => {
+                        *pos += 1;
+                        docql_algebra::eval_plan(plan, &t.query, self.instance, self.interp)
+                            .map_err(|e| O2sqlError::Eval(e.to_string()))?
+                    }
+                    None => docql_algebra_eval(&t.query, self.instance, self.interp)?,
+                }
             }
         };
         match &t.set_op {
             None => Ok(left),
             Some((op, right)) => {
-                let right_rows: BTreeSet<Vec<CalcValue>> =
-                    self.eval_rows(right)?.into_iter().collect();
+                let right_rows: BTreeSet<Vec<CalcValue>> = self
+                    .eval_rows_with(right, plans, pos)?
+                    .into_iter()
+                    .collect();
                 Ok(match op {
                     SetOpKind::Difference => left
                         .into_iter()
@@ -193,8 +254,7 @@ impl<'a> Engine<'a> {
                         .filter(|r| right_rows.contains(r))
                         .collect(),
                     SetOpKind::Union => {
-                        let mut seen: BTreeSet<Vec<CalcValue>> =
-                            left.iter().cloned().collect();
+                        let mut seen: BTreeSet<Vec<CalcValue>> = left.iter().cloned().collect();
                         let mut out = left;
                         for r in right_rows {
                             if seen.insert(r.clone()) {
@@ -304,6 +364,5 @@ fn docql_algebra_eval(
     instance: &Instance,
     interp: &Interp,
 ) -> Result<Vec<Vec<CalcValue>>, O2sqlError> {
-    docql_algebra::eval_algebraic(q, instance, interp)
-        .map_err(|e| O2sqlError::Eval(e.to_string()))
+    docql_algebra::eval_algebraic(q, instance, interp).map_err(|e| O2sqlError::Eval(e.to_string()))
 }

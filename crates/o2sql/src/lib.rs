@@ -8,12 +8,14 @@
 //! §5.4 algebraizer.
 
 pub mod ast;
+pub mod cache;
 pub mod engine;
 pub mod parser;
 pub mod token;
 pub mod translate;
 
 pub use ast::{CBool, CmpOp, Expr, FromItem, PatStep, SelectQuery, SetOpKind, TopQuery};
+pub use cache::{CacheStats, CachedPlan, PlanCache};
 pub use engine::{Engine, Mode, QueryResult};
 pub use parser::parse;
 pub use translate::{translate, Translated};

@@ -32,7 +32,15 @@ struct Parser {
 fn is_reserved(s: &str) -> bool {
     matches!(
         s.to_ascii_lowercase().as_str(),
-        "select" | "from" | "where" | "in" | "and" | "or" | "not" | "contains" | "union"
+        "select"
+            | "from"
+            | "where"
+            | "in"
+            | "and"
+            | "or"
+            | "not"
+            | "contains"
+            | "union"
             | "intersect"
     )
 }
@@ -206,8 +214,7 @@ impl Parser {
                 // Sugar: after `..` a bare attribute name may follow without
                 // a dot (`from my_article .. title(t)`), as in the paper.
                 Some(Tok::Ident(s))
-                    if matches!(out.last(), Some(PatStep::AnonPath))
-                        && !is_reserved(s) =>
+                    if matches!(out.last(), Some(PatStep::AnonPath)) && !is_reserved(s) =>
                 {
                     let name = s.clone();
                     self.pos += 1;
@@ -240,9 +247,7 @@ impl Parser {
                         }
                         Some(Tok::Ident(v)) => out.push(PatStep::IndexVar(v)),
                         other => {
-                            return Err(self.err(format!(
-                                "expected an index, found {other:?}"
-                            )));
+                            return Err(self.err(format!("expected an index, found {other:?}")));
                         }
                     }
                     self.expect(&Tok::RBracket)?;
@@ -648,11 +653,11 @@ mod tests {
 
     #[test]
     fn near_call_in_where() {
-        let q = parse(
-            "select a from a in Articles where near(text(a), \"SGML\", \"OODBMS\", 5)",
-        )
-        .unwrap();
+        let q = parse("select a from a in Articles where near(text(a), \"SGML\", \"OODBMS\", 5)")
+            .unwrap();
         let TopQuery::Select(s) = q else { panic!() };
-        assert!(matches!(s.where_, Some(Expr::Call(ref n, ref args)) if n == "near" && args.len() == 4));
+        assert!(
+            matches!(s.where_, Some(Expr::Call(ref n, ref args)) if n == "near" && args.len() == 4)
+        );
     }
 }

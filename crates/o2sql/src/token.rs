@@ -115,44 +115,74 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 i += 1;
             }
             b'(' => {
-                out.push(Token { at, kind: Tok::LParen });
+                out.push(Token {
+                    at,
+                    kind: Tok::LParen,
+                });
                 i += 1;
             }
             b')' => {
-                out.push(Token { at, kind: Tok::RParen });
+                out.push(Token {
+                    at,
+                    kind: Tok::RParen,
+                });
                 i += 1;
             }
             b'[' => {
-                out.push(Token { at, kind: Tok::LBracket });
+                out.push(Token {
+                    at,
+                    kind: Tok::LBracket,
+                });
                 i += 1;
             }
             b']' => {
-                out.push(Token { at, kind: Tok::RBracket });
+                out.push(Token {
+                    at,
+                    kind: Tok::RBracket,
+                });
                 i += 1;
             }
             b'{' => {
-                out.push(Token { at, kind: Tok::LBrace });
+                out.push(Token {
+                    at,
+                    kind: Tok::LBrace,
+                });
                 i += 1;
             }
             b'}' => {
-                out.push(Token { at, kind: Tok::RBrace });
+                out.push(Token {
+                    at,
+                    kind: Tok::RBrace,
+                });
                 i += 1;
             }
             b',' => {
-                out.push(Token { at, kind: Tok::Comma });
+                out.push(Token {
+                    at,
+                    kind: Tok::Comma,
+                });
                 i += 1;
             }
             b':' => {
-                out.push(Token { at, kind: Tok::Colon });
+                out.push(Token {
+                    at,
+                    kind: Tok::Colon,
+                });
                 i += 1;
             }
             b'+' => {
-                out.push(Token { at, kind: Tok::Plus });
+                out.push(Token {
+                    at,
+                    kind: Tok::Plus,
+                });
                 i += 1;
             }
             b'.' => {
                 if bytes.get(i + 1) == Some(&b'.') {
-                    out.push(Token { at, kind: Tok::DotDot });
+                    out.push(Token {
+                        at,
+                        kind: Tok::DotDot,
+                    });
                     i += 2;
                 } else {
                     out.push(Token { at, kind: Tok::Dot });
@@ -194,10 +224,16 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             }
             b'-' => {
                 if bytes.get(i + 1) == Some(&b'>') {
-                    out.push(Token { at, kind: Tok::Arrow });
+                    out.push(Token {
+                        at,
+                        kind: Tok::Arrow,
+                    });
                     i += 2;
                 } else {
-                    out.push(Token { at, kind: Tok::Minus });
+                    out.push(Token {
+                        at,
+                        kind: Tok::Minus,
+                    });
                     i += 1;
                 }
             }
@@ -236,14 +272,20 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                         }
                     }
                 }
-                out.push(Token { at, kind: Tok::Str(s) });
+                out.push(Token {
+                    at,
+                    kind: Tok::Str(s),
+                });
             }
             b'0'..=b'9' => {
                 let start = i;
                 while i < bytes.len() && bytes[i].is_ascii_digit() {
                     i += 1;
                 }
-                if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit()) {
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit())
+                {
                     i += 1;
                     while i < bytes.len() && bytes[i].is_ascii_digit() {
                         i += 1;
@@ -269,9 +311,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             }
             c if c.is_ascii_alphabetic() || c == b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 out.push(Token {

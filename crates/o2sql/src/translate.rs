@@ -11,8 +11,7 @@
 use crate::ast::*;
 use crate::O2sqlError;
 use docql_calculus::{
-    Atom, AttrTerm, DataTerm, Formula, IntTerm, PathAtom, PathTerm, Query, QueryBuilder, Sort,
-    Var,
+    Atom, AttrTerm, DataTerm, Formula, IntTerm, PathAtom, PathTerm, Query, QueryBuilder, Sort, Var,
 };
 use docql_model::{sym, Schema};
 use std::collections::BTreeMap;
@@ -157,9 +156,8 @@ fn translate_path_query(
             "a bare path query must bind at least one variable".to_string(),
         ));
     }
-    let query = cx
-        .b
-        .query(head, Formula::Atom(Atom::PathPred(base_term, pterm)));
+    let query =
+        cx.b.query(head, Formula::Atom(Atom::PathPred(base_term, pterm)));
     Ok(Translated {
         query,
         columns,
@@ -264,8 +262,13 @@ fn expr_term(e: &Expr, cx: &mut Cx<'_>) -> Result<DataTerm, O2sqlError> {
                 .map(|e| expr_term(e, cx))
                 .collect::<Result<Vec<_>, _>>()?,
         )),
-        Expr::Cmp(..) | Expr::And(_) | Expr::Or(_) | Expr::Not(_) | Expr::Contains(..)
-        | Expr::InTest(..) | Expr::Exists(..) => Err(O2sqlError::Type(format!(
+        Expr::Cmp(..)
+        | Expr::And(_)
+        | Expr::Or(_)
+        | Expr::Not(_)
+        | Expr::Contains(..)
+        | Expr::InTest(..)
+        | Expr::Exists(..) => Err(O2sqlError::Type(format!(
             "boolean expression used in value position: {e:?}"
         ))),
     }
@@ -356,18 +359,12 @@ fn contains_formula(target: &DataTerm, c: &CBool) -> Formula {
                 DataTerm::Const(docql_model::Value::str(p.clone())),
             ],
         )),
-        CBool::And(items) => Formula::And(
-            items
-                .iter()
-                .map(|i| contains_formula(target, i))
-                .collect(),
-        ),
-        CBool::Or(items) => Formula::Or(
-            items
-                .iter()
-                .map(|i| contains_formula(target, i))
-                .collect(),
-        ),
+        CBool::And(items) => {
+            Formula::And(items.iter().map(|i| contains_formula(target, i)).collect())
+        }
+        CBool::Or(items) => {
+            Formula::Or(items.iter().map(|i| contains_formula(target, i)).collect())
+        }
         CBool::Not(inner) => Formula::Not(Box::new(contains_formula(target, inner))),
     }
 }

@@ -15,10 +15,7 @@ fn spouses() -> Instance {
         Schema::builder()
             .class(ClassDef::new(
                 "Person",
-                Type::tuple([
-                    ("name", Type::String),
-                    ("spouse", Type::class("Person")),
-                ]),
+                Type::tuple([("name", Type::String), ("spouse", Type::class("Person"))]),
             ))
             .root("Alice", Type::class("Person"))
             .build()
@@ -218,11 +215,10 @@ fn exists_iterator() {
     let inst = spouses();
     let interp = Interp::with_builtins();
     let engine = Engine::new(&inst, &interp);
-    let r = engine
-        .run(
-            "select n from Alice PATH_p.name(n) \
+    let r = engine.run(
+        "select n from Alice PATH_p.name(n) \
              where exists(s in Alice.spouse.name : s contains (\"Bob\"))",
-        );
+    );
     // Alice.spouse.name is a string, not a collection — exists over it is
     // simply empty; use a collection form instead:
     assert!(r.is_ok());
@@ -281,9 +277,7 @@ fn exists_over_collections() {
         .unwrap();
     assert_eq!(names(&r2.rows), BTreeSet::from(["d2".to_string()]));
     // The bound variable does not leak into the outer scope.
-    let err = engine.run(
-        "select t from d in Docs where exists(t in d.tags : t = \"sgml\")",
-    );
+    let err = engine.run("select t from d in Docs where exists(t in d.tags : t = \"sgml\")");
     assert!(err.is_err(), "{err:?}");
 }
 

@@ -128,14 +128,13 @@ impl Walker<'_, '_> {
                     self.path.0.pop();
                 }
             }
-            Value::Set(items)
-                if self.opts.include_set_elements => {
-                    for v in items {
-                        self.path.push(PathStep::Elem(v.clone()));
-                        self.go(v, depth + 1, f);
-                        self.path.0.pop();
-                    }
+            Value::Set(items) if self.opts.include_set_elements => {
+                for v in items {
+                    self.path.push(PathStep::Elem(v.clone()));
+                    self.go(v, depth + 1, f);
+                    self.path.0.pop();
                 }
+            }
             Value::Oid(o) => {
                 let allowed = match self.opts.semantics {
                     PathSemantics::Restricted => match self.instance.class_of(*o) {
@@ -194,10 +193,7 @@ mod tests {
             Schema::builder()
                 .class(ClassDef::new(
                     "Person",
-                    Type::tuple([
-                        ("name", Type::String),
-                        ("spouse", Type::class("Person")),
-                    ]),
+                    Type::tuple([("name", Type::String), ("spouse", Type::class("Person"))]),
                 ))
                 .class(ClassDef::new(
                     "Pet",
@@ -216,18 +212,12 @@ mod tests {
         let bob = inst.new_object("Person", Value::Nil).unwrap();
         inst.set_value(
             alice,
-            Value::tuple([
-                ("name", Value::str("Alice")),
-                ("spouse", Value::Oid(bob)),
-            ]),
+            Value::tuple([("name", Value::str("Alice")), ("spouse", Value::Oid(bob))]),
         )
         .unwrap();
         inst.set_value(
             bob,
-            Value::tuple([
-                ("name", Value::str("Bob")),
-                ("spouse", Value::Oid(alice)),
-            ]),
+            Value::tuple([("name", Value::str("Bob")), ("spouse", Value::Oid(alice))]),
         )
         .unwrap();
         (inst, Value::Oid(alice))
@@ -263,9 +253,7 @@ mod tests {
         // Alice's spouse's name is reachable liberally…
         assert!(strings.contains(&"->.spouse->.name".to_string()));
         // …but the cycle back to Alice herself is cut.
-        assert!(!strings
-            .iter()
-            .any(|s| s.contains(".spouse->.spouse->")));
+        assert!(!strings.iter().any(|s| s.contains(".spouse->.spouse->")));
         // Values: Bob's name reached.
         let bobs_name = paths
             .iter()
@@ -286,10 +274,7 @@ mod tests {
         let pet = inst
             .new_object(
                 "Pet",
-                Value::tuple([
-                    ("petname", Value::str("Rex")),
-                    ("owner", Value::Oid(owner)),
-                ]),
+                Value::tuple([("petname", Value::str("Rex")), ("owner", Value::Oid(owner))]),
             )
             .unwrap();
         let paths = enumerate_paths(&inst, &Value::Oid(pet), &EnumOptions::default());
@@ -309,12 +294,7 @@ mod tests {
         ]);
         let paths = enumerate_paths(&inst, &v, &EnumOptions::default());
         let strings: Vec<String> = paths.iter().map(|(p, _)| p.to_string()).collect();
-        assert_eq!(
-            strings,
-            vec![
-                "ε", ".a", ".a[0]", ".a[1]", ".b", ".b.m",
-            ]
-        );
+        assert_eq!(strings, vec!["ε", ".a", ".a[0]", ".a[1]", ".b", ".b.m",]);
     }
 
     #[test]
@@ -354,10 +334,7 @@ mod tests {
         // Two versions of a document; the difference is the new paths.
         let inst = Instance::new(person_schema());
         let old = Value::tuple([("title", Value::str("t"))]);
-        let new = Value::tuple([
-            ("title", Value::str("t")),
-            ("abstract", Value::str("a")),
-        ]);
+        let new = Value::tuple([("title", Value::str("t")), ("abstract", Value::str("a"))]);
         let opts = EnumOptions::default();
         let old_paths = path_set(&inst, &old, &opts);
         let new_paths = path_set(&inst, &new, &opts);

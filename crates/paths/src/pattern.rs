@@ -247,14 +247,8 @@ mod tests {
 
     #[test]
     fn elem_var_binds_value() {
-        let path = p(&[
-            PathStep::attr("tags"),
-            PathStep::Elem(Value::str("db")),
-        ]);
-        let pattern = vec![
-            PatElem::Lit(PathStep::attr("tags")),
-            PatElem::ElemVar(3),
-        ];
+        let path = p(&[PathStep::attr("tags"), PathStep::Elem(Value::str("db"))]);
+        let pattern = vec![PatElem::Lit(PathStep::attr("tags")), PatElem::ElemVar(3)];
         let ms = match_path(&path, &pattern);
         assert_eq!(ms.len(), 1);
         assert_eq!(ms[0].elems[&3], Value::str("db"));

@@ -120,12 +120,11 @@ impl SchemaWalker<'_, '_, '_> {
                 self.go(&elem.clone());
                 self.steps.pop();
             }
-            Type::Set(elem)
-                if self.opts.include_set_elements => {
-                    self.steps.push(AbsStep::SetElem);
-                    self.go(&elem.clone());
-                    self.steps.pop();
-                }
+            Type::Set(elem) if self.opts.include_set_elements => {
+                self.steps.push(AbsStep::SetElem);
+                self.go(&elem.clone());
+                self.steps.pop();
+            }
             Type::Class(c) => {
                 if self.derefed.contains(c) {
                     return;
@@ -224,12 +223,7 @@ mod tests {
         );
         let strings: Vec<String> = paths
             .iter()
-            .map(|p| {
-                p.steps
-                    .iter()
-                    .map(|s| s.to_string())
-                    .collect::<String>()
-            })
+            .map(|p| p.steps.iter().map(|s| s.to_string()).collect::<String>())
             .collect();
         // Article's own title, each section branch's title, subsection title.
         assert!(strings.contains(&"->(Article).title".to_string()));
@@ -248,10 +242,7 @@ mod tests {
             Schema::builder()
                 .class(ClassDef::new(
                     "Person",
-                    Type::tuple([
-                        ("name", Type::String),
-                        ("spouse", Type::class("Person")),
-                    ]),
+                    Type::tuple([("name", Type::String), ("spouse", Type::class("Person"))]),
                 ))
                 .build()
                 .unwrap(),
@@ -275,13 +266,7 @@ mod tests {
         );
         let title_path = paths
             .iter()
-            .find(|p| {
-                p.steps
-                    == vec![
-                        AbsStep::Deref(sym("Article")),
-                        AbsStep::Attr(sym("title")),
-                    ]
-            })
+            .find(|p| p.steps == vec![AbsStep::Deref(sym("Article")), AbsStep::Attr(sym("title"))])
             .unwrap();
         assert_eq!(title_path.end_type, Type::class("Title"));
         let contents = paths

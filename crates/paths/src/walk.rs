@@ -6,7 +6,11 @@ use docql_model::{Instance, Value};
 
 /// Apply one step to a value. Returns `None` when the step is undefined on
 /// the value (e.g. missing attribute, out-of-range index, deref of non-oid).
-pub fn apply_step<'v>(instance: &'v Instance, value: &'v Value, step: &PathStep) -> Option<&'v Value> {
+pub fn apply_step<'v>(
+    instance: &'v Instance,
+    value: &'v Value,
+    step: &PathStep,
+) -> Option<&'v Value> {
     match (step, value) {
         (PathStep::Attr(a), v @ (Value::Tuple(_) | Value::Union(..))) => v.attr(*a),
         (PathStep::Index(i), Value::List(items)) => items.get(*i),
@@ -72,7 +76,10 @@ mod tests {
                     "a2",
                     Value::tuple([
                         ("title", Value::str("s0")),
-                        ("subsectns", Value::list([Value::str("ss0"), Value::str("ss1")])),
+                        (
+                            "subsectns",
+                            Value::list([Value::str("ss0"), Value::str("ss1")]),
+                        ),
                     ]),
                 )]),
             ),
@@ -122,25 +129,18 @@ mod tests {
     #[test]
     fn set_element_step() {
         let (inst, article) = instance();
-        let p = ConcretePath::from_steps([
-            PathStep::attr("tags"),
-            PathStep::Elem(Value::str("db")),
-        ]);
+        let p =
+            ConcretePath::from_steps([PathStep::attr("tags"), PathStep::Elem(Value::str("db"))]);
         assert_eq!(resolve(&inst, &article, &p), Some(Value::str("db")));
-        let missing = ConcretePath::from_steps([
-            PathStep::attr("tags"),
-            PathStep::Elem(Value::str("nope")),
-        ]);
+        let missing =
+            ConcretePath::from_steps([PathStep::attr("tags"), PathStep::Elem(Value::str("nope"))]);
         assert_eq!(resolve(&inst, &article, &missing), None);
     }
 
     #[test]
     fn tuple_as_hetero_list_indexing() {
         let (inst, _) = instance();
-        let letter = Value::tuple([
-            ("to", Value::str("alice")),
-            ("from", Value::str("bob")),
-        ]);
+        let letter = Value::tuple([("to", Value::str("alice")), ("from", Value::str("bob"))]);
         let p = ConcretePath::from_steps([PathStep::Index(1)]);
         assert_eq!(
             resolve(&inst, &letter, &p),
@@ -171,7 +171,11 @@ mod tests {
             None
         );
         assert_eq!(
-            resolve(&inst, &Value::Int(3), &ConcretePath::from_steps([PathStep::Deref])),
+            resolve(
+                &inst,
+                &Value::Int(3),
+                &ConcretePath::from_steps([PathStep::Deref])
+            ),
             None
         );
     }

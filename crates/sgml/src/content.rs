@@ -292,15 +292,13 @@ impl Rx {
 pub fn expand_and(expr: &ContentExpr) -> Result<ContentExpr> {
     Ok(match expr {
         ContentExpr::Pcdata | ContentExpr::Ref(_) => expr.clone(),
-        ContentExpr::Seq(items) => ContentExpr::Seq(
-            items.iter().map(expand_and).collect::<Result<Vec<_>>>()?,
-        ),
-        ContentExpr::Choice(items) => ContentExpr::Choice(
-            items.iter().map(expand_and).collect::<Result<Vec<_>>>()?,
-        ),
-        ContentExpr::Occur(inner, occ) => {
-            ContentExpr::Occur(Box::new(expand_and(inner)?), *occ)
+        ContentExpr::Seq(items) => {
+            ContentExpr::Seq(items.iter().map(expand_and).collect::<Result<Vec<_>>>()?)
         }
+        ContentExpr::Choice(items) => {
+            ContentExpr::Choice(items.iter().map(expand_and).collect::<Result<Vec<_>>>()?)
+        }
+        ContentExpr::Occur(inner, occ) => ContentExpr::Occur(Box::new(expand_and(inner)?), *occ),
         ContentExpr::And(items) => {
             if items.len() > MAX_AND_GROUP {
                 return Err(SgmlError::nowhere(ErrorKind::AndGroupTooLarge {
@@ -311,7 +309,12 @@ pub fn expand_and(expr: &ContentExpr) -> Result<ContentExpr> {
             let expanded: Vec<ContentExpr> =
                 items.iter().map(expand_and).collect::<Result<Vec<_>>>()?;
             let mut alts = Vec::new();
-            permute(&expanded, &mut Vec::new(), &mut vec![false; expanded.len()], &mut alts);
+            permute(
+                &expanded,
+                &mut Vec::new(),
+                &mut vec![false; expanded.len()],
+                &mut alts,
+            );
             ContentExpr::Choice(alts)
         }
     })
@@ -454,7 +457,10 @@ fn matches_from(expr: &ContentExpr, labels: &[Label], start: usize) -> Vec<(usiz
                 let mut next = Vec::new();
                 for (pos, trail) in &states {
                     for (end, node) in matches_from(item, labels, *pos) {
-                        if !next.iter().any(|(e, _): &(usize, Vec<MatchNode>)| *e == end) {
+                        if !next
+                            .iter()
+                            .any(|(e, _): &(usize, Vec<MatchNode>)| *e == end)
+                        {
                             let mut t = trail.clone();
                             t.push(node);
                             next.push((end, t));
@@ -516,7 +522,10 @@ fn matches_from(expr: &ContentExpr, labels: &[Label], start: usize) -> Vec<(usiz
                         if end == *pos {
                             continue;
                         }
-                        if !next.iter().any(|(e, _): &(usize, Vec<MatchNode>)| *e == end) {
+                        if !next
+                            .iter()
+                            .any(|(e, _): &(usize, Vec<MatchNode>)| *e == end)
+                        {
                             let mut t = trail.clone();
                             t.push(node);
                             next.push((end, t));
@@ -651,11 +660,7 @@ mod tests {
 
     #[test]
     fn and_group_too_large_rejected() {
-        let expr = ContentExpr::And(
-            (0..6)
-                .map(|i| ContentExpr::Ref(format!("e{i}")))
-                .collect(),
-        );
+        let expr = ContentExpr::And((0..6).map(|i| ContentExpr::Ref(format!("e{i}"))).collect());
         assert!(matches!(
             expand_and(&expr).unwrap_err().kind,
             ErrorKind::AndGroupTooLarge { size: 6, max: 5 }
@@ -719,8 +724,11 @@ mod tests {
 
     #[test]
     fn match_repeat_groups_children() {
-        let m = match_children(&model("(title, author+)"), &l(&["title", "author", "author"]))
-            .unwrap();
+        let m = match_children(
+            &model("(title, author+)"),
+            &l(&["title", "author", "author"]),
+        )
+        .unwrap();
         match m {
             MatchNode::Seq(items) => {
                 assert_eq!(items[0], MatchNode::Child(0));

@@ -204,7 +204,10 @@ mod tests {
                     children: vec![Node::Element(Element {
                         name: "paragr".into(),
                         attrs: vec![("reflabel".into(), "fig1".into())],
-                        children: vec![Node::Text("This paper  ".into()), Node::Text("is organized".into())],
+                        children: vec![
+                            Node::Text("This paper  ".into()),
+                            Node::Text("is organized".into()),
+                        ],
                     })],
                 }),
             ],

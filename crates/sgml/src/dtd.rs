@@ -672,9 +672,7 @@ mod tests {
 
     #[test]
     fn duplicate_element_rejected() {
-        let r = Dtd::parse(
-            "<!ELEMENT a - - (#PCDATA)>\n<!ELEMENT a - - (#PCDATA)>",
-        );
+        let r = Dtd::parse("<!ELEMENT a - - (#PCDATA)>\n<!ELEMENT a - - (#PCDATA)>");
         assert!(matches!(
             r.unwrap_err().kind,
             ErrorKind::DuplicateElement(_)

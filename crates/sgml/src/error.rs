@@ -97,7 +97,10 @@ impl fmt::Display for SgmlError {
             }
             ErrorKind::UnknownElement(e) => write!(f, "unknown element `{e}`"),
             ErrorKind::UnknownAttribute { element, attribute } => {
-                write!(f, "attribute `{attribute}` not declared for element `{element}`")
+                write!(
+                    f,
+                    "attribute `{attribute}` not declared for element `{element}`"
+                )
             }
             ErrorKind::MissingRequiredAttribute { element, attribute } => {
                 write!(f, "required attribute `{attribute}` missing on `{element}`")
@@ -113,10 +116,16 @@ impl fmt::Display for SgmlError {
                 allowed.join(" | ")
             ),
             ErrorKind::ContentModelMismatch { element, detail } => {
-                write!(f, "content of `{element}` violates its content model: {detail}")
+                write!(
+                    f,
+                    "content of `{element}` violates its content model: {detail}"
+                )
             }
             ErrorKind::MismatchedEndTag { expected, found } => {
-                write!(f, "end tag `</{found}>` does not close open element `{expected}`")
+                write!(
+                    f,
+                    "end tag `</{found}>` does not close open element `{expected}`"
+                )
             }
             ErrorKind::ForbiddenOmission { element, detail } => {
                 write!(f, "tag omission not allowed for `{element}`: {detail}")

@@ -409,9 +409,9 @@ impl Run<'_, '_, '_> {
                 // the bare token is the value of the enumerated attribute
                 // whose group contains it.
                 let decls = self.parser.dtd.attributes_of(element);
-                let owner = decls.iter().find(|d| {
-                    matches!(&d.ty, AttType::Enumerated(vs) if vs.contains(&name))
-                });
+                let owner = decls
+                    .iter()
+                    .find(|d| matches!(&d.ty, AttType::Enumerated(vs) if vs.contains(&name)));
                 match owner {
                     Some(d) => {
                         attrs.push((d.name.clone(), name));

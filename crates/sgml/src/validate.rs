@@ -21,17 +21,19 @@ pub fn validate(doc: &Document, dtd: &Dtd) -> Vec<SgmlError> {
         idrefs: Vec::new(),
     };
     if !dtd.doctype.is_empty() && doc.root.name != dtd.doctype {
-        v.errors.push(SgmlError::nowhere(ErrorKind::ContentModelMismatch {
-            element: doc.root.name.clone(),
-            detail: format!("document element must be `{}`", dtd.doctype),
-        }));
+        v.errors
+            .push(SgmlError::nowhere(ErrorKind::ContentModelMismatch {
+                element: doc.root.name.clone(),
+                detail: format!("document element must be `{}`", dtd.doctype),
+            }));
     }
     v.element(&doc.root);
     // Global referential checks.
     for idref in &v.idrefs {
         if !v.ids.contains(idref) {
-            v.errors
-                .push(SgmlError::nowhere(ErrorKind::UnresolvedIdref(idref.clone())));
+            v.errors.push(SgmlError::nowhere(ErrorKind::UnresolvedIdref(
+                idref.clone(),
+            )));
         }
     }
     v.errors
@@ -53,7 +55,9 @@ impl Validator<'_> {
     fn element(&mut self, e: &Element) {
         let Some(decl) = self.dtd.element(&e.name) else {
             self.errors
-                .push(SgmlError::nowhere(ErrorKind::UnknownElement(e.name.clone())));
+                .push(SgmlError::nowhere(ErrorKind::UnknownElement(
+                    e.name.clone(),
+                )));
             return;
         };
         self.attributes(e);
@@ -111,21 +115,23 @@ impl Validator<'_> {
         let decls = self.dtd.attributes_of(&e.name);
         for (n, v) in &e.attrs {
             let Some(decl) = decls.iter().find(|d| &d.name == n) else {
-                self.errors.push(SgmlError::nowhere(ErrorKind::UnknownAttribute {
-                    element: e.name.clone(),
-                    attribute: n.clone(),
-                }));
+                self.errors
+                    .push(SgmlError::nowhere(ErrorKind::UnknownAttribute {
+                        element: e.name.clone(),
+                        attribute: n.clone(),
+                    }));
                 continue;
             };
             match &decl.ty {
                 AttType::Enumerated(allowed) => {
                     if !allowed.contains(v) {
-                        self.errors.push(SgmlError::nowhere(ErrorKind::BadAttributeValue {
-                            element: e.name.clone(),
-                            attribute: n.clone(),
-                            value: v.clone(),
-                            allowed: allowed.clone(),
-                        }));
+                        self.errors
+                            .push(SgmlError::nowhere(ErrorKind::BadAttributeValue {
+                                element: e.name.clone(),
+                                attribute: n.clone(),
+                                value: v.clone(),
+                                allowed: allowed.clone(),
+                            }));
                     }
                 }
                 AttType::Id => {
@@ -265,8 +271,7 @@ mod tests {
     fn content_model_violation_detected() {
         let dtd = Dtd::parse(ARTICLE_DTD).unwrap();
         let mut root = Element::new("article");
-        root.children
-            .push(Node::Element(Element::new("abstract"))); // wrong order/missing parts
+        root.children.push(Node::Element(Element::new("abstract"))); // wrong order/missing parts
         let errs = validate(&Document { root }, &dtd);
         assert!(errs
             .iter()

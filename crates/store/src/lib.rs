@@ -13,14 +13,16 @@
 //! * export back to SGML (the update path of §6).
 
 use docql_calculus::{CalcValue, Interp, InterpError};
-use docql_mapping::{export_document, load_document, map_dtd_with, DtdMapping, MapError};
+use docql_mapping::{
+    export_document, load_document, map_dtd_with, DtdMapping, LoadedDocument, MapError,
+};
 use docql_model::{Instance, Oid, Value};
-use docql_o2sql::{Engine, Mode, O2sqlError, QueryResult};
+use docql_o2sql::{CacheStats, Engine, Mode, O2sqlError, PlanCache, QueryResult};
 use docql_sgml::{DocParser, Document, Dtd, SgmlError};
 use docql_text::{ContainsExpr, InvertedIndex};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Store-level error.
 #[derive(Debug)]
@@ -65,6 +67,16 @@ impl From<O2sqlError> for StoreError {
 }
 
 /// A document store: one DTD, many documents, named roots, text index.
+///
+/// # Concurrency model
+///
+/// Ingest and updates take `&mut self`; every query path takes `&self` and
+/// `DocStore` is [`Sync`], so any number of reader threads may run O₂SQL
+/// queries, text searches and exports against one store concurrently (e.g.
+/// via [`std::thread::scope`], or [`SharedStore`] when readers and writers
+/// must interleave). The query-plan cache is internally synchronised and
+/// shared by all readers; plans depend only on the schema, so ingesting
+/// more documents never invalidates them.
 pub struct DocStore {
     dtd: Dtd,
     mapping: DtdMapping,
@@ -74,6 +86,31 @@ pub struct DocStore {
     index: InvertedIndex,
     /// Root objects of ingested documents, in ingestion order.
     documents: Vec<Oid>,
+    /// Compiled-plan cache shared by all query paths (hit = skip lex,
+    /// parse, translation and algebraization).
+    plan_cache: PlanCache,
+}
+
+/// Read the text table, recovering (rather than panicking) if a writer
+/// thread panicked while holding the lock — DESIGN.md forbids panics in
+/// library paths. Recovery is sound because writers only ever insert
+/// complete `(oid, text)` entries: the map a panicking writer abandons is
+/// still a valid (possibly partial) inverse mapping.
+fn read_table(table: &RwLock<HashMap<Oid, String>>) -> RwLockReadGuard<'_, HashMap<Oid, String>> {
+    table.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Write access to the text table; see [`read_table`] on poisoning.
+fn write_table(table: &RwLock<HashMap<Oid, String>>) -> RwLockWriteGuard<'_, HashMap<Oid, String>> {
+    table.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Checked [`docql_text::DocId`] → [`Oid`] conversion. The store indexes
+/// documents under `u64::from(oid.0)`, so every legitimate index id fits in
+/// `u32`; an out-of-range id (corrupt or foreign index) maps to `None`
+/// instead of silently truncating onto some other document's oid.
+fn oid_of_doc(d: docql_text::DocId) -> Option<Oid> {
+    u32::try_from(d).ok().map(Oid)
 }
 
 impl DocStore {
@@ -92,19 +129,15 @@ impl DocStore {
             "text",
             move |ctx: &docql_calculus::InterpCtx<'_>, args: &[CalcValue]| match args.first() {
                 Some(CalcValue::Data(Value::Oid(o))) => {
-                    let table = table.read().expect("text table poisoned");
+                    let table = read_table(&table);
                     match table.get(o) {
                         Some(t) => Ok(CalcValue::Data(Value::str(t.clone()))),
                         // Not loaded from a document (e.g. built
                         // programmatically): fall back to value traversal.
-                        None => Ok(CalcValue::Data(Value::str(
-                            ctx.textify(&Value::Oid(*o)),
-                        ))),
+                        None => Ok(CalcValue::Data(Value::str(ctx.textify(&Value::Oid(*o))))),
                     }
                 }
-                Some(CalcValue::Data(v)) => {
-                    Ok(CalcValue::Data(Value::str(ctx.textify(v))))
-                }
+                Some(CalcValue::Data(v)) => Ok(CalcValue::Data(Value::str(ctx.textify(v)))),
                 other => Err(InterpError(format!("text: bad argument {other:?}"))),
             },
         );
@@ -116,6 +149,7 @@ impl DocStore {
             text_of,
             index: InvertedIndex::new(),
             documents: Vec::new(),
+            plan_cache: PlanCache::default(),
         })
     }
 
@@ -131,17 +165,144 @@ impl DocStore {
     /// Ingest an already-parsed document tree.
     pub fn ingest_document(&mut self, doc: &Document) -> Result<Oid, StoreError> {
         let loaded = load_document(&self.mapping, &mut self.instance, doc)?;
-        {
-            let mut table = self.text_of.write().expect("text table poisoned");
-            for (oid, text) in &loaded.text_of {
-                table.insert(*oid, text.clone());
-            }
-        }
-        if let Some(text) = loaded.text_of.get(&loaded.root) {
-            self.index.add(u64::from(loaded.root.0), text);
-        }
+        let root_text = self.register_loaded(&loaded);
+        self.index.add(u64::from(loaded.root.0), &root_text);
         self.documents.push(loaded.root);
         Ok(loaded.root)
+    }
+
+    /// Ingest a batch of SGML documents, parallelising the per-document
+    /// pure work with [`std::thread::scope`]: parsing + validation fan out
+    /// across workers, loading runs serially (oid allocation mutates the
+    /// shared instance), then inverted-index construction is sharded per
+    /// worker and the shards merged ([`InvertedIndex::merge`]).
+    ///
+    /// Parse/validation errors abort the batch before anything is loaded
+    /// (the store is unchanged). A load error — impossible for documents
+    /// that validated, barring mapping bugs — aborts mid-batch with the
+    /// already-loaded prefix retained. Returns the root oids in input
+    /// order; results are identical to calling [`DocStore::ingest`] per
+    /// document.
+    pub fn ingest_batch(&mut self, docs: &[&str]) -> Result<Vec<Oid>, StoreError> {
+        if docs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(docs.len());
+        let chunk = docs.len().div_ceil(workers);
+        let dtd = &self.dtd;
+
+        // Phase 1: parallel parse + validate (pure per-document work). Each
+        // worker compiles the DTD's content models once and reuses the
+        // parser across its whole chunk — with a single worker (one-core
+        // hosts) we skip thread spawning entirely and keep just the
+        // amortisation.
+        let trees: Vec<Document> = if workers == 1 {
+            let parser = DocParser::new(dtd)?;
+            docs.iter()
+                .map(|text| parser.parse(text).map_err(StoreError::from))
+                .collect::<Result<_, _>>()?
+        } else {
+            let parsed: Result<Vec<Vec<Document>>, StoreError> = std::thread::scope(|scope| {
+                let handles: Vec<_> = docs
+                    .chunks(chunk)
+                    .map(|slice| {
+                        scope.spawn(move || -> Result<Vec<Document>, StoreError> {
+                            let parser = DocParser::new(dtd)?;
+                            slice
+                                .iter()
+                                .map(|text| parser.parse(text).map_err(StoreError::from))
+                                .collect()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        h.join()
+                            .map_err(|_| StoreError::Other("ingest parse worker panicked".into()))?
+                    })
+                    .collect()
+            });
+            parsed?.into_iter().flatten().collect()
+        };
+
+        // Phase 2: serial load into the shared instance.
+        let mut roots = Vec::with_capacity(trees.len());
+        let mut root_texts = Vec::with_capacity(trees.len());
+        for doc in &trees {
+            let loaded = load_document(&self.mapping, &mut self.instance, doc)?;
+            let text = self.register_loaded(&loaded);
+            roots.push(loaded.root);
+            root_texts.push(text);
+        }
+
+        // Phase 3: sharded inverted-index construction, merged in order
+        // (added straight to the main index when there is only one worker).
+        let pairs: Vec<(docql_text::DocId, &str)> = roots
+            .iter()
+            .zip(&root_texts)
+            .map(|(r, t)| (u64::from(r.0), t.as_str()))
+            .collect();
+        if workers == 1 {
+            for (id, text) in &pairs {
+                self.index.add(*id, text);
+            }
+        } else {
+            let ichunk = pairs.len().div_ceil(workers);
+            let shards: Result<Vec<InvertedIndex>, StoreError> = std::thread::scope(|scope| {
+                let handles: Vec<_> = pairs
+                    .chunks(ichunk)
+                    .map(|slice| {
+                        scope.spawn(move || {
+                            let mut shard = InvertedIndex::new();
+                            for (id, text) in slice {
+                                shard.add(*id, text);
+                            }
+                            shard
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        h.join()
+                            .map_err(|_| StoreError::Other("ingest index worker panicked".into()))
+                    })
+                    .collect()
+            });
+            for shard in shards? {
+                self.index.merge(shard);
+            }
+        }
+        self.documents.extend(roots.iter().copied());
+        Ok(roots)
+    }
+
+    /// Record a loaded document's `text` inverse mapping, guaranteeing the
+    /// root an entry even when the loader recorded none (e.g. media-only
+    /// content) — [`DocStore::find_documents`] and
+    /// [`DocStore::find_documents_scan`] both key off the root's table
+    /// entry, so this is what keeps them in agreement. Returns the root's
+    /// text.
+    fn register_loaded(&mut self, loaded: &LoadedDocument) -> String {
+        let root_text = match loaded.text_of.get(&loaded.root) {
+            Some(t) => t.clone(),
+            None => {
+                let mut tmp = HashMap::new();
+                self.collect_text(loaded.root, &mut tmp)
+            }
+        };
+        let mut table = write_table(&self.text_of);
+        for (oid, text) in &loaded.text_of {
+            table.insert(*oid, text.clone());
+        }
+        table
+            .entry(loaded.root)
+            .or_insert_with(|| root_text.clone());
+        root_text
     }
 
     /// Bind a named root of persistence (declared at construction) to a
@@ -152,16 +313,42 @@ impl DocStore {
             .map_err(|e| StoreError::Other(e.to_string()))
     }
 
-    /// Run an O₂SQL query (interpreter mode).
+    /// Run an O₂SQL query (interpreter mode). Compiled plans are cached:
+    /// repeated query texts skip lex/parse/translate and go straight to
+    /// evaluation (see [`DocStore::plan_cache_stats`]).
     pub fn query(&self, src: &str) -> Result<QueryResult, StoreError> {
-        Ok(self.engine().run(src)?)
+        Ok(self.engine().run_cached(src, &self.plan_cache)?)
     }
 
-    /// Run an O₂SQL query through the §5.4 algebraizer.
+    /// Run an O₂SQL query through the §5.4 algebraizer. The plan cache
+    /// also retains the algebraized plan, so repeats skip algebraization.
     pub fn query_algebraic(&self, src: &str) -> Result<QueryResult, StoreError> {
         let mut e = self.engine();
         e.mode = Mode::Algebraic;
+        Ok(e.run_cached(src, &self.plan_cache)?)
+    }
+
+    /// Run an O₂SQL query bypassing the plan cache (the bench baseline;
+    /// results are identical to [`DocStore::query`]).
+    pub fn query_uncached(&self, src: &str) -> Result<QueryResult, StoreError> {
+        Ok(self.engine().run(src)?)
+    }
+
+    /// Algebraic-mode query bypassing the plan cache.
+    pub fn query_algebraic_uncached(&self, src: &str) -> Result<QueryResult, StoreError> {
+        let mut e = self.engine();
+        e.mode = Mode::Algebraic;
         Ok(e.run(src)?)
+    }
+
+    /// The query-plan cache (shared by every query path on this store).
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plan_cache
+    }
+
+    /// Plan-cache hit/miss counters and occupancy.
+    pub fn plan_cache_stats(&self) -> CacheStats {
+        self.plan_cache.stats()
     }
 
     /// An engine over this store (interpreter mode; set `.mode` to switch).
@@ -175,11 +362,11 @@ impl DocStore {
     /// use [`docql_text::InvertedIndex::docs_matching`] directly.)
     pub fn find_documents(&self, expr: &ContainsExpr) -> Vec<Oid> {
         let matcher = expr.compile();
-        let table = self.text_of.read().expect("text table poisoned");
+        let table = read_table(&self.text_of);
         self.index
             .candidates(expr)
             .into_iter()
-            .map(|d| Oid(d as u32))
+            .filter_map(oid_of_doc)
             .filter(|oid| table.get(oid).is_some_and(|text| matcher.eval(text)))
             .collect()
     }
@@ -188,7 +375,7 @@ impl DocStore {
     /// against, bench B3).
     pub fn find_documents_scan(&self, expr: &ContainsExpr) -> Vec<Oid> {
         let matcher = expr.compile();
-        let table = self.text_of.read().expect("text table poisoned");
+        let table = read_table(&self.text_of);
         self.documents
             .iter()
             .copied()
@@ -203,11 +390,7 @@ impl DocStore {
 
     /// The paper's `text` inverse mapping for one object.
     pub fn text_of(&self, oid: Oid) -> Option<String> {
-        self.text_of
-            .read()
-            .expect("text table poisoned")
-            .get(&oid)
-            .cloned()
+        read_table(&self.text_of).get(&oid).cloned()
     }
 
     /// The underlying instance (read access).
@@ -226,11 +409,7 @@ impl DocStore {
     /// Update an object's value (§6's "update the document from the
     /// database"): sets ν(o) and refreshes the `text` inverse mapping and
     /// the full-text index for every document.
-    pub fn update_value(
-        &mut self,
-        oid: Oid,
-        value: Value,
-    ) -> Result<(), StoreError> {
+    pub fn update_value(&mut self, oid: Oid, value: Value) -> Result<(), StoreError> {
         self.instance
             .set_value(oid, value)
             .map_err(|e| StoreError::Other(e.to_string()))?;
@@ -248,11 +427,13 @@ impl DocStore {
         }
         self.index = InvertedIndex::new();
         for &root in &self.documents {
-            if let Some(text) = table.get(&root) {
-                self.index.add(u64::from(root.0), text);
-            }
+            // `collect_text` records every visited oid, so the root always
+            // has an entry (possibly empty) — index it unconditionally to
+            // keep `find_documents` and `find_documents_scan` in agreement.
+            let text = table.get(&root).cloned().unwrap_or_default();
+            self.index.add(u64::from(root.0), &text);
         }
-        *self.text_of.write().expect("text table poisoned") = table;
+        *write_table(&self.text_of) = table;
     }
 
     /// The text of an object = the texts of its element children in shape
@@ -264,11 +445,7 @@ impl DocStore {
         let Ok(class) = self.instance.class_of(oid) else {
             return String::new();
         };
-        let em = self
-            .mapping
-            .elements
-            .values()
-            .find(|em| em.class == class);
+        let em = self.mapping.elements.values().find(|em| em.class == class);
         let text = match em.map(|em| &em.content) {
             Some(docql_mapping::ContentKind::TextContent) => self
                 .instance
@@ -353,8 +530,7 @@ impl DocStore {
         std::fs::write(dir.join("schema.dtd"), self.dtd.to_string()).map_err(io_err)?;
         for (i, &root) in self.documents.iter().enumerate() {
             let doc = self.export(root)?;
-            std::fs::write(dir.join(format!("doc{i:05}.sgml")), doc.to_sgml())
-                .map_err(io_err)?;
+            std::fs::write(dir.join(format!("doc{i:05}.sgml")), doc.to_sgml()).map_err(io_err)?;
         }
         Ok(())
     }
@@ -382,6 +558,86 @@ impl DocStore {
 fn io_err(e: std::io::Error) -> StoreError {
     StoreError::Other(format!("io: {e}"))
 }
+
+/// A clonable handle serving one [`DocStore`] to many threads: readers
+/// share the `RwLock` read side (queries run concurrently — `DocStore` is
+/// [`Sync`] and every query path takes `&self`), ingest and updates take
+/// the write side. Clone the handle into each serving thread.
+///
+/// For read-only fan-out over a store that is not being written, a plain
+/// `&DocStore` inside [`std::thread::scope`] is equivalent and lock-free;
+/// `SharedStore` is for workloads where ingest interleaves with serving.
+#[derive(Clone)]
+pub struct SharedStore {
+    inner: Arc<RwLock<DocStore>>,
+}
+
+impl SharedStore {
+    /// Wrap a store for shared serving.
+    pub fn new(store: DocStore) -> SharedStore {
+        SharedStore {
+            inner: Arc::new(RwLock::new(store)),
+        }
+    }
+
+    /// A read guard on the store (many may be live at once). Poisoning is
+    /// recovered, not propagated — see [`read_table`]'s rationale; all
+    /// `DocStore` mutators keep the store valid at every `?` return.
+    pub fn read(&self) -> RwLockReadGuard<'_, DocStore> {
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The exclusive write guard (ingest, binding, updates).
+    pub fn write(&self) -> RwLockWriteGuard<'_, DocStore> {
+        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Run an O₂SQL query under a read guard (plan-cached).
+    pub fn query(&self, src: &str) -> Result<QueryResult, StoreError> {
+        self.read().query(src)
+    }
+
+    /// Run an algebraic-mode query under a read guard (plan-cached).
+    pub fn query_algebraic(&self, src: &str) -> Result<QueryResult, StoreError> {
+        self.read().query_algebraic(src)
+    }
+
+    /// Index-accelerated text search under a read guard.
+    pub fn find_documents(&self, expr: &ContainsExpr) -> Vec<Oid> {
+        self.read().find_documents(expr)
+    }
+
+    /// Ingest one document under the write guard.
+    pub fn ingest(&self, sgml_text: &str) -> Result<Oid, StoreError> {
+        self.write().ingest(sgml_text)
+    }
+
+    /// Parallel batch ingest under the write guard
+    /// (see [`DocStore::ingest_batch`]).
+    pub fn ingest_batch(&self, docs: &[&str]) -> Result<Vec<Oid>, StoreError> {
+        self.write().ingest_batch(docs)
+    }
+
+    /// Bind a named root of persistence under the write guard.
+    pub fn bind(&self, name: &str, oid: Oid) -> Result<(), StoreError> {
+        self.write().bind(name, oid)
+    }
+
+    /// Unwrap the store, if this is the last handle.
+    pub fn try_unwrap(self) -> Result<DocStore, SharedStore> {
+        Arc::try_unwrap(self.inner)
+            .map(|lock| lock.into_inner().unwrap_or_else(PoisonError::into_inner))
+            .map_err(|inner| SharedStore { inner })
+    }
+}
+
+// The concurrency model rests on these bounds; fail the build, not the
+// deployment, if a non-Sync field ever sneaks into the store.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<DocStore>();
+    assert_send_sync::<SharedStore>();
+};
 
 /// Child objects of a value, in order — skipping the SGML-attribute fields
 /// named in `skip` (IDREF targets and ID back-reference lists hold oids but
@@ -471,6 +727,96 @@ mod tests {
     }
 
     #[test]
+    fn doc_id_to_oid_conversion_is_checked() {
+        assert_eq!(oid_of_doc(5), Some(Oid(5)));
+        assert_eq!(oid_of_doc(u64::from(u32::MAX)), Some(Oid(u32::MAX)));
+        // Regression: `Oid(d as u32)` truncated — an out-of-range id (here
+        // one that truncates to 5) must not alias document Oid(5).
+        let out_of_range = u64::from(u32::MAX) + 1 + 5;
+        assert_eq!(oid_of_doc(out_of_range), None);
+    }
+
+    #[test]
+    fn empty_text_root_is_seen_by_index_and_scan_alike() {
+        // A root with no textual content at all (EMPTY → Media mapping):
+        // the index must still register the document, so that index-backed
+        // and scan search agree — in particular on NOT queries, which
+        // every registered document with non-matching text satisfies.
+        let dtd = "<!DOCTYPE gallery [\n<!ELEMENT gallery - O EMPTY>\n]>";
+        let mut store = DocStore::new(dtd, &[]).unwrap();
+        let root = store.ingest("<gallery></gallery>").unwrap();
+        assert_eq!(store.text_of(root), Some(String::new()));
+        let (docs, _terms) = store.index_stats();
+        assert_eq!(docs, 1, "empty-text document registered in the index");
+        let not_x = ContainsExpr::Not(Box::new(ContainsExpr::pattern("x").unwrap()));
+        let a = store.find_documents(&not_x);
+        let b = store.find_documents_scan(&not_x);
+        assert_eq!(a, b);
+        assert_eq!(a, vec![root]);
+    }
+
+    #[test]
+    fn ingest_batch_matches_serial_ingest() {
+        let texts: Vec<String> = (0..6)
+            .map(|i| {
+                FIG2_DOCUMENT.replace(
+                    "From Structured Documents to Novel Query Facilities",
+                    &format!("Batch Document {i}"),
+                )
+            })
+            .collect();
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+
+        let mut serial = DocStore::new(docql_sgml::fixtures::ARTICLE_DTD, &[]).unwrap();
+        for t in &refs {
+            serial.ingest(t).unwrap();
+        }
+        let mut batch = DocStore::new(docql_sgml::fixtures::ARTICLE_DTD, &[]).unwrap();
+        let roots = batch.ingest_batch(&refs).unwrap();
+
+        assert_eq!(roots.len(), refs.len());
+        assert_eq!(batch.documents(), serial.documents());
+        assert_eq!(batch.index_stats(), serial.index_stats());
+        assert!(batch.check().is_empty());
+        let q = "select t from Articles PATH_p.title(t)";
+        assert_eq!(batch.query(q).unwrap(), serial.query(q).unwrap());
+        let e = ContainsExpr::all_of(["SGML", "preliminaries"]).unwrap();
+        assert_eq!(batch.find_documents(&e), serial.find_documents(&e));
+    }
+
+    #[test]
+    fn ingest_batch_parse_error_leaves_store_unchanged() {
+        let mut store = DocStore::new(docql_sgml::fixtures::ARTICLE_DTD, &[]).unwrap();
+        let bad = "<article><title>unclosed";
+        let r = store.ingest_batch(&[FIG2_DOCUMENT, bad]);
+        assert!(r.is_err());
+        assert_eq!(
+            store.documents().len(),
+            0,
+            "batch is atomic on parse errors"
+        );
+        assert_eq!(store.index_stats().0, 0);
+    }
+
+    #[test]
+    fn plan_cache_hits_and_returns_identical_results() {
+        let store = paper_store().unwrap();
+        let q = "select t from my_article PATH_p.title(t)";
+        let first = store.query(q).unwrap();
+        let second = store.query(q).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(store.query_uncached(q).unwrap(), second);
+        let stats = store.plan_cache_stats();
+        assert!(stats.hits >= 1, "second run hits the cache: {stats:?}");
+        assert!(stats.misses >= 1);
+        assert_eq!(stats.entries, 1);
+        // Algebraic mode shares the entry and memoises its plan.
+        let alg = store.query_algebraic(q).unwrap();
+        assert_eq!(alg.rows.len(), second.rows.len());
+        assert_eq!(store.plan_cache_stats().entries, 1);
+    }
+
+    #[test]
     fn export_round_trip() {
         let store = paper_store().unwrap();
         let doc = store.export(store.documents()[0]).unwrap();
@@ -495,17 +841,13 @@ mod persistence_tests {
     fn save_and_load_round_trip() {
         let mut store = DocStore::new(ARTICLE_DTD, &[]).unwrap();
         store.ingest(FIG2_DOCUMENT).unwrap();
-        let second = FIG2_DOCUMENT
-            .replace(
-                "From Structured Documents to Novel Query Facilities",
-                "A Second Document",
-            );
+        let second = FIG2_DOCUMENT.replace(
+            "From Structured Documents to Novel Query Facilities",
+            "A Second Document",
+        );
         store.ingest(&second).unwrap();
 
-        let dir = std::env::temp_dir().join(format!(
-            "docql-store-test-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("docql-store-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         store.save_dir(&dir).unwrap();
         let restored = DocStore::load_dir(&dir, &[]).unwrap();

@@ -3,7 +3,9 @@
 //! modes (calculus interpreter and §5.4 algebraizer) where supported.
 
 use docql_calculus::CalcValue;
-use docql_corpus::{generate_article, generate_letter, mutate, ArticleParams, LetterParams, Mutation};
+use docql_corpus::{
+    generate_article, generate_letter, mutate, ArticleParams, LetterParams, Mutation,
+};
 use docql_model::{sym, Value};
 use docql_sgml::fixtures::{ARTICLE_DTD, LETTER_DTD};
 use docql_store::DocStore;
@@ -50,7 +52,9 @@ fn q1_title_and_first_author_of_matching_articles() {
     // Articles with even seeds plant the phrases (plant_every = 3).
     assert_eq!(r.len(), 3, "{}", r.to_table());
     for row in &r.rows {
-        let CalcValue::Data(v) = &row[0] else { panic!() };
+        let CalcValue::Data(v) = &row[0] else {
+            panic!()
+        };
         let t = v.attr(sym("t")).unwrap();
         let fa = v.attr(sym("f_author")).unwrap();
         // Both components are Title/Author objects (oids) — check they
@@ -127,7 +131,9 @@ fn q3_all_titles_in_my_article() {
             CalcValue::Data(Value::Oid(o)) => {
                 let t = store.text_of(*o).unwrap_or_default();
                 assert!(
-                    t.contains("Article 99") || t.starts_with("Section") || t.starts_with("Subsection"),
+                    t.contains("Article 99")
+                        || t.starts_with("Section")
+                        || t.starts_with("Subsection"),
                     "unexpected title: {t}"
                 );
                 count += 1;
@@ -138,9 +144,7 @@ fn q3_all_titles_in_my_article() {
     assert_eq!(count, 7, "{}", r.to_table());
 
     // The `..` sugar gives the same answer.
-    let sugar = store
-        .query("select t from my_article .. title(t)")
-        .unwrap();
+    let sugar = store.query("select t from my_article .. title(t)").unwrap();
     assert_eq!(r.rows.len(), sugar.rows.len());
 }
 
@@ -273,9 +277,7 @@ fn q1_algebraic_mode_agrees_with_interpreter() {
 #[test]
 fn q3_algebraic_mode_agrees_with_interpreter() {
     let mut store = article_store(1);
-    store
-        .bind("my_article", store.documents()[0])
-        .unwrap();
+    store.bind("my_article", store.documents()[0]).unwrap();
     let q = "select t from my_article PATH_p.title(t)";
     let interp = store.query(q).unwrap();
     let algebraic = store.query_algebraic(q).unwrap();
@@ -379,8 +381,7 @@ fn constraint_violations_surface_after_bad_update() {
     store.instance_mut().set_value(root, v).unwrap();
     let errs = store.check();
     assert!(
-        errs.iter()
-            .any(|e| e.to_string().contains("authors")),
+        errs.iter().any(|e| e.to_string().contains("authors")),
         "{errs:?}"
     );
 }

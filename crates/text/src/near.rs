@@ -19,17 +19,13 @@ pub fn near(text: &str, w1: &str, w2: &str, k: usize, unit: NearUnit) -> bool {
     let toks = tokenize(text);
     let n1 = normalize(w1);
     let n2 = normalize(w2);
-    let pos1: Vec<&crate::tokenize::Token<'_>> = toks
-        .iter()
-        .filter(|t| normalize(t.word) == n1)
-        .collect();
+    let pos1: Vec<&crate::tokenize::Token<'_>> =
+        toks.iter().filter(|t| normalize(t.word) == n1).collect();
     if pos1.is_empty() {
         return false;
     }
-    let pos2: Vec<&crate::tokenize::Token<'_>> = toks
-        .iter()
-        .filter(|t| normalize(t.word) == n2)
-        .collect();
+    let pos2: Vec<&crate::tokenize::Token<'_>> =
+        toks.iter().filter(|t| normalize(t.word) == n2).collect();
     for a in &pos1 {
         for b in &pos2 {
             if a.index == b.index {
@@ -87,7 +83,13 @@ mod tests {
 
     #[test]
     fn case_insensitive() {
-        assert!(near("SGML and OODBMS", "sgml", "oodbms", 1, NearUnit::Words));
+        assert!(near(
+            "SGML and OODBMS",
+            "sgml",
+            "oodbms",
+            1,
+            NearUnit::Words
+        ));
     }
 
     #[test]

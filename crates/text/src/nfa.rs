@@ -23,7 +23,10 @@ enum Trans {
 enum CharTest {
     Exact(char),
     Any,
-    Class { negated: bool, ranges: Vec<(char, char)> },
+    Class {
+        negated: bool,
+        ranges: Vec<(char, char)>,
+    },
 }
 
 impl CharTest {
@@ -73,13 +76,13 @@ impl Nfa {
         let mut best: Option<(usize, usize)> = None;
 
         let add = |threads: &mut Vec<(usize, usize)>,
-                       seen: &mut Vec<usize>,
-                       stamp: usize,
-                       state: usize,
-                       started: usize,
-                       states: &[Trans],
-                       best: &mut Option<(usize, usize)>,
-                       here: usize| {
+                   seen: &mut Vec<usize>,
+                   stamp: usize,
+                   state: usize,
+                   started: usize,
+                   states: &[Trans],
+                   best: &mut Option<(usize, usize)>,
+                   here: usize| {
             // DFS through ε-closure.
             let mut stack = vec![(state, started)];
             while let Some((s, st)) = stack.pop() {
@@ -119,10 +122,7 @@ impl Nfa {
         );
         let mut offsets = text.char_indices().peekable();
         while let Some((_at, c)) = offsets.next() {
-            let next_at = offsets
-                .peek()
-                .map(|&(i, _)| i)
-                .unwrap_or(text.len());
+            let next_at = offsets.peek().map(|&(i, _)| i).unwrap_or(text.len());
             stamp += 1;
             let mut next: Vec<(usize, usize)> = Vec::new();
             for &(s, st) in &current {
@@ -207,8 +207,7 @@ impl Builder {
                 target
             }
             Pattern::Alt(items) => {
-                let entries: Vec<usize> =
-                    items.iter().map(|i| self.compile(i, next)).collect();
+                let entries: Vec<usize> = items.iter().map(|i| self.compile(i, next)).collect();
                 self.push(Trans::Eps(entries))
             }
             Pattern::Star(inner) => {

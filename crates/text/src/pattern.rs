@@ -35,7 +35,10 @@ pub enum Pattern {
     /// Any single character (`.`).
     Any,
     /// A character class: ranges, possibly negated.
-    Class { negated: bool, ranges: Vec<(char, char)> },
+    Class {
+        negated: bool,
+        ranges: Vec<(char, char)>,
+    },
     /// Concatenation.
     Concat(Vec<Pattern>),
     /// Disjunction (`|`).
@@ -91,7 +94,12 @@ impl Parser {
         self.chars
             .get(self.pos)
             .map(|&(i, _)| i)
-            .unwrap_or_else(|| self.chars.last().map(|&(i, c)| i + c.len_utf8()).unwrap_or(0))
+            .unwrap_or_else(|| {
+                self.chars
+                    .last()
+                    .map(|&(i, c)| i + c.len_utf8())
+                    .unwrap_or(0)
+            })
     }
 
     fn alternation(&mut self) -> Result<Pattern, PatternError> {
@@ -325,10 +333,7 @@ mod tests {
 
     #[test]
     fn escapes() {
-        assert_eq!(
-            Pattern::parse(r"\*").unwrap(),
-            Pattern::Char('*')
-        );
+        assert_eq!(Pattern::parse(r"\*").unwrap(), Pattern::Char('*'));
         assert!(Pattern::parse(r"\").is_err());
     }
 
@@ -356,12 +361,22 @@ mod tests {
     #[test]
     fn empty_pattern_ok() {
         assert_eq!(Pattern::parse("").unwrap(), Pattern::Empty);
-        assert_eq!(Pattern::parse("a|").unwrap(), Pattern::Alt(vec![Pattern::Char('a'), Pattern::Empty]));
+        assert_eq!(
+            Pattern::parse("a|").unwrap(),
+            Pattern::Alt(vec![Pattern::Char('a'), Pattern::Empty])
+        );
     }
 
     #[test]
     fn display_round_trips() {
-        for src in ["(t|T)itle", "ab*c+d?", "[a-z]+", "a\\*b", "x|y|z", "(ab|cd)*"] {
+        for src in [
+            "(t|T)itle",
+            "ab*c+d?",
+            "[a-z]+",
+            "a\\*b",
+            "x|y|z",
+            "(ab|cd)*",
+        ] {
             let p = Pattern::parse(src).unwrap();
             let printed = p.to_string();
             let re = Pattern::parse(&printed).unwrap();

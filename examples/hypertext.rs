@@ -32,9 +32,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .map(|t| inst.new_object("Page", Value::str(*t)).unwrap())
         .collect();
-    let link = |targets: &[usize]| {
-        Value::List(targets.iter().map(|&i| Value::Oid(pages[i])).collect())
-    };
+    let link =
+        |targets: &[usize]| Value::List(targets.iter().map(|&i| Value::Oid(pages[i])).collect());
     let titles = ["Home", "Docs", "API", "Blog", "About"];
     let topology: [&[usize]; 5] = [&[1, 3], &[2, 0], &[1], &[4, 0], &[0]];
     for (i, oid) in pages.iter().enumerate() {
@@ -72,26 +71,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // variables through explicit links (P → P', as the paper suggests for
     // going deeper under the restricted regime).
     engine.semantics = PathSemantics::Restricted;
-    let two_hops = engine.run(
-        "select t from Home PATH_p.links PATH_q.title(t)",
-    )?;
-    println!("\nvia explicit chaining (P links Q): {} titles", two_hops.len());
+    let two_hops = engine.run("select t from Home PATH_p.links PATH_q.title(t)")?;
+    println!(
+        "\nvia explicit chaining (P links Q): {} titles",
+        two_hops.len()
+    );
     for row in &two_hops.rows {
         println!("  {}", row[0]);
     }
 
     // Paths to the About page, liberally — hypertext trails.
     engine.semantics = PathSemantics::Liberal;
-    let trails = engine.run(
-        "select p from Home PATH_p.title(t) where t = \"About\"",
-    );
+    let trails = engine.run("select p from Home PATH_p.title(t) where t = \"About\"");
     // `p` is not in scope of select for select-queries; use the bare form:
     drop(trails);
     let trails = engine.run("Home PATH_p.title(t)")?;
     println!("\nall liberal (path, title) trails: {}", trails.len());
-    for row in trails.rows.iter().filter(|r| {
-        matches!(&r[1], docql::calculus::CalcValue::Data(Value::Str(s)) if s == "About")
-    }) {
+    for row in trails.rows.iter().filter(
+        |r| matches!(&r[1], docql::calculus::CalcValue::Data(Value::Str(s)) if s == "About"),
+    ) {
         println!("  trail to About: {}", row[0]);
     }
     Ok(())

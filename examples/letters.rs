@@ -46,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Projecting on `to` with the union markers omitted — the "Important
     // Omissions" of §5.3: `{X | ∃I⟨Letters[I]·to(X)⟩}`.
     let r2 = db.query("select addr from Letters PATH_p.to(addr)")?;
-    println!("\nrecipient addresses (markers omitted): {} distinct", r2.len());
+    println!(
+        "\nrecipient addresses (markers omitted): {} distinct",
+        r2.len()
+    );
     for row in r2.rows.iter().take(5) {
         if let CalcValue::Data(Value::Oid(o)) = &row[0] {
             println!("  {}", db.store().text_of(*o).unwrap_or_default());

@@ -42,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sym("title"),
         &opts,
     );
-    println!("\n=== Candidate paths ending with .title: {} ===", title_paths.len());
+    println!(
+        "\n=== Candidate paths ending with .title: {} ===",
+        title_paths.len()
+    );
     for p in &title_paths {
         println!("  {p}");
     }

@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..ArticleParams::default()
     });
     let mut new = mutate(&old, &Mutation::AddSection("Novel query facilities".into()));
-    new = mutate(&new, &Mutation::RetitleSection(1, "Rewritten overview".into()));
+    new = mutate(
+        &new,
+        &Mutation::RetitleSection(1, "Rewritten overview".into()),
+    );
 
     let old_root = db.store_mut().ingest_document(&old)?;
     let new_root = db.store_mut().ingest_document(&new)?;

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/algebraization-5e200b556a619977.d: crates/bench/benches/algebraization.rs
+
+/root/repo/target/debug/deps/algebraization-5e200b556a619977: crates/bench/benches/algebraization.rs
+
+crates/bench/benches/algebraization.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/algebraization-ecfc54962281bfa3.d: crates/bench/benches/algebraization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libalgebraization-ecfc54962281bfa3.rmeta: crates/bench/benches/algebraization.rs Cargo.toml
+
+crates/bench/benches/algebraization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

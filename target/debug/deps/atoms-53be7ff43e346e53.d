@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/atoms-53be7ff43e346e53.d: crates/calculus/tests/atoms.rs
+
+/root/repo/target/debug/deps/atoms-53be7ff43e346e53: crates/calculus/tests/atoms.rs
+
+crates/calculus/tests/atoms.rs:

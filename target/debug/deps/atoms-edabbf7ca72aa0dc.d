@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/atoms-edabbf7ca72aa0dc.d: crates/calculus/tests/atoms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libatoms-edabbf7ca72aa0dc.rmeta: crates/calculus/tests/atoms.rs Cargo.toml
+
+crates/calculus/tests/atoms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

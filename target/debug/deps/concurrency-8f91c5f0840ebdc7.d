@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency-8f91c5f0840ebdc7.d: tests/concurrency.rs
+
+/root/repo/target/debug/deps/concurrency-8f91c5f0840ebdc7: tests/concurrency.rs
+
+tests/concurrency.rs:

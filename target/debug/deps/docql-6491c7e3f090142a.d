@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/docql-6491c7e3f090142a.d: crates/core/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdocql-6491c7e3f090142a.rmeta: crates/core/src/lib.rs Cargo.toml
+
+crates/core/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

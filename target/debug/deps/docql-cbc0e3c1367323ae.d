@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/docql-cbc0e3c1367323ae.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libdocql-cbc0e3c1367323ae.rlib: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libdocql-cbc0e3c1367323ae.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/docql-d4fdf48e9102bccd.d: crates/core/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdocql-d4fdf48e9102bccd.rmeta: crates/core/src/lib.rs Cargo.toml
+
+crates/core/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/docql-ea86a078441e5378.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/docql-ea86a078441e5378: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/docql_algebra-a3dd9484e9aba8a9.d: crates/algebra/src/lib.rs crates/algebra/src/algebraize.rs crates/algebra/src/compile.rs crates/algebra/src/plan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdocql_algebra-a3dd9484e9aba8a9.rmeta: crates/algebra/src/lib.rs crates/algebra/src/algebraize.rs crates/algebra/src/compile.rs crates/algebra/src/plan.rs Cargo.toml
+
+crates/algebra/src/lib.rs:
+crates/algebra/src/algebraize.rs:
+crates/algebra/src/compile.rs:
+crates/algebra/src/plan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/docql_algebra-ddc60d4be9fca91c.d: crates/algebra/src/lib.rs crates/algebra/src/algebraize.rs crates/algebra/src/compile.rs crates/algebra/src/plan.rs
+
+/root/repo/target/debug/deps/libdocql_algebra-ddc60d4be9fca91c.rlib: crates/algebra/src/lib.rs crates/algebra/src/algebraize.rs crates/algebra/src/compile.rs crates/algebra/src/plan.rs
+
+/root/repo/target/debug/deps/libdocql_algebra-ddc60d4be9fca91c.rmeta: crates/algebra/src/lib.rs crates/algebra/src/algebraize.rs crates/algebra/src/compile.rs crates/algebra/src/plan.rs
+
+crates/algebra/src/lib.rs:
+crates/algebra/src/algebraize.rs:
+crates/algebra/src/compile.rs:
+crates/algebra/src/plan.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/docql_bench-0a68412ef75a3ca2.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/docql_bench-0a68412ef75a3ca2: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

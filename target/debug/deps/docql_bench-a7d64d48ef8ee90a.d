@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/docql_bench-a7d64d48ef8ee90a.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libdocql_bench-a7d64d48ef8ee90a.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libdocql_bench-a7d64d48ef8ee90a.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

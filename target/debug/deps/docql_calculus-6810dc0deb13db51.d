@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/docql_calculus-6810dc0deb13db51.d: crates/calculus/src/lib.rs crates/calculus/src/eval.rs crates/calculus/src/interp.rs crates/calculus/src/term.rs crates/calculus/src/typing.rs
+
+/root/repo/target/debug/deps/libdocql_calculus-6810dc0deb13db51.rlib: crates/calculus/src/lib.rs crates/calculus/src/eval.rs crates/calculus/src/interp.rs crates/calculus/src/term.rs crates/calculus/src/typing.rs
+
+/root/repo/target/debug/deps/libdocql_calculus-6810dc0deb13db51.rmeta: crates/calculus/src/lib.rs crates/calculus/src/eval.rs crates/calculus/src/interp.rs crates/calculus/src/term.rs crates/calculus/src/typing.rs
+
+crates/calculus/src/lib.rs:
+crates/calculus/src/eval.rs:
+crates/calculus/src/interp.rs:
+crates/calculus/src/term.rs:
+crates/calculus/src/typing.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/docql_o2sql-4f6e6a5b7e0f9bff.d: crates/o2sql/src/lib.rs crates/o2sql/src/ast.rs crates/o2sql/src/cache.rs crates/o2sql/src/engine.rs crates/o2sql/src/parser.rs crates/o2sql/src/token.rs crates/o2sql/src/translate.rs
+
+/root/repo/target/debug/deps/docql_o2sql-4f6e6a5b7e0f9bff: crates/o2sql/src/lib.rs crates/o2sql/src/ast.rs crates/o2sql/src/cache.rs crates/o2sql/src/engine.rs crates/o2sql/src/parser.rs crates/o2sql/src/token.rs crates/o2sql/src/translate.rs
+
+crates/o2sql/src/lib.rs:
+crates/o2sql/src/ast.rs:
+crates/o2sql/src/cache.rs:
+crates/o2sql/src/engine.rs:
+crates/o2sql/src/parser.rs:
+crates/o2sql/src/token.rs:
+crates/o2sql/src/translate.rs:

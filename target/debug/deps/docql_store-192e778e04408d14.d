@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/docql_store-192e778e04408d14.d: crates/store/src/lib.rs
+
+/root/repo/target/debug/deps/docql_store-192e778e04408d14: crates/store/src/lib.rs
+
+crates/store/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/docql_store-28b3b2c07adc7d8e.d: crates/store/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdocql_store-28b3b2c07adc7d8e.rmeta: crates/store/src/lib.rs Cargo.toml
+
+crates/store/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/docql_store-c3af38947a3ff850.d: crates/store/src/lib.rs
+
+/root/repo/target/debug/deps/libdocql_store-c3af38947a3ff850.rlib: crates/store/src/lib.rs
+
+/root/repo/target/debug/deps/libdocql_store-c3af38947a3ff850.rmeta: crates/store/src/lib.rs
+
+crates/store/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/docql_text-8e12fc7b9414630e.d: crates/text/src/lib.rs crates/text/src/contains.rs crates/text/src/index.rs crates/text/src/near.rs crates/text/src/nfa.rs crates/text/src/pattern.rs crates/text/src/tokenize.rs
+
+/root/repo/target/debug/deps/docql_text-8e12fc7b9414630e: crates/text/src/lib.rs crates/text/src/contains.rs crates/text/src/index.rs crates/text/src/near.rs crates/text/src/nfa.rs crates/text/src/pattern.rs crates/text/src/tokenize.rs
+
+crates/text/src/lib.rs:
+crates/text/src/contains.rs:
+crates/text/src/index.rs:
+crates/text/src/near.rs:
+crates/text/src/nfa.rs:
+crates/text/src/pattern.rs:
+crates/text/src/tokenize.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/docql_workspace-21811204b5ac8e6e.d: src/lib.rs
+
+/root/repo/target/debug/deps/docql_workspace-21811204b5ac8e6e: src/lib.rs
+
+src/lib.rs:

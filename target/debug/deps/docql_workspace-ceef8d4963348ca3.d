@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/docql_workspace-ceef8d4963348ca3.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdocql_workspace-ceef8d4963348ca3.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdocql_workspace-ceef8d4963348ca3.rmeta: src/lib.rs
+
+src/lib.rs:

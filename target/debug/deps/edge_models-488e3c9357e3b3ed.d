@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edge_models-488e3c9357e3b3ed.d: crates/mapping/tests/edge_models.rs
+
+/root/repo/target/debug/deps/edge_models-488e3c9357e3b3ed: crates/mapping/tests/edge_models.rs
+
+crates/mapping/tests/edge_models.rs:

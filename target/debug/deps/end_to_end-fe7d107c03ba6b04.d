@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-fe7d107c03ba6b04.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-fe7d107c03ba6b04: tests/end_to_end.rs
+
+tests/end_to_end.rs:

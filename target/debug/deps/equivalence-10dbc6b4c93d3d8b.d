@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/equivalence-10dbc6b4c93d3d8b.d: crates/algebra/tests/equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libequivalence-10dbc6b4c93d3d8b.rmeta: crates/algebra/tests/equivalence.rs Cargo.toml
+
+crates/algebra/tests/equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

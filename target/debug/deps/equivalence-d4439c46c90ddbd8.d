@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence-d4439c46c90ddbd8.d: crates/algebra/tests/equivalence.rs
+
+/root/repo/target/debug/deps/equivalence-d4439c46c90ddbd8: crates/algebra/tests/equivalence.rs
+
+crates/algebra/tests/equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/language-4b4d842421a2b3c1.d: crates/o2sql/tests/language.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblanguage-4b4d842421a2b3c1.rmeta: crates/o2sql/tests/language.rs Cargo.toml
+
+crates/o2sql/tests/language.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

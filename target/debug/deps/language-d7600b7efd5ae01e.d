@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/language-d7600b7efd5ae01e.d: crates/o2sql/tests/language.rs
+
+/root/repo/target/debug/deps/language-d7600b7efd5ae01e: crates/o2sql/tests/language.rs
+
+crates/o2sql/tests/language.rs:

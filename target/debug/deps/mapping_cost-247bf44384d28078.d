@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mapping_cost-247bf44384d28078.d: crates/bench/benches/mapping_cost.rs
+
+/root/repo/target/debug/deps/mapping_cost-247bf44384d28078: crates/bench/benches/mapping_cost.rs
+
+crates/bench/benches/mapping_cost.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_examples-29a4181f37b13a47.d: crates/calculus/tests/paper_examples.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_examples-29a4181f37b13a47.rmeta: crates/calculus/tests/paper_examples.rs Cargo.toml
+
+crates/calculus/tests/paper_examples.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

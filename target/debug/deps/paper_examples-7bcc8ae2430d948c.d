@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-7bcc8ae2430d948c.d: crates/calculus/tests/paper_examples.rs
+
+/root/repo/target/debug/deps/paper_examples-7bcc8ae2430d948c: crates/calculus/tests/paper_examples.rs
+
+crates/calculus/tests/paper_examples.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_queries-1110538f14c3487d.d: crates/store/tests/paper_queries.rs
+
+/root/repo/target/debug/deps/paper_queries-1110538f14c3487d: crates/store/tests/paper_queries.rs
+
+crates/store/tests/paper_queries.rs:

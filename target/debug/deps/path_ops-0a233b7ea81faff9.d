@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/path_ops-0a233b7ea81faff9.d: crates/bench/benches/path_ops.rs
+
+/root/repo/target/debug/deps/path_ops-0a233b7ea81faff9: crates/bench/benches/path_ops.rs
+
+crates/bench/benches/path_ops.rs:

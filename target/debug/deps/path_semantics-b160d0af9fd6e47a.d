@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/path_semantics-b160d0af9fd6e47a.d: crates/bench/benches/path_semantics.rs
+
+/root/repo/target/debug/deps/path_semantics-b160d0af9fd6e47a: crates/bench/benches/path_semantics.rs
+
+crates/bench/benches/path_semantics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_equivalence-2d27fc899be17caf.d: crates/algebra/tests/prop_equivalence.rs
+
+/root/repo/target/debug/deps/prop_equivalence-2d27fc899be17caf: crates/algebra/tests/prop_equivalence.rs
+
+crates/algebra/tests/prop_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_model-747a2132fb905aa9.d: crates/model/tests/prop_model.rs
+
+/root/repo/target/debug/deps/prop_model-747a2132fb905aa9: crates/model/tests/prop_model.rs
+
+crates/model/tests/prop_model.rs:

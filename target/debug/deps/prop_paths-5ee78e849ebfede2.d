@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_paths-5ee78e849ebfede2.d: crates/paths/tests/prop_paths.rs
+
+/root/repo/target/debug/deps/prop_paths-5ee78e849ebfede2: crates/paths/tests/prop_paths.rs
+
+crates/paths/tests/prop_paths.rs:

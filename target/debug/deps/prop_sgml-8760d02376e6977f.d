@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_sgml-8760d02376e6977f.d: crates/sgml/tests/prop_sgml.rs
+
+/root/repo/target/debug/deps/prop_sgml-8760d02376e6977f: crates/sgml/tests/prop_sgml.rs
+
+crates/sgml/tests/prop_sgml.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_text-8c27a2db889ee27c.d: crates/text/tests/prop_text.rs
+
+/root/repo/target/debug/deps/prop_text-8c27a2db889ee27c: crates/text/tests/prop_text.rs
+
+crates/text/tests/prop_text.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/query_suite-205249775789a88e.d: crates/bench/benches/query_suite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquery_suite-205249775789a88e.rmeta: crates/bench/benches/query_suite.rs Cargo.toml
+
+crates/bench/benches/query_suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/query_suite-ec86f907b5859be8.d: crates/bench/benches/query_suite.rs
+
+/root/repo/target/debug/deps/query_suite-ec86f907b5859be8: crates/bench/benches/query_suite.rs
+
+crates/bench/benches/query_suite.rs:

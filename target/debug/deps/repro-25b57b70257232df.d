@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-25b57b70257232df.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-25b57b70257232df: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-7a793574f63138d7.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-7a793574f63138d7: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

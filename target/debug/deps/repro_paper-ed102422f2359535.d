@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_paper-ed102422f2359535.d: tests/repro_paper.rs
+
+/root/repo/target/debug/deps/repro_paper-ed102422f2359535: tests/repro_paper.rs
+
+tests/repro_paper.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/semantics-e8612b277c5b616a.d: tests/semantics.rs
+
+/root/repo/target/debug/deps/semantics-e8612b277c5b616a: tests/semantics.rs
+
+tests/semantics.rs:

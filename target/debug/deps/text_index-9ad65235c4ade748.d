@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/text_index-9ad65235c4ade748.d: crates/bench/benches/text_index.rs
+
+/root/repo/target/debug/deps/text_index-9ad65235c4ade748: crates/bench/benches/text_index.rs
+
+crates/bench/benches/text_index.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/union_typing-a5650876a1dfd521.d: crates/bench/benches/union_typing.rs
+
+/root/repo/target/debug/deps/union_typing-a5650876a1dfd521: crates/bench/benches/union_typing.rs
+
+crates/bench/benches/union_typing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/union_typing-fe2c6b9a2c5ffd71.d: crates/bench/benches/union_typing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libunion_typing-fe2c6b9a2c5ffd71.rmeta: crates/bench/benches/union_typing.rs Cargo.toml
+
+crates/bench/benches/union_typing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

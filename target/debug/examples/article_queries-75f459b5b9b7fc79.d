@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/article_queries-75f459b5b9b7fc79.d: examples/article_queries.rs
+
+/root/repo/target/debug/examples/article_queries-75f459b5b9b7fc79: examples/article_queries.rs
+
+examples/article_queries.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/concurrent_readers-47484bf339d20c1d.d: examples/concurrent_readers.rs
+
+/root/repo/target/debug/examples/concurrent_readers-47484bf339d20c1d: examples/concurrent_readers.rs
+
+examples/concurrent_readers.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/concurrent_readers-cc1f9824c1524e6d.d: examples/concurrent_readers.rs Cargo.toml
+
+/root/repo/target/debug/examples/libconcurrent_readers-cc1f9824c1524e6d.rmeta: examples/concurrent_readers.rs Cargo.toml
+
+examples/concurrent_readers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

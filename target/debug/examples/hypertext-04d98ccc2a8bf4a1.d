@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hypertext-04d98ccc2a8bf4a1.d: examples/hypertext.rs
+
+/root/repo/target/debug/examples/hypertext-04d98ccc2a8bf4a1: examples/hypertext.rs
+
+examples/hypertext.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hypertext-46f34f9f335aa4c8.d: examples/hypertext.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhypertext-46f34f9f335aa4c8.rmeta: examples/hypertext.rs Cargo.toml
+
+examples/hypertext.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

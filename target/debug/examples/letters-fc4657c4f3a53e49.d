@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/letters-fc4657c4f3a53e49.d: examples/letters.rs
+
+/root/repo/target/debug/examples/letters-fc4657c4f3a53e49: examples/letters.rs
+
+examples/letters.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/query_shell-409462742f401bfc.d: examples/query_shell.rs
+
+/root/repo/target/debug/examples/query_shell-409462742f401bfc: examples/query_shell.rs
+
+examples/query_shell.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/query_shell-869acee044ffa3e8.d: examples/query_shell.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquery_shell-869acee044ffa3e8.rmeta: examples/query_shell.rs Cargo.toml
+
+examples/query_shell.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-afbde476b9d9fdb5.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-afbde476b9d9fdb5: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/schema_browser-24864d20a1cc9732.d: examples/schema_browser.rs
+
+/root/repo/target/debug/examples/schema_browser-24864d20a1cc9732: examples/schema_browser.rs
+
+examples/schema_browser.rs:

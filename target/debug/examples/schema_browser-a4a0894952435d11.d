@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/schema_browser-a4a0894952435d11.d: examples/schema_browser.rs Cargo.toml
+
+/root/repo/target/debug/examples/libschema_browser-a4a0894952435d11.rmeta: examples/schema_browser.rs Cargo.toml
+
+examples/schema_browser.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/version_diff-1e107a7d81f202e7.d: examples/version_diff.rs
+
+/root/repo/target/debug/examples/version_diff-1e107a7d81f202e7: examples/version_diff.rs
+
+examples/version_diff.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/algebraization-39426dedba736698.d: crates/bench/benches/algebraization.rs
+
+/root/repo/target/release/deps/algebraization-39426dedba736698: crates/bench/benches/algebraization.rs
+
+crates/bench/benches/algebraization.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/docql-869f406078fa4d30.d: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libdocql-869f406078fa4d30.rlib: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libdocql-869f406078fa4d30.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/docql_algebra-6cfa05ebd70c2e04.d: crates/algebra/src/lib.rs crates/algebra/src/algebraize.rs crates/algebra/src/compile.rs crates/algebra/src/plan.rs
+
+/root/repo/target/release/deps/libdocql_algebra-6cfa05ebd70c2e04.rlib: crates/algebra/src/lib.rs crates/algebra/src/algebraize.rs crates/algebra/src/compile.rs crates/algebra/src/plan.rs
+
+/root/repo/target/release/deps/libdocql_algebra-6cfa05ebd70c2e04.rmeta: crates/algebra/src/lib.rs crates/algebra/src/algebraize.rs crates/algebra/src/compile.rs crates/algebra/src/plan.rs
+
+crates/algebra/src/lib.rs:
+crates/algebra/src/algebraize.rs:
+crates/algebra/src/compile.rs:
+crates/algebra/src/plan.rs:

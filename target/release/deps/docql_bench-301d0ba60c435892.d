@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/docql_bench-301d0ba60c435892.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libdocql_bench-301d0ba60c435892.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libdocql_bench-301d0ba60c435892.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

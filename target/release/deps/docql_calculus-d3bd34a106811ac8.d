@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/docql_calculus-d3bd34a106811ac8.d: crates/calculus/src/lib.rs crates/calculus/src/eval.rs crates/calculus/src/interp.rs crates/calculus/src/term.rs crates/calculus/src/typing.rs
+
+/root/repo/target/release/deps/libdocql_calculus-d3bd34a106811ac8.rlib: crates/calculus/src/lib.rs crates/calculus/src/eval.rs crates/calculus/src/interp.rs crates/calculus/src/term.rs crates/calculus/src/typing.rs
+
+/root/repo/target/release/deps/libdocql_calculus-d3bd34a106811ac8.rmeta: crates/calculus/src/lib.rs crates/calculus/src/eval.rs crates/calculus/src/interp.rs crates/calculus/src/term.rs crates/calculus/src/typing.rs
+
+crates/calculus/src/lib.rs:
+crates/calculus/src/eval.rs:
+crates/calculus/src/interp.rs:
+crates/calculus/src/term.rs:
+crates/calculus/src/typing.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/docql_corpus-06f0efd50370665d.d: crates/corpus/src/lib.rs crates/corpus/src/articles.rs crates/corpus/src/knuth.rs crates/corpus/src/letters.rs crates/corpus/src/mutate.rs crates/corpus/src/rng.rs
+
+/root/repo/target/release/deps/libdocql_corpus-06f0efd50370665d.rlib: crates/corpus/src/lib.rs crates/corpus/src/articles.rs crates/corpus/src/knuth.rs crates/corpus/src/letters.rs crates/corpus/src/mutate.rs crates/corpus/src/rng.rs
+
+/root/repo/target/release/deps/libdocql_corpus-06f0efd50370665d.rmeta: crates/corpus/src/lib.rs crates/corpus/src/articles.rs crates/corpus/src/knuth.rs crates/corpus/src/letters.rs crates/corpus/src/mutate.rs crates/corpus/src/rng.rs
+
+crates/corpus/src/lib.rs:
+crates/corpus/src/articles.rs:
+crates/corpus/src/knuth.rs:
+crates/corpus/src/letters.rs:
+crates/corpus/src/mutate.rs:
+crates/corpus/src/rng.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/docql_model-e9dd215c219b14cf.d: crates/model/src/lib.rs crates/model/src/conform.rs crates/model/src/constraint.rs crates/model/src/error.rs crates/model/src/hierarchy.rs crates/model/src/instance.rs crates/model/src/schema.rs crates/model/src/subtype.rs crates/model/src/sym.rs crates/model/src/types.rs crates/model/src/value.rs
+
+/root/repo/target/release/deps/libdocql_model-e9dd215c219b14cf.rlib: crates/model/src/lib.rs crates/model/src/conform.rs crates/model/src/constraint.rs crates/model/src/error.rs crates/model/src/hierarchy.rs crates/model/src/instance.rs crates/model/src/schema.rs crates/model/src/subtype.rs crates/model/src/sym.rs crates/model/src/types.rs crates/model/src/value.rs
+
+/root/repo/target/release/deps/libdocql_model-e9dd215c219b14cf.rmeta: crates/model/src/lib.rs crates/model/src/conform.rs crates/model/src/constraint.rs crates/model/src/error.rs crates/model/src/hierarchy.rs crates/model/src/instance.rs crates/model/src/schema.rs crates/model/src/subtype.rs crates/model/src/sym.rs crates/model/src/types.rs crates/model/src/value.rs
+
+crates/model/src/lib.rs:
+crates/model/src/conform.rs:
+crates/model/src/constraint.rs:
+crates/model/src/error.rs:
+crates/model/src/hierarchy.rs:
+crates/model/src/instance.rs:
+crates/model/src/schema.rs:
+crates/model/src/subtype.rs:
+crates/model/src/sym.rs:
+crates/model/src/types.rs:
+crates/model/src/value.rs:

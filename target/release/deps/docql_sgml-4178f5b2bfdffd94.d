@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/docql_sgml-4178f5b2bfdffd94.d: crates/sgml/src/lib.rs crates/sgml/src/content.rs crates/sgml/src/cursor.rs crates/sgml/src/doc.rs crates/sgml/src/dtd.rs crates/sgml/src/error.rs crates/sgml/src/fixtures.rs crates/sgml/src/parser.rs crates/sgml/src/validate.rs
+
+/root/repo/target/release/deps/libdocql_sgml-4178f5b2bfdffd94.rlib: crates/sgml/src/lib.rs crates/sgml/src/content.rs crates/sgml/src/cursor.rs crates/sgml/src/doc.rs crates/sgml/src/dtd.rs crates/sgml/src/error.rs crates/sgml/src/fixtures.rs crates/sgml/src/parser.rs crates/sgml/src/validate.rs
+
+/root/repo/target/release/deps/libdocql_sgml-4178f5b2bfdffd94.rmeta: crates/sgml/src/lib.rs crates/sgml/src/content.rs crates/sgml/src/cursor.rs crates/sgml/src/doc.rs crates/sgml/src/dtd.rs crates/sgml/src/error.rs crates/sgml/src/fixtures.rs crates/sgml/src/parser.rs crates/sgml/src/validate.rs
+
+crates/sgml/src/lib.rs:
+crates/sgml/src/content.rs:
+crates/sgml/src/cursor.rs:
+crates/sgml/src/doc.rs:
+crates/sgml/src/dtd.rs:
+crates/sgml/src/error.rs:
+crates/sgml/src/fixtures.rs:
+crates/sgml/src/parser.rs:
+crates/sgml/src/validate.rs:

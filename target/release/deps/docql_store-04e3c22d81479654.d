@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/docql_store-04e3c22d81479654.d: crates/store/src/lib.rs
+
+/root/repo/target/release/deps/libdocql_store-04e3c22d81479654.rlib: crates/store/src/lib.rs
+
+/root/repo/target/release/deps/libdocql_store-04e3c22d81479654.rmeta: crates/store/src/lib.rs
+
+crates/store/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/docql_text-7f617dcd7939f1a0.d: crates/text/src/lib.rs crates/text/src/contains.rs crates/text/src/index.rs crates/text/src/near.rs crates/text/src/nfa.rs crates/text/src/pattern.rs crates/text/src/tokenize.rs
+
+/root/repo/target/release/deps/libdocql_text-7f617dcd7939f1a0.rlib: crates/text/src/lib.rs crates/text/src/contains.rs crates/text/src/index.rs crates/text/src/near.rs crates/text/src/nfa.rs crates/text/src/pattern.rs crates/text/src/tokenize.rs
+
+/root/repo/target/release/deps/libdocql_text-7f617dcd7939f1a0.rmeta: crates/text/src/lib.rs crates/text/src/contains.rs crates/text/src/index.rs crates/text/src/near.rs crates/text/src/nfa.rs crates/text/src/pattern.rs crates/text/src/tokenize.rs
+
+crates/text/src/lib.rs:
+crates/text/src/contains.rs:
+crates/text/src/index.rs:
+crates/text/src/near.rs:
+crates/text/src/nfa.rs:
+crates/text/src/pattern.rs:
+crates/text/src/tokenize.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/docql_workspace-1b8231ec41e8f4e6.d: src/lib.rs
+
+/root/repo/target/release/deps/libdocql_workspace-1b8231ec41e8f4e6.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdocql_workspace-1b8231ec41e8f4e6.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ingest_throughput-10c9141748b7efca.d: crates/bench/benches/ingest_throughput.rs
+
+/root/repo/target/release/deps/ingest_throughput-10c9141748b7efca: crates/bench/benches/ingest_throughput.rs
+
+crates/bench/benches/ingest_throughput.rs:

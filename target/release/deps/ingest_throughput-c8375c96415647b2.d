@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ingest_throughput-c8375c96415647b2.d: crates/bench/benches/ingest_throughput.rs
+
+/root/repo/target/release/deps/ingest_throughput-c8375c96415647b2: crates/bench/benches/ingest_throughput.rs
+
+crates/bench/benches/ingest_throughput.rs:

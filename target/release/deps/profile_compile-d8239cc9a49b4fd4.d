@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/profile_compile-d8239cc9a49b4fd4.d: crates/bench/src/bin/profile_compile.rs
+
+/root/repo/target/release/deps/profile_compile-d8239cc9a49b4fd4: crates/bench/src/bin/profile_compile.rs
+
+crates/bench/src/bin/profile_compile.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/profile_ingest-aa4b22c2ec1f1e96.d: crates/bench/src/bin/profile_ingest.rs
+
+/root/repo/target/release/deps/profile_ingest-aa4b22c2ec1f1e96: crates/bench/src/bin/profile_ingest.rs
+
+crates/bench/src/bin/profile_ingest.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/query_suite-5254f8d3a34c0724.d: crates/bench/benches/query_suite.rs
+
+/root/repo/target/release/deps/query_suite-5254f8d3a34c0724: crates/bench/benches/query_suite.rs
+
+crates/bench/benches/query_suite.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-b2afd4cc70c9dd6e.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-b2afd4cc70c9dd6e: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

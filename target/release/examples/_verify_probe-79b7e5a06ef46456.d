@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_verify_probe-79b7e5a06ef46456.d: examples/_verify_probe.rs
+
+/root/repo/target/release/examples/_verify_probe-79b7e5a06ef46456: examples/_verify_probe.rs
+
+examples/_verify_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/concurrent_readers-295eda5039e3c058.d: examples/concurrent_readers.rs
+
+/root/repo/target/release/examples/concurrent_readers-295eda5039e3c058: examples/concurrent_readers.rs
+
+examples/concurrent_readers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/query_shell-9999e581d014a60a.d: examples/query_shell.rs
+
+/root/repo/target/release/examples/query_shell-9999e581d014a60a: examples/query_shell.rs
+
+examples/query_shell.rs:

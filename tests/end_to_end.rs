@@ -42,12 +42,7 @@ fn both_engines_agree_on_a_query_battery() {
     ];
     for q in queries {
         let interp: BTreeSet<_> = db.query(q).unwrap().rows.into_iter().collect();
-        let alg: BTreeSet<_> = db
-            .query_algebraic(q)
-            .unwrap()
-            .rows
-            .into_iter()
-            .collect();
+        let alg: BTreeSet<_> = db.query_algebraic(q).unwrap().rows.into_iter().collect();
         assert_eq!(interp, alg, "modes disagree on {q}");
     }
 }
@@ -103,9 +98,7 @@ fn error_paths_are_reported_not_panicked() {
     // Syntax error.
     assert!(db.query("select from where").is_err());
     // Unknown function at evaluation time.
-    assert!(db
-        .query("select frobnicate(a) from a in Articles")
-        .is_err());
+    assert!(db.query("select frobnicate(a) from a in Articles").is_err());
     // Impossible pattern: runs fine, zero rows (false-not-error, §5.3).
     let r = db
         .query("select t from Articles PATH_p.zzz_not_an_attribute(t)")

@@ -32,10 +32,7 @@ fn f2_fig2_document_parses_with_omitted_tags_and_validates() {
     let mut authors = Vec::new();
     doc.root.find_all("author", &mut authors);
     assert_eq!(
-        authors
-            .iter()
-            .map(|a| a.text_content())
-            .collect::<Vec<_>>(),
+        authors.iter().map(|a| a.text_content()).collect::<Vec<_>>(),
         vec!["V. Christophides", "S. Abiteboul", "S. Cluet", "M. Scholl"]
     );
 }
@@ -67,7 +64,10 @@ fn f3_generated_classes_match_fig3_line_by_line() {
         "name Articles: list(Article)",
     ];
     for e in expectations {
-        assert!(rendered.contains(e), "missing Fig. 3 line: {e}\n\n{rendered}");
+        assert!(
+            rendered.contains(e),
+            "missing Fig. 3 line: {e}\n\n{rendered}"
+        );
     }
     // Fig. 3 constraints.
     for c in [
@@ -83,11 +83,7 @@ fn f3_generated_classes_match_fig3_line_by_line() {
 
 #[test]
 fn q3_and_q5_on_the_fig2_document_itself() {
-    let mut db = Database::new(
-        docql::fixtures::ARTICLE_DTD,
-        &["my_article"],
-    )
-    .unwrap();
+    let mut db = Database::new(docql::fixtures::ARTICLE_DTD, &["my_article"]).unwrap();
     let root = db.ingest(docql::fixtures::FIG2_DOCUMENT).unwrap();
     db.bind("my_article", root).unwrap();
 
@@ -127,7 +123,9 @@ fn fig2_ingest_populates_fig3_shapes() {
     let root = db.ingest(docql::fixtures::FIG2_DOCUMENT).unwrap();
     let v = db.store().instance().value_of(root).unwrap();
     // The Article object's value matches the Fig. 3 tuple type.
-    for attr in ["title", "authors", "affil", "abstract", "sections", "acknowl", "status"] {
+    for attr in [
+        "title", "authors", "affil", "abstract", "sections", "acknowl", "status",
+    ] {
         assert!(v.attr(sym(attr)).is_some(), "article missing .{attr}");
     }
     // Sections took the a1 branch (no subsections in Fig. 2).

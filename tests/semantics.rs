@@ -35,14 +35,13 @@ fn select_query_set_operations() {
     let n_planted = db.query(planted).unwrap().len();
     assert!(n_planted > 0 && n_planted < n_all);
     // all - planted = unplanted.
-    let diff = db
-        .query(&format!("({all}) - ({planted})"))
-        .unwrap()
-        .len();
+    let diff = db.query(&format!("({all}) - ({planted})")).unwrap().len();
     assert_eq!(diff, n_all - n_planted);
     // planted ∪ all = all; planted ∩ all = planted.
     assert_eq!(
-        db.query(&format!("({planted}) union ({all})")).unwrap().len(),
+        db.query(&format!("({planted}) union ({all})"))
+            .unwrap()
+            .len(),
         n_all
     );
     assert_eq!(
