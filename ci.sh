@@ -16,4 +16,12 @@ cargo test -q
 echo "==> workspace tests"
 cargo test --workspace -q
 
+echo "==> property suites (fixed seed, bounded cases)"
+DOCQL_PROP_SEED=20260806 DOCQL_PROP_CASES=64 cargo test --workspace -q \
+    --test prop_model --test prop_text --test prop_sgml --test prop_paths \
+    --test prop_equivalence
+
+echo "==> cargo doc (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "CI green."

@@ -192,19 +192,29 @@ pub fn algebraize(q: &Query, schema: &Schema) -> Result<Algebraized, AlgebraErro
             asub.insert(*v, cands[indices[path_cands.len() + k]]);
         }
         let mut branch_body = subst_formula(&body, &psub, &asub);
-        // Materialise the substituted free variables so the head is bound.
+        // Materialise the substituted free variables so the head stays
+        // bound — but only those the head (or an enclosing query) actually
+        // projects: substitution removed every body occurrence, so a
+        // witness equality for an unprojected variable is dead weight, and
+        // its references to fresh index binders would block the
+        // extent-index lowering of the path atoms.
+        let projected = |v: &Var| q.head.contains(v) || q.outer_vars.contains(v);
         let mut extra = Vec::new();
         for (v, atoms) in &psub {
-            extra.push(Formula::Atom(Atom::Eq(
-                DataTerm::Var(*v),
-                DataTerm::MakePath(PathTerm(atoms.clone())),
-            )));
+            if projected(v) {
+                extra.push(Formula::Atom(Atom::Eq(
+                    DataTerm::Var(*v),
+                    DataTerm::MakePath(PathTerm(atoms.clone())),
+                )));
+            }
         }
         for (v, name) in &asub {
-            extra.push(Formula::Atom(Atom::Eq(
-                DataTerm::Var(*v),
-                DataTerm::AttrConst(*name),
-            )));
+            if projected(v) {
+                extra.push(Formula::Atom(Atom::Eq(
+                    DataTerm::Var(*v),
+                    DataTerm::AttrConst(*name),
+                )));
+            }
         }
         if !extra.is_empty() {
             let mut conj = match branch_body {
@@ -243,11 +253,54 @@ pub fn algebraize(q: &Query, schema: &Schema) -> Result<Algebraized, AlgebraErro
             k += 1;
         }
     }
+    let plans = plans
+        .into_iter()
+        .map(|p| simplify_branch(p, &q.head, &q.outer_vars))
+        .collect();
     let plan = Op::Project {
         input: Box::new(Op::Union(plans)),
         vars: q.head.clone(),
     };
     Ok(Algebraized { plan, branches })
+}
+
+/// Peephole over one substituted branch, exploiting that the union as a
+/// whole sits under a `Project` on the same head:
+///
+/// * the branch's own head `Project` is redundant (the outer one projects
+///   and deduplicates identically) and is stripped;
+/// * a head materialisation `Assign h := x` directly over an
+///   [`Op::IndexPathScan`] whose tail binds `x` fuses into the scan's `out`
+///   slot when `x` and `h` occur nowhere else — one binding per emitted row
+///   instead of two.
+fn simplify_branch(p: Op, head: &[Var], outer: &[Var]) -> Op {
+    let p = match p {
+        Op::Project { input, vars } if vars[..] == *head => *input,
+        other => return other,
+    };
+    match p {
+        Op::Assign { input, var, term } => match (*input, term) {
+            (Op::IndexPathScan(mut scan), DataTerm::Var(x))
+                if scan.out.is_none()
+                    && scan.tail.contains(&x)
+                    && !head.contains(&x)
+                    && !outer.contains(&x)
+                    && !outer.contains(&var)
+                    && !scan.input.mentions(x)
+                    && !scan.input.mentions(var) =>
+            {
+                scan.tail.retain(|v| *v != x);
+                scan.out = Some(var);
+                Op::IndexPathScan(scan)
+            }
+            (input, term) => Op::Assign {
+                input: Box::new(input),
+                var,
+                term,
+            },
+        },
+        other => other,
+    }
 }
 
 /// Expand quantified path/attribute variables into in-place disjunctions

@@ -7,10 +7,11 @@
 //! `Assign` operators using the same greedy sideways-information-passing
 //! order as the interpreter's planner.
 
-use crate::plan::{Op, WalkStep};
+use crate::plan::{IndexPathScan, Op, WalkStep};
 use crate::AlgebraError;
 use docql_calculus::{Atom, AttrTerm, DataTerm, Formula, IntTerm, PathAtom, PathTerm, Query, Var};
-use std::collections::BTreeSet;
+use docql_paths::ExtStep;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Compile a query into a plan. Fails with [`AlgebraError`] when the query
 /// still contains path/attribute variables (run
@@ -18,6 +19,7 @@ use std::collections::BTreeSet;
 pub fn compile_query(q: &Query) -> Result<Op, AlgebraError> {
     let mut cx = Compiler {
         next_var: fresh_base(q),
+        uses: count_var_uses(q),
     };
     let plan = cx.compile_formula(&q.body, Op::Unit, &mut BTreeSet::new())?;
     Ok(Op::Project {
@@ -32,6 +34,9 @@ fn fresh_base(q: &Query) -> Var {
 
 struct Compiler {
     next_var: Var,
+    /// Occurrence counts per variable (head + body), used to decide when an
+    /// unnest binder is droppable so the walk can become an index scan.
+    uses: BTreeMap<Var, usize>,
 }
 
 impl Compiler {
@@ -194,10 +199,28 @@ impl Compiler {
         };
         match a {
             Atom::PathPred(t, p) => {
-                // Materialise the base term, then walk.
+                // Materialise the base term, then walk — or, when the step
+                // pattern is coverable by a path extent, an index scan that
+                // falls back to the same walk at run time.
                 let (input, start) = self.ensure_var(t, input, bound)?;
                 let steps = self.path_to_steps(p, bound)?;
                 collect_binds(&Formula::Atom(a.clone()), bound);
+                if let Some((lead, key, tail)) = index_scan_parts(&steps, &self.uses) {
+                    // The start value (often the whole document collection)
+                    // can be dropped from emitted rows when nothing else
+                    // reads it — compiler-introduced starts count 0 uses.
+                    let drop_start = self.uses.get(&start).copied().unwrap_or(0) <= 1;
+                    return Ok(Op::IndexPathScan(Box::new(IndexPathScan {
+                        input,
+                        start,
+                        lead,
+                        key,
+                        tail,
+                        out: None,
+                        steps,
+                        drop_start,
+                    })));
+                }
                 Ok(Op::Walk {
                     input: Box::new(input),
                     start,
@@ -345,6 +368,126 @@ impl Op {
             other => other,
         }
     }
+}
+
+/// Split walk steps into the parts of an [`Op::IndexPathScan`], or `None`
+/// when the pattern cannot be answered from a path extent and must walk:
+///
+/// - an optional *lead* `UnnestList` over the document collection (kept,
+///   since extents are keyed per document oid; its index binder is kept
+///   only when live downstream);
+/// - a *key* of class-blind extent steps. Unnest binders inside the key are
+///   dropped — legal only when the variable has no other use (the extent
+///   stores targets, not intermediate bindings);
+/// - a *tail* of trailing `Bind` variables applied to the target.
+///
+/// Constant or variable list indexing, mid-path binds followed by more
+/// navigation, and `UnnestColl` have no extent analogue.
+#[allow(clippy::type_complexity)]
+fn index_scan_parts(
+    steps: &[WalkStep],
+    uses: &BTreeMap<Var, usize>,
+) -> Option<(Option<Option<Var>>, Vec<ExtStep>, Vec<Var>)> {
+    let droppable = |b: &Option<Var>| b.is_none_or(|v| uses.get(&v).copied().unwrap_or(0) <= 1);
+    let mut rest = steps;
+    let lead = match rest.first() {
+        Some(WalkStep::UnnestList(b)) => {
+            rest = &rest[1..];
+            // A dead index binder is dropped so the scan skips the per-
+            // element `Int(i)` insert (the walk fallback never binds it
+            // either — it resumes from `steps[1..]`).
+            Some(if droppable(b) { None } else { *b })
+        }
+        _ => None,
+    };
+    let mut key = Vec::new();
+    let mut tail = Vec::new();
+    let mut in_tail = false;
+    for step in rest {
+        if in_tail {
+            match step {
+                WalkStep::Bind(v) => tail.push(*v),
+                _ => return None,
+            }
+            continue;
+        }
+        match step {
+            WalkStep::Deref => key.push(ExtStep::Deref),
+            WalkStep::Attr(a) => key.push(ExtStep::Attr(*a)),
+            WalkStep::UnnestList(b) if droppable(b) => key.push(ExtStep::ListElem),
+            WalkStep::UnnestSet(b) if droppable(b) => key.push(ExtStep::SetElem),
+            WalkStep::Bind(v) => {
+                in_tail = true;
+                tail.push(*v);
+            }
+            _ => return None,
+        }
+    }
+    if key.is_empty() && lead.is_none() {
+        return None;
+    }
+    Some((lead, key, tail))
+}
+
+/// Count every occurrence of each variable in head and body. Conservative
+/// (quantifier binder lists are not counted; terms count each contained
+/// variable once): any variable with a use outside its own binding site
+/// ends up with a count ≥ 2.
+fn count_var_uses(q: &Query) -> BTreeMap<Var, usize> {
+    fn bump(uses: &mut BTreeMap<Var, usize>, v: Var) {
+        *uses.entry(v).or_insert(0) += 1;
+    }
+    fn bump_term(uses: &mut BTreeMap<Var, usize>, t: &DataTerm) {
+        let mut vs = BTreeSet::new();
+        t.vars(&mut vs);
+        for v in vs {
+            bump(uses, v);
+        }
+    }
+    fn count_atom(uses: &mut BTreeMap<Var, usize>, a: &Atom) {
+        match a {
+            Atom::PathPred(t, p) => {
+                bump_term(uses, t);
+                for atom in &p.0 {
+                    match atom {
+                        PathAtom::PathVar(v)
+                        | PathAtom::Bind(v)
+                        | PathAtom::SetBind(v)
+                        | PathAtom::Attr(AttrTerm::Var(v))
+                        | PathAtom::Index(IntTerm::Var(v)) => bump(uses, *v),
+                        _ => {}
+                    }
+                }
+            }
+            Atom::Eq(x, y) | Atom::In(x, y) | Atom::Subset(x, y) => {
+                bump_term(uses, x);
+                bump_term(uses, y);
+            }
+            Atom::Pred(_, args) => {
+                for t in args {
+                    bump_term(uses, t);
+                }
+            }
+        }
+    }
+    fn count_formula(uses: &mut BTreeMap<Var, usize>, f: &Formula) {
+        match f {
+            Formula::Atom(a) => count_atom(uses, a),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for g in fs {
+                    count_formula(uses, g);
+                }
+            }
+            Formula::Not(inner) => count_formula(uses, inner),
+            Formula::Exists(_, inner) | Formula::Forall(_, inner) => count_formula(uses, inner),
+        }
+    }
+    let mut uses = BTreeMap::new();
+    for v in &q.head {
+        bump(&mut uses, *v);
+    }
+    count_formula(&mut uses, &q.body);
+    uses
 }
 
 /// Record the variables a formula will bind when compiled (mirrors the

@@ -20,7 +20,7 @@ use std::fmt;
 
 pub use algebraize::{algebraize, Algebraized, MAX_CANDIDATE_PRODUCT};
 pub use compile::compile_query;
-pub use plan::{Op, WalkStep};
+pub use plan::{ExecCtx, IndexPathScan, Op, WalkStep};
 
 /// Errors from compilation and algebraization.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,8 +41,18 @@ pub fn eval_algebraic(
     instance: &docql_model::Instance,
     interp: &docql_calculus::Interp,
 ) -> Result<Vec<Vec<docql_calculus::CalcValue>>, AlgebraError> {
+    eval_algebraic_with(q, instance, interp, ExecCtx::default())
+}
+
+/// [`eval_algebraic`] with an execution context (path-extent index).
+pub fn eval_algebraic_with(
+    q: &docql_calculus::Query,
+    instance: &docql_model::Instance,
+    interp: &docql_calculus::Interp,
+    ctx: ExecCtx<'_>,
+) -> Result<Vec<Vec<docql_calculus::CalcValue>>, AlgebraError> {
     let algebraized = algebraize(q, instance.schema())?;
-    eval_plan(&algebraized, q, instance, interp)
+    eval_plan_with(&algebraized, q, instance, interp, ctx)
 }
 
 /// Execute an already-algebraized plan — the reuse path for plan caches:
@@ -55,8 +65,22 @@ pub fn eval_plan(
     instance: &docql_model::Instance,
     interp: &docql_calculus::Interp,
 ) -> Result<Vec<Vec<docql_calculus::CalcValue>>, AlgebraError> {
+    eval_plan_with(a, q, instance, interp, ExecCtx::default())
+}
+
+/// [`eval_plan`] with an execution context: when `ctx` carries a path-extent
+/// index, `IndexPathScan` operators in the plan read precomputed extents
+/// instead of walking. The same cached plan serves both modes — the index
+/// choice is a run-time decision.
+pub fn eval_plan_with(
+    a: &Algebraized,
+    q: &docql_calculus::Query,
+    instance: &docql_model::Instance,
+    interp: &docql_calculus::Interp,
+    ctx: ExecCtx<'_>,
+) -> Result<Vec<Vec<docql_calculus::CalcValue>>, AlgebraError> {
     let ev = docql_calculus::Evaluator::new(instance, interp);
-    let rows = a.plan.execute(instance, &ev)?;
+    let rows = a.plan.execute_with(instance, &ev, ctx)?;
     let mut seen = std::collections::BTreeSet::new();
     let mut out = Vec::new();
     for row in rows {

@@ -9,7 +9,23 @@
 
 use docql_calculus::{Atom, CalcValue, DataTerm, Env, Evaluator, Var};
 use docql_model::{Instance, Sym, Value};
+use docql_paths::select::{attr_select, deref1, index_select, list_items};
+use docql_paths::{ExtStep, PathExtentIndex};
+use std::collections::BTreeSet;
 use std::fmt;
+
+/// Run-time execution context: auxiliary structures a plan *may* consult.
+///
+/// Plans are compiled against the schema only; whether an
+/// [`Op::IndexPathScan`] actually reads the path-extent index or falls back
+/// to walking is resolved here, at evaluation time. This is what lets the
+/// plan cache keep index-aware plans without invalidation: the cached plan
+/// captures the *choice point*, the context supplies the index.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecCtx<'a> {
+    /// The store's path-extent index, when index-backed evaluation is on.
+    pub extents: Option<&'a PathExtentIndex>,
+}
 
 /// One navigation step of a [`Op::Walk`].
 #[derive(Debug, Clone, PartialEq)]
@@ -63,6 +79,12 @@ pub enum Op {
         steps: Vec<WalkStep>,
         out: Option<Var>,
     },
+    /// A path navigation answerable from the path-extent index: look up the
+    /// interned class-blind `key` and read the precomputed targets instead
+    /// of walking. The original `steps` are kept as the run-time fallback
+    /// for when no index is attached ([`ExecCtx::extents`] is `None`), the
+    /// key is not interned, or a start value is not an indexed root.
+    IndexPathScan(Box<IndexPathScan>),
     /// Keep rows satisfying an atom (all variables bound).
     Filter { input: Box<Op>, atom: Atom },
     /// Compute a term into a variable.
@@ -84,20 +106,60 @@ pub enum Op {
     Pipe(Box<Op>, Box<Op>),
 }
 
+/// The payload of [`Op::IndexPathScan`] (boxed to keep `Op` small).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexPathScan {
+    /// Upstream plan producing the start bindings.
+    pub input: Op,
+    /// Variable holding the navigation start value.
+    pub start: Var,
+    /// `Some(binder)` when the walk begins with `UnnestList(binder)` over
+    /// the document collection: the scan fans out over the list first (so
+    /// index binders survive) and consults the index per element oid.
+    pub lead: Option<Option<Var>>,
+    /// The interned class-blind path key covered by the extent.
+    pub key: Vec<ExtStep>,
+    /// Trailing `Bind` variables, each bound to (or checked against) the
+    /// target value.
+    pub tail: Vec<Var>,
+    /// Optional output binding for the target value.
+    pub out: Option<Var>,
+    /// The full original walk steps — the run-time fallback.
+    pub steps: Vec<WalkStep>,
+    /// Remove `start` from the row before emitting. Set by the compiler
+    /// when the start variable has no downstream use, so the (often large)
+    /// start value — e.g. the whole document collection — is not cloned
+    /// into every emitted row.
+    pub drop_start: bool,
+}
+
 impl Op {
-    /// Execute against an instance, producing binding rows.
+    /// Execute against an instance with no auxiliary structures attached
+    /// (every [`Op::IndexPathScan`] falls back to walking).
     pub fn execute(
         &self,
         instance: &Instance,
         ev: &Evaluator<'_>,
     ) -> Result<Vec<Env>, crate::AlgebraError> {
-        self.run(instance, ev, vec![Env::new()])
+        self.execute_with(instance, ev, ExecCtx::default())
+    }
+
+    /// Execute against an instance, producing binding rows; `ctx` supplies
+    /// run-time structures such as the path-extent index.
+    pub fn execute_with(
+        &self,
+        instance: &Instance,
+        ev: &Evaluator<'_>,
+        ctx: ExecCtx<'_>,
+    ) -> Result<Vec<Env>, crate::AlgebraError> {
+        self.run(instance, ev, ctx, vec![Env::new()])
     }
 
     fn run(
         &self,
         instance: &Instance,
         ev: &Evaluator<'_>,
+        ctx: ExecCtx<'_>,
         input_rows: Vec<Env>,
     ) -> Result<Vec<Env>, crate::AlgebraError> {
         match self {
@@ -121,7 +183,7 @@ impl Op {
                 steps,
                 out,
             } => {
-                let rows = input.run(instance, ev, input_rows)?;
+                let rows = input.run(instance, ev, ctx, input_rows)?;
                 let mut result = Vec::new();
                 for row in rows {
                     let Some(CalcValue::Data(v)) = row.get(start).cloned() else {
@@ -131,8 +193,85 @@ impl Op {
                 }
                 Ok(result)
             }
+            Op::IndexPathScan(scan) => {
+                let rows = scan.input.run(instance, ev, ctx, input_rows)?;
+                // Resolve the index choice once per execution: is an extent
+                // attached, and does it cover this path key?
+                let ext = ctx
+                    .extents
+                    .and_then(|e| e.lookup(&scan.key).map(|pid| (e, pid)));
+                let mut result = Vec::new();
+                for mut row in rows {
+                    // Take the start value out of the row when it is dead
+                    // downstream: emitted rows then no longer clone it.
+                    let v = if scan.drop_start {
+                        match row.remove(&scan.start) {
+                            Some(CalcValue::Data(v)) => v,
+                            _ => continue,
+                        }
+                    } else {
+                        match row.get(&scan.start).cloned() {
+                            Some(CalcValue::Data(v)) => v,
+                            _ => continue,
+                        }
+                    };
+                    match (&ext, &scan.lead) {
+                        // Start value is the document oid itself.
+                        (Some((e, pid)), None) => match v {
+                            Value::Oid(o) if e.is_root_indexed(o) => {
+                                for target in e.targets(*pid, o) {
+                                    emit_indexed(
+                                        target,
+                                        row.clone(),
+                                        &scan.tail,
+                                        scan.out,
+                                        &mut result,
+                                    );
+                                }
+                            }
+                            v => walk(instance, &v, &scan.steps, row, scan.out, &mut result),
+                        },
+                        // Start value is the document collection: fan out
+                        // over it first, then consult the index per oid.
+                        (Some((e, pid)), Some(binder)) => {
+                            for (i, item) in list_items(instance, &v).into_iter().enumerate() {
+                                let mut r = row.clone();
+                                if let Some(bv) = binder {
+                                    r.insert(*bv, CalcValue::Data(Value::Int(i as i64)));
+                                }
+                                match item {
+                                    Value::Oid(o) if e.is_root_indexed(o) => {
+                                        for target in e.targets(*pid, o) {
+                                            emit_indexed(
+                                                target,
+                                                r.clone(),
+                                                &scan.tail,
+                                                scan.out,
+                                                &mut result,
+                                            );
+                                        }
+                                    }
+                                    item => walk(
+                                        instance,
+                                        &item,
+                                        &scan.steps[1..],
+                                        r,
+                                        scan.out,
+                                        &mut result,
+                                    ),
+                                }
+                            }
+                        }
+                        // No index attached, or the key is not interned.
+                        (None, _) => {
+                            walk(instance, &v, &scan.steps, row, scan.out, &mut result);
+                        }
+                    }
+                }
+                Ok(result)
+            }
             Op::Filter { input, atom } => {
-                let rows = input.run(instance, ev, input_rows)?;
+                let rows = input.run(instance, ev, ctx, input_rows)?;
                 let mut result = Vec::new();
                 for row in rows {
                     let kept = ev
@@ -149,12 +288,29 @@ impl Op {
                 Ok(result)
             }
             Op::Assign { input, var, term } => {
-                let rows = input.run(instance, ev, input_rows)?;
+                let rows = input.run(instance, ev, ctx, input_rows)?;
                 let mut result = Vec::new();
-                for row in rows {
-                    let eq = Atom::Eq(DataTerm::Var(*var), term.clone());
+                // Shared by the slow path below; built lazily so the common
+                // variable-copy case never touches the calculus evaluator.
+                let mut eq: Option<docql_calculus::Formula> = None;
+                for mut row in rows {
+                    // Fast path: `#var := #src` with `src` bound and `var`
+                    // free is a plain copy — the shape the compiler emits
+                    // for head projections, once per result row.
+                    if let DataTerm::Var(src) = term {
+                        if !row.contains_key(var) {
+                            if let Some(v) = row.get(src).cloned() {
+                                row.insert(*var, v);
+                                result.push(row);
+                                continue;
+                            }
+                        }
+                    }
+                    let eq = eq.get_or_insert_with(|| {
+                        docql_calculus::Formula::Atom(Atom::Eq(DataTerm::Var(*var), term.clone()))
+                    });
                     let bound = ev
-                        .eval_formula(&docql_calculus::Formula::Atom(eq), vec![row])
+                        .eval_formula(eq, vec![row])
                         .map_err(|e| crate::AlgebraError(e.to_string()))?;
                     result.extend(bound);
                 }
@@ -163,36 +319,36 @@ impl Op {
             Op::Union(branches) => {
                 let mut result = Vec::new();
                 for b in branches {
-                    result.extend(b.run(instance, ev, input_rows.clone())?);
+                    result.extend(b.run(instance, ev, ctx, input_rows.clone())?);
                 }
                 Ok(result)
             }
             Op::AntiSemi { input, sub } => {
-                let rows = input.run(instance, ev, input_rows)?;
+                let rows = input.run(instance, ev, ctx, input_rows)?;
                 let mut result = Vec::new();
                 for row in rows {
-                    if sub.run(instance, ev, vec![row.clone()])?.is_empty() {
+                    if sub.run(instance, ev, ctx, vec![row.clone()])?.is_empty() {
                         result.push(row);
                     }
                 }
                 Ok(result)
             }
             Op::Semi { input, sub } => {
-                let rows = input.run(instance, ev, input_rows)?;
+                let rows = input.run(instance, ev, ctx, input_rows)?;
                 let mut result = Vec::new();
                 for row in rows {
-                    if !sub.run(instance, ev, vec![row.clone()])?.is_empty() {
+                    if !sub.run(instance, ev, ctx, vec![row.clone()])?.is_empty() {
                         result.push(row);
                     }
                 }
                 Ok(result)
             }
             Op::Pipe(first, second) => {
-                let rows = first.run(instance, ev, input_rows)?;
-                second.run(instance, ev, rows)
+                let rows = first.run(instance, ev, ctx, input_rows)?;
+                second.run(instance, ev, ctx, rows)
             }
             Op::Project { input, vars } => {
-                let rows = input.run(instance, ev, input_rows)?;
+                let rows = input.run(instance, ev, ctx, input_rows)?;
                 let mut seen = std::collections::BTreeSet::new();
                 let mut result = Vec::new();
                 for row in rows {
@@ -234,6 +390,27 @@ impl Op {
                 }
                 input.explain_into(depth + 1, out);
             }
+            Op::IndexPathScan(scan) => {
+                let lead = match &scan.lead {
+                    Some(Some(v)) => format!("[*#{v}]"),
+                    Some(None) => "[*]".to_string(),
+                    None => String::new(),
+                };
+                let key: String = std::iter::once(lead)
+                    .chain(scan.key.iter().map(|s| s.to_string()))
+                    .collect();
+                match scan.out {
+                    Some(v) => out.push_str(&format!(
+                        "{pad}IndexPathScan #{start}{key} -> #{v}\n",
+                        start = scan.start
+                    )),
+                    None => out.push_str(&format!(
+                        "{pad}IndexPathScan #{start}{key}\n",
+                        start = scan.start
+                    )),
+                }
+                scan.input.explain_into(depth + 1, out);
+            }
             Op::Filter { input, atom } => {
                 out.push_str(&format!("{pad}Filter {atom}\n"));
                 input.explain_into(depth + 1, out);
@@ -273,6 +450,84 @@ impl Op {
         }
     }
 
+    /// Does any operator in this subtree reference or bind `v`?
+    /// Conservative (binders and uses are not distinguished) — used by
+    /// peephole rewrites to prove a variable cannot flow in from upstream.
+    pub fn mentions(&self, v: Var) -> bool {
+        let mut vars = BTreeSet::new();
+        self.collect_vars(&mut vars);
+        vars.contains(&v)
+    }
+
+    fn collect_vars(&self, out: &mut BTreeSet<Var>) {
+        fn step_vars(steps: &[WalkStep], out: &mut BTreeSet<Var>) {
+            for s in steps {
+                match s {
+                    WalkStep::UnnestList(Some(v))
+                    | WalkStep::UnnestSet(Some(v))
+                    | WalkStep::IndexVar(v)
+                    | WalkStep::Bind(v) => {
+                        out.insert(*v);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        match self {
+            Op::Unit => {}
+            Op::Root { out: o, .. } => {
+                out.insert(*o);
+            }
+            Op::Walk {
+                input,
+                start,
+                steps,
+                out: o,
+            } => {
+                out.insert(*start);
+                step_vars(steps, out);
+                out.extend(o.iter().copied());
+                input.collect_vars(out);
+            }
+            Op::IndexPathScan(scan) => {
+                out.insert(scan.start);
+                if let Some(Some(b)) = scan.lead {
+                    out.insert(b);
+                }
+                out.extend(scan.tail.iter().copied());
+                out.extend(scan.out.iter().copied());
+                step_vars(&scan.steps, out);
+                scan.input.collect_vars(out);
+            }
+            Op::Filter { input, atom } => {
+                atom.vars(out);
+                input.collect_vars(out);
+            }
+            Op::Assign { input, var, term } => {
+                out.insert(*var);
+                term.vars(out);
+                input.collect_vars(out);
+            }
+            Op::Union(branches) => {
+                for b in branches {
+                    b.collect_vars(out);
+                }
+            }
+            Op::AntiSemi { input, sub } | Op::Semi { input, sub } => {
+                input.collect_vars(out);
+                sub.collect_vars(out);
+            }
+            Op::Project { input, vars } => {
+                out.extend(vars.iter().copied());
+                input.collect_vars(out);
+            }
+            Op::Pipe(first, second) => {
+                first.collect_vars(out);
+                second.collect_vars(out);
+            }
+        }
+    }
+
     /// Count operators (diagnostics / benches).
     pub fn size(&self) -> usize {
         match self {
@@ -281,11 +536,41 @@ impl Op {
             | Op::Filter { input, .. }
             | Op::Assign { input, .. }
             | Op::Project { input, .. } => 1 + input.size(),
+            Op::IndexPathScan(scan) => 1 + scan.input.size(),
             Op::Union(branches) => 1 + branches.iter().map(Op::size).sum::<usize>(),
             Op::AntiSemi { input, sub } | Op::Semi { input, sub } => 1 + input.size() + sub.size(),
             Op::Pipe(first, second) => 1 + first.size() + second.size(),
         }
     }
+}
+
+/// Emit one index-backed row: apply the trailing `Bind` semantics (an
+/// already-bound variable is an equality check, an unbound one binds) and
+/// the optional output binding, mirroring the tail of [`walk`].
+fn emit_indexed(
+    target: &Value,
+    mut row: Env,
+    tail: &[Var],
+    out: Option<Var>,
+    result: &mut Vec<Env>,
+) {
+    for v in tail {
+        match row.get(v) {
+            Some(CalcValue::Data(existing)) => {
+                if existing != target {
+                    return;
+                }
+            }
+            Some(_) => return,
+            None => {
+                row.insert(*v, CalcValue::Data(target.clone()));
+            }
+        }
+    }
+    if let Some(o) = out {
+        row.insert(o, CalcValue::Data(target.clone()));
+    }
+    result.push(row);
 }
 
 /// Navigate `steps` from `value`, extending `row` (indices, binders) and
@@ -381,58 +666,6 @@ fn walk(
                 }
             }
         }
-    }
-}
-
-fn deref1(instance: &Instance, value: &Value) -> Value {
-    match value {
-        Value::Oid(o) => instance.value_of(*o).cloned().unwrap_or(Value::Nil),
-        Value::Union(_, payload) => deref1(instance, payload),
-        other => other.clone(),
-    }
-}
-
-fn list_items(_instance: &Instance, value: &Value) -> Vec<Value> {
-    // Union markers are looked through (implicit selectors); object
-    // boundaries are not (explicit Deref steps handle those).
-    match value {
-        Value::List(items) => items.clone(),
-        // A tuple viewed as a heterogeneous list.
-        Value::Tuple(fields) => fields
-            .iter()
-            .map(|(n, v)| Value::Union(*n, Box::new(v.clone())))
-            .collect(),
-        Value::Union(_, payload) => list_items(_instance, payload),
-        _ => Vec::new(),
-    }
-}
-
-/// Variant-based selection: attribute lookup with implicit selectors
-/// through union markers. No implicit dereferencing — walks mirror the
-/// calculus path-predicate semantics where `→` steps are explicit
-/// (candidate paths carry them).
-fn attr_select(_instance: &Instance, value: &Value, name: Sym) -> Option<Value> {
-    match value {
-        Value::Tuple(_) => value.attr(name).cloned(),
-        Value::Union(m, payload) => {
-            if *m == name {
-                Some(payload.as_ref().clone())
-            } else {
-                attr_select(_instance, payload, name)
-            }
-        }
-        _ => None,
-    }
-}
-
-fn index_select(_instance: &Instance, value: &Value, i: usize) -> Option<Value> {
-    match value {
-        Value::List(items) => items.get(i).cloned(),
-        Value::Tuple(fs) => fs
-            .get(i)
-            .map(|(n, v)| Value::Union(*n, Box::new(v.clone()))),
-        Value::Union(_, payload) => index_select(_instance, payload, i),
-        _ => None,
     }
 }
 

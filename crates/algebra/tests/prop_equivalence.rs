@@ -1,12 +1,9 @@
-// Property-based suite, disabled while the build is offline: `proptest`
-// cannot be fetched in this container, so the whole file is compiled out
-// (`cfg(any())` is never true). Re-enable by removing this gate and
-// restoring the `proptest` dev-dependency.
-#![cfg(any())]
-
 //! Randomized differential testing: generate path-pattern queries over a
 //! fixed document-ish schema and check the calculus interpreter and the
 //! §5.4 algebraizer agree on every one.
+//!
+//! Originally written against an external property-testing library and
+//! gated off; now running on the in-repo `docql-prop` harness.
 
 use docql_algebra::eval_algebraic;
 use docql_calculus::{
@@ -14,9 +11,13 @@ use docql_calculus::{
     QueryBuilder,
 };
 use docql_model::{sym, ClassDef, Instance, Schema, Type, Value};
-use proptest::prelude::*;
+use docql_prop::{
+    check, element, just, prop_assert, prop_assert_eq, usize_in, vec_of, weighted, Gen,
+};
 use std::collections::BTreeSet;
 use std::sync::Arc;
+
+const CASES: usize = 512;
 
 fn library() -> Instance {
     let schema = Arc::new(
@@ -100,26 +101,25 @@ enum GenStep {
     Deref,
 }
 
-fn arb_steps() -> impl Strategy<Value = Vec<GenStep>> {
-    let step = prop_oneof![
-        3 => Just(GenStep::PathVar),
-        4 => prop_oneof![
-            Just("title"), Just("author"), Just("chapters"), Just("sections"),
-            Just("missing")
-        ].prop_map(GenStep::Attr),
-        1 => Just(GenStep::AttrVar),
-        2 => (0usize..3).prop_map(GenStep::IndexConst),
-        2 => Just(GenStep::IndexVar),
-        2 => Just(GenStep::Deref),
-    ];
-    prop::collection::vec(step, 0..5)
+fn arb_steps() -> Gen<Vec<GenStep>> {
+    let step = weighted(vec![
+        (3, just(GenStep::PathVar)),
+        (
+            4,
+            element(vec!["title", "author", "chapters", "sections", "missing"])
+                .map(|a| GenStep::Attr(a)),
+        ),
+        (1, just(GenStep::AttrVar)),
+        (2, usize_in(0..3).map(|i| GenStep::IndexConst(*i))),
+        (2, just(GenStep::IndexVar)),
+        (2, just(GenStep::Deref)),
+    ]);
+    vec_of(step, 0..5)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    #[test]
-    fn random_path_queries_agree(steps in arb_steps()) {
+#[test]
+fn random_path_queries_agree() {
+    check("random_path_queries_agree", CASES, &arb_steps(), |steps| {
         // At most one path variable and one attr variable per query keeps
         // the candidate product small.
         let mut seen_pathvar = false;
@@ -128,7 +128,7 @@ proptest! {
         let x = b.data("X");
         let mut atoms = Vec::new();
         let mut quantified = Vec::new();
-        for s in &steps {
+        for s in steps {
             match s {
                 GenStep::PathVar => {
                     if seen_pathvar {
@@ -180,18 +180,18 @@ proptest! {
         let algebraic: Result<BTreeSet<Vec<CalcValue>>, _> =
             eval_algebraic(&q, &inst, &interp).map(|r| r.into_iter().collect());
         match algebraic {
-            Ok(alg) => prop_assert_eq!(&reference, &alg, "disagreement on {}", q),
+            Ok(alg) => prop_assert_eq!(&reference, &alg, "disagreement on {q}"),
             Err(e) => {
                 // The algebraizer may refuse (no candidates for a dead
                 // pattern); that is only acceptable when the interpreter
                 // also finds nothing.
                 prop_assert!(
                     reference.is_empty(),
-                    "algebraizer refused ({e}) but interpreter found {} rows for {}",
-                    reference.len(),
-                    q
+                    "algebraizer refused ({e}) but interpreter found {} rows for {q}",
+                    reference.len()
                 );
             }
         }
-    }
+        Ok(())
+    });
 }

@@ -10,7 +10,11 @@
 //! Plans depend only on the *schema* (translation resolves identifiers
 //! against roots of persistence; algebraization substitutes schema paths),
 //! so ingesting more documents never invalidates the cache. A schema change
-//! means a new store, and with it a new cache.
+//! means a new store, and with it a new cache. This also holds for the
+//! path-extent index: plans embed `IndexPathScan` *choice points*, and
+//! whether a scan reads the extent or walks is decided at evaluation time
+//! from the engine's [`docql_algebra::ExecCtx`] — toggling or rebuilding
+//! the index never invalidates cached plans either.
 
 use crate::translate::Translated;
 use crate::O2sqlError;

@@ -87,6 +87,12 @@ pub struct Engine<'a> {
     /// the liberal one candidate sets are data-bounded and the paper notes
     /// the algebra "should include some form of transitive closure".
     pub semantics: docql_paths::PathSemantics,
+    /// Path-extent index for the algebraic mode. When set, `IndexPathScan`
+    /// operators read precomputed extents instead of walking the object
+    /// graph; `None` (the default) makes every plan walk. The same compiled
+    /// (and cached) plans serve both settings — the choice is resolved at
+    /// evaluation time.
+    pub extents: Option<&'a docql_paths::PathExtentIndex>,
 }
 
 impl<'a> Engine<'a> {
@@ -97,6 +103,7 @@ impl<'a> Engine<'a> {
             interp,
             mode: Mode::Interpret,
             semantics: docql_paths::PathSemantics::Restricted,
+            extents: None,
         }
     }
 
@@ -227,13 +234,22 @@ impl<'a> Engine<'a> {
                             .to_string(),
                     ));
                 }
+                let ctx = docql_algebra::ExecCtx {
+                    extents: self.extents,
+                };
                 match plans.and_then(|ps| ps.get(*pos)) {
                     Some(plan) => {
                         *pos += 1;
-                        docql_algebra::eval_plan(plan, &t.query, self.instance, self.interp)
-                            .map_err(|e| O2sqlError::Eval(e.to_string()))?
+                        docql_algebra::eval_plan_with(
+                            plan,
+                            &t.query,
+                            self.instance,
+                            self.interp,
+                            ctx,
+                        )
+                        .map_err(|e| O2sqlError::Eval(e.to_string()))?
                     }
-                    None => docql_algebra_eval(&t.query, self.instance, self.interp)?,
+                    None => docql_algebra_eval(&t.query, self.instance, self.interp, ctx)?,
                 }
             }
         };
@@ -363,6 +379,8 @@ fn docql_algebra_eval(
     q: &docql_calculus::Query,
     instance: &Instance,
     interp: &Interp,
+    ctx: docql_algebra::ExecCtx<'_>,
 ) -> Result<Vec<Vec<CalcValue>>, O2sqlError> {
-    docql_algebra::eval_algebraic(q, instance, interp).map_err(|e| O2sqlError::Eval(e.to_string()))
+    docql_algebra::eval_algebraic_with(q, instance, interp, ctx)
+        .map_err(|e| O2sqlError::Eval(e.to_string()))
 }

@@ -1,0 +1,499 @@
+//! The persistent path-extent index (§5's efficiency claim, made
+//! structural).
+//!
+//! Under the **restricted** path-variable semantics the abstract paths from
+//! a document class form a finite set ([`mod@crate::schema_paths`]), so their
+//! extents — `path → {(root, target)}` — can be materialised once at ingest
+//! time and consulted instead of re-walking the object graph on every
+//! evaluation. The index stores, for every schema path (interned to a
+//! [`PathId`] under a *class-blind* step normalisation, [`ExtStep`]), the
+//! values reached from each indexed document root, **in walk order**: a
+//! single depth-first traversal per document, guided by a trie over the
+//! indexed paths, appends targets exactly in the order the algebra's `Walk`
+//! operator would emit them. Query answers from the extent are therefore
+//! byte-identical to walked ones.
+//!
+//! The traversal uses the same step semantics as the walk itself
+//! ([`crate::select`]); the liberal semantics is *not* indexed (its path
+//! space is data-bounded — the paper's closing §5.4 remark), and plans over
+//! patterns the extent cannot answer fall back to walking at run time.
+
+use crate::schema_paths::{AbsStep, SchemaPathOptions};
+use crate::select::{attr_select, deref1, list_items};
+use docql_model::{Instance, Oid, Schema, Sym, Type, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One class-blind step of an indexed path.
+///
+/// Candidate instantiation is blind to the class a `→` step dereferences
+/// (two abstract paths differing only there produce identical concrete
+/// walks), so the index keys collapse [`AbsStep::Deref`] onto a single
+/// [`ExtStep::Deref`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ExtStep {
+    /// Select a tuple attribute or union marker.
+    Attr(Sym),
+    /// Fan out over the elements of a list (a tuple as heterogeneous list).
+    ListElem,
+    /// Fan out over the elements of a set.
+    SetElem,
+    /// Dereference an oid.
+    Deref,
+}
+
+impl From<&AbsStep> for ExtStep {
+    fn from(s: &AbsStep) -> ExtStep {
+        match s {
+            AbsStep::Attr(a) => ExtStep::Attr(*a),
+            AbsStep::ListElem => ExtStep::ListElem,
+            AbsStep::SetElem => ExtStep::SetElem,
+            AbsStep::Deref(_) => ExtStep::Deref,
+        }
+    }
+}
+
+impl std::fmt::Display for ExtStep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExtStep::Attr(a) => write!(f, ".{a}"),
+            ExtStep::ListElem => f.write_str("[*]"),
+            ExtStep::SetElem => f.write_str("{*}"),
+            ExtStep::Deref => f.write_str("->"),
+        }
+    }
+}
+
+/// Interned id of an indexed path (dense, assigned at construction).
+pub type PathId = u32;
+
+/// A node of the path trie: its interned id and its outgoing steps.
+#[derive(Debug, Clone)]
+struct TrieNode {
+    path_id: PathId,
+    children: Vec<(ExtStep, usize)>,
+}
+
+/// A path-extent index over one document class.
+///
+/// Built once per store from the schema (the path set and trie depend only
+/// on the schema), then filled per ingested document; incremental batch
+/// ingest builds shards with [`PathExtentIndex::empty_like`] and combines
+/// them with [`PathExtentIndex::merge`], mirroring the inverted text index.
+#[derive(Debug, Clone)]
+pub struct PathExtentIndex {
+    /// Interned class-blind paths → dense ids.
+    paths: BTreeMap<Vec<ExtStep>, PathId>,
+    /// Trie over the interned paths (node 0 is the ε root).
+    trie: Vec<TrieNode>,
+    /// Per path id: document root → targets, in walk (depth-first) order.
+    extents: Vec<BTreeMap<Oid, Vec<Value>>>,
+    /// The indexed document roots. An oid outside this set must fall back
+    /// to walking — absence of targets is only meaningful for members.
+    roots: BTreeSet<Oid>,
+}
+
+impl PathExtentIndex {
+    /// An index with no paths at all: every lookup misses, so every plan
+    /// falls back to walking. Used when the document class cannot be
+    /// determined from the schema.
+    pub fn empty() -> PathExtentIndex {
+        PathExtentIndex {
+            paths: BTreeMap::new(),
+            trie: vec![TrieNode {
+                path_id: 0,
+                children: Vec::new(),
+            }],
+            extents: Vec::new(),
+            roots: BTreeSet::new(),
+        }
+    }
+
+    /// An index over all restricted-semantics schema paths from `start`
+    /// (normally `Type::Class(document_class)`, so keys begin with a
+    /// dereference of the document root oid).
+    ///
+    /// Union types are enumerated both *arm-qualified* (an explicit
+    /// `.a1`-style marker attribute, as [`mod@crate::schema_paths`] reports them) and
+    /// *arm-transparent* (no marker step): explicit attribute steps in a
+    /// query select through union values transparently, so the class-blind
+    /// keys the compiler derives for such steps carry no marker — both
+    /// spellings must be interned for the lookup to hit.
+    pub fn for_start_type(schema: &Schema, start: &Type) -> PathExtentIndex {
+        let opts = SchemaPathOptions::default();
+        let mut keys: BTreeSet<Vec<ExtStep>> = BTreeSet::new();
+        collect_keys(
+            schema,
+            start,
+            &opts,
+            &mut BTreeSet::new(),
+            &mut Vec::new(),
+            &mut keys,
+        );
+        let mut index = PathExtentIndex::empty();
+        for key in keys {
+            index.intern(key);
+        }
+        index
+    }
+
+    /// An index for the documents of a store whose collection root `root`
+    /// holds a list of document objects. Falls back to an empty index (all
+    /// queries walk) when the root's type has another shape.
+    pub fn for_collection_root(schema: &Schema, root: Sym) -> PathExtentIndex {
+        match schema.root_type(root) {
+            Some(Type::List(elem)) => PathExtentIndex::for_start_type(schema, elem),
+            _ => PathExtentIndex::empty(),
+        }
+    }
+
+    /// Intern one path, creating trie nodes and an extent slot as needed.
+    fn intern(&mut self, key: Vec<ExtStep>) -> PathId {
+        if let Some(id) = self.paths.get(&key) {
+            return *id;
+        }
+        let mut node = 0usize;
+        for step in &key {
+            match self.trie[node]
+                .children
+                .iter()
+                .find(|(s, _)| s == step)
+                .map(|(_, n)| *n)
+            {
+                Some(next) => node = next,
+                None => {
+                    let next = self.trie.len();
+                    // Placeholder id; fixed below if this node ends a path.
+                    self.trie.push(TrieNode {
+                        path_id: PathId::MAX,
+                        children: Vec::new(),
+                    });
+                    self.trie[node].children.push((step.clone(), next));
+                    node = next;
+                }
+            }
+        }
+        let id = self.extents.len() as PathId;
+        self.extents.push(BTreeMap::new());
+        self.trie[node].path_id = id;
+        self.paths.insert(key, id);
+        id
+    }
+
+    /// An empty index sharing this one's path table and trie — the shard
+    /// primitive for parallel batch ingest (shards of the same prototype
+    /// agree on path ids, so [`PathExtentIndex::merge`] is a plain union).
+    pub fn empty_like(&self) -> PathExtentIndex {
+        PathExtentIndex {
+            paths: self.paths.clone(),
+            trie: self.trie.clone(),
+            extents: vec![BTreeMap::new(); self.extents.len()],
+            roots: BTreeSet::new(),
+        }
+    }
+
+    /// Merge a shard built with [`PathExtentIndex::empty_like`] from this
+    /// index (or one structurally identical). Roots indexed by both sides
+    /// keep the shard's targets.
+    pub fn merge(&mut self, shard: PathExtentIndex) {
+        debug_assert_eq!(self.paths, shard.paths, "merging foreign extent shard");
+        for (mine, theirs) in self.extents.iter_mut().zip(shard.extents) {
+            for (root, targets) in theirs {
+                mine.insert(root, targets);
+            }
+        }
+        self.roots.extend(shard.roots);
+    }
+
+    /// Index one document: a single depth-first traversal from `root`
+    /// guided by the path trie, appending each reached value to its path's
+    /// extent in walk order.
+    pub fn index_document(&mut self, instance: &Instance, root: Oid) {
+        self.roots.insert(root);
+        let start = Value::Oid(root);
+        self.visit(instance, &start, 0, root);
+    }
+
+    fn visit(&mut self, instance: &Instance, value: &Value, node: usize, root: Oid) {
+        let pid = self.trie[node].path_id;
+        if pid != PathId::MAX {
+            self.extents[pid as usize]
+                .entry(root)
+                .or_default()
+                .push(value.clone());
+        }
+        // Children are cloned out so the traversal can borrow `self`
+        // mutably; fan-out per node is small (schema attribute counts).
+        let children = self.trie[node].children.clone();
+        for (step, child) in children {
+            match step {
+                ExtStep::Attr(a) => {
+                    if let Some(v) = attr_select(instance, value, a) {
+                        self.visit(instance, &v, child, root);
+                    }
+                }
+                ExtStep::Deref => {
+                    if let Value::Oid(o) = value {
+                        if let Ok(v) = instance.value_of(*o) {
+                            let v = v.clone();
+                            self.visit(instance, &v, child, root);
+                        }
+                    }
+                }
+                ExtStep::ListElem => {
+                    for item in list_items(instance, value) {
+                        self.visit(instance, &item, child, root);
+                    }
+                }
+                ExtStep::SetElem => {
+                    if let Value::Set(items) = deref1(instance, value) {
+                        for item in items {
+                            self.visit(instance, &item, child, root);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drop all per-document data, keeping the path table and trie (for
+    /// full rebuilds after updates).
+    pub fn clear(&mut self) {
+        for e in &mut self.extents {
+            e.clear();
+        }
+        self.roots.clear();
+    }
+
+    /// The interned id of a class-blind path, if it is indexed.
+    pub fn lookup(&self, key: &[ExtStep]) -> Option<PathId> {
+        self.paths.get(key).copied()
+    }
+
+    /// Is `oid` an indexed document root? Only for members is an empty
+    /// target list an answer (rather than "not covered").
+    pub fn is_root_indexed(&self, oid: Oid) -> bool {
+        self.roots.contains(&oid)
+    }
+
+    /// The targets of `path` from `root`, in walk order. Empty when the
+    /// document reaches no value over this path.
+    pub fn targets(&self, path: PathId, root: Oid) -> &[Value] {
+        self.extents
+            .get(path as usize)
+            .and_then(|m| m.get(&root))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of indexed paths.
+    pub fn path_count(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Number of indexed document roots.
+    pub fn root_count(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Total number of materialised `(path, root, target)` entries.
+    pub fn target_count(&self) -> usize {
+        self.extents
+            .iter()
+            .map(|m| m.values().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+
+    /// The indexed paths, for diagnostics.
+    pub fn paths(&self) -> impl Iterator<Item = (&[ExtStep], PathId)> {
+        self.paths.iter().map(|(k, v)| (k.as_slice(), *v))
+    }
+}
+
+/// Enumerate the class-blind keys of every restricted-semantics schema path
+/// from `ty` — the [`mod@crate::schema_paths`] space, plus the arm-transparent variant
+/// at each union crossing (both recursions share the deref-once restriction
+/// and the length bound, so the space stays finite).
+fn collect_keys(
+    schema: &Schema,
+    ty: &Type,
+    opts: &SchemaPathOptions,
+    derefed: &mut BTreeSet<Sym>,
+    steps: &mut Vec<ExtStep>,
+    out: &mut BTreeSet<Vec<ExtStep>>,
+) {
+    out.insert(steps.clone());
+    if steps.len() >= opts.max_len {
+        return;
+    }
+    match ty {
+        Type::Tuple(fields) => {
+            for f in fields.clone() {
+                steps.push(ExtStep::Attr(f.name));
+                collect_keys(schema, &f.ty, opts, derefed, steps, out);
+                steps.pop();
+            }
+        }
+        Type::Union(fields) => {
+            for f in fields.clone() {
+                // Arm-qualified: the `.a1`-style marker attribute …
+                steps.push(ExtStep::Attr(f.name));
+                collect_keys(schema, &f.ty, opts, derefed, steps, out);
+                steps.pop();
+                // … and arm-transparent: attribute selection looks through
+                // union values, so compiled keys may skip the marker.
+                collect_keys(schema, &f.ty, opts, derefed, steps, out);
+            }
+        }
+        Type::List(elem) => {
+            steps.push(ExtStep::ListElem);
+            collect_keys(schema, &elem.clone(), opts, derefed, steps, out);
+            steps.pop();
+        }
+        Type::Set(elem) if opts.include_set_elements => {
+            steps.push(ExtStep::SetElem);
+            collect_keys(schema, &elem.clone(), opts, derefed, steps, out);
+            steps.pop();
+        }
+        Type::Class(c) => {
+            if derefed.contains(c) {
+                return;
+            }
+            let Some(sigma) = schema.class_type(*c) else {
+                return;
+            };
+            let c = *c;
+            derefed.insert(c);
+            steps.push(ExtStep::Deref);
+            collect_keys(schema, &sigma, opts, derefed, steps, out);
+            steps.pop();
+            // Deref-transparent variant: type-level attribute resolution
+            // looks through classes, so the compiler also derives keys with
+            // the `->` omitted. At run time such a step reaches nothing
+            // (attribute selection does not auto-deref), and the interned
+            // key's empty extent lets the scan skip the walk outright.
+            collect_keys(schema, &sigma, opts, derefed, steps, out);
+            derefed.remove(&c);
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use docql_model::{sym, ClassDef};
+    use std::sync::Arc;
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(
+            Schema::builder()
+                .class(ClassDef::new(
+                    "Section",
+                    Type::tuple([("title", Type::String)]),
+                ))
+                .class(ClassDef::new(
+                    "Doc",
+                    Type::tuple([
+                        ("title", Type::String),
+                        ("sections", Type::list(Type::class("Section"))),
+                    ]),
+                ))
+                .root("Docs", Type::list(Type::class("Doc")))
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn doc(inst: &mut Instance, tag: &str, sections: &[&str]) -> Oid {
+        let mut secs = Vec::new();
+        for s in sections {
+            let o = inst
+                .new_object("Section", Value::tuple([("title", Value::str(*s))]))
+                .unwrap();
+            secs.push(Value::Oid(o));
+        }
+        inst.new_object(
+            "Doc",
+            Value::tuple([("title", Value::str(tag)), ("sections", Value::List(secs))]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn extents_cover_schema_paths_in_walk_order() {
+        let schema = schema();
+        let mut inst = Instance::new(schema.clone());
+        let d = doc(&mut inst, "D", &["s1", "s2"]);
+        let mut ix = PathExtentIndex::for_collection_root(&schema, sym("Docs"));
+        ix.index_document(&inst, d);
+
+        assert!(ix.is_root_indexed(d));
+        assert_eq!(ix.root_count(), 1);
+        // ε reaches the root oid itself.
+        let eps = ix.lookup(&[]).unwrap();
+        assert_eq!(ix.targets(eps, d), &[Value::Oid(d)]);
+        // Section titles, in document order.
+        let key = vec![
+            ExtStep::Deref,
+            ExtStep::Attr(sym("sections")),
+            ExtStep::ListElem,
+            ExtStep::Deref,
+            ExtStep::Attr(sym("title")),
+        ];
+        let pid = ix.lookup(&key).unwrap();
+        assert_eq!(ix.targets(pid, d), &[Value::str("s1"), Value::str("s2")]);
+    }
+
+    #[test]
+    fn merge_of_shards_equals_serial_indexing() {
+        let schema = schema();
+        let mut inst = Instance::new(schema.clone());
+        let a = doc(&mut inst, "A", &["x"]);
+        let b = doc(&mut inst, "B", &["y", "z"]);
+
+        let mut serial = PathExtentIndex::for_collection_root(&schema, sym("Docs"));
+        serial.index_document(&inst, a);
+        serial.index_document(&inst, b);
+
+        let mut merged = PathExtentIndex::for_collection_root(&schema, sym("Docs"));
+        let mut s1 = merged.empty_like();
+        let mut s2 = merged.empty_like();
+        s1.index_document(&inst, a);
+        s2.index_document(&inst, b);
+        merged.merge(s1);
+        merged.merge(s2);
+
+        assert_eq!(serial.root_count(), merged.root_count());
+        assert_eq!(serial.target_count(), merged.target_count());
+        for (key, pid) in serial.paths() {
+            let mid = merged.lookup(key).unwrap();
+            for r in [a, b] {
+                assert_eq!(serial.targets(pid, r), merged.targets(mid, r));
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_root_shape_yields_inert_index() {
+        let schema = schema();
+        let ix = PathExtentIndex::for_collection_root(&schema, sym("nonexistent"));
+        assert_eq!(ix.path_count(), 0);
+        assert_eq!(ix.lookup(&[ExtStep::Deref]), None);
+        assert!(!ix.is_root_indexed(Oid(0)));
+    }
+
+    #[test]
+    fn clear_keeps_paths_drops_documents() {
+        let schema = schema();
+        let mut inst = Instance::new(schema.clone());
+        let d = doc(&mut inst, "D", &["s"]);
+        let mut ix = PathExtentIndex::for_collection_root(&schema, sym("Docs"));
+        ix.index_document(&inst, d);
+        assert!(ix.target_count() > 0);
+        ix.clear();
+        assert_eq!(ix.target_count(), 0);
+        assert_eq!(ix.root_count(), 0);
+        assert!(ix.path_count() > 0);
+        assert!(!ix.is_root_indexed(d));
+    }
+}

@@ -10,15 +10,19 @@
 //! with PATH/ATT/index variables ([`pattern`]).
 
 pub mod enumerate;
+pub mod extent;
 pub mod path;
 pub mod pattern;
 pub mod schema_paths;
+pub mod select;
 pub mod step;
 pub mod walk;
 
 pub use enumerate::{enumerate_paths, path_set, visit_paths, EnumOptions, PathSemantics};
+pub use extent::{ExtStep, PathExtentIndex, PathId};
 pub use path::ConcretePath;
 pub use pattern::{match_path, PatElem, PathBindings, VarId};
 pub use schema_paths::{paths_ending_with_attr, schema_paths, AbsPath, AbsStep, SchemaPathOptions};
+pub use select::{attr_select, deref1, index_select, list_items};
 pub use step::PathStep;
 pub use walk::{apply_step, apply_step_owned, resolve};

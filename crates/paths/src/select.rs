@@ -1,0 +1,118 @@
+//! Variant-based value selection shared by the algebra's `Walk` operator
+//! and the path-extent index.
+//!
+//! These helpers define the *concrete* semantics of one navigation step —
+//! attribute selection with implicit selectors through union markers,
+//! tuples viewed as heterogeneous lists, one-level dereferencing — and both
+//! the run-time walk (`docql-algebra`) and the ingest-time extent build
+//! ([`crate::extent`]) call them, so the two can never drift apart: an
+//! index-backed answer is the same function of the instance as a walked
+//! one.
+
+use docql_model::{Instance, Sym, Value};
+
+/// Attribute lookup with implicit selectors through union markers. No
+/// implicit dereferencing — walks mirror the calculus path-predicate
+/// semantics where `→` steps are explicit (candidate paths carry them).
+pub fn attr_select(_instance: &Instance, value: &Value, name: Sym) -> Option<Value> {
+    match value {
+        Value::Tuple(_) => value.attr(name).cloned(),
+        Value::Union(m, payload) => {
+            if *m == name {
+                Some(payload.as_ref().clone())
+            } else {
+                attr_select(_instance, payload, name)
+            }
+        }
+        _ => None,
+    }
+}
+
+/// The elements a list-unnest step fans out over: lists directly, tuples as
+/// heterogeneous lists of marked components (§4.2 rule 2). Union markers
+/// are looked through (implicit selectors); object boundaries are not
+/// (explicit `Deref` steps handle those).
+pub fn list_items(_instance: &Instance, value: &Value) -> Vec<Value> {
+    match value {
+        Value::List(items) => items.clone(),
+        // A tuple viewed as a heterogeneous list.
+        Value::Tuple(fields) => fields
+            .iter()
+            .map(|(n, v)| Value::Union(*n, Box::new(v.clone())))
+            .collect(),
+        Value::Union(_, payload) => list_items(_instance, payload),
+        _ => Vec::new(),
+    }
+}
+
+/// Positional selection: list index, or tuple component as a marked union
+/// value; union markers are looked through.
+pub fn index_select(_instance: &Instance, value: &Value, i: usize) -> Option<Value> {
+    match value {
+        Value::List(items) => items.get(i).cloned(),
+        Value::Tuple(fs) => fs
+            .get(i)
+            .map(|(n, v)| Value::Union(*n, Box::new(v.clone()))),
+        Value::Union(_, payload) => index_select(_instance, payload, i),
+        _ => None,
+    }
+}
+
+/// One level of dereferencing, looking through union markers; dangling oids
+/// collapse to [`Value::Nil`], non-oids pass through unchanged.
+pub fn deref1(instance: &Instance, value: &Value) -> Value {
+    match value {
+        Value::Oid(o) => instance.value_of(*o).cloned().unwrap_or(Value::Nil),
+        Value::Union(_, payload) => deref1(instance, payload),
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use docql_model::{sym, ClassDef, Schema, Type};
+    use std::sync::Arc;
+
+    fn inst() -> Instance {
+        let schema = Arc::new(
+            Schema::builder()
+                .class(ClassDef::new("C", Type::Any))
+                .build()
+                .unwrap(),
+        );
+        Instance::new(schema)
+    }
+
+    #[test]
+    fn attr_select_looks_through_unions_but_not_oids() {
+        let i = inst();
+        let t = Value::tuple([("a", Value::Int(1))]);
+        assert_eq!(attr_select(&i, &t, sym("a")), Some(Value::Int(1)));
+        let u = Value::union("m", t.clone());
+        assert_eq!(attr_select(&i, &u, sym("a")), Some(Value::Int(1)));
+        assert_eq!(attr_select(&i, &u, sym("m")), Some(t));
+        assert_eq!(attr_select(&i, &Value::Int(3), sym("a")), None);
+    }
+
+    #[test]
+    fn tuples_are_heterogeneous_lists() {
+        let i = inst();
+        let t = Value::tuple([("a", Value::Int(1)), ("b", Value::Int(2))]);
+        let items = list_items(&i, &t);
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0], Value::union("a", Value::Int(1)));
+        assert_eq!(
+            index_select(&i, &t, 1),
+            Some(Value::union("b", Value::Int(2)))
+        );
+    }
+
+    #[test]
+    fn deref1_handles_dangling_and_plain_values() {
+        let mut i = inst();
+        let o = i.new_object("C", Value::Int(7)).unwrap();
+        assert_eq!(deref1(&i, &Value::Oid(o)), Value::Int(7));
+        assert_eq!(deref1(&i, &Value::Int(5)), Value::Int(5));
+    }
+}

@@ -1,21 +1,23 @@
-// Property-based suite, disabled while the build is offline: `proptest`
-// cannot be fetched in this container, so the whole file is compiled out
-// (`cfg(any())` is never true). Re-enable by removing this gate and
-// restoring the `proptest` dev-dependency.
-#![cfg(any())]
-
 //! Property tests for the path machinery: enumeration coherence (every
 //! enumerated pair re-resolves to its value), semantics containment
 //! (restricted ⊆ liberal on acyclic data), projection/concat laws, and
 //! pattern-match soundness.
+//!
+//! Originally written against an external property-testing library and
+//! gated off; now running on the in-repo `docql-prop` harness.
 
 use docql_model::{ClassDef, Instance, Schema, Value};
 use docql_paths::{
     enumerate_paths, match_path, resolve, ConcretePath, EnumOptions, PatElem, PathSemantics,
     PathStep,
 };
-use proptest::prelude::*;
+use docql_prop::{
+    check, element, i64_any, just, one_of, prop_assert, prop_assert_eq, recursive, string_of,
+    usize_in, vec_of, zip, Gen,
+};
 use std::sync::Arc;
+
+const CASES: usize = 256;
 
 fn empty_instance() -> Instance {
     let schema = Arc::new(
@@ -27,74 +29,91 @@ fn empty_instance() -> Instance {
     Instance::new(schema)
 }
 
-fn attr_name() -> impl Strategy<Value = String> {
-    prop_oneof![
-        Just("a".to_string()),
-        Just("b".to_string()),
-        Just("title".to_string()),
-    ]
+fn attr_name() -> Gen<String> {
+    element(["a", "b", "title"].iter().map(|s| s.to_string()).collect())
+}
+
+/// Deduplicate attribute names, keeping first occurrence.
+fn dedup_pairs(fs: &[(String, Value)]) -> Vec<(String, Value)> {
+    let mut seen = Vec::new();
+    let mut out = Vec::new();
+    for (n, v) in fs {
+        if !seen.contains(n) {
+            seen.push(n.clone());
+            out.push((n.clone(), v.clone()));
+        }
+    }
+    out
 }
 
 /// Acyclic values (no oids — object graphs are tested separately).
-fn arb_value() -> impl Strategy<Value = Value> {
-    let leaf = prop_oneof![
-        any::<i64>().prop_map(Value::Int),
-        "[a-z]{0,4}".prop_map(Value::str),
-        Just(Value::Nil),
-    ];
-    leaf.prop_recursive(3, 20, 3, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 0..3).prop_map(Value::list),
-            prop::collection::vec(inner.clone(), 0..3).prop_map(Value::set),
-            prop::collection::vec((attr_name(), inner.clone()), 0..3).prop_map(|fs| {
-                let mut seen = Vec::new();
-                let mut out = Vec::new();
-                for (n, v) in fs {
-                    if !seen.contains(&n) {
-                        seen.push(n.clone());
-                        out.push((n, v));
-                    }
-                }
-                Value::tuple(out)
-            }),
-            (attr_name(), inner).prop_map(|(n, v)| Value::union(n, v)),
-        ]
+fn arb_value() -> Gen<Value> {
+    let leaf = one_of(vec![
+        i64_any().map(|i| Value::Int(*i)),
+        string_of("abcdefghijklmnopqrstuvwxyz", 0, 4).map(|s| Value::str(s.clone())),
+        just(Value::Nil),
+    ]);
+    recursive(leaf, 3, |inner| {
+        one_of(vec![
+            vec_of(inner.clone(), 0..3).map(|vs| Value::list(vs.clone())),
+            vec_of(inner.clone(), 0..3).map(|vs| Value::set(vs.clone())),
+            vec_of(zip(attr_name(), inner.clone()), 0..3).map(|fs| Value::tuple(dedup_pairs(fs))),
+            zip(attr_name(), inner.clone()).map(|(n, v)| Value::union(n.clone(), v.clone())),
+        ])
     })
 }
 
-proptest! {
-    #[test]
-    fn enumeration_is_coherent(v in arb_value()) {
+#[test]
+fn enumeration_is_coherent() {
+    check("enumeration_is_coherent", CASES, &arb_value(), |v| {
         // Every (path, value) pair from enumeration re-resolves exactly.
         let inst = empty_instance();
         let opts = EnumOptions::default();
-        for (path, reached) in enumerate_paths(&inst, &v, &opts) {
-            let resolved = resolve(&inst, &v, &path);
-            prop_assert_eq!(resolved.as_ref(), Some(&reached),
-                "path {} of {}", path, v);
+        for (path, reached) in enumerate_paths(&inst, v, &opts) {
+            let resolved = resolve(&inst, v, &path);
+            prop_assert_eq!(resolved.as_ref(), Some(&reached), "path {path} of {v}");
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn restricted_subset_of_liberal_on_acyclic(v in arb_value()) {
-        let inst = empty_instance();
-        let restricted: std::collections::BTreeSet<ConcretePath> =
-            enumerate_paths(&inst, &v, &EnumOptions::default())
-                .into_iter().map(|(p, _)| p).collect();
-        let liberal: std::collections::BTreeSet<ConcretePath> =
-            enumerate_paths(&inst, &v, &EnumOptions {
-                semantics: PathSemantics::Liberal,
-                ..EnumOptions::default()
-            }).into_iter().map(|(p, _)| p).collect();
-        prop_assert!(restricted.is_subset(&liberal));
-        // No oids at all ⇒ identical.
-        prop_assert_eq!(restricted, liberal);
-    }
+#[test]
+fn restricted_subset_of_liberal_on_acyclic() {
+    check(
+        "restricted_subset_of_liberal_on_acyclic",
+        CASES,
+        &arb_value(),
+        |v| {
+            let inst = empty_instance();
+            let restricted: std::collections::BTreeSet<ConcretePath> =
+                enumerate_paths(&inst, v, &EnumOptions::default())
+                    .into_iter()
+                    .map(|(p, _)| p)
+                    .collect();
+            let liberal: std::collections::BTreeSet<ConcretePath> = enumerate_paths(
+                &inst,
+                v,
+                &EnumOptions {
+                    semantics: PathSemantics::Liberal,
+                    ..EnumOptions::default()
+                },
+            )
+            .into_iter()
+            .map(|(p, _)| p)
+            .collect();
+            prop_assert!(restricted.is_subset(&liberal));
+            // No oids at all ⇒ identical.
+            prop_assert_eq!(restricted, liberal);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn projection_laws(v in arb_value()) {
+#[test]
+fn projection_laws() {
+    check("projection_laws", CASES, &arb_value(), |v| {
         let inst = empty_instance();
-        for (path, _) in enumerate_paths(&inst, &v, &EnumOptions::default()) {
+        for (path, _) in enumerate_paths(&inst, v, &EnumOptions::default()) {
             let n = path.length();
             // Full projection is identity.
             if n > 0 {
@@ -102,66 +121,101 @@ proptest! {
             }
             // Split-concat round trip.
             for cut in 0..=n {
-                let head = if cut == 0 { ConcretePath::empty() } else { path.project(0, cut - 1) };
-                let tail = if cut >= n { ConcretePath::empty() } else { path.project(cut, n.saturating_sub(1)) };
+                let head = if cut == 0 {
+                    ConcretePath::empty()
+                } else {
+                    path.project(0, cut - 1)
+                };
+                let tail = if cut >= n {
+                    ConcretePath::empty()
+                } else {
+                    path.project(cut, n.saturating_sub(1))
+                };
                 prop_assert_eq!(head.concat(&tail), path.clone());
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn pattern_match_bindings_reassemble(v in arb_value()) {
-        // P .last-step matches iff splitting off the final step works.
-        let inst = empty_instance();
-        for (path, _) in enumerate_paths(&inst, &v, &EnumOptions::default()) {
-            let Some(last) = path.last().cloned() else { continue };
-            let pattern = vec![PatElem::PathVar(0), PatElem::Lit(last.clone())];
-            let ms = match_path(&path, &pattern);
-            prop_assert!(!ms.is_empty(), "{} should match P·{}", path, last);
-            for m in ms {
-                let mut rebuilt = m.paths[&0].clone();
-                rebuilt.push(last.clone());
-                prop_assert_eq!(&rebuilt, &path);
+#[test]
+fn pattern_match_bindings_reassemble() {
+    check(
+        "pattern_match_bindings_reassemble",
+        CASES,
+        &arb_value(),
+        |v| {
+            // P .last-step matches iff splitting off the final step works.
+            let inst = empty_instance();
+            for (path, _) in enumerate_paths(&inst, v, &EnumOptions::default()) {
+                let Some(last) = path.last().cloned() else {
+                    continue;
+                };
+                let pattern = vec![PatElem::PathVar(0), PatElem::Lit(last.clone())];
+                let ms = match_path(&path, &pattern);
+                prop_assert!(!ms.is_empty(), "{path} should match P·{last}");
+                for m in ms {
+                    let mut rebuilt = m.paths[&0].clone();
+                    rebuilt.push(last.clone());
+                    prop_assert_eq!(&rebuilt, &path);
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn prefixes_of_enumerated_paths_are_enumerated(v in arb_value()) {
-        let inst = empty_instance();
-        let all: std::collections::BTreeSet<ConcretePath> =
-            enumerate_paths(&inst, &v, &EnumOptions::default())
-                .into_iter().map(|(p, _)| p).collect();
-        for p in &all {
-            let n = p.length();
-            if n > 0 {
-                let prefix = p.project(0, n.saturating_sub(2));
-                let prefix = if n == 1 { ConcretePath::empty() } else { prefix };
-                prop_assert!(all.contains(&prefix),
-                    "prefix {} of {} missing", prefix, p);
+#[test]
+fn prefixes_of_enumerated_paths_are_enumerated() {
+    check(
+        "prefixes_of_enumerated_paths_are_enumerated",
+        CASES,
+        &arb_value(),
+        |v| {
+            let inst = empty_instance();
+            let all: std::collections::BTreeSet<ConcretePath> =
+                enumerate_paths(&inst, v, &EnumOptions::default())
+                    .into_iter()
+                    .map(|(p, _)| p)
+                    .collect();
+            for p in &all {
+                let n = p.length();
+                if n > 0 {
+                    let prefix = p.project(0, n.saturating_sub(2));
+                    let prefix = if n == 1 {
+                        ConcretePath::empty()
+                    } else {
+                        prefix
+                    };
+                    prop_assert!(all.contains(&prefix), "prefix {prefix} of {p} missing");
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn resolve_of_garbage_path_is_none_or_consistent(
-        v in arb_value(),
-        steps in prop::collection::vec(
-            prop_oneof![
-                attr_name().prop_map(|n| PathStep::Attr(docql_model::sym(&n))),
-                (0usize..3).prop_map(PathStep::Index),
-                Just(PathStep::Deref),
-            ],
-            0..4,
-        ),
-    ) {
-        let inst = empty_instance();
-        let path = ConcretePath::from_steps(steps);
-        // Must not panic; if it resolves, resolving again is identical.
-        let r1 = resolve(&inst, &v, &path);
-        let r2 = resolve(&inst, &v, &path);
-        prop_assert_eq!(r1, r2);
-    }
+#[test]
+fn resolve_of_garbage_path_is_none_or_consistent() {
+    let arb_step = one_of(vec![
+        attr_name().map(|n| PathStep::Attr(docql_model::sym(n))),
+        usize_in(0..3).map(|i| PathStep::Index(*i)),
+        just(PathStep::Deref),
+    ]);
+    check(
+        "resolve_of_garbage_path_is_none_or_consistent",
+        CASES,
+        &zip(arb_value(), vec_of(arb_step, 0..4)),
+        |(v, steps)| {
+            let inst = empty_instance();
+            let path = ConcretePath::from_steps(steps.clone());
+            // Must not panic; if it resolves, resolving again is identical.
+            let r1 = resolve(&inst, v, &path);
+            let r2 = resolve(&inst, v, &path);
+            prop_assert_eq!(r1, r2);
+            Ok(())
+        },
+    );
 }
 
 /// Cyclic object graphs: liberal terminates and strictly extends restricted.

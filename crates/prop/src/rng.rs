@@ -1,0 +1,69 @@
+//! A tiny seeded PRNG (SplitMix64), mirroring `docql_corpus`'s generator so
+//! property tests are deterministic without an external dependency — the
+//! container builds offline, so the harness cannot pull `proptest` from
+//! crates.io. (The two copies exist because a `corpus → prop` dependency
+//! would close an awkward dev-dependency cycle: `model` dev-depends on
+//! `prop`, and `corpus` transitively depends on `model`.)
+
+/// Deterministic pseudo-random generator: same seed → same sequence.
+#[derive(Debug, Clone)]
+pub struct SeededRng {
+    state: u64,
+}
+
+impl SeededRng {
+    /// A generator seeded from a `u64` (mirrors `rand`'s `seed_from_u64`).
+    pub fn seed_from_u64(seed: u64) -> SeededRng {
+        SeededRng { state: seed }
+    }
+
+    /// The next 64 random bits (SplitMix64 step).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `[range.start, range.end)`. The range must be
+    /// non-empty. (Modulo bias is negligible for the small ranges property
+    /// generators use.)
+    pub fn gen_range(&mut self, range: std::ops::Range<usize>) -> usize {
+        debug_assert!(range.start < range.end, "gen_range: empty range");
+        let span = (range.end - range.start) as u64;
+        range.start + (self.next_u64() % span) as usize
+    }
+
+    /// `true` with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        // 53 high bits → uniform f64 in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SeededRng::seed_from_u64(42);
+        let mut b = SeededRng::seed_from_u64(42);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        let mut c = SeededRng::seed_from_u64(43);
+        assert_ne!(xs[0], c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = SeededRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(3..9);
+            assert!((3..9).contains(&v));
+        }
+    }
+}

@@ -1,147 +1,178 @@
-// Property-based suite, disabled while the build is offline: `proptest`
-// cannot be fetched in this container, so the whole file is compiled out
-// (`cfg(any())` is never true). Re-enable by removing this gate and
-// restoring the `proptest` dev-dependency.
-#![cfg(any())]
-
 //! Property tests for the SGML layer: content-model engines agree
 //! (derivatives vs backtracking matcher), generated documents round-trip
 //! through serialisation, and the parser is robust on mangled inputs.
+//!
+//! Originally written against an external property-testing library and
+//! gated off; now running on the in-repo `docql-prop` harness.
 
+use docql_prop::{check, element, one_of, prop_assert_eq, recursive, string_of, vec_of, zip, Gen};
 use docql_sgml::content::{compile, expand_and, match_children, Label};
 use docql_sgml::{ContentExpr, Occurrence};
-use proptest::prelude::*;
+
+const CASES: usize = 128;
 
 const ELEMS: &[&str] = &["a", "b", "c"];
 
-fn arb_expr() -> impl Strategy<Value = ContentExpr> {
-    let leaf = prop_oneof![(0..ELEMS.len()).prop_map(|i| ContentExpr::Ref(ELEMS[i].to_string())),];
-    leaf.prop_recursive(3, 12, 3, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 1..3).prop_map(ContentExpr::Seq),
-            prop::collection::vec(inner.clone(), 1..3).prop_map(ContentExpr::Choice),
-            prop::collection::vec(inner.clone(), 2..3).prop_map(ContentExpr::And),
-            (
-                inner.clone(),
-                prop_oneof![
-                    Just(Occurrence::Opt),
-                    Just(Occurrence::Plus),
-                    Just(Occurrence::Star)
-                ]
-            )
-                .prop_map(|(e, o)| ContentExpr::Occur(Box::new(e), o)),
-        ]
+fn arb_expr() -> Gen<ContentExpr> {
+    let leaf = element(
+        ELEMS
+            .iter()
+            .map(|e| ContentExpr::Ref(e.to_string()))
+            .collect(),
+    );
+    recursive(leaf, 3, |inner| {
+        let occ = element(vec![Occurrence::Opt, Occurrence::Plus, Occurrence::Star]);
+        one_of(vec![
+            vec_of(inner.clone(), 1..3).map(|es| ContentExpr::Seq(es.clone())),
+            vec_of(inner.clone(), 1..3).map(|es| ContentExpr::Choice(es.clone())),
+            vec_of(inner.clone(), 2..3).map(|es| ContentExpr::And(es.clone())),
+            zip(inner.clone(), occ).map(|(e, o)| ContentExpr::Occur(Box::new(e.clone()), *o)),
+        ])
     })
 }
 
-fn arb_labels() -> impl Strategy<Value = Vec<Label>> {
-    prop::collection::vec(
-        (0..ELEMS.len()).prop_map(|i| Label::Elem(ELEMS[i].to_string())),
+fn arb_labels() -> Gen<Vec<Label>> {
+    vec_of(
+        element(ELEMS.iter().map(|e| Label::Elem(e.to_string())).collect()),
         0..6,
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn derivative_and_matcher_agree(expr in arb_expr(), labels in arb_labels()) {
-        let expanded = expand_and(&expr).unwrap();
-        // Derivative acceptance.
-        let rx = compile(
-            &docql_sgml::ContentModel::Model(expr.clone()),
-            &[],
-        ).unwrap();
-        let mut state = rx;
-        let mut rejected = false;
-        for l in &labels {
-            let next = state.derive(l);
-            if next.is_fail() {
-                rejected = true;
-                break;
+#[test]
+fn derivative_and_matcher_agree() {
+    check(
+        "derivative_and_matcher_agree",
+        CASES,
+        &zip(arb_expr(), arb_labels()),
+        |(expr, labels)| {
+            let expanded = expand_and(expr).unwrap();
+            // Derivative acceptance.
+            let rx = compile(&docql_sgml::ContentModel::Model(expr.clone()), &[]).unwrap();
+            let mut state = rx;
+            let mut rejected = false;
+            for l in labels {
+                let next = state.derive(l);
+                if next.is_fail() {
+                    rejected = true;
+                    break;
+                }
+                state = next;
             }
-            state = next;
-        }
-        let deriv_accepts = !rejected && state.nullable();
-        // Backtracking matcher.
-        let match_accepts = match_children(&expanded, &labels).is_some();
-        prop_assert_eq!(deriv_accepts, match_accepts,
-            "engines disagree on {:?} for {:?}", labels, expr);
-    }
+            let deriv_accepts = !rejected && state.nullable();
+            // Backtracking matcher.
+            let match_accepts = match_children(&expanded, labels).is_some();
+            prop_assert_eq!(
+                deriv_accepts,
+                match_accepts,
+                "engines disagree on {labels:?} for {expr:?}"
+            );
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn match_tree_covers_all_children_in_order(expr in arb_expr(), labels in arb_labels()) {
-        let expanded = expand_and(&expr).unwrap();
-        if let Some(tree) = match_children(&expanded, &labels) {
-            let mut idx = Vec::new();
-            tree.child_indices(&mut idx);
-            prop_assert_eq!(idx, (0..labels.len()).collect::<Vec<_>>());
-        }
-    }
+#[test]
+fn match_tree_covers_all_children_in_order() {
+    check(
+        "match_tree_covers_all_children_in_order",
+        CASES,
+        &zip(arb_expr(), arb_labels()),
+        |(expr, labels)| {
+            let expanded = expand_and(expr).unwrap();
+            if let Some(tree) = match_children(&expanded, labels) {
+                let mut idx = Vec::new();
+                tree.child_indices(&mut idx);
+                prop_assert_eq!(idx, (0..labels.len()).collect::<Vec<_>>());
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn parser_never_panics_on_mangled_dtd(src in "[<>!A-Za-z(),|&?+* \\-\\[\\]\"#]{0,80}") {
-        let _ = docql_sgml::Dtd::parse(&src);
-    }
+#[test]
+fn parser_never_panics_on_mangled_dtd() {
+    let charset = "<>!ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz(),|&?+* -[]\"#";
+    check(
+        "parser_never_panics_on_mangled_dtd",
+        CASES,
+        &string_of(charset, 0, 80),
+        |src| {
+            let _ = docql_sgml::Dtd::parse(src);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn doc_parser_never_panics_on_mangled_input(src in "[<>/a-z \"=]{0,60}") {
-        let dtd = docql_sgml::Dtd::parse(
-            "<!DOCTYPE a [ <!ELEMENT a - - (b*)> <!ELEMENT b - O (#PCDATA)> ]>",
-        ).unwrap();
-        let parser = docql_sgml::DocParser::new(&dtd).unwrap();
-        let _ = parser.parse(&src);
-    }
+#[test]
+fn doc_parser_never_panics_on_mangled_input() {
+    check(
+        "doc_parser_never_panics_on_mangled_input",
+        CASES,
+        &string_of("<>/abcdefghijklmnopqrstuvwxyz \"=", 0, 60),
+        |src| {
+            let dtd = docql_sgml::Dtd::parse(
+                "<!DOCTYPE a [ <!ELEMENT a - - (b*)> <!ELEMENT b - O (#PCDATA)> ]>",
+            )
+            .unwrap();
+            let parser = docql_sgml::DocParser::new(&dtd).unwrap();
+            let _ = parser.parse(src);
+            Ok(())
+        },
+    );
 }
 
 mod corpus_round_trip {
     use docql_corpus::{generate_article, generate_letter, ArticleParams, LetterParams};
+    use docql_prop::{bool_any, check, prop_assert, prop_assert_eq, usize_in, zip, zip3};
     use docql_sgml::{validate, DocParser, Dtd};
-    use proptest::prelude::*;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
+    const CASES: usize = 24;
 
-        #[test]
-        fn article_serialisation_round_trips(
-            seed in 0u64..1000,
-            sections in 1usize..8,
-            subsections in 0usize..3,
-        ) {
-            let dtd = Dtd::parse(docql_sgml::fixtures::ARTICLE_DTD).unwrap();
-            let parser = DocParser::new(&dtd).unwrap();
-            let doc = generate_article(&ArticleParams {
-                seed,
-                sections,
-                subsections,
-                ..ArticleParams::default()
-            });
-            prop_assert!(validate(&doc, &dtd).is_empty());
-            let text = doc.to_sgml();
-            let reparsed = parser.parse(&text).unwrap();
-            prop_assert!(validate(&reparsed, &dtd).is_empty());
-            // Structure is preserved exactly (text normalisation aside).
-            prop_assert_eq!(
-                reparsed.root.subtree_size(),
-                doc.root.subtree_size()
-            );
-            prop_assert_eq!(
-                reparsed.root.text_content(),
-                doc.root.text_content()
-            );
-        }
+    #[test]
+    fn article_serialisation_round_trips() {
+        check(
+            "article_serialisation_round_trips",
+            CASES,
+            &zip3(usize_in(0..1000), usize_in(1..8), usize_in(0..3)),
+            |(seed, sections, subsections)| {
+                let dtd = Dtd::parse(docql_sgml::fixtures::ARTICLE_DTD).unwrap();
+                let parser = DocParser::new(&dtd).unwrap();
+                let doc = generate_article(&ArticleParams {
+                    seed: *seed as u64,
+                    sections: *sections,
+                    subsections: *subsections,
+                    ..ArticleParams::default()
+                });
+                prop_assert!(validate(&doc, &dtd).is_empty());
+                let text = doc.to_sgml();
+                let reparsed = parser.parse(&text).unwrap();
+                prop_assert!(validate(&reparsed, &dtd).is_empty());
+                // Structure is preserved exactly (text normalisation aside).
+                prop_assert_eq!(reparsed.root.subtree_size(), doc.root.subtree_size());
+                prop_assert_eq!(reparsed.root.text_content(), doc.root.text_content());
+                Ok(())
+            },
+        );
+    }
 
-        #[test]
-        fn letter_serialisation_round_trips(seed in 0u64..1000, sender_first in any::<bool>()) {
-            let dtd = Dtd::parse(docql_sgml::fixtures::LETTER_DTD).unwrap();
-            let parser = DocParser::new(&dtd).unwrap();
-            let doc = generate_letter(&LetterParams {
-                seed,
-                sender_first: Some(sender_first),
-                paras: 2,
-            });
-            let reparsed = parser.parse(&doc.to_sgml()).unwrap();
-            prop_assert_eq!(&reparsed, &doc);
-        }
+    #[test]
+    fn letter_serialisation_round_trips() {
+        check(
+            "letter_serialisation_round_trips",
+            CASES,
+            &zip(usize_in(0..1000), bool_any()),
+            |(seed, sender_first)| {
+                let dtd = Dtd::parse(docql_sgml::fixtures::LETTER_DTD).unwrap();
+                let parser = DocParser::new(&dtd).unwrap();
+                let doc = generate_letter(&LetterParams {
+                    seed: *seed as u64,
+                    sender_first: Some(*sender_first),
+                    paras: 2,
+                });
+                let reparsed = parser.parse(&doc.to_sgml()).unwrap();
+                prop_assert_eq!(&reparsed, &doc);
+                Ok(())
+            },
+        );
     }
 }

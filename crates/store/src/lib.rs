@@ -84,6 +84,14 @@ pub struct DocStore {
     interp: Interp,
     text_of: Arc<RwLock<HashMap<Oid, String>>>,
     index: InvertedIndex,
+    /// Path-extent index over the document class (§5's efficiency claim):
+    /// per schema path, the values each document reaches — maintained at
+    /// ingest time, consulted by `IndexPathScan` operators in algebraic
+    /// plans.
+    extents: docql_paths::PathExtentIndex,
+    /// Whether engines attach the extent index (on by default; switched off
+    /// to force walking, e.g. for differential tests and benches).
+    use_extents: bool,
     /// Root objects of ingested documents, in ingestion order.
     documents: Vec<Oid>,
     /// Compiled-plan cache shared by all query paths (hit = skip lex,
@@ -141,6 +149,8 @@ impl DocStore {
                 other => Err(InterpError(format!("text: bad argument {other:?}"))),
             },
         );
+        let extents =
+            docql_paths::PathExtentIndex::for_collection_root(&mapping.schema, mapping.root);
         Ok(DocStore {
             dtd,
             mapping,
@@ -148,6 +158,8 @@ impl DocStore {
             interp,
             text_of,
             index: InvertedIndex::new(),
+            extents,
+            use_extents: true,
             documents: Vec::new(),
             plan_cache: PlanCache::default(),
         })
@@ -167,6 +179,7 @@ impl DocStore {
         let loaded = load_document(&self.mapping, &mut self.instance, doc)?;
         let root_text = self.register_loaded(&loaded);
         self.index.add(u64::from(loaded.root.0), &root_text);
+        self.extents.index_document(&self.instance, loaded.root);
         self.documents.push(loaded.root);
         Ok(loaded.root)
     }
@@ -277,6 +290,46 @@ impl DocStore {
                 self.index.merge(shard);
             }
         }
+
+        // Phase 4: sharded path-extent construction over the freshly loaded
+        // documents, mirroring the inverted-index sharding: each worker
+        // fills an empty clone of the extent's path table, then the shards
+        // are merged (documents are disjoint, so merging is a plain union).
+        if workers == 1 {
+            for &root in &roots {
+                self.extents.index_document(&self.instance, root);
+            }
+        } else {
+            let echunk = roots.len().div_ceil(workers);
+            let instance = &self.instance;
+            let prototype = &self.extents;
+            let shards: Result<Vec<docql_paths::PathExtentIndex>, StoreError> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = roots
+                        .chunks(echunk)
+                        .map(|slice| {
+                            scope.spawn(move || {
+                                let mut shard = prototype.empty_like();
+                                for &root in slice {
+                                    shard.index_document(instance, root);
+                                }
+                                shard
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| {
+                            h.join().map_err(|_| {
+                                StoreError::Other("ingest extent worker panicked".into())
+                            })
+                        })
+                        .collect()
+                });
+            for shard in shards? {
+                self.extents.merge(shard);
+            }
+        }
         self.documents.extend(roots.iter().copied());
         Ok(roots)
     }
@@ -352,8 +405,32 @@ impl DocStore {
     }
 
     /// An engine over this store (interpreter mode; set `.mode` to switch).
+    /// The path-extent index rides along when enabled, so algebraic-mode
+    /// plans may answer path atoms from precomputed extents.
     pub fn engine(&self) -> Engine<'_> {
-        Engine::new(&self.instance, &self.interp)
+        let mut e = Engine::new(&self.instance, &self.interp);
+        if self.use_extents {
+            e.extents = Some(&self.extents);
+        }
+        e
+    }
+
+    /// Enable or disable the path-extent index for subsequent queries
+    /// (enabled by default). Disabling forces every algebraic plan to walk
+    /// — the differential-testing and bench baseline. Cached plans are
+    /// unaffected: the walk-vs-extent choice is made at evaluation time.
+    pub fn set_path_extents_enabled(&mut self, enabled: bool) {
+        self.use_extents = enabled;
+    }
+
+    /// Is the path-extent index consulted by queries?
+    pub fn path_extents_enabled(&self) -> bool {
+        self.use_extents
+    }
+
+    /// The path-extent index (for diagnostics and tests).
+    pub fn path_extents(&self) -> &docql_paths::PathExtentIndex {
+        &self.extents
     }
 
     /// Index-accelerated document search with exact `contains` (substring)
@@ -434,6 +511,12 @@ impl DocStore {
             self.index.add(u64::from(root.0), &text);
         }
         *write_table(&self.text_of) = table;
+        // Values may have changed arbitrarily — rebuild the path extents
+        // from scratch, like the text index above.
+        self.extents.clear();
+        for &root in &self.documents {
+            self.extents.index_document(&self.instance, root);
+        }
     }
 
     /// The text of an object = the texts of its element children in shape
@@ -581,7 +664,7 @@ impl SharedStore {
     }
 
     /// A read guard on the store (many may be live at once). Poisoning is
-    /// recovered, not propagated — see [`read_table`]'s rationale; all
+    /// recovered, not propagated — see `read_table`'s rationale; all
     /// `DocStore` mutators keep the store valid at every `?` return.
     pub fn read(&self) -> RwLockReadGuard<'_, DocStore> {
         self.inner.read().unwrap_or_else(PoisonError::into_inner)

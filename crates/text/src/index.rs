@@ -258,6 +258,12 @@ impl InvertedIndex {
     }
 
     /// Documents where `w1` and `w2` occur within `k` words of each other.
+    ///
+    /// `k` counts *intervening* words (adjacent occurrences are at distance
+    /// 0, i.e. position difference 1 ⇒ accepted for every `k`), the two
+    /// occurrences must be distinct tokens, and matching is
+    /// case-insensitive — exactly the `NearUnit::Words` semantics of
+    /// [`mod@crate::near`], as pinned by `tests/near_parity.rs`.
     pub fn near_docs(&self, w1: &str, w2: &str, k: u32) -> BTreeSet<DocId> {
         let d1 = self.docs_with_word(w1);
         let d2 = self.docs_with_word(w2);

@@ -15,6 +15,16 @@ pub enum NearUnit {
 
 /// Are `w1` and `w2` both present in `text` with at most `k` units between
 /// them (in either order)? Word comparison is case-insensitive.
+///
+/// Pinned semantics (shared with [`crate::InvertedIndex::near_docs`], which
+/// answers the same question per document for `NearUnit::Words`):
+///
+/// * `k` counts *intervening* units — adjacent words are at word-distance 0;
+/// * the two matches must be distinct tokens, so a word is never near
+///   itself, but two separate occurrences of the same word do count;
+/// * the predicate is symmetric in `w1`/`w2`.
+///
+/// `tests/near_parity.rs` holds both implementations to this contract.
 pub fn near(text: &str, w1: &str, w2: &str, k: usize, unit: NearUnit) -> bool {
     let toks = tokenize(text);
     let n1 = normalize(w1);

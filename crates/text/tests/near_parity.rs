@@ -1,0 +1,130 @@
+//! Regression + property tests pinning the agreed `near` semantics across
+//! the two implementations:
+//!
+//! * `docql_text::near` (direct, on one text) with `NearUnit::Words`
+//! * `InvertedIndex::near_docs` (index-backed, across documents)
+//!
+//! Agreed semantics, pinned here:
+//! * distance counts *intervening* words — adjacent words are at distance
+//!   0, and `near_docs` accepts a position difference of `≤ k + 1`;
+//! * the two occurrences must be distinct tokens (a single occurrence is
+//!   never "near itself"), but two occurrences of the *same* word count;
+//! * comparison is case-insensitive via `normalize`;
+//! * the predicate is symmetric in its two word arguments.
+
+use docql_prop::{check, prop_assert_eq, string_of, usize_in, vec_of, zip, zip3};
+use docql_text::{near, InvertedIndex, NearUnit};
+
+const CASES: usize = 256;
+
+#[test]
+fn index_membership_matches_direct_near_on_random_texts() {
+    // Words over a tiny alphabet so collisions (and repeats) are common.
+    let arb_text = vec_of(string_of("abc", 1, 3), 0..10).map(|ws| ws.join(" "));
+    check(
+        "index_membership_matches_direct_near_on_random_texts",
+        CASES,
+        &zip(
+            arb_text,
+            zip3(
+                string_of("abc", 1, 2),
+                string_of("abc", 1, 2),
+                usize_in(0..4),
+            ),
+        ),
+        |(text, (w1, w2, k))| {
+            let mut ix = InvertedIndex::new();
+            ix.add(1, text);
+            let direct = near(text, w1, w2, *k, NearUnit::Words);
+            let indexed = ix.near_docs(w1, w2, *k as u32).contains(&1);
+            prop_assert_eq!(
+                direct,
+                indexed,
+                "near vs near_docs disagree on {text:?} ({w1:?}, {w2:?}, k={k})"
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn both_implementations_are_symmetric() {
+    let arb_text = vec_of(string_of("abc", 1, 3), 0..10).map(|ws| ws.join(" "));
+    check(
+        "both_implementations_are_symmetric",
+        CASES,
+        &zip3(arb_text, string_of("abc", 1, 2), string_of("abc", 1, 2)),
+        |(text, w1, w2)| {
+            for k in 0..3 {
+                prop_assert_eq!(
+                    near(text, w1, w2, k, NearUnit::Words),
+                    near(text, w2, w1, k, NearUnit::Words),
+                    "near not symmetric on {text:?} k={k}"
+                );
+            }
+            let mut ix = InvertedIndex::new();
+            ix.add(1, text);
+            for k in 0..3u32 {
+                prop_assert_eq!(
+                    ix.near_docs(w1, w2, k),
+                    ix.near_docs(w2, w1, k),
+                    "near_docs not symmetric on {text:?} k={k}"
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn adjacency_is_distance_zero_in_both() {
+    let text = "structured documents benefit from databases";
+    // Adjacent words: 0 intervening.
+    assert!(near(text, "structured", "documents", 0, NearUnit::Words));
+    // One intervening word: not near at k=0, near at k=1.
+    assert!(!near(text, "structured", "benefit", 0, NearUnit::Words));
+    assert!(near(text, "structured", "benefit", 1, NearUnit::Words));
+
+    let mut ix = InvertedIndex::new();
+    ix.add(1, text);
+    assert!(ix.near_docs("structured", "documents", 0).contains(&1));
+    assert!(!ix.near_docs("structured", "benefit", 0).contains(&1));
+    assert!(ix.near_docs("structured", "benefit", 1).contains(&1));
+}
+
+#[test]
+fn a_word_is_not_near_itself_but_repeats_are() {
+    let once = "alpha beta gamma";
+    assert!(!near(once, "alpha", "alpha", 5, NearUnit::Words));
+    let twice = "alpha beta alpha";
+    assert!(near(twice, "alpha", "alpha", 1, NearUnit::Words));
+    assert!(!near(twice, "alpha", "alpha", 0, NearUnit::Words));
+
+    let mut ix = InvertedIndex::new();
+    ix.add(1, once);
+    ix.add(2, twice);
+    assert!(!ix.near_docs("alpha", "alpha", 5).contains(&1));
+    assert!(ix.near_docs("alpha", "alpha", 1).contains(&2));
+    assert!(!ix.near_docs("alpha", "alpha", 0).contains(&2));
+}
+
+#[test]
+fn comparison_is_case_insensitive_in_both() {
+    let text = "SGML documents meet OODBMS storage";
+    assert!(near(text, "sgml", "Documents", 0, NearUnit::Words));
+    let mut ix = InvertedIndex::new();
+    ix.add(1, text);
+    assert!(ix.near_docs("sgml", "Documents", 0).contains(&1));
+}
+
+#[test]
+fn char_unit_counts_characters_between_tokens() {
+    // "ab, cd" — gap between `ab` and `cd` is ", " = 2 characters.
+    let text = "ab, cd";
+    assert!(!near(text, "ab", "cd", 1, NearUnit::Chars));
+    assert!(near(text, "ab", "cd", 2, NearUnit::Chars));
+    // Multi-byte characters count once, not per byte.
+    let text2 = "ab é cd";
+    assert!(near(text2, "ab", "cd", 3, NearUnit::Chars));
+    assert!(!near(text2, "ab", "cd", 2, NearUnit::Chars));
+}

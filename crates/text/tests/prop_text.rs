@@ -1,15 +1,17 @@
-// Property-based suite, disabled while the build is offline: `proptest`
-// cannot be fetched in this container, so the whole file is compiled out
-// (`cfg(any())` is never true). Re-enable by removing this gate and
-// restoring the `proptest` dev-dependency.
-#![cfg(any())]
-
 //! Property tests for the pattern engine: the NFA agrees with a naive
 //! reference matcher on arbitrary patterns and inputs, and the index agrees
 //! with direct evaluation.
+//!
+//! Originally written against an external property-testing library and
+//! gated off; now running on the in-repo `docql-prop` harness.
 
+use docql_prop::{
+    check, element, just, one_of, prop_assert, prop_assert_eq, recursive, string_of, vec_of, zip,
+    zip3, Gen,
+};
 use docql_text::{ContainsExpr, InvertedIndex, Nfa, Pattern};
-use proptest::prelude::*;
+
+const CASES: usize = 256;
 
 /// Reference semantics: language membership by recursive interpretation
 /// (exponential, fine for tiny inputs). Returns all possible match end
@@ -106,112 +108,172 @@ fn reference_contains(p: &Pattern, text: &str) -> bool {
     (0..=chars.len()).any(|i| !ends(p, &chars, i).is_empty())
 }
 
-fn arb_pattern() -> impl Strategy<Value = Pattern> {
-    let leaf = prop_oneof![
-        prop_oneof![Just('a'), Just('b'), Just('c')].prop_map(Pattern::Char),
-        Just(Pattern::Any),
-        Just(Pattern::Empty),
-    ];
-    leaf.prop_recursive(3, 12, 3, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 1..3).prop_map(Pattern::Concat),
-            prop::collection::vec(inner.clone(), 1..3).prop_map(Pattern::Alt),
-            inner.clone().prop_map(|p| Pattern::Star(Box::new(p))),
-            inner.clone().prop_map(|p| Pattern::Plus(Box::new(p))),
-            inner.prop_map(|p| Pattern::Opt(Box::new(p))),
-        ]
+fn arb_pattern() -> Gen<Pattern> {
+    let leaf = one_of(vec![
+        element(vec!['a', 'b', 'c']).map(|c| Pattern::Char(*c)),
+        just(Pattern::Any),
+        just(Pattern::Empty),
+    ]);
+    recursive(leaf, 3, |inner| {
+        one_of(vec![
+            vec_of(inner.clone(), 1..3).map(|ps| Pattern::Concat(ps.clone())),
+            vec_of(inner.clone(), 1..3).map(|ps| Pattern::Alt(ps.clone())),
+            inner.clone().map(|p| Pattern::Star(Box::new(p.clone()))),
+            inner.clone().map(|p| Pattern::Plus(Box::new(p.clone()))),
+            inner.clone().map(|p| Pattern::Opt(Box::new(p.clone()))),
+        ])
     })
 }
 
-proptest! {
-    #[test]
-    fn nfa_agrees_with_reference(p in arb_pattern(), text in "[abc]{0,8}") {
-        let nfa = Nfa::compile(&p);
-        prop_assert_eq!(nfa.is_match(&text), reference_contains(&p, &text),
-            "pattern {:?} on {:?}", p, text);
-    }
+#[test]
+fn nfa_agrees_with_reference() {
+    check(
+        "nfa_agrees_with_reference",
+        CASES,
+        &zip(arb_pattern(), string_of("abc", 0, 8)),
+        |(p, text)| {
+            let nfa = Nfa::compile(p);
+            prop_assert_eq!(
+                nfa.is_match(text),
+                reference_contains(p, text),
+                "pattern {p:?} on {text:?}"
+            );
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn parse_display_round_trip(p in arb_pattern()) {
+#[test]
+fn parse_display_round_trip() {
+    check("parse_display_round_trip", CASES, &arb_pattern(), |p| {
         let printed = p.to_string();
         if let Ok(re) = Pattern::parse(&printed) {
             // Semantically equal: agree on a basket of inputs.
-            let nfa1 = Nfa::compile(&p);
+            let nfa1 = Nfa::compile(p);
             let nfa2 = Nfa::compile(&re);
             for text in ["", "a", "ab", "abc", "ccba", "aabbcc"] {
-                prop_assert_eq!(nfa1.is_match(text), nfa2.is_match(text),
-                    "{} vs reparsed on {:?}", printed, text);
+                prop_assert_eq!(
+                    nfa1.is_match(text),
+                    nfa2.is_match(text),
+                    "{printed} vs reparsed on {text:?}"
+                );
             }
         }
-    }
-
-    #[test]
-    fn find_span_is_a_real_match(p in arb_pattern(), text in "[abc]{0,8}") {
-        let nfa = Nfa::compile(&p);
-        if let Some((s, e)) = nfa.find(&text) {
-            prop_assert!(s <= e && e <= text.len());
-            prop_assert!(text.is_char_boundary(s) && text.is_char_boundary(e));
-            // The reported span itself matches the pattern (anchored both
-            // ends): check via reference ends() from s reaching e.
-            let chars: Vec<char> = text.chars().collect();
-            // Byte offsets equal char offsets for [abc] alphabets.
-            prop_assert!(ends(&p, &chars, s).contains(&e),
-                "span {}..{} of {:?} for {:?}", s, e, text, p);
-        }
-    }
-
-    #[test]
-    fn index_docs_agree_with_direct_eval_for_words(
-        texts in prop::collection::vec("[a-c ]{0,20}", 1..6),
-        word in "[a-c]{1,3}",
-    ) {
-        let mut ix = InvertedIndex::new();
-        for (i, t) in texts.iter().enumerate() {
-            ix.add(i as u64, t);
-        }
-        let from_index = ix.docs_with_word(&word);
-        for (i, t) in texts.iter().enumerate() {
-            let direct = docql_text::tokenize(t)
-                .iter()
-                .any(|tok| docql_text::normalize(tok.word) == word);
-            prop_assert_eq!(from_index.contains(&(i as u64)), direct,
-                "doc {} = {:?}, word {:?}", i, t, word);
-        }
-    }
-
-    #[test]
-    fn contains_boolean_laws(a in "[abc]{1,3}", b in "[abc]{1,3}", text in "[abc ]{0,12}") {
-        let pa = ContainsExpr::pattern(&a).unwrap();
-        let pb = ContainsExpr::pattern(&b).unwrap();
-        let and = ContainsExpr::And(vec![pa.clone(), pb.clone()]);
-        let or = ContainsExpr::Or(vec![pa.clone(), pb.clone()]);
-        let na = ContainsExpr::Not(Box::new(pa.clone()));
-        prop_assert_eq!(and.eval(&text), pa.eval(&text) && pb.eval(&text));
-        prop_assert_eq!(or.eval(&text), pa.eval(&text) || pb.eval(&text));
-        prop_assert_eq!(na.eval(&text), !pa.eval(&text));
-    }
+        Ok(())
+    });
 }
 
-proptest! {
-    #[test]
-    fn candidates_is_a_superset_of_substring_matches(
-        texts in prop::collection::vec("[a-c ]{0,24}", 1..8),
-        pattern in prop_oneof!["[a-c]{1,4}", "[a-c]{1,2} [a-c]{1,2}", "[a-c]\\|[a-c]"],
-    ) {
-        let Ok(expr) = ContainsExpr::pattern(&pattern) else {
-            return Ok(());
-        };
-        let mut ix = InvertedIndex::new();
-        for (i, t) in texts.iter().enumerate() {
-            ix.add(i as u64, t);
-        }
-        let candidates = ix.candidates(&expr);
-        let matcher = expr.compile();
-        for (i, t) in texts.iter().enumerate() {
-            if matcher.eval(t) {
-                prop_assert!(candidates.contains(&(i as u64)),
-                    "doc {} ({:?}) matches {:?} but was pruned", i, t, pattern);
+#[test]
+fn find_span_is_a_real_match() {
+    check(
+        "find_span_is_a_real_match",
+        CASES,
+        &zip(arb_pattern(), string_of("abc", 0, 8)),
+        |(p, text)| {
+            let nfa = Nfa::compile(p);
+            if let Some((s, e)) = nfa.find(text) {
+                prop_assert!(s <= e && e <= text.len());
+                prop_assert!(text.is_char_boundary(s) && text.is_char_boundary(e));
+                // The reported span itself matches the pattern (anchored both
+                // ends): check via reference ends() from s reaching e.
+                let chars: Vec<char> = text.chars().collect();
+                // Byte offsets equal char offsets for [abc] alphabets.
+                prop_assert!(
+                    ends(p, &chars, s).contains(&e),
+                    "span {s}..{e} of {text:?} for {p:?}"
+                );
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn index_docs_agree_with_direct_eval_for_words() {
+    check(
+        "index_docs_agree_with_direct_eval_for_words",
+        CASES,
+        &zip(
+            vec_of(string_of("abc ", 0, 20), 1..6),
+            string_of("abc", 1, 3),
+        ),
+        |(texts, word)| {
+            let mut ix = InvertedIndex::new();
+            for (i, t) in texts.iter().enumerate() {
+                ix.add(i as u64, t);
+            }
+            let from_index = ix.docs_with_word(word);
+            for (i, t) in texts.iter().enumerate() {
+                let direct = docql_text::tokenize(t)
+                    .iter()
+                    .any(|tok| docql_text::normalize(tok.word) == *word);
+                prop_assert_eq!(
+                    from_index.contains(&(i as u64)),
+                    direct,
+                    "doc {i} = {t:?}, word {word:?}"
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn contains_boolean_laws() {
+    check(
+        "contains_boolean_laws",
+        CASES,
+        &zip3(
+            string_of("abc", 1, 3),
+            string_of("abc", 1, 3),
+            string_of("abc ", 0, 12),
+        ),
+        |(a, b, text)| {
+            let pa = ContainsExpr::pattern(a).unwrap();
+            let pb = ContainsExpr::pattern(b).unwrap();
+            let and = ContainsExpr::And(vec![pa.clone(), pb.clone()]);
+            let or = ContainsExpr::Or(vec![pa.clone(), pb.clone()]);
+            let na = ContainsExpr::Not(Box::new(pa.clone()));
+            prop_assert_eq!(and.eval(text), pa.eval(text) && pb.eval(text));
+            prop_assert_eq!(or.eval(text), pa.eval(text) || pb.eval(text));
+            prop_assert_eq!(na.eval(text), !pa.eval(text));
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn candidates_is_a_superset_of_substring_matches() {
+    // Patterns: a plain word, a two-word phrase, and an alternation.
+    let arb_query = one_of(vec![
+        string_of("abc", 1, 4),
+        zip(string_of("abc", 1, 2), string_of("abc", 1, 2)).map(|(x, y)| format!("{x} {y}")),
+        zip(element(vec!['a', 'b', 'c']), element(vec!['a', 'b', 'c']))
+            .map(|(x, y)| format!("{x}|{y}")),
+    ]);
+    check(
+        "candidates_is_a_superset_of_substring_matches",
+        CASES,
+        &zip(vec_of(string_of("abc ", 0, 24), 1..8), arb_query),
+        |(texts, pattern)| {
+            let Ok(expr) = ContainsExpr::pattern(pattern) else {
+                return Ok(());
+            };
+            let mut ix = InvertedIndex::new();
+            for (i, t) in texts.iter().enumerate() {
+                ix.add(i as u64, t);
+            }
+            let candidates = ix.candidates(&expr);
+            let matcher = expr.compile();
+            for (i, t) in texts.iter().enumerate() {
+                if matcher.eval(t) {
+                    prop_assert!(
+                        candidates.contains(&(i as u64)),
+                        "doc {i} ({t:?}) matches {pattern:?} but was pruned"
+                    );
+                }
+            }
+            Ok(())
+        },
+    );
 }

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/docql-c24de0e7f77af535.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libdocql-c24de0e7f77af535.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/docql_bench-60e69c09fac3188b.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libdocql_bench-60e69c09fac3188b.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/docql_calculus-00288f0322382b1c.d: crates/calculus/src/lib.rs crates/calculus/src/eval.rs crates/calculus/src/interp.rs crates/calculus/src/term.rs crates/calculus/src/typing.rs
+
+/root/repo/target/debug/deps/libdocql_calculus-00288f0322382b1c.rmeta: crates/calculus/src/lib.rs crates/calculus/src/eval.rs crates/calculus/src/interp.rs crates/calculus/src/term.rs crates/calculus/src/typing.rs
+
+crates/calculus/src/lib.rs:
+crates/calculus/src/eval.rs:
+crates/calculus/src/interp.rs:
+crates/calculus/src/term.rs:
+crates/calculus/src/typing.rs:

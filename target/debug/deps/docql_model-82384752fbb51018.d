@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/docql_model-82384752fbb51018.d: crates/model/src/lib.rs crates/model/src/conform.rs crates/model/src/constraint.rs crates/model/src/error.rs crates/model/src/hierarchy.rs crates/model/src/instance.rs crates/model/src/schema.rs crates/model/src/subtype.rs crates/model/src/sym.rs crates/model/src/types.rs crates/model/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdocql_model-82384752fbb51018.rmeta: crates/model/src/lib.rs crates/model/src/conform.rs crates/model/src/constraint.rs crates/model/src/error.rs crates/model/src/hierarchy.rs crates/model/src/instance.rs crates/model/src/schema.rs crates/model/src/subtype.rs crates/model/src/sym.rs crates/model/src/types.rs crates/model/src/value.rs Cargo.toml
+
+crates/model/src/lib.rs:
+crates/model/src/conform.rs:
+crates/model/src/constraint.rs:
+crates/model/src/error.rs:
+crates/model/src/hierarchy.rs:
+crates/model/src/instance.rs:
+crates/model/src/schema.rs:
+crates/model/src/subtype.rs:
+crates/model/src/sym.rs:
+crates/model/src/types.rs:
+crates/model/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

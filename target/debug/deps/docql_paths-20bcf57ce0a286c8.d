@@ -1,13 +1,15 @@
-/root/repo/target/debug/deps/docql_paths-20bcf57ce0a286c8.d: crates/paths/src/lib.rs crates/paths/src/enumerate.rs crates/paths/src/path.rs crates/paths/src/pattern.rs crates/paths/src/schema_paths.rs crates/paths/src/step.rs crates/paths/src/walk.rs
+/root/repo/target/debug/deps/docql_paths-20bcf57ce0a286c8.d: crates/paths/src/lib.rs crates/paths/src/enumerate.rs crates/paths/src/extent.rs crates/paths/src/path.rs crates/paths/src/pattern.rs crates/paths/src/schema_paths.rs crates/paths/src/select.rs crates/paths/src/step.rs crates/paths/src/walk.rs
 
-/root/repo/target/debug/deps/libdocql_paths-20bcf57ce0a286c8.rlib: crates/paths/src/lib.rs crates/paths/src/enumerate.rs crates/paths/src/path.rs crates/paths/src/pattern.rs crates/paths/src/schema_paths.rs crates/paths/src/step.rs crates/paths/src/walk.rs
+/root/repo/target/debug/deps/libdocql_paths-20bcf57ce0a286c8.rlib: crates/paths/src/lib.rs crates/paths/src/enumerate.rs crates/paths/src/extent.rs crates/paths/src/path.rs crates/paths/src/pattern.rs crates/paths/src/schema_paths.rs crates/paths/src/select.rs crates/paths/src/step.rs crates/paths/src/walk.rs
 
-/root/repo/target/debug/deps/libdocql_paths-20bcf57ce0a286c8.rmeta: crates/paths/src/lib.rs crates/paths/src/enumerate.rs crates/paths/src/path.rs crates/paths/src/pattern.rs crates/paths/src/schema_paths.rs crates/paths/src/step.rs crates/paths/src/walk.rs
+/root/repo/target/debug/deps/libdocql_paths-20bcf57ce0a286c8.rmeta: crates/paths/src/lib.rs crates/paths/src/enumerate.rs crates/paths/src/extent.rs crates/paths/src/path.rs crates/paths/src/pattern.rs crates/paths/src/schema_paths.rs crates/paths/src/select.rs crates/paths/src/step.rs crates/paths/src/walk.rs
 
 crates/paths/src/lib.rs:
 crates/paths/src/enumerate.rs:
+crates/paths/src/extent.rs:
 crates/paths/src/path.rs:
 crates/paths/src/pattern.rs:
 crates/paths/src/schema_paths.rs:
+crates/paths/src/select.rs:
 crates/paths/src/step.rs:
 crates/paths/src/walk.rs:

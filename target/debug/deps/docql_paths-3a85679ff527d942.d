@@ -1,12 +1,14 @@
-/root/repo/target/debug/deps/docql_paths-3a85679ff527d942.d: crates/paths/src/lib.rs crates/paths/src/enumerate.rs crates/paths/src/path.rs crates/paths/src/pattern.rs crates/paths/src/schema_paths.rs crates/paths/src/step.rs crates/paths/src/walk.rs Cargo.toml
+/root/repo/target/debug/deps/docql_paths-3a85679ff527d942.d: crates/paths/src/lib.rs crates/paths/src/enumerate.rs crates/paths/src/extent.rs crates/paths/src/path.rs crates/paths/src/pattern.rs crates/paths/src/schema_paths.rs crates/paths/src/select.rs crates/paths/src/step.rs crates/paths/src/walk.rs Cargo.toml
 
-/root/repo/target/debug/deps/libdocql_paths-3a85679ff527d942.rmeta: crates/paths/src/lib.rs crates/paths/src/enumerate.rs crates/paths/src/path.rs crates/paths/src/pattern.rs crates/paths/src/schema_paths.rs crates/paths/src/step.rs crates/paths/src/walk.rs Cargo.toml
+/root/repo/target/debug/deps/libdocql_paths-3a85679ff527d942.rmeta: crates/paths/src/lib.rs crates/paths/src/enumerate.rs crates/paths/src/extent.rs crates/paths/src/path.rs crates/paths/src/pattern.rs crates/paths/src/schema_paths.rs crates/paths/src/select.rs crates/paths/src/step.rs crates/paths/src/walk.rs Cargo.toml
 
 crates/paths/src/lib.rs:
 crates/paths/src/enumerate.rs:
+crates/paths/src/extent.rs:
 crates/paths/src/path.rs:
 crates/paths/src/pattern.rs:
 crates/paths/src/schema_paths.rs:
+crates/paths/src/select.rs:
 crates/paths/src/step.rs:
 crates/paths/src/walk.rs:
 Cargo.toml:

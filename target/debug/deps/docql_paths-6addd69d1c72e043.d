@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/docql_paths-6addd69d1c72e043.d: crates/paths/src/lib.rs crates/paths/src/enumerate.rs crates/paths/src/extent.rs crates/paths/src/path.rs crates/paths/src/pattern.rs crates/paths/src/schema_paths.rs crates/paths/src/select.rs crates/paths/src/step.rs crates/paths/src/walk.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdocql_paths-6addd69d1c72e043.rmeta: crates/paths/src/lib.rs crates/paths/src/enumerate.rs crates/paths/src/extent.rs crates/paths/src/path.rs crates/paths/src/pattern.rs crates/paths/src/schema_paths.rs crates/paths/src/select.rs crates/paths/src/step.rs crates/paths/src/walk.rs Cargo.toml
+
+crates/paths/src/lib.rs:
+crates/paths/src/enumerate.rs:
+crates/paths/src/extent.rs:
+crates/paths/src/path.rs:
+crates/paths/src/pattern.rs:
+crates/paths/src/schema_paths.rs:
+crates/paths/src/select.rs:
+crates/paths/src/step.rs:
+crates/paths/src/walk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

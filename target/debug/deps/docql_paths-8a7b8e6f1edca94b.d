@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/docql_paths-8a7b8e6f1edca94b.d: crates/paths/src/lib.rs crates/paths/src/enumerate.rs crates/paths/src/extent.rs crates/paths/src/path.rs crates/paths/src/pattern.rs crates/paths/src/schema_paths.rs crates/paths/src/select.rs crates/paths/src/step.rs crates/paths/src/walk.rs
+
+/root/repo/target/debug/deps/libdocql_paths-8a7b8e6f1edca94b.rmeta: crates/paths/src/lib.rs crates/paths/src/enumerate.rs crates/paths/src/extent.rs crates/paths/src/path.rs crates/paths/src/pattern.rs crates/paths/src/schema_paths.rs crates/paths/src/select.rs crates/paths/src/step.rs crates/paths/src/walk.rs
+
+crates/paths/src/lib.rs:
+crates/paths/src/enumerate.rs:
+crates/paths/src/extent.rs:
+crates/paths/src/path.rs:
+crates/paths/src/pattern.rs:
+crates/paths/src/schema_paths.rs:
+crates/paths/src/select.rs:
+crates/paths/src/step.rs:
+crates/paths/src/walk.rs:

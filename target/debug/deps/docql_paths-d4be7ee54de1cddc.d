@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/docql_paths-d4be7ee54de1cddc.d: crates/paths/src/lib.rs crates/paths/src/enumerate.rs crates/paths/src/extent.rs crates/paths/src/path.rs crates/paths/src/pattern.rs crates/paths/src/schema_paths.rs crates/paths/src/select.rs crates/paths/src/step.rs crates/paths/src/walk.rs
+
+/root/repo/target/debug/deps/docql_paths-d4be7ee54de1cddc: crates/paths/src/lib.rs crates/paths/src/enumerate.rs crates/paths/src/extent.rs crates/paths/src/path.rs crates/paths/src/pattern.rs crates/paths/src/schema_paths.rs crates/paths/src/select.rs crates/paths/src/step.rs crates/paths/src/walk.rs
+
+crates/paths/src/lib.rs:
+crates/paths/src/enumerate.rs:
+crates/paths/src/extent.rs:
+crates/paths/src/path.rs:
+crates/paths/src/pattern.rs:
+crates/paths/src/schema_paths.rs:
+crates/paths/src/select.rs:
+crates/paths/src/step.rs:
+crates/paths/src/walk.rs:

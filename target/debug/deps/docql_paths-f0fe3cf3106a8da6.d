@@ -1,11 +1,13 @@
-/root/repo/target/debug/deps/docql_paths-f0fe3cf3106a8da6.d: crates/paths/src/lib.rs crates/paths/src/enumerate.rs crates/paths/src/path.rs crates/paths/src/pattern.rs crates/paths/src/schema_paths.rs crates/paths/src/step.rs crates/paths/src/walk.rs
+/root/repo/target/debug/deps/docql_paths-f0fe3cf3106a8da6.d: crates/paths/src/lib.rs crates/paths/src/enumerate.rs crates/paths/src/extent.rs crates/paths/src/path.rs crates/paths/src/pattern.rs crates/paths/src/schema_paths.rs crates/paths/src/select.rs crates/paths/src/step.rs crates/paths/src/walk.rs
 
-/root/repo/target/debug/deps/docql_paths-f0fe3cf3106a8da6: crates/paths/src/lib.rs crates/paths/src/enumerate.rs crates/paths/src/path.rs crates/paths/src/pattern.rs crates/paths/src/schema_paths.rs crates/paths/src/step.rs crates/paths/src/walk.rs
+/root/repo/target/debug/deps/docql_paths-f0fe3cf3106a8da6: crates/paths/src/lib.rs crates/paths/src/enumerate.rs crates/paths/src/extent.rs crates/paths/src/path.rs crates/paths/src/pattern.rs crates/paths/src/schema_paths.rs crates/paths/src/select.rs crates/paths/src/step.rs crates/paths/src/walk.rs
 
 crates/paths/src/lib.rs:
 crates/paths/src/enumerate.rs:
+crates/paths/src/extent.rs:
 crates/paths/src/path.rs:
 crates/paths/src/pattern.rs:
 crates/paths/src/schema_paths.rs:
+crates/paths/src/select.rs:
 crates/paths/src/step.rs:
 crates/paths/src/walk.rs:

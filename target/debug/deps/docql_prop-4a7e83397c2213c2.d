@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/docql_prop-4a7e83397c2213c2.d: crates/prop/src/lib.rs crates/prop/src/gen.rs crates/prop/src/rng.rs crates/prop/src/runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdocql_prop-4a7e83397c2213c2.rmeta: crates/prop/src/lib.rs crates/prop/src/gen.rs crates/prop/src/rng.rs crates/prop/src/runner.rs Cargo.toml
+
+crates/prop/src/lib.rs:
+crates/prop/src/gen.rs:
+crates/prop/src/rng.rs:
+crates/prop/src/runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/docql_prop-6365f4d551080568.d: crates/prop/src/lib.rs crates/prop/src/gen.rs crates/prop/src/rng.rs crates/prop/src/runner.rs
+
+/root/repo/target/debug/deps/libdocql_prop-6365f4d551080568.rlib: crates/prop/src/lib.rs crates/prop/src/gen.rs crates/prop/src/rng.rs crates/prop/src/runner.rs
+
+/root/repo/target/debug/deps/libdocql_prop-6365f4d551080568.rmeta: crates/prop/src/lib.rs crates/prop/src/gen.rs crates/prop/src/rng.rs crates/prop/src/runner.rs
+
+crates/prop/src/lib.rs:
+crates/prop/src/gen.rs:
+crates/prop/src/rng.rs:
+crates/prop/src/runner.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/docql_prop-8fb5d584a95a641e.d: crates/prop/src/lib.rs crates/prop/src/gen.rs crates/prop/src/rng.rs crates/prop/src/runner.rs
+
+/root/repo/target/debug/deps/docql_prop-8fb5d584a95a641e: crates/prop/src/lib.rs crates/prop/src/gen.rs crates/prop/src/rng.rs crates/prop/src/runner.rs
+
+crates/prop/src/lib.rs:
+crates/prop/src/gen.rs:
+crates/prop/src/rng.rs:
+crates/prop/src/runner.rs:

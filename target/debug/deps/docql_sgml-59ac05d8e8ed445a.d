@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/docql_sgml-59ac05d8e8ed445a.d: crates/sgml/src/lib.rs crates/sgml/src/content.rs crates/sgml/src/cursor.rs crates/sgml/src/doc.rs crates/sgml/src/dtd.rs crates/sgml/src/error.rs crates/sgml/src/fixtures.rs crates/sgml/src/parser.rs crates/sgml/src/validate.rs
+
+/root/repo/target/debug/deps/docql_sgml-59ac05d8e8ed445a: crates/sgml/src/lib.rs crates/sgml/src/content.rs crates/sgml/src/cursor.rs crates/sgml/src/doc.rs crates/sgml/src/dtd.rs crates/sgml/src/error.rs crates/sgml/src/fixtures.rs crates/sgml/src/parser.rs crates/sgml/src/validate.rs
+
+crates/sgml/src/lib.rs:
+crates/sgml/src/content.rs:
+crates/sgml/src/cursor.rs:
+crates/sgml/src/doc.rs:
+crates/sgml/src/dtd.rs:
+crates/sgml/src/error.rs:
+crates/sgml/src/fixtures.rs:
+crates/sgml/src/parser.rs:
+crates/sgml/src/validate.rs:

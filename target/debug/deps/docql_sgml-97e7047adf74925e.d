@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/docql_sgml-97e7047adf74925e.d: crates/sgml/src/lib.rs crates/sgml/src/content.rs crates/sgml/src/cursor.rs crates/sgml/src/doc.rs crates/sgml/src/dtd.rs crates/sgml/src/error.rs crates/sgml/src/fixtures.rs crates/sgml/src/parser.rs crates/sgml/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdocql_sgml-97e7047adf74925e.rmeta: crates/sgml/src/lib.rs crates/sgml/src/content.rs crates/sgml/src/cursor.rs crates/sgml/src/doc.rs crates/sgml/src/dtd.rs crates/sgml/src/error.rs crates/sgml/src/fixtures.rs crates/sgml/src/parser.rs crates/sgml/src/validate.rs Cargo.toml
+
+crates/sgml/src/lib.rs:
+crates/sgml/src/content.rs:
+crates/sgml/src/cursor.rs:
+crates/sgml/src/doc.rs:
+crates/sgml/src/dtd.rs:
+crates/sgml/src/error.rs:
+crates/sgml/src/fixtures.rs:
+crates/sgml/src/parser.rs:
+crates/sgml/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

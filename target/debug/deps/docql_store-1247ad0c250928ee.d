@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/docql_store-1247ad0c250928ee.d: crates/store/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdocql_store-1247ad0c250928ee.rmeta: crates/store/src/lib.rs Cargo.toml
+
+crates/store/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

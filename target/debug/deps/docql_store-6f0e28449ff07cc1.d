@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/docql_store-6f0e28449ff07cc1.d: crates/store/src/lib.rs
+
+/root/repo/target/debug/deps/docql_store-6f0e28449ff07cc1: crates/store/src/lib.rs
+
+crates/store/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/docql_store-bef8f9cb2f5994b4.d: crates/store/src/lib.rs
+
+/root/repo/target/debug/deps/libdocql_store-bef8f9cb2f5994b4.rmeta: crates/store/src/lib.rs
+
+crates/store/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence-0319b7d28d62f1e3.d: crates/algebra/tests/equivalence.rs
+
+/root/repo/target/debug/deps/equivalence-0319b7d28d62f1e3: crates/algebra/tests/equivalence.rs
+
+crates/algebra/tests/equivalence.rs:

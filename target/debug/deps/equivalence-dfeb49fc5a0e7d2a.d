@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/equivalence-dfeb49fc5a0e7d2a.d: crates/algebra/tests/equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libequivalence-dfeb49fc5a0e7d2a.rmeta: crates/algebra/tests/equivalence.rs Cargo.toml
+
+crates/algebra/tests/equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/near_parity-73afbd2a5fbfebfb.d: crates/text/tests/near_parity.rs
+
+/root/repo/target/debug/deps/near_parity-73afbd2a5fbfebfb: crates/text/tests/near_parity.rs
+
+crates/text/tests/near_parity.rs:

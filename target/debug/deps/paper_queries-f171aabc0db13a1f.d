@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_queries-f171aabc0db13a1f.d: crates/store/tests/paper_queries.rs
+
+/root/repo/target/debug/deps/paper_queries-f171aabc0db13a1f: crates/store/tests/paper_queries.rs
+
+crates/store/tests/paper_queries.rs:

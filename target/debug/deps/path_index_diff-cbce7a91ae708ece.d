@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/path_index_diff-cbce7a91ae708ece.d: crates/store/tests/path_index_diff.rs
+
+/root/repo/target/debug/deps/path_index_diff-cbce7a91ae708ece: crates/store/tests/path_index_diff.rs
+
+crates/store/tests/path_index_diff.rs:

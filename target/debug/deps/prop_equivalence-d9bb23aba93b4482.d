@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_equivalence-d9bb23aba93b4482.d: crates/algebra/tests/prop_equivalence.rs
+
+/root/repo/target/debug/deps/prop_equivalence-d9bb23aba93b4482: crates/algebra/tests/prop_equivalence.rs
+
+crates/algebra/tests/prop_equivalence.rs:

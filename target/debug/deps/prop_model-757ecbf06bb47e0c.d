@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_model-757ecbf06bb47e0c.d: crates/model/tests/prop_model.rs
+
+/root/repo/target/debug/deps/prop_model-757ecbf06bb47e0c: crates/model/tests/prop_model.rs
+
+crates/model/tests/prop_model.rs:

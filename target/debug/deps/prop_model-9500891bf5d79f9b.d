@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_model-9500891bf5d79f9b.d: crates/model/tests/prop_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_model-9500891bf5d79f9b.rmeta: crates/model/tests/prop_model.rs Cargo.toml
+
+crates/model/tests/prop_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_paths-412d4c4f2c6bfa59.d: crates/paths/tests/prop_paths.rs
+
+/root/repo/target/debug/deps/prop_paths-412d4c4f2c6bfa59: crates/paths/tests/prop_paths.rs
+
+crates/paths/tests/prop_paths.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_paths-9789451279e2ec3d.d: crates/paths/tests/prop_paths.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_paths-9789451279e2ec3d.rmeta: crates/paths/tests/prop_paths.rs Cargo.toml
+
+crates/paths/tests/prop_paths.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

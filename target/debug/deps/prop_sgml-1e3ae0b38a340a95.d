@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_sgml-1e3ae0b38a340a95.d: crates/sgml/tests/prop_sgml.rs
+
+/root/repo/target/debug/deps/prop_sgml-1e3ae0b38a340a95: crates/sgml/tests/prop_sgml.rs
+
+crates/sgml/tests/prop_sgml.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_text-9e53375e42b3ddbc.d: crates/text/tests/prop_text.rs
+
+/root/repo/target/debug/deps/prop_text-9e53375e42b3ddbc: crates/text/tests/prop_text.rs
+
+crates/text/tests/prop_text.rs:

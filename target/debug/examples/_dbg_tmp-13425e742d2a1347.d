@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/_dbg_tmp-13425e742d2a1347.d: examples/_dbg_tmp.rs
+
+/root/repo/target/debug/examples/_dbg_tmp-13425e742d2a1347: examples/_dbg_tmp.rs
+
+examples/_dbg_tmp.rs:

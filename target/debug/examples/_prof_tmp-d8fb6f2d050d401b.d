@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/_prof_tmp-d8fb6f2d050d401b.d: examples/_prof_tmp.rs
+
+/root/repo/target/debug/examples/_prof_tmp-d8fb6f2d050d401b: examples/_prof_tmp.rs
+
+examples/_prof_tmp.rs:

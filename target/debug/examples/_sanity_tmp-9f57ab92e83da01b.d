@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/_sanity_tmp-9f57ab92e83da01b.d: examples/_sanity_tmp.rs
+
+/root/repo/target/debug/examples/_sanity_tmp-9f57ab92e83da01b: examples/_sanity_tmp.rs
+
+examples/_sanity_tmp.rs:

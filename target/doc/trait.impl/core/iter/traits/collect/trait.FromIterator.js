@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["docql_paths",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/iter/traits/collect/trait.FromIterator.html\" title=\"trait core::iter::traits::collect::FromIterator\">FromIterator</a>&lt;<a class=\"enum\" href=\"docql_paths/step/enum.PathStep.html\" title=\"enum docql_paths::step::PathStep\">PathStep</a>&gt; for <a class=\"struct\" href=\"docql_paths/path/struct.ConcretePath.html\" title=\"struct docql_paths::path::ConcretePath\">ConcretePath</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[480]}

@@ -1,13 +1,15 @@
-/root/repo/target/release/deps/docql_paths-eca0745851e8f5c2.d: crates/paths/src/lib.rs crates/paths/src/enumerate.rs crates/paths/src/path.rs crates/paths/src/pattern.rs crates/paths/src/schema_paths.rs crates/paths/src/step.rs crates/paths/src/walk.rs
+/root/repo/target/release/deps/docql_paths-eca0745851e8f5c2.d: crates/paths/src/lib.rs crates/paths/src/enumerate.rs crates/paths/src/extent.rs crates/paths/src/path.rs crates/paths/src/pattern.rs crates/paths/src/schema_paths.rs crates/paths/src/select.rs crates/paths/src/step.rs crates/paths/src/walk.rs
 
-/root/repo/target/release/deps/libdocql_paths-eca0745851e8f5c2.rlib: crates/paths/src/lib.rs crates/paths/src/enumerate.rs crates/paths/src/path.rs crates/paths/src/pattern.rs crates/paths/src/schema_paths.rs crates/paths/src/step.rs crates/paths/src/walk.rs
+/root/repo/target/release/deps/libdocql_paths-eca0745851e8f5c2.rlib: crates/paths/src/lib.rs crates/paths/src/enumerate.rs crates/paths/src/extent.rs crates/paths/src/path.rs crates/paths/src/pattern.rs crates/paths/src/schema_paths.rs crates/paths/src/select.rs crates/paths/src/step.rs crates/paths/src/walk.rs
 
-/root/repo/target/release/deps/libdocql_paths-eca0745851e8f5c2.rmeta: crates/paths/src/lib.rs crates/paths/src/enumerate.rs crates/paths/src/path.rs crates/paths/src/pattern.rs crates/paths/src/schema_paths.rs crates/paths/src/step.rs crates/paths/src/walk.rs
+/root/repo/target/release/deps/libdocql_paths-eca0745851e8f5c2.rmeta: crates/paths/src/lib.rs crates/paths/src/enumerate.rs crates/paths/src/extent.rs crates/paths/src/path.rs crates/paths/src/pattern.rs crates/paths/src/schema_paths.rs crates/paths/src/select.rs crates/paths/src/step.rs crates/paths/src/walk.rs
 
 crates/paths/src/lib.rs:
 crates/paths/src/enumerate.rs:
+crates/paths/src/extent.rs:
 crates/paths/src/path.rs:
 crates/paths/src/pattern.rs:
 crates/paths/src/schema_paths.rs:
+crates/paths/src/select.rs:
 crates/paths/src/step.rs:
 crates/paths/src/walk.rs:

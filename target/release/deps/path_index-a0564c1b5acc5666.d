@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/path_index-a0564c1b5acc5666.d: crates/bench/benches/path_index.rs
+
+/root/repo/target/release/deps/path_index-a0564c1b5acc5666: crates/bench/benches/path_index.rs
+
+crates/bench/benches/path_index.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_prof_tmp-e2a3ce7f5f9d2aee.d: examples/_prof_tmp.rs
+
+/root/repo/target/release/examples/_prof_tmp-e2a3ce7f5f9d2aee: examples/_prof_tmp.rs
+
+examples/_prof_tmp.rs:
