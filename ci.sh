@@ -21,6 +21,12 @@ DOCQL_PROP_SEED=20260806 DOCQL_PROP_CASES=64 cargo test --workspace -q \
     --test prop_model --test prop_text --test prop_sgml --test prop_paths \
     --test prop_equivalence
 
+echo "==> bench smoke (1 ms window per benchmark target)"
+DOCQL_BENCH_MS=1 cargo bench --workspace -q >/dev/null
+
+echo "==> profile_query example (EXPLAIN ANALYZE + metrics export)"
+cargo run -q --example profile_query >/dev/null
+
 echo "==> cargo doc (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 

@@ -15,12 +15,14 @@
 pub mod algebraize;
 pub mod compile;
 pub mod plan;
+pub mod profile;
 
 use std::fmt;
 
 pub use algebraize::{algebraize, Algebraized, MAX_CANDIDATE_PRODUCT};
 pub use compile::compile_query;
 pub use plan::{ExecCtx, IndexPathScan, Op, WalkStep};
+pub use profile::{AlgebraMetrics, PlanProfile};
 
 /// Errors from compilation and algebraization.
 #[derive(Debug, Clone, PartialEq)]

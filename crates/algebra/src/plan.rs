@@ -7,6 +7,7 @@
 //! paths at run time**: plans only contain concrete navigation steps, which
 //! is exactly what the algebraization buys over the calculus interpreter.
 
+use crate::profile::{AlgebraMetrics, PlanProfile};
 use docql_calculus::{Atom, CalcValue, DataTerm, Env, Evaluator, Var};
 use docql_model::{Instance, Sym, Value};
 use docql_paths::select::{attr_select, deref1, index_select, list_items};
@@ -21,10 +22,20 @@ use std::fmt;
 /// to walking is resolved here, at evaluation time. This is what lets the
 /// plan cache keep index-aware plans without invalidation: the cached plan
 /// captures the *choice point*, the context supplies the index.
+///
+/// The observability fields follow the same pattern: instrumentation is
+/// always compiled into the executor, and whether an execution is timed is
+/// decided here. With both fields `None` (the default) the only per-operator
+/// cost is two pointer-sized `Option` checks.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ExecCtx<'a> {
     /// The store's path-extent index, when index-backed evaluation is on.
     pub extents: Option<&'a PathExtentIndex>,
+    /// Per-operator profile for this execution (`EXPLAIN ANALYZE`). Must be
+    /// built from the plan being executed (see [`PlanProfile::new`]).
+    pub profile: Option<&'a PlanProfile>,
+    /// Registry-level counters aggregated across queries.
+    pub metrics: Option<&'a AlgebraMetrics>,
 }
 
 /// One navigation step of a [`Op::Walk`].
@@ -152,15 +163,48 @@ impl Op {
         ev: &Evaluator<'_>,
         ctx: ExecCtx<'_>,
     ) -> Result<Vec<Env>, crate::AlgebraError> {
-        self.run(instance, ev, ctx, vec![Env::new()])
+        self.run(instance, ev, ctx, vec![Env::new()], 0)
     }
 
+    /// Instrumentation shell around [`Op::run_inner`]: with neither a
+    /// profile nor metrics attached it adds two `Option` checks per operator
+    /// call; otherwise it times the (inclusive) execution and records the
+    /// emitted row count. `node` is this operator's pre-order id in
+    /// `ctx.profile` (`0` — never read — when unprofiled).
     fn run(
         &self,
         instance: &Instance,
         ev: &Evaluator<'_>,
         ctx: ExecCtx<'_>,
         input_rows: Vec<Env>,
+        node: usize,
+    ) -> Result<Vec<Env>, crate::AlgebraError> {
+        if ctx.profile.is_none() && ctx.metrics.is_none() {
+            return self.run_inner(instance, ev, ctx, input_rows, node);
+        }
+        let start = std::time::Instant::now();
+        let result = self.run_inner(instance, ev, ctx, input_rows, node);
+        if let Ok(rows) = &result {
+            let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let emitted = rows.len() as u64;
+            if let Some(p) = ctx.profile {
+                p.record(node, nanos, emitted);
+            }
+            if let Some(m) = ctx.metrics {
+                m.ops_executed.inc();
+                m.rows_emitted.add(emitted);
+            }
+        }
+        result
+    }
+
+    fn run_inner(
+        &self,
+        instance: &Instance,
+        ev: &Evaluator<'_>,
+        ctx: ExecCtx<'_>,
+        input_rows: Vec<Env>,
+        node: usize,
     ) -> Result<Vec<Env>, crate::AlgebraError> {
         match self {
             Op::Unit => Ok(input_rows),
@@ -183,7 +227,7 @@ impl Op {
                 steps,
                 out,
             } => {
-                let rows = input.run(instance, ev, ctx, input_rows)?;
+                let rows = input.run(instance, ev, ctx, input_rows, child_id(ctx, node, 0))?;
                 let mut result = Vec::new();
                 for row in rows {
                     let Some(CalcValue::Data(v)) = row.get(start).cloned() else {
@@ -194,12 +238,18 @@ impl Op {
                 Ok(result)
             }
             Op::IndexPathScan(scan) => {
-                let rows = scan.input.run(instance, ev, ctx, input_rows)?;
+                let rows = scan
+                    .input
+                    .run(instance, ev, ctx, input_rows, child_id(ctx, node, 0))?;
                 // Resolve the index choice once per execution: is an extent
                 // attached, and does it cover this path key?
                 let ext = ctx
                     .extents
                     .and_then(|e| e.lookup(&scan.key).map(|pid| (e, pid)));
+                // Tallied locally (plain integers), flushed to the profile
+                // and registry counters once after the loop.
+                let mut index_hits = 0u64;
+                let mut walk_fallbacks = 0u64;
                 let mut result = Vec::new();
                 for mut row in rows {
                     // Take the start value out of the row when it is dead
@@ -219,6 +269,7 @@ impl Op {
                         // Start value is the document oid itself.
                         (Some((e, pid)), None) => match v {
                             Value::Oid(o) if e.is_root_indexed(o) => {
+                                index_hits += 1;
                                 for target in e.targets(*pid, o) {
                                     emit_indexed(
                                         target,
@@ -229,7 +280,10 @@ impl Op {
                                     );
                                 }
                             }
-                            v => walk(instance, &v, &scan.steps, row, scan.out, &mut result),
+                            v => {
+                                walk_fallbacks += 1;
+                                walk(instance, &v, &scan.steps, row, scan.out, &mut result);
+                            }
                         },
                         // Start value is the document collection: fan out
                         // over it first, then consult the index per oid.
@@ -241,6 +295,7 @@ impl Op {
                                 }
                                 match item {
                                     Value::Oid(o) if e.is_root_indexed(o) => {
+                                        index_hits += 1;
                                         for target in e.targets(*pid, o) {
                                             emit_indexed(
                                                 target,
@@ -251,27 +306,40 @@ impl Op {
                                             );
                                         }
                                     }
-                                    item => walk(
-                                        instance,
-                                        &item,
-                                        &scan.steps[1..],
-                                        r,
-                                        scan.out,
-                                        &mut result,
-                                    ),
+                                    item => {
+                                        walk_fallbacks += 1;
+                                        walk(
+                                            instance,
+                                            &item,
+                                            &scan.steps[1..],
+                                            r,
+                                            scan.out,
+                                            &mut result,
+                                        );
+                                    }
                                 }
                             }
                         }
                         // No index attached, or the key is not interned.
                         (None, _) => {
+                            walk_fallbacks += 1;
                             walk(instance, &v, &scan.steps, row, scan.out, &mut result);
                         }
+                    }
+                }
+                if index_hits != 0 || walk_fallbacks != 0 {
+                    if let Some(p) = ctx.profile {
+                        p.record_scan(node, index_hits, walk_fallbacks);
+                    }
+                    if let Some(m) = ctx.metrics {
+                        m.index_scan_extent_hits.add(index_hits);
+                        m.index_scan_walk_fallbacks.add(walk_fallbacks);
                     }
                 }
                 Ok(result)
             }
             Op::Filter { input, atom } => {
-                let rows = input.run(instance, ev, ctx, input_rows)?;
+                let rows = input.run(instance, ev, ctx, input_rows, child_id(ctx, node, 0))?;
                 let mut result = Vec::new();
                 for row in rows {
                     let kept = ev
@@ -288,7 +356,7 @@ impl Op {
                 Ok(result)
             }
             Op::Assign { input, var, term } => {
-                let rows = input.run(instance, ev, ctx, input_rows)?;
+                let rows = input.run(instance, ev, ctx, input_rows, child_id(ctx, node, 0))?;
                 let mut result = Vec::new();
                 // Shared by the slow path below; built lazily so the common
                 // variable-copy case never touches the calculus evaluator.
@@ -318,37 +386,51 @@ impl Op {
             }
             Op::Union(branches) => {
                 let mut result = Vec::new();
-                for b in branches {
-                    result.extend(b.run(instance, ev, ctx, input_rows.clone())?);
+                for (i, b) in branches.iter().enumerate() {
+                    result.extend(b.run(
+                        instance,
+                        ev,
+                        ctx,
+                        input_rows.clone(),
+                        child_id(ctx, node, i),
+                    )?);
                 }
                 Ok(result)
             }
             Op::AntiSemi { input, sub } => {
-                let rows = input.run(instance, ev, ctx, input_rows)?;
+                let rows = input.run(instance, ev, ctx, input_rows, child_id(ctx, node, 0))?;
+                let sub_id = child_id(ctx, node, 1);
                 let mut result = Vec::new();
                 for row in rows {
-                    if sub.run(instance, ev, ctx, vec![row.clone()])?.is_empty() {
+                    if sub
+                        .run(instance, ev, ctx, vec![row.clone()], sub_id)?
+                        .is_empty()
+                    {
                         result.push(row);
                     }
                 }
                 Ok(result)
             }
             Op::Semi { input, sub } => {
-                let rows = input.run(instance, ev, ctx, input_rows)?;
+                let rows = input.run(instance, ev, ctx, input_rows, child_id(ctx, node, 0))?;
+                let sub_id = child_id(ctx, node, 1);
                 let mut result = Vec::new();
                 for row in rows {
-                    if !sub.run(instance, ev, ctx, vec![row.clone()])?.is_empty() {
+                    if !sub
+                        .run(instance, ev, ctx, vec![row.clone()], sub_id)?
+                        .is_empty()
+                    {
                         result.push(row);
                     }
                 }
                 Ok(result)
             }
             Op::Pipe(first, second) => {
-                let rows = first.run(instance, ev, ctx, input_rows)?;
-                second.run(instance, ev, ctx, rows)
+                let rows = first.run(instance, ev, ctx, input_rows, child_id(ctx, node, 0))?;
+                second.run(instance, ev, ctx, rows, child_id(ctx, node, 1))
             }
             Op::Project { input, vars } => {
-                let rows = input.run(instance, ev, ctx, input_rows)?;
+                let rows = input.run(instance, ev, ctx, input_rows, child_id(ctx, node, 0))?;
                 let mut seen = std::collections::BTreeSet::new();
                 let mut result = Vec::new();
                 for row in rows {
@@ -367,28 +449,41 @@ impl Op {
 
     /// Pretty-print the plan tree.
     pub fn explain(&self) -> String {
+        self.explain_annotated(&|_| String::new())
+    }
+
+    /// Pretty-print the plan tree with a per-operator suffix: `annotate` is
+    /// called with each operator's **pre-order id** — the numbering used by
+    /// [`PlanProfile`] — and its result is appended to that operator's line.
+    /// This is how `EXPLAIN ANALYZE` attaches recorded statistics to the
+    /// rendered plan.
+    pub fn explain_annotated(&self, annotate: &dyn Fn(usize) -> String) -> String {
         let mut out = String::new();
-        self.explain_into(0, &mut out);
+        let mut next = 0usize;
+        self.explain_into(0, &mut next, annotate, &mut out);
         out
     }
 
-    fn explain_into(&self, depth: usize, out: &mut String) {
-        let pad = "  ".repeat(depth);
+    /// The one-line label of this operator (no children, no indentation).
+    ///
+    /// For [`Op::IndexPathScan`] the label shows both sides of the run-time
+    /// choice point: the interned class-blind extent key the scan looks up,
+    /// and the fallback walk used when no index covers it.
+    pub fn node_label(&self) -> String {
         match self {
-            Op::Unit => out.push_str(&format!("{pad}Unit\n")),
-            Op::Root { name, out: v } => out.push_str(&format!("{pad}Root {name} -> #{v}\n")),
+            Op::Unit => "Unit".to_string(),
+            Op::Root { name, out: v } => format!("Root {name} -> #{v}"),
             Op::Walk {
-                input,
                 start,
                 steps,
                 out: v,
+                ..
             } => {
                 let s: String = steps.iter().map(|s| s.to_string()).collect();
                 match v {
-                    Some(v) => out.push_str(&format!("{pad}Walk #{start}{s} -> #{v}\n")),
-                    None => out.push_str(&format!("{pad}Walk #{start}{s}\n")),
+                    Some(v) => format!("Walk #{start}{s} -> #{v}"),
+                    None => format!("Walk #{start}{s}"),
                 }
-                input.explain_into(depth + 1, out);
             }
             Op::IndexPathScan(scan) => {
                 let lead = match &scan.lead {
@@ -399,53 +494,69 @@ impl Op {
                 let key: String = std::iter::once(lead)
                     .chain(scan.key.iter().map(|s| s.to_string()))
                     .collect();
+                let walk: String = scan.steps.iter().map(|s| s.to_string()).collect();
+                let start = scan.start;
                 match scan.out {
-                    Some(v) => out.push_str(&format!(
-                        "{pad}IndexPathScan #{start}{key} -> #{v}\n",
-                        start = scan.start
-                    )),
-                    None => out.push_str(&format!(
-                        "{pad}IndexPathScan #{start}{key}\n",
-                        start = scan.start
-                    )),
-                }
-                scan.input.explain_into(depth + 1, out);
-            }
-            Op::Filter { input, atom } => {
-                out.push_str(&format!("{pad}Filter {atom}\n"));
-                input.explain_into(depth + 1, out);
-            }
-            Op::Assign { input, var, term } => {
-                out.push_str(&format!("{pad}Assign #{var} := {term}\n"));
-                input.explain_into(depth + 1, out);
-            }
-            Op::Union(branches) => {
-                out.push_str(&format!("{pad}Union ({} branches)\n", branches.len()));
-                for b in branches {
-                    b.explain_into(depth + 1, out);
+                    Some(v) => {
+                        format!(
+                            "IndexPathScan #{start}{key} -> #{v} (fallback walk #{start}{walk})"
+                        )
+                    }
+                    None => format!("IndexPathScan #{start}{key} (fallback walk #{start}{walk})"),
                 }
             }
-            Op::AntiSemi { input, sub } => {
-                out.push_str(&format!("{pad}AntiSemi\n"));
-                input.explain_into(depth + 1, out);
-                out.push_str(&format!("{pad}  [sub]\n"));
-                sub.explain_into(depth + 2, out);
-            }
-            Op::Semi { input, sub } => {
-                out.push_str(&format!("{pad}Semi\n"));
-                input.explain_into(depth + 1, out);
-                out.push_str(&format!("{pad}  [sub]\n"));
-                sub.explain_into(depth + 2, out);
-            }
-            Op::Project { input, vars } => {
+            Op::Filter { atom, .. } => format!("Filter {atom}"),
+            Op::Assign { var, term, .. } => format!("Assign #{var} := {term}"),
+            Op::Union(branches) => format!("Union ({} branches)", branches.len()),
+            Op::AntiSemi { .. } => "AntiSemi".to_string(),
+            Op::Semi { .. } => "Semi".to_string(),
+            Op::Project { vars, .. } => {
                 let vs: Vec<String> = vars.iter().map(|v| format!("#{v}")).collect();
-                out.push_str(&format!("{pad}Project {}\n", vs.join(", ")));
-                input.explain_into(depth + 1, out);
+                format!("Project {}", vs.join(", "))
             }
-            Op::Pipe(first, second) => {
-                out.push_str(&format!("{pad}Pipe\n"));
-                first.explain_into(depth + 1, out);
-                second.explain_into(depth + 1, out);
+            Op::Pipe(..) => "Pipe".to_string(),
+        }
+    }
+
+    /// Direct sub-plans, in execution order. This order defines the child
+    /// indices used by [`PlanProfile::child`] and the pre-order numbering of
+    /// [`Op::explain_annotated`].
+    pub fn children(&self) -> Vec<&Op> {
+        match self {
+            Op::Unit | Op::Root { .. } => Vec::new(),
+            Op::Walk { input, .. }
+            | Op::Filter { input, .. }
+            | Op::Assign { input, .. }
+            | Op::Project { input, .. } => vec![input],
+            Op::IndexPathScan(scan) => vec![&scan.input],
+            Op::Union(branches) => branches.iter().collect(),
+            Op::AntiSemi { input, sub } | Op::Semi { input, sub } => vec![input, sub],
+            Op::Pipe(first, second) => vec![first, second],
+        }
+    }
+
+    fn explain_into(
+        &self,
+        depth: usize,
+        next: &mut usize,
+        annotate: &dyn Fn(usize) -> String,
+        out: &mut String,
+    ) {
+        let id = *next;
+        *next += 1;
+        let pad = "  ".repeat(depth);
+        out.push_str(&format!("{pad}{}{}\n", self.node_label(), annotate(id)));
+        match self {
+            // Semi-joins mark their sub-plan so the two inputs read apart.
+            Op::AntiSemi { input, sub } | Op::Semi { input, sub } => {
+                input.explain_into(depth + 1, next, annotate, out);
+                out.push_str(&format!("{pad}  [sub]\n"));
+                sub.explain_into(depth + 2, next, annotate, out);
+            }
+            _ => {
+                for c in self.children() {
+                    c.explain_into(depth + 1, next, annotate, out);
+                }
             }
         }
     }
@@ -541,6 +652,16 @@ impl Op {
             Op::AntiSemi { input, sub } | Op::Semi { input, sub } => 1 + input.size() + sub.size(),
             Op::Pipe(first, second) => 1 + first.size() + second.size(),
         }
+    }
+}
+
+/// The pre-order id of `node`'s `k`-th child, or `0` (never read) when no
+/// profile is attached.
+#[inline]
+fn child_id(ctx: ExecCtx<'_>, node: usize, k: usize) -> usize {
+    match ctx.profile {
+        Some(p) => p.child(node, k),
+        None => 0,
     }
 }
 

@@ -1,0 +1,286 @@
+//! Per-operator execution profiles (`EXPLAIN ANALYZE`) and registry-level
+//! algebra counters.
+//!
+//! A [`PlanProfile`] numbers the operators of one plan tree in **pre-order**
+//! (the order [`Op::explain`](crate::Op::explain) prints them) and holds one
+//! row of atomic statistics per node. The executor is handed the profile
+//! through [`ExecCtx::profile`](crate::ExecCtx) and records calls, emitted
+//! rows, and inclusive wall time per operator; [`Op::IndexPathScan`]
+//! additionally records how many start values were answered from the
+//! path-extent index versus the walk fallback.
+//!
+//! [`AlgebraMetrics`] is the registry-facing aggregate of the same events:
+//! process-lifetime counters shared across queries, resolved once from a
+//! [`MetricsRegistry`] and threaded through
+//! [`ExecCtx::metrics`](crate::ExecCtx).
+//!
+//! Timing convention: a node's time **includes its children** (the
+//! PostgreSQL `EXPLAIN ANALYZE` convention), and `calls` counts executor
+//! invocations — the sub-plan of a `Semi`/`AntiSemi` runs once per input
+//! row, so its `calls` can exceed 1 within a single query.
+
+use crate::plan::Op;
+use docql_obs::{Counter, MetricsRegistry};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// One operator's accumulated statistics.
+#[derive(Debug, Default)]
+struct NodeStats {
+    calls: AtomicU64,
+    rows: AtomicU64,
+    nanos: AtomicU64,
+    index_hits: AtomicU64,
+    walk_fallbacks: AtomicU64,
+}
+
+/// Per-operator statistics for one plan, indexed by pre-order position.
+///
+/// Built once per profiled execution from the plan tree; recording uses
+/// relaxed atomics so the profile can be shared (the executor takes it by
+/// shared reference through `ExecCtx`).
+#[derive(Debug)]
+pub struct PlanProfile {
+    nodes: Vec<NodeStats>,
+    children: Vec<Vec<usize>>,
+}
+
+fn build(op: &Op, children: &mut Vec<Vec<usize>>) -> usize {
+    let id = children.len();
+    children.push(Vec::new());
+    let kids: Vec<usize> = op
+        .children()
+        .into_iter()
+        .map(|c| build(c, children))
+        .collect();
+    children[id] = kids;
+    id
+}
+
+impl PlanProfile {
+    /// A zeroed profile shaped like `plan` (node `0` is the plan root).
+    pub fn new(plan: &Op) -> PlanProfile {
+        let mut children = Vec::new();
+        build(plan, &mut children);
+        let nodes = (0..children.len()).map(|_| NodeStats::default()).collect();
+        PlanProfile { nodes, children }
+    }
+
+    /// Number of operators in the profiled plan.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the profile covers no operators (never true for a profile
+    /// built from a plan — every plan has at least one node).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The pre-order id of `node`'s `k`-th child (in
+    /// [`Op::children`](crate::Op::children) order). Out-of-range lookups
+    /// return node `0` rather than panicking; they indicate a profile built
+    /// from a different plan than the one executing.
+    pub fn child(&self, node: usize, k: usize) -> usize {
+        self.children
+            .get(node)
+            .and_then(|c| c.get(k))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    pub(crate) fn record(&self, node: usize, nanos: u64, rows: u64) {
+        if let Some(n) = self.nodes.get(node) {
+            n.calls.fetch_add(1, Ordering::Relaxed);
+            n.rows.fetch_add(rows, Ordering::Relaxed);
+            n.nanos.fetch_add(nanos, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn record_scan(&self, node: usize, index_hits: u64, walk_fallbacks: u64) {
+        if let Some(n) = self.nodes.get(node) {
+            n.index_hits.fetch_add(index_hits, Ordering::Relaxed);
+            n.walk_fallbacks
+                .fetch_add(walk_fallbacks, Ordering::Relaxed);
+        }
+    }
+
+    /// Executor invocations of `node`.
+    pub fn calls(&self, node: usize) -> u64 {
+        self.stat(node, |n| &n.calls)
+    }
+
+    /// Rows emitted by `node` across all calls.
+    pub fn rows(&self, node: usize) -> u64 {
+        self.stat(node, |n| &n.rows)
+    }
+
+    /// Inclusive nanoseconds spent in `node` (children included).
+    pub fn nanos(&self, node: usize) -> u64 {
+        self.stat(node, |n| &n.nanos)
+    }
+
+    /// Start values `node` answered from the path-extent index (nonzero only
+    /// for `IndexPathScan` operators).
+    pub fn index_hits(&self, node: usize) -> u64 {
+        self.stat(node, |n| &n.index_hits)
+    }
+
+    /// Start values `node` answered by the fallback walk.
+    pub fn walk_fallbacks(&self, node: usize) -> u64 {
+        self.stat(node, |n| &n.walk_fallbacks)
+    }
+
+    /// Rows emitted by the plan root (node `0`) — the plan's result
+    /// cardinality before head projection and deduplication.
+    pub fn root_rows(&self) -> u64 {
+        self.rows(0)
+    }
+
+    /// Total rows emitted across all operators.
+    pub fn total_rows(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| n.rows.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total index-hit / walk-fallback counts across all scan operators.
+    pub fn scan_totals(&self) -> (u64, u64) {
+        let hits = self
+            .nodes
+            .iter()
+            .map(|n| n.index_hits.load(Ordering::Relaxed))
+            .sum();
+        let walks = self
+            .nodes
+            .iter()
+            .map(|n| n.walk_fallbacks.load(Ordering::Relaxed))
+            .sum();
+        (hits, walks)
+    }
+
+    fn stat(&self, node: usize, f: impl Fn(&NodeStats) -> &AtomicU64) -> u64 {
+        self.nodes
+            .get(node)
+            .map(|n| f(n).load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// The per-node annotation appended to explain lines by [`render`]:
+    /// `calls=…, rows=…, time=…` plus index-hit/walk-fallback counts when a
+    /// scan recorded any.
+    ///
+    /// [`render`]: PlanProfile::render
+    pub fn annotation(&self, node: usize) -> String {
+        let calls = self.calls(node);
+        if calls == 0 {
+            return "never executed".to_string();
+        }
+        let mut s = format!(
+            "calls={calls} rows={} time={:?}",
+            self.rows(node),
+            Duration::from_nanos(self.nanos(node)),
+        );
+        let (hits, walks) = (self.index_hits(node), self.walk_fallbacks(node));
+        if hits != 0 || walks != 0 {
+            s.push_str(&format!(" index_hits={hits} walk_fallbacks={walks}"));
+        }
+        s
+    }
+
+    /// Render `plan` as its explain tree with this profile's statistics
+    /// appended to each operator line. `plan` must be the plan this profile
+    /// was built from.
+    pub fn render(&self, plan: &Op) -> String {
+        plan.explain_annotated(&|id| format!("  [{}]", self.annotation(id)))
+    }
+}
+
+/// Registry-level counters for algebra execution, shared across queries.
+///
+/// Cloning shares the underlying cells (see [`Counter`]).
+#[derive(Clone, Debug, Default)]
+pub struct AlgebraMetrics {
+    /// Operator invocations (one per `calls` in profile terms).
+    pub ops_executed: Counter,
+    /// Rows emitted by all operators.
+    pub rows_emitted: Counter,
+    /// `IndexPathScan` start values answered from the path-extent index.
+    pub index_scan_extent_hits: Counter,
+    /// `IndexPathScan` start values answered by the fallback walk.
+    pub index_scan_walk_fallbacks: Counter,
+}
+
+impl AlgebraMetrics {
+    /// Free-standing counters, not attached to any registry.
+    pub fn new() -> AlgebraMetrics {
+        AlgebraMetrics::default()
+    }
+
+    /// Resolve (creating if absent) the algebra counters in `registry`.
+    pub fn register(registry: &MetricsRegistry) -> AlgebraMetrics {
+        AlgebraMetrics {
+            ops_executed: registry.counter("docql_algebra_ops_executed_total"),
+            rows_emitted: registry.counter("docql_algebra_rows_emitted_total"),
+            index_scan_extent_hits: registry.counter("docql_index_scan_extent_hits_total"),
+            index_scan_walk_fallbacks: registry.counter("docql_index_scan_walk_fallbacks_total"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use docql_model::sym;
+
+    fn sample_plan() -> Op {
+        // Project(0) -> Semi(1) { Walk(2) -> Root(3), Unit(4) }
+        Op::Project {
+            vars: vec![1],
+            input: Box::new(Op::Semi {
+                input: Box::new(Op::Walk {
+                    start: 0,
+                    steps: vec![crate::WalkStep::UnnestList(None)],
+                    out: Some(1),
+                    input: Box::new(Op::Root {
+                        name: sym("Items"),
+                        out: 0,
+                    }),
+                }),
+                sub: Box::new(Op::Unit),
+            }),
+        }
+    }
+
+    #[test]
+    fn preorder_numbering_matches_tree() {
+        let plan = sample_plan();
+        let p = PlanProfile::new(&plan);
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.child(0, 0), 1, "Project's child is Semi");
+        assert_eq!(p.child(1, 0), 2, "Semi's input is Walk");
+        assert_eq!(p.child(1, 1), 4, "Semi's sub is Unit (after Walk subtree)");
+        assert_eq!(p.child(2, 0), 3, "Walk's input is Root");
+        assert_eq!(p.child(9, 3), 0, "out of range falls back to the root id");
+    }
+
+    #[test]
+    fn annotations_render_in_tree_order() {
+        let plan = sample_plan();
+        let p = PlanProfile::new(&plan);
+        p.record(0, 1_500, 2);
+        p.record(2, 700, 3);
+        p.record_scan(2, 2, 1);
+        let text = p.render(&plan);
+        assert!(
+            text.contains("Project #1  [calls=1 rows=2 time=1.5µs]"),
+            "{text}"
+        );
+        assert!(text.contains("index_hits=2 walk_fallbacks=1"), "{text}");
+        assert!(text.contains("never executed"), "{text}");
+        assert_eq!(p.root_rows(), 2);
+        assert_eq!(p.total_rows(), 5);
+        assert_eq!(p.scan_totals(), (2, 1));
+    }
+}

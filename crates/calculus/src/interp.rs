@@ -190,6 +190,18 @@ impl Interp {
         i
     }
 
+    /// The built-in `contains` predicate, exposed so embedders (e.g. a
+    /// store) can wrap it — count text scans, consult an index first — and
+    /// re-register the wrapper under the same name.
+    pub fn builtin_contains(ctx: &InterpCtx<'_>, args: &[CalcValue]) -> Result<bool, InterpError> {
+        p_contains(ctx, args)
+    }
+
+    /// The built-in `near` predicate (see [`Interp::builtin_contains`]).
+    pub fn builtin_near(ctx: &InterpCtx<'_>, args: &[CalcValue]) -> Result<bool, InterpError> {
+        p_near(ctx, args)
+    }
+
     /// Register a custom predicate (overrides any existing binding).
     pub fn register_pred<F>(&mut self, name: impl Into<Sym>, f: F)
     where

@@ -39,6 +39,7 @@ pub use docql_calculus as calculus;
 pub use docql_mapping as mapping;
 pub use docql_model as model;
 pub use docql_o2sql as o2sql;
+pub use docql_obs as obs;
 pub use docql_paths as paths;
 pub use docql_sgml as sgml;
 pub use docql_store as store;
@@ -112,6 +113,41 @@ impl Database {
     /// Run a query through the §5.4 algebraizer instead of the interpreter.
     pub fn query_algebraic(&self, src: &str) -> Result<QueryResult, StoreError> {
         self.inner.query_algebraic(src)
+    }
+
+    /// The rendered `EXPLAIN ANALYZE` report for one query: lifecycle
+    /// phase timings plus the algebra plan annotated with per-operator
+    /// calls, row counts and wall time (see
+    /// [`store::DocStore::explain_analyze`]).
+    pub fn explain_analyze(&self, src: &str) -> Result<String, StoreError> {
+        self.inner.explain_analyze(src)
+    }
+
+    /// Profile one query, keeping the structured result (see
+    /// [`store::DocStore::profile`]).
+    pub fn profile(&self, src: &str) -> Result<docql_o2sql::QueryProfile, StoreError> {
+        self.inner.profile(src)
+    }
+
+    /// Turn metric recording on or off (off by default; see
+    /// [`store::DocStore::set_metrics_enabled`]).
+    pub fn set_metrics_enabled(&self, on: bool) {
+        self.inner.set_metrics_enabled(on);
+    }
+
+    /// Read every metric at this instant.
+    pub fn metrics_snapshot(&self) -> docql_obs::MetricsSnapshot {
+        self.inner.metrics_snapshot()
+    }
+
+    /// The metrics in the Prometheus text exposition format.
+    pub fn metrics_prometheus(&self) -> String {
+        self.inner.metrics_prometheus()
+    }
+
+    /// The metrics as a JSON object.
+    pub fn metrics_json(&self) -> String {
+        self.inner.metrics_json()
     }
 
     /// The underlying store (full API).

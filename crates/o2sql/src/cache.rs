@@ -20,8 +20,8 @@ use crate::translate::Translated;
 use crate::O2sqlError;
 use docql_algebra::{algebraize, AlgebraError, Algebraized};
 use docql_model::Schema;
+use docql_obs::{Counter, Gauge, MetricsRegistry};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 /// Default number of cached plans ([`PlanCache::with_capacity`] overrides).
@@ -71,6 +71,14 @@ impl CachedPlan {
             Err(e) => Err(O2sqlError::Eval(e.to_string())),
         }
     }
+
+    /// Has the §5.4 algebraization already run (successfully or not)?
+    /// Observability uses this to time algebraization only when it actually
+    /// happens — memoised plans would otherwise record meaningless
+    /// nanosecond samples on every run.
+    pub fn is_algebraized(&self) -> bool {
+        self.algebra.get().is_some()
+    }
 }
 
 /// Cache observability for benches and ops counters.
@@ -96,8 +104,12 @@ struct Inner {
 pub struct PlanCache {
     capacity: usize,
     inner: Mutex<Inner>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    /// Hit/miss counters are [`docql_obs`] handles so a metrics registry
+    /// can adopt them (see [`PlanCache::register_metrics`]); free-standing
+    /// they behave exactly like plain atomics.
+    hits: Counter,
+    misses: Counter,
+    entries: Gauge,
 }
 
 impl Default for PlanCache {
@@ -116,9 +128,19 @@ impl PlanCache {
                 map: HashMap::new(),
                 order: Vec::new(),
             }),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            hits: Counter::new(),
+            misses: Counter::new(),
+            entries: Gauge::new(),
         }
+    }
+
+    /// Expose this cache's counters through `registry` under the
+    /// `docql_plan_cache_*` names. The registry adopts the live handles, so
+    /// exports reflect the cache with no copying or polling.
+    pub fn register_metrics(&self, registry: &MetricsRegistry) {
+        registry.register_counter("docql_plan_cache_hits_total", &self.hits);
+        registry.register_counter("docql_plan_cache_misses_total", &self.misses);
+        registry.register_gauge("docql_plan_cache_entries", &self.entries);
     }
 
     /// Look up `src`, or compile it with `compile` and cache the result.
@@ -142,7 +164,7 @@ impl PlanCache {
         let mut inner = self.lock();
         match inner.map.get(src).cloned() {
             Some(plan) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 if let Some(i) = inner.order.iter().position(|k| k == src) {
                     let k = inner.order.remove(i);
                     inner.order.push(k);
@@ -150,7 +172,7 @@ impl PlanCache {
                 Some(plan)
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
                 None
             }
         }
@@ -173,14 +195,15 @@ impl PlanCache {
             let evicted = inner.order.remove(0);
             inner.map.remove(&evicted);
         }
+        self.entries.set(inner.map.len() as i64);
     }
 
     /// Hit/miss counters and occupancy.
     pub fn stats(&self) -> CacheStats {
         let entries = self.lock().map.len();
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
             entries,
             capacity: self.capacity,
         }
@@ -191,6 +214,17 @@ impl PlanCache {
         let mut inner = self.lock();
         inner.map.clear();
         inner.order.clear();
+        self.entries.set(0);
+    }
+
+    /// Drop all entries *and* zero the hit/miss counters — [`clear`] plus a
+    /// fresh statistical slate, for bench phase isolation and tests.
+    ///
+    /// [`clear`]: PlanCache::clear
+    pub fn reset(&self) {
+        self.clear();
+        self.hits.reset();
+        self.misses.reset();
     }
 
     /// Entries currently resident.
@@ -279,6 +313,28 @@ mod tests {
         cache.get_or_compile(q, || Ok(compile(q, &schema))).unwrap();
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.entries), (0, 2, 0));
+    }
+
+    #[test]
+    fn reset_zeroes_counters_and_registry_sees_live_values() {
+        let schema = schema();
+        let cache = PlanCache::with_capacity(4);
+        let reg = MetricsRegistry::new();
+        cache.register_metrics(&reg);
+        let q = "select d.title from d in Docs";
+        for _ in 0..2 {
+            cache.get_or_compile(q, || Ok(compile(q, &schema))).unwrap();
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("docql_plan_cache_hits_total"), Some(1));
+        assert_eq!(snap.counter("docql_plan_cache_misses_total"), Some(1));
+        assert_eq!(snap.gauge("docql_plan_cache_entries"), Some(1));
+        cache.reset();
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 0, 0));
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("docql_plan_cache_hits_total"), Some(0));
+        assert_eq!(snap.gauge("docql_plan_cache_entries"), Some(0));
     }
 
     #[test]

@@ -1,14 +1,16 @@
 //! The query engine façade: parse → translate → (type-check) → evaluate.
 
 use crate::cache::{CachedPlan, PlanCache};
+use crate::metrics::{EngineMetrics, QueryProfile};
 use crate::parser::parse;
 use crate::translate::{translate, Translated};
 use crate::O2sqlError;
-use docql_algebra::Algebraized;
+use docql_algebra::{Algebraized, PlanProfile};
 use docql_calculus::{infer_types, CalcValue, Evaluator, Interp, TypeInfo};
 use docql_model::Instance;
 use std::collections::BTreeSet;
 use std::sync::Arc;
+use std::time::Instant;
 
 use crate::ast::SetOpKind;
 
@@ -93,6 +95,11 @@ pub struct Engine<'a> {
     /// (and cached) plans serve both settings — the choice is resolved at
     /// evaluation time.
     pub extents: Option<&'a docql_paths::PathExtentIndex>,
+    /// Query-lifecycle metrics. Like `extents`, instrumentation is attached
+    /// per engine: `None` (the default) costs nothing, and an attached
+    /// `EngineMetrics` whose registry is disabled costs one relaxed atomic
+    /// load per query.
+    pub metrics: Option<&'a EngineMetrics>,
 }
 
 impl<'a> Engine<'a> {
@@ -104,14 +111,55 @@ impl<'a> Engine<'a> {
             mode: Mode::Interpret,
             semantics: docql_paths::PathSemantics::Restricted,
             extents: None,
+            metrics: None,
         }
+    }
+
+    /// The metrics to record into, if any — the per-query enable gate.
+    #[inline]
+    fn obs(&self) -> Option<&'a EngineMetrics> {
+        self.metrics.filter(|m| m.enabled())
     }
 
     /// Parse, translate, and evaluate a query.
     pub fn run(&self, src: &str) -> Result<QueryResult, O2sqlError> {
-        let ast = parse(src)?;
-        let translated = translate(&ast, self.instance.schema())?;
+        let translated = self.parse_translate(src)?;
         self.eval_translated(&translated)
+    }
+
+    /// Parse then translate, recording the two phase histograms when
+    /// metrics are attached and enabled.
+    fn parse_translate(&self, src: &str) -> Result<Translated, O2sqlError> {
+        match self.obs() {
+            None => {
+                let ast = parse(src)?;
+                translate(&ast, self.instance.schema())
+            }
+            Some(m) => {
+                let t0 = Instant::now();
+                let ast = parse(src)?;
+                m.parse_ns.record_duration(t0.elapsed());
+                let t1 = Instant::now();
+                let translated = translate(&ast, self.instance.schema());
+                m.translate_ns.record_duration(t1.elapsed());
+                translated
+            }
+        }
+    }
+
+    /// Run `f` as the execute phase: counts the query and records the
+    /// execute histogram when metrics are attached and enabled.
+    fn timed_execute<T>(&self, f: impl FnOnce() -> Result<T, O2sqlError>) -> Result<T, O2sqlError> {
+        match self.obs() {
+            None => f(),
+            Some(m) => {
+                m.queries.inc();
+                let t0 = Instant::now();
+                let result = f();
+                m.execute_ns.record_duration(t0.elapsed());
+                result
+            }
+        }
     }
 
     /// Evaluate a query through a plan cache: on a hit the lex → parse →
@@ -125,8 +173,7 @@ impl<'a> Engine<'a> {
     /// Compile a query into a cacheable plan (parse + translate; algebraic
     /// plans are added lazily on the first algebraic run).
     pub fn compile_plan(&self, src: &str) -> Result<CachedPlan, O2sqlError> {
-        let ast = parse(src)?;
-        Ok(CachedPlan::new(translate(&ast, self.instance.schema())?))
+        Ok(CachedPlan::new(self.parse_translate(src)?))
     }
 
     /// Evaluate an already-compiled plan (see [`Engine::compile_plan`]).
@@ -134,9 +181,21 @@ impl<'a> Engine<'a> {
         match self.mode {
             Mode::Interpret => self.eval_translated(&plan.translated),
             Mode::Algebraic => {
-                let plans = plan.algebra_plans(self.instance.schema())?;
-                let mut pos = 0;
-                let rows = self.eval_rows_with(&plan.translated, Some(plans), &mut pos)?;
+                // Time the algebraization only when it actually runs; a
+                // memoised plan would otherwise record a no-op sample on
+                // every cached execution.
+                let plans = match self.obs().filter(|_| !plan.is_algebraized()) {
+                    Some(m) => {
+                        let t0 = Instant::now();
+                        let plans = plan.algebra_plans(self.instance.schema());
+                        m.algebraize_ns.record_duration(t0.elapsed());
+                        plans?
+                    }
+                    None => plan.algebra_plans(self.instance.schema())?,
+                };
+                let rows = self.timed_execute(|| {
+                    self.eval_rows_with(&plan.translated, Some(plans), &mut 0, None)
+                })?;
                 Ok(QueryResult {
                     columns: plan.translated.columns.clone(),
                     rows,
@@ -161,6 +220,11 @@ impl<'a> Engine<'a> {
         out.push_str("calculus: ");
         out.push_str(&translated.query.to_string());
         out.push('\n');
+        out.push_str(if self.extents.is_some() {
+            "path-extent index: attached (IndexPathScan reads extents, walk on fallback)\n"
+        } else {
+            "path-extent index: not attached (every IndexPathScan walks)\n"
+        });
         match docql_algebra::algebraize(&translated.query, self.instance.schema()) {
             Ok(a) => {
                 out.push_str(&format!(
@@ -199,7 +263,7 @@ impl<'a> Engine<'a> {
     }
 
     fn eval_translated(&self, t: &Translated) -> Result<QueryResult, O2sqlError> {
-        let rows = self.eval_rows(t)?;
+        let rows = self.timed_execute(|| self.eval_rows(t))?;
         Ok(QueryResult {
             columns: t.columns.clone(),
             rows,
@@ -207,18 +271,21 @@ impl<'a> Engine<'a> {
     }
 
     fn eval_rows(&self, t: &Translated) -> Result<Vec<Vec<CalcValue>>, O2sqlError> {
-        self.eval_rows_with(t, None, &mut 0)
+        self.eval_rows_with(t, None, &mut 0, None)
     }
 
     /// Evaluate a translated query's set-op chain. When `plans` is given
     /// (the cached-plan path), the algebraic mode consumes one
     /// pre-algebraized plan per chain node in pre-order via `pos` instead
-    /// of re-running the §5.4 algebraization.
+    /// of re-running the §5.4 algebraization. `profiles`, when given, is
+    /// aligned with `plans` and attaches a per-operator profile to each
+    /// plan execution (the `EXPLAIN ANALYZE` path).
     fn eval_rows_with(
         &self,
         t: &Translated,
         plans: Option<&[Arc<Algebraized>]>,
         pos: &mut usize,
+        profiles: Option<&[PlanProfile]>,
     ) -> Result<Vec<Vec<CalcValue>>, O2sqlError> {
         let left = match self.mode {
             Mode::Interpret => {
@@ -236,6 +303,8 @@ impl<'a> Engine<'a> {
                 }
                 let ctx = docql_algebra::ExecCtx {
                     extents: self.extents,
+                    profile: profiles.and_then(|ps| ps.get(*pos)),
+                    metrics: self.obs().map(|m| &m.algebra),
                 };
                 match plans.and_then(|ps| ps.get(*pos)) {
                     Some(plan) => {
@@ -257,30 +326,131 @@ impl<'a> Engine<'a> {
             None => Ok(left),
             Some((op, right)) => {
                 let right_rows: BTreeSet<Vec<CalcValue>> = self
-                    .eval_rows_with(right, plans, pos)?
+                    .eval_rows_with(right, plans, pos, profiles)?
                     .into_iter()
                     .collect();
-                Ok(match op {
-                    SetOpKind::Difference => left
-                        .into_iter()
-                        .filter(|r| !right_rows.contains(r))
-                        .collect(),
-                    SetOpKind::Intersect => left
-                        .into_iter()
-                        .filter(|r| right_rows.contains(r))
-                        .collect(),
-                    SetOpKind::Union => {
-                        let mut seen: BTreeSet<Vec<CalcValue>> = left.iter().cloned().collect();
-                        let mut out = left;
-                        for r in right_rows {
-                            if seen.insert(r.clone()) {
-                                out.push(r);
-                            }
-                        }
-                        out
-                    }
-                })
+                Ok(combine_set_op(*op, left, right_rows))
             }
+        }
+    }
+
+    /// Profile one query end to end: parse, translate, algebraize, and
+    /// execute it **algebraically** with a per-operator [`PlanProfile`]
+    /// attached to every plan in the set-op chain, timing each phase. The
+    /// result rows are the real query answer. Queries that cannot be
+    /// algebraized fall back to the calculus interpreter and say so in
+    /// [`QueryProfile::note`] (no per-operator statistics then — the
+    /// interpreter has no plan).
+    ///
+    /// Profiling ignores `self.mode` (it exists to show plan behaviour) but
+    /// honours `self.extents`, so the report reflects the index-versus-walk
+    /// choices the store would actually make.
+    pub fn profile(&self, src: &str) -> Result<QueryProfile, O2sqlError> {
+        let t_total = Instant::now();
+        let mut phases = Vec::new();
+        let t0 = Instant::now();
+        let ast = parse(src)?;
+        phases.push(("parse", t0.elapsed()));
+        let t0 = Instant::now();
+        let translated = translate(&ast, self.instance.schema())?;
+        phases.push(("translate", t0.elapsed()));
+
+        // Algebraize the whole set-op chain up front (pre-order, the same
+        // order eval_rows_with consumes).
+        let t0 = Instant::now();
+        let mut chain = Vec::new();
+        let mut node = Some(&translated);
+        let mut algebra_err = None;
+        while let Some(t) = node {
+            match docql_algebra::algebraize(&t.query, self.instance.schema()) {
+                Ok(a) => chain.push(Arc::new(a)),
+                Err(e) => {
+                    algebra_err = Some(e);
+                    break;
+                }
+            }
+            node = t.set_op.as_ref().map(|(_, right)| &**right);
+        }
+        phases.push(("algebraize", t0.elapsed()));
+
+        // Execution runs on a shadow engine so profiling works regardless
+        // of the engine's configured mode.
+        let mut shadow = Engine {
+            instance: self.instance,
+            interp: self.interp,
+            mode: Mode::Algebraic,
+            semantics: self.semantics,
+            extents: self.extents,
+            metrics: self.metrics,
+        };
+        let (rows, plans, note) = match algebra_err {
+            None => {
+                let profiles: Vec<PlanProfile> =
+                    chain.iter().map(|a| PlanProfile::new(&a.plan)).collect();
+                let t0 = Instant::now();
+                let rows = shadow.timed_execute(|| {
+                    shadow.eval_rows_with(&translated, Some(&chain), &mut 0, Some(&profiles))
+                })?;
+                phases.push(("execute", t0.elapsed()));
+                let plans = chain.into_iter().zip(profiles).collect();
+                (rows, plans, None)
+            }
+            Some(e) => {
+                shadow.mode = Mode::Interpret;
+                let t0 = Instant::now();
+                let rows = shadow.timed_execute(|| shadow.eval_rows(&translated))?;
+                phases.push(("execute", t0.elapsed()));
+                let note = format!(
+                    "not algebraizable ({e}); executed by the calculus interpreter                      — no per-operator statistics"
+                );
+                (rows, Vec::new(), Some(note))
+            }
+        };
+        Ok(QueryProfile {
+            result: QueryResult {
+                columns: translated.columns.clone(),
+                rows,
+            },
+            phases,
+            plans,
+            note,
+            total: t_total.elapsed(),
+        })
+    }
+
+    /// `EXPLAIN ANALYZE`: profile the query (see [`Engine::profile`]) and
+    /// render the report.
+    pub fn explain_analyze(&self, src: &str) -> Result<String, O2sqlError> {
+        Ok(self.profile(src)?.render())
+    }
+}
+
+/// Combine a set-op chain node: `left` from the current query, `right_rows`
+/// from the rest of the chain. Order of `left` is preserved; union appends
+/// unseen right rows.
+fn combine_set_op(
+    op: SetOpKind,
+    left: Vec<Vec<CalcValue>>,
+    right_rows: BTreeSet<Vec<CalcValue>>,
+) -> Vec<Vec<CalcValue>> {
+    match op {
+        SetOpKind::Difference => left
+            .into_iter()
+            .filter(|r| !right_rows.contains(r))
+            .collect(),
+        SetOpKind::Intersect => left
+            .into_iter()
+            .filter(|r| right_rows.contains(r))
+            .collect(),
+        SetOpKind::Union => {
+            let mut seen: BTreeSet<Vec<CalcValue>> = left.iter().cloned().collect();
+            let mut out = left;
+            for r in right_rows {
+                if seen.insert(r.clone()) {
+                    out.push(r);
+                }
+            }
+            out
         }
     }
 }

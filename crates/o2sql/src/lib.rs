@@ -10,6 +10,7 @@
 pub mod ast;
 pub mod cache;
 pub mod engine;
+pub mod metrics;
 pub mod parser;
 pub mod token;
 pub mod translate;
@@ -17,6 +18,7 @@ pub mod translate;
 pub use ast::{CBool, CmpOp, Expr, FromItem, PatStep, SelectQuery, SetOpKind, TopQuery};
 pub use cache::{CacheStats, CachedPlan, PlanCache};
 pub use engine::{Engine, Mode, QueryResult};
+pub use metrics::{EngineMetrics, QueryProfile};
 pub use parser::parse;
 pub use translate::{translate, Translated};
 

@@ -1,0 +1,141 @@
+//! Query-lifecycle metrics and the `EXPLAIN ANALYZE` profile.
+//!
+//! [`EngineMetrics`] bundles the registry handles an [`Engine`] records
+//! into: per-phase histograms (parse → translate → algebraize → execute), a
+//! query counter, and the shared [`AlgebraMetrics`](docql_algebra::AlgebraMetrics). The engine checks
+//! [`EngineMetrics::enabled`] **once per query**; disabled, the query path
+//! performs one relaxed atomic load and nothing else.
+//!
+//! [`QueryProfile`] is one profiled execution: the result, per-phase wall
+//! times, and a [`PlanProfile`] per algebra plan in the query's set-op
+//! chain — rendered by [`QueryProfile::render`] as the `EXPLAIN ANALYZE`
+//! report.
+//!
+//! [`Engine`]: crate::Engine
+
+use crate::engine::QueryResult;
+use docql_algebra::{Algebraized, PlanProfile};
+use docql_obs::{Counter, Histogram, MetricsRegistry, SharedRegistry};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Registry handles for the query lifecycle, resolved once per store (not
+/// per query). Shared across engines serving the same registry.
+#[derive(Clone, Debug)]
+pub struct EngineMetrics {
+    /// The owning registry; its enable flag gates all recording.
+    pub registry: SharedRegistry,
+    /// Queries executed (any mode).
+    pub queries: Counter,
+    /// Nanoseconds lexing + parsing query text.
+    pub parse_ns: Histogram,
+    /// Nanoseconds translating the AST to the calculus (includes static
+    /// typing work done during translation).
+    pub translate_ns: Histogram,
+    /// Nanoseconds in the §5.4 algebraization. Recorded only when the
+    /// algebraization actually runs — memoised cached plans skip it.
+    pub algebraize_ns: Histogram,
+    /// Nanoseconds evaluating (interpreter or plan execution).
+    pub execute_ns: Histogram,
+    /// Per-operator registry counters for algebra execution.
+    pub algebra: docql_algebra::AlgebraMetrics,
+}
+
+impl EngineMetrics {
+    /// Resolve (creating if absent) the engine metrics in `registry`.
+    pub fn register(registry: SharedRegistry) -> EngineMetrics {
+        let algebra = docql_algebra::AlgebraMetrics::register(&registry);
+        EngineMetrics {
+            queries: registry.counter("docql_queries_total"),
+            parse_ns: registry.histogram("docql_query_parse_ns"),
+            translate_ns: registry.histogram("docql_query_translate_ns"),
+            algebraize_ns: registry.histogram("docql_query_algebraize_ns"),
+            execute_ns: registry.histogram("docql_query_execute_ns"),
+            algebra,
+            registry,
+        }
+    }
+
+    /// Free-standing metrics over a private, **enabled** registry (tests
+    /// and embedders without a store).
+    pub fn standalone() -> EngineMetrics {
+        let registry = Arc::new(MetricsRegistry::new());
+        registry.set_enabled(true);
+        EngineMetrics::register(registry)
+    }
+
+    /// The per-query gate: one relaxed load on the owning registry.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.registry.enabled()
+    }
+}
+
+/// One profiled query execution (`EXPLAIN ANALYZE`).
+pub struct QueryProfile {
+    /// The query result — profiling executes the query for real, so the
+    /// rows are exactly what the unprofiled run returns.
+    pub result: QueryResult,
+    /// Wall time per lifecycle phase, in execution order.
+    pub phases: Vec<(&'static str, Duration)>,
+    /// One algebra plan + recorded per-operator statistics per node of the
+    /// query's set-op chain (pre-order). Empty when the query fell back to
+    /// the calculus interpreter.
+    pub plans: Vec<(Arc<Algebraized>, PlanProfile)>,
+    /// Why there are no plans (e.g. the query is not algebraizable), when
+    /// applicable.
+    pub note: Option<String>,
+    /// Total wall time, parse through execute.
+    pub total: Duration,
+}
+
+impl QueryProfile {
+    /// Total index-hits and walk-fallbacks across all plans.
+    pub fn scan_totals(&self) -> (u64, u64) {
+        let mut hits = 0;
+        let mut walks = 0;
+        for (_, p) in &self.plans {
+            let (h, w) = p.scan_totals();
+            hits += h;
+            walks += w;
+        }
+        (hits, walks)
+    }
+
+    /// Render the `EXPLAIN ANALYZE` report: phase timings, each plan tree
+    /// annotated with per-operator calls/rows/time (and index-hit versus
+    /// walk-fallback counts on scans), and result cardinality.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("EXPLAIN ANALYZE\n");
+        for (name, d) in &self.phases {
+            out.push_str(&format!("  {name:<10} {d:?}\n"));
+        }
+        out.push_str(&format!("  {:<10} {:?}\n", "total", self.total));
+        if let Some(note) = &self.note {
+            out.push_str(&format!("note: {note}\n"));
+        }
+        let n = self.plans.len();
+        for (i, (a, p)) in self.plans.iter().enumerate() {
+            out.push_str(&format!(
+                "plan {}/{n} ({} operators, {} branch(es)):\n",
+                i + 1,
+                a.plan.size(),
+                a.branches.len()
+            ));
+            out.push_str(&p.render(&a.plan));
+        }
+        let (hits, walks) = self.scan_totals();
+        if hits != 0 || walks != 0 {
+            out.push_str(&format!(
+                "index scans: {hits} start value(s) answered from the path-extent index, {walks} by walk fallback\n"
+            ));
+        }
+        out.push_str(&format!(
+            "result: {} row(s), {} column(s)\n",
+            self.result.rows.len(),
+            self.result.columns.len()
+        ));
+        out
+    }
+}

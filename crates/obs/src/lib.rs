@@ -1,0 +1,29 @@
+//! # docql-obs — observability for the docql stack
+//!
+//! A dependency-free metrics layer in the style of `docql-prop`: built on
+//! `std` atomics only, so every crate in the workspace can afford the
+//! dependency.
+//!
+//! - [`metric`] — the primitives: [`Counter`], [`Gauge`], and the
+//!   log2-bucket [`Histogram`] with [`Span`] timers. Handles are `Arc`
+//!   clones, so a hot path and an exporter share the same cells.
+//! - [`registry`] — [`MetricsRegistry`]: a named namespace with an enable
+//!   flag (one relaxed load — the per-query gate), snapshots, and
+//!   Prometheus-text / JSON exporters.
+//! - [`slowlog`] — the `DOCQL_LOG` env-gated slow-query log (threshold in
+//!   milliseconds, read once per process).
+//!
+//! The overhead contract, relied on by bench B10: with a registry
+//! **disabled**, instrumented code performs at most a handful of relaxed
+//! atomic loads per query and allocates nothing; **enabled**, each recorded
+//! sample is a few relaxed RMW operations.
+
+pub mod metric;
+pub mod registry;
+pub mod slowlog;
+
+pub use metric::{bucket_of, bucket_upper_bound, Counter, Gauge, Histogram, Span, BUCKETS};
+pub use registry::{
+    HistogramSnapshot, Metric, MetricValue, MetricsRegistry, MetricsSnapshot, SharedRegistry,
+};
+pub use slowlog::{log_slow_query, slow_query_line, slow_query_threshold, SLOW_LOG_ENV};

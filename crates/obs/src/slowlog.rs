@@ -1,0 +1,80 @@
+//! The `DOCQL_LOG`-gated slow-query log.
+//!
+//! Setting `DOCQL_LOG` to a threshold in milliseconds (integer or decimal,
+//! e.g. `DOCQL_LOG=2.5`) makes serving paths print one line to stderr for
+//! every query whose wall time meets the threshold. Unset (or unparsable),
+//! the log is off and the only cost on the query path is one cached
+//! `Option` check — the environment is read exactly once per process.
+
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// Environment variable holding the threshold in milliseconds.
+pub const SLOW_LOG_ENV: &str = "DOCQL_LOG";
+
+/// Parse a threshold string (milliseconds, integer or decimal) into a
+/// duration. Negative, empty, and non-numeric values disable the log.
+pub fn parse_threshold_ms(s: &str) -> Option<Duration> {
+    let ms: f64 = s.trim().parse().ok()?;
+    if ms.is_finite() && ms >= 0.0 {
+        Some(Duration::from_secs_f64(ms / 1e3))
+    } else {
+        None
+    }
+}
+
+/// The process-wide threshold from `DOCQL_LOG`, read once and cached.
+pub fn slow_query_threshold() -> Option<Duration> {
+    static THRESHOLD: OnceLock<Option<Duration>> = OnceLock::new();
+    *THRESHOLD.get_or_init(|| {
+        std::env::var(SLOW_LOG_ENV)
+            .ok()
+            .and_then(|s| parse_threshold_ms(&s))
+    })
+}
+
+/// Render the log line for a slow query (separated from printing so tests
+/// can pin the format).
+pub fn slow_query_line(src: &str, elapsed: Duration) -> String {
+    // Queries are logged on one line; embedded newlines become spaces.
+    let flat: String = src
+        .chars()
+        .map(|c| if c == '\n' || c == '\r' { ' ' } else { c })
+        .collect();
+    format!(
+        "[docql] slow query ({:.3} ms): {}",
+        elapsed.as_secs_f64() * 1e3,
+        flat.trim()
+    )
+}
+
+/// Print the slow-query line to stderr.
+pub fn log_slow_query(src: &str, elapsed: Duration) {
+    eprintln!("{}", slow_query_line(src, elapsed));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_integer_and_decimal_ms() {
+        assert_eq!(parse_threshold_ms("5"), Some(Duration::from_millis(5)));
+        assert_eq!(
+            parse_threshold_ms(" 2.5 "),
+            Some(Duration::from_micros(2500))
+        );
+        assert_eq!(parse_threshold_ms("0"), Some(Duration::ZERO));
+        assert_eq!(parse_threshold_ms("-1"), None);
+        assert_eq!(parse_threshold_ms("fast"), None);
+        assert_eq!(parse_threshold_ms(""), None);
+    }
+
+    #[test]
+    fn line_is_single_line_and_carries_timing() {
+        let line = slow_query_line("select t\nfrom x", Duration::from_micros(1500));
+        assert!(!line.contains('\n'));
+        assert!(line.contains("1.500 ms"));
+        assert!(line.contains("select t from x"));
+    }
+}

@@ -1,0 +1,170 @@
+//! The registry under contention: 8 threads hammering shared counters and
+//! histograms while readers snapshot concurrently. Totals must be exact
+//! (every increment lands — relaxed ordering loses ordering, never
+//! updates), histogram invariants must hold, and the Prometheus export
+//! must stay parseable line-by-line throughout.
+
+use docql_obs::{MetricsRegistry, SharedRegistry};
+use std::sync::Arc;
+use std::thread;
+
+const THREADS: u64 = 8;
+const PER_THREAD: u64 = 10_000;
+
+#[test]
+fn eight_writers_produce_exact_totals() {
+    let registry: SharedRegistry = Arc::new(MetricsRegistry::new());
+    registry.set_enabled(true);
+    let counter = registry.counter("hits_total");
+    let gauge = registry.gauge("depth");
+    let histogram = registry.histogram("lat_ns");
+
+    thread::scope(|s| {
+        for t in 0..THREADS {
+            let counter = counter.clone();
+            let gauge = gauge.clone();
+            let histogram = histogram.clone();
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    counter.inc();
+                    gauge.add(1);
+                    gauge.add(-1);
+                    // A spread of values crossing many log2 buckets,
+                    // including zero (its own bucket).
+                    histogram.record((t * PER_THREAD + i) % 1024);
+                }
+            });
+        }
+        // Readers interleave with the writers; snapshots must always be
+        // internally consistent even while values move.
+        for _ in 0..2 {
+            let registry = Arc::clone(&registry);
+            s.spawn(move || {
+                for _ in 0..50 {
+                    let snap = registry.snapshot();
+                    if let Some(h) = snap.histogram("lat_ns") {
+                        let mut prev = 0;
+                        for &(_, cum) in &h.buckets {
+                            assert!(cum >= prev, "cumulative buckets never decrease");
+                            prev = cum;
+                        }
+                        assert!(prev <= h.count, "bucket prefix within total count");
+                    }
+                }
+            });
+        }
+    });
+
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("hits_total"), Some(THREADS * PER_THREAD));
+    assert_eq!(snap.gauge("depth"), Some(0));
+    let h = snap.histogram("lat_ns").unwrap();
+    assert_eq!(h.count, THREADS * PER_THREAD, "every sample recorded");
+    let expected_sum: u64 = (0..THREADS)
+        .flat_map(|t| (0..PER_THREAD).map(move |i| (t * PER_THREAD + i) % 1024))
+        .sum();
+    assert_eq!(h.sum, expected_sum, "histogram sum is exact");
+    // Buckets partition the samples: the final cumulative prefix plus the
+    // unbounded tail equals the count.
+    let last_cum = h.buckets.last().map(|&(_, c)| c).unwrap_or(0);
+    assert!(last_cum <= h.count);
+}
+
+#[test]
+fn concurrent_get_or_create_returns_one_cell_per_name() {
+    let registry: SharedRegistry = Arc::new(MetricsRegistry::new());
+    thread::scope(|s| {
+        for _ in 0..THREADS {
+            let registry = Arc::clone(&registry);
+            s.spawn(move || {
+                for _ in 0..1_000 {
+                    registry.counter("shared_total").inc();
+                }
+            });
+        }
+    });
+    // Had racing get-or-create ever produced two cells, some increments
+    // would be stranded in an orphaned counter and the total would fall
+    // short.
+    assert_eq!(
+        registry.snapshot().counter("shared_total"),
+        Some(THREADS * 1_000)
+    );
+}
+
+/// Minimal line-by-line validation of the Prometheus text format: every
+/// line is either a `# TYPE <name> <kind>` comment or `<series> <integer>`
+/// where the series is an identifier with an optional `{le="..."}` label.
+fn assert_prometheus_parses(text: &str) {
+    fn is_series(s: &str) -> bool {
+        let (name, label) = match s.split_once('{') {
+            Some((n, rest)) => (n, Some(rest)),
+            None => (s, None),
+        };
+        let name_ok = !name.is_empty()
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':');
+        let label_ok = match label {
+            None => true,
+            Some(rest) => rest.starts_with("le=\"") && rest.ends_with("\"}"),
+        };
+        name_ok && label_ok
+    }
+    for line in text.lines() {
+        if let Some(comment) = line.strip_prefix("# TYPE ") {
+            let mut parts = comment.split_whitespace();
+            let name = parts.next().expect("type comment names a metric");
+            assert!(is_series(name), "bad metric name in: {line}");
+            let kind = parts.next().expect("type comment names a kind");
+            assert!(
+                ["counter", "gauge", "histogram"].contains(&kind),
+                "unknown kind in: {line}"
+            );
+            assert_eq!(parts.next(), None, "trailing tokens in: {line}");
+        } else {
+            let (series, value) = line.rsplit_once(' ').expect("sample line has a value");
+            assert!(is_series(series), "bad series in: {line}");
+            assert!(
+                value.parse::<i64>().is_ok(),
+                "non-integer sample in: {line}"
+            );
+        }
+    }
+}
+
+#[test]
+fn prometheus_export_parses_under_concurrent_writes() {
+    let registry: SharedRegistry = Arc::new(MetricsRegistry::new());
+    registry.set_enabled(true);
+    let counter = registry.counter("docql_demo_total");
+    let histogram = registry.histogram("docql_demo_ns");
+    registry.gauge("docql_demo_depth").set(-3);
+
+    thread::scope(|s| {
+        for t in 0..THREADS {
+            let counter = counter.clone();
+            let histogram = histogram.clone();
+            s.spawn(move || {
+                for i in 0..2_000 {
+                    counter.inc();
+                    histogram.record(t * 31 + i);
+                }
+            });
+        }
+        for _ in 0..2 {
+            let registry = Arc::clone(&registry);
+            s.spawn(move || {
+                for _ in 0..25 {
+                    assert_prometheus_parses(&registry.to_prometheus());
+                }
+            });
+        }
+    });
+
+    let text = registry.to_prometheus();
+    assert_prometheus_parses(&text);
+    assert!(text.contains(&format!("docql_demo_total {}", THREADS * 2_000)));
+    assert!(text.contains("docql_demo_ns_bucket{le=\"+Inf\"}"));
+    assert!(text.contains("docql_demo_depth -3"));
+}

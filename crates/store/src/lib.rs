@@ -10,19 +10,27 @@
 //!   time (Q2),
 //! * O₂SQL and calculus querying, in interpreter or algebraic mode,
 //! * index-accelerated document search (the §4.1/§6 full-text machinery),
+//! * observability: a per-store metrics registry, `EXPLAIN ANALYZE`
+//!   profiling, and a `DOCQL_LOG`-gated slow-query log ([`metrics`]),
 //! * export back to SGML (the update path of §6).
+
+pub mod metrics;
+
+pub use metrics::StoreMetrics;
 
 use docql_calculus::{CalcValue, Interp, InterpError};
 use docql_mapping::{
     export_document, load_document, map_dtd_with, DtdMapping, LoadedDocument, MapError,
 };
 use docql_model::{Instance, Oid, Value};
-use docql_o2sql::{CacheStats, Engine, Mode, O2sqlError, PlanCache, QueryResult};
+use docql_o2sql::{CacheStats, Engine, Mode, O2sqlError, PlanCache, QueryProfile, QueryResult};
+use docql_obs::{MetricsSnapshot, SharedRegistry};
 use docql_sgml::{DocParser, Document, Dtd, SgmlError};
 use docql_text::{ContainsExpr, InvertedIndex};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::{Duration, Instant};
 
 /// Store-level error.
 #[derive(Debug)]
@@ -97,6 +105,13 @@ pub struct DocStore {
     /// Compiled-plan cache shared by all query paths (hit = skip lex,
     /// parse, translation and algebraization).
     plan_cache: PlanCache,
+    /// Pre-resolved handles into this store's metrics registry (which the
+    /// bundle owns). Disabled by default; see
+    /// [`DocStore::set_metrics_enabled`].
+    metrics: StoreMetrics,
+    /// Slow-query threshold: wall times at or above it are logged to stderr
+    /// and counted. Defaults to the process-wide `DOCQL_LOG` setting.
+    slow_threshold: Option<Duration>,
 }
 
 /// Read the text table, recovering (rather than panicking) if a writer
@@ -129,7 +144,36 @@ impl DocStore {
         let mapping = map_dtd_with(&dtd, extra_roots)?;
         let instance = Instance::new(mapping.schema.clone());
         let text_of: Arc<RwLock<HashMap<Oid, String>>> = Arc::new(RwLock::new(HashMap::new()));
+        // Per-store metrics namespace, disabled until someone asks — every
+        // instrumented component below pre-resolves its handles into it.
+        let registry: SharedRegistry = Arc::new(docql_obs::MetricsRegistry::new());
+        let metrics = StoreMetrics::register(Arc::clone(&registry));
         let mut interp = Interp::with_builtins();
+        // Count `contains`/`near` evaluations: each is a scan of one
+        // object's text inside query evaluation, the workload the §4.1
+        // index exists to displace. Semantics are the builtins', verbatim.
+        let contains_evals = metrics.contains_evals.clone();
+        let gate = Arc::clone(&registry);
+        interp.register_pred(
+            "contains",
+            move |ctx: &docql_calculus::InterpCtx<'_>, args: &[CalcValue]| {
+                if gate.enabled() {
+                    contains_evals.inc();
+                }
+                Interp::builtin_contains(ctx, args)
+            },
+        );
+        let near_evals = metrics.contains_evals.clone();
+        let gate = Arc::clone(&registry);
+        interp.register_pred(
+            "near",
+            move |ctx: &docql_calculus::InterpCtx<'_>, args: &[CalcValue]| {
+                if gate.enabled() {
+                    near_evals.inc();
+                }
+                Interp::builtin_near(ctx, args)
+            },
+        );
         // The paper's `text` operator: inverse mapping from a logical object
         // to its text portion, recorded by the loader.
         let table = Arc::clone(&text_of);
@@ -151,17 +195,23 @@ impl DocStore {
         );
         let extents =
             docql_paths::PathExtentIndex::for_collection_root(&mapping.schema, mapping.root);
+        let mut index = InvertedIndex::new();
+        index.set_metrics(metrics.text.clone());
+        let plan_cache = PlanCache::default();
+        plan_cache.register_metrics(&registry);
         Ok(DocStore {
             dtd,
             mapping,
             instance,
             interp,
             text_of,
-            index: InvertedIndex::new(),
+            index,
             extents,
             use_extents: true,
             documents: Vec::new(),
-            plan_cache: PlanCache::default(),
+            plan_cache,
+            metrics,
+            slow_threshold: docql_obs::slow_query_threshold(),
         })
     }
 
@@ -174,12 +224,22 @@ impl DocStore {
         self.ingest_document(&doc)
     }
 
-    /// Ingest an already-parsed document tree.
+    /// Ingest an already-parsed document tree. When metrics are enabled,
+    /// records `docql_store_ingest_ns` (load through extent maintenance)
+    /// and `docql_store_extent_build_ns`.
     pub fn ingest_document(&mut self, doc: &Document) -> Result<Oid, StoreError> {
+        let obs = self.metrics.enabled();
+        let t0 = Instant::now();
         let loaded = load_document(&self.mapping, &mut self.instance, doc)?;
         let root_text = self.register_loaded(&loaded);
         self.index.add(u64::from(loaded.root.0), &root_text);
+        let t_ext = Instant::now();
         self.extents.index_document(&self.instance, loaded.root);
+        if obs {
+            self.metrics.extent_build_ns.record(elapsed_ns(t_ext));
+            self.metrics.ingest_ns.record(elapsed_ns(t0));
+            self.metrics.docs_ingested.inc();
+        }
         self.documents.push(loaded.root);
         Ok(loaded.root)
     }
@@ -200,6 +260,8 @@ impl DocStore {
         if docs.is_empty() {
             return Ok(Vec::new());
         }
+        let obs = self.metrics.enabled();
+        let t_batch = Instant::now();
         let workers = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
@@ -286,7 +348,11 @@ impl DocStore {
                     })
                     .collect()
             });
-            for shard in shards? {
+            let shards = shards?;
+            if obs {
+                self.metrics.index_shard_merges.add(shards.len() as u64);
+            }
+            for shard in shards {
                 self.index.merge(shard);
             }
         }
@@ -295,6 +361,7 @@ impl DocStore {
         // documents, mirroring the inverted-index sharding: each worker
         // fills an empty clone of the extent's path table, then the shards
         // are merged (documents are disjoint, so merging is a plain union).
+        let t_ext = Instant::now();
         if workers == 1 {
             for &root in &roots {
                 self.extents.index_document(&self.instance, root);
@@ -326,9 +393,18 @@ impl DocStore {
                         })
                         .collect()
                 });
-            for shard in shards? {
+            let shards = shards?;
+            if obs {
+                self.metrics.extent_shard_merges.add(shards.len() as u64);
+            }
+            for shard in shards {
                 self.extents.merge(shard);
             }
+        }
+        if obs {
+            self.metrics.extent_build_ns.record(elapsed_ns(t_ext));
+            self.metrics.batch_ingest_ns.record(elapsed_ns(t_batch));
+            self.metrics.docs_ingested.add(roots.len() as u64);
         }
         self.documents.extend(roots.iter().copied());
         Ok(roots)
@@ -369,16 +445,49 @@ impl DocStore {
     /// Run an O₂SQL query (interpreter mode). Compiled plans are cached:
     /// repeated query texts skip lex/parse/translate and go straight to
     /// evaluation (see [`DocStore::plan_cache_stats`]).
+    ///
+    /// A query prefixed `explain analyze` (case-insensitive) is profiled
+    /// instead: the result is one row holding the rendered report of
+    /// [`DocStore::explain_analyze`] on the rest of the text.
     pub fn query(&self, src: &str) -> Result<QueryResult, StoreError> {
-        Ok(self.engine().run_cached(src, &self.plan_cache)?)
+        self.serve(src, Mode::Interpret)
     }
 
     /// Run an O₂SQL query through the §5.4 algebraizer. The plan cache
     /// also retains the algebraized plan, so repeats skip algebraization.
+    /// The `explain analyze` prefix is honoured as in [`DocStore::query`].
     pub fn query_algebraic(&self, src: &str) -> Result<QueryResult, StoreError> {
-        let mut e = self.engine();
-        e.mode = Mode::Algebraic;
-        Ok(e.run_cached(src, &self.plan_cache)?)
+        self.serve(src, Mode::Algebraic)
+    }
+
+    /// The shared serving path: `explain analyze` interception, cached
+    /// execution in `mode`, and the slow-query log.
+    fn serve(&self, src: &str, mode: Mode) -> Result<QueryResult, StoreError> {
+        if let Some(rest) = strip_explain_analyze(src) {
+            let report = self.explain_analyze(rest)?;
+            return Ok(QueryResult {
+                columns: vec!["explain analyze".to_string()],
+                rows: vec![vec![CalcValue::Data(Value::str(report))]],
+            });
+        }
+        let run = || -> Result<QueryResult, StoreError> {
+            let mut e = self.engine();
+            e.mode = mode;
+            Ok(e.run_cached(src, &self.plan_cache)?)
+        };
+        match self.slow_threshold {
+            None => run(),
+            Some(threshold) => {
+                let start = Instant::now();
+                let result = run();
+                let elapsed = start.elapsed();
+                if elapsed >= threshold {
+                    self.metrics.slow_queries.inc();
+                    docql_obs::log_slow_query(src, elapsed);
+                }
+                result
+            }
+        }
     }
 
     /// Run an O₂SQL query bypassing the plan cache (the bench baseline;
@@ -404,6 +513,69 @@ impl DocStore {
         self.plan_cache.stats()
     }
 
+    /// This store's metric handles (counters stay readable even while
+    /// recording is disabled).
+    pub fn metrics(&self) -> &StoreMetrics {
+        &self.metrics
+    }
+
+    /// The store's metrics registry (for adopting extra metrics or sharing
+    /// the namespace with an embedder).
+    pub fn metrics_registry(&self) -> &SharedRegistry {
+        self.metrics.registry()
+    }
+
+    /// Turn metric recording on or off (off at construction). The flag is
+    /// one relaxed atomic, so `&self` suffices and readers may flip it
+    /// while queries run. Accumulated values are kept when disabling.
+    pub fn set_metrics_enabled(&self, on: bool) {
+        self.metrics.registry().set_enabled(on);
+    }
+
+    /// Is metric recording on?
+    pub fn metrics_enabled(&self) -> bool {
+        self.metrics.enabled()
+    }
+
+    /// Read every metric at this instant.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.registry().snapshot()
+    }
+
+    /// The metrics in the Prometheus text exposition format.
+    pub fn metrics_prometheus(&self) -> String {
+        self.metrics.registry().to_prometheus()
+    }
+
+    /// The metrics as a JSON object.
+    pub fn metrics_json(&self) -> String {
+        self.metrics.registry().to_json()
+    }
+
+    /// Profile one query (`EXPLAIN ANALYZE`): execute it for real,
+    /// timing each lifecycle phase and every algebra operator. See
+    /// [`docql_o2sql::QueryProfile`].
+    pub fn profile(&self, src: &str) -> Result<QueryProfile, StoreError> {
+        Ok(self.engine().profile(src)?)
+    }
+
+    /// The rendered `EXPLAIN ANALYZE` report for one query.
+    pub fn explain_analyze(&self, src: &str) -> Result<String, StoreError> {
+        Ok(self.engine().explain_analyze(src)?)
+    }
+
+    /// Override the slow-query threshold (default: the process-wide
+    /// `DOCQL_LOG` value read at construction). `Some(Duration::ZERO)` logs
+    /// and counts every query; `None` disables the log.
+    pub fn set_slow_query_threshold(&mut self, threshold: Option<Duration>) {
+        self.slow_threshold = threshold;
+    }
+
+    /// The active slow-query threshold.
+    pub fn slow_query_threshold(&self) -> Option<Duration> {
+        self.slow_threshold
+    }
+
     /// An engine over this store (interpreter mode; set `.mode` to switch).
     /// The path-extent index rides along when enabled, so algebraic-mode
     /// plans may answer path atoms from precomputed extents.
@@ -412,6 +584,7 @@ impl DocStore {
         if self.use_extents {
             e.extents = Some(&self.extents);
         }
+        e.metrics = Some(&self.metrics.engine);
         e
     }
 
@@ -438,6 +611,9 @@ impl DocStore {
     /// re-checked against the stored text. (For word-level IRS semantics
     /// use [`docql_text::InvertedIndex::docs_matching`] directly.)
     pub fn find_documents(&self, expr: &ContainsExpr) -> Vec<Oid> {
+        if self.metrics.enabled() {
+            self.metrics.text_index_searches.inc();
+        }
         let matcher = expr.compile();
         let table = read_table(&self.text_of);
         self.index
@@ -451,6 +627,9 @@ impl DocStore {
     /// Full-scan document search (the baseline the index is measured
     /// against, bench B3).
     pub fn find_documents_scan(&self, expr: &ContainsExpr) -> Vec<Oid> {
+        if self.metrics.enabled() {
+            self.metrics.text_scan_searches.inc();
+        }
         let matcher = expr.compile();
         let table = read_table(&self.text_of);
         self.documents
@@ -503,6 +682,7 @@ impl DocStore {
             self.collect_text(root, &mut table);
         }
         self.index = InvertedIndex::new();
+        self.index.set_metrics(self.metrics.text.clone());
         for &root in &self.documents {
             // `collect_text` records every visited oid, so the root always
             // has an entry (possibly empty) — index it unconditionally to
@@ -513,9 +693,13 @@ impl DocStore {
         *write_table(&self.text_of) = table;
         // Values may have changed arbitrarily — rebuild the path extents
         // from scratch, like the text index above.
+        let t_ext = Instant::now();
         self.extents.clear();
         for &root in &self.documents {
             self.extents.index_document(&self.instance, root);
+        }
+        if self.metrics.enabled() {
+            self.metrics.extent_build_ns.record(elapsed_ns(t_ext));
         }
     }
 
@@ -642,6 +826,29 @@ fn io_err(e: std::io::Error) -> StoreError {
     StoreError::Other(format!("io: {e}"))
 }
 
+/// Nanoseconds since `start`, saturating (histograms take `u64`).
+fn elapsed_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Strip a leading case-insensitive keyword and the whitespace after it.
+fn strip_keyword<'s>(s: &'s str, kw: &str) -> Option<&'s str> {
+    let s = s.trim_start();
+    let head = s.get(..kw.len())?;
+    if !head.eq_ignore_ascii_case(kw) {
+        return None;
+    }
+    let rest = &s[kw.len()..];
+    rest.starts_with(char::is_whitespace)
+        .then(|| rest.trim_start())
+}
+
+/// The query text behind a leading `explain analyze` (any case, any
+/// whitespace), or `None` when the text is a plain query.
+fn strip_explain_analyze(src: &str) -> Option<&str> {
+    strip_keyword(src, "explain").and_then(|rest| strip_keyword(rest, "analyze"))
+}
+
 /// A clonable handle serving one [`DocStore`] to many threads: readers
 /// share the `RwLock` read side (queries run concurrently — `DocStore` is
 /// [`Sync`] and every query path takes `&self`), ingest and updates take
@@ -688,6 +895,43 @@ impl SharedStore {
     /// Index-accelerated text search under a read guard.
     pub fn find_documents(&self, expr: &ContainsExpr) -> Vec<Oid> {
         self.read().find_documents(expr)
+    }
+
+    /// Profile one query under a read guard (see [`DocStore::profile`]).
+    pub fn profile(&self, src: &str) -> Result<QueryProfile, StoreError> {
+        self.read().profile(src)
+    }
+
+    /// The `EXPLAIN ANALYZE` report for one query, under a read guard.
+    pub fn explain_analyze(&self, src: &str) -> Result<String, StoreError> {
+        self.read().explain_analyze(src)
+    }
+
+    /// Turn metric recording on or off (see
+    /// [`DocStore::set_metrics_enabled`]).
+    pub fn set_metrics_enabled(&self, on: bool) {
+        self.read().set_metrics_enabled(on);
+    }
+
+    /// Read every metric at this instant.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.read().metrics_snapshot()
+    }
+
+    /// The metrics in the Prometheus text exposition format.
+    pub fn metrics_prometheus(&self) -> String {
+        self.read().metrics_prometheus()
+    }
+
+    /// The metrics as a JSON object.
+    pub fn metrics_json(&self) -> String {
+        self.read().metrics_json()
+    }
+
+    /// Override the slow-query threshold under the write guard (see
+    /// [`DocStore::set_slow_query_threshold`]).
+    pub fn set_slow_query_threshold(&self, threshold: Option<Duration>) {
+        self.write().set_slow_query_threshold(threshold);
     }
 
     /// Ingest one document under the write guard.
@@ -905,6 +1149,90 @@ mod tests {
         let doc = store.export(store.documents()[0]).unwrap();
         assert_eq!(doc.root.name, "article");
         assert!(docql_sgml::is_valid(&doc, store.dtd()));
+    }
+
+    #[test]
+    fn explain_analyze_prefix_is_intercepted() {
+        let store = paper_store().unwrap();
+        assert_eq!(
+            strip_explain_analyze("  EXPLAIN\n Analyze  select x from y"),
+            Some("select x from y")
+        );
+        assert_eq!(strip_explain_analyze("explain analyze"), None);
+        assert_eq!(strip_explain_analyze("select t from x"), None);
+        let r = store
+            .query("explain analyze select t from my_article PATH_p.title(t)")
+            .unwrap();
+        assert_eq!(r.columns, vec!["explain analyze".to_string()]);
+        assert_eq!(r.rows.len(), 1);
+        match &r.rows[0][0] {
+            CalcValue::Data(Value::Str(report)) => {
+                assert!(report.starts_with("EXPLAIN ANALYZE"), "{report}");
+                assert!(report.contains("result:"), "{report}");
+            }
+            other => panic!("expected a string report, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn metrics_record_ingest_and_queries_when_enabled() {
+        let mut store = DocStore::new(docql_sgml::fixtures::ARTICLE_DTD, &[]).unwrap();
+        store.set_metrics_enabled(true);
+        store.ingest(FIG2_DOCUMENT).unwrap();
+        store
+            .query("select t from Articles PATH_p.title(t)")
+            .unwrap();
+        store
+            .query_algebraic("select t from Articles PATH_p.title(t)")
+            .unwrap();
+        let snap = store.metrics_snapshot();
+        assert_eq!(snap.counter("docql_store_docs_ingested_total"), Some(1));
+        assert_eq!(snap.counter("docql_queries_total"), Some(2));
+        assert_eq!(snap.histogram("docql_store_ingest_ns").unwrap().count, 1);
+        assert!(snap.counter("docql_plan_cache_misses_total").unwrap() >= 1);
+        let prom = store.metrics_prometheus();
+        assert!(prom.contains("docql_queries_total 2"));
+        let json = store.metrics_json();
+        assert!(json.contains("\"docql_queries_total\""));
+    }
+
+    #[test]
+    fn metrics_disabled_records_nothing() {
+        let mut store = DocStore::new(docql_sgml::fixtures::ARTICLE_DTD, &[]).unwrap();
+        store.ingest(FIG2_DOCUMENT).unwrap();
+        store
+            .query("select t from Articles PATH_p.title(t)")
+            .unwrap();
+        let snap = store.metrics_snapshot();
+        assert_eq!(snap.counter("docql_store_docs_ingested_total"), Some(0));
+        assert_eq!(snap.counter("docql_queries_total"), Some(0));
+    }
+
+    #[test]
+    fn slow_query_threshold_zero_counts_every_query() {
+        let mut store = paper_store().unwrap();
+        store.set_slow_query_threshold(Some(std::time::Duration::ZERO));
+        store
+            .query("select t from my_article PATH_p.title(t)")
+            .unwrap();
+        store
+            .query("select t from my_article PATH_p.title(t)")
+            .unwrap();
+        assert_eq!(store.metrics().slow_queries.get(), 2);
+    }
+
+    #[test]
+    fn contains_predicate_evaluations_are_counted() {
+        let store = paper_store().unwrap();
+        store.set_metrics_enabled(true);
+        let r = store
+            .query("select t from my_article PATH_p.title(t) where contains(t, \"SGML\")")
+            .unwrap();
+        drop(r);
+        assert!(
+            store.metrics().contains_evals.get() >= 1,
+            "contains() ran at least once"
+        );
     }
 
     #[test]

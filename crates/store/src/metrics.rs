@@ -1,0 +1,95 @@
+//! Store-level metrics: ingest timings, shard-merge counts, text-search
+//! counters, and the slow-query tally.
+//!
+//! Every [`DocStore`](crate::DocStore) owns one
+//! [`MetricsRegistry`] (disabled by default) and
+//! one [`StoreMetrics`] bundle of pre-resolved handles into it. The bundle
+//! embeds the engine-side [`EngineMetrics`] (query lifecycle) and the
+//! text-side [`TextMetrics`] (index lookups versus vocabulary scans), so the
+//! whole pipeline shares a single enable flag and a single exportable
+//! namespace.
+
+use docql_o2sql::EngineMetrics;
+use docql_obs::{Counter, Histogram, MetricsRegistry, SharedRegistry};
+use docql_text::TextMetrics;
+use std::sync::Arc;
+
+/// Registry handles for the store's ingest and serving paths, resolved once
+/// at store construction.
+#[derive(Clone, Debug)]
+pub struct StoreMetrics {
+    registry: SharedRegistry,
+    /// Query-lifecycle metrics, attached to every engine the store hands
+    /// out: phase histograms, query counter, per-operator algebra counters.
+    pub engine: EngineMetrics,
+    /// Text-search counters, attached to the store's inverted index.
+    pub text: TextMetrics,
+    /// Nanoseconds per single-document ingest (load → text index → path
+    /// extents; parsing is timed by the batch histogram only).
+    pub ingest_ns: Histogram,
+    /// Nanoseconds per [`DocStore::ingest_batch`](crate::DocStore::ingest_batch)
+    /// call, covering the whole batch (parse fan-out through extent merge).
+    pub batch_ingest_ns: Histogram,
+    /// Nanoseconds building path extents at ingest time (per document on
+    /// the serial path, per batch phase on the sharded path).
+    pub extent_build_ns: Histogram,
+    /// Documents ingested (single and batch).
+    pub docs_ingested: Counter,
+    /// Inverted-index shards merged during parallel batch ingest.
+    pub index_shard_merges: Counter,
+    /// Path-extent shards merged during parallel batch ingest.
+    pub extent_shard_merges: Counter,
+    /// Index-accelerated document searches
+    /// ([`DocStore::find_documents`](crate::DocStore::find_documents)).
+    pub text_index_searches: Counter,
+    /// Full-scan document searches
+    /// ([`DocStore::find_documents_scan`](crate::DocStore::find_documents_scan)).
+    pub text_scan_searches: Counter,
+    /// `contains`/`near` predicate evaluations inside query evaluation —
+    /// each is a text scan of one object's text, not an index lookup.
+    pub contains_evals: Counter,
+    /// Queries at or above the slow-query threshold (see
+    /// [`docql_obs::slow_query_threshold`]).
+    pub slow_queries: Counter,
+}
+
+impl StoreMetrics {
+    /// Resolve (creating if absent) the store metrics in `registry`.
+    pub fn register(registry: SharedRegistry) -> StoreMetrics {
+        let engine = EngineMetrics::register(Arc::clone(&registry));
+        let text = TextMetrics::register(Arc::clone(&registry));
+        StoreMetrics {
+            engine,
+            text,
+            ingest_ns: registry.histogram("docql_store_ingest_ns"),
+            batch_ingest_ns: registry.histogram("docql_store_batch_ingest_ns"),
+            extent_build_ns: registry.histogram("docql_store_extent_build_ns"),
+            docs_ingested: registry.counter("docql_store_docs_ingested_total"),
+            index_shard_merges: registry.counter("docql_store_index_shard_merges_total"),
+            extent_shard_merges: registry.counter("docql_store_extent_shard_merges_total"),
+            text_index_searches: registry.counter("docql_store_text_index_searches_total"),
+            text_scan_searches: registry.counter("docql_store_text_scan_searches_total"),
+            contains_evals: registry.counter("docql_calculus_contains_evals_total"),
+            slow_queries: registry.counter("docql_store_slow_queries_total"),
+            registry,
+        }
+    }
+
+    /// Free-standing metrics over a private, **enabled** registry (tests).
+    pub fn standalone() -> StoreMetrics {
+        let registry = Arc::new(MetricsRegistry::new());
+        registry.set_enabled(true);
+        StoreMetrics::register(registry)
+    }
+
+    /// Is recording on (the owning registry's enable flag)?
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.registry.enabled()
+    }
+
+    /// The owning registry.
+    pub fn registry(&self) -> &SharedRegistry {
+        &self.registry
+    }
+}

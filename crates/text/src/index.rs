@@ -9,6 +9,7 @@
 //! wildcard queries.
 
 use crate::contains::ContainsExpr;
+use crate::metrics::TextMetrics;
 use crate::nfa::Nfa;
 use crate::pattern::Pattern;
 use crate::tokenize::{normalize, tokenize};
@@ -24,12 +25,26 @@ pub struct InvertedIndex {
     postings: BTreeMap<String, BTreeMap<DocId, Vec<u32>>>,
     /// Documents added (with their word counts), for statistics and NOT.
     docs: BTreeMap<DocId, u32>,
+    /// Counters for the query entry points, attached by the owning store.
+    metrics: Option<TextMetrics>,
 }
 
 impl InvertedIndex {
     /// Empty index.
     pub fn new() -> InvertedIndex {
         InvertedIndex::default()
+    }
+
+    /// Attach counters (see [`TextMetrics`]); queries then count index
+    /// lookups and vocabulary scans when the owning registry is enabled.
+    pub fn set_metrics(&mut self, metrics: TextMetrics) {
+        self.metrics = Some(metrics);
+    }
+
+    /// The attached counters, when recording is on.
+    #[inline]
+    fn obs(&self) -> Option<&TextMetrics> {
+        self.metrics.as_ref().filter(|m| m.enabled())
     }
 
     /// Index a document's text. Adding the same `doc` twice appends (useful
@@ -116,6 +131,9 @@ impl InvertedIndex {
 
     /// Documents where some term matches `pattern` (vocabulary grep).
     pub fn docs_matching_pattern(&self, pattern: &Pattern) -> BTreeSet<DocId> {
+        if let Some(m) = self.obs() {
+            m.vocab_scans.inc();
+        }
         let nfa = Nfa::compile(pattern);
         let mut out = BTreeSet::new();
         for (term, posting) in &self.postings {
@@ -134,6 +152,13 @@ impl InvertedIndex {
     /// [`InvertedIndex::candidates`] + an exact re-check over the stored text
     /// for exact semantics — that is what the query engines do.
     pub fn docs_matching(&self, expr: &ContainsExpr) -> BTreeSet<DocId> {
+        if let Some(m) = self.obs() {
+            m.index_queries.inc();
+        }
+        self.docs_matching_inner(expr)
+    }
+
+    fn docs_matching_inner(&self, expr: &ContainsExpr) -> BTreeSet<DocId> {
         match expr {
             ContainsExpr::Pattern(p) => {
                 // Split multi-word literal patterns into a positional phrase
@@ -145,7 +170,7 @@ impl InvertedIndex {
                 }
             }
             ContainsExpr::And(items) => {
-                let mut sets = items.iter().map(|i| self.docs_matching(i));
+                let mut sets = items.iter().map(|i| self.docs_matching_inner(i));
                 let mut acc = match sets.next() {
                     Some(s) => s,
                     None => return self.all_docs(),
@@ -158,12 +183,12 @@ impl InvertedIndex {
             ContainsExpr::Or(items) => {
                 let mut acc = BTreeSet::new();
                 for i in items {
-                    acc.extend(self.docs_matching(i));
+                    acc.extend(self.docs_matching_inner(i));
                 }
                 acc
             }
             ContainsExpr::Not(inner) => {
-                let excluded = self.docs_matching(inner);
+                let excluded = self.docs_matching_inner(inner);
                 self.all_docs().difference(&excluded).copied().collect()
             }
         }
@@ -179,9 +204,19 @@ impl InvertedIndex {
     /// * literals crossing token boundaries, regex-operator patterns and
     ///   negations widen conservatively (up to all documents).
     pub fn candidates(&self, expr: &ContainsExpr) -> BTreeSet<DocId> {
+        if let Some(m) = self.obs() {
+            m.index_queries.inc();
+        }
+        self.candidates_inner(expr)
+    }
+
+    fn candidates_inner(&self, expr: &ContainsExpr) -> BTreeSet<DocId> {
         match expr {
             ContainsExpr::Pattern(p) => match literal_text(p) {
                 Some(text) if !text.is_empty() && text.chars().all(char::is_alphanumeric) => {
+                    if let Some(m) = self.obs() {
+                        m.vocab_scans.inc();
+                    }
                     let needle = text.to_lowercase();
                     let mut out = BTreeSet::new();
                     for (term, posting) in &self.postings {
@@ -216,7 +251,7 @@ impl InvertedIndex {
             ContainsExpr::And(items) => {
                 let mut acc: Option<BTreeSet<DocId>> = None;
                 for i in items {
-                    let c = self.candidates(i);
+                    let c = self.candidates_inner(i);
                     acc = Some(match acc {
                         None => c,
                         Some(prev) => prev.intersection(&c).copied().collect(),
@@ -227,7 +262,7 @@ impl InvertedIndex {
             ContainsExpr::Or(items) => {
                 let mut out = BTreeSet::new();
                 for i in items {
-                    out.extend(self.candidates(i));
+                    out.extend(self.candidates_inner(i));
                 }
                 out
             }
@@ -265,6 +300,9 @@ impl InvertedIndex {
     /// case-insensitive — exactly the `NearUnit::Words` semantics of
     /// [`mod@crate::near`], as pinned by `tests/near_parity.rs`.
     pub fn near_docs(&self, w1: &str, w2: &str, k: u32) -> BTreeSet<DocId> {
+        if let Some(m) = self.obs() {
+            m.index_queries.inc();
+        }
         let d1 = self.docs_with_word(w1);
         let d2 = self.docs_with_word(w2);
         let mut out = BTreeSet::new();

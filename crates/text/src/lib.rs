@@ -9,6 +9,7 @@
 
 pub mod contains;
 pub mod index;
+pub mod metrics;
 pub mod near;
 pub mod nfa;
 pub mod pattern;
@@ -16,6 +17,7 @@ pub mod tokenize;
 
 pub use contains::{ContainsExpr, ContainsMatcher};
 pub use index::{DocId, InvertedIndex};
+pub use metrics::TextMetrics;
 pub use near::{near, NearUnit};
 pub use nfa::Nfa;
 pub use pattern::{Pattern, PatternError};

@@ -57,6 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     ".mode interpret|algebraic   switch evaluation strategy\n\
                      .semantics restricted|liberal   path-variable semantics\n\
                      .check <query>              static type report\n\
+                     explain analyze <query>     run with per-phase/per-operator timing\n\
                      .schema                     print the generated classes\n\
                      .quit                       leave"
                 );
@@ -95,6 +96,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
             continue;
         }
+        if let Some(q) = strip_explain_analyze(line) {
+            match db.explain_analyze(q) {
+                Ok(report) => println!("{report}"),
+                Err(e) => println!("error: {e}"),
+            }
+            continue;
+        }
         if let Some(q) = line.strip_prefix(".check ") {
             match db.store().engine().check(q) {
                 Ok(info) => {
@@ -124,4 +132,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     Ok(())
+}
+
+/// `explain analyze <query>` → `<query>`, matching the store's serving-path
+/// interception (case-insensitive, whitespace-flexible).
+fn strip_explain_analyze(line: &str) -> Option<&str> {
+    let mut rest = line.trim_start();
+    for kw in ["explain", "analyze"] {
+        let head = rest.get(..kw.len())?;
+        if !head.eq_ignore_ascii_case(kw) {
+            return None;
+        }
+        rest = rest[kw.len()..]
+            .strip_prefix(char::is_whitespace)?
+            .trim_start();
+    }
+    Some(rest)
 }

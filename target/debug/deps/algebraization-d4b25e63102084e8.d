@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/algebraization-d4b25e63102084e8.d: crates/bench/benches/algebraization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libalgebraization-d4b25e63102084e8.rmeta: crates/bench/benches/algebraization.rs Cargo.toml
+
+crates/bench/benches/algebraization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/atoms-37232a48ca8215aa.d: crates/calculus/tests/atoms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libatoms-37232a48ca8215aa.rmeta: crates/calculus/tests/atoms.rs Cargo.toml
+
+crates/calculus/tests/atoms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/atoms-c011acfffda0b1f1.d: crates/calculus/tests/atoms.rs
+
+/root/repo/target/debug/deps/atoms-c011acfffda0b1f1: crates/calculus/tests/atoms.rs
+
+crates/calculus/tests/atoms.rs:

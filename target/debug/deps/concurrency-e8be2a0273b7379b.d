@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency-e8be2a0273b7379b.d: tests/concurrency.rs
+
+/root/repo/target/debug/deps/concurrency-e8be2a0273b7379b: tests/concurrency.rs
+
+tests/concurrency.rs:

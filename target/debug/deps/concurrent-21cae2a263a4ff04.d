@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concurrent-21cae2a263a4ff04.d: crates/obs/tests/concurrent.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcurrent-21cae2a263a4ff04.rmeta: crates/obs/tests/concurrent.rs Cargo.toml
+
+crates/obs/tests/concurrent.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrent-f9ad91abd6df2b93.d: crates/obs/tests/concurrent.rs
+
+/root/repo/target/debug/deps/concurrent-f9ad91abd6df2b93: crates/obs/tests/concurrent.rs
+
+crates/obs/tests/concurrent.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/docql-14ceb161c011be96.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libdocql-14ceb161c011be96.rlib: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libdocql-14ceb161c011be96.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/docql-46cb7187f56e5f41.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/docql-46cb7187f56e5f41: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/docql-bcd24e0b95b83ed5.d: crates/core/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdocql-bcd24e0b95b83ed5.rmeta: crates/core/src/lib.rs Cargo.toml
+
+crates/core/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

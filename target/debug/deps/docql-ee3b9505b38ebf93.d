@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/docql-ee3b9505b38ebf93.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libdocql-ee3b9505b38ebf93.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/docql-fa0caaf323781fa3.d: crates/core/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdocql-fa0caaf323781fa3.rmeta: crates/core/src/lib.rs Cargo.toml
+
+crates/core/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/docql_algebra-242b6d53e0e0fc0a.d: crates/algebra/src/lib.rs crates/algebra/src/algebraize.rs crates/algebra/src/compile.rs crates/algebra/src/plan.rs crates/algebra/src/profile.rs
+
+/root/repo/target/debug/deps/libdocql_algebra-242b6d53e0e0fc0a.rlib: crates/algebra/src/lib.rs crates/algebra/src/algebraize.rs crates/algebra/src/compile.rs crates/algebra/src/plan.rs crates/algebra/src/profile.rs
+
+/root/repo/target/debug/deps/libdocql_algebra-242b6d53e0e0fc0a.rmeta: crates/algebra/src/lib.rs crates/algebra/src/algebraize.rs crates/algebra/src/compile.rs crates/algebra/src/plan.rs crates/algebra/src/profile.rs
+
+crates/algebra/src/lib.rs:
+crates/algebra/src/algebraize.rs:
+crates/algebra/src/compile.rs:
+crates/algebra/src/plan.rs:
+crates/algebra/src/profile.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/docql_algebra-7eeef632a1bec8b9.d: crates/algebra/src/lib.rs crates/algebra/src/algebraize.rs crates/algebra/src/compile.rs crates/algebra/src/plan.rs crates/algebra/src/profile.rs
+
+/root/repo/target/debug/deps/libdocql_algebra-7eeef632a1bec8b9.rmeta: crates/algebra/src/lib.rs crates/algebra/src/algebraize.rs crates/algebra/src/compile.rs crates/algebra/src/plan.rs crates/algebra/src/profile.rs
+
+crates/algebra/src/lib.rs:
+crates/algebra/src/algebraize.rs:
+crates/algebra/src/compile.rs:
+crates/algebra/src/plan.rs:
+crates/algebra/src/profile.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/docql_algebra-b47ac55132aa1e6b.d: crates/algebra/src/lib.rs crates/algebra/src/algebraize.rs crates/algebra/src/compile.rs crates/algebra/src/plan.rs crates/algebra/src/profile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdocql_algebra-b47ac55132aa1e6b.rmeta: crates/algebra/src/lib.rs crates/algebra/src/algebraize.rs crates/algebra/src/compile.rs crates/algebra/src/plan.rs crates/algebra/src/profile.rs Cargo.toml
+
+crates/algebra/src/lib.rs:
+crates/algebra/src/algebraize.rs:
+crates/algebra/src/compile.rs:
+crates/algebra/src/plan.rs:
+crates/algebra/src/profile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

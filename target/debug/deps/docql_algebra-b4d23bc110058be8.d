@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/docql_algebra-b4d23bc110058be8.d: crates/algebra/src/lib.rs crates/algebra/src/algebraize.rs crates/algebra/src/compile.rs crates/algebra/src/plan.rs crates/algebra/src/profile.rs
+
+/root/repo/target/debug/deps/libdocql_algebra-b4d23bc110058be8.rlib: crates/algebra/src/lib.rs crates/algebra/src/algebraize.rs crates/algebra/src/compile.rs crates/algebra/src/plan.rs crates/algebra/src/profile.rs
+
+/root/repo/target/debug/deps/libdocql_algebra-b4d23bc110058be8.rmeta: crates/algebra/src/lib.rs crates/algebra/src/algebraize.rs crates/algebra/src/compile.rs crates/algebra/src/plan.rs crates/algebra/src/profile.rs
+
+crates/algebra/src/lib.rs:
+crates/algebra/src/algebraize.rs:
+crates/algebra/src/compile.rs:
+crates/algebra/src/plan.rs:
+crates/algebra/src/profile.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/docql_bench-3cc76bd8469dd35a.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libdocql_bench-3cc76bd8469dd35a.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libdocql_bench-3cc76bd8469dd35a.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/docql_bench-aeab66c0fb38508c.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libdocql_bench-aeab66c0fb38508c.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

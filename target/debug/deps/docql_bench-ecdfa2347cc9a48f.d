@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/docql_bench-ecdfa2347cc9a48f.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/docql_bench-ecdfa2347cc9a48f: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/docql_corpus-2bb189982856ce08.d: crates/corpus/src/lib.rs crates/corpus/src/articles.rs crates/corpus/src/knuth.rs crates/corpus/src/letters.rs crates/corpus/src/mutate.rs crates/corpus/src/rng.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdocql_corpus-2bb189982856ce08.rmeta: crates/corpus/src/lib.rs crates/corpus/src/articles.rs crates/corpus/src/knuth.rs crates/corpus/src/letters.rs crates/corpus/src/mutate.rs crates/corpus/src/rng.rs Cargo.toml
+
+crates/corpus/src/lib.rs:
+crates/corpus/src/articles.rs:
+crates/corpus/src/knuth.rs:
+crates/corpus/src/letters.rs:
+crates/corpus/src/mutate.rs:
+crates/corpus/src/rng.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

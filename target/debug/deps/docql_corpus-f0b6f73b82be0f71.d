@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/docql_corpus-f0b6f73b82be0f71.d: crates/corpus/src/lib.rs crates/corpus/src/articles.rs crates/corpus/src/knuth.rs crates/corpus/src/letters.rs crates/corpus/src/mutate.rs crates/corpus/src/rng.rs
+
+/root/repo/target/debug/deps/libdocql_corpus-f0b6f73b82be0f71.rmeta: crates/corpus/src/lib.rs crates/corpus/src/articles.rs crates/corpus/src/knuth.rs crates/corpus/src/letters.rs crates/corpus/src/mutate.rs crates/corpus/src/rng.rs
+
+crates/corpus/src/lib.rs:
+crates/corpus/src/articles.rs:
+crates/corpus/src/knuth.rs:
+crates/corpus/src/letters.rs:
+crates/corpus/src/mutate.rs:
+crates/corpus/src/rng.rs:

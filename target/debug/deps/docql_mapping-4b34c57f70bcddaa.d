@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/docql_mapping-4b34c57f70bcddaa.d: crates/mapping/src/lib.rs crates/mapping/src/export.rs crates/mapping/src/inverse.rs crates/mapping/src/load.rs crates/mapping/src/names.rs crates/mapping/src/schema_gen.rs crates/mapping/src/shape.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdocql_mapping-4b34c57f70bcddaa.rmeta: crates/mapping/src/lib.rs crates/mapping/src/export.rs crates/mapping/src/inverse.rs crates/mapping/src/load.rs crates/mapping/src/names.rs crates/mapping/src/schema_gen.rs crates/mapping/src/shape.rs Cargo.toml
+
+crates/mapping/src/lib.rs:
+crates/mapping/src/export.rs:
+crates/mapping/src/inverse.rs:
+crates/mapping/src/load.rs:
+crates/mapping/src/names.rs:
+crates/mapping/src/schema_gen.rs:
+crates/mapping/src/shape.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

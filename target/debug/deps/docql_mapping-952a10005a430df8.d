@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/docql_mapping-952a10005a430df8.d: crates/mapping/src/lib.rs crates/mapping/src/export.rs crates/mapping/src/inverse.rs crates/mapping/src/load.rs crates/mapping/src/names.rs crates/mapping/src/schema_gen.rs crates/mapping/src/shape.rs
+
+/root/repo/target/debug/deps/docql_mapping-952a10005a430df8: crates/mapping/src/lib.rs crates/mapping/src/export.rs crates/mapping/src/inverse.rs crates/mapping/src/load.rs crates/mapping/src/names.rs crates/mapping/src/schema_gen.rs crates/mapping/src/shape.rs
+
+crates/mapping/src/lib.rs:
+crates/mapping/src/export.rs:
+crates/mapping/src/inverse.rs:
+crates/mapping/src/load.rs:
+crates/mapping/src/names.rs:
+crates/mapping/src/schema_gen.rs:
+crates/mapping/src/shape.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/docql_mapping-f61c45b218cf1276.d: crates/mapping/src/lib.rs crates/mapping/src/export.rs crates/mapping/src/inverse.rs crates/mapping/src/load.rs crates/mapping/src/names.rs crates/mapping/src/schema_gen.rs crates/mapping/src/shape.rs
+
+/root/repo/target/debug/deps/libdocql_mapping-f61c45b218cf1276.rlib: crates/mapping/src/lib.rs crates/mapping/src/export.rs crates/mapping/src/inverse.rs crates/mapping/src/load.rs crates/mapping/src/names.rs crates/mapping/src/schema_gen.rs crates/mapping/src/shape.rs
+
+/root/repo/target/debug/deps/libdocql_mapping-f61c45b218cf1276.rmeta: crates/mapping/src/lib.rs crates/mapping/src/export.rs crates/mapping/src/inverse.rs crates/mapping/src/load.rs crates/mapping/src/names.rs crates/mapping/src/schema_gen.rs crates/mapping/src/shape.rs
+
+crates/mapping/src/lib.rs:
+crates/mapping/src/export.rs:
+crates/mapping/src/inverse.rs:
+crates/mapping/src/load.rs:
+crates/mapping/src/names.rs:
+crates/mapping/src/schema_gen.rs:
+crates/mapping/src/shape.rs:

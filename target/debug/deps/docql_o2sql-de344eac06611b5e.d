@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/docql_o2sql-de344eac06611b5e.d: crates/o2sql/src/lib.rs crates/o2sql/src/ast.rs crates/o2sql/src/cache.rs crates/o2sql/src/engine.rs crates/o2sql/src/metrics.rs crates/o2sql/src/parser.rs crates/o2sql/src/token.rs crates/o2sql/src/translate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdocql_o2sql-de344eac06611b5e.rmeta: crates/o2sql/src/lib.rs crates/o2sql/src/ast.rs crates/o2sql/src/cache.rs crates/o2sql/src/engine.rs crates/o2sql/src/metrics.rs crates/o2sql/src/parser.rs crates/o2sql/src/token.rs crates/o2sql/src/translate.rs Cargo.toml
+
+crates/o2sql/src/lib.rs:
+crates/o2sql/src/ast.rs:
+crates/o2sql/src/cache.rs:
+crates/o2sql/src/engine.rs:
+crates/o2sql/src/metrics.rs:
+crates/o2sql/src/parser.rs:
+crates/o2sql/src/token.rs:
+crates/o2sql/src/translate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

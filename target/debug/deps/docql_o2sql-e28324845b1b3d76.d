@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/docql_o2sql-e28324845b1b3d76.d: crates/o2sql/src/lib.rs crates/o2sql/src/ast.rs crates/o2sql/src/cache.rs crates/o2sql/src/engine.rs crates/o2sql/src/metrics.rs crates/o2sql/src/parser.rs crates/o2sql/src/token.rs crates/o2sql/src/translate.rs
+
+/root/repo/target/debug/deps/libdocql_o2sql-e28324845b1b3d76.rlib: crates/o2sql/src/lib.rs crates/o2sql/src/ast.rs crates/o2sql/src/cache.rs crates/o2sql/src/engine.rs crates/o2sql/src/metrics.rs crates/o2sql/src/parser.rs crates/o2sql/src/token.rs crates/o2sql/src/translate.rs
+
+/root/repo/target/debug/deps/libdocql_o2sql-e28324845b1b3d76.rmeta: crates/o2sql/src/lib.rs crates/o2sql/src/ast.rs crates/o2sql/src/cache.rs crates/o2sql/src/engine.rs crates/o2sql/src/metrics.rs crates/o2sql/src/parser.rs crates/o2sql/src/token.rs crates/o2sql/src/translate.rs
+
+crates/o2sql/src/lib.rs:
+crates/o2sql/src/ast.rs:
+crates/o2sql/src/cache.rs:
+crates/o2sql/src/engine.rs:
+crates/o2sql/src/metrics.rs:
+crates/o2sql/src/parser.rs:
+crates/o2sql/src/token.rs:
+crates/o2sql/src/translate.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/docql_o2sql-f58475fb2ec019b5.d: crates/o2sql/src/lib.rs crates/o2sql/src/ast.rs crates/o2sql/src/cache.rs crates/o2sql/src/engine.rs crates/o2sql/src/metrics.rs crates/o2sql/src/parser.rs crates/o2sql/src/token.rs crates/o2sql/src/translate.rs
+
+/root/repo/target/debug/deps/libdocql_o2sql-f58475fb2ec019b5.rmeta: crates/o2sql/src/lib.rs crates/o2sql/src/ast.rs crates/o2sql/src/cache.rs crates/o2sql/src/engine.rs crates/o2sql/src/metrics.rs crates/o2sql/src/parser.rs crates/o2sql/src/token.rs crates/o2sql/src/translate.rs
+
+crates/o2sql/src/lib.rs:
+crates/o2sql/src/ast.rs:
+crates/o2sql/src/cache.rs:
+crates/o2sql/src/engine.rs:
+crates/o2sql/src/metrics.rs:
+crates/o2sql/src/parser.rs:
+crates/o2sql/src/token.rs:
+crates/o2sql/src/translate.rs:

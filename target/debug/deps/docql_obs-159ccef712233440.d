@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/docql_obs-159ccef712233440.d: crates/obs/src/lib.rs crates/obs/src/metric.rs crates/obs/src/registry.rs crates/obs/src/slowlog.rs
+
+/root/repo/target/debug/deps/libdocql_obs-159ccef712233440.rlib: crates/obs/src/lib.rs crates/obs/src/metric.rs crates/obs/src/registry.rs crates/obs/src/slowlog.rs
+
+/root/repo/target/debug/deps/libdocql_obs-159ccef712233440.rmeta: crates/obs/src/lib.rs crates/obs/src/metric.rs crates/obs/src/registry.rs crates/obs/src/slowlog.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/metric.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/slowlog.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/docql_obs-166d720000716f10.d: crates/obs/src/lib.rs crates/obs/src/metric.rs crates/obs/src/registry.rs crates/obs/src/slowlog.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdocql_obs-166d720000716f10.rmeta: crates/obs/src/lib.rs crates/obs/src/metric.rs crates/obs/src/registry.rs crates/obs/src/slowlog.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/metric.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/slowlog.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

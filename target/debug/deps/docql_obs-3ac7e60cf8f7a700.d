@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/docql_obs-3ac7e60cf8f7a700.d: crates/obs/src/lib.rs crates/obs/src/metric.rs crates/obs/src/registry.rs crates/obs/src/slowlog.rs
+
+/root/repo/target/debug/deps/docql_obs-3ac7e60cf8f7a700: crates/obs/src/lib.rs crates/obs/src/metric.rs crates/obs/src/registry.rs crates/obs/src/slowlog.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/metric.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/slowlog.rs:

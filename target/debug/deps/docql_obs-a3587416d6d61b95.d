@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/docql_obs-a3587416d6d61b95.d: crates/obs/src/lib.rs crates/obs/src/metric.rs crates/obs/src/registry.rs crates/obs/src/slowlog.rs
+
+/root/repo/target/debug/deps/libdocql_obs-a3587416d6d61b95.rmeta: crates/obs/src/lib.rs crates/obs/src/metric.rs crates/obs/src/registry.rs crates/obs/src/slowlog.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/metric.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/slowlog.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/docql_sgml-77e3b35ec44f7b45.d: crates/sgml/src/lib.rs crates/sgml/src/content.rs crates/sgml/src/cursor.rs crates/sgml/src/doc.rs crates/sgml/src/dtd.rs crates/sgml/src/error.rs crates/sgml/src/fixtures.rs crates/sgml/src/parser.rs crates/sgml/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdocql_sgml-77e3b35ec44f7b45.rmeta: crates/sgml/src/lib.rs crates/sgml/src/content.rs crates/sgml/src/cursor.rs crates/sgml/src/doc.rs crates/sgml/src/dtd.rs crates/sgml/src/error.rs crates/sgml/src/fixtures.rs crates/sgml/src/parser.rs crates/sgml/src/validate.rs Cargo.toml
+
+crates/sgml/src/lib.rs:
+crates/sgml/src/content.rs:
+crates/sgml/src/cursor.rs:
+crates/sgml/src/doc.rs:
+crates/sgml/src/dtd.rs:
+crates/sgml/src/error.rs:
+crates/sgml/src/fixtures.rs:
+crates/sgml/src/parser.rs:
+crates/sgml/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

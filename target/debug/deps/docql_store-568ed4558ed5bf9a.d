@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/docql_store-568ed4558ed5bf9a.d: crates/store/src/lib.rs crates/store/src/metrics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdocql_store-568ed4558ed5bf9a.rmeta: crates/store/src/lib.rs crates/store/src/metrics.rs Cargo.toml
+
+crates/store/src/lib.rs:
+crates/store/src/metrics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/docql_store-95236b19e6a4419f.d: crates/store/src/lib.rs crates/store/src/metrics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdocql_store-95236b19e6a4419f.rmeta: crates/store/src/lib.rs crates/store/src/metrics.rs Cargo.toml
+
+crates/store/src/lib.rs:
+crates/store/src/metrics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/docql_store-986b742279b82780.d: crates/store/src/lib.rs crates/store/src/metrics.rs
+
+/root/repo/target/debug/deps/docql_store-986b742279b82780: crates/store/src/lib.rs crates/store/src/metrics.rs
+
+crates/store/src/lib.rs:
+crates/store/src/metrics.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/docql_store-9bf46e1b76feeccc.d: crates/store/src/lib.rs crates/store/src/metrics.rs
+
+/root/repo/target/debug/deps/libdocql_store-9bf46e1b76feeccc.rlib: crates/store/src/lib.rs crates/store/src/metrics.rs
+
+/root/repo/target/debug/deps/libdocql_store-9bf46e1b76feeccc.rmeta: crates/store/src/lib.rs crates/store/src/metrics.rs
+
+crates/store/src/lib.rs:
+crates/store/src/metrics.rs:

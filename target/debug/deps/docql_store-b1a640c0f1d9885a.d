@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/docql_store-b1a640c0f1d9885a.d: crates/store/src/lib.rs crates/store/src/metrics.rs
+
+/root/repo/target/debug/deps/libdocql_store-b1a640c0f1d9885a.rmeta: crates/store/src/lib.rs crates/store/src/metrics.rs
+
+crates/store/src/lib.rs:
+crates/store/src/metrics.rs:

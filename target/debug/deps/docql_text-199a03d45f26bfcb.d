@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/docql_text-199a03d45f26bfcb.d: crates/text/src/lib.rs crates/text/src/contains.rs crates/text/src/index.rs crates/text/src/metrics.rs crates/text/src/near.rs crates/text/src/nfa.rs crates/text/src/pattern.rs crates/text/src/tokenize.rs
+
+/root/repo/target/debug/deps/libdocql_text-199a03d45f26bfcb.rmeta: crates/text/src/lib.rs crates/text/src/contains.rs crates/text/src/index.rs crates/text/src/metrics.rs crates/text/src/near.rs crates/text/src/nfa.rs crates/text/src/pattern.rs crates/text/src/tokenize.rs
+
+crates/text/src/lib.rs:
+crates/text/src/contains.rs:
+crates/text/src/index.rs:
+crates/text/src/metrics.rs:
+crates/text/src/near.rs:
+crates/text/src/nfa.rs:
+crates/text/src/pattern.rs:
+crates/text/src/tokenize.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/docql_text-c79ce9f880344aad.d: crates/text/src/lib.rs crates/text/src/contains.rs crates/text/src/index.rs crates/text/src/metrics.rs crates/text/src/near.rs crates/text/src/nfa.rs crates/text/src/pattern.rs crates/text/src/tokenize.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdocql_text-c79ce9f880344aad.rmeta: crates/text/src/lib.rs crates/text/src/contains.rs crates/text/src/index.rs crates/text/src/metrics.rs crates/text/src/near.rs crates/text/src/nfa.rs crates/text/src/pattern.rs crates/text/src/tokenize.rs Cargo.toml
+
+crates/text/src/lib.rs:
+crates/text/src/contains.rs:
+crates/text/src/index.rs:
+crates/text/src/metrics.rs:
+crates/text/src/near.rs:
+crates/text/src/nfa.rs:
+crates/text/src/pattern.rs:
+crates/text/src/tokenize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

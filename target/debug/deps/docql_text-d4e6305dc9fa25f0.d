@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/docql_text-d4e6305dc9fa25f0.d: crates/text/src/lib.rs crates/text/src/contains.rs crates/text/src/index.rs crates/text/src/metrics.rs crates/text/src/near.rs crates/text/src/nfa.rs crates/text/src/pattern.rs crates/text/src/tokenize.rs
+
+/root/repo/target/debug/deps/libdocql_text-d4e6305dc9fa25f0.rlib: crates/text/src/lib.rs crates/text/src/contains.rs crates/text/src/index.rs crates/text/src/metrics.rs crates/text/src/near.rs crates/text/src/nfa.rs crates/text/src/pattern.rs crates/text/src/tokenize.rs
+
+/root/repo/target/debug/deps/libdocql_text-d4e6305dc9fa25f0.rmeta: crates/text/src/lib.rs crates/text/src/contains.rs crates/text/src/index.rs crates/text/src/metrics.rs crates/text/src/near.rs crates/text/src/nfa.rs crates/text/src/pattern.rs crates/text/src/tokenize.rs
+
+crates/text/src/lib.rs:
+crates/text/src/contains.rs:
+crates/text/src/index.rs:
+crates/text/src/metrics.rs:
+crates/text/src/near.rs:
+crates/text/src/nfa.rs:
+crates/text/src/pattern.rs:
+crates/text/src/tokenize.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/docql_workspace-b2b2b0f97e664cd7.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdocql_workspace-b2b2b0f97e664cd7.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdocql_workspace-b2b2b0f97e664cd7.rmeta: src/lib.rs
+
+src/lib.rs:

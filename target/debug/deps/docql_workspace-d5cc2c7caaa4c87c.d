@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/docql_workspace-d5cc2c7caaa4c87c.d: src/lib.rs
+
+/root/repo/target/debug/deps/docql_workspace-d5cc2c7caaa4c87c: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/edge_models-5b188c661c1991e5.d: crates/mapping/tests/edge_models.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedge_models-5b188c661c1991e5.rmeta: crates/mapping/tests/edge_models.rs Cargo.toml
+
+crates/mapping/tests/edge_models.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

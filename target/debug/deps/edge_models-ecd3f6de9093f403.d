@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edge_models-ecd3f6de9093f403.d: crates/mapping/tests/edge_models.rs
+
+/root/repo/target/debug/deps/edge_models-ecd3f6de9093f403: crates/mapping/tests/edge_models.rs
+
+crates/mapping/tests/edge_models.rs:

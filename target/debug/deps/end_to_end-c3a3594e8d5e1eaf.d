@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-c3a3594e8d5e1eaf.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-c3a3594e8d5e1eaf: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence-561a09a54c350a48.d: crates/algebra/tests/equivalence.rs
+
+/root/repo/target/debug/deps/equivalence-561a09a54c350a48: crates/algebra/tests/equivalence.rs
+
+crates/algebra/tests/equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/equivalence-858131fdfa2aaa08.d: crates/algebra/tests/equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libequivalence-858131fdfa2aaa08.rmeta: crates/algebra/tests/equivalence.rs Cargo.toml
+
+crates/algebra/tests/equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

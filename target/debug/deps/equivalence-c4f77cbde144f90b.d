@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence-c4f77cbde144f90b.d: crates/algebra/tests/equivalence.rs
+
+/root/repo/target/debug/deps/equivalence-c4f77cbde144f90b: crates/algebra/tests/equivalence.rs
+
+crates/algebra/tests/equivalence.rs:

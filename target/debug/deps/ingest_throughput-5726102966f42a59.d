@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ingest_throughput-5726102966f42a59.d: crates/bench/benches/ingest_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libingest_throughput-5726102966f42a59.rmeta: crates/bench/benches/ingest_throughput.rs Cargo.toml
+
+crates/bench/benches/ingest_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/language-3a9480beafe95d8e.d: crates/o2sql/tests/language.rs
+
+/root/repo/target/debug/deps/language-3a9480beafe95d8e: crates/o2sql/tests/language.rs
+
+crates/o2sql/tests/language.rs:

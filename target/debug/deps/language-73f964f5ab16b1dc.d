@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/language-73f964f5ab16b1dc.d: crates/o2sql/tests/language.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblanguage-73f964f5ab16b1dc.rmeta: crates/o2sql/tests/language.rs Cargo.toml
+
+crates/o2sql/tests/language.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

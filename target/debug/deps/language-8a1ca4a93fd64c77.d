@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/language-8a1ca4a93fd64c77.d: crates/o2sql/tests/language.rs
+
+/root/repo/target/debug/deps/language-8a1ca4a93fd64c77: crates/o2sql/tests/language.rs
+
+crates/o2sql/tests/language.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mapping_cost-5630b4f82216a435.d: crates/bench/benches/mapping_cost.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmapping_cost-5630b4f82216a435.rmeta: crates/bench/benches/mapping_cost.rs Cargo.toml
+
+crates/bench/benches/mapping_cost.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/near_parity-5f97a445ee7b950a.d: crates/text/tests/near_parity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnear_parity-5f97a445ee7b950a.rmeta: crates/text/tests/near_parity.rs Cargo.toml
+
+crates/text/tests/near_parity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

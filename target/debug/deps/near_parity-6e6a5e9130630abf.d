@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/near_parity-6e6a5e9130630abf.d: crates/text/tests/near_parity.rs
+
+/root/repo/target/debug/deps/near_parity-6e6a5e9130630abf: crates/text/tests/near_parity.rs
+
+crates/text/tests/near_parity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/observability-bebd488f5dbc2202.d: crates/store/tests/observability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobservability-bebd488f5dbc2202.rmeta: crates/store/tests/observability.rs Cargo.toml
+
+crates/store/tests/observability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

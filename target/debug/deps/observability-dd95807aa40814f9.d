@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observability-dd95807aa40814f9.d: crates/store/tests/observability.rs
+
+/root/repo/target/debug/deps/observability-dd95807aa40814f9: crates/store/tests/observability.rs
+
+crates/store/tests/observability.rs:

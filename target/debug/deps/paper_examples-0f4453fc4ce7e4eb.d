@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_examples-0f4453fc4ce7e4eb.d: crates/calculus/tests/paper_examples.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_examples-0f4453fc4ce7e4eb.rmeta: crates/calculus/tests/paper_examples.rs Cargo.toml
+
+crates/calculus/tests/paper_examples.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

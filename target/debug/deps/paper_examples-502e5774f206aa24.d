@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-502e5774f206aa24.d: crates/calculus/tests/paper_examples.rs
+
+/root/repo/target/debug/deps/paper_examples-502e5774f206aa24: crates/calculus/tests/paper_examples.rs
+
+crates/calculus/tests/paper_examples.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_queries-72b6f6175180b182.d: crates/store/tests/paper_queries.rs
+
+/root/repo/target/debug/deps/paper_queries-72b6f6175180b182: crates/store/tests/paper_queries.rs
+
+crates/store/tests/paper_queries.rs:

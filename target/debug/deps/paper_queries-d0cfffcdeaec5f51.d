@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_queries-d0cfffcdeaec5f51.d: crates/store/tests/paper_queries.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_queries-d0cfffcdeaec5f51.rmeta: crates/store/tests/paper_queries.rs Cargo.toml
+
+crates/store/tests/paper_queries.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

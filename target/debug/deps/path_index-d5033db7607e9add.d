@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/path_index-d5033db7607e9add.d: crates/bench/benches/path_index.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpath_index-d5033db7607e9add.rmeta: crates/bench/benches/path_index.rs Cargo.toml
+
+crates/bench/benches/path_index.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/path_index_diff-90309a61cab14623.d: crates/store/tests/path_index_diff.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpath_index_diff-90309a61cab14623.rmeta: crates/store/tests/path_index_diff.rs Cargo.toml
+
+crates/store/tests/path_index_diff.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

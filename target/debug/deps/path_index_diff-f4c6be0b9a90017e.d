@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/path_index_diff-f4c6be0b9a90017e.d: crates/store/tests/path_index_diff.rs
+
+/root/repo/target/debug/deps/path_index_diff-f4c6be0b9a90017e: crates/store/tests/path_index_diff.rs
+
+crates/store/tests/path_index_diff.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/path_ops-17b2a93f93210b6a.d: crates/bench/benches/path_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpath_ops-17b2a93f93210b6a.rmeta: crates/bench/benches/path_ops.rs Cargo.toml
+
+crates/bench/benches/path_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

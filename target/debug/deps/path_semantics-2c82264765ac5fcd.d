@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/path_semantics-2c82264765ac5fcd.d: crates/bench/benches/path_semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpath_semantics-2c82264765ac5fcd.rmeta: crates/bench/benches/path_semantics.rs Cargo.toml
+
+crates/bench/benches/path_semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_equivalence-3963210bd8bb8219.d: crates/algebra/tests/prop_equivalence.rs
+
+/root/repo/target/debug/deps/prop_equivalence-3963210bd8bb8219: crates/algebra/tests/prop_equivalence.rs
+
+crates/algebra/tests/prop_equivalence.rs:

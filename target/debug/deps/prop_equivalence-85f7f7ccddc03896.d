@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_equivalence-85f7f7ccddc03896.d: crates/algebra/tests/prop_equivalence.rs
+
+/root/repo/target/debug/deps/prop_equivalence-85f7f7ccddc03896: crates/algebra/tests/prop_equivalence.rs
+
+crates/algebra/tests/prop_equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_equivalence-f19aeb6a1ea9eca8.d: crates/algebra/tests/prop_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_equivalence-f19aeb6a1ea9eca8.rmeta: crates/algebra/tests/prop_equivalence.rs Cargo.toml
+
+crates/algebra/tests/prop_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_sgml-77b9dc59fc6990f3.d: crates/sgml/tests/prop_sgml.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_sgml-77b9dc59fc6990f3.rmeta: crates/sgml/tests/prop_sgml.rs Cargo.toml
+
+crates/sgml/tests/prop_sgml.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

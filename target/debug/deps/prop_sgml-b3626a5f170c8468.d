@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_sgml-b3626a5f170c8468.d: crates/sgml/tests/prop_sgml.rs
+
+/root/repo/target/debug/deps/prop_sgml-b3626a5f170c8468: crates/sgml/tests/prop_sgml.rs
+
+crates/sgml/tests/prop_sgml.rs:

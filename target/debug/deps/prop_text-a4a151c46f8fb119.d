@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_text-a4a151c46f8fb119.d: crates/text/tests/prop_text.rs
+
+/root/repo/target/debug/deps/prop_text-a4a151c46f8fb119: crates/text/tests/prop_text.rs
+
+crates/text/tests/prop_text.rs:

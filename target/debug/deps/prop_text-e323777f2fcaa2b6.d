@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_text-e323777f2fcaa2b6.d: crates/text/tests/prop_text.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_text-e323777f2fcaa2b6.rmeta: crates/text/tests/prop_text.rs Cargo.toml
+
+crates/text/tests/prop_text.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

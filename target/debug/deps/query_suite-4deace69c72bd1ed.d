@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/query_suite-4deace69c72bd1ed.d: crates/bench/benches/query_suite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquery_suite-4deace69c72bd1ed.rmeta: crates/bench/benches/query_suite.rs Cargo.toml
+
+crates/bench/benches/query_suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

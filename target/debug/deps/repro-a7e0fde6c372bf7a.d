@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-a7e0fde6c372bf7a.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-a7e0fde6c372bf7a: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-dedd10d423a63208.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-dedd10d423a63208: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

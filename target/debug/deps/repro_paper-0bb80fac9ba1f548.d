@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_paper-0bb80fac9ba1f548.d: tests/repro_paper.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_paper-0bb80fac9ba1f548.rmeta: tests/repro_paper.rs Cargo.toml
+
+tests/repro_paper.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_paper-62a5e31125ce677d.d: tests/repro_paper.rs
+
+/root/repo/target/debug/deps/repro_paper-62a5e31125ce677d: tests/repro_paper.rs
+
+tests/repro_paper.rs:

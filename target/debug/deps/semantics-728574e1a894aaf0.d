@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/semantics-728574e1a894aaf0.d: tests/semantics.rs
+
+/root/repo/target/debug/deps/semantics-728574e1a894aaf0: tests/semantics.rs
+
+tests/semantics.rs:

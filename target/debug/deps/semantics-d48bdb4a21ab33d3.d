@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/semantics-d48bdb4a21ab33d3.d: tests/semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsemantics-d48bdb4a21ab33d3.rmeta: tests/semantics.rs Cargo.toml
+
+tests/semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/text_index-daac83a23ed7f98d.d: crates/bench/benches/text_index.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtext_index-daac83a23ed7f98d.rmeta: crates/bench/benches/text_index.rs Cargo.toml
+
+crates/bench/benches/text_index.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/union_typing-b42aba26874e0b9e.d: crates/bench/benches/union_typing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libunion_typing-b42aba26874e0b9e.rmeta: crates/bench/benches/union_typing.rs Cargo.toml
+
+crates/bench/benches/union_typing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/article_queries-50d05adb4a0540ee.d: examples/article_queries.rs Cargo.toml
+
+/root/repo/target/debug/examples/libarticle_queries-50d05adb4a0540ee.rmeta: examples/article_queries.rs Cargo.toml
+
+examples/article_queries.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/article_queries-8d901c68167b3a53.d: examples/article_queries.rs
+
+/root/repo/target/debug/examples/article_queries-8d901c68167b3a53: examples/article_queries.rs
+
+examples/article_queries.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/concurrent_readers-338d624484594efd.d: examples/concurrent_readers.rs Cargo.toml
+
+/root/repo/target/debug/examples/libconcurrent_readers-338d624484594efd.rmeta: examples/concurrent_readers.rs Cargo.toml
+
+examples/concurrent_readers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/concurrent_readers-7f1f2ac4002de98d.d: examples/concurrent_readers.rs
+
+/root/repo/target/debug/examples/concurrent_readers-7f1f2ac4002de98d: examples/concurrent_readers.rs
+
+examples/concurrent_readers.rs:

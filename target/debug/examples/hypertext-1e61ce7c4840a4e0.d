@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hypertext-1e61ce7c4840a4e0.d: examples/hypertext.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhypertext-1e61ce7c4840a4e0.rmeta: examples/hypertext.rs Cargo.toml
+
+examples/hypertext.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hypertext-c67d49c8440aecd3.d: examples/hypertext.rs
+
+/root/repo/target/debug/examples/hypertext-c67d49c8440aecd3: examples/hypertext.rs
+
+examples/hypertext.rs:

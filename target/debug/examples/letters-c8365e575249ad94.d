@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/letters-c8365e575249ad94.d: examples/letters.rs
+
+/root/repo/target/debug/examples/letters-c8365e575249ad94: examples/letters.rs
+
+examples/letters.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/letters-e5d078c24ffe1a9a.d: examples/letters.rs Cargo.toml
+
+/root/repo/target/debug/examples/libletters-e5d078c24ffe1a9a.rmeta: examples/letters.rs Cargo.toml
+
+examples/letters.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

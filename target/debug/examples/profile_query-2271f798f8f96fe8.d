@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/profile_query-2271f798f8f96fe8.d: examples/profile_query.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprofile_query-2271f798f8f96fe8.rmeta: examples/profile_query.rs Cargo.toml
+
+examples/profile_query.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

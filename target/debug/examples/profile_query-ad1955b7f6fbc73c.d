@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/profile_query-ad1955b7f6fbc73c.d: examples/profile_query.rs
+
+/root/repo/target/debug/examples/profile_query-ad1955b7f6fbc73c: examples/profile_query.rs
+
+examples/profile_query.rs:

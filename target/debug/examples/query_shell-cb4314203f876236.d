@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/query_shell-cb4314203f876236.d: examples/query_shell.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquery_shell-cb4314203f876236.rmeta: examples/query_shell.rs Cargo.toml
+
+examples/query_shell.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/query_shell-dc072f0ace8304ee.d: examples/query_shell.rs
+
+/root/repo/target/debug/examples/query_shell-dc072f0ace8304ee: examples/query_shell.rs
+
+examples/query_shell.rs:

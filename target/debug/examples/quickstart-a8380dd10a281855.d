@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-a8380dd10a281855.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-a8380dd10a281855: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/schema_browser-254f89d93ad5a5ce.d: examples/schema_browser.rs
+
+/root/repo/target/debug/examples/schema_browser-254f89d93ad5a5ce: examples/schema_browser.rs
+
+examples/schema_browser.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/schema_browser-2608330eec12b8e4.d: examples/schema_browser.rs Cargo.toml
+
+/root/repo/target/debug/examples/libschema_browser-2608330eec12b8e4.rmeta: examples/schema_browser.rs Cargo.toml
+
+examples/schema_browser.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

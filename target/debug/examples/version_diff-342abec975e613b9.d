@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/version_diff-342abec975e613b9.d: examples/version_diff.rs Cargo.toml
+
+/root/repo/target/debug/examples/libversion_diff-342abec975e613b9.rmeta: examples/version_diff.rs Cargo.toml
+
+examples/version_diff.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

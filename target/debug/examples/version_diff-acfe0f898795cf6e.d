@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/version_diff-acfe0f898795cf6e.d: examples/version_diff.rs
+
+/root/repo/target/debug/examples/version_diff-acfe0f898795cf6e: examples/version_diff.rs
+
+examples/version_diff.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libdocql_obs.rlib: /root/repo/crates/obs/src/lib.rs /root/repo/crates/obs/src/metric.rs /root/repo/crates/obs/src/registry.rs /root/repo/crates/obs/src/slowlog.rs

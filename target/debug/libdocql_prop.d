@@ -1,0 +1,1 @@
+/root/repo/target/debug/libdocql_prop.rlib: /root/repo/crates/prop/src/gen.rs /root/repo/crates/prop/src/lib.rs /root/repo/crates/prop/src/rng.rs /root/repo/crates/prop/src/runner.rs

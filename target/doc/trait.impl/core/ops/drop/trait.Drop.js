@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["docql_obs",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/drop/trait.Drop.html\" title=\"trait core::ops::drop::Drop\">Drop</a> for <a class=\"struct\" href=\"docql_obs/metric/struct.Span.html\" title=\"struct docql_obs::metric::Span\">Span</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[281]}

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/algebraization-821b53577d132899.d: crates/bench/benches/algebraization.rs
+
+/root/repo/target/release/deps/algebraization-821b53577d132899: crates/bench/benches/algebraization.rs
+
+crates/bench/benches/algebraization.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/docql-95f241347a948187.d: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/docql-95f241347a948187: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/docql-db334ae7e2b5f3d2.d: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libdocql-db334ae7e2b5f3d2.rlib: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libdocql-db334ae7e2b5f3d2.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

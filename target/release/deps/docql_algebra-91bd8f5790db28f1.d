@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/docql_algebra-91bd8f5790db28f1.d: crates/algebra/src/lib.rs crates/algebra/src/algebraize.rs crates/algebra/src/compile.rs crates/algebra/src/plan.rs crates/algebra/src/profile.rs
+
+/root/repo/target/release/deps/docql_algebra-91bd8f5790db28f1: crates/algebra/src/lib.rs crates/algebra/src/algebraize.rs crates/algebra/src/compile.rs crates/algebra/src/plan.rs crates/algebra/src/profile.rs
+
+crates/algebra/src/lib.rs:
+crates/algebra/src/algebraize.rs:
+crates/algebra/src/compile.rs:
+crates/algebra/src/plan.rs:
+crates/algebra/src/profile.rs:

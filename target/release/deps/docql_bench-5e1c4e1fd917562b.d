@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/docql_bench-5e1c4e1fd917562b.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libdocql_bench-5e1c4e1fd917562b.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libdocql_bench-5e1c4e1fd917562b.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/docql_calculus-9ba1d0417e88981e.d: crates/calculus/src/lib.rs crates/calculus/src/eval.rs crates/calculus/src/interp.rs crates/calculus/src/term.rs crates/calculus/src/typing.rs
+
+/root/repo/target/release/deps/libdocql_calculus-9ba1d0417e88981e.rlib: crates/calculus/src/lib.rs crates/calculus/src/eval.rs crates/calculus/src/interp.rs crates/calculus/src/term.rs crates/calculus/src/typing.rs
+
+/root/repo/target/release/deps/libdocql_calculus-9ba1d0417e88981e.rmeta: crates/calculus/src/lib.rs crates/calculus/src/eval.rs crates/calculus/src/interp.rs crates/calculus/src/term.rs crates/calculus/src/typing.rs
+
+crates/calculus/src/lib.rs:
+crates/calculus/src/eval.rs:
+crates/calculus/src/interp.rs:
+crates/calculus/src/term.rs:
+crates/calculus/src/typing.rs:

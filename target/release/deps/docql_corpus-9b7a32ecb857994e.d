@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/docql_corpus-9b7a32ecb857994e.d: crates/corpus/src/lib.rs crates/corpus/src/articles.rs crates/corpus/src/knuth.rs crates/corpus/src/letters.rs crates/corpus/src/mutate.rs crates/corpus/src/rng.rs
+
+/root/repo/target/release/deps/docql_corpus-9b7a32ecb857994e: crates/corpus/src/lib.rs crates/corpus/src/articles.rs crates/corpus/src/knuth.rs crates/corpus/src/letters.rs crates/corpus/src/mutate.rs crates/corpus/src/rng.rs
+
+crates/corpus/src/lib.rs:
+crates/corpus/src/articles.rs:
+crates/corpus/src/knuth.rs:
+crates/corpus/src/letters.rs:
+crates/corpus/src/mutate.rs:
+crates/corpus/src/rng.rs:

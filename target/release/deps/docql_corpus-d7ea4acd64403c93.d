@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/docql_corpus-d7ea4acd64403c93.d: crates/corpus/src/lib.rs crates/corpus/src/articles.rs crates/corpus/src/knuth.rs crates/corpus/src/letters.rs crates/corpus/src/mutate.rs crates/corpus/src/rng.rs
+
+/root/repo/target/release/deps/libdocql_corpus-d7ea4acd64403c93.rlib: crates/corpus/src/lib.rs crates/corpus/src/articles.rs crates/corpus/src/knuth.rs crates/corpus/src/letters.rs crates/corpus/src/mutate.rs crates/corpus/src/rng.rs
+
+/root/repo/target/release/deps/libdocql_corpus-d7ea4acd64403c93.rmeta: crates/corpus/src/lib.rs crates/corpus/src/articles.rs crates/corpus/src/knuth.rs crates/corpus/src/letters.rs crates/corpus/src/mutate.rs crates/corpus/src/rng.rs
+
+crates/corpus/src/lib.rs:
+crates/corpus/src/articles.rs:
+crates/corpus/src/knuth.rs:
+crates/corpus/src/letters.rs:
+crates/corpus/src/mutate.rs:
+crates/corpus/src/rng.rs:

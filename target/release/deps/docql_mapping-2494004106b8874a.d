@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/docql_mapping-2494004106b8874a.d: crates/mapping/src/lib.rs crates/mapping/src/export.rs crates/mapping/src/inverse.rs crates/mapping/src/load.rs crates/mapping/src/names.rs crates/mapping/src/schema_gen.rs crates/mapping/src/shape.rs
+
+/root/repo/target/release/deps/docql_mapping-2494004106b8874a: crates/mapping/src/lib.rs crates/mapping/src/export.rs crates/mapping/src/inverse.rs crates/mapping/src/load.rs crates/mapping/src/names.rs crates/mapping/src/schema_gen.rs crates/mapping/src/shape.rs
+
+crates/mapping/src/lib.rs:
+crates/mapping/src/export.rs:
+crates/mapping/src/inverse.rs:
+crates/mapping/src/load.rs:
+crates/mapping/src/names.rs:
+crates/mapping/src/schema_gen.rs:
+crates/mapping/src/shape.rs:

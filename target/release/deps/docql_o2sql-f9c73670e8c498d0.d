@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/docql_o2sql-f9c73670e8c498d0.d: crates/o2sql/src/lib.rs crates/o2sql/src/ast.rs crates/o2sql/src/cache.rs crates/o2sql/src/engine.rs crates/o2sql/src/metrics.rs crates/o2sql/src/parser.rs crates/o2sql/src/token.rs crates/o2sql/src/translate.rs
+
+/root/repo/target/release/deps/docql_o2sql-f9c73670e8c498d0: crates/o2sql/src/lib.rs crates/o2sql/src/ast.rs crates/o2sql/src/cache.rs crates/o2sql/src/engine.rs crates/o2sql/src/metrics.rs crates/o2sql/src/parser.rs crates/o2sql/src/token.rs crates/o2sql/src/translate.rs
+
+crates/o2sql/src/lib.rs:
+crates/o2sql/src/ast.rs:
+crates/o2sql/src/cache.rs:
+crates/o2sql/src/engine.rs:
+crates/o2sql/src/metrics.rs:
+crates/o2sql/src/parser.rs:
+crates/o2sql/src/token.rs:
+crates/o2sql/src/translate.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/docql_obs-ac5a9768b8b41932.d: crates/obs/src/lib.rs crates/obs/src/metric.rs crates/obs/src/registry.rs crates/obs/src/slowlog.rs
+
+/root/repo/target/release/deps/libdocql_obs-ac5a9768b8b41932.rlib: crates/obs/src/lib.rs crates/obs/src/metric.rs crates/obs/src/registry.rs crates/obs/src/slowlog.rs
+
+/root/repo/target/release/deps/libdocql_obs-ac5a9768b8b41932.rmeta: crates/obs/src/lib.rs crates/obs/src/metric.rs crates/obs/src/registry.rs crates/obs/src/slowlog.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/metric.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/slowlog.rs:

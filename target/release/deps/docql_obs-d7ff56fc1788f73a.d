@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/docql_obs-d7ff56fc1788f73a.d: crates/obs/src/lib.rs crates/obs/src/metric.rs crates/obs/src/registry.rs crates/obs/src/slowlog.rs
+
+/root/repo/target/release/deps/docql_obs-d7ff56fc1788f73a: crates/obs/src/lib.rs crates/obs/src/metric.rs crates/obs/src/registry.rs crates/obs/src/slowlog.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/metric.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/slowlog.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/docql_paths-c04f2ff3d39854b5.d: crates/paths/src/lib.rs crates/paths/src/enumerate.rs crates/paths/src/extent.rs crates/paths/src/path.rs crates/paths/src/pattern.rs crates/paths/src/schema_paths.rs crates/paths/src/select.rs crates/paths/src/step.rs crates/paths/src/walk.rs
+
+/root/repo/target/release/deps/docql_paths-c04f2ff3d39854b5: crates/paths/src/lib.rs crates/paths/src/enumerate.rs crates/paths/src/extent.rs crates/paths/src/path.rs crates/paths/src/pattern.rs crates/paths/src/schema_paths.rs crates/paths/src/select.rs crates/paths/src/step.rs crates/paths/src/walk.rs
+
+crates/paths/src/lib.rs:
+crates/paths/src/enumerate.rs:
+crates/paths/src/extent.rs:
+crates/paths/src/path.rs:
+crates/paths/src/pattern.rs:
+crates/paths/src/schema_paths.rs:
+crates/paths/src/select.rs:
+crates/paths/src/step.rs:
+crates/paths/src/walk.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/docql_prop-2de225f285079cf3.d: crates/prop/src/lib.rs crates/prop/src/gen.rs crates/prop/src/rng.rs crates/prop/src/runner.rs
+
+/root/repo/target/release/deps/docql_prop-2de225f285079cf3: crates/prop/src/lib.rs crates/prop/src/gen.rs crates/prop/src/rng.rs crates/prop/src/runner.rs
+
+crates/prop/src/lib.rs:
+crates/prop/src/gen.rs:
+crates/prop/src/rng.rs:
+crates/prop/src/runner.rs:

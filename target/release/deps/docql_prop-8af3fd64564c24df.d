@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/docql_prop-8af3fd64564c24df.d: crates/prop/src/lib.rs crates/prop/src/gen.rs crates/prop/src/rng.rs crates/prop/src/runner.rs
+
+/root/repo/target/release/deps/libdocql_prop-8af3fd64564c24df.rlib: crates/prop/src/lib.rs crates/prop/src/gen.rs crates/prop/src/rng.rs crates/prop/src/runner.rs
+
+/root/repo/target/release/deps/libdocql_prop-8af3fd64564c24df.rmeta: crates/prop/src/lib.rs crates/prop/src/gen.rs crates/prop/src/rng.rs crates/prop/src/runner.rs
+
+crates/prop/src/lib.rs:
+crates/prop/src/gen.rs:
+crates/prop/src/rng.rs:
+crates/prop/src/runner.rs:

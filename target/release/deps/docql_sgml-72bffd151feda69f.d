@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/docql_sgml-72bffd151feda69f.d: crates/sgml/src/lib.rs crates/sgml/src/content.rs crates/sgml/src/cursor.rs crates/sgml/src/doc.rs crates/sgml/src/dtd.rs crates/sgml/src/error.rs crates/sgml/src/fixtures.rs crates/sgml/src/parser.rs crates/sgml/src/validate.rs
+
+/root/repo/target/release/deps/docql_sgml-72bffd151feda69f: crates/sgml/src/lib.rs crates/sgml/src/content.rs crates/sgml/src/cursor.rs crates/sgml/src/doc.rs crates/sgml/src/dtd.rs crates/sgml/src/error.rs crates/sgml/src/fixtures.rs crates/sgml/src/parser.rs crates/sgml/src/validate.rs
+
+crates/sgml/src/lib.rs:
+crates/sgml/src/content.rs:
+crates/sgml/src/cursor.rs:
+crates/sgml/src/doc.rs:
+crates/sgml/src/dtd.rs:
+crates/sgml/src/error.rs:
+crates/sgml/src/fixtures.rs:
+crates/sgml/src/parser.rs:
+crates/sgml/src/validate.rs:

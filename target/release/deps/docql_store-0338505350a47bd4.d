@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/docql_store-0338505350a47bd4.d: crates/store/src/lib.rs crates/store/src/metrics.rs
+
+/root/repo/target/release/deps/docql_store-0338505350a47bd4: crates/store/src/lib.rs crates/store/src/metrics.rs
+
+crates/store/src/lib.rs:
+crates/store/src/metrics.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/docql_store-48d99ec5da0ce355.d: crates/store/src/lib.rs crates/store/src/metrics.rs
+
+/root/repo/target/release/deps/libdocql_store-48d99ec5da0ce355.rlib: crates/store/src/lib.rs crates/store/src/metrics.rs
+
+/root/repo/target/release/deps/libdocql_store-48d99ec5da0ce355.rmeta: crates/store/src/lib.rs crates/store/src/metrics.rs
+
+crates/store/src/lib.rs:
+crates/store/src/metrics.rs:

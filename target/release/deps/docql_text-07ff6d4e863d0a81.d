@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/docql_text-07ff6d4e863d0a81.d: crates/text/src/lib.rs crates/text/src/contains.rs crates/text/src/index.rs crates/text/src/metrics.rs crates/text/src/near.rs crates/text/src/nfa.rs crates/text/src/pattern.rs crates/text/src/tokenize.rs
+
+/root/repo/target/release/deps/docql_text-07ff6d4e863d0a81: crates/text/src/lib.rs crates/text/src/contains.rs crates/text/src/index.rs crates/text/src/metrics.rs crates/text/src/near.rs crates/text/src/nfa.rs crates/text/src/pattern.rs crates/text/src/tokenize.rs
+
+crates/text/src/lib.rs:
+crates/text/src/contains.rs:
+crates/text/src/index.rs:
+crates/text/src/metrics.rs:
+crates/text/src/near.rs:
+crates/text/src/nfa.rs:
+crates/text/src/pattern.rs:
+crates/text/src/tokenize.rs:

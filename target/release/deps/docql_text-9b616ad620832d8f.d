@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/docql_text-9b616ad620832d8f.d: crates/text/src/lib.rs crates/text/src/contains.rs crates/text/src/index.rs crates/text/src/metrics.rs crates/text/src/near.rs crates/text/src/nfa.rs crates/text/src/pattern.rs crates/text/src/tokenize.rs
+
+/root/repo/target/release/deps/libdocql_text-9b616ad620832d8f.rlib: crates/text/src/lib.rs crates/text/src/contains.rs crates/text/src/index.rs crates/text/src/metrics.rs crates/text/src/near.rs crates/text/src/nfa.rs crates/text/src/pattern.rs crates/text/src/tokenize.rs
+
+/root/repo/target/release/deps/libdocql_text-9b616ad620832d8f.rmeta: crates/text/src/lib.rs crates/text/src/contains.rs crates/text/src/index.rs crates/text/src/metrics.rs crates/text/src/near.rs crates/text/src/nfa.rs crates/text/src/pattern.rs crates/text/src/tokenize.rs
+
+crates/text/src/lib.rs:
+crates/text/src/contains.rs:
+crates/text/src/index.rs:
+crates/text/src/metrics.rs:
+crates/text/src/near.rs:
+crates/text/src/nfa.rs:
+crates/text/src/pattern.rs:
+crates/text/src/tokenize.rs:

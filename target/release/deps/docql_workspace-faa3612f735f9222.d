@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/docql_workspace-faa3612f735f9222.d: src/lib.rs
+
+/root/repo/target/release/deps/docql_workspace-faa3612f735f9222: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/docql_workspace-feedb6fb17321927.d: src/lib.rs
+
+/root/repo/target/release/deps/libdocql_workspace-feedb6fb17321927.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdocql_workspace-feedb6fb17321927.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ingest_throughput-a16a43b030fe6b10.d: crates/bench/benches/ingest_throughput.rs
+
+/root/repo/target/release/deps/ingest_throughput-a16a43b030fe6b10: crates/bench/benches/ingest_throughput.rs
+
+crates/bench/benches/ingest_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mapping_cost-97855fdc56265d38.d: crates/bench/benches/mapping_cost.rs
+
+/root/repo/target/release/deps/mapping_cost-97855fdc56265d38: crates/bench/benches/mapping_cost.rs
+
+crates/bench/benches/mapping_cost.rs:

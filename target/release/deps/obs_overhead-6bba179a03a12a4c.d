@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/obs_overhead-6bba179a03a12a4c.d: crates/bench/benches/obs_overhead.rs
+
+/root/repo/target/release/deps/obs_overhead-6bba179a03a12a4c: crates/bench/benches/obs_overhead.rs
+
+crates/bench/benches/obs_overhead.rs:

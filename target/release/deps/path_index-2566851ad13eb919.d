@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/path_index-2566851ad13eb919.d: crates/bench/benches/path_index.rs
+
+/root/repo/target/release/deps/path_index-2566851ad13eb919: crates/bench/benches/path_index.rs
+
+crates/bench/benches/path_index.rs:

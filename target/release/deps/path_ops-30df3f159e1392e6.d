@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/path_ops-30df3f159e1392e6.d: crates/bench/benches/path_ops.rs
+
+/root/repo/target/release/deps/path_ops-30df3f159e1392e6: crates/bench/benches/path_ops.rs
+
+crates/bench/benches/path_ops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/path_semantics-0d30156d2adb3ee6.d: crates/bench/benches/path_semantics.rs
+
+/root/repo/target/release/deps/path_semantics-0d30156d2adb3ee6: crates/bench/benches/path_semantics.rs
+
+crates/bench/benches/path_semantics.rs:

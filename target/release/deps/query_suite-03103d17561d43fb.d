@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/query_suite-03103d17561d43fb.d: crates/bench/benches/query_suite.rs
+
+/root/repo/target/release/deps/query_suite-03103d17561d43fb: crates/bench/benches/query_suite.rs
+
+crates/bench/benches/query_suite.rs:

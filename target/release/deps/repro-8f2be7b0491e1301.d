@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-8f2be7b0491e1301.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-8f2be7b0491e1301: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

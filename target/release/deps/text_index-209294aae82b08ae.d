@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/text_index-209294aae82b08ae.d: crates/bench/benches/text_index.rs
+
+/root/repo/target/release/deps/text_index-209294aae82b08ae: crates/bench/benches/text_index.rs
+
+crates/bench/benches/text_index.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/union_typing-e39937256cb68887.d: crates/bench/benches/union_typing.rs
+
+/root/repo/target/release/deps/union_typing-e39937256cb68887: crates/bench/benches/union_typing.rs
+
+crates/bench/benches/union_typing.rs:

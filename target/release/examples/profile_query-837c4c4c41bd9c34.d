@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/profile_query-837c4c4c41bd9c34.d: examples/profile_query.rs
+
+/root/repo/target/release/examples/profile_query-837c4c4c41bd9c34: examples/profile_query.rs
+
+examples/profile_query.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/query_shell-e087512bb71efd8a.d: examples/query_shell.rs
+
+/root/repo/target/release/examples/query_shell-e087512bb71efd8a: examples/query_shell.rs
+
+examples/query_shell.rs:

@@ -80,9 +80,18 @@ fn concurrent_readers_match_single_threaded_results() {
         }
     });
 
+    // Readers racing on a cold entry may each compile it once before any
+    // insert lands, so up to READERS misses per query are legitimate; every
+    // other run must hit.
     let stats = store.plan_cache_stats();
+    let total = (READERS * ROUNDS * QUERIES.len()) as u64;
+    assert_eq!(
+        stats.hits + stats.misses,
+        total,
+        "every run counted: {stats:?}"
+    );
     assert!(
-        stats.hits >= (READERS * ROUNDS * QUERIES.len() - QUERIES.len()) as u64,
+        stats.hits >= total - (READERS * QUERIES.len()) as u64,
         "almost every concurrent run should hit the plan cache: {stats:?}"
     );
 }
