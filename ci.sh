@@ -21,8 +21,14 @@ DOCQL_PROP_SEED=20260806 DOCQL_PROP_CASES=64 cargo test --workspace -q \
     --test prop_model --test prop_text --test prop_sgml --test prop_paths \
     --test prop_equivalence
 
+echo "==> fault-injection sweep (fixed seed, replayable via DOCQL_FAULT)"
+DOCQL_FAULT=0xD0C41994 cargo test -q --test governance
+
 echo "==> bench smoke (1 ms window per benchmark target)"
 DOCQL_BENCH_MS=1 cargo bench --workspace -q >/dev/null
+
+echo "==> B11 guard-overhead smoke (interleaved governed vs ungoverned)"
+cargo run -q --release -p docql-bench --example b11_interleaved
 
 echo "==> profile_query example (EXPLAIN ANALYZE + metrics export)"
 cargo run -q --example profile_query >/dev/null

@@ -36,6 +36,15 @@ impl fmt::Display for AlgebraError {
 
 impl std::error::Error for AlgebraError {}
 
+impl From<docql_guard::ExecError> for AlgebraError {
+    /// Carries the guard trip through the stringly error channel; engines
+    /// read the authoritative [`docql_guard::Guard::trip`] afterwards
+    /// instead of parsing this message.
+    fn from(e: docql_guard::ExecError) -> AlgebraError {
+        AlgebraError(format!("interrupted: {e}"))
+    }
+}
+
 /// Evaluate a query through the algebra: algebraize, execute the plan, and
 /// return rows in the calculus result format.
 pub fn eval_algebraic(
@@ -81,7 +90,10 @@ pub fn eval_plan_with(
     interp: &docql_calculus::Interp,
     ctx: ExecCtx<'_>,
 ) -> Result<Vec<Vec<docql_calculus::CalcValue>>, AlgebraError> {
-    let ev = docql_calculus::Evaluator::new(instance, interp);
+    let mut ev = docql_calculus::Evaluator::new(instance, interp);
+    // Filter/Assign operators evaluate atoms through this evaluator;
+    // governance must reach the text predicates they call.
+    ev.guard = ctx.guard;
     let rows = a.plan.execute_with(instance, &ev, ctx)?;
     let mut seen = std::collections::BTreeSet::new();
     let mut out = Vec::new();

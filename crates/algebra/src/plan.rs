@@ -36,6 +36,42 @@ pub struct ExecCtx<'a> {
     pub profile: Option<&'a PlanProfile>,
     /// Registry-level counters aggregated across queries.
     pub metrics: Option<&'a AlgebraMetrics>,
+    /// Execution governance: operator loops charge one row per emitted
+    /// tuple, graph walks charge path fuel, and each operator start is a
+    /// fault-injection point. `None` (the default) costs one pointer test
+    /// per row.
+    pub guard: Option<&'a docql_guard::Guard>,
+}
+
+/// Charge one row to the execution guard. `Ok(true)` continues, `Ok(false)`
+/// stops the loop keeping the rows emitted so far (degrade mode), `Err`
+/// aborts the plan.
+#[inline]
+fn guard_row(ctx: ExecCtx<'_>) -> Result<bool, crate::AlgebraError> {
+    match ctx.guard {
+        None => Ok(true),
+        Some(g) => match g.row() {
+            docql_guard::Flow::Continue => Ok(true),
+            docql_guard::Flow::Stop => Ok(false),
+            docql_guard::Flow::Abort(e) => Err(crate::AlgebraError::from(e)),
+        },
+    }
+}
+
+/// Charge `n` path-fuel units (same continue/stop/abort contract as
+/// [`guard_row`]). Extent-index hits charge one unit per resolved start so
+/// a path-fuel limit bounds path-atom work uniformly, whether the plan
+/// walks or reads the index.
+#[inline]
+fn guard_fuel(ctx: ExecCtx<'_>, n: u64) -> Result<bool, crate::AlgebraError> {
+    match ctx.guard {
+        None => Ok(true),
+        Some(g) => match g.fuel(n) {
+            docql_guard::Flow::Continue => Ok(true),
+            docql_guard::Flow::Stop => Ok(false),
+            docql_guard::Flow::Abort(e) => Err(crate::AlgebraError::from(e)),
+        },
+    }
 }
 
 /// One navigation step of a [`Op::Walk`].
@@ -179,6 +215,16 @@ impl Op {
         input_rows: Vec<Env>,
         node: usize,
     ) -> Result<Vec<Env>, crate::AlgebraError> {
+        // Operator boundary: deterministic fault-injection point (inert
+        // without a fault seed) — may panic (exercising `catch_unwind`
+        // isolation upstream) or force a budget trip.
+        if let Some(g) = ctx.guard {
+            match g.fault_point("algebra-operator") {
+                docql_guard::Flow::Continue => {}
+                docql_guard::Flow::Stop => return Ok(Vec::new()),
+                docql_guard::Flow::Abort(e) => return Err(crate::AlgebraError::from(e)),
+            }
+        }
         if ctx.profile.is_none() && ctx.metrics.is_none() {
             return self.run_inner(instance, ev, ctx, input_rows, node);
         }
@@ -230,10 +276,13 @@ impl Op {
                 let rows = input.run(instance, ev, ctx, input_rows, child_id(ctx, node, 0))?;
                 let mut result = Vec::new();
                 for row in rows {
+                    if !guard_row(ctx)? {
+                        break;
+                    }
                     let Some(CalcValue::Data(v)) = row.get(start).cloned() else {
                         continue;
                     };
-                    walk(instance, &v, steps, row, *out, &mut result);
+                    walk(instance, &v, steps, row, *out, ctx.guard, &mut result);
                 }
                 Ok(result)
             }
@@ -252,6 +301,9 @@ impl Op {
                 let mut walk_fallbacks = 0u64;
                 let mut result = Vec::new();
                 for mut row in rows {
+                    if !guard_row(ctx)? {
+                        break;
+                    }
                     // Take the start value out of the row when it is dead
                     // downstream: emitted rows then no longer clone it.
                     let v = if scan.drop_start {
@@ -270,6 +322,9 @@ impl Op {
                         (Some((e, pid)), None) => match v {
                             Value::Oid(o) if e.is_root_indexed(o) => {
                                 index_hits += 1;
+                                if !guard_fuel(ctx, 1)? {
+                                    break;
+                                }
                                 for target in e.targets(*pid, o) {
                                     emit_indexed(
                                         target,
@@ -282,7 +337,15 @@ impl Op {
                             }
                             v => {
                                 walk_fallbacks += 1;
-                                walk(instance, &v, &scan.steps, row, scan.out, &mut result);
+                                walk(
+                                    instance,
+                                    &v,
+                                    &scan.steps,
+                                    row,
+                                    scan.out,
+                                    ctx.guard,
+                                    &mut result,
+                                );
                             }
                         },
                         // Start value is the document collection: fan out
@@ -296,6 +359,9 @@ impl Op {
                                 match item {
                                     Value::Oid(o) if e.is_root_indexed(o) => {
                                         index_hits += 1;
+                                        if !guard_fuel(ctx, 1)? {
+                                            break;
+                                        }
                                         for target in e.targets(*pid, o) {
                                             emit_indexed(
                                                 target,
@@ -314,6 +380,7 @@ impl Op {
                                             &scan.steps[1..],
                                             r,
                                             scan.out,
+                                            ctx.guard,
                                             &mut result,
                                         );
                                     }
@@ -323,7 +390,15 @@ impl Op {
                         // No index attached, or the key is not interned.
                         (None, _) => {
                             walk_fallbacks += 1;
-                            walk(instance, &v, &scan.steps, row, scan.out, &mut result);
+                            walk(
+                                instance,
+                                &v,
+                                &scan.steps,
+                                row,
+                                scan.out,
+                                ctx.guard,
+                                &mut result,
+                            );
                         }
                     }
                 }
@@ -342,6 +417,9 @@ impl Op {
                 let rows = input.run(instance, ev, ctx, input_rows, child_id(ctx, node, 0))?;
                 let mut result = Vec::new();
                 for row in rows {
+                    if !guard_row(ctx)? {
+                        break;
+                    }
                     let kept = ev
                         .eval_formula(
                             &docql_calculus::Formula::Atom(atom.clone()),
@@ -362,6 +440,9 @@ impl Op {
                 // variable-copy case never touches the calculus evaluator.
                 let mut eq: Option<docql_calculus::Formula> = None;
                 for mut row in rows {
+                    if !guard_row(ctx)? {
+                        break;
+                    }
                     // Fast path: `#var := #src` with `src` bound and `var`
                     // free is a plain copy — the shape the compiler emits
                     // for head projections, once per result row.
@@ -402,6 +483,9 @@ impl Op {
                 let sub_id = child_id(ctx, node, 1);
                 let mut result = Vec::new();
                 for row in rows {
+                    if !guard_row(ctx)? {
+                        break;
+                    }
                     if sub
                         .run(instance, ev, ctx, vec![row.clone()], sub_id)?
                         .is_empty()
@@ -416,6 +500,9 @@ impl Op {
                 let sub_id = child_id(ctx, node, 1);
                 let mut result = Vec::new();
                 for row in rows {
+                    if !guard_row(ctx)? {
+                        break;
+                    }
                     if !sub
                         .run(instance, ev, ctx, vec![row.clone()], sub_id)?
                         .is_empty()
@@ -434,6 +521,9 @@ impl Op {
                 let mut seen = std::collections::BTreeSet::new();
                 let mut result = Vec::new();
                 for row in rows {
+                    if !guard_row(ctx)? {
+                        break;
+                    }
                     let projected: Env = vars
                         .iter()
                         .filter_map(|v| row.get(v).map(|cv| (*v, cv.clone())))
@@ -702,8 +792,17 @@ fn walk(
     steps: &[WalkStep],
     row: Env,
     out: Option<Var>,
+    guard: Option<&docql_guard::Guard>,
     result: &mut Vec<Env>,
 ) {
+    // Each visited value is one unit of path fuel; once the guard trips the
+    // whole recursion unwinds fast (the trip is sticky) and the enclosing
+    // operator loop converts it into a stop or an abort.
+    if let Some(g) = guard {
+        if g.fuel(1).interrupted() {
+            return;
+        }
+    }
     let Some(step) = steps.first() else {
         let mut row = row;
         if let Some(v) = out {
@@ -716,27 +815,27 @@ fn walk(
     match step {
         WalkStep::Attr(a) => {
             if let Some(v) = attr_select(instance, value, *a) {
-                walk(instance, &v, rest, row, out, result);
+                walk(instance, &v, rest, row, out, guard, result);
             }
         }
         WalkStep::Deref => {
             if let Value::Oid(o) = value {
                 if let Ok(v) = instance.value_of(*o) {
                     let v = v.clone();
-                    walk(instance, &v, rest, row, out, result);
+                    walk(instance, &v, rest, row, out, guard, result);
                 }
             }
         }
         WalkStep::Index(i) => {
             if let Some(v) = index_select(instance, value, *i) {
-                walk(instance, &v, rest, row, out, result);
+                walk(instance, &v, rest, row, out, guard, result);
             }
         }
         WalkStep::IndexVar(var) => {
             if let Some(CalcValue::Data(Value::Int(n))) = row.get(var) {
                 if let Ok(i) = usize::try_from(*n) {
                     if let Some(v) = index_select(instance, value, i) {
-                        walk(instance, &v, rest, row.clone(), out, result);
+                        walk(instance, &v, rest, row.clone(), out, guard, result);
                     }
                 }
             }
@@ -748,7 +847,7 @@ fn walk(
                 if let Some(v) = idx_var {
                     r.insert(*v, CalcValue::Data(Value::Int(i as i64)));
                 }
-                walk(instance, item, rest, r, out, result);
+                walk(instance, item, rest, r, out, guard, result);
             }
         }
         WalkStep::UnnestSet(elem_var) => {
@@ -758,7 +857,7 @@ fn walk(
                     if let Some(v) = elem_var {
                         r.insert(*v, CalcValue::Data(item.clone()));
                     }
-                    walk(instance, &item, rest, r, out, result);
+                    walk(instance, &item, rest, r, out, guard, result);
                 }
             }
         }
@@ -766,7 +865,7 @@ fn walk(
             // deref1 already looks through oids and union markers.
             if let Value::List(items) | Value::Set(items) = deref1(instance, value) {
                 for item in items {
-                    walk(instance, &item, rest, row.clone(), out, result);
+                    walk(instance, &item, rest, row.clone(), out, guard, result);
                 }
             }
         }
@@ -776,14 +875,14 @@ fn walk(
             match row.get(v) {
                 Some(CalcValue::Data(existing)) => {
                     if existing == value {
-                        walk(instance, value, rest, row.clone(), out, result);
+                        walk(instance, value, rest, row.clone(), out, guard, result);
                     }
                 }
                 Some(_) => {}
                 None => {
                     let mut r = row;
                     r.insert(*v, CalcValue::Data(value.clone()));
-                    walk(instance, value, rest, r, out, result);
+                    walk(instance, value, rest, r, out, guard, result);
                 }
             }
         }

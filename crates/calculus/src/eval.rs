@@ -20,7 +20,7 @@
 use crate::interp::{CalcValue, Interp, InterpCtx, InterpError};
 use crate::term::{Atom, AttrTerm, DataTerm, Formula, IntTerm, PathAtom, Query, Var};
 use docql_model::{Instance, Sym, Value};
-use docql_paths::{enumerate_paths, ConcretePath, EnumOptions, PathSemantics, PathStep};
+use docql_paths::{ConcretePath, EnumOptions, PathSemantics, PathStep};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -37,6 +37,9 @@ pub enum CalcError {
     Interp(InterpError),
     /// An unknown root of persistence was referenced.
     UnknownName(String),
+    /// Execution was interrupted by its [`docql_guard::Guard`] (deadline,
+    /// budget, or cancellation).
+    Interrupted(docql_guard::ExecError),
 }
 
 impl fmt::Display for CalcError {
@@ -45,6 +48,7 @@ impl fmt::Display for CalcError {
             CalcError::RangeRestriction(s) => write!(f, "not range-restricted: {s}"),
             CalcError::Interp(e) => write!(f, "{e}"),
             CalcError::UnknownName(n) => write!(f, "unknown name `{n}`"),
+            CalcError::Interrupted(e) => write!(f, "{e}"),
         }
     }
 }
@@ -57,6 +61,12 @@ impl From<InterpError> for CalcError {
     }
 }
 
+impl From<docql_guard::ExecError> for CalcError {
+    fn from(e: docql_guard::ExecError) -> CalcError {
+        CalcError::Interrupted(e)
+    }
+}
+
 /// The calculus evaluator, bound to an instance and interpreted registry.
 pub struct Evaluator<'a> {
     instance: &'a Instance,
@@ -65,6 +75,9 @@ pub struct Evaluator<'a> {
     pub semantics: PathSemantics,
     /// Include `{v}` set-element steps during path-variable expansion.
     pub set_elements: bool,
+    /// Execution governance: atom loops charge rows, path walks charge
+    /// fuel. `None` (the default) costs one pointer test per row.
+    pub guard: Option<&'a docql_guard::Guard>,
 }
 
 impl<'a> Evaluator<'a> {
@@ -75,6 +88,34 @@ impl<'a> Evaluator<'a> {
             interp,
             semantics: PathSemantics::Restricted,
             set_elements: true,
+            guard: None,
+        }
+    }
+
+    /// Charge one row to the guard. `Ok(true)` continues, `Ok(false)` stops
+    /// the loop keeping partial bindings (degrade mode), `Err` aborts.
+    #[inline]
+    fn guard_row(&self) -> Result<bool, CalcError> {
+        match self.guard {
+            None => Ok(true),
+            Some(g) => match g.row() {
+                docql_guard::Flow::Continue => Ok(true),
+                docql_guard::Flow::Stop => Ok(false),
+                docql_guard::Flow::Abort(e) => Err(CalcError::Interrupted(e)),
+            },
+        }
+    }
+
+    /// Charge one path step; same contract as [`Self::guard_row`].
+    #[inline]
+    fn guard_step(&self) -> Result<bool, CalcError> {
+        match self.guard {
+            None => Ok(true),
+            Some(g) => match g.fuel(1) {
+                docql_guard::Flow::Continue => Ok(true),
+                docql_guard::Flow::Stop => Ok(false),
+                docql_guard::Flow::Abort(e) => Err(CalcError::Interrupted(e)),
+            },
         }
     }
 
@@ -317,6 +358,9 @@ impl<'a> Evaluator<'a> {
     fn eval_atom(&self, a: &Atom, envs: Vec<Env>) -> Result<Vec<Env>, CalcError> {
         let mut out = Vec::new();
         for env in envs {
+            if !self.guard_row()? {
+                break;
+            }
             match a {
                 Atom::PathPred(t, p) => {
                     let Some(base) = self.term_value(t, &env)? else {
@@ -409,6 +453,7 @@ impl<'a> Evaluator<'a> {
                     }
                     let ctx = InterpCtx {
                         instance: self.instance,
+                        guard: self.guard,
                     };
                     if ok && self.interp.pred(&ctx, *name, &vals)? {
                         out.push(env);
@@ -527,6 +572,7 @@ impl<'a> Evaluator<'a> {
                 }
                 let ctx = InterpCtx {
                     instance: self.instance,
+                    guard: self.guard,
                 };
                 Ok(Some(self.interp.func(&ctx, *name, &vals)?))
             }
@@ -716,6 +762,9 @@ impl<'a> Evaluator<'a> {
         env: Env,
         out: &mut Vec<Env>,
     ) -> Result<(), CalcError> {
+        if !self.guard_step()? {
+            return Ok(());
+        }
         let Some(atom) = atoms.first() else {
             out.push(env);
             return Ok(());
@@ -736,7 +785,16 @@ impl<'a> Evaluator<'a> {
                         include_set_elements: self.set_elements,
                         ..EnumOptions::default()
                     };
-                    for (subpath, value) in enumerate_paths(self.instance, base, &opts) {
+                    // Guarded expansion: the enumeration itself charges one
+                    // fuel unit per visited pair and stops on trip; the
+                    // recursive walk below then observes the sticky trip.
+                    let pairs = docql_paths::enumerate_paths_guarded(
+                        self.instance,
+                        base,
+                        &opts,
+                        self.guard,
+                    );
+                    for (subpath, value) in pairs {
                         let mut e = env.clone();
                         e.insert(*v, CalcValue::Path(subpath));
                         self.walk_path(&value, rest, e, out)?;

@@ -77,6 +77,24 @@ impl fmt::Display for InterpError {
 pub struct InterpCtx<'a> {
     /// The instance queries run against.
     pub instance: &'a docql_model::Instance,
+    /// Execution governance, when the query runs under limits: `contains`/
+    /// `near` charge scan fuel against it before scanning.
+    pub guard: Option<&'a docql_guard::Guard>,
+}
+
+/// Marker carried by [`InterpError`] when a guard interrupts an interpreted
+/// call; engines read the authoritative [`docql_guard::Guard::trip`] instead
+/// of parsing this.
+pub const INTERRUPTED: &str = "execution interrupted by guard";
+
+impl<'a> InterpCtx<'a> {
+    /// An ungoverned context over `instance`.
+    pub fn new(instance: &'a docql_model::Instance) -> InterpCtx<'a> {
+        InterpCtx {
+            instance,
+            guard: None,
+        }
+    }
 }
 
 impl InterpCtx<'_> {
@@ -301,7 +319,19 @@ fn p_contains(ctx: &InterpCtx<'_>, args: &[CalcValue]) -> Result<bool, InterpErr
     let pattern = str_arg(args, 1, "contains")?;
     let expr = ContainsExpr::pattern(&pattern)
         .map_err(|e| InterpError(format!("contains: bad pattern: {e}")))?;
-    Ok(expr.eval(&text))
+    match expr.compile().eval_guarded(&text, ctx.guard) {
+        Some(b) => Ok(b),
+        None => interrupted(ctx),
+    }
+}
+
+/// The guard tripped mid-scan: degrade to "atom false" (partial result, the
+/// engine flags it) or abort with the [`INTERRUPTED`] marker.
+fn interrupted(ctx: &InterpCtx<'_>) -> Result<bool, InterpError> {
+    match ctx.guard {
+        Some(g) if g.degrades() => Ok(false),
+        _ => Err(InterpError(INTERRUPTED.to_string())),
+    }
 }
 
 /// `near(text, w1, w2, k)` — within `k` words.
@@ -314,13 +344,17 @@ fn p_near(ctx: &InterpCtx<'_>, args: &[CalcValue]) -> Result<bool, InterpError> 
     let w1 = str_arg(args, 1, "near")?;
     let w2 = str_arg(args, 2, "near")?;
     let k = int_arg(args, 3, "near")?;
-    Ok(docql_text::near(
+    match docql_text::near_guarded(
         &text,
         &w1,
         &w2,
         usize::try_from(k).unwrap_or(0),
         NearUnit::Words,
-    ))
+        ctx.guard,
+    ) {
+        Some(b) => Ok(b),
+        None => interrupted(ctx),
+    }
 }
 
 fn cmp(args: &[CalcValue]) -> Result<std::cmp::Ordering, InterpError> {
@@ -586,13 +620,13 @@ mod tests {
 
     fn call_pred(i: &Interp, name: Sym, args: &[CalcValue]) -> Result<bool, InterpError> {
         let inst = test_instance();
-        let ctx = InterpCtx { instance: &inst };
+        let ctx = InterpCtx::new(&inst);
         i.pred(&ctx, name, args)
     }
 
     fn call_func(i: &Interp, name: Sym, args: &[CalcValue]) -> Result<CalcValue, InterpError> {
         let inst = test_instance();
-        let ctx = InterpCtx { instance: &inst };
+        let ctx = InterpCtx::new(&inst);
         i.func(&ctx, name, args)
     }
 

@@ -36,6 +36,7 @@
 
 pub use docql_algebra as algebra;
 pub use docql_calculus as calculus;
+pub use docql_guard as guard;
 pub use docql_mapping as mapping;
 pub use docql_model as model;
 pub use docql_o2sql as o2sql;
@@ -51,6 +52,7 @@ pub use docql_sgml::fixtures;
 /// Commonly used items, one `use` away.
 pub mod prelude {
     pub use docql_calculus::{CalcValue, Evaluator, Interp, Query, QueryBuilder};
+    pub use docql_guard::{CancelToken, ExecError, QueryLimits};
     pub use docql_model::{sym, Instance, Oid, Schema, Sym, Type, Value};
     pub use docql_o2sql::{Engine, Mode, QueryResult};
     pub use docql_paths::{ConcretePath, PathSemantics, PathStep};
@@ -113,6 +115,39 @@ impl Database {
     /// Run a query through the §5.4 algebraizer instead of the interpreter.
     pub fn query_algebraic(&self, src: &str) -> Result<QueryResult, StoreError> {
         self.inner.query_algebraic(src)
+    }
+
+    /// Run a query under per-call resource limits — wall-clock deadline,
+    /// row budget, path fuel, cancellation (see
+    /// [`store::DocStore::query_with_limits`]).
+    ///
+    /// ```
+    /// use docql::prelude::*;
+    /// use std::time::Duration;
+    ///
+    /// let mut db = docql::Database::new(docql::fixtures::ARTICLE_DTD, &["my_article"]).unwrap();
+    /// let root = db.ingest(docql::fixtures::FIG2_DOCUMENT).unwrap();
+    /// db.bind("my_article", root).unwrap();
+    /// let limits = QueryLimits::none()
+    ///     .with_deadline(Duration::from_secs(5))
+    ///     .with_row_budget(100_000);
+    /// let r = db
+    ///     .query_with_limits("select t from my_article PATH_p.title(t)", &limits)
+    ///     .unwrap();
+    /// assert!(!r.is_partial());
+    /// ```
+    pub fn query_with_limits(
+        &self,
+        src: &str,
+        limits: &docql_guard::QueryLimits,
+    ) -> Result<QueryResult, StoreError> {
+        self.inner.query_with_limits(src, limits)
+    }
+
+    /// Set the default limits applied to every query on this database
+    /// (per-call limits override field-wise).
+    pub fn set_default_limits(&mut self, limits: docql_guard::QueryLimits) {
+        self.inner.set_default_limits(limits);
     }
 
     /// The rendered `EXPLAIN ANALYZE` report for one query: lifecycle

@@ -1,0 +1,689 @@
+//! Execution governance for docql queries: deadlines, budgets, cooperative
+//! cancellation, admission control, and deterministic fault injection.
+//!
+//! The query pipeline (algebra operators, the calculus interpreter, path
+//! enumeration, text scans) is cooperative: long loops periodically consult a
+//! [`Guard`] built from [`QueryLimits`]. A guard lives and dies with one
+//! query on one thread, so its counters are plain [`Cell`]s — a check is a
+//! non-atomic bump, with the expensive `Instant::now()` deadline read
+//! amortized over [`TICK_MASK`]` + 1` ticks — and an unguarded query (no
+//! limits set) pays one `Option` test per row. The only cross-thread piece
+//! is the [`CancelToken`], which is atomic and clonable.
+//!
+//! A guard trips **sticky**: the first exceeded limit is recorded in the
+//! guard and every later check short-circuits, so deep recursion unwinds
+//! quickly once any loop notices. Consumers read the authoritative trip via
+//! [`Guard::trip`] after evaluation; inner error channels only need to carry
+//! an opaque marker. In degrade mode ([`QueryLimits::degrade`]) a tripped
+//! check yields [`Flow::Stop`] instead of [`Flow::Abort`]: loops break and
+//! keep the rows produced so far, and the engine flags the result partial.
+//!
+//! The crate is dependency-free (std only) so the leaf crates — `paths`,
+//! `text`, `calculus` — can depend on it without cycles.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Which budget ran out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resource {
+    /// The row/tuple budget ([`QueryLimits::row_budget`]).
+    Rows,
+    /// The path-step fuel ([`QueryLimits::path_fuel`]).
+    PathFuel,
+}
+
+/// Structured outcome taxonomy for governed execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecError {
+    /// The wall-clock deadline passed.
+    DeadlineExceeded,
+    /// A work budget ran out before the query finished.
+    BudgetExhausted(Resource),
+    /// The query's [`CancelToken`] was cancelled.
+    Cancelled,
+    /// The admission gate refused the query (too many concurrent queries,
+    /// and the bounded wait timed out).
+    AdmissionRejected,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            ExecError::BudgetExhausted(Resource::Rows) => write!(f, "row budget exhausted"),
+            ExecError::BudgetExhausted(Resource::PathFuel) => {
+                write!(f, "path-step fuel exhausted")
+            }
+            ExecError::Cancelled => write!(f, "query cancelled"),
+            ExecError::AdmissionRejected => {
+                write!(f, "admission rejected: too many concurrent queries")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// What a governed loop should do after charging work to the guard.
+#[must_use]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flow {
+    /// Budget remains — keep going.
+    Continue,
+    /// A limit tripped and the guard is in degrade mode: break out of the
+    /// loop keeping the rows produced so far (the result will be flagged
+    /// partial via [`Guard::trip`]).
+    Stop,
+    /// A limit tripped in strict mode: abort evaluation with this error.
+    Abort(ExecError),
+}
+
+impl Flow {
+    /// True unless the flow is [`Flow::Continue`].
+    #[inline]
+    pub fn interrupted(self) -> bool {
+        !matches!(self, Flow::Continue)
+    }
+}
+
+/// Clonable cooperative cancellation handle. Cancelling is a single store;
+/// guarded loops observe it within one amortization window.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Request cancellation of every query carrying a clone of this token.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Has [`CancelToken::cancel`] been called?
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-call (or per-store default) resource limits. All fields optional;
+/// `QueryLimits::default()` governs nothing.
+#[derive(Debug, Clone, Default)]
+pub struct QueryLimits {
+    /// Wall-clock budget, measured from [`Guard::new`].
+    pub deadline: Option<Duration>,
+    /// Maximum rows/tuples materialized across all operator loops.
+    pub row_budget: Option<u64>,
+    /// Maximum path steps (graph-walk visits + enumeration steps).
+    pub path_fuel: Option<u64>,
+    /// On trip, return a flagged partial result instead of an error.
+    pub degrade: bool,
+    /// Cooperative cancellation handle shared with the caller.
+    pub cancel: Option<CancelToken>,
+    /// Deterministic fault-injection seed (tests/CI only): operator
+    /// boundaries consult a SplitMix64 stream to inject panics and forced
+    /// budget trips.
+    pub fault_seed: Option<u64>,
+}
+
+impl QueryLimits {
+    /// No limits at all.
+    pub fn none() -> QueryLimits {
+        QueryLimits::default()
+    }
+
+    /// True when no field governs anything (a guard would be inert).
+    pub fn is_none(&self) -> bool {
+        self.deadline.is_none()
+            && self.row_budget.is_none()
+            && self.path_fuel.is_none()
+            && self.cancel.is_none()
+            && self.fault_seed.is_none()
+    }
+
+    /// Set the wall-clock deadline.
+    pub fn with_deadline(mut self, d: Duration) -> QueryLimits {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Set the row/tuple budget.
+    pub fn with_row_budget(mut self, n: u64) -> QueryLimits {
+        self.row_budget = Some(n);
+        self
+    }
+
+    /// Set the path-step fuel.
+    pub fn with_path_fuel(mut self, n: u64) -> QueryLimits {
+        self.path_fuel = Some(n);
+        self
+    }
+
+    /// Return flagged partial results on trip instead of erroring.
+    pub fn with_degrade(mut self) -> QueryLimits {
+        self.degrade = true;
+        self
+    }
+
+    /// Attach a cancellation token.
+    pub fn with_cancel(mut self, token: CancelToken) -> QueryLimits {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Attach a deterministic fault-injection seed.
+    pub fn with_fault_seed(mut self, seed: u64) -> QueryLimits {
+        self.fault_seed = Some(seed);
+        self
+    }
+
+    /// Per-call limits override per-store defaults field-wise: any field the
+    /// call leaves unset falls back to the default's value.
+    pub fn or(mut self, defaults: &QueryLimits) -> QueryLimits {
+        if self.deadline.is_none() {
+            self.deadline = defaults.deadline;
+        }
+        if self.row_budget.is_none() {
+            self.row_budget = defaults.row_budget;
+        }
+        if self.path_fuel.is_none() {
+            self.path_fuel = defaults.path_fuel;
+        }
+        if self.cancel.is_none() {
+            self.cancel = defaults.cancel.clone();
+        }
+        if self.fault_seed.is_none() {
+            self.fault_seed = defaults.fault_seed;
+        }
+        self.degrade |= defaults.degrade;
+        self
+    }
+}
+
+/// Deadline/cancel checks run every `TICK_MASK + 1` charged units.
+pub const TICK_MASK: u64 = 0xFF;
+
+const TRIP_NONE: u8 = 0;
+const TRIP_DEADLINE: u8 = 1;
+const TRIP_ROWS: u8 = 2;
+const TRIP_FUEL: u8 = 3;
+const TRIP_CANCELLED: u8 = 4;
+
+fn trip_code(e: ExecError) -> u8 {
+    match e {
+        ExecError::DeadlineExceeded => TRIP_DEADLINE,
+        ExecError::BudgetExhausted(Resource::Rows) => TRIP_ROWS,
+        ExecError::BudgetExhausted(Resource::PathFuel) => TRIP_FUEL,
+        ExecError::Cancelled => TRIP_CANCELLED,
+        // The gate rejects before a guard exists; never recorded as a trip.
+        ExecError::AdmissionRejected => TRIP_CANCELLED,
+    }
+}
+
+fn trip_error(code: u8) -> Option<ExecError> {
+    match code {
+        TRIP_DEADLINE => Some(ExecError::DeadlineExceeded),
+        TRIP_ROWS => Some(ExecError::BudgetExhausted(Resource::Rows)),
+        TRIP_FUEL => Some(ExecError::BudgetExhausted(Resource::PathFuel)),
+        TRIP_CANCELLED => Some(ExecError::Cancelled),
+        _ => None,
+    }
+}
+
+/// One query's live governance state, built from [`QueryLimits`] at query
+/// start and threaded by reference through evaluation.
+#[derive(Debug)]
+pub struct Guard {
+    deadline: Option<Instant>,
+    row_budget: Option<u64>,
+    path_fuel: Option<u64>,
+    cancel: Option<CancelToken>,
+    degrade: bool,
+    /// Rows charged so far.
+    rows: Cell<u64>,
+    /// Path steps charged so far.
+    fuel: Cell<u64>,
+    /// Charge events since the last deadline/cancel check.
+    ticks: Cell<u64>,
+    /// First trip, sticky (`TRIP_*` code).
+    trip: Cell<u8>,
+    fault: Option<FaultStream>,
+}
+
+impl Guard {
+    /// Start governing: the deadline clock begins now.
+    pub fn new(limits: &QueryLimits) -> Guard {
+        Guard {
+            deadline: limits.deadline.map(|d| Instant::now() + d),
+            row_budget: limits.row_budget,
+            path_fuel: limits.path_fuel,
+            cancel: limits.cancel.clone(),
+            degrade: limits.degrade,
+            rows: Cell::new(0),
+            fuel: Cell::new(0),
+            ticks: Cell::new(0),
+            trip: Cell::new(TRIP_NONE),
+            fault: limits.fault_seed.map(FaultStream::new),
+        }
+    }
+
+    /// The first limit that tripped, if any. Authoritative: engines read
+    /// this after evaluation to build typed errors / partial flags instead
+    /// of parsing stringly inner errors.
+    pub fn trip(&self) -> Option<ExecError> {
+        trip_error(self.trip.get())
+    }
+
+    /// One load; true once any limit tripped. Recursive walkers use this to
+    /// unwind fast without threading [`Flow`] everywhere.
+    #[inline]
+    pub fn tripped(&self) -> bool {
+        self.trip.get() != TRIP_NONE
+    }
+
+    /// Degrade mode: trips stop loops (partial results) rather than abort.
+    #[inline]
+    pub fn degrades(&self) -> bool {
+        self.degrade
+    }
+
+    /// (rows charged, path steps charged) so far.
+    pub fn consumed(&self) -> (u64, u64) {
+        (self.rows.get(), self.fuel.get())
+    }
+
+    fn record(&self, e: ExecError) -> Flow {
+        // First writer wins; later trips keep the original cause.
+        if self.trip.get() == TRIP_NONE {
+            self.trip.set(trip_code(e));
+        }
+        self.resolved()
+    }
+
+    /// The sticky trip as a Flow (Continue when untripped).
+    #[inline]
+    fn resolved(&self) -> Flow {
+        match self.trip() {
+            None => Flow::Continue,
+            Some(_) if self.degrade => Flow::Stop,
+            Some(e) => Flow::Abort(e),
+        }
+    }
+
+    /// Deadline + cancellation, amortized: cheap counter bump, real check
+    /// every [`TICK_MASK`]` + 1` calls.
+    #[inline]
+    pub fn check(&self) -> Flow {
+        if self.tripped() {
+            return self.resolved();
+        }
+        let t = self.ticks.get();
+        self.ticks.set(t.wrapping_add(1));
+        if t & TICK_MASK == 0 {
+            return self.check_now();
+        }
+        Flow::Continue
+    }
+
+    /// Deadline + cancellation, unamortized (query boundaries, expensive
+    /// operator starts).
+    pub fn check_now(&self) -> Flow {
+        if self.tripped() {
+            return self.resolved();
+        }
+        if let Some(tok) = &self.cancel {
+            if tok.is_cancelled() {
+                return self.record(ExecError::Cancelled);
+            }
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return self.record(ExecError::DeadlineExceeded);
+            }
+        }
+        Flow::Continue
+    }
+
+    /// Charge one materialized row/tuple, plus the amortized deadline tick.
+    #[inline]
+    pub fn row(&self) -> Flow {
+        if self.tripped() {
+            return self.resolved();
+        }
+        if let Some(budget) = self.row_budget {
+            let used = self.rows.get();
+            self.rows.set(used + 1);
+            if used >= budget {
+                return self.record(ExecError::BudgetExhausted(Resource::Rows));
+            }
+        }
+        self.check()
+    }
+
+    /// Charge `n` path steps, plus the amortized deadline tick.
+    #[inline]
+    pub fn fuel(&self, n: u64) -> Flow {
+        if self.tripped() {
+            return self.resolved();
+        }
+        if let Some(budget) = self.path_fuel {
+            let used = self.fuel.get().saturating_add(n);
+            self.fuel.set(used);
+            if used > budget {
+                return self.record(ExecError::BudgetExhausted(Resource::PathFuel));
+            }
+        }
+        self.check()
+    }
+
+    /// Fault-injection hook for operator boundaries. With no fault seed this
+    /// is one `Option` test. With a seed, the deterministic stream may
+    /// `panic!` (exercising `catch_unwind` isolation) or force a budget trip
+    /// (returned as the usual [`Flow`]).
+    #[inline]
+    pub fn fault_point(&self, site: &'static str) -> Flow {
+        let Some(fault) = &self.fault else {
+            return Flow::Continue;
+        };
+        match fault.draw() {
+            Fault::None => Flow::Continue,
+            Fault::Panic => panic!("injected fault (docql-guard, site {site})"),
+            Fault::Exhaust => {
+                if self.tripped() {
+                    self.resolved()
+                } else {
+                    self.record(ExecError::BudgetExhausted(Resource::Rows))
+                }
+            }
+        }
+    }
+}
+
+/// SplitMix64 — mirrored from `docql-prop` (which mirrors `docql-corpus`) so
+/// this crate stays dependency-free. Same constants, same stream.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+enum Fault {
+    None,
+    Panic,
+    Exhaust,
+}
+
+/// Deterministic per-guard fault stream: the n-th `draw` across all sites is
+/// a pure function of (seed, n), so a failing seed replays exactly.
+#[derive(Debug)]
+struct FaultStream {
+    seed: u64,
+    calls: Cell<u64>,
+}
+
+impl FaultStream {
+    fn new(seed: u64) -> FaultStream {
+        FaultStream {
+            seed,
+            calls: Cell::new(0),
+        }
+    }
+
+    fn draw(&self) -> Fault {
+        let n = self.calls.get();
+        self.calls.set(n + 1);
+        let mut state = self.seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let x = splitmix64(&mut state);
+        // ~1.5% panics, ~3% forced exhaustion per boundary crossing.
+        match x % 64 {
+            0 => Fault::Panic,
+            1 | 2 => Fault::Exhaust,
+            _ => Fault::None,
+        }
+    }
+}
+
+/// Admission control: a bounded-concurrency gate with a bounded wait.
+/// Queries `admit()` before touching the store; over-limit arrivals block up
+/// to `max_wait` for a permit, then fail with
+/// [`ExecError::AdmissionRejected`]. Dropping the [`Permit`] releases the
+/// slot. Writers are unaffected — the gate applies only where callers choose
+/// to consult it (read-side serving paths).
+#[derive(Debug)]
+pub struct AdmissionGate {
+    max: usize,
+    max_wait: Duration,
+    active: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl AdmissionGate {
+    /// A gate admitting at most `max` concurrent holders; arrivals beyond
+    /// that wait up to `max_wait` for a slot.
+    pub fn new(max: usize, max_wait: Duration) -> AdmissionGate {
+        AdmissionGate {
+            max: max.max(1),
+            max_wait,
+            active: Mutex::new(0),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Acquire a slot or fail after the bounded wait.
+    pub fn admit(&self) -> Result<Permit<'_>, ExecError> {
+        let deadline = Instant::now() + self.max_wait;
+        let mut active = self
+            .active
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        while *active >= self.max {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(ExecError::AdmissionRejected);
+            }
+            let (guard, timeout) = self
+                .freed
+                .wait_timeout(active, deadline - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            active = guard;
+            if timeout.timed_out() && *active >= self.max {
+                return Err(ExecError::AdmissionRejected);
+            }
+        }
+        *active += 1;
+        Ok(Permit { gate: self })
+    }
+
+    /// Holders right now (diagnostics).
+    pub fn active(&self) -> usize {
+        *self
+            .active
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// An admitted slot; dropping releases it and wakes one waiter.
+#[derive(Debug)]
+pub struct Permit<'a> {
+    gate: &'a AdmissionGate,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut active = self
+            .gate
+            .active
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *active = active.saturating_sub(1);
+        drop(active);
+        self.gate.freed.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn unlimited_guard_never_trips() {
+        let g = Guard::new(&QueryLimits::none());
+        for _ in 0..10_000 {
+            assert_eq!(g.row(), Flow::Continue);
+            assert_eq!(g.fuel(3), Flow::Continue);
+        }
+        assert_eq!(g.trip(), None);
+        assert!(!g.tripped());
+    }
+
+    #[test]
+    fn row_budget_trips_sticky_and_strict() {
+        let g = Guard::new(&QueryLimits::none().with_row_budget(5));
+        for _ in 0..5 {
+            assert_eq!(g.row(), Flow::Continue);
+        }
+        assert_eq!(
+            g.row(),
+            Flow::Abort(ExecError::BudgetExhausted(Resource::Rows))
+        );
+        // Sticky: every later check short-circuits to the same abort.
+        assert_eq!(
+            g.check(),
+            Flow::Abort(ExecError::BudgetExhausted(Resource::Rows))
+        );
+        assert_eq!(g.trip(), Some(ExecError::BudgetExhausted(Resource::Rows)));
+    }
+
+    #[test]
+    fn fuel_budget_counts_batches() {
+        let g = Guard::new(&QueryLimits::none().with_path_fuel(10));
+        assert_eq!(g.fuel(4), Flow::Continue);
+        assert_eq!(g.fuel(6), Flow::Continue);
+        assert_eq!(
+            g.fuel(1),
+            Flow::Abort(ExecError::BudgetExhausted(Resource::PathFuel))
+        );
+    }
+
+    #[test]
+    fn degrade_mode_stops_instead_of_aborting() {
+        let g = Guard::new(&QueryLimits::none().with_row_budget(2).with_degrade());
+        assert_eq!(g.row(), Flow::Continue);
+        assert_eq!(g.row(), Flow::Continue);
+        assert_eq!(g.row(), Flow::Stop);
+        assert_eq!(g.trip(), Some(ExecError::BudgetExhausted(Resource::Rows)));
+    }
+
+    #[test]
+    fn deadline_trips_within_one_window() {
+        let g = Guard::new(&QueryLimits::none().with_deadline(Duration::from_millis(5)));
+        let start = Instant::now();
+        loop {
+            match g.check() {
+                Flow::Continue => {}
+                Flow::Abort(e) => {
+                    assert_eq!(e, ExecError::DeadlineExceeded);
+                    break;
+                }
+                Flow::Stop => unreachable!(),
+            }
+            assert!(start.elapsed() < Duration::from_secs(5), "never tripped");
+        }
+    }
+
+    #[test]
+    fn cancellation_observed_from_another_thread() {
+        let token = CancelToken::new();
+        let g = Guard::new(&QueryLimits::none().with_cancel(token.clone()));
+        assert_eq!(g.check_now(), Flow::Continue);
+        thread::spawn(move || token.cancel()).join().unwrap();
+        assert_eq!(g.check_now(), Flow::Abort(ExecError::Cancelled));
+    }
+
+    #[test]
+    fn limits_merge_prefers_call_over_defaults() {
+        let defaults = QueryLimits::none()
+            .with_row_budget(100)
+            .with_deadline(Duration::from_secs(1));
+        let call = QueryLimits::none().with_row_budget(5).or(&defaults);
+        assert_eq!(call.row_budget, Some(5));
+        assert_eq!(call.deadline, Some(Duration::from_secs(1)));
+    }
+
+    #[test]
+    fn fault_stream_is_deterministic() {
+        let draws = |seed: u64| -> Vec<u8> {
+            let s = FaultStream::new(seed);
+            (0..256)
+                .map(|_| match s.draw() {
+                    Fault::None => 0,
+                    Fault::Panic => 1,
+                    Fault::Exhaust => 2,
+                })
+                .collect()
+        };
+        assert_eq!(draws(42), draws(42));
+        assert_ne!(draws(42), draws(43));
+        // The stream actually injects something at these rates.
+        assert!(draws(7).iter().any(|&d| d != 0));
+    }
+
+    #[test]
+    fn fault_point_panics_are_deterministic() {
+        // Find a seed/point that panics, and check it panics again.
+        let seed = (0..200u64)
+            .find(|&s| {
+                let g = Guard::new(&QueryLimits::none().with_fault_seed(s));
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    for _ in 0..64 {
+                        let _ = g.fault_point("test");
+                    }
+                }))
+                .is_err()
+            })
+            .expect("some seed panics within 64 draws");
+        let again = Guard::new(&QueryLimits::none().with_fault_seed(seed));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            for _ in 0..64 {
+                let _ = again.fault_point("test");
+            }
+        }));
+        assert!(r.is_err(), "seed {seed} must panic deterministically");
+    }
+
+    #[test]
+    fn admission_gate_bounds_concurrency_and_times_out() {
+        let gate = AdmissionGate::new(2, Duration::from_millis(20));
+        let p1 = gate.admit().unwrap();
+        let p2 = gate.admit().unwrap();
+        assert_eq!(gate.active(), 2);
+        assert_eq!(gate.admit().err(), Some(ExecError::AdmissionRejected));
+        drop(p1);
+        let p3 = gate.admit().unwrap();
+        drop(p2);
+        drop(p3);
+        assert_eq!(gate.active(), 0);
+    }
+
+    #[test]
+    fn admission_gate_waiter_wakes_on_release() {
+        let gate = Arc::new(AdmissionGate::new(1, Duration::from_secs(5)));
+        let p = gate.admit().unwrap();
+        let g2 = Arc::clone(&gate);
+        let waiter = thread::spawn(move || g2.admit().map(|_| ()).is_ok());
+        thread::sleep(Duration::from_millis(10));
+        drop(p);
+        assert!(waiter.join().unwrap(), "waiter admitted after release");
+    }
+}

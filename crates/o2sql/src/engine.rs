@@ -21,9 +21,19 @@ pub struct QueryResult {
     pub columns: Vec<String>,
     /// Rows (sets — duplicates eliminated, order unspecified but stable).
     pub rows: Vec<Vec<CalcValue>>,
+    /// `Some(trip)` when the query ran under a resource governor in
+    /// **degrade** mode and a limit tripped: `rows` is then a correct but
+    /// possibly incomplete prefix of the answer, flagged rather than
+    /// silently truncated. `None` for every complete result.
+    pub partial: Option<docql_guard::ExecError>,
 }
 
 impl QueryResult {
+    /// Is this a flagged partial result (degrade mode, limit tripped)?
+    pub fn is_partial(&self) -> bool {
+        self.partial.is_some()
+    }
+
     /// Single-column results as a vector of values.
     pub fn values(&self) -> Vec<CalcValue> {
         self.rows
@@ -100,6 +110,14 @@ pub struct Engine<'a> {
     /// `EngineMetrics` whose registry is disabled costs one relaxed atomic
     /// load per query.
     pub metrics: Option<&'a EngineMetrics>,
+    /// Resource governor for query execution: deadline, row budget, path
+    /// fuel and cooperative cancellation (see [`docql_guard::Guard`]).
+    /// `None` (the default) costs nothing on any execution path. Attach a
+    /// fresh guard per query — trips are sticky. After evaluation the
+    /// engine reads [`docql_guard::Guard::trip`] back: in strict mode a
+    /// trip becomes [`crate::O2sqlError::Interrupted`], in degrade mode a
+    /// flagged partial [`QueryResult`].
+    pub guard: Option<&'a docql_guard::Guard>,
 }
 
 impl<'a> Engine<'a> {
@@ -112,6 +130,47 @@ impl<'a> Engine<'a> {
             semantics: docql_paths::PathSemantics::Restricted,
             extents: None,
             metrics: None,
+            guard: None,
+        }
+    }
+
+    /// Run a query under per-call limits: builds a fresh
+    /// [`docql_guard::Guard`] from `limits` and evaluates with it attached
+    /// (plain [`Engine::run`] when `limits` is all-`None`).
+    pub fn run_with_limits(
+        &self,
+        src: &str,
+        limits: &docql_guard::QueryLimits,
+    ) -> Result<QueryResult, O2sqlError> {
+        if limits.is_none() {
+            return self.run(src);
+        }
+        let guard = docql_guard::Guard::new(limits);
+        let limited = Engine {
+            guard: Some(&guard),
+            ..*self
+        };
+        limited.run(src)
+    }
+
+    /// Classify an evaluation outcome against the attached guard: the
+    /// sticky trip is the authoritative signal (inner errors are stringly),
+    /// so a tripped strict-mode guard yields
+    /// [`O2sqlError::Interrupted`] whatever the inner rows said, and a
+    /// tripped degrade-mode guard turns an `Ok` into a flagged partial.
+    fn classify(
+        &self,
+        r: Result<Vec<Vec<CalcValue>>, O2sqlError>,
+    ) -> Result<(Vec<Vec<CalcValue>>, Option<docql_guard::ExecError>), O2sqlError> {
+        let Some(g) = self.guard else {
+            return r.map(|rows| (rows, None));
+        };
+        match (r, g.trip()) {
+            (Err(_), Some(e)) => Err(O2sqlError::Interrupted(e)),
+            (Err(e), None) => Err(e),
+            (Ok(rows), Some(e)) if g.degrades() => Ok((rows, Some(e))),
+            (Ok(_), Some(e)) => Err(O2sqlError::Interrupted(e)),
+            (Ok(rows), None) => Ok((rows, None)),
         }
     }
 
@@ -193,12 +252,13 @@ impl<'a> Engine<'a> {
                     }
                     None => plan.algebra_plans(self.instance.schema())?,
                 };
-                let rows = self.timed_execute(|| {
+                let (rows, partial) = self.classify(self.timed_execute(|| {
                     self.eval_rows_with(&plan.translated, Some(plans), &mut 0, None)
-                })?;
+                }))?;
                 Ok(QueryResult {
                     columns: plan.translated.columns.clone(),
                     rows,
+                    partial,
                 })
             }
         }
@@ -263,10 +323,11 @@ impl<'a> Engine<'a> {
     }
 
     fn eval_translated(&self, t: &Translated) -> Result<QueryResult, O2sqlError> {
-        let rows = self.timed_execute(|| self.eval_rows(t))?;
+        let (rows, partial) = self.classify(self.timed_execute(|| self.eval_rows(t)))?;
         Ok(QueryResult {
             columns: t.columns.clone(),
             rows,
+            partial,
         })
     }
 
@@ -291,6 +352,7 @@ impl<'a> Engine<'a> {
             Mode::Interpret => {
                 let mut ev = Evaluator::new(self.instance, self.interp);
                 ev.semantics = self.semantics;
+                ev.guard = self.guard;
                 ev.eval_query(&t.query)
                     .map_err(|e| O2sqlError::Eval(e.to_string()))?
             }
@@ -305,6 +367,7 @@ impl<'a> Engine<'a> {
                     extents: self.extents,
                     profile: profiles.and_then(|ps| ps.get(*pos)),
                     metrics: self.obs().map(|m| &m.algebra),
+                    guard: self.guard,
                 };
                 match plans.and_then(|ps| ps.get(*pos)) {
                     Some(plan) => {
@@ -382,34 +445,37 @@ impl<'a> Engine<'a> {
             semantics: self.semantics,
             extents: self.extents,
             metrics: self.metrics,
+            guard: self.guard,
         };
-        let (rows, plans, note) = match algebra_err {
+        let (rows, partial, plans, note) = match algebra_err {
             None => {
                 let profiles: Vec<PlanProfile> =
                     chain.iter().map(|a| PlanProfile::new(&a.plan)).collect();
                 let t0 = Instant::now();
-                let rows = shadow.timed_execute(|| {
+                let (rows, partial) = shadow.classify(shadow.timed_execute(|| {
                     shadow.eval_rows_with(&translated, Some(&chain), &mut 0, Some(&profiles))
-                })?;
+                }))?;
                 phases.push(("execute", t0.elapsed()));
                 let plans = chain.into_iter().zip(profiles).collect();
-                (rows, plans, None)
+                (rows, partial, plans, None)
             }
             Some(e) => {
                 shadow.mode = Mode::Interpret;
                 let t0 = Instant::now();
-                let rows = shadow.timed_execute(|| shadow.eval_rows(&translated))?;
+                let (rows, partial) =
+                    shadow.classify(shadow.timed_execute(|| shadow.eval_rows(&translated)))?;
                 phases.push(("execute", t0.elapsed()));
                 let note = format!(
                     "not algebraizable ({e}); executed by the calculus interpreter                      — no per-operator statistics"
                 );
-                (rows, Vec::new(), Some(note))
+                (rows, partial, Vec::new(), Some(note))
             }
         };
         Ok(QueryProfile {
             result: QueryResult {
                 columns: translated.columns.clone(),
                 rows,
+                partial,
             },
             phases,
             plans,

@@ -40,6 +40,11 @@ pub enum O2sqlError {
     Type(String),
     /// Evaluation error.
     Eval(String),
+    /// Execution stopped by the resource governor (deadline, budget, fuel
+    /// or cancellation) while not in degrade mode. The payload is the
+    /// authoritative trip read back from the query's
+    /// [`docql_guard::Guard`].
+    Interrupted(docql_guard::ExecError),
 }
 
 impl fmt::Display for O2sqlError {
@@ -52,6 +57,7 @@ impl fmt::Display for O2sqlError {
             ),
             O2sqlError::Type(m) => write!(f, "type error: {m}"),
             O2sqlError::Eval(m) => write!(f, "evaluation error: {m}"),
+            O2sqlError::Interrupted(e) => write!(f, "{e}"),
         }
     }
 }

@@ -131,6 +131,11 @@ impl QueryProfile {
                 "index scans: {hits} start value(s) answered from the path-extent index, {walks} by walk fallback\n"
             ));
         }
+        if let Some(trip) = self.result.partial {
+            out.push_str(&format!(
+                "governance: partial result — {trip} (degrade mode; rows are a correct prefix)\n"
+            ));
+        }
         out.push_str(&format!(
             "result: {} row(s), {} column(s)\n",
             self.result.rows.len(),

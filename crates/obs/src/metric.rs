@@ -134,11 +134,17 @@ impl Histogram {
     }
 
     /// Record one sample.
+    ///
+    /// The count is bumped before the bucket, and the bucket store is
+    /// `Release` against the `Acquire` loads in [`Histogram::buckets`]: a
+    /// snapshot that observes a bucket increment therefore also observes
+    /// its count increment, so cumulative bucket prefixes never exceed the
+    /// snapshot's `count` — even while recordings are in flight.
     #[inline]
     pub fn record(&self, v: u64) {
-        self.0.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
-        self.0.sum.fetch_add(v, Ordering::Relaxed);
         self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+        self.0.buckets[bucket_of(v)].fetch_add(1, Ordering::Release);
     }
 
     /// Record a duration in nanoseconds.
@@ -165,11 +171,13 @@ impl Histogram {
         self.0.sum.load(Ordering::Relaxed)
     }
 
-    /// Per-bucket counts (not cumulative).
+    /// Per-bucket counts (not cumulative). Read buckets **before** `count`
+    /// when checking invariants against a live histogram — see
+    /// [`Histogram::record`] for the ordering contract.
     pub fn buckets(&self) -> [u64; BUCKETS] {
         let mut out = [0u64; BUCKETS];
         for (o, b) in out.iter_mut().zip(&self.0.buckets) {
-            *o = b.load(Ordering::Relaxed);
+            *o = b.load(Ordering::Acquire);
         }
         out
     }

@@ -16,6 +16,7 @@
 
 use crate::path::ConcretePath;
 use crate::step::PathStep;
+use docql_guard::Guard;
 use docql_model::{Instance, Sym, Value};
 use std::collections::HashSet;
 
@@ -75,9 +76,24 @@ pub fn visit_paths(
     opts: &EnumOptions,
     f: &mut impl FnMut(&ConcretePath, &Value) -> bool,
 ) {
+    visit_paths_guarded(instance, start, opts, None, f);
+}
+
+/// [`visit_paths`] under execution governance: every visited pair charges
+/// one unit of path fuel to `guard`, and the walk stops as soon as the guard
+/// trips (deadline, fuel, cancellation). A fuel stop is distinguishable from
+/// a visitor prune by [`Guard::trip`] being set afterwards.
+pub fn visit_paths_guarded(
+    instance: &Instance,
+    start: &Value,
+    opts: &EnumOptions,
+    guard: Option<&Guard>,
+    f: &mut impl FnMut(&ConcretePath, &Value) -> bool,
+) {
     let mut walker = Walker {
         instance,
         opts,
+        guard,
         classes_seen: HashSet::new(),
         oids_seen: HashSet::new(),
         path: ConcretePath::empty(),
@@ -85,9 +101,26 @@ pub fn visit_paths(
     walker.go(start, 0, f);
 }
 
-struct Walker<'i, 'o> {
+/// [`enumerate_paths`] under execution governance; see
+/// [`visit_paths_guarded`] for the fuel-accounting contract.
+pub fn enumerate_paths_guarded(
+    instance: &Instance,
+    start: &Value,
+    opts: &EnumOptions,
+    guard: Option<&Guard>,
+) -> Vec<(ConcretePath, Value)> {
+    let mut out = Vec::new();
+    visit_paths_guarded(instance, start, opts, guard, &mut |p, v| {
+        out.push((p.clone(), v.clone()));
+        true
+    });
+    out
+}
+
+struct Walker<'i, 'o, 'g> {
     instance: &'i Instance,
     opts: &'o EnumOptions,
+    guard: Option<&'g Guard>,
     /// Classes dereferenced along the current path (restricted semantics).
     classes_seen: HashSet<Sym>,
     /// Oids dereferenced along the current path (liberal semantics).
@@ -95,7 +128,7 @@ struct Walker<'i, 'o> {
     path: ConcretePath,
 }
 
-impl Walker<'_, '_> {
+impl Walker<'_, '_, '_> {
     fn go(
         &mut self,
         value: &Value,
@@ -104,6 +137,11 @@ impl Walker<'_, '_> {
     ) {
         if depth > self.opts.max_depth {
             return;
+        }
+        if let Some(g) = self.guard {
+            if g.fuel(1).interrupted() {
+                return;
+            }
         }
         if !f(&self.path, value) {
             return;
@@ -343,6 +381,33 @@ mod tests {
             .map(|p| p.to_string())
             .collect();
         assert_eq!(diff, vec![".abstract"]);
+    }
+
+    #[test]
+    fn fuel_stops_enumeration_with_trip_set() {
+        use docql_guard::{ExecError, QueryLimits, Resource};
+        let (inst, alice) = spouses();
+        let opts = EnumOptions {
+            semantics: PathSemantics::Liberal,
+            ..EnumOptions::default()
+        };
+        let unguarded = enumerate_paths(&inst, &alice, &opts);
+        // Ample fuel: same answer as the unguarded walk, no trip.
+        let ample = docql_guard::Guard::new(&QueryLimits::none().with_path_fuel(10_000));
+        assert_eq!(
+            enumerate_paths_guarded(&inst, &alice, &opts, Some(&ample)),
+            unguarded
+        );
+        assert_eq!(ample.trip(), None);
+        // Tiny fuel: strictly fewer pairs, and the trip is observable —
+        // distinguishing exhaustion from a visitor prune.
+        let tiny = docql_guard::Guard::new(&QueryLimits::none().with_path_fuel(3));
+        let partial = enumerate_paths_guarded(&inst, &alice, &opts, Some(&tiny));
+        assert!(partial.len() < unguarded.len());
+        assert_eq!(
+            tiny.trip(),
+            Some(ExecError::BudgetExhausted(Resource::PathFuel))
+        );
     }
 
     #[test]

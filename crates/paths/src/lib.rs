@@ -18,7 +18,10 @@ pub mod select;
 pub mod step;
 pub mod walk;
 
-pub use enumerate::{enumerate_paths, path_set, visit_paths, EnumOptions, PathSemantics};
+pub use enumerate::{
+    enumerate_paths, enumerate_paths_guarded, path_set, visit_paths, visit_paths_guarded,
+    EnumOptions, PathSemantics,
+};
 pub use extent::{ExtStep, PathExtentIndex, PathId};
 pub use path::ConcretePath;
 pub use pattern::{match_path, PatElem, PathBindings, VarId};

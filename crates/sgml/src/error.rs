@@ -64,6 +64,10 @@ pub enum ErrorKind {
     DuplicateId(String),
     /// An `&` group with too many operands to expand into permutations.
     AndGroupTooLarge { size: usize, max: usize },
+    /// Element nesting exceeded the parser's depth limit.
+    NestingTooDeep { depth: usize, max: usize },
+    /// Cumulative entity expansion exceeded the parser's byte budget.
+    EntityExpansionTooLarge { expanded: usize, max: usize },
     /// Anything else.
     Other(String),
 }
@@ -136,6 +140,14 @@ impl fmt::Display for SgmlError {
             ErrorKind::AndGroupTooLarge { size, max } => write!(
                 f,
                 "`&` connector group with {size} operands exceeds supported maximum {max}"
+            ),
+            ErrorKind::NestingTooDeep { depth, max } => write!(
+                f,
+                "element nesting {depth} levels deep exceeds the limit of {max}"
+            ),
+            ErrorKind::EntityExpansionTooLarge { expanded, max } => write!(
+                f,
+                "entity expansion of {expanded} bytes exceeds the budget of {max}"
             ),
             ErrorKind::Other(s) => f.write_str(s),
         }

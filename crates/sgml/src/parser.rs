@@ -18,10 +18,22 @@ use crate::error::{ErrorKind, Pos, Result, SgmlError};
 use std::collections::HashMap;
 use std::rc::Rc;
 
+/// Default cap on element nesting depth — far beyond any real document,
+/// low enough that a hostile `<a><a><a>…` stream fails fast instead of
+/// growing an unbounded frame stack.
+pub const MAX_ELEMENT_DEPTH: usize = 256;
+
+/// Default cumulative byte budget for entity expansion in one document.
+/// Entities here do not nest (no recursive expansion), but `&big;` repeated
+/// still amplifies input size; this bounds the total amplification.
+pub const MAX_ENTITY_EXPANSION: usize = 1 << 20;
+
 /// A DTD-driven document parser. Compile once, parse many documents.
 pub struct DocParser<'d> {
     dtd: &'d Dtd,
     compiled: HashMap<String, Rc<Rx>>,
+    max_depth: usize,
+    max_entity_expansion: usize,
 }
 
 struct Frame {
@@ -40,7 +52,20 @@ impl<'d> DocParser<'d> {
         for e in &dtd.elements {
             compiled.insert(e.name.clone(), compile(&e.content, &alphabet)?);
         }
-        Ok(DocParser { dtd, compiled })
+        Ok(DocParser {
+            dtd,
+            compiled,
+            max_depth: MAX_ELEMENT_DEPTH,
+            max_entity_expansion: MAX_ENTITY_EXPANSION,
+        })
+    }
+
+    /// Override the hostile-input limits (defaults: [`MAX_ELEMENT_DEPTH`],
+    /// [`MAX_ENTITY_EXPANSION`]). Mostly for tests and embedders parsing
+    /// untrusted input with tighter budgets.
+    pub fn set_limits(&mut self, max_depth: usize, max_entity_expansion: usize) {
+        self.max_depth = max_depth;
+        self.max_entity_expansion = max_entity_expansion;
     }
 
     /// Parse a document instance.
@@ -49,6 +74,7 @@ impl<'d> DocParser<'d> {
             parser: self,
             cur: Cursor::new(src),
             stack: Vec::new(),
+            entity_bytes: 0,
             finished: None,
         };
         p.run()?;
@@ -66,6 +92,7 @@ struct Run<'d, 'p, 's> {
     parser: &'p DocParser<'d>,
     cur: Cursor<'s>,
     stack: Vec<Frame>,
+    entity_bytes: usize,
     finished: Option<Element>,
 }
 
@@ -121,7 +148,19 @@ impl Run<'_, '_, '_> {
         let name = self.cur.name(false)?;
         let _ = self.cur.eat(";");
         match self.parser.dtd.entity(&name) {
-            Some(EntityDecl::Internal { text, .. }) => Ok(text.clone()),
+            Some(EntityDecl::Internal { text, .. }) => {
+                self.entity_bytes = self.entity_bytes.saturating_add(text.len());
+                if self.entity_bytes > self.parser.max_entity_expansion {
+                    return Err(SgmlError::new(
+                        pos,
+                        ErrorKind::EntityExpansionTooLarge {
+                            expanded: self.entity_bytes,
+                            max: self.parser.max_entity_expansion,
+                        },
+                    ));
+                }
+                Ok(text.clone())
+            }
             Some(EntityDecl::External { .. }) => Err(SgmlError::new(
                 pos,
                 ErrorKind::Other(format!(
@@ -148,7 +187,7 @@ impl Run<'_, '_, '_> {
         // Open the element.
         let state = self.parser.compiled[&name].clone();
         let empty = matches!(decl.content, crate::content::ContentModel::Empty);
-        self.stack.push(Frame {
+        self.push_frame(Frame {
             name: name.clone(),
             end_omissible: decl.minimization.end_omissible || empty,
             state,
@@ -158,7 +197,7 @@ impl Run<'_, '_, '_> {
                 children: Vec::new(),
             },
             open_pos: pos,
-        });
+        })?;
         if empty {
             // EMPTY elements have no content and no end tag.
             self.close_top()?;
@@ -296,13 +335,13 @@ impl Run<'_, '_, '_> {
                         debug_assert!(!advanced.is_fail());
                         self.stack.last_mut().expect("nonempty").state = advanced;
                         let state = self.parser.compiled[&x].clone();
-                        self.stack.push(Frame {
+                        self.push_frame(Frame {
                             name: x.clone(),
                             end_omissible: decl.minimization.end_omissible,
                             state,
                             element: Element::new(x),
                             open_pos: pos,
-                        });
+                        })?;
                         continue;
                     }
                     // Implicit close.
@@ -356,6 +395,21 @@ impl Run<'_, '_, '_> {
             }
         }
         None
+    }
+
+    /// Push an open-element frame, enforcing the nesting-depth limit.
+    fn push_frame(&mut self, frame: Frame) -> Result<()> {
+        if self.stack.len() >= self.parser.max_depth {
+            return Err(SgmlError::new(
+                frame.open_pos,
+                ErrorKind::NestingTooDeep {
+                    depth: self.stack.len() + 1,
+                    max: self.parser.max_depth,
+                },
+            ));
+        }
+        self.stack.push(frame);
+        Ok(())
     }
 
     fn close_top(&mut self) -> Result<()> {
@@ -679,6 +733,57 @@ mod tests {
             .parse("<!-- prologue --><note>hi<!-- inner --> there</note>")
             .unwrap();
         assert_eq!(doc.root.text_content(), "hi there");
+    }
+
+    #[test]
+    fn hostile_nesting_depth_rejected() {
+        let dtd = Dtd::parse("<!DOCTYPE n [ <!ELEMENT n - - (n?) > ]>").unwrap();
+        let parser = DocParser::new(&dtd).unwrap();
+        let deep = "<n>".repeat(MAX_ELEMENT_DEPTH + 50);
+        match parser.parse(&deep).unwrap_err().kind {
+            ErrorKind::NestingTooDeep { max, .. } => assert_eq!(max, MAX_ELEMENT_DEPTH),
+            k => panic!("expected NestingTooDeep, got {k:?}"),
+        }
+        // Well-formed nesting under the limit still parses.
+        let ok = format!("{}{}", "<n>".repeat(8), "</n>".repeat(8));
+        assert!(parser.parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn depth_limit_is_configurable() {
+        let dtd = Dtd::parse("<!DOCTYPE n [ <!ELEMENT n - - (n?) > ]>").unwrap();
+        let mut parser = DocParser::new(&dtd).unwrap();
+        parser.set_limits(4, MAX_ENTITY_EXPANSION);
+        let deep = format!("{}{}", "<n>".repeat(5), "</n>".repeat(5));
+        assert!(matches!(
+            parser.parse(&deep).unwrap_err().kind,
+            ErrorKind::NestingTooDeep { depth: 5, max: 4 }
+        ));
+        let ok = format!("{}{}", "<n>".repeat(4), "</n>".repeat(4));
+        assert!(parser.parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn entity_expansion_budget_enforced() {
+        let dtd = Dtd::parse(
+            "<!DOCTYPE note [ <!ELEMENT note - - (#PCDATA)> \
+             <!ENTITY pad \"0123456789abcdef\"> ]>",
+        )
+        .unwrap();
+        let mut parser = DocParser::new(&dtd).unwrap();
+        parser.set_limits(MAX_ELEMENT_DEPTH, 64);
+        // Four references fit exactly (4 × 16 = 64); a fifth bursts it.
+        let ok = format!("<note>{}</note>", "&pad;".repeat(4));
+        assert!(parser.parse(&ok).is_ok());
+        let boom = format!("<note>{}</note>", "&pad;".repeat(5));
+        match parser.parse(&boom).unwrap_err().kind {
+            ErrorKind::EntityExpansionTooLarge { expanded, max } => {
+                assert_eq!((expanded, max), (80, 64));
+            }
+            k => panic!("expected EntityExpansionTooLarge, got {k:?}"),
+        }
+        // The budget is per document, not accumulated across parses.
+        assert!(parser.parse(&ok).is_ok());
     }
 
     #[test]

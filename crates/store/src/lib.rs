@@ -41,8 +41,27 @@ pub enum StoreError {
     Map(MapError),
     /// Query failed.
     Query(O2sqlError),
+    /// Execution stopped by the resource governor or the admission gate —
+    /// the structured taxonomy of [`docql_guard::ExecError`] (deadline,
+    /// budget, cancellation, admission).
+    Interrupted(docql_guard::ExecError),
+    /// A panic was caught at the query boundary; the store remains
+    /// serviceable (no lock is left poisoned — internal tables recover).
+    QueryPanic(String),
     /// Anything else.
     Other(String),
+}
+
+impl StoreError {
+    /// The governance outcome, when this error is one (typed access for
+    /// callers handling deadlines/budgets/cancellation specially).
+    pub fn exec_error(&self) -> Option<docql_guard::ExecError> {
+        match self {
+            StoreError::Interrupted(e) => Some(*e),
+            StoreError::Query(O2sqlError::Interrupted(e)) => Some(*e),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for StoreError {
@@ -51,6 +70,8 @@ impl fmt::Display for StoreError {
             StoreError::Sgml(e) => write!(f, "{e}"),
             StoreError::Map(e) => write!(f, "{e}"),
             StoreError::Query(e) => write!(f, "{e}"),
+            StoreError::Interrupted(e) => write!(f, "{e}"),
+            StoreError::QueryPanic(m) => write!(f, "query panicked: {m}"),
             StoreError::Other(s) => f.write_str(s),
         }
     }
@@ -70,7 +91,12 @@ impl From<MapError> for StoreError {
 }
 impl From<O2sqlError> for StoreError {
     fn from(e: O2sqlError) -> StoreError {
-        StoreError::Query(e)
+        match e {
+            // Keep the taxonomy typed end to end: every `?` on an engine
+            // call surfaces governance outcomes as `Interrupted`.
+            O2sqlError::Interrupted(t) => StoreError::Interrupted(t),
+            other => StoreError::Query(other),
+        }
     }
 }
 
@@ -112,6 +138,10 @@ pub struct DocStore {
     /// Slow-query threshold: wall times at or above it are logged to stderr
     /// and counted. Defaults to the process-wide `DOCQL_LOG` setting.
     slow_threshold: Option<Duration>,
+    /// Per-store default [`QueryLimits`](docql_guard::QueryLimits), merged
+    /// under any per-call limits (call fields win field-wise). Defaults to
+    /// no limits — every query path is then guard-free.
+    default_limits: docql_guard::QueryLimits,
 }
 
 /// Read the text table, recovering (rather than panicking) if a writer
@@ -212,6 +242,7 @@ impl DocStore {
             plan_cache,
             metrics,
             slow_threshold: docql_obs::slow_query_threshold(),
+            default_limits: docql_guard::QueryLimits::none(),
         })
     }
 
@@ -460,34 +491,120 @@ impl DocStore {
         self.serve(src, Mode::Algebraic)
     }
 
+    /// Run an O₂SQL query (interpreter mode) under per-call resource
+    /// limits, merged over the store's defaults (call fields win). A
+    /// tripped strict-mode limit returns [`StoreError::Interrupted`]; in
+    /// degrade mode the result comes back flagged partial instead
+    /// ([`QueryResult::is_partial`]).
+    pub fn query_with_limits(
+        &self,
+        src: &str,
+        limits: &docql_guard::QueryLimits,
+    ) -> Result<QueryResult, StoreError> {
+        self.serve_with(src, Mode::Interpret, Some(limits))
+    }
+
+    /// Algebraic-mode [`DocStore::query_with_limits`].
+    pub fn query_algebraic_with_limits(
+        &self,
+        src: &str,
+        limits: &docql_guard::QueryLimits,
+    ) -> Result<QueryResult, StoreError> {
+        self.serve_with(src, Mode::Algebraic, Some(limits))
+    }
+
+    /// Set the per-store default [`QueryLimits`](docql_guard::QueryLimits)
+    /// applied to every query (merged under per-call limits; call fields
+    /// win field-wise). Defaults to none.
+    pub fn set_default_limits(&mut self, limits: docql_guard::QueryLimits) {
+        self.default_limits = limits;
+    }
+
+    /// The per-store default query limits.
+    pub fn default_limits(&self) -> &docql_guard::QueryLimits {
+        &self.default_limits
+    }
+
     /// The shared serving path: `explain analyze` interception, cached
     /// execution in `mode`, and the slow-query log.
     fn serve(&self, src: &str, mode: Mode) -> Result<QueryResult, StoreError> {
+        self.serve_with(src, mode, None)
+    }
+
+    /// [`DocStore::serve`] with optional per-call limits: builds one
+    /// [`Guard`](docql_guard::Guard) per governed query, isolates panics at
+    /// the query boundary, and classifies governance outcomes into the
+    /// store's metric counters.
+    fn serve_with(
+        &self,
+        src: &str,
+        mode: Mode,
+        limits: Option<&docql_guard::QueryLimits>,
+    ) -> Result<QueryResult, StoreError> {
         if let Some(rest) = strip_explain_analyze(src) {
             let report = self.explain_analyze(rest)?;
             return Ok(QueryResult {
                 columns: vec!["explain analyze".to_string()],
                 rows: vec![vec![CalcValue::Data(Value::str(report))]],
+                partial: None,
             });
         }
+        let merged = match limits {
+            Some(l) => l.clone().or(&self.default_limits),
+            None => self.default_limits.clone(),
+        };
         let run = || -> Result<QueryResult, StoreError> {
+            let guard = (!merged.is_none()).then(|| docql_guard::Guard::new(&merged));
             let mut e = self.engine();
             e.mode = mode;
+            e.guard = guard.as_ref();
             Ok(e.run_cached(src, &self.plan_cache)?)
         };
-        match self.slow_threshold {
-            None => run(),
-            Some(threshold) => {
-                let start = Instant::now();
-                let result = run();
-                let elapsed = start.elapsed();
-                if elapsed >= threshold {
-                    self.metrics.slow_queries.inc();
-                    docql_obs::log_slow_query(src, elapsed);
+        let timed = || -> Result<QueryResult, StoreError> {
+            match self.slow_threshold {
+                None => run(),
+                Some(threshold) => {
+                    let start = Instant::now();
+                    let result = run();
+                    let elapsed = start.elapsed();
+                    if elapsed >= threshold {
+                        self.metrics.slow_queries.inc();
+                        docql_obs::log_slow_query(src, elapsed);
+                    }
+                    result
                 }
-                result
+            }
+        };
+        // Panic isolation: a panicking query (a buggy predicate, an
+        // injected fault) must never take the process down or wedge the
+        // store. No store lock is held across evaluation here, and the
+        // internal text-table lock recovers from poisoning (`read_table`),
+        // so catching at this boundary leaves the store fully serviceable.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(timed)).unwrap_or_else(
+            |payload| {
+                if self.metrics.enabled() {
+                    self.metrics.query_panics.inc();
+                }
+                Err(StoreError::QueryPanic(panic_message(payload.as_ref())))
+            },
+        );
+        if self.metrics.enabled() {
+            use docql_guard::ExecError;
+            match &result {
+                Ok(r) if r.is_partial() => self.metrics.queries_partial.inc(),
+                Err(StoreError::Interrupted(ExecError::DeadlineExceeded)) => {
+                    self.metrics.queries_deadline_exceeded.inc();
+                }
+                Err(StoreError::Interrupted(ExecError::BudgetExhausted(_))) => {
+                    self.metrics.queries_budget_exhausted.inc();
+                }
+                Err(StoreError::Interrupted(ExecError::Cancelled)) => {
+                    self.metrics.queries_cancelled.inc();
+                }
+                _ => {}
             }
         }
+        result
     }
 
     /// Run an O₂SQL query bypassing the plan cache (the bench baseline;
@@ -562,6 +679,21 @@ impl DocStore {
     /// The rendered `EXPLAIN ANALYZE` report for one query.
     pub fn explain_analyze(&self, src: &str) -> Result<String, StoreError> {
         Ok(self.engine().explain_analyze(src)?)
+    }
+
+    /// [`DocStore::profile`] under resource limits (merged over the store
+    /// defaults). In degrade mode the report gains a `governance:` line
+    /// when a limit trips mid-profile.
+    pub fn profile_with_limits(
+        &self,
+        src: &str,
+        limits: &docql_guard::QueryLimits,
+    ) -> Result<QueryProfile, StoreError> {
+        let merged = limits.clone().or(&self.default_limits);
+        let guard = (!merged.is_none()).then(|| docql_guard::Guard::new(&merged));
+        let mut e = self.engine();
+        e.guard = guard.as_ref();
+        Ok(e.profile(src)?)
     }
 
     /// Override the slow-query threshold (default: the process-wide
@@ -826,6 +958,18 @@ fn io_err(e: std::io::Error) -> StoreError {
     StoreError::Other(format!("io: {e}"))
 }
 
+/// Human-readable message from a caught panic payload (`&str` and `String`
+/// payloads cover `panic!`; anything else is opaque).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
 /// Nanoseconds since `start`, saturating (histograms take `u64`).
 fn elapsed_ns(start: Instant) -> u64 {
     u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
@@ -860,6 +1004,11 @@ fn strip_explain_analyze(src: &str) -> Option<&str> {
 #[derive(Clone)]
 pub struct SharedStore {
     inner: Arc<RwLock<DocStore>>,
+    /// Admission gate for the query paths (`None` = unbounded, the
+    /// default). Shared by all clones; only readers are gated — ingest and
+    /// updates go straight to the write lock, so a saturated gate can
+    /// never starve the writer.
+    gate: Arc<RwLock<Option<Arc<docql_guard::AdmissionGate>>>>,
 }
 
 impl SharedStore {
@@ -867,6 +1016,59 @@ impl SharedStore {
     pub fn new(store: DocStore) -> SharedStore {
         SharedStore {
             inner: Arc::new(RwLock::new(store)),
+            gate: Arc::new(RwLock::new(None)),
+        }
+    }
+
+    /// Cap concurrent queries at `max`: the `max + 1`-th query waits up to
+    /// `max_wait` for a slot, then fails with
+    /// [`StoreError::Interrupted`]`(`[`AdmissionRejected`](docql_guard::ExecError::AdmissionRejected)`)`.
+    /// Applies to every clone of this handle.
+    pub fn set_admission_limit(&self, max: usize, max_wait: Duration) {
+        *self.gate.write().unwrap_or_else(PoisonError::into_inner) =
+            Some(Arc::new(docql_guard::AdmissionGate::new(max, max_wait)));
+    }
+
+    /// Remove the admission cap (queries are admitted unconditionally).
+    pub fn clear_admission_limit(&self) {
+        *self.gate.write().unwrap_or_else(PoisonError::into_inner) = None;
+    }
+
+    /// Queries currently admitted (0 when no gate is set).
+    pub fn admission_active(&self) -> usize {
+        self.gate
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .as_ref()
+            .map_or(0, |g| g.active())
+    }
+
+    /// Set the wrapped store's default query limits (under the write
+    /// guard; see [`DocStore::set_default_limits`]).
+    pub fn set_default_limits(&self, limits: docql_guard::QueryLimits) {
+        self.write().set_default_limits(limits);
+    }
+
+    /// Run `f` holding an admission permit (when a gate is configured),
+    /// counting rejections into the store's metrics.
+    fn admitted<T>(&self, f: impl FnOnce() -> Result<T, StoreError>) -> Result<T, StoreError> {
+        let gate = self
+            .gate
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        match gate {
+            None => f(),
+            Some(g) => match g.admit() {
+                Ok(_permit) => f(),
+                Err(e) => {
+                    let store = self.read();
+                    if store.metrics.enabled() {
+                        store.metrics.admission_rejected.inc();
+                    }
+                    Err(StoreError::Interrupted(e))
+                }
+            },
         }
     }
 
@@ -882,14 +1084,35 @@ impl SharedStore {
         self.inner.write().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Run an O₂SQL query under a read guard (plan-cached).
+    /// Run an O₂SQL query under a read guard (plan-cached), subject to the
+    /// admission gate when one is set.
     pub fn query(&self, src: &str) -> Result<QueryResult, StoreError> {
-        self.read().query(src)
+        self.admitted(|| self.read().query(src))
     }
 
-    /// Run an algebraic-mode query under a read guard (plan-cached).
+    /// Run an algebraic-mode query under a read guard (plan-cached),
+    /// subject to the admission gate when one is set.
     pub fn query_algebraic(&self, src: &str) -> Result<QueryResult, StoreError> {
-        self.read().query_algebraic(src)
+        self.admitted(|| self.read().query_algebraic(src))
+    }
+
+    /// Run a query under per-call resource limits (see
+    /// [`DocStore::query_with_limits`]), subject to the admission gate.
+    pub fn query_with_limits(
+        &self,
+        src: &str,
+        limits: &docql_guard::QueryLimits,
+    ) -> Result<QueryResult, StoreError> {
+        self.admitted(|| self.read().query_with_limits(src, limits))
+    }
+
+    /// Algebraic-mode [`SharedStore::query_with_limits`].
+    pub fn query_algebraic_with_limits(
+        &self,
+        src: &str,
+        limits: &docql_guard::QueryLimits,
+    ) -> Result<QueryResult, StoreError> {
+        self.admitted(|| self.read().query_algebraic_with_limits(src, limits))
     }
 
     /// Index-accelerated text search under a read guard.
@@ -952,9 +1175,10 @@ impl SharedStore {
 
     /// Unwrap the store, if this is the last handle.
     pub fn try_unwrap(self) -> Result<DocStore, SharedStore> {
+        let gate = self.gate;
         Arc::try_unwrap(self.inner)
             .map(|lock| lock.into_inner().unwrap_or_else(PoisonError::into_inner))
-            .map_err(|inner| SharedStore { inner })
+            .map_err(|inner| SharedStore { inner, gate })
     }
 }
 

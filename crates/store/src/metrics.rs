@@ -51,6 +51,19 @@ pub struct StoreMetrics {
     /// Queries at or above the slow-query threshold (see
     /// [`docql_obs::slow_query_threshold`]).
     pub slow_queries: Counter,
+    /// Queries killed by their wall-clock deadline (strict mode).
+    pub queries_deadline_exceeded: Counter,
+    /// Queries killed by a row or path-fuel budget (strict mode).
+    pub queries_budget_exhausted: Counter,
+    /// Queries stopped by cooperative cancellation (strict mode).
+    pub queries_cancelled: Counter,
+    /// Queries that returned a flagged partial result (degrade mode).
+    pub queries_partial: Counter,
+    /// Queries turned away by the admission gate (max concurrency reached
+    /// and the bounded wait timed out).
+    pub admission_rejected: Counter,
+    /// Panics caught at the query boundary (the store stayed serviceable).
+    pub query_panics: Counter,
 }
 
 impl StoreMetrics {
@@ -71,6 +84,14 @@ impl StoreMetrics {
             text_scan_searches: registry.counter("docql_store_text_scan_searches_total"),
             contains_evals: registry.counter("docql_calculus_contains_evals_total"),
             slow_queries: registry.counter("docql_store_slow_queries_total"),
+            queries_deadline_exceeded: registry
+                .counter("docql_store_queries_deadline_exceeded_total"),
+            queries_budget_exhausted: registry
+                .counter("docql_store_queries_budget_exhausted_total"),
+            queries_cancelled: registry.counter("docql_store_queries_cancelled_total"),
+            queries_partial: registry.counter("docql_store_queries_partial_total"),
+            admission_rejected: registry.counter("docql_store_admission_rejected_total"),
+            query_panics: registry.counter("docql_store_query_panics_total"),
             registry,
         }
     }

@@ -107,6 +107,24 @@ impl ContainsMatcher {
     pub fn eval(&self, text: &str) -> bool {
         eval_node(&self.node, text)
     }
+
+    /// Evaluate under execution governance: charges [`scan_fuel`] for the
+    /// text up front and returns `None` — without scanning — when the guard
+    /// trips, so callers can distinguish "over budget" from a match verdict.
+    pub fn eval_guarded(&self, text: &str, guard: Option<&docql_guard::Guard>) -> Option<bool> {
+        if let Some(g) = guard {
+            if g.fuel(scan_fuel(text)).interrupted() {
+                return None;
+            }
+        }
+        Some(eval_node(&self.node, text))
+    }
+}
+
+/// Fuel cost of one pattern scan over `text`: a unit per 64 bytes, minimum
+/// one. Scans charge *before* matching, so a tripped guard skips the work.
+pub fn scan_fuel(text: &str) -> u64 {
+    (text.len() as u64 / 64).max(1)
 }
 
 fn eval_node(n: &Node, text: &str) -> bool {

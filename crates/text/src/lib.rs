@@ -15,10 +15,10 @@ pub mod nfa;
 pub mod pattern;
 pub mod tokenize;
 
-pub use contains::{ContainsExpr, ContainsMatcher};
+pub use contains::{scan_fuel, ContainsExpr, ContainsMatcher};
 pub use index::{DocId, InvertedIndex};
 pub use metrics::TextMetrics;
-pub use near::{near, NearUnit};
+pub use near::{near, near_guarded, NearUnit};
 pub use nfa::Nfa;
 pub use pattern::{Pattern, PatternError};
 pub use tokenize::{normalize, tokenize, Token};

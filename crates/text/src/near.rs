@@ -26,6 +26,29 @@ pub enum NearUnit {
 ///
 /// `tests/near_parity.rs` holds both implementations to this contract.
 pub fn near(text: &str, w1: &str, w2: &str, k: usize, unit: NearUnit) -> bool {
+    near_guarded(text, w1, w2, k, unit, None).unwrap_or(false)
+}
+
+/// [`near`] under execution governance: charges
+/// [`scan_fuel`](crate::contains::scan_fuel) for the text up front and
+/// returns `None` — without scanning — when the guard trips.
+pub fn near_guarded(
+    text: &str,
+    w1: &str,
+    w2: &str,
+    k: usize,
+    unit: NearUnit,
+    guard: Option<&docql_guard::Guard>,
+) -> Option<bool> {
+    if let Some(g) = guard {
+        if g.fuel(crate::contains::scan_fuel(text)).interrupted() {
+            return None;
+        }
+    }
+    Some(near_unguarded(text, w1, w2, k, unit))
+}
+
+fn near_unguarded(text: &str, w1: &str, w2: &str, k: usize, unit: NearUnit) -> bool {
     let toks = tokenize(text);
     let n1 = normalize(w1);
     let n2 = normalize(w2);

@@ -12,9 +12,10 @@
 //! promises data-race freedom through `&self` access and `Sync`.
 
 use docql::prelude::*;
-use docql::store::DocStore;
+use docql::store::{DocStore, StoreError};
 use docql_corpus::{generate_article, ArticleParams};
 use std::thread;
+use std::time::{Duration, Instant};
 
 const READERS: usize = 8;
 const ROUNDS: usize = 4;
@@ -154,6 +155,127 @@ fn shared_store_serves_readers_while_writer_ingests() {
     let store = shared.read();
     assert_eq!(store.documents().len(), 4 + extra.len());
     assert!(store.check().is_empty());
+}
+
+/// Work grows as |Articles|³, so on a large corpus this runs far past any
+/// millisecond-scale deadline — the designated victim for governance tests.
+const DOOMED_QUERY: &str = "select tuple (x: a.title, y: b.title) \
+     from a in Articles, b in Articles, c in Articles \
+     where a.title contains (\"SGML\")";
+
+#[test]
+fn doomed_deadline_reader_never_perturbs_others_or_starves_writer() {
+    let shared = SharedStore::new(corpus_store(8));
+    // The admission gate is active but generous — every reader fits — so
+    // this test proves governance of one query never leaks into another.
+    shared.set_admission_limit(READERS + 2, Duration::from_secs(5));
+    let extra: Vec<String> = (200..204u64)
+        .map(|seed| {
+            generate_article(&ArticleParams {
+                seed,
+                sections: 3,
+                ..ArticleParams::default()
+            })
+            .to_sgml()
+        })
+        .collect();
+    // my_article-scoped queries: stable while the writer ingests.
+    let stable = [QUERIES[0], QUERIES[2]];
+    let reference: Vec<String> = stable
+        .iter()
+        .map(|q| rendered(&shared.query(q).unwrap()))
+        .collect();
+
+    thread::scope(|s| {
+        // Reader 0 is doomed: an already-expired deadline on a heavy query.
+        {
+            let shared = shared.clone();
+            s.spawn(move || {
+                let limits = QueryLimits::none().with_deadline(Duration::ZERO);
+                for round in 0..ROUNDS {
+                    match shared.query_with_limits(DOOMED_QUERY, &limits) {
+                        Err(StoreError::Interrupted(ExecError::DeadlineExceeded)) => {}
+                        other => panic!(
+                            "doomed reader round {round}: expected DeadlineExceeded, got {:?}",
+                            other.map(|r| r.len())
+                        ),
+                    }
+                }
+            });
+        }
+        for reader in 1..READERS {
+            let shared = shared.clone();
+            let reference = reference.clone();
+            s.spawn(move || {
+                for round in 0..ROUNDS {
+                    for (i, q) in stable.iter().enumerate() {
+                        assert_eq!(
+                            rendered(&shared.query(q).unwrap()),
+                            reference[i],
+                            "reader {reader} round {round} diverged on {q}"
+                        );
+                    }
+                }
+            });
+        }
+        // The writer must make progress throughout: the admission gate
+        // governs read-side queries only, never the write lock.
+        let writer = shared.clone();
+        let extra = &extra;
+        s.spawn(move || {
+            for text in extra {
+                writer.ingest(text).unwrap();
+            }
+        });
+    });
+
+    let store = shared.read();
+    assert_eq!(store.documents().len(), 8 + extra.len());
+    assert!(store.check().is_empty());
+    drop(store);
+    assert_eq!(shared.admission_active(), 0, "all permits released");
+}
+
+#[test]
+fn admission_gate_rejects_excess_queries_with_typed_error() {
+    let shared = SharedStore::new(corpus_store(64));
+    shared.set_admission_limit(1, Duration::from_millis(1));
+    // The holder occupies the single slot until cancelled — no wall-clock
+    // guesswork about how long the heavy query "should" take.
+    let token = CancelToken::new();
+    let holder = {
+        let shared = shared.clone();
+        let limits = QueryLimits::none().with_cancel(token.clone());
+        thread::spawn(move || shared.query_with_limits(DOOMED_QUERY, &limits))
+    };
+    let t0 = Instant::now();
+    while shared.admission_active() == 0 {
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "holder never admitted"
+        );
+        thread::yield_now();
+    }
+    // The slot is taken; the next query is turned away promptly and typed.
+    match shared.query(QUERIES[0]) {
+        Err(StoreError::Interrupted(ExecError::AdmissionRejected)) => {}
+        other => panic!(
+            "expected AdmissionRejected, got {:?}",
+            other.map(|r| r.len())
+        ),
+    }
+    token.cancel();
+    match holder.join().unwrap() {
+        Err(StoreError::Interrupted(ExecError::Cancelled)) => {}
+        other => panic!(
+            "holder expected Cancelled, got {:?}",
+            other.map(|r| r.len())
+        ),
+    }
+    // Slot free again: service resumes; clearing the gate removes it.
+    assert!(shared.query(QUERIES[0]).is_ok());
+    shared.clear_admission_limit();
+    assert!(shared.query(QUERIES[0]).is_ok());
 }
 
 #[test]

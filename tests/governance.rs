@@ -1,0 +1,297 @@
+//! Resource-governed execution at the store boundary: deadlines, budgets,
+//! cancellation, degrade-mode partial results, per-store defaults — and the
+//! deterministic fault-injection harness (panics + forced budget trips at
+//! operator boundaries) proving the store stays serviceable through all of
+//! it.
+//!
+//! Fault streams are seed-driven ([`docql::guard::QueryLimits::with_fault_seed`]);
+//! the base seed comes from `DOCQL_FAULT` so CI can pin one and a failing
+//! seed replays exactly.
+
+use docql::guard::{CancelToken, ExecError, QueryLimits, Resource};
+use docql::prelude::*;
+use docql::store::{DocStore, StoreError};
+use docql_corpus::{generate_article, ArticleParams};
+use std::time::{Duration, Instant};
+
+fn corpus_store(n_docs: usize) -> DocStore {
+    let mut store = DocStore::new(docql::fixtures::ARTICLE_DTD, &["my_article"]).unwrap();
+    let texts: Vec<String> = (0..n_docs as u64)
+        .map(|seed| {
+            generate_article(&ArticleParams {
+                seed,
+                sections: 4,
+                subsections: 2,
+                plant_every: if seed % 2 == 0 { 2 } else { 0 },
+                ..ArticleParams::default()
+            })
+            .to_sgml()
+        })
+        .collect();
+    let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+    let roots = store.ingest_batch(&refs).unwrap();
+    store.bind("my_article", roots[0]).unwrap();
+    store
+}
+
+/// A query whose work grows as |Articles|³ — long enough on the 100×
+/// corpus that a millisecond-scale deadline always lands mid-flight.
+const SLOW_QUERY: &str = "select tuple (x: a.title, y: b.title) \
+     from a in Articles, b in Articles, c in Articles \
+     where a.title contains (\"SGML\")";
+
+const CHEAP_QUERY: &str = "select t from my_article PATH_p.title(t)";
+
+fn exec_err(r: Result<QueryResult, StoreError>) -> ExecError {
+    match r {
+        Err(e) => e
+            .exec_error()
+            .unwrap_or_else(|| panic!("expected a governance error, got {e}")),
+        Ok(r) => panic!("expected a governance error, got {} row(s)", r.len()),
+    }
+}
+
+#[test]
+fn deadline_exceeded_is_typed_and_prompt() {
+    let store = corpus_store(100);
+    let limits = QueryLimits::none().with_deadline(Duration::from_millis(10));
+    let t0 = Instant::now();
+    let e = exec_err(store.query_with_limits(SLOW_QUERY, &limits));
+    let elapsed = t0.elapsed();
+    assert_eq!(e, ExecError::DeadlineExceeded);
+    // The acceptance bound is < 50 ms unloaded; allow scheduler headroom
+    // for parallel test runs while still proving a prompt kill (the
+    // unguarded query runs orders of magnitude longer).
+    assert!(elapsed < Duration::from_millis(150), "took {elapsed:?}");
+    // The store stays fully serviceable afterwards.
+    let r = store.query(CHEAP_QUERY).unwrap();
+    assert!(!r.is_empty());
+    assert!(!r.is_partial());
+}
+
+#[test]
+fn row_budget_trips_in_strict_mode_and_flags_in_degrade_mode() {
+    let store = corpus_store(8);
+    let q = "select t from Articles PATH_p.title(t)";
+    let full = store.query(q).unwrap();
+    assert!(full.len() > 2, "need enough rows to cut: {}", full.len());
+
+    let strict = QueryLimits::none().with_row_budget(2);
+    assert_eq!(
+        exec_err(store.query_with_limits(q, &strict)),
+        ExecError::BudgetExhausted(Resource::Rows)
+    );
+
+    let degrade = QueryLimits::none().with_row_budget(2).with_degrade();
+    let partial = store.query_with_limits(q, &degrade).unwrap();
+    assert_eq!(
+        partial.partial,
+        Some(ExecError::BudgetExhausted(Resource::Rows))
+    );
+    assert!(partial.len() <= full.len());
+    // Partial rows are a subset of the full answer, never invented.
+    for row in &partial.rows {
+        assert!(full.rows.contains(row), "partial row not in full answer");
+    }
+
+    // An ample budget changes nothing and is not flagged.
+    let ample = QueryLimits::none()
+        .with_row_budget(1_000_000)
+        .with_degrade();
+    let complete = store.query_with_limits(q, &ample).unwrap();
+    assert!(!complete.is_partial());
+    assert_eq!(complete.rows, full.rows);
+}
+
+#[test]
+fn path_fuel_trips_on_path_queries() {
+    let store = corpus_store(8);
+    let limits = QueryLimits::none().with_path_fuel(3);
+    assert_eq!(
+        exec_err(store.query_with_limits("select t from Articles PATH_p.title(t)", &limits)),
+        ExecError::BudgetExhausted(Resource::PathFuel)
+    );
+    // Algebraic mode walks the same graph and burns the same fuel class.
+    assert_eq!(
+        exec_err(
+            store.query_algebraic_with_limits("select t from Articles PATH_p.title(t)", &limits)
+        ),
+        ExecError::BudgetExhausted(Resource::PathFuel)
+    );
+}
+
+#[test]
+fn cancellation_is_observed() {
+    let store = corpus_store(4);
+    let token = CancelToken::new();
+    token.cancel();
+    let limits = QueryLimits::none().with_cancel(token);
+    assert_eq!(
+        exec_err(store.query_with_limits(SLOW_QUERY, &limits)),
+        ExecError::Cancelled
+    );
+}
+
+#[test]
+fn per_store_defaults_merge_under_per_call_limits() {
+    let mut store = corpus_store(8);
+    store.set_default_limits(QueryLimits::none().with_row_budget(2));
+    // The default governs plain queries…
+    assert_eq!(
+        exec_err(store.query("select t from Articles PATH_p.title(t)")),
+        ExecError::BudgetExhausted(Resource::Rows)
+    );
+    // …and a per-call limit overrides it field-wise.
+    let ample = QueryLimits::none().with_row_budget(1_000_000);
+    let r = store
+        .query_with_limits("select t from Articles PATH_p.title(t)", &ample)
+        .unwrap();
+    assert!(!r.is_empty());
+    assert!(!r.is_partial());
+    // Clearing the default restores ungoverned serving.
+    store.set_default_limits(QueryLimits::none());
+    assert!(store
+        .query("select t from Articles PATH_p.title(t)")
+        .is_ok());
+}
+
+#[test]
+fn governance_outcomes_are_counted_and_reported() {
+    let store = corpus_store(8);
+    store.set_metrics_enabled(true);
+    let q = "select t from Articles PATH_p.title(t)";
+    let strict = QueryLimits::none().with_row_budget(1);
+    let _ = store.query_with_limits(q, &strict);
+    let degrade = QueryLimits::none().with_row_budget(1).with_degrade();
+    let _ = store.query_with_limits(q, &degrade).unwrap();
+    let deadline = QueryLimits::none().with_deadline(Duration::ZERO);
+    let _ = store.query_with_limits(SLOW_QUERY, &deadline);
+    assert!(store.metrics().queries_budget_exhausted.get() >= 1);
+    assert!(store.metrics().queries_partial.get() >= 1);
+    assert!(store.metrics().queries_deadline_exceeded.get() >= 1);
+    let prom = store.metrics_prometheus();
+    assert!(prom.contains("docql_store_queries_budget_exhausted_total"));
+
+    // EXPLAIN ANALYZE carries the governance outcome in degrade mode.
+    let profile = store.profile_with_limits(q, &degrade).unwrap();
+    assert!(profile.result.is_partial());
+    let report = profile.render();
+    assert!(report.contains("governance: partial result"), "{report}");
+}
+
+/// Base seed for the fault-injection sweep: `DOCQL_FAULT` (decimal or
+/// `0x`-hex), defaulting to a fixed constant so plain `cargo test` is
+/// deterministic too.
+fn fault_base_seed() -> u64 {
+    match std::env::var("DOCQL_FAULT") {
+        Ok(s) => {
+            let s = s.trim();
+            let parsed = match s.strip_prefix("0x") {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => s.parse(),
+            };
+            parsed.unwrap_or_else(|_| panic!("DOCQL_FAULT must be a u64, got {s:?}"))
+        }
+        Err(_) => 0xD0C4_1994,
+    }
+}
+
+const FAULT_CASES: u64 = 64;
+
+/// The fault-injection harness proper: ≥ 64 seeded cases injecting panics
+/// and forced budget trips at algebra operator boundaries. After every
+/// case the store must stay serviceable, no partial result may leak
+/// unflagged, and the plan cache must keep returning byte-identical
+/// results.
+#[test]
+fn fault_injection_sweep_leaves_store_serviceable() {
+    let store = corpus_store(8);
+    store.set_metrics_enabled(true);
+    let queries = [
+        "select t from Articles PATH_p.title(t)",
+        "select tuple (t: a.title, f_author: first(a.authors)) \
+         from a in Articles, s in a.sections \
+         where s.title contains (\"SGML\" and \"OODBMS\")",
+        "select name(ATT_a) from my_article PATH_p.ATT_a(val) \
+         where val contains (\"draft\")",
+    ];
+    let baseline: Vec<QueryResult> = queries
+        .iter()
+        .map(|q| store.query_algebraic(q).unwrap())
+        .collect();
+    let base = fault_base_seed();
+    let (mut oks, mut trips, mut panics, mut flagged) = (0u64, 0u64, 0u64, 0u64);
+    for case in 0..FAULT_CASES {
+        let seed = base.wrapping_add(case);
+        let qi = (case % queries.len() as u64) as usize;
+        // Alternate strict and degrade mode across the sweep.
+        let mut limits = QueryLimits::none().with_fault_seed(seed);
+        if case % 2 == 1 {
+            limits = limits.with_degrade();
+        }
+        match store.query_algebraic_with_limits(queries[qi], &limits) {
+            Ok(r) if r.is_partial() => flagged += 1,
+            Ok(r) => {
+                // An un-flagged Ok must be the complete, correct answer —
+                // partial results never leak silently.
+                assert_eq!(
+                    r.rows, baseline[qi].rows,
+                    "seed {seed:#x}: unflagged result differs from baseline"
+                );
+                oks += 1;
+            }
+            Err(StoreError::QueryPanic(_)) => panics += 1,
+            Err(StoreError::Interrupted(ExecError::BudgetExhausted(_))) => trips += 1,
+            Err(e) => panic!("seed {seed:#x}: unexpected error {e}"),
+        }
+        // Serviceable after every single case: an ungoverned query on the
+        // same store (same plan cache, same locks) still answers exactly.
+        let again = store.query_algebraic(queries[qi]).unwrap();
+        assert_eq!(
+            again.rows, baseline[qi].rows,
+            "seed {seed:#x} wedged the store"
+        );
+        assert!(!again.is_partial());
+    }
+    // The sweep actually exercised every outcome class (the rates are
+    // ~1.5% panic / ~3% trip per boundary crossing, many crossings per
+    // query — 64 cases cannot miss them all).
+    assert!(oks > 0, "no clean run in the sweep");
+    assert!(panics > 0, "no injected panic in the sweep");
+    assert!(trips + flagged > 0, "no injected budget trip in the sweep");
+    assert_eq!(store.metrics().query_panics.get(), panics);
+
+    // Plan cache consistency after the storm: entries survived, hits keep
+    // accruing, and both modes still agree with the baseline.
+    let stats = store.plan_cache_stats();
+    assert!(stats.entries >= queries.len());
+    for (q, b) in queries.iter().zip(&baseline) {
+        assert_eq!(store.query_algebraic(q).unwrap().rows, b.rows);
+        let interp = store.query(q).unwrap();
+        assert_eq!(interp.rows.len(), b.rows.len());
+    }
+    let stats_after = store.plan_cache_stats();
+    assert!(stats_after.hits > stats.hits, "cache still serving hits");
+}
+
+/// Deterministic replay: the same fault seed produces the same outcome.
+#[test]
+fn fault_injection_is_deterministic_per_seed() {
+    let store = corpus_store(4);
+    let q = "select t from Articles PATH_p.title(t)";
+    let base = fault_base_seed();
+    for case in 0..8 {
+        let limits = QueryLimits::none().with_fault_seed(base.wrapping_add(case));
+        let a = store.query_algebraic_with_limits(q, &limits);
+        let b = store.query_algebraic_with_limits(q, &limits);
+        match (a, b) {
+            (Ok(x), Ok(y)) => assert_eq!(x, y),
+            (Err(x), Err(y)) => assert_eq!(x.to_string(), y.to_string()),
+            (x, y) => panic!(
+                "seed {case} diverged: {:?} vs {:?}",
+                x.map(|r| r.len()),
+                y.map(|r| r.len())
+            ),
+        }
+    }
+}

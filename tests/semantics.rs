@@ -73,6 +73,42 @@ fn liberal_mode_reaches_cross_references() {
 }
 
 #[test]
+fn liberal_fuel_bounds_cyclic_enumeration_without_changing_answers() {
+    // Liberal semantics walks object-level cycles (cross-references and
+    // back-reference lists); loop detection alone makes it terminate, but
+    // path fuel must bound the *work* — and, when ample, must not change
+    // the answer. This is the loop-detection regression for governance.
+    let db = db();
+    let q = "my_article PATH_p";
+    let mut engine = db.store().engine();
+    engine.semantics = PathSemantics::Liberal;
+    let unguarded = engine.run(q).unwrap();
+    assert!(!unguarded.is_empty());
+
+    // Scarce fuel: prompt, typed termination mid-cycle.
+    let scarce = QueryLimits::none().with_path_fuel(5);
+    match engine.run_with_limits(q, &scarce) {
+        Err(docql::o2sql::O2sqlError::Interrupted(ExecError::BudgetExhausted(
+            docql::guard::Resource::PathFuel,
+        ))) => {}
+        Err(e) => panic!("expected a path-fuel trip, got {e}"),
+        Ok(r) => panic!("expected a path-fuel trip, got {} row(s)", r.len()),
+    }
+
+    // Scarce fuel in degrade mode: a flagged prefix of the full answer.
+    let degrade = QueryLimits::none().with_path_fuel(5).with_degrade();
+    let partial = engine.run_with_limits(q, &degrade).unwrap();
+    assert!(partial.is_partial());
+    assert!(partial.len() < unguarded.len());
+
+    // Ample fuel: differential — exactly the unguarded answer, unflagged.
+    let ample = QueryLimits::none().with_path_fuel(100_000_000);
+    let governed = engine.run_with_limits(q, &ample).unwrap();
+    assert!(!governed.is_partial());
+    assert_eq!(governed.rows, unguarded.rows);
+}
+
+#[test]
 fn both_modes_agree_under_restricted_semantics() {
     let db = db();
     for q in [
