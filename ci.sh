@@ -24,11 +24,27 @@ DOCQL_PROP_SEED=20260806 DOCQL_PROP_CASES=64 cargo test --workspace -q \
 echo "==> fault-injection sweep (fixed seed, replayable via DOCQL_FAULT)"
 DOCQL_FAULT=0xD0C41994 cargo test -q --test governance
 
+echo "==> snapshot-isolation stress (fixed seed, bounded iterations)"
+DOCQL_FAULT=0xD0C41994 cargo test -q --test snapshot_isolation
+
+echo "==> no panicking unwrap/expect on crates/model library paths"
+if awk 'FNR==1 { intests=0 } /#\[cfg\(test\)\]/ { intests=1 } \
+       !intests && /\.(unwrap|expect)\(/ { print FILENAME ":" FNR ": " $0; bad=1 } \
+       END { exit bad }' crates/model/src/*.rs; then
+    echo "    clean"
+else
+    echo "    panic sites above — crates/model must stay panic-free" >&2
+    exit 1
+fi
+
 echo "==> bench smoke (1 ms window per benchmark target)"
 DOCQL_BENCH_MS=1 cargo bench --workspace -q >/dev/null
 
 echo "==> B11 guard-overhead smoke (interleaved governed vs ungoverned)"
 cargo run -q --release -p docql-bench --example b11_interleaved
+
+echo "==> B12 mixed read/write smoke (snapshots vs global lock, short windows)"
+DOCQL_B12_MS=50 cargo run -q --release -p docql-bench --example b12_mixed
 
 echo "==> profile_query example (EXPLAIN ANALYZE + metrics export)"
 cargo run -q --example profile_query >/dev/null

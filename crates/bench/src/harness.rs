@@ -160,14 +160,23 @@ impl Bencher {
             let dt = t0.elapsed();
             total += dt;
             iters += batch;
-            let sample = dt / u32::try_from(batch).unwrap_or(u32::MAX).max(1);
+            let sample = per_iter_duration(dt, batch);
             if sample < best {
                 best = sample;
             }
         }
-        let mean = total / u32::try_from(iters).unwrap_or(u32::MAX).max(1);
+        let mean = per_iter_duration(total, iters);
         self.result = Some((mean, best, iters));
     }
+}
+
+/// `total / iters` computed in `u128` nanoseconds. `Duration`'s `Div` only
+/// takes a `u32` divisor, and clamping the count to `u32::MAX` would silently
+/// inflate per-iteration timings once `iters` exceeds it.
+fn per_iter_duration(total: Duration, iters: u64) -> Duration {
+    let ns = total.as_nanos() / u128::from(iters.max(1));
+    // A per-iteration mean always fits u64 ns (u64::MAX ns ≈ 584 years).
+    Duration::from_nanos(u64::try_from(ns).unwrap_or(u64::MAX))
 }
 
 fn run_one<F: FnOnce(&mut Bencher)>(c: &mut Criterion, name: String, f: F) {
@@ -234,6 +243,21 @@ mod tests {
         c.bench_function("smoke", |b| b.iter(|| 2 + 2));
         assert_eq!(c.samples.len(), 1);
         assert!(c.samples[0].iters > 0);
+    }
+
+    #[test]
+    fn per_iter_division_is_exact_beyond_u32_iters() {
+        // 2³² + 4 iterations at exactly 2 ns each. A u32-clamped divisor
+        // would divide by u32::MAX and report ~2 ns × (iters/u32::MAX) ≈ 2 ns
+        // only by luck of rounding; make the exact quotient mandatory.
+        let iters = u64::from(u32::MAX) + 5;
+        let total = Duration::from_nanos(2) * u32::MAX + Duration::from_nanos(10);
+        assert_eq!(per_iter_duration(total, iters), Duration::from_nanos(2));
+        // Below the boundary it agrees with plain Duration division.
+        let total = Duration::from_micros(700);
+        assert_eq!(per_iter_duration(total, 7), total / 7);
+        // Zero iterations must not divide by zero.
+        assert_eq!(per_iter_duration(total, 0), total);
     }
 
     #[test]

@@ -151,14 +151,21 @@ impl InterpCtx<'_> {
     }
 }
 
-/// Interpreted predicate implementation.
+/// Interpreted predicate implementation. `Arc` (not `Box`) so that a
+/// registry clone — e.g. a store forking its evaluation context for a new
+/// snapshot — shares the closures instead of being impossible.
 pub type PredFn =
-    Box<dyn Fn(&InterpCtx<'_>, &[CalcValue]) -> Result<bool, InterpError> + Send + Sync>;
-/// Interpreted function implementation.
-pub type FuncFn =
-    Box<dyn Fn(&InterpCtx<'_>, &[CalcValue]) -> Result<CalcValue, InterpError> + Send + Sync>;
+    std::sync::Arc<dyn Fn(&InterpCtx<'_>, &[CalcValue]) -> Result<bool, InterpError> + Send + Sync>;
+/// Interpreted function implementation (see [`PredFn`] on `Arc`).
+pub type FuncFn = std::sync::Arc<
+    dyn Fn(&InterpCtx<'_>, &[CalcValue]) -> Result<CalcValue, InterpError> + Send + Sync,
+>;
 
 /// Registry of interpreted predicates and functions.
+///
+/// Cloning shares the registered closures; re-registering a name in the
+/// clone (the bindings override) never affects the original.
+#[derive(Clone)]
 pub struct Interp {
     preds: BTreeMap<Sym, PredFn>,
     funcs: BTreeMap<Sym, FuncFn>,
@@ -225,7 +232,7 @@ impl Interp {
     where
         F: Fn(&InterpCtx<'_>, &[CalcValue]) -> Result<bool, InterpError> + Send + Sync + 'static,
     {
-        self.preds.insert(name.into(), Box::new(f));
+        self.preds.insert(name.into(), std::sync::Arc::new(f));
     }
 
     /// Register a custom function (overrides any existing binding).
@@ -236,7 +243,7 @@ impl Interp {
             + Sync
             + 'static,
     {
-        self.funcs.insert(name.into(), Box::new(f));
+        self.funcs.insert(name.into(), std::sync::Arc::new(f));
     }
 
     /// Evaluate a predicate.

@@ -35,6 +35,14 @@ pub enum ModelError {
     },
     /// A constraint attached to a class is violated by an object's value.
     ConstraintViolation { class: Sym, detail: String },
+    /// The process-global symbol interner is full (2³²−1 distinct names).
+    /// Reachable only by adversarial name floods; surfaced as a typed error
+    /// so library paths never abort the process.
+    SymbolTableOverflow,
+    /// An instance ran out of object identifiers (2³² objects). Surfaced as
+    /// a typed error so adversarial ingest degrades into an ingest failure
+    /// instead of a panic.
+    OidOverflow,
 }
 
 impl fmt::Display for ModelError {
@@ -63,6 +71,12 @@ impl fmt::Display for ModelError {
             } => write!(f, "{context}: value {got} is not in dom({expected})"),
             ModelError::ConstraintViolation { class, detail } => {
                 write!(f, "constraint violation on class `{class}`: {detail}")
+            }
+            ModelError::SymbolTableOverflow => {
+                write!(f, "symbol table overflow: too many distinct names")
+            }
+            ModelError::OidOverflow => {
+                write!(f, "object table overflow: too many objects in instance")
             }
         }
     }

@@ -25,11 +25,23 @@ struct ObjSlot {
 }
 
 /// An instance over a shared schema.
+///
+/// Slots are held behind `Arc` so cloning an instance — the snapshot fork
+/// path of the store layer — shares every object value structurally instead
+/// of deep-copying the document corpus; a post-clone [`Instance::set_value`]
+/// copies only the one touched slot (`Arc::make_mut`).
 #[derive(Debug, Clone)]
 pub struct Instance {
     schema: Arc<Schema>,
-    objects: Vec<ObjSlot>,
+    objects: Vec<Arc<ObjSlot>>,
     roots: HashMap<Sym, Value>,
+}
+
+/// Checked oid allocation: the object table holds at most 2³² objects.
+fn next_oid(len: usize) -> Result<Oid> {
+    u32::try_from(len)
+        .map(Oid)
+        .map_err(|_| ModelError::OidOverflow)
 }
 
 impl Instance {
@@ -61,8 +73,8 @@ impl Instance {
         if !self.schema.hierarchy().contains(class) {
             return Err(ModelError::UnknownClass(class));
         }
-        let oid = Oid(u32::try_from(self.objects.len()).expect("oid overflow"));
-        self.objects.push(ObjSlot { class, value });
+        let oid = next_oid(self.objects.len())?;
+        self.objects.push(Arc::new(ObjSlot { class, value }));
         Ok(oid)
     }
 
@@ -80,7 +92,7 @@ impl Instance {
             .objects
             .get_mut(oid.0 as usize)
             .ok_or(ModelError::DanglingOid(oid))?;
-        slot.value = value;
+        Arc::make_mut(slot).value = value;
         Ok(())
     }
 
@@ -322,6 +334,39 @@ mod tests {
             &Value::tuple([("contents", Value::str("t"))])
         );
         assert_eq!(i.deref(&Value::Int(1)).unwrap(), &Value::Int(1));
+    }
+
+    #[test]
+    fn oid_allocation_fails_typed_at_capacity() {
+        // 2³² live objects cannot be built in a test; exercise the checked
+        // allocator at the boundary directly.
+        assert_eq!(next_oid(0).unwrap(), Oid(0));
+        assert_eq!(next_oid(u32::MAX as usize).unwrap(), Oid(u32::MAX));
+        assert_eq!(
+            next_oid(u32::MAX as usize + 1).unwrap_err(),
+            ModelError::OidOverflow
+        );
+    }
+
+    #[test]
+    fn cloned_instance_shares_slots_until_written() {
+        let mut a = Instance::new(schema());
+        let o = a
+            .new_object("Title", Value::tuple([("contents", Value::str("v1"))]))
+            .unwrap();
+        let mut b = a.clone();
+        assert!(Arc::ptr_eq(&a.objects[0], &b.objects[0]), "clone shares");
+        b.set_value(o, Value::tuple([("contents", Value::str("v2"))]))
+            .unwrap();
+        assert_eq!(
+            a.value_of(o).unwrap().attr(sym("contents")),
+            Some(&Value::str("v1")),
+            "writes to the clone never leak into the original"
+        );
+        assert_eq!(
+            b.value_of(o).unwrap().attr(sym("contents")),
+            Some(&Value::str("v2"))
+        );
     }
 
     #[test]

@@ -6,9 +6,10 @@
 //! the hot path of subtyping, path matching and query evaluation — is a single
 //! `u32` compare.
 
+use crate::error::ModelError;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::{OnceLock, RwLock};
+use std::sync::{OnceLock, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// An interned name (attribute, class, marker, root, method, …).
 ///
@@ -33,33 +34,79 @@ fn interner() -> &'static RwLock<Interner> {
     })
 }
 
+/// Read the interner, recovering (rather than panicking) if a thread
+/// panicked while holding the lock. Recovery is sound because the single
+/// writer path ([`Sym::try_new`]) allocates the id only after both the
+/// `names` push and the `index` insert can no longer fail, and pushes the
+/// entry pair back-to-back with nothing panicking in between — a poisoned
+/// table is always a fully consistent table.
+fn read_interner() -> RwLockReadGuard<'static, Interner> {
+    interner().read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Write access to the interner; see [`read_interner`] on poisoning.
+fn write_interner() -> RwLockWriteGuard<'static, Interner> {
+    interner().write().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Id reserved for the overflow sentinel: never allocated to a real name.
+const OVERFLOW_ID: u32 = u32::MAX;
+
+/// Checked id allocation for the next interned name: the table holds at
+/// most `u32::MAX` names ([`OVERFLOW_ID`] stays reserved).
+fn next_sym_id(len: usize) -> Result<u32, ModelError> {
+    match u32::try_from(len) {
+        Ok(id) if id != OVERFLOW_ID => Ok(id),
+        _ => Err(ModelError::SymbolTableOverflow),
+    }
+}
+
 impl Sym {
     /// Intern `name`, returning its symbol. Idempotent.
+    ///
+    /// Infallible facade over [`Sym::try_new`]: interner exhaustion (2³²−1
+    /// distinct names — unreachable before memory exhaustion in any
+    /// realistic session, since every name is leaked) collapses onto the
+    /// reserved overflow sentinel instead of aborting the process. Paths
+    /// that intern adversarial input and need the failure surfaced should
+    /// call [`Sym::try_new`].
     pub fn new(name: &str) -> Sym {
+        Sym::try_new(name).unwrap_or(Sym(OVERFLOW_ID))
+    }
+
+    /// Intern `name`, or report interner exhaustion as a typed error.
+    pub fn try_new(name: &str) -> Result<Sym, ModelError> {
         {
-            let table = interner().read().expect("symbol table poisoned");
+            let table = read_interner();
             if let Some(&id) = table.index.get(name) {
-                return Sym(id);
+                return Ok(Sym(id));
             }
         }
-        let mut table = interner().write().expect("symbol table poisoned");
+        let mut table = write_interner();
         if let Some(&id) = table.index.get(name) {
-            return Sym(id);
+            return Ok(Sym(id));
         }
+        // Check capacity *before* leaking, so a failing intern leaks nothing.
+        let id = next_sym_id(table.names.len())?;
         // Leaking is deliberate: the set of distinct names in a session is
         // bounded by schema + query text, and a 'static str lets lookups
         // avoid any allocation.
         let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
-        let id = u32::try_from(table.names.len()).expect("symbol table overflow");
         table.names.push(leaked);
         table.index.insert(leaked, id);
-        Sym(id)
+        Ok(Sym(id))
     }
 
-    /// The interned string.
+    /// The interned string. The reserved overflow sentinel (and any id not
+    /// allocated by this process) renders as a fixed marker rather than
+    /// panicking on the out-of-bounds index.
     pub fn as_str(self) -> &'static str {
-        let table = interner().read().expect("symbol table poisoned");
-        table.names[self.0 as usize]
+        let table = read_interner();
+        table
+            .names
+            .get(self.0 as usize)
+            .copied()
+            .unwrap_or("<sym:overflow>")
     }
 
     /// Raw interner id (stable within a process run).
@@ -145,6 +192,29 @@ mod tests {
     fn empty_name_is_internable() {
         let e = Sym::new("");
         assert_eq!(e.as_str(), "");
+    }
+
+    #[test]
+    fn sym_id_allocation_fails_typed_at_capacity() {
+        // 2³² distinct names cannot be interned in a test; exercise the
+        // checked allocator at the boundary directly.
+        assert_eq!(next_sym_id(0).unwrap(), 0);
+        assert_eq!(next_sym_id(u32::MAX as usize - 1).unwrap(), u32::MAX - 1);
+        assert_eq!(
+            next_sym_id(u32::MAX as usize).unwrap_err(),
+            ModelError::SymbolTableOverflow,
+            "the sentinel id is never allocated"
+        );
+        assert_eq!(
+            next_sym_id(u32::MAX as usize + 1).unwrap_err(),
+            ModelError::SymbolTableOverflow
+        );
+    }
+
+    #[test]
+    fn overflow_sentinel_renders_without_panicking() {
+        assert_eq!(Sym(OVERFLOW_ID).as_str(), "<sym:overflow>");
+        assert_eq!(format!("{:?}", Sym(OVERFLOW_ID)), "Sym(\"<sym:overflow>\")");
     }
 
     #[test]

@@ -15,6 +15,12 @@
 //! whether a scan reads the extent or walks is decided at evaluation time
 //! from the engine's [`docql_algebra::ExecCtx`] — toggling or rebuilding
 //! the index never invalidates cached plans either.
+//!
+//! The same schema-only dependence is what lets a store share one cache
+//! (behind `Arc`) across every snapshot version it forks: a plan compiled
+//! against version *n* evaluates correctly against version *n+k*, because
+//! the engine binds the instance, indexes and extent handle at evaluation
+//! time. Publication never invalidates or cools the cache.
 
 use crate::translate::Translated;
 use crate::O2sqlError;

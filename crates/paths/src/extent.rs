@@ -22,6 +22,7 @@ use crate::schema_paths::{AbsStep, SchemaPathOptions};
 use crate::select::{attr_select, deref1, list_items};
 use docql_model::{Instance, Oid, Schema, Sym, Type, Value};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// One class-blind step of an indexed path.
 ///
@@ -79,14 +80,19 @@ struct TrieNode {
 /// on the schema), then filled per ingested document; incremental batch
 /// ingest builds shards with [`PathExtentIndex::empty_like`] and combines
 /// them with [`PathExtentIndex::merge`], mirroring the inverted text index.
+/// The path table and trie are schema-derived and frozen after
+/// construction, and per-root target lists are append-once — all three sit
+/// behind `Arc`, so cloning the index (the store's snapshot-fork path, and
+/// [`PathExtentIndex::empty_like`]) shares them and copies only the extent
+/// b-tree spines.
 #[derive(Debug, Clone)]
 pub struct PathExtentIndex {
     /// Interned class-blind paths → dense ids.
-    paths: BTreeMap<Vec<ExtStep>, PathId>,
+    paths: Arc<BTreeMap<Vec<ExtStep>, PathId>>,
     /// Trie over the interned paths (node 0 is the ε root).
-    trie: Vec<TrieNode>,
+    trie: Arc<Vec<TrieNode>>,
     /// Per path id: document root → targets, in walk (depth-first) order.
-    extents: Vec<BTreeMap<Oid, Vec<Value>>>,
+    extents: Vec<BTreeMap<Oid, Arc<Vec<Value>>>>,
     /// The indexed document roots. An oid outside this set must fall back
     /// to walking — absence of targets is only meaningful for members.
     roots: BTreeSet<Oid>,
@@ -98,11 +104,11 @@ impl PathExtentIndex {
     /// determined from the schema.
     pub fn empty() -> PathExtentIndex {
         PathExtentIndex {
-            paths: BTreeMap::new(),
-            trie: vec![TrieNode {
+            paths: Arc::new(BTreeMap::new()),
+            trie: Arc::new(vec![TrieNode {
                 path_id: 0,
                 children: Vec::new(),
-            }],
+            }]),
             extents: Vec::new(),
             roots: BTreeSet::new(),
         }
@@ -147,13 +153,16 @@ impl PathExtentIndex {
     }
 
     /// Intern one path, creating trie nodes and an extent slot as needed.
+    /// Only called at construction time, before the index is ever cloned,
+    /// so the `make_mut`s below never copy.
     fn intern(&mut self, key: Vec<ExtStep>) -> PathId {
         if let Some(id) = self.paths.get(&key) {
             return *id;
         }
+        let trie = Arc::make_mut(&mut self.trie);
         let mut node = 0usize;
         for step in &key {
-            match self.trie[node]
+            match trie[node]
                 .children
                 .iter()
                 .find(|(s, _)| s == step)
@@ -161,21 +170,21 @@ impl PathExtentIndex {
             {
                 Some(next) => node = next,
                 None => {
-                    let next = self.trie.len();
+                    let next = trie.len();
                     // Placeholder id; fixed below if this node ends a path.
-                    self.trie.push(TrieNode {
+                    trie.push(TrieNode {
                         path_id: PathId::MAX,
                         children: Vec::new(),
                     });
-                    self.trie[node].children.push((step.clone(), next));
+                    trie[node].children.push((step.clone(), next));
                     node = next;
                 }
             }
         }
         let id = self.extents.len() as PathId;
         self.extents.push(BTreeMap::new());
-        self.trie[node].path_id = id;
-        self.paths.insert(key, id);
+        trie[node].path_id = id;
+        Arc::make_mut(&mut self.paths).insert(key, id);
         id
     }
 
@@ -184,8 +193,8 @@ impl PathExtentIndex {
     /// agree on path ids, so [`PathExtentIndex::merge`] is a plain union).
     pub fn empty_like(&self) -> PathExtentIndex {
         PathExtentIndex {
-            paths: self.paths.clone(),
-            trie: self.trie.clone(),
+            paths: Arc::clone(&self.paths),
+            trie: Arc::clone(&self.trie),
             extents: vec![BTreeMap::new(); self.extents.len()],
             roots: BTreeSet::new(),
         }
@@ -216,10 +225,8 @@ impl PathExtentIndex {
     fn visit(&mut self, instance: &Instance, value: &Value, node: usize, root: Oid) {
         let pid = self.trie[node].path_id;
         if pid != PathId::MAX {
-            self.extents[pid as usize]
-                .entry(root)
-                .or_default()
-                .push(value.clone());
+            let targets = self.extents[pid as usize].entry(root).or_default();
+            Arc::make_mut(targets).push(value.clone());
         }
         // Children are cloned out so the traversal can borrow `self`
         // mutably; fan-out per node is small (schema attribute counts).
@@ -281,7 +288,7 @@ impl PathExtentIndex {
         self.extents
             .get(path as usize)
             .and_then(|m| m.get(&root))
-            .map(Vec::as_slice)
+            .map(|t| t.as_slice())
             .unwrap_or(&[])
     }
 
@@ -299,7 +306,7 @@ impl PathExtentIndex {
     pub fn target_count(&self) -> usize {
         self.extents
             .iter()
-            .map(|m| m.values().map(Vec::len).sum::<usize>())
+            .map(|m| m.values().map(|t| t.len()).sum::<usize>())
             .sum()
     }
 
@@ -480,6 +487,39 @@ mod tests {
         assert_eq!(ix.path_count(), 0);
         assert_eq!(ix.lookup(&[ExtStep::Deref]), None);
         assert!(!ix.is_root_indexed(Oid(0)));
+    }
+
+    #[test]
+    fn cloned_index_shares_structure_and_targets() {
+        let schema = schema();
+        let mut inst = Instance::new(schema.clone());
+        let a = doc(&mut inst, "A", &["s1"]);
+        let mut ix = PathExtentIndex::for_collection_root(&schema, sym("Docs"));
+        ix.index_document(&inst, a);
+
+        let mut fork = ix.clone();
+        assert!(Arc::ptr_eq(&ix.paths, &fork.paths));
+        assert!(Arc::ptr_eq(&ix.trie, &fork.trie));
+        let eps = ix.lookup(&[]).unwrap();
+        assert!(
+            Arc::ptr_eq(
+                &ix.extents[eps as usize][&a],
+                &fork.extents[eps as usize][&a]
+            ),
+            "target lists shared until written"
+        );
+        // Indexing a new document into the fork touches only that root's
+        // lists; `a`'s stay shared and the original never sees `b`.
+        let b = doc(&mut inst, "B", &["s2"]);
+        fork.index_document(&inst, b);
+        assert!(Arc::ptr_eq(
+            &ix.extents[eps as usize][&a],
+            &fork.extents[eps as usize][&a]
+        ));
+        assert!(fork.is_root_indexed(b));
+        assert!(!ix.is_root_indexed(b));
+        assert!(ix.targets(eps, b).is_empty());
+        assert_eq!(fork.targets(eps, b), &[Value::Oid(b)]);
     }
 
     #[test]

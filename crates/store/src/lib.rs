@@ -29,7 +29,8 @@ use docql_sgml::{DocParser, Document, Dtd, SgmlError};
 use docql_text::{ContainsExpr, InvertedIndex};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::ops::{Deref, DerefMut};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, Instant};
 
 /// Store-level error.
@@ -111,12 +112,17 @@ impl From<O2sqlError> for StoreError {
 /// must interleave). The query-plan cache is internally synchronised and
 /// shared by all readers; plans depend only on the schema, so ingesting
 /// more documents never invalidates them.
+///
+/// [`DocStore::fork`] produces an independent copy in O(structure) — the
+/// document data (object values, position lists, extent targets, text) is
+/// shared copy-on-write — which is what makes [`SharedStore`]'s snapshot
+/// publication cheap enough to run per write transaction.
 pub struct DocStore {
-    dtd: Dtd,
-    mapping: DtdMapping,
+    dtd: Arc<Dtd>,
+    mapping: Arc<DtdMapping>,
     instance: Instance,
     interp: Interp,
-    text_of: Arc<RwLock<HashMap<Oid, String>>>,
+    text_of: TextTable,
     index: InvertedIndex,
     /// Path-extent index over the document class (§5's efficiency claim):
     /// per schema path, the values each document reaches — maintained at
@@ -129,8 +135,11 @@ pub struct DocStore {
     /// Root objects of ingested documents, in ingestion order.
     documents: Vec<Oid>,
     /// Compiled-plan cache shared by all query paths (hit = skip lex,
-    /// parse, translation and algebraization).
-    plan_cache: PlanCache,
+    /// parse, translation and algebraization). Behind `Arc` so every fork
+    /// of this store shares one cache: plans depend only on the schema,
+    /// which forks preserve, so entries stay valid across snapshot
+    /// publication and a freshly published snapshot starts warm.
+    plan_cache: Arc<PlanCache>,
     /// Pre-resolved handles into this store's metrics registry (which the
     /// bundle owns). Disabled by default; see
     /// [`DocStore::set_metrics_enabled`].
@@ -144,18 +153,49 @@ pub struct DocStore {
     default_limits: docql_guard::QueryLimits,
 }
 
+/// The `text` inverse-mapping table. Values are `Arc<str>` so forking a
+/// store copies the map's entries, not the document text; the outer `Arc`
+/// is what the interp's `text` closure captures — each fork gets a fresh
+/// one (see [`register_text_fn`]) so writer inserts never reach a
+/// published snapshot.
+type TextTable = Arc<RwLock<HashMap<Oid, Arc<str>>>>;
+
 /// Read the text table, recovering (rather than panicking) if a writer
 /// thread panicked while holding the lock — DESIGN.md forbids panics in
 /// library paths. Recovery is sound because writers only ever insert
 /// complete `(oid, text)` entries: the map a panicking writer abandons is
 /// still a valid (possibly partial) inverse mapping.
-fn read_table(table: &RwLock<HashMap<Oid, String>>) -> RwLockReadGuard<'_, HashMap<Oid, String>> {
+fn read_table<V>(table: &RwLock<HashMap<Oid, V>>) -> RwLockReadGuard<'_, HashMap<Oid, V>> {
     table.read().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Write access to the text table; see [`read_table`] on poisoning.
-fn write_table(table: &RwLock<HashMap<Oid, String>>) -> RwLockWriteGuard<'_, HashMap<Oid, String>> {
+fn write_table<V>(table: &RwLock<HashMap<Oid, V>>) -> RwLockWriteGuard<'_, HashMap<Oid, V>> {
     table.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// (Re)bind the paper's `text` operator — the inverse mapping from a
+/// logical object to its text portion, recorded by the loader — to `table`.
+/// Called at construction and again on every [`DocStore::fork`], so each
+/// fork's closure captures that fork's own table.
+fn register_text_fn(interp: &mut Interp, table: &TextTable) {
+    let table = Arc::clone(table);
+    interp.register_func(
+        "text",
+        move |ctx: &docql_calculus::InterpCtx<'_>, args: &[CalcValue]| match args.first() {
+            Some(CalcValue::Data(Value::Oid(o))) => {
+                let table = read_table(&table);
+                match table.get(o) {
+                    Some(t) => Ok(CalcValue::Data(Value::str(&**t))),
+                    // Not loaded from a document (e.g. built
+                    // programmatically): fall back to value traversal.
+                    None => Ok(CalcValue::Data(Value::str(ctx.textify(&Value::Oid(*o))))),
+                }
+            }
+            Some(CalcValue::Data(v)) => Ok(CalcValue::Data(Value::str(ctx.textify(v)))),
+            other => Err(InterpError(format!("text: bad argument {other:?}"))),
+        },
+    );
 }
 
 /// Checked [`docql_text::DocId`] → [`Oid`] conversion. The store indexes
@@ -173,7 +213,7 @@ impl DocStore {
         let dtd = Dtd::parse(dtd_text)?;
         let mapping = map_dtd_with(&dtd, extra_roots)?;
         let instance = Instance::new(mapping.schema.clone());
-        let text_of: Arc<RwLock<HashMap<Oid, String>>> = Arc::new(RwLock::new(HashMap::new()));
+        let text_of: TextTable = Arc::new(RwLock::new(HashMap::new()));
         // Per-store metrics namespace, disabled until someone asks — every
         // instrumented component below pre-resolves its handles into it.
         let registry: SharedRegistry = Arc::new(docql_obs::MetricsRegistry::new());
@@ -204,25 +244,7 @@ impl DocStore {
                 Interp::builtin_near(ctx, args)
             },
         );
-        // The paper's `text` operator: inverse mapping from a logical object
-        // to its text portion, recorded by the loader.
-        let table = Arc::clone(&text_of);
-        interp.register_func(
-            "text",
-            move |ctx: &docql_calculus::InterpCtx<'_>, args: &[CalcValue]| match args.first() {
-                Some(CalcValue::Data(Value::Oid(o))) => {
-                    let table = read_table(&table);
-                    match table.get(o) {
-                        Some(t) => Ok(CalcValue::Data(Value::str(t.clone()))),
-                        // Not loaded from a document (e.g. built
-                        // programmatically): fall back to value traversal.
-                        None => Ok(CalcValue::Data(Value::str(ctx.textify(&Value::Oid(*o))))),
-                    }
-                }
-                Some(CalcValue::Data(v)) => Ok(CalcValue::Data(Value::str(ctx.textify(v)))),
-                other => Err(InterpError(format!("text: bad argument {other:?}"))),
-            },
-        );
+        register_text_fn(&mut interp, &text_of);
         let extents =
             docql_paths::PathExtentIndex::for_collection_root(&mapping.schema, mapping.root);
         let mut index = InvertedIndex::new();
@@ -230,8 +252,8 @@ impl DocStore {
         let plan_cache = PlanCache::default();
         plan_cache.register_metrics(&registry);
         Ok(DocStore {
-            dtd,
-            mapping,
+            dtd: Arc::new(dtd),
+            mapping: Arc::new(mapping),
             instance,
             interp,
             text_of,
@@ -239,11 +261,43 @@ impl DocStore {
             extents,
             use_extents: true,
             documents: Vec::new(),
-            plan_cache,
+            plan_cache: Arc::new(plan_cache),
             metrics,
             slow_threshold: docql_obs::slow_query_threshold(),
             default_limits: docql_guard::QueryLimits::none(),
         })
+    }
+
+    /// An independent copy of this store in O(structure): schema, mapping,
+    /// plan cache and metrics registry are shared outright; the object
+    /// table, both indexes and the text table share their bulk data
+    /// copy-on-write, so mutating either side copies only what it touches.
+    ///
+    /// This is [`SharedStore`]'s snapshot primitive: a write transaction
+    /// forks the published version, mutates the fork, and publishes it.
+    /// The built-in `text` binding is re-registered against the fork's own
+    /// text table; other registered predicates/functions are shared as-is
+    /// (the built-ins are pure, and custom registrations are expected to
+    /// be too).
+    pub fn fork(&self) -> DocStore {
+        let text_of: TextTable = Arc::new(RwLock::new(read_table(&self.text_of).clone()));
+        let mut interp = self.interp.clone();
+        register_text_fn(&mut interp, &text_of);
+        DocStore {
+            dtd: Arc::clone(&self.dtd),
+            mapping: Arc::clone(&self.mapping),
+            instance: self.instance.clone(),
+            interp,
+            text_of,
+            index: self.index.clone(),
+            extents: self.extents.clone(),
+            use_extents: self.use_extents,
+            documents: self.documents.clone(),
+            plan_cache: Arc::clone(&self.plan_cache),
+            metrics: self.metrics.clone(),
+            slow_threshold: self.slow_threshold,
+            default_limits: self.default_limits.clone(),
+        }
     }
 
     /// Ingest an SGML document: parse (with tag-omission inference),
@@ -457,11 +511,11 @@ impl DocStore {
         };
         let mut table = write_table(&self.text_of);
         for (oid, text) in &loaded.text_of {
-            table.insert(*oid, text.clone());
+            table.insert(*oid, Arc::from(text.as_str()));
         }
         table
             .entry(loaded.root)
-            .or_insert_with(|| root_text.clone());
+            .or_insert_with(|| Arc::from(root_text.as_str()));
         root_text
     }
 
@@ -778,7 +832,7 @@ impl DocStore {
 
     /// The paper's `text` inverse mapping for one object.
     pub fn text_of(&self, oid: Oid) -> Option<String> {
-        read_table(&self.text_of).get(&oid).cloned()
+        read_table(&self.text_of).get(&oid).map(|t| t.to_string())
     }
 
     /// The underlying instance (read access).
@@ -822,7 +876,7 @@ impl DocStore {
             let text = table.get(&root).cloned().unwrap_or_default();
             self.index.add(u64::from(root.0), &text);
         }
-        *write_table(&self.text_of) = table;
+        *write_table(&self.text_of) = table.into_iter().map(|(k, v)| (k, Arc::from(v))).collect();
         // Values may have changed arbitrarily — rebuild the path extents
         // from scratch, like the text index above.
         let t_ext = Instant::now();
@@ -993,30 +1047,70 @@ fn strip_explain_analyze(src: &str) -> Option<&str> {
     strip_keyword(src, "explain").and_then(|rest| strip_keyword(rest, "analyze"))
 }
 
-/// A clonable handle serving one [`DocStore`] to many threads: readers
-/// share the `RwLock` read side (queries run concurrently — `DocStore` is
-/// [`Sync`] and every query path takes `&self`), ingest and updates take
-/// the write side. Clone the handle into each serving thread.
+/// A clonable handle serving one logical store to many threads via
+/// multi-version snapshots: readers pin the currently published immutable
+/// [`DocStore`] version — one `Arc` clone, never a lock held across query
+/// work — while a writer forks that version, mutates the fork privately,
+/// and publishes it as the next snapshot when its [`WriteTxn`] drops.
+/// Object store, inverted text index and path-extent index travel together
+/// in each version, so a pinned snapshot is always internally consistent,
+/// and an in-flight reader keeps serving its version for as long as it
+/// holds the `Arc` — writers never stall it, it never blocks them.
+///
+/// Memory reclamation is `Arc`-structural: when the last reader of a
+/// superseded version drops it, everything that version alone kept alive is
+/// freed; data shared with newer versions (the copy-on-write bulk) lives
+/// on. Clone the handle into each serving thread.
 ///
 /// For read-only fan-out over a store that is not being written, a plain
-/// `&DocStore` inside [`std::thread::scope`] is equivalent and lock-free;
+/// `&DocStore` inside [`std::thread::scope`] is equivalent;
 /// `SharedStore` is for workloads where ingest interleaves with serving.
 #[derive(Clone)]
 pub struct SharedStore {
-    inner: Arc<RwLock<DocStore>>,
+    inner: Arc<SharedInner>,
+}
+
+/// The currently published version, with its publication metadata.
+struct Published {
+    store: Arc<DocStore>,
+    /// Monotone publication counter (0 = the wrapped store).
+    version: u64,
+    /// When this version was published (snapshot-age observability).
+    at: Instant,
+}
+
+struct SharedInner {
+    /// The publication cell. std has no atomic `Arc` swap, so an `RwLock`
+    /// guards the *pointer* — held only for the nanoseconds an `Arc`
+    /// clone/store takes, never across parsing, evaluation or ingest, so
+    /// readers can stall neither each other nor the writer in any way that
+    /// outlives a pointer copy. (A true lock-free swap would need an
+    /// external arc-swap/epoch crate; this is the std-only equivalent.)
+    current: RwLock<Published>,
+    /// Serialises write transactions: each [`WriteTxn`] forks from
+    /// `current` and publishes back, so two concurrent writers would lose
+    /// updates. Readers never touch this lock.
+    writer: Mutex<()>,
     /// Admission gate for the query paths (`None` = unbounded, the
-    /// default). Shared by all clones; only readers are gated — ingest and
-    /// updates go straight to the write lock, so a saturated gate can
-    /// never starve the writer.
-    gate: Arc<RwLock<Option<Arc<docql_guard::AdmissionGate>>>>,
+    /// default). Shared by all clones; only readers are gated — write
+    /// transactions bypass it, so a saturated gate can never starve the
+    /// writer.
+    gate: RwLock<Option<Arc<docql_guard::AdmissionGate>>>,
 }
 
 impl SharedStore {
-    /// Wrap a store for shared serving.
+    /// Wrap a store for shared serving; it becomes snapshot version 0.
     pub fn new(store: DocStore) -> SharedStore {
         SharedStore {
-            inner: Arc::new(RwLock::new(store)),
-            gate: Arc::new(RwLock::new(None)),
+            inner: Arc::new(SharedInner {
+                current: RwLock::new(Published {
+                    store: Arc::new(store),
+                    version: 0,
+                    at: Instant::now(),
+                }),
+                writer: Mutex::new(()),
+                gate: RwLock::new(None),
+            }),
         }
     }
 
@@ -1025,26 +1119,35 @@ impl SharedStore {
     /// [`StoreError::Interrupted`]`(`[`AdmissionRejected`](docql_guard::ExecError::AdmissionRejected)`)`.
     /// Applies to every clone of this handle.
     pub fn set_admission_limit(&self, max: usize, max_wait: Duration) {
-        *self.gate.write().unwrap_or_else(PoisonError::into_inner) =
+        *self
+            .inner
+            .gate
+            .write()
+            .unwrap_or_else(PoisonError::into_inner) =
             Some(Arc::new(docql_guard::AdmissionGate::new(max, max_wait)));
     }
 
     /// Remove the admission cap (queries are admitted unconditionally).
     pub fn clear_admission_limit(&self) {
-        *self.gate.write().unwrap_or_else(PoisonError::into_inner) = None;
+        *self
+            .inner
+            .gate
+            .write()
+            .unwrap_or_else(PoisonError::into_inner) = None;
     }
 
     /// Queries currently admitted (0 when no gate is set).
     pub fn admission_active(&self) -> usize {
-        self.gate
+        self.inner
+            .gate
             .read()
             .unwrap_or_else(PoisonError::into_inner)
             .as_ref()
             .map_or(0, |g| g.active())
     }
 
-    /// Set the wrapped store's default query limits (under the write
-    /// guard; see [`DocStore::set_default_limits`]).
+    /// Set the wrapped store's default query limits (in a write
+    /// transaction; see [`DocStore::set_default_limits`]).
     pub fn set_default_limits(&self, limits: docql_guard::QueryLimits) {
         self.write().set_default_limits(limits);
     }
@@ -1053,6 +1156,7 @@ impl SharedStore {
     /// counting rejections into the store's metrics.
     fn admitted<T>(&self, f: impl FnOnce() -> Result<T, StoreError>) -> Result<T, StoreError> {
         let gate = self
+            .inner
             .gate
             .read()
             .unwrap_or_else(PoisonError::into_inner)
@@ -1072,25 +1176,86 @@ impl SharedStore {
         }
     }
 
-    /// A read guard on the store (many may be live at once). Poisoning is
-    /// recovered, not propagated — see `read_table`'s rationale; all
-    /// `DocStore` mutators keep the store valid at every `?` return.
-    pub fn read(&self) -> RwLockReadGuard<'_, DocStore> {
-        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    /// Pin the currently published snapshot: an `Arc` handle to an
+    /// immutable store version. The publication cell is locked only for
+    /// the `Arc` clone — the returned snapshot is read without any lock,
+    /// for as long as the caller keeps it, regardless of how many versions
+    /// writers publish in the meantime. When metrics are on, pinning also
+    /// samples the snapshot-version and snapshot-age gauges.
+    pub fn read(&self) -> Arc<DocStore> {
+        let cur = self
+            .inner
+            .current
+            .read()
+            .unwrap_or_else(PoisonError::into_inner);
+        let store = Arc::clone(&cur.store);
+        if store.metrics.enabled() {
+            store
+                .metrics
+                .snapshot_version
+                .set(i64::try_from(cur.version).unwrap_or(i64::MAX));
+            store
+                .metrics
+                .snapshot_age_ms
+                .set(i64::try_from(cur.at.elapsed().as_millis()).unwrap_or(i64::MAX));
+        }
+        store
     }
 
-    /// The exclusive write guard (ingest, binding, updates).
-    pub fn write(&self) -> RwLockWriteGuard<'_, DocStore> {
-        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    /// Pin the current snapshot ([`SharedStore::read`] under its MVCC
+    /// name).
+    pub fn snapshot(&self) -> Arc<DocStore> {
+        self.read()
     }
 
-    /// Run an O₂SQL query under a read guard (plan-cached), subject to the
+    /// The version number of the currently published snapshot (0 = the
+    /// store as wrapped; +1 per committed write transaction).
+    pub fn snapshot_version(&self) -> u64 {
+        self.inner
+            .current
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .version
+    }
+
+    /// Begin a write transaction: forks the published snapshot, hands out
+    /// mutable access to the private fork, and publishes it as the next
+    /// version when the guard drops. Readers keep serving the old version
+    /// throughout — they never block on this, and it never waits for them.
+    /// Concurrent write transactions serialise on an internal mutex.
+    ///
+    /// If the mutating code panics, the fork is discarded and the
+    /// published snapshot stays untouched — write transactions are atomic
+    /// at the publication boundary.
+    pub fn write(&self) -> WriteTxn<'_> {
+        let writer = self
+            .inner
+            .writer
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        // Forking under the writer mutex pins the latest version: no other
+        // writer can publish between the fork and our publication.
+        let store = self
+            .inner
+            .current
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .store
+            .fork();
+        WriteTxn {
+            inner: &self.inner,
+            _writer: writer,
+            store: Some(store),
+        }
+    }
+
+    /// Run an O₂SQL query against the current snapshot (plan-cached), subject to the
     /// admission gate when one is set.
     pub fn query(&self, src: &str) -> Result<QueryResult, StoreError> {
         self.admitted(|| self.read().query(src))
     }
 
-    /// Run an algebraic-mode query under a read guard (plan-cached),
+    /// Run an algebraic-mode query against the current snapshot (plan-cached),
     /// subject to the admission gate when one is set.
     pub fn query_algebraic(&self, src: &str) -> Result<QueryResult, StoreError> {
         self.admitted(|| self.read().query_algebraic(src))
@@ -1115,17 +1280,17 @@ impl SharedStore {
         self.admitted(|| self.read().query_algebraic_with_limits(src, limits))
     }
 
-    /// Index-accelerated text search under a read guard.
+    /// Index-accelerated text search against the current snapshot.
     pub fn find_documents(&self, expr: &ContainsExpr) -> Vec<Oid> {
         self.read().find_documents(expr)
     }
 
-    /// Profile one query under a read guard (see [`DocStore::profile`]).
+    /// Profile one query against the current snapshot (see [`DocStore::profile`]).
     pub fn profile(&self, src: &str) -> Result<QueryProfile, StoreError> {
         self.read().profile(src)
     }
 
-    /// The `EXPLAIN ANALYZE` report for one query, under a read guard.
+    /// The `EXPLAIN ANALYZE` report for one query, against the current snapshot.
     pub fn explain_analyze(&self, src: &str) -> Result<String, StoreError> {
         self.read().explain_analyze(src)
     }
@@ -1151,34 +1316,98 @@ impl SharedStore {
         self.read().metrics_json()
     }
 
-    /// Override the slow-query threshold under the write guard (see
+    /// Override the slow-query threshold in a write transaction (see
     /// [`DocStore::set_slow_query_threshold`]).
     pub fn set_slow_query_threshold(&self, threshold: Option<Duration>) {
         self.write().set_slow_query_threshold(threshold);
     }
 
-    /// Ingest one document under the write guard.
+    /// Ingest one document in a write transaction (published on return).
     pub fn ingest(&self, sgml_text: &str) -> Result<Oid, StoreError> {
         self.write().ingest(sgml_text)
     }
 
-    /// Parallel batch ingest under the write guard
+    /// Parallel batch ingest in a write transaction (published on return)
     /// (see [`DocStore::ingest_batch`]).
     pub fn ingest_batch(&self, docs: &[&str]) -> Result<Vec<Oid>, StoreError> {
         self.write().ingest_batch(docs)
     }
 
-    /// Bind a named root of persistence under the write guard.
+    /// Bind a named root of persistence in a write transaction.
     pub fn bind(&self, name: &str, oid: Oid) -> Result<(), StoreError> {
         self.write().bind(name, oid)
     }
 
-    /// Unwrap the store, if this is the last handle.
+    /// Unwrap the store, if this is the last handle. Should a pinned
+    /// snapshot of the final version still be live somewhere, the result
+    /// is an equivalent fork of it (structurally shared, semantically
+    /// identical).
     pub fn try_unwrap(self) -> Result<DocStore, SharedStore> {
-        let gate = self.gate;
-        Arc::try_unwrap(self.inner)
-            .map(|lock| lock.into_inner().unwrap_or_else(PoisonError::into_inner))
-            .map_err(|inner| SharedStore { inner, gate })
+        match Arc::try_unwrap(self.inner) {
+            Ok(inner) => {
+                let published = inner
+                    .current
+                    .into_inner()
+                    .unwrap_or_else(PoisonError::into_inner);
+                Ok(Arc::try_unwrap(published.store).unwrap_or_else(|arc| arc.fork()))
+            }
+            Err(inner) => Err(SharedStore { inner }),
+        }
+    }
+}
+
+/// An open write transaction on a [`SharedStore`]: a private fork of the
+/// snapshot that was current when [`SharedStore::write`] ran. Mutate it
+/// through `Deref`/`DerefMut` exactly like a `&mut DocStore`; dropping the
+/// guard publishes the fork as the next snapshot version (unless the
+/// thread is panicking, in which case the fork is discarded and the store
+/// keeps its pre-transaction state).
+pub struct WriteTxn<'a> {
+    inner: &'a SharedInner,
+    _writer: MutexGuard<'a, ()>,
+    /// `Some` until publication; `Option` only so `Drop` can move it out.
+    store: Option<DocStore>,
+}
+
+impl Deref for WriteTxn<'_> {
+    type Target = DocStore;
+    fn deref(&self) -> &DocStore {
+        self.store
+            .as_ref()
+            .expect("write txn store taken only in Drop")
+    }
+}
+
+impl DerefMut for WriteTxn<'_> {
+    fn deref_mut(&mut self) -> &mut DocStore {
+        self.store
+            .as_mut()
+            .expect("write txn store taken only in Drop")
+    }
+}
+
+impl Drop for WriteTxn<'_> {
+    fn drop(&mut self) {
+        let Some(store) = self.store.take() else {
+            return;
+        };
+        // A panic inside the transaction must not publish a half-mutated
+        // fork; the pre-transaction snapshot simply stays current.
+        if std::thread::panicking() {
+            return;
+        }
+        let store = Arc::new(store);
+        if store.metrics.enabled() {
+            store.metrics.snapshots_published.inc();
+        }
+        let mut cur = self
+            .inner
+            .current
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        cur.version += 1;
+        cur.at = Instant::now();
+        cur.store = store;
     }
 }
 

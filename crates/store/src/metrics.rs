@@ -10,7 +10,7 @@
 //! namespace.
 
 use docql_o2sql::EngineMetrics;
-use docql_obs::{Counter, Histogram, MetricsRegistry, SharedRegistry};
+use docql_obs::{Counter, Gauge, Histogram, MetricsRegistry, SharedRegistry};
 use docql_text::TextMetrics;
 use std::sync::Arc;
 
@@ -64,6 +64,15 @@ pub struct StoreMetrics {
     pub admission_rejected: Counter,
     /// Panics caught at the query boundary (the store stayed serviceable).
     pub query_panics: Counter,
+    /// Snapshots published by [`SharedStore`](crate::SharedStore) writers
+    /// (each committed write transaction swaps in one new version).
+    pub snapshots_published: Counter,
+    /// Version number of the currently published snapshot (0 = the version
+    /// the store was wrapped with; readers observe it when they pin).
+    pub snapshot_version: Gauge,
+    /// Milliseconds since the current snapshot was published, sampled each
+    /// time a reader pins it (a staleness signal for mixed workloads).
+    pub snapshot_age_ms: Gauge,
 }
 
 impl StoreMetrics {
@@ -92,6 +101,9 @@ impl StoreMetrics {
             queries_partial: registry.counter("docql_store_queries_partial_total"),
             admission_rejected: registry.counter("docql_store_admission_rejected_total"),
             query_panics: registry.counter("docql_store_query_panics_total"),
+            snapshots_published: registry.counter("docql_store_snapshots_published_total"),
+            snapshot_version: registry.gauge("docql_store_snapshot_version"),
+            snapshot_age_ms: registry.gauge("docql_store_snapshot_age_ms"),
             registry,
         }
     }

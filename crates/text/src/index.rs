@@ -14,15 +14,21 @@ use crate::nfa::Nfa;
 use crate::pattern::Pattern;
 use crate::tokenize::{normalize, tokenize};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// A document identifier in the index.
 pub type DocId = u64;
 
 /// Positional inverted index over added documents.
+///
+/// Position lists sit behind `Arc`, so cloning the index — the store's
+/// snapshot-fork path — shares the bulk of the data (per-term, per-doc
+/// position vectors) and copies only the b-tree spines; a post-clone `add`
+/// copy-on-writes just the touched lists.
 #[derive(Debug, Default, Clone)]
 pub struct InvertedIndex {
     /// term → (doc → word positions, ascending).
-    postings: BTreeMap<String, BTreeMap<DocId, Vec<u32>>>,
+    postings: BTreeMap<String, BTreeMap<DocId, Arc<Vec<u32>>>>,
     /// Documents added (with their word counts), for statistics and NOT.
     docs: BTreeMap<DocId, u32>,
     /// Counters for the query entry points, attached by the owning store.
@@ -54,12 +60,13 @@ impl InvertedIndex {
         let toks = tokenize(text);
         for t in &toks {
             let term = normalize(t.word);
-            self.postings
+            let slot = self
+                .postings
                 .entry(term)
                 .or_default()
                 .entry(doc)
-                .or_default()
-                .push(base + t.index as u32);
+                .or_default();
+            Arc::make_mut(slot).push(base + t.index as u32);
         }
         self.docs.insert(doc, base + toks.len() as u32);
     }
@@ -82,14 +89,19 @@ impl InvertedIndex {
             .collect();
         for (term, postings) in other.postings {
             let slot = self.postings.entry(term).or_default();
-            for (doc, mut positions) in postings {
+            for (doc, positions) in postings {
                 let base = *bases.get(&doc).unwrap_or(&0);
-                if base != 0 {
-                    for p in &mut positions {
-                        *p += base;
+                match slot.entry(doc) {
+                    std::collections::btree_map::Entry::Vacant(e) if base == 0 => {
+                        // New document: adopt the shard's list wholesale (and
+                        // keep sharing it if the shard was itself a clone).
+                        e.insert(positions);
+                    }
+                    e => {
+                        let dst = Arc::make_mut(e.or_default());
+                        dst.extend(positions.iter().map(|p| p + base));
                     }
                 }
-                slot.entry(doc).or_default().extend(positions);
             }
         }
         for (doc, count) in other.docs {
@@ -125,7 +137,7 @@ impl InvertedIndex {
         self.postings
             .get(&normalize(word))
             .and_then(|m| m.get(&doc))
-            .map(Vec::as_slice)
+            .map(|p| p.as_slice())
             .unwrap_or(&[])
     }
 
@@ -489,6 +501,30 @@ mod tests {
         assert_eq!(
             left.phrase_docs(&["second".into(), "part".into()]),
             BTreeSet::from([7])
+        );
+    }
+
+    #[test]
+    fn cloned_index_shares_postings_until_written() {
+        let ix = sample();
+        let mut fork = ix.clone();
+        let shared = |a: &InvertedIndex, b: &InvertedIndex, w: &str, d: DocId| {
+            Arc::ptr_eq(
+                a.postings.get(w).and_then(|m| m.get(&d)).unwrap(),
+                b.postings.get(w).and_then(|m| m.get(&d)).unwrap(),
+            )
+        };
+        assert!(shared(&ix, &fork, "complex", 3), "clone shares positions");
+        fork.add(3, "more complex text");
+        assert!(
+            !shared(&ix, &fork, "complex", 3),
+            "append copy-on-writes the touched list"
+        );
+        assert_eq!(ix.positions(3, "complex"), &[2, 5], "original unchanged");
+        assert_eq!(fork.positions(3, "complex"), &[2, 5, 9]);
+        assert!(
+            shared(&ix, &fork, "queries", 3),
+            "untouched lists still shared"
         );
     }
 

@@ -1,0 +1,335 @@
+//! Snapshot isolation of [`SharedStore`]'s MVCC serving path:
+//!
+//! * a reader that pins a snapshot **before** an ingest keeps seeing
+//!   byte-identical pre-ingest results for the paper's Q1–Q6 while the
+//!   writer publishes new versions;
+//! * a reader that pins **after** publication sees the new documents;
+//! * the same holds under the seeded fault-injection sweep (64 cases,
+//!   base seed from `DOCQL_FAULT` as in `tests/governance.rs`);
+//! * a bounded stress run (readers racing a continuously publishing
+//!   writer, fixed corpus seeds) exercises the publication protocol on
+//!   every CI run.
+
+use docql::prelude::*;
+use docql::store::{DocStore, StoreError};
+use docql_corpus::{generate_article, generate_letter, ArticleParams, LetterParams};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::thread;
+
+const BASE_DOCS: usize = 6;
+
+/// Q1–Q5 from the paper (B6 suite) — Articles-wide and my_article-scoped.
+const ARTICLE_QUERIES: &[&str] = &[
+    "select tuple (t: a.title, f_author: first(a.authors)) \
+     from a in Articles, s in a.sections \
+     where s.title contains (\"SGML\" and \"OODBMS\")",
+    "select ss from a in Articles, s in a.sections, ss in s.subsectns \
+     where text(ss) contains (\"complex object\")",
+    "select t from my_article PATH_p.title(t)",
+    "my_article PATH_p - my_old_article PATH_p",
+    "select name(ATT_a) from my_article PATH_p.ATT_a(val) \
+     where val contains (\"draft\")",
+];
+
+/// Q6 (the letters corpus).
+const Q6: &str = "select letter from letter in Letters, \
+                  i in positions(letter.preamble, \"from\"), \
+                  j in positions(letter.preamble, \"to\") \
+                  where i < j";
+
+fn article_sgml(seed: u64) -> String {
+    generate_article(&ArticleParams {
+        seed,
+        sections: 4,
+        subsections: 2,
+        plant_every: if seed.is_multiple_of(2) { 2 } else { 0 },
+        ..ArticleParams::default()
+    })
+    .to_sgml()
+}
+
+fn article_store(n_docs: usize) -> DocStore {
+    let mut store = DocStore::new(
+        docql::fixtures::ARTICLE_DTD,
+        &["my_article", "my_old_article"],
+    )
+    .unwrap();
+    let texts: Vec<String> = (0..n_docs as u64).map(article_sgml).collect();
+    let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+    let roots = store.ingest_batch(&refs).unwrap();
+    store.bind("my_article", roots[1]).unwrap();
+    store.bind("my_old_article", roots[0]).unwrap();
+    store
+}
+
+fn letter_store(n: usize) -> DocStore {
+    let mut store = DocStore::new(docql::fixtures::LETTER_DTD, &[]).unwrap();
+    for seed in 0..n as u64 {
+        let doc = generate_letter(&LetterParams {
+            seed,
+            sender_first: Some(seed.is_multiple_of(2)),
+            paras: 2,
+        });
+        store.ingest_document(&doc).unwrap();
+    }
+    store
+}
+
+fn rendered(r: &QueryResult) -> String {
+    r.to_table()
+}
+
+#[test]
+fn pinned_snapshot_serves_pre_ingest_results_while_writer_publishes() {
+    let shared = SharedStore::new(article_store(BASE_DOCS));
+    let reference: Vec<String> = ARTICLE_QUERIES
+        .iter()
+        .map(|q| rendered(&shared.query(q).unwrap()))
+        .collect();
+    let v0 = shared.snapshot_version();
+
+    // Pin *before* any ingest: this Arc is the pre-ingest version.
+    let pinned = shared.read();
+    let writer_done = AtomicBool::new(false);
+
+    thread::scope(|s| {
+        let writer = shared.clone();
+        let done = &writer_done;
+        s.spawn(move || {
+            for seed in 100..108u64 {
+                writer.ingest(&article_sgml(seed)).unwrap();
+            }
+            done.store(true, Ordering::Release);
+        });
+        // Re-query the pinned snapshot throughout publication: every
+        // result must be byte-identical to the pre-ingest reference, in
+        // both engine modes.
+        let pinned = &pinned;
+        let reference = &reference;
+        let done = &writer_done;
+        for reader in 0..4 {
+            s.spawn(move || {
+                let mut rounds = 0usize;
+                while rounds < 4 || !done.load(Ordering::Acquire) {
+                    for (i, q) in ARTICLE_QUERIES.iter().enumerate() {
+                        assert_eq!(
+                            rendered(&pinned.query(q).unwrap()),
+                            reference[i],
+                            "reader {reader}: pinned snapshot diverged on {q}"
+                        );
+                        assert_eq!(
+                            rendered(&pinned.query_algebraic(q).unwrap()),
+                            reference[i],
+                            "reader {reader}: pinned snapshot (algebraic) diverged on {q}"
+                        );
+                    }
+                    rounds += 1;
+                }
+            });
+        }
+    });
+
+    // The pinned version still holds the old corpus …
+    assert_eq!(pinned.documents().len(), BASE_DOCS);
+    // … while a fresh pin sees everything the writer published.
+    let fresh = shared.read();
+    assert_eq!(fresh.documents().len(), BASE_DOCS + 8);
+    assert!(fresh.check().is_empty());
+    assert_eq!(shared.snapshot_version(), v0 + 8, "one version per ingest");
+    // my_article-scoped answers are stable across versions (the binding
+    // did not move); Articles-wide answers may legitimately grow.
+    for q in &ARTICLE_QUERIES[2..] {
+        assert_eq!(
+            rendered(&fresh.query(q).unwrap()),
+            rendered(&pinned.query(q).unwrap()),
+            "my_article-scoped {q} must not change"
+        );
+    }
+}
+
+#[test]
+fn q6_letters_pinned_snapshot_is_isolated() {
+    let shared = SharedStore::new(letter_store(10));
+    let reference = rendered(&shared.query(Q6).unwrap());
+    let pinned = shared.read();
+
+    thread::scope(|s| {
+        let writer = shared.clone();
+        s.spawn(move || {
+            for seed in 50..56u64 {
+                let doc = generate_letter(&LetterParams {
+                    seed,
+                    sender_first: Some(true),
+                    paras: 2,
+                });
+                let mut txn = writer.write();
+                txn.ingest_document(&doc).unwrap();
+            }
+        });
+        let pinned = &pinned;
+        let reference = &reference;
+        s.spawn(move || {
+            for _ in 0..6 {
+                assert_eq!(rendered(&pinned.query(Q6).unwrap()), *reference);
+            }
+        });
+    });
+
+    assert_eq!(pinned.documents().len(), 10);
+    let fresh = shared.read();
+    assert_eq!(fresh.documents().len(), 16);
+    // Every added letter is sender-first, so Q6 (from-before-to) matches
+    // strictly more letters in the new version.
+    let fresh_rows = fresh.query(Q6).unwrap().len();
+    let pinned_rows = pinned.query(Q6).unwrap().len();
+    assert!(
+        fresh_rows > pinned_rows,
+        "fresh reader sees the new documents: {fresh_rows} vs {pinned_rows}"
+    );
+}
+
+/// Base seed for the fault-injection sweep: `DOCQL_FAULT` (decimal or
+/// `0x`-hex), defaulting to a fixed constant so plain `cargo test` is
+/// deterministic too (mirrors `tests/governance.rs`).
+fn fault_base_seed() -> u64 {
+    match std::env::var("DOCQL_FAULT") {
+        Ok(s) => {
+            let s = s.trim();
+            let parsed = match s.strip_prefix("0x") {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => s.parse(),
+            };
+            parsed.unwrap_or_else(|_| panic!("DOCQL_FAULT must be a u64, got {s:?}"))
+        }
+        Err(_) => 0xD0C4_1994,
+    }
+}
+
+const FAULT_CASES: u64 = 64;
+
+#[test]
+fn pinned_snapshot_differential_holds_under_fault_injection() {
+    let shared = SharedStore::new(article_store(BASE_DOCS));
+    let reference: Vec<String> = ARTICLE_QUERIES
+        .iter()
+        .map(|q| rendered(&shared.query_algebraic(q).unwrap()))
+        .collect();
+    let pinned = shared.read();
+    let base = fault_base_seed();
+
+    thread::scope(|s| {
+        let writer = shared.clone();
+        s.spawn(move || {
+            for seed in 200..206u64 {
+                writer.ingest(&article_sgml(seed)).unwrap();
+            }
+        });
+        let pinned = &pinned;
+        let reference = &reference;
+        s.spawn(move || {
+            let (mut oks, mut interrupted) = (0u64, 0u64);
+            for case in 0..FAULT_CASES {
+                let seed = base.wrapping_add(case);
+                let qi = (case % ARTICLE_QUERIES.len() as u64) as usize;
+                let mut limits = QueryLimits::none().with_fault_seed(seed);
+                if case % 2 == 1 {
+                    limits = limits.with_degrade();
+                }
+                match pinned.query_algebraic_with_limits(ARTICLE_QUERIES[qi], &limits) {
+                    Ok(r) if r.is_partial() => {} // degraded: legitimately partial
+                    Ok(r) => {
+                        assert_eq!(
+                            rendered(&r),
+                            reference[qi],
+                            "seed {seed:#x}: unflagged result diverged from the \
+                             pre-ingest reference on {}",
+                            ARTICLE_QUERIES[qi]
+                        );
+                        oks += 1;
+                    }
+                    Err(e) => {
+                        assert!(
+                            e.exec_error().is_some() || matches!(e, StoreError::QueryPanic(_)),
+                            "seed {seed:#x}: unexpected error class {e}"
+                        );
+                        interrupted += 1;
+                    }
+                }
+            }
+            assert!(oks > 0, "some cases must complete clean");
+            assert!(interrupted > 0, "some cases must trip (sweep is live)");
+        });
+    });
+
+    // Both the pinned version and the store as a whole stay serviceable.
+    assert_eq!(
+        rendered(&pinned.query_algebraic(ARTICLE_QUERIES[0]).unwrap()),
+        reference[0]
+    );
+    let fresh = shared.read();
+    assert_eq!(fresh.documents().len(), BASE_DOCS + 6);
+    assert!(fresh.check().is_empty());
+}
+
+/// Bounded-iteration stress of the publication protocol (the ci.sh
+/// snapshot-stress step): readers continuously pin fresh snapshots and
+/// check my_article-scoped invariants while one writer publishes a fixed
+/// number of versions. Corpus seeds are fixed, so a failure replays.
+#[test]
+fn readers_racing_publisher_bounded_stress() {
+    const READERS: usize = 4;
+    const WRITES: u64 = 12;
+    let shared = SharedStore::new(article_store(BASE_DOCS));
+    let q = ARTICLE_QUERIES[2]; // my_article-scoped: stable across ingests
+    let reference = rendered(&shared.query(q).unwrap());
+    let v0 = shared.snapshot_version();
+    let writer_done = AtomicBool::new(false);
+
+    thread::scope(|s| {
+        let writer = shared.clone();
+        let done = &writer_done;
+        s.spawn(move || {
+            for seed in 300..300 + WRITES {
+                writer.ingest(&article_sgml(seed)).unwrap();
+            }
+            done.store(true, Ordering::Release);
+        });
+        for reader in 0..READERS {
+            let shared = shared.clone();
+            let reference = reference.clone();
+            let done = &writer_done;
+            s.spawn(move || {
+                let mut last_version = 0u64;
+                let mut last_docs = BASE_DOCS;
+                let mut rounds = 0usize;
+                while rounds < 8 || !done.load(Ordering::Acquire) {
+                    let snap = shared.read();
+                    let version = shared.snapshot_version();
+                    // Versions and document counts only move forward.
+                    assert!(
+                        version >= last_version,
+                        "reader {reader}: version went back"
+                    );
+                    let docs = snap.documents().len();
+                    assert!(docs >= last_docs, "reader {reader}: documents went back");
+                    // Every published version answers the stable query
+                    // identically — indexes and object store travel
+                    // together, so no torn snapshot is ever observable.
+                    assert_eq!(
+                        rendered(&snap.query(q).unwrap()),
+                        reference,
+                        "reader {reader}: diverged at version {version}"
+                    );
+                    last_version = version;
+                    last_docs = docs;
+                    rounds += 1;
+                }
+            });
+        }
+    });
+
+    assert_eq!(shared.snapshot_version(), v0 + WRITES);
+    let fin = shared.read();
+    assert_eq!(fin.documents().len(), BASE_DOCS + WRITES as usize);
+    assert!(fin.check().is_empty());
+}
