@@ -19,13 +19,16 @@ cargo test --workspace -q
 echo "==> property suites (fixed seed, bounded cases)"
 DOCQL_PROP_SEED=20260806 DOCQL_PROP_CASES=64 cargo test --workspace -q \
     --test prop_model --test prop_text --test prop_sgml --test prop_paths \
-    --test prop_equivalence
+    --test prop_equivalence --test prop_roundtrip
 
 echo "==> fault-injection sweep (fixed seed, replayable via DOCQL_FAULT)"
 DOCQL_FAULT=0xD0C41994 cargo test -q --test governance
 
 echo "==> snapshot-isolation stress (fixed seed, bounded iterations)"
 DOCQL_FAULT=0xD0C41994 cargo test -q --test snapshot_isolation
+
+echo "==> crash-recovery sweep (kill-at-every-record + fixed-seed fault battery)"
+DOCQL_FAULT=0xD0C41994 cargo test -q --test recovery
 
 echo "==> no panicking unwrap/expect on crates/model library paths"
 if awk 'FNR==1 { intests=0 } /#\[cfg\(test\)\]/ { intests=1 } \
@@ -37,8 +40,21 @@ else
     exit 1
 fi
 
+echo "==> no panicking unwrap/expect on crates/durable library paths"
+if awk 'FNR==1 { intests=0 } /#\[cfg\(test\)\]/ { intests=1 } \
+       !intests && /\.(unwrap|expect)\(/ { print FILENAME ":" FNR ": " $0; bad=1 } \
+       END { exit bad }' crates/durable/src/*.rs; then
+    echo "    clean"
+else
+    echo "    panic sites above — crates/durable must stay panic-free" >&2
+    exit 1
+fi
+
 echo "==> bench smoke (1 ms window per benchmark target)"
 DOCQL_BENCH_MS=1 cargo bench --workspace -q >/dev/null
+
+echo "==> B13 durability smoke (footprint + cold-start, 1 ms windows)"
+DOCQL_BENCH_MS=1 cargo bench -q -p docql-bench --bench durability | grep "^B13"
 
 echo "==> B11 guard-overhead smoke (interleaved governed vs ungoverned)"
 cargo run -q --release -p docql-bench --example b11_interleaved

@@ -32,10 +32,12 @@
 //! | [`calculus`] | §5.2–5.3 | many-sorted calculus, range restriction, typing |
 //! | [`algebra`] | §5.4 | algebraization: unions of path-free plans |
 //! | [`o2sql`] | §4 | the extended O₂SQL surface language |
+//! | [`durable`] | — | write-ahead log, snapshot segments, crash recovery |
 //! | [`store`] | — | the assembled document store |
 
 pub use docql_algebra as algebra;
 pub use docql_calculus as calculus;
+pub use docql_durable as durable;
 pub use docql_guard as guard;
 pub use docql_mapping as mapping;
 pub use docql_model as model;
@@ -57,7 +59,7 @@ pub mod prelude {
     pub use docql_o2sql::{Engine, Mode, QueryResult};
     pub use docql_paths::{ConcretePath, PathSemantics, PathStep};
     pub use docql_sgml::{Document, Dtd};
-    pub use docql_store::{DocStore, SharedStore};
+    pub use docql_store::{DocStore, PersistentStore, SharedStore};
     pub use docql_text::ContainsExpr;
 
     pub use crate::Database;

@@ -452,6 +452,81 @@ impl FaultStream {
     }
 }
 
+/// An injectable storage-I/O fault, drawn at write-ahead-log record
+/// boundaries by the durable storage layer (`docql-durable`): the three
+/// corruption shapes a real crash leaves behind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFault {
+    /// The record's frame was only partially written (crash mid-`write`).
+    ShortWrite,
+    /// A partial frame followed by stale garbage bytes (crash across a
+    /// sector boundary over previously used space).
+    TornTail,
+    /// One byte of the frame flipped (media corruption; the checksum must
+    /// catch it).
+    FlipByte,
+}
+
+impl std::fmt::Display for IoFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoFault::ShortWrite => f.write_str("short write"),
+            IoFault::TornTail => f.write_str("torn tail"),
+            IoFault::FlipByte => f.write_str("flipped byte"),
+        }
+    }
+}
+
+/// Deterministic seed-driven stream of [`IoFault`]s, mirroring the query
+/// fault stream above: the n-th `draw` is a pure function of `(seed, n)`,
+/// so a failing seed replays exactly. Roughly one boundary in eight faults
+/// (the three shapes equally likely), dense enough that a 64-seed sweep
+/// exercises every shape.
+#[derive(Debug)]
+pub struct IoFaultStream {
+    seed: u64,
+    calls: Cell<u64>,
+}
+
+impl IoFaultStream {
+    /// A stream over `seed`.
+    pub fn new(seed: u64) -> IoFaultStream {
+        IoFaultStream {
+            seed,
+            calls: Cell::new(0),
+        }
+    }
+
+    /// The seed this stream draws from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Draw the fault decision for the next record boundary.
+    pub fn draw(&self) -> Option<IoFault> {
+        let x = self.next();
+        match x % 24 {
+            0 => Some(IoFault::ShortWrite),
+            1 => Some(IoFault::TornTail),
+            2 => Some(IoFault::FlipByte),
+            _ => None,
+        }
+    }
+
+    /// Deterministic auxiliary randomness (cut positions, garbage bytes),
+    /// advancing the same stream as [`IoFaultStream::draw`].
+    pub fn entropy(&self) -> u64 {
+        self.next()
+    }
+
+    fn next(&self) -> u64 {
+        let n = self.calls.get();
+        self.calls.set(n + 1);
+        let mut state = self.seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        splitmix64(&mut state)
+    }
+}
+
 /// Admission control: a bounded-concurrency gate with a bounded wait.
 /// Queries `admit()` before touching the store; over-limit arrivals block up
 /// to `max_wait` for a permit, then fail with

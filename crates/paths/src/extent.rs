@@ -314,6 +314,41 @@ impl PathExtentIndex {
     pub fn paths(&self) -> impl Iterator<Item = (&[ExtStep], PathId)> {
         self.paths.iter().map(|(k, v)| (k.as_slice(), *v))
     }
+
+    /// The materialised extent of `path`: `(root, targets)` in root order —
+    /// the snapshot path serializes extents through this (the maps stay
+    /// private so all mutation goes through
+    /// [`PathExtentIndex::index_document`]).
+    pub fn extent_entries(&self, path: PathId) -> impl Iterator<Item = (Oid, &[Value])> {
+        self.extents
+            .get(path as usize)
+            .into_iter()
+            .flat_map(|m| m.iter().map(|(root, t)| (*root, t.as_slice())))
+    }
+
+    /// The indexed document roots, ascending (the companion of
+    /// [`PathExtentIndex::extent_entries`] for serialization).
+    pub fn indexed_roots(&self) -> impl Iterator<Item = Oid> + '_ {
+        self.roots.iter().copied()
+    }
+
+    /// Restore one `(path key, root)` target list verbatim
+    /// (deserialization path — `targets` must be in walk order, as produced
+    /// by [`PathExtentIndex::extent_entries`]). Returns `false` when `key`
+    /// is not an indexed path of this schema — the caller decides whether
+    /// that is corruption or a schema change.
+    pub fn restore_targets(&mut self, key: &[ExtStep], root: Oid, targets: Vec<Value>) -> bool {
+        let Some(pid) = self.lookup(key) else {
+            return false;
+        };
+        self.extents[pid as usize].insert(root, Arc::new(targets));
+        true
+    }
+
+    /// Mark `root` as indexed without re-walking it (deserialization path).
+    pub fn restore_root(&mut self, root: Oid) {
+        self.roots.insert(root);
+    }
 }
 
 /// Enumerate the class-blind keys of every restricted-semantics schema path

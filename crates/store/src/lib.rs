@@ -15,8 +15,10 @@
 //! * export back to SGML (the update path of §6).
 
 pub mod metrics;
+pub mod persist;
 
 pub use metrics::StoreMetrics;
+pub use persist::{CheckpointReport, PersistentStore, RecoveryReport};
 
 use docql_calculus::{CalcValue, Interp, InterpError};
 use docql_mapping::{
@@ -1383,6 +1385,16 @@ impl DerefMut for WriteTxn<'_> {
         self.store
             .as_mut()
             .expect("write txn store taken only in Drop")
+    }
+}
+
+impl WriteTxn<'_> {
+    /// Abandon the transaction: the fork is discarded and the published
+    /// snapshot stays exactly as it was — the explicit form of what a panic
+    /// does implicitly. Used by the durability layer to keep memory in sync
+    /// with the log when a WAL append fails mid-commit.
+    pub fn abort(mut self) {
+        self.store = None;
     }
 }
 

@@ -1,0 +1,553 @@
+//! The durable store: [`SharedStore`] MVCC serving plus the `docql-durable`
+//! write-ahead log and snapshot segments, composed so that
+//!
+//! * every committed write (ingest, bind) is fsynced to the WAL *before*
+//!   the new snapshot version is published to readers,
+//! * [`PersistentStore::checkpoint`] captures the published snapshot as an
+//!   immutable segment file and then truncates the log,
+//! * [`PersistentStore::open`] recovers by loading the newest valid
+//!   segment and replaying the WAL's valid tail — no SGML re-parsing of
+//!   checkpointed documents, and a damaged log tail is truncated, never
+//!   loaded.
+//!
+//! # Lock ordering
+//!
+//! The WAL mutex is the **outermost** lock: writes take it, then open a
+//! write transaction; checkpoints take it, then pin the published
+//! snapshot. Publication happens (on transaction drop) while the WAL lock
+//! is still held, so the snapshot a checkpoint pins corresponds *exactly*
+//! to the records at or below its `applied_seqno` — no committed record
+//! can be missing from it, none past it can have leaked in.
+//!
+//! # Crash simulation
+//!
+//! [`PersistentStore::set_io_fault_seed`] arms `docql-guard`'s seeded
+//! [`IoFaultStream`] inside the WAL. An injected fault behaves as a crash
+//! at that record boundary: the damaged bytes land on disk, the in-memory
+//! transaction is aborted (readers keep the pre-write snapshot, matching
+//! the durable prefix), and the handle refuses further writes until
+//! reopened — exactly the recovery path a real crash exercises.
+
+use crate::{SharedStore, StoreError, WriteTxn};
+use docql_durable::snapshot::{self, StoreImage, TermPostings};
+use docql_durable::wal::{Wal, WalError, WalOp, WAL_FILE};
+use docql_durable::DurableMetrics;
+use docql_guard::IoFaultStream;
+use docql_model::{Oid, Value};
+use docql_o2sql::QueryResult;
+use docql_text::ContainsExpr;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+/// What recovery found and did while opening a store directory.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// The applied seqno of the segment loaded, if any segment was valid.
+    pub segment_seqno: Option<u64>,
+    /// Newer segments skipped because they failed validation.
+    pub segments_skipped: usize,
+    /// WAL records replayed on top of the segment (or from scratch).
+    pub replayed_records: usize,
+    /// Damaged WAL tail bytes detected by checksum and truncated.
+    pub truncated_bytes: u64,
+}
+
+/// What a completed checkpoint wrote.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointReport {
+    /// Path of the new segment file.
+    pub path: PathBuf,
+    /// Size of the segment in bytes.
+    pub bytes: u64,
+    /// Highest WAL seqno whose effects the segment contains.
+    pub applied_seqno: u64,
+}
+
+/// A [`SharedStore`] whose commits survive process death.
+///
+/// Reads are plain MVCC snapshot reads — pin with
+/// [`PersistentStore::read`] and query lock-free. Writes go through this
+/// handle so they hit the log; writing through the inner [`SharedStore`]
+/// directly would commit to memory but not to disk.
+pub struct PersistentStore {
+    shared: SharedStore,
+    wal: Mutex<Wal>,
+    dir: PathBuf,
+    metrics: DurableMetrics,
+}
+
+impl std::fmt::Debug for PersistentStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PersistentStore")
+            .field("dir", &self.dir)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PersistentStore {
+    /// Open (creating if empty) the store directory `dir` for the given
+    /// schema, recovering whatever state previous runs committed: newest
+    /// valid segment first, then the WAL's valid tail.
+    ///
+    /// On first open the schema text and root declarations are written to
+    /// the directory (`store.meta`); later opens verify the given schema
+    /// against it and fail on mismatch rather than misinterpret data.
+    pub fn open(
+        dir: &Path,
+        dtd_text: &str,
+        extra_roots: &[&str],
+    ) -> Result<(PersistentStore, RecoveryReport), StoreError> {
+        std::fs::create_dir_all(dir).map_err(crate::io_err)?;
+        match snapshot::read_meta(dir) {
+            Ok((stored_dtd, stored_roots)) => {
+                if stored_dtd != dtd_text
+                    || stored_roots.iter().map(String::as_str).collect::<Vec<_>>() != extra_roots
+                {
+                    return Err(StoreError::Other(
+                        "store directory was created with a different schema or root set".into(),
+                    ));
+                }
+            }
+            Err(snapshot::SegmentError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                let roots: Vec<String> = extra_roots.iter().map(|r| r.to_string()).collect();
+                snapshot::write_meta(dir, dtd_text, &roots).map_err(crate::io_err)?;
+            }
+            Err(e) => return Err(seg_err(e)),
+        }
+        PersistentStore::recover(dir, dtd_text, extra_roots)
+    }
+
+    /// Open an existing store directory, taking the schema and root
+    /// declarations from its `store.meta` (written by the first
+    /// [`PersistentStore::open`]).
+    pub fn reopen(dir: &Path) -> Result<(PersistentStore, RecoveryReport), StoreError> {
+        let (dtd_text, roots) = snapshot::read_meta(dir).map_err(seg_err)?;
+        let root_refs: Vec<&str> = roots.iter().map(String::as_str).collect();
+        PersistentStore::recover(dir, &dtd_text, &root_refs)
+    }
+
+    fn recover(
+        dir: &Path,
+        dtd_text: &str,
+        extra_roots: &[&str],
+    ) -> Result<(PersistentStore, RecoveryReport), StoreError> {
+        let mut store = crate::DocStore::new(dtd_text, extra_roots)?;
+        let metrics = DurableMetrics::register(store.metrics_registry());
+
+        let (segment, segments_skipped) =
+            snapshot::load_newest_valid(dir).map_err(crate::io_err)?;
+        let (segment_seqno, segment_bytes) = match &segment {
+            Some((seqno, image, bytes)) => {
+                restore_into(&mut store, image)?;
+                (Some(*seqno), *bytes)
+            }
+            None => (None, 0),
+        };
+
+        let (mut wal, scanned) = Wal::open(&dir.join(WAL_FILE)).map_err(crate::io_err)?;
+        let applied = segment_seqno.unwrap_or(0);
+        let tail: Vec<_> = scanned
+            .records
+            .into_iter()
+            .filter(|r| r.seqno > applied)
+            .collect();
+        let replayed_records = tail.len();
+        replay(&mut store, &tail)?;
+        wal.set_next_seqno(applied + 1);
+
+        if metrics.enabled() {
+            metrics
+                .recovery_replayed_records
+                .add(replayed_records as u64);
+            metrics
+                .recovery_truncated_bytes
+                .add(scanned.truncated_bytes);
+            if segment_bytes > 0 {
+                metrics
+                    .segment_bytes
+                    .set(i64::try_from(segment_bytes).unwrap_or(i64::MAX));
+            }
+        }
+
+        Ok((
+            PersistentStore {
+                shared: SharedStore::new(store),
+                wal: Mutex::new(wal),
+                dir: dir.to_path_buf(),
+                metrics,
+            },
+            RecoveryReport {
+                segment_seqno,
+                segments_skipped,
+                replayed_records,
+                truncated_bytes: scanned.truncated_bytes,
+            },
+        ))
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The inner MVCC handle, for read-side configuration (admission
+    /// limits, metrics toggles). Write through [`PersistentStore::ingest`]
+    /// / [`PersistentStore::bind`], not through this handle, or the write
+    /// will not be logged.
+    pub fn shared(&self) -> &SharedStore {
+        &self.shared
+    }
+
+    /// Pin the current snapshot (see [`SharedStore::read`]).
+    pub fn read(&self) -> Arc<crate::DocStore> {
+        self.shared.read()
+    }
+
+    /// Run an O₂SQL query against the current snapshot.
+    pub fn query(&self, src: &str) -> Result<QueryResult, StoreError> {
+        self.shared.query(src)
+    }
+
+    /// Run an algebraic-mode query against the current snapshot.
+    pub fn query_algebraic(&self, src: &str) -> Result<QueryResult, StoreError> {
+        self.shared.query_algebraic(src)
+    }
+
+    /// Index-accelerated text search against the current snapshot.
+    pub fn find_documents(&self, expr: &ContainsExpr) -> Vec<Oid> {
+        self.shared.find_documents(expr)
+    }
+
+    /// The persistence metric handles (registered in the store's
+    /// registry, so they also appear in its Prometheus/JSON exports).
+    pub fn durable_metrics(&self) -> &DurableMetrics {
+        &self.metrics
+    }
+
+    /// Bytes currently in the write-ahead log.
+    pub fn wal_len_bytes(&self) -> u64 {
+        self.lock_wal().len_bytes()
+    }
+
+    /// Arm (or disarm, with `None`) seeded I/O fault injection at WAL
+    /// record boundaries — each subsequent committed write draws one fault
+    /// decision from `docql-guard`'s [`IoFaultStream`].
+    pub fn set_io_fault_seed(&self, seed: Option<u64>) {
+        self.lock_wal()
+            .set_fault_stream(seed.map(IoFaultStream::new));
+    }
+
+    fn lock_wal(&self) -> MutexGuard<'_, Wal> {
+        // Poison recovery is sound: a panicking writer aborts its
+        // transaction (nothing published), and the Wal's own `crashed`
+        // flag — not the mutex state — is what gates a damaged log.
+        self.wal.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Append one committed operation while holding the WAL lock,
+    /// recording metrics on success.
+    fn log(&self, wal: &mut Wal, op: WalOp) -> Result<(), StoreError> {
+        let (_, frame_len) = wal.append(op).map_err(wal_err)?;
+        if self.metrics.enabled() {
+            self.metrics.wal_appends.inc();
+            self.metrics.wal_bytes.add(frame_len);
+        }
+        Ok(())
+    }
+
+    /// Durably ingest one SGML document: validate and load into a private
+    /// fork, fsync the WAL record, then publish the new snapshot. On any
+    /// failure the fork is discarded — readers never see a state the log
+    /// does not cover.
+    pub fn ingest(&self, sgml_text: &str) -> Result<Oid, StoreError> {
+        let mut wal = self.lock_wal();
+        let txn = self.shared.write();
+        self.ingest_in(&mut wal, txn, sgml_text)
+    }
+
+    fn ingest_in(
+        &self,
+        wal: &mut Wal,
+        mut txn: WriteTxn<'_>,
+        sgml_text: &str,
+    ) -> Result<Oid, StoreError> {
+        let root = match txn.ingest(sgml_text) {
+            Ok(root) => root,
+            Err(e) => {
+                txn.abort();
+                return Err(e);
+            }
+        };
+        if let Err(e) = self.log(
+            wal,
+            WalOp::Ingest {
+                sgml: sgml_text.to_string(),
+            },
+        ) {
+            txn.abort();
+            return Err(e);
+        }
+        drop(txn); // publish — the record is already durable
+        Ok(root)
+    }
+
+    /// Durably ingest a batch: the documents are validated and loaded as
+    /// one [`crate::DocStore::ingest_batch`] (published atomically), but
+    /// logged as one WAL record *per document*, so recovery after a crash
+    /// mid-batch restores exactly the documents whose records were
+    /// fsynced.
+    pub fn ingest_batch(&self, docs: &[&str]) -> Result<Vec<Oid>, StoreError> {
+        let mut wal = self.lock_wal();
+        let mut txn = self.shared.write();
+        let roots = match txn.ingest_batch(docs) {
+            Ok(roots) => roots,
+            Err(e) => {
+                txn.abort();
+                return Err(e);
+            }
+        };
+        for doc in docs {
+            if let Err(e) = self.log(
+                &mut wal,
+                WalOp::Ingest {
+                    sgml: doc.to_string(),
+                },
+            ) {
+                // A fault mid-batch is a crash mid-batch: the durable
+                // prefix keeps the documents logged so far, and the
+                // in-memory store publishes nothing (recovery's view and
+                // the readers' view only converge on reopen, as after a
+                // real crash).
+                txn.abort();
+                return Err(e);
+            }
+        }
+        drop(txn);
+        Ok(roots)
+    }
+
+    /// Durably bind a named root of persistence to a document object.
+    pub fn bind(&self, name: &str, oid: Oid) -> Result<(), StoreError> {
+        let mut wal = self.lock_wal();
+        let mut txn = self.shared.write();
+        if let Err(e) = txn.bind(name, oid) {
+            txn.abort();
+            return Err(e);
+        }
+        if let Err(e) = self.log(
+            &mut wal,
+            WalOp::Bind {
+                name: name.to_string(),
+                oid: oid.0,
+            },
+        ) {
+            txn.abort();
+            return Err(e);
+        }
+        drop(txn);
+        Ok(())
+    }
+
+    /// Write the published snapshot as a new segment file, then truncate
+    /// the WAL. Readers are never blocked (the snapshot is pinned, not
+    /// locked); concurrent writers wait on the WAL mutex, which is what
+    /// makes the pinned snapshot exactly cover the truncated records.
+    pub fn checkpoint(&self) -> Result<CheckpointReport, StoreError> {
+        let t0 = Instant::now();
+        let mut wal = self.lock_wal();
+        if wal.is_crashed() {
+            // The log tail on disk is damaged and memory has diverged from
+            // it; truncating would discard committed records. Reopen first.
+            return Err(StoreError::Other(
+                "wal crashed; reopen the store before checkpointing".into(),
+            ));
+        }
+        let applied_seqno = wal.next_seqno() - 1;
+        let store = self.shared.read();
+        let image = image_of(&store, applied_seqno)?;
+        let (path, bytes) = snapshot::write_segment(&self.dir, &image).map_err(crate::io_err)?;
+        wal.truncate().map_err(crate::io_err)?;
+        if self.metrics.enabled() {
+            self.metrics.checkpoints.inc();
+            self.metrics
+                .checkpoint_ns
+                .record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            self.metrics
+                .segment_bytes
+                .set(i64::try_from(bytes).unwrap_or(i64::MAX));
+        }
+        Ok(CheckpointReport {
+            path,
+            bytes,
+            applied_seqno,
+        })
+    }
+
+    /// The published snapshot as a [`StoreImage`] — what a checkpoint
+    /// would write right now. Exposed for diagnostics and the recovery
+    /// test battery (which writes segments out-of-band to exercise the
+    /// crash window between segment rename and WAL truncation).
+    pub fn image(&self) -> Result<StoreImage, StoreError> {
+        let wal = self.lock_wal();
+        let applied_seqno = wal.next_seqno() - 1;
+        let store = self.shared.read();
+        image_of(&store, applied_seqno)
+    }
+}
+
+fn wal_err(e: WalError) -> StoreError {
+    StoreError::Other(format!("wal: {e}"))
+}
+
+fn seg_err(e: snapshot::SegmentError) -> StoreError {
+    StoreError::Other(format!("segment: {e}"))
+}
+
+/// Capture a store's complete state as a [`StoreImage`] (deterministic:
+/// every section is emitted in a canonical order).
+fn image_of(store: &crate::DocStore, applied_seqno: u64) -> Result<StoreImage, StoreError> {
+    let mut objects = Vec::with_capacity(store.instance.object_count());
+    for (oid, class, value) in store.instance.objects() {
+        if oid.0 as usize != objects.len() {
+            return Err(StoreError::Other(format!(
+                "object table is not dense at {oid}; cannot snapshot"
+            )));
+        }
+        objects.push((class, value.clone()));
+    }
+
+    let mut roots: Vec<_> = store
+        .instance
+        .roots()
+        .map(|(name, value)| (name, value.clone()))
+        .collect();
+    roots.sort_by(|(a, _), (b, _)| a.as_str().cmp(b.as_str()));
+
+    let documents = store.documents.iter().map(|o| o.0).collect();
+
+    let mut text: Vec<(u32, String)> = crate::read_table(&store.text_of)
+        .iter()
+        .map(|(oid, t)| (oid.0, t.to_string()))
+        .collect();
+    text.sort_by_key(|(oid, _)| *oid);
+
+    // `iter_postings` walks terms and docs in b-tree order; group the flat
+    // stream back into per-term lists.
+    let mut postings: Vec<(String, TermPostings)> = Vec::new();
+    for (term, doc, positions) in store.index.iter_postings() {
+        match postings.last_mut() {
+            Some((t, docs)) if t == term => docs.push((doc, positions.to_vec())),
+            _ => postings.push((term.to_string(), vec![(doc, positions.to_vec())])),
+        }
+    }
+    let doc_words = store.index.doc_words().collect();
+
+    let mut extents = Vec::new();
+    for (key, pid) in store.extents.paths() {
+        let by_root: Vec<(u32, Vec<Value>)> = store
+            .extents
+            .extent_entries(pid)
+            .map(|(root, targets)| (root.0, targets.to_vec()))
+            .collect();
+        if !by_root.is_empty() {
+            extents.push((key.to_vec(), by_root));
+        }
+    }
+    let extent_roots = store.extents.indexed_roots().map(|o| o.0).collect();
+
+    Ok(StoreImage {
+        applied_seqno,
+        objects,
+        roots,
+        documents,
+        text,
+        postings,
+        doc_words,
+        extents,
+        extent_roots,
+    })
+}
+
+/// Restore an image into a freshly constructed store (same schema). The
+/// inverse of [`image_of`]: object slots are re-created in oid order (which
+/// reproduces the original oids), and both indexes are restored verbatim
+/// instead of being rebuilt from the documents.
+fn restore_into(store: &mut crate::DocStore, image: &StoreImage) -> Result<(), StoreError> {
+    for (i, (class, value)) in image.objects.iter().enumerate() {
+        let oid = store
+            .instance
+            .new_object(*class, value.clone())
+            .map_err(|e| StoreError::Other(format!("restore object {i}: {e}")))?;
+        if oid.0 as usize != i {
+            return Err(StoreError::Other(format!(
+                "restore produced {oid} for slot {i}; oid allocation diverged"
+            )));
+        }
+    }
+    for (name, value) in &image.roots {
+        store
+            .instance
+            .set_root(*name, value.clone())
+            .map_err(|e| StoreError::Other(format!("restore root {name}: {e}")))?;
+    }
+    store.documents = image.documents.iter().map(|&o| Oid(o)).collect();
+    {
+        let mut table = crate::write_table(&store.text_of);
+        for (oid, t) in &image.text {
+            table.insert(Oid(*oid), Arc::from(t.as_str()));
+        }
+    }
+    for (term, docs) in &image.postings {
+        for (doc, positions) in docs {
+            store.index.restore_posting(term, *doc, positions.clone());
+        }
+    }
+    for (doc, words) in &image.doc_words {
+        store.index.restore_doc_words(*doc, *words);
+    }
+    for (key, by_root) in &image.extents {
+        for (root, targets) in by_root {
+            if !store
+                .extents
+                .restore_targets(key, Oid(*root), targets.clone())
+            {
+                // The snapshot indexes a path this schema does not — the
+                // segment was written under a different schema version.
+                return Err(StoreError::Other(format!(
+                    "restore: extent path {} unknown to this schema",
+                    key.iter().map(ToString::to_string).collect::<String>()
+                )));
+            }
+        }
+    }
+    for root in &image.extent_roots {
+        store.extents.restore_root(Oid(*root));
+    }
+    Ok(())
+}
+
+/// Replay a WAL tail onto a store: consecutive ingests run as one batch
+/// (the batch path is documented to produce results identical to
+/// per-document ingest), binds apply in order between them.
+fn replay(
+    store: &mut crate::DocStore,
+    records: &[docql_durable::WalRecord],
+) -> Result<(), StoreError> {
+    let mut pending: Vec<&str> = Vec::new();
+    for record in records {
+        match &record.op {
+            WalOp::Ingest { sgml } => pending.push(sgml),
+            WalOp::Bind { name, oid } => {
+                if !pending.is_empty() {
+                    store.ingest_batch(&std::mem::take(&mut pending))?;
+                }
+                store.bind(name, Oid(*oid))?;
+            }
+        }
+    }
+    if !pending.is_empty() {
+        store.ingest_batch(&pending)?;
+    }
+    Ok(())
+}

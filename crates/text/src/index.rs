@@ -124,6 +124,39 @@ impl InvertedIndex {
         self.docs.keys().copied().collect()
     }
 
+    /// Every posting list, in term order: `(term, doc, positions)` — the
+    /// snapshot path serializes the index through this (the maps stay
+    /// private so all mutation goes through [`InvertedIndex::add`]).
+    pub fn iter_postings(&self) -> impl Iterator<Item = (&str, DocId, &[u32])> {
+        self.postings.iter().flat_map(|(term, by_doc)| {
+            by_doc
+                .iter()
+                .map(move |(doc, positions)| (term.as_str(), *doc, positions.as_slice()))
+        })
+    }
+
+    /// Per-document word counts, in doc order (the companion of
+    /// [`InvertedIndex::iter_postings`] for serialization).
+    pub fn doc_words(&self) -> impl Iterator<Item = (DocId, u32)> + '_ {
+        self.docs.iter().map(|(d, c)| (*d, *c))
+    }
+
+    /// Restore one posting list verbatim (deserialization path — positions
+    /// must already be normalized/ascending, as produced by
+    /// [`InvertedIndex::iter_postings`]). Replaces any existing list for
+    /// `(term, doc)`.
+    pub fn restore_posting(&mut self, term: &str, doc: DocId, positions: Vec<u32>) {
+        self.postings
+            .entry(term.to_string())
+            .or_default()
+            .insert(doc, Arc::new(positions));
+    }
+
+    /// Restore one document's word count verbatim (deserialization path).
+    pub fn restore_doc_words(&mut self, doc: DocId, words: u32) {
+        self.docs.insert(doc, words);
+    }
+
     /// Documents containing `word` (case-insensitive exact term match).
     pub fn docs_with_word(&self, word: &str) -> BTreeSet<DocId> {
         self.postings

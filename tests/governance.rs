@@ -10,29 +10,11 @@
 
 use docql::guard::{CancelToken, ExecError, QueryLimits, Resource};
 use docql::prelude::*;
-use docql::store::{DocStore, StoreError};
-use docql_corpus::{generate_article, ArticleParams};
+use docql::store::StoreError;
 use std::time::{Duration, Instant};
 
-fn corpus_store(n_docs: usize) -> DocStore {
-    let mut store = DocStore::new(docql::fixtures::ARTICLE_DTD, &["my_article"]).unwrap();
-    let texts: Vec<String> = (0..n_docs as u64)
-        .map(|seed| {
-            generate_article(&ArticleParams {
-                seed,
-                sections: 4,
-                subsections: 2,
-                plant_every: if seed % 2 == 0 { 2 } else { 0 },
-                ..ArticleParams::default()
-            })
-            .to_sgml()
-        })
-        .collect();
-    let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
-    let roots = store.ingest_batch(&refs).unwrap();
-    store.bind("my_article", roots[0]).unwrap();
-    store
-}
+mod util;
+use util::{corpus_store, fault_base_seed, FAULT_CASES};
 
 /// A query whose work grows as |Articles|³ — long enough on the 100×
 /// corpus that a millisecond-scale deadline always lands mid-flight.
@@ -178,25 +160,6 @@ fn governance_outcomes_are_counted_and_reported() {
     let report = profile.render();
     assert!(report.contains("governance: partial result"), "{report}");
 }
-
-/// Base seed for the fault-injection sweep: `DOCQL_FAULT` (decimal or
-/// `0x`-hex), defaulting to a fixed constant so plain `cargo test` is
-/// deterministic too.
-fn fault_base_seed() -> u64 {
-    match std::env::var("DOCQL_FAULT") {
-        Ok(s) => {
-            let s = s.trim();
-            let parsed = match s.strip_prefix("0x") {
-                Some(hex) => u64::from_str_radix(hex, 16),
-                None => s.parse(),
-            };
-            parsed.unwrap_or_else(|_| panic!("DOCQL_FAULT must be a u64, got {s:?}"))
-        }
-        Err(_) => 0xD0C4_1994,
-    }
-}
-
-const FAULT_CASES: u64 = 64;
 
 /// The fault-injection harness proper: ≥ 64 seeded cases injecting panics
 /// and forced budget trips at algebra operator boundaries. After every

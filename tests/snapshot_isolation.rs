@@ -11,73 +11,18 @@
 //!   every CI run.
 
 use docql::prelude::*;
-use docql::store::{DocStore, StoreError};
-use docql_corpus::{generate_article, generate_letter, ArticleParams, LetterParams};
+use docql::store::StoreError;
+use docql_corpus::{generate_letter, LetterParams};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::thread;
 
+mod util;
+use util::{
+    article_sgml, article_store, fault_base_seed, letter_store, rendered, ARTICLE_QUERIES,
+    FAULT_CASES, Q6,
+};
+
 const BASE_DOCS: usize = 6;
-
-/// Q1–Q5 from the paper (B6 suite) — Articles-wide and my_article-scoped.
-const ARTICLE_QUERIES: &[&str] = &[
-    "select tuple (t: a.title, f_author: first(a.authors)) \
-     from a in Articles, s in a.sections \
-     where s.title contains (\"SGML\" and \"OODBMS\")",
-    "select ss from a in Articles, s in a.sections, ss in s.subsectns \
-     where text(ss) contains (\"complex object\")",
-    "select t from my_article PATH_p.title(t)",
-    "my_article PATH_p - my_old_article PATH_p",
-    "select name(ATT_a) from my_article PATH_p.ATT_a(val) \
-     where val contains (\"draft\")",
-];
-
-/// Q6 (the letters corpus).
-const Q6: &str = "select letter from letter in Letters, \
-                  i in positions(letter.preamble, \"from\"), \
-                  j in positions(letter.preamble, \"to\") \
-                  where i < j";
-
-fn article_sgml(seed: u64) -> String {
-    generate_article(&ArticleParams {
-        seed,
-        sections: 4,
-        subsections: 2,
-        plant_every: if seed.is_multiple_of(2) { 2 } else { 0 },
-        ..ArticleParams::default()
-    })
-    .to_sgml()
-}
-
-fn article_store(n_docs: usize) -> DocStore {
-    let mut store = DocStore::new(
-        docql::fixtures::ARTICLE_DTD,
-        &["my_article", "my_old_article"],
-    )
-    .unwrap();
-    let texts: Vec<String> = (0..n_docs as u64).map(article_sgml).collect();
-    let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
-    let roots = store.ingest_batch(&refs).unwrap();
-    store.bind("my_article", roots[1]).unwrap();
-    store.bind("my_old_article", roots[0]).unwrap();
-    store
-}
-
-fn letter_store(n: usize) -> DocStore {
-    let mut store = DocStore::new(docql::fixtures::LETTER_DTD, &[]).unwrap();
-    for seed in 0..n as u64 {
-        let doc = generate_letter(&LetterParams {
-            seed,
-            sender_first: Some(seed.is_multiple_of(2)),
-            paras: 2,
-        });
-        store.ingest_document(&doc).unwrap();
-    }
-    store
-}
-
-fn rendered(r: &QueryResult) -> String {
-    r.to_table()
-}
 
 #[test]
 fn pinned_snapshot_serves_pre_ingest_results_while_writer_publishes() {
@@ -187,25 +132,6 @@ fn q6_letters_pinned_snapshot_is_isolated() {
         "fresh reader sees the new documents: {fresh_rows} vs {pinned_rows}"
     );
 }
-
-/// Base seed for the fault-injection sweep: `DOCQL_FAULT` (decimal or
-/// `0x`-hex), defaulting to a fixed constant so plain `cargo test` is
-/// deterministic too (mirrors `tests/governance.rs`).
-fn fault_base_seed() -> u64 {
-    match std::env::var("DOCQL_FAULT") {
-        Ok(s) => {
-            let s = s.trim();
-            let parsed = match s.strip_prefix("0x") {
-                Some(hex) => u64::from_str_radix(hex, 16),
-                None => s.parse(),
-            };
-            parsed.unwrap_or_else(|_| panic!("DOCQL_FAULT must be a u64, got {s:?}"))
-        }
-        Err(_) => 0xD0C4_1994,
-    }
-}
-
-const FAULT_CASES: u64 = 64;
 
 #[test]
 fn pinned_snapshot_differential_holds_under_fault_injection() {

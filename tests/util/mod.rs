@@ -1,0 +1,109 @@
+//! Corpus builders and reference queries shared by the integration suites
+//! (`governance.rs`, `snapshot_isolation.rs`, `recovery.rs`).
+//!
+//! Each test binary compiles this module independently and uses a
+//! different subset of it, so unused-item lints are suppressed at the
+//! module level rather than per item.
+#![allow(dead_code)]
+
+use docql::prelude::*;
+use docql::store::DocStore;
+use docql_corpus::{generate_article, generate_letter, ArticleParams, LetterParams};
+
+/// Q1–Q5 from the paper (B6 suite) — Articles-wide and my_article-scoped.
+pub const ARTICLE_QUERIES: &[&str] = &[
+    "select tuple (t: a.title, f_author: first(a.authors)) \
+     from a in Articles, s in a.sections \
+     where s.title contains (\"SGML\" and \"OODBMS\")",
+    "select ss from a in Articles, s in a.sections, ss in s.subsectns \
+     where text(ss) contains (\"complex object\")",
+    "select t from my_article PATH_p.title(t)",
+    "my_article PATH_p - my_old_article PATH_p",
+    "select name(ATT_a) from my_article PATH_p.ATT_a(val) \
+     where val contains (\"draft\")",
+];
+
+/// Q6 (the letters corpus).
+pub const Q6: &str = "select letter from letter in Letters, \
+                  i in positions(letter.preamble, \"from\"), \
+                  j in positions(letter.preamble, \"to\") \
+                  where i < j";
+
+/// One synthetic article (4 sections × 2 subsections; even seeds carry the
+/// planted "draft"/"complex object" markers) as SGML text.
+pub fn article_sgml(seed: u64) -> String {
+    generate_article(&ArticleParams {
+        seed,
+        sections: 4,
+        subsections: 2,
+        plant_every: if seed.is_multiple_of(2) { 2 } else { 0 },
+        ..ArticleParams::default()
+    })
+    .to_sgml()
+}
+
+/// An article store with both paper bindings: `my_article` = the second
+/// document, `my_old_article` = the first (so Q4's difference is
+/// non-trivial). Used by the snapshot-isolation and recovery suites.
+pub fn article_store(n_docs: usize) -> DocStore {
+    let mut store = DocStore::new(
+        docql::fixtures::ARTICLE_DTD,
+        &["my_article", "my_old_article"],
+    )
+    .unwrap();
+    let texts: Vec<String> = (0..n_docs as u64).map(article_sgml).collect();
+    let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+    let roots = store.ingest_batch(&refs).unwrap();
+    store.bind("my_article", roots[1]).unwrap();
+    store.bind("my_old_article", roots[0]).unwrap();
+    store
+}
+
+/// A single-binding article store (`my_article` = the first document), the
+/// governance suite's corpus shape.
+pub fn corpus_store(n_docs: usize) -> DocStore {
+    let mut store = DocStore::new(docql::fixtures::ARTICLE_DTD, &["my_article"]).unwrap();
+    let texts: Vec<String> = (0..n_docs as u64).map(article_sgml).collect();
+    let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+    let roots = store.ingest_batch(&refs).unwrap();
+    store.bind("my_article", roots[0]).unwrap();
+    store
+}
+
+/// A letters store for Q6: even seeds put the sender first.
+pub fn letter_store(n: usize) -> DocStore {
+    let mut store = DocStore::new(docql::fixtures::LETTER_DTD, &[]).unwrap();
+    for seed in 0..n as u64 {
+        let doc = generate_letter(&LetterParams {
+            seed,
+            sender_first: Some(seed.is_multiple_of(2)),
+            paras: 2,
+        });
+        store.ingest_document(&doc).unwrap();
+    }
+    store
+}
+
+/// Canonical rendering for byte-identical comparisons.
+pub fn rendered(r: &QueryResult) -> String {
+    r.to_table()
+}
+
+/// Base seed for seed-driven sweeps: `DOCQL_FAULT` (decimal or `0x`-hex),
+/// defaulting to a fixed constant so plain `cargo test` is deterministic.
+pub fn fault_base_seed() -> u64 {
+    match std::env::var("DOCQL_FAULT") {
+        Ok(s) => {
+            let s = s.trim();
+            let parsed = match s.strip_prefix("0x") {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => s.parse(),
+            };
+            parsed.unwrap_or_else(|_| panic!("DOCQL_FAULT must be a u64, got {s:?}"))
+        }
+        Err(_) => 0xD0C4_1994,
+    }
+}
+
+/// Cases per seed-driven sweep.
+pub const FAULT_CASES: u64 = 64;
