@@ -30,6 +30,10 @@ DOCQL_FAULT=0xD0C41994 cargo test -q --test snapshot_isolation
 echo "==> crash-recovery sweep (kill-at-every-record + fixed-seed fault battery)"
 DOCQL_FAULT=0xD0C41994 cargo test -q --test recovery
 
+echo "==> planner differential suite (fixed seed, cost-based vs heuristic)"
+DOCQL_PROP_SEED=20260806 DOCQL_PROP_CASES=64 cargo test -q -p docql-store \
+    --test planner_diff
+
 echo "==> no panicking unwrap/expect on crates/model library paths"
 if awk 'FNR==1 { intests=0 } /#\[cfg\(test\)\]/ { intests=1 } \
        !intests && /\.(unwrap|expect)\(/ { print FILENAME ":" FNR ": " $0; bad=1 } \
@@ -50,11 +54,24 @@ else
     exit 1
 fi
 
+echo "==> no panicking unwrap/expect on crates/algebra library paths (planner)"
+if awk 'FNR==1 { intests=0 } /#\[cfg\(test\)\]/ { intests=1 } \
+       !intests && /\.(unwrap|expect)\(/ { print FILENAME ":" FNR ": " $0; bad=1 } \
+       END { exit bad }' crates/algebra/src/*.rs; then
+    echo "    clean"
+else
+    echo "    panic sites above — crates/algebra must stay panic-free" >&2
+    exit 1
+fi
+
 echo "==> bench smoke (1 ms window per benchmark target)"
 DOCQL_BENCH_MS=1 cargo bench --workspace -q >/dev/null
 
 echo "==> B13 durability smoke (footprint + cold-start, 1 ms windows)"
 DOCQL_BENCH_MS=1 cargo bench -q -p docql-bench --bench durability | grep "^B13"
+
+echo "==> B14 planner-cost smoke (adversarial + parity shapes, 1 ms windows)"
+DOCQL_BENCH_MS=1 cargo bench -q -p docql-bench --bench planner_cost | grep "^B14"
 
 echo "==> B11 guard-overhead smoke (interleaved governed vs ungoverned)"
 cargo run -q --release -p docql-bench --example b11_interleaved

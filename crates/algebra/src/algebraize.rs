@@ -20,7 +20,8 @@
 //!   union over substituted queries, materialised with `MakePath` /
 //!   `AttrConst` equalities so the head stays bound.
 
-use crate::compile::compile_query;
+use crate::compile::compile_query_with_stats;
+use crate::cost::{self, PlanEstimates, StatsSource};
 use crate::plan::Op;
 use crate::AlgebraError;
 use docql_calculus::{
@@ -40,6 +41,10 @@ pub struct Algebraized {
     pub plan: Op,
     /// The substituted path/attr-variable-free queries, for inspection.
     pub branches: Vec<Query>,
+    /// Per-operator row/cost estimates, when the plan was costed against
+    /// live statistics ([`algebraize_with_stats`]); records the stats
+    /// version it was planned at. `None` for heuristic plans.
+    pub estimates: Option<PlanEstimates>,
 }
 
 struct Ctx<'a> {
@@ -116,6 +121,19 @@ impl Ctx<'_> {
 /// Algebraize: candidate enumeration → substitution → union of compiled
 /// plans.
 pub fn algebraize(q: &Query, schema: &Schema) -> Result<Algebraized, AlgebraError> {
+    algebraize_with_stats(q, schema, None)
+}
+
+/// [`algebraize`] against live statistics: selective conjuncts are ordered
+/// cheapest-first within each branch, and the resulting plan carries
+/// [`PlanEstimates`] (per-operator rows and cost, per-branch totals)
+/// stamped with the stats version. With `stats: None` this *is* the
+/// heuristic algebraizer, byte-for-byte.
+pub fn algebraize_with_stats(
+    q: &Query,
+    schema: &Schema,
+    stats: Option<&dyn StatsSource>,
+) -> Result<Algebraized, AlgebraError> {
     let info = infer_types(q, schema);
     let mut cx = Ctx {
         info: &info,
@@ -151,10 +169,12 @@ pub fn algebraize(q: &Query, schema: &Schema) -> Result<Algebraized, AlgebraErro
             names: cx.names,
             outer_vars: q.outer_vars.clone(),
         };
-        let plan = compile_query(&branch)?;
+        let plan = compile_query_with_stats(&branch, stats)?;
+        let estimates = stats.map(|s| cost::estimate(&plan, s));
         return Ok(Algebraized {
             plan,
             branches: vec![branch],
+            estimates,
         });
     }
 
@@ -231,7 +251,7 @@ pub fn algebraize(q: &Query, schema: &Schema) -> Result<Algebraized, AlgebraErro
             names: cx.names.clone(),
             outer_vars: q.outer_vars.clone(),
         };
-        plans.push(compile_query(&branch)?);
+        plans.push(compile_query_with_stats(&branch, stats)?);
         branches.push(branch);
 
         // Advance the index vector.
@@ -253,7 +273,12 @@ pub fn algebraize(q: &Query, schema: &Schema) -> Result<Algebraized, AlgebraErro
             k += 1;
         }
     }
-    let plans = plans
+    // Union branches stay in candidate-enumeration order. Every branch is
+    // evaluated exhaustively (the union never short-circuits), so no order
+    // is cheaper than another — reordering would only break the plan
+    // stability the differential suite pins down. The estimates below still
+    // record each branch's cost, so EXPLAIN exposes the skew.
+    let plans: Vec<Op> = plans
         .into_iter()
         .map(|p| simplify_branch(p, &q.head, &q.outer_vars))
         .collect();
@@ -261,7 +286,12 @@ pub fn algebraize(q: &Query, schema: &Schema) -> Result<Algebraized, AlgebraErro
         input: Box::new(Op::Union(plans)),
         vars: q.head.clone(),
     };
-    Ok(Algebraized { plan, branches })
+    let estimates = stats.map(|s| cost::estimate(&plan, s));
+    Ok(Algebraized {
+        plan,
+        branches,
+        estimates,
+    })
 }
 
 /// Peephole over one substituted branch, exploiting that the union as a
@@ -395,10 +425,13 @@ fn expand_quantified(f: &Formula, q: &Query, cx: &mut Ctx<'_>) -> Result<Formula
                     k += 1;
                 }
             }
-            if disjuncts.len() == 1 {
-                disjuncts.pop().expect("len checked")
-            } else {
-                Formula::Or(disjuncts)
+            match disjuncts.pop() {
+                Some(only) if disjuncts.is_empty() => only,
+                Some(last) => {
+                    disjuncts.push(last);
+                    Formula::Or(disjuncts)
+                }
+                None => Formula::Or(disjuncts),
             }
         }
     })

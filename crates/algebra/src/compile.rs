@@ -7,6 +7,7 @@
 //! `Assign` operators using the same greedy sideways-information-passing
 //! order as the interpreter's planner.
 
+use crate::cost::{self, CostProfile, StatsSource};
 use crate::plan::{IndexPathScan, Op, WalkStep};
 use crate::AlgebraError;
 use docql_calculus::{Atom, AttrTerm, DataTerm, Formula, IntTerm, PathAtom, PathTerm, Query, Var};
@@ -17,9 +18,21 @@ use std::collections::{BTreeMap, BTreeSet};
 /// still contains path/attribute variables (run
 /// [`crate::algebraize::algebraize`] first) or is not range-restricted.
 pub fn compile_query(q: &Query) -> Result<Op, AlgebraError> {
+    compile_query_with_stats(q, None)
+}
+
+/// [`compile_query`] with optional live statistics: conjuncts are then
+/// ordered cheapest-first by the cost model (see [`crate::cost`]) instead
+/// of in textual order. Without stats the output is byte-identical to the
+/// heuristic compiler's.
+pub fn compile_query_with_stats(
+    q: &Query,
+    stats: Option<&dyn StatsSource>,
+) -> Result<Op, AlgebraError> {
     let mut cx = Compiler {
         next_var: fresh_base(q),
         uses: count_var_uses(q),
+        stats,
     };
     let plan = cx.compile_formula(&q.body, Op::Unit, &mut BTreeSet::new())?;
     Ok(Op::Project {
@@ -32,14 +45,17 @@ fn fresh_base(q: &Query) -> Var {
     q.sorts.keys().copied().max().map(|v| v + 1).unwrap_or(0)
 }
 
-struct Compiler {
+struct Compiler<'a> {
     next_var: Var,
     /// Occurrence counts per variable (head + body), used to decide when an
     /// unnest binder is droppable so the walk can become an index scan.
     uses: BTreeMap<Var, usize>,
+    /// Live statistics for cost-based conjunct ordering; `None` keeps the
+    /// greedy first-pickable (textual) order.
+    stats: Option<&'a dyn StatsSource>,
 }
 
-impl Compiler {
+impl Compiler<'_> {
     fn fresh(&mut self) -> Var {
         let v = self.next_var;
         self.next_var += 1;
@@ -58,19 +74,16 @@ impl Compiler {
                 let mut remaining: Vec<&Formula> = fs.iter().collect();
                 let mut plan = input;
                 while !remaining.is_empty() {
-                    let pick = remaining
-                        .iter()
-                        .position(|g| self.pickable(g, bound))
-                        .ok_or_else(|| {
-                            AlgebraError(format!(
-                                "cannot order conjuncts (bound {bound:?}): {}",
-                                remaining
-                                    .iter()
-                                    .map(|g| g.to_string())
-                                    .collect::<Vec<_>>()
-                                    .join(" ∧ ")
-                            ))
-                        })?;
+                    let pick = self.pick_conjunct(&remaining, bound).ok_or_else(|| {
+                        AlgebraError(format!(
+                            "cannot order conjuncts (bound {bound:?}): {}",
+                            remaining
+                                .iter()
+                                .map(|g| g.to_string())
+                                .collect::<Vec<_>>()
+                                .join(" ∧ ")
+                        ))
+                    })?;
                     let g = remaining.remove(pick);
                     plan = self.compile_formula(g, plan, bound)?;
                 }
@@ -125,6 +138,98 @@ impl Compiler {
                 )));
                 self.compile_formula(&rewritten, input, bound)
             }
+        }
+    }
+
+    /// Choose the next conjunct to compile. Without statistics this is the
+    /// greedy sideways-information-passing heuristic (first pickable, in
+    /// textual order). With statistics, all currently-pickable conjuncts
+    /// are ranked by the pairwise rule and a later conjunct overtakes the
+    /// textual choice only on a clear estimated win
+    /// ([`CostProfile::clearly_before`]) — estimates never change *whether*
+    /// a query compiles, only the order among orderable conjuncts.
+    fn pick_conjunct(&self, remaining: &[&Formula], bound: &BTreeSet<Var>) -> Option<usize> {
+        let first = remaining.iter().position(|g| self.pickable(g, bound))?;
+        let Some(stats) = self.stats else {
+            return Some(first);
+        };
+        let mut best = first;
+        let mut best_profile = self.conjunct_profile(remaining[first], bound, stats);
+        for (i, g) in remaining.iter().enumerate().skip(first + 1) {
+            if !self.pickable(g, bound) {
+                continue;
+            }
+            let p = self.conjunct_profile(g, bound, stats);
+            // Only *selective* conjuncts (expected fan-out below one row per
+            // input row) may jump the textual order: hoisting a filter past a
+            // generator shrinks every downstream operator, whereas hoisting a
+            // fan-out-neutral assignment merely reshuffles equal-cost plans —
+            // and would needlessly diverge from the heuristic's output.
+            if p.fanout < 1.0 && p.clearly_before(&best_profile) {
+                best = i;
+                best_profile = p;
+            }
+        }
+        Some(best)
+    }
+
+    /// Estimated cost profile of one conjunct, for ordering.
+    fn conjunct_profile(
+        &self,
+        f: &Formula,
+        bound: &BTreeSet<Var>,
+        stats: &dyn StatsSource,
+    ) -> CostProfile {
+        match f {
+            Formula::Atom(a) => self.atom_profile(a, bound, stats),
+            Formula::And(fs) => fs.iter().fold(CostProfile::neutral(), |acc, g| {
+                acc.then(self.conjunct_profile(g, bound, stats))
+            }),
+            Formula::Or(fs) => {
+                let mut unit = 0.0;
+                let mut fanout = 0.0;
+                for g in fs {
+                    let p = self.conjunct_profile(g, bound, stats);
+                    unit += p.unit;
+                    fanout += p.fanout;
+                }
+                CostProfile { unit, fanout }
+            }
+            Formula::Not(_) | Formula::Forall(..) => CostProfile {
+                unit: 2.0,
+                fanout: cost::PRED_SELECTIVITY,
+            },
+            Formula::Exists(_, inner) => self.conjunct_profile(inner, bound, stats),
+        }
+    }
+
+    fn atom_profile(
+        &self,
+        a: &Atom,
+        bound: &BTreeSet<Var>,
+        stats: &dyn StatsSource,
+    ) -> CostProfile {
+        let term_bound = |t: &DataTerm| {
+            let mut vs = BTreeSet::new();
+            t.vars(&mut vs);
+            vs.iter().all(|v| bound.contains(v))
+        };
+        match a {
+            Atom::PathPred(_, p) => match self.path_to_steps(p, bound) {
+                Ok(steps) => cost::walk_profile(&steps, stats),
+                Err(_) => CostProfile::opaque(),
+            },
+            Atom::Eq(x, y) if term_bound(x) && term_bound(y) => cost::filter_profile(a, stats),
+            // One side unbound: compiles to an Assign — row-preserving.
+            Atom::Eq(..) => CostProfile {
+                unit: 0.5,
+                fanout: 1.0,
+            },
+            Atom::In(DataTerm::Var(v), _) if !bound.contains(v) => CostProfile {
+                unit: 1.0,
+                fanout: cost::DEFAULT_STEP_FANOUT,
+            },
+            _ => cost::filter_profile(a, stats),
         }
     }
 
@@ -318,7 +423,7 @@ impl Compiler {
 
     /// Lower a concrete path term to walk steps.
     fn path_to_steps(
-        &mut self,
+        &self,
         p: &PathTerm,
         bound: &BTreeSet<Var>,
     ) -> Result<Vec<WalkStep>, AlgebraError> {

@@ -1,0 +1,547 @@
+//! The statistics-driven cost model (ROADMAP item 2: §5's "efficient
+//! algebraic techniques", made quantitative).
+//!
+//! Plans were chosen blind: the compiler always preferred an
+//! [`Op::IndexPathScan`] lowering and executed conjuncts and union branches
+//! in textual order. This module supplies the two things a cost-based
+//! planner needs on top of that machinery:
+//!
+//! * [`StatsSource`] — the read interface to live store statistics
+//!   (document/object counts, path-extent cardinalities per interned key,
+//!   text-index posting lengths). A store exposes its current MVCC snapshot
+//!   through this trait, so every number a plan is costed against comes from
+//!   one immutable version — stats are never torn. The [`StatsSource::version`]
+//!   is recorded in the resulting [`PlanEstimates`] and lets caches detect
+//!   drift.
+//! * [`PlanEstimates`] — per-operator estimated rows and cost for one plan,
+//!   indexed by the same pre-order numbering [`crate::PlanProfile`] uses, so
+//!   `EXPLAIN ANALYZE` can print estimate and actual on one line.
+//!
+//! The model itself is deliberately small (the paper's algebra has no joins
+//! to reorder): each atom gets a [`CostProfile`] — a per-input-row `unit`
+//! cost and a `fanout` (output rows per input row; a selectivity when < 1).
+//! Conjuncts are ordered by the classical pairwise rule (`A` before `B` iff
+//! `uA + fA·uB < uB + fB·uA`), applied conservatively: the compiler deviates
+//! from the heuristic textual order only when the win clears
+//! [`REORDER_MARGIN`], so well-estimated ties keep their stable, heuristic
+//! plans byte-for-byte.
+
+use crate::plan::{Op, WalkStep};
+use docql_calculus::{Atom, DataTerm};
+use docql_model::sym;
+use docql_paths::ExtStep;
+
+/// Fan-out assumed for an unnest step the extent index cannot answer.
+pub const DEFAULT_STEP_FANOUT: f64 = 4.0;
+/// Selectivity of an equality filter over bound terms.
+pub const EQ_SELECTIVITY: f64 = 0.2;
+/// Selectivity of a membership filter.
+pub const IN_SELECTIVITY: f64 = 0.3;
+/// Selectivity of an uninterpreted predicate.
+pub const PRED_SELECTIVITY: f64 = 0.5;
+/// A conjunct overtakes an earlier one only when the pairwise cost of
+/// running it first is better by at least this factor — estimates are
+/// noisy, and ties must keep the heuristic's stable textual order.
+pub const REORDER_MARGIN: f64 = 1.15;
+/// Observed-vs-estimated row ratio beyond which a cached plan is considered
+/// stale and re-planned against fresh statistics.
+pub const REPLAN_DIVERGENCE: f64 = 8.0;
+
+/// Live statistics a planner may consult. Implementations read one
+/// immutable store snapshot; [`StatsSource::version`] changes whenever the
+/// underlying data (and therefore any statistic) may have changed.
+pub trait StatsSource {
+    /// Monotonic version of the statistics (the store's mutation counter).
+    fn version(&self) -> u64;
+    /// Number of ingested documents.
+    fn documents(&self) -> u64;
+    /// Number of objects in the instance.
+    fn objects(&self) -> u64;
+    /// Total targets materialised for a class-blind path key, when the key
+    /// is interned by the path-extent index; `None` means plans over this
+    /// key walk.
+    fn extent_targets(&self, key: &[ExtStep]) -> Option<u64>;
+    /// Posting length of a term: documents containing it.
+    fn posting_docs(&self, term: &str) -> u64;
+    /// Average words per indexed document (text re-check cost driver).
+    fn avg_doc_words(&self) -> u64;
+}
+
+/// Per-input-row cost and fan-out of one conjunct or operator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostProfile {
+    /// Work per input row, in abstract step units.
+    pub unit: f64,
+    /// Output rows per input row (< 1 for selective filters).
+    pub fanout: f64,
+}
+
+impl CostProfile {
+    /// The profile of doing nothing: free, row-preserving.
+    pub fn neutral() -> CostProfile {
+        CostProfile {
+            unit: 0.0,
+            fanout: 1.0,
+        }
+    }
+
+    /// The profile assumed when nothing is known — never wins a reorder.
+    pub fn opaque() -> CostProfile {
+        CostProfile {
+            unit: 1.0,
+            fanout: 1.0,
+        }
+    }
+
+    /// Sequential composition: run `self`, then `next` on its output.
+    pub fn then(self, next: CostProfile) -> CostProfile {
+        CostProfile {
+            unit: self.unit + self.fanout * next.unit,
+            fanout: self.fanout * next.fanout,
+        }
+    }
+
+    /// Should `self` run before `other`? The classical pairwise ordering
+    /// rule with a margin: true only when `self`-first is cheaper by more
+    /// than [`REORDER_MARGIN`], so near-ties preserve the existing order.
+    pub fn clearly_before(&self, other: &CostProfile) -> bool {
+        let self_first = self.unit + self.fanout * other.unit;
+        let other_first = other.unit + other.fanout * self.unit;
+        self_first.is_finite()
+            && other_first.is_finite()
+            && self_first * REORDER_MARGIN < other_first
+    }
+}
+
+/// Map walk steps to the class-blind extent key they cover, plus whether
+/// they begin with a collection-lead unnest. `None` key: the pattern has no
+/// extent analogue (constant/variable indexing, `UnnestColl`). Binder
+/// liveness is ignored — an undroppable binder forces the *walk*, but the
+/// extent still predicts its cardinality.
+fn steps_key(steps: &[WalkStep]) -> (bool, Option<Vec<ExtStep>>) {
+    let mut rest = steps;
+    let mut lead = false;
+    if let Some(WalkStep::UnnestList(_)) = rest.first() {
+        lead = true;
+        rest = &rest[1..];
+    }
+    let mut key = Vec::new();
+    for step in rest {
+        match step {
+            WalkStep::Deref => key.push(ExtStep::Deref),
+            WalkStep::Attr(a) => key.push(ExtStep::Attr(*a)),
+            WalkStep::UnnestList(_) => key.push(ExtStep::ListElem),
+            WalkStep::UnnestSet(_) => key.push(ExtStep::SetElem),
+            // Zero-width: binds the value reached so far.
+            WalkStep::Bind(_) => {}
+            WalkStep::Index(_) | WalkStep::IndexVar(_) | WalkStep::UnnestColl => {
+                return (lead, None)
+            }
+        }
+    }
+    (lead, Some(key))
+}
+
+/// Cost profile of a path navigation. When the extent index knows the key,
+/// fan-out is the measured extent cardinality (absolute after a
+/// collection-lead unnest — the input is then one collection row — else per
+/// document); otherwise each unnest is charged [`DEFAULT_STEP_FANOUT`]
+/// (the collection lead fans out to the document count).
+pub fn walk_profile(steps: &[WalkStep], stats: &dyn StatsSource) -> CostProfile {
+    let docs = stats.documents().max(1) as f64;
+    let (lead, key) = steps_key(steps);
+    let fanout = match key.as_deref().and_then(|k| stats.extent_targets(k)) {
+        Some(n) => {
+            if lead {
+                n as f64
+            } else {
+                n as f64 / docs
+            }
+        }
+        None => {
+            let mut f = 1.0f64;
+            let mut first = true;
+            for step in steps {
+                match step {
+                    WalkStep::UnnestList(_) | WalkStep::UnnestColl => {
+                        f *= if first { docs } else { DEFAULT_STEP_FANOUT };
+                    }
+                    WalkStep::UnnestSet(_) => f *= DEFAULT_STEP_FANOUT,
+                    _ => {}
+                }
+                first = false;
+            }
+            f
+        }
+    };
+    CostProfile {
+        unit: 1.0 + steps.len() as f64,
+        fanout: fanout.clamp(0.0, 1e15),
+    }
+}
+
+/// Literal (alphanumeric) words of a `contains` pattern string.
+fn pattern_words(pattern: &str) -> impl Iterator<Item = &str> {
+    pattern
+        .split(|c: char| !c.is_alphanumeric())
+        .filter(|w| !w.is_empty())
+}
+
+/// Cost profile of a text predicate: selectivity from the rarest literal
+/// word's posting length, unit from the average document length (candidates
+/// are re-checked against stored text).
+pub fn contains_profile(pattern: &str, stats: &dyn StatsSource) -> CostProfile {
+    let docs = stats.documents().max(1) as f64;
+    let sel = pattern_words(pattern)
+        .map(|w| stats.posting_docs(w) as f64 / docs)
+        .fold(1.0f64, f64::min);
+    CostProfile {
+        unit: 1.0 + stats.avg_doc_words() as f64 / 4.0,
+        // Unseen words may still match through pattern operators; floor the
+        // selectivity so estimates stay nonzero.
+        fanout: sel.clamp(0.5 / docs, 1.0),
+    }
+}
+
+/// Cost profile of an atom evaluated as a filter (all variables bound).
+pub fn filter_profile(atom: &Atom, stats: &dyn StatsSource) -> CostProfile {
+    match atom {
+        Atom::Pred(n, args) if *n == sym("contains") && args.len() == 2 => match &args[1] {
+            DataTerm::Const(docql_model::Value::Str(p)) => contains_profile(p, stats),
+            _ => CostProfile {
+                unit: 1.0 + stats.avg_doc_words() as f64 / 4.0,
+                fanout: PRED_SELECTIVITY,
+            },
+        },
+        Atom::Pred(n, _) if *n == sym("near") => CostProfile {
+            unit: 1.0 + stats.avg_doc_words() as f64 / 8.0,
+            fanout: PRED_SELECTIVITY,
+        },
+        Atom::Pred(..) => CostProfile {
+            unit: 1.0,
+            fanout: PRED_SELECTIVITY,
+        },
+        Atom::Eq(..) => CostProfile {
+            unit: 0.5,
+            fanout: EQ_SELECTIVITY,
+        },
+        Atom::In(..) => CostProfile {
+            unit: 0.5,
+            fanout: IN_SELECTIVITY,
+        },
+        Atom::Subset(..) => CostProfile {
+            unit: 1.0,
+            fanout: PRED_SELECTIVITY,
+        },
+        // Path predicates never reach Filter; charge neutrally.
+        Atom::PathPred(..) => CostProfile::opaque(),
+    }
+}
+
+/// Estimated rows and cost per plan operator, indexed by the pre-order node
+/// numbering shared with [`crate::PlanProfile`] and
+/// [`Op::explain_annotated`]. Attached to an [`crate::Algebraized`] by the
+/// stats-aware algebraizer; the version pins which statistics snapshot the
+/// estimates were computed against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanEstimates {
+    /// [`StatsSource::version`] at estimation time.
+    pub stats_version: u64,
+    rows: Vec<f64>,
+    cost: Vec<f64>,
+}
+
+impl PlanEstimates {
+    /// Estimated output rows of `node` (pre-order id).
+    pub fn rows(&self, node: usize) -> f64 {
+        self.rows.get(node).copied().unwrap_or(0.0)
+    }
+
+    /// Estimated cumulative cost of `node` (children included — the same
+    /// inclusive convention the profile's timings use).
+    pub fn cost(&self, node: usize) -> f64 {
+        self.cost.get(node).copied().unwrap_or(0.0)
+    }
+
+    /// Estimated rows of the plan root.
+    pub fn root_rows(&self) -> f64 {
+        self.rows(0)
+    }
+
+    /// Estimated total cost of the plan.
+    pub fn root_cost(&self) -> f64 {
+        self.cost(0)
+    }
+
+    /// The per-node annotation rendered into explain lines.
+    pub fn annotation(&self, node: usize) -> String {
+        format!(
+            "est_rows={} est_cost={}",
+            round_est(self.rows(node)),
+            round_est(self.cost(node))
+        )
+    }
+
+    /// Render `plan` with estimates on every operator line (`EXPLAIN` with
+    /// costs; `plan` must be the plan these estimates were computed from).
+    pub fn render(&self, plan: &Op) -> String {
+        plan.explain_annotated(&|id| format!("  [{}]", self.annotation(id)))
+    }
+}
+
+fn round_est(x: f64) -> u64 {
+    if x.is_finite() {
+        x.round().clamp(0.0, 1e15) as u64
+    } else {
+        0
+    }
+}
+
+/// Estimate `plan` bottom-up against `stats`, assigning pre-order ids in
+/// the exact order [`crate::PlanProfile::new`] and
+/// [`Op::explain_annotated`] number the tree.
+pub fn estimate(plan: &Op, stats: &dyn StatsSource) -> PlanEstimates {
+    let mut est = PlanEstimates {
+        stats_version: stats.version(),
+        rows: Vec::new(),
+        cost: Vec::new(),
+    };
+    est_node(plan, 1.0, &mut est, stats);
+    est
+}
+
+fn est_node(op: &Op, in_rows: f64, e: &mut PlanEstimates, stats: &dyn StatsSource) -> (f64, f64) {
+    let id = e.rows.len();
+    e.rows.push(0.0);
+    e.cost.push(0.0);
+    let docs = stats.documents().max(1) as f64;
+    let (rows, cost) = match op {
+        Op::Unit => (in_rows, 0.0),
+        Op::Root { .. } => (in_rows, 1.0),
+        Op::Walk { input, steps, .. } => {
+            let (r, c) = est_node(input, in_rows, e, stats);
+            let p = walk_profile(steps, stats);
+            let out = r * p.fanout;
+            (out, c + r * p.unit + out)
+        }
+        Op::IndexPathScan(scan) => {
+            let (r, c) = est_node(&scan.input, in_rows, e, stats);
+            let covered = stats.extent_targets(&scan.key);
+            let fanout = match covered {
+                Some(n) => {
+                    if scan.lead.is_some() {
+                        n as f64
+                    } else {
+                        n as f64 / docs
+                    }
+                }
+                None => walk_profile(&scan.steps, stats).fanout,
+            };
+            let out = r * fanout.clamp(0.0, 1e15);
+            // An extent hit replaces the per-step walk with one lookup.
+            let unit = if covered.is_some() {
+                1.0
+            } else {
+                1.0 + scan.steps.len() as f64
+            };
+            (out, c + r * unit + out)
+        }
+        Op::Filter { input, atom } => {
+            let (r, c) = est_node(input, in_rows, e, stats);
+            let p = filter_profile(atom, stats);
+            (r * p.fanout, c + r * p.unit)
+        }
+        Op::Assign { input, .. } => {
+            let (r, c) = est_node(input, in_rows, e, stats);
+            (r, c + r * 0.5)
+        }
+        Op::Union(branches) => {
+            let mut rows = 0.0;
+            let mut cost = 0.0;
+            for b in branches {
+                let (r, c) = est_node(b, in_rows, e, stats);
+                rows += r;
+                cost += c;
+            }
+            (rows, cost)
+        }
+        Op::Semi { input, sub } | Op::AntiSemi { input, sub } => {
+            let (r, c) = est_node(input, in_rows, e, stats);
+            // The sub-plan runs once per outer row, from a one-row input.
+            let (_, sub_cost) = est_node(sub, 1.0, e, stats);
+            (r * PRED_SELECTIVITY, c + r * sub_cost)
+        }
+        Op::Project { input, .. } => {
+            let (r, c) = est_node(input, in_rows, e, stats);
+            (r, c + r * 0.5)
+        }
+        Op::Pipe(first, second) => {
+            let (r1, c1) = est_node(first, in_rows, e, stats);
+            let (r2, c2) = est_node(second, r1, e, stats);
+            (r2, c1 + c2)
+        }
+    };
+    let rows = if rows.is_finite() {
+        rows.clamp(0.0, 1e15)
+    } else {
+        1e15
+    };
+    let cost = if cost.is_finite() {
+        cost.clamp(0.0, 1e18)
+    } else {
+        1e18
+    };
+    e.rows[id] = rows;
+    e.cost[id] = cost;
+    (rows, cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    /// A fixed in-memory stats source for model tests.
+    #[derive(Default)]
+    pub struct FixedStats {
+        pub version: u64,
+        pub documents: u64,
+        pub objects: u64,
+        pub extents: BTreeMap<Vec<ExtStep>, u64>,
+        pub postings: BTreeMap<String, u64>,
+        pub avg_words: u64,
+    }
+
+    impl StatsSource for FixedStats {
+        fn version(&self) -> u64 {
+            self.version
+        }
+        fn documents(&self) -> u64 {
+            self.documents
+        }
+        fn objects(&self) -> u64 {
+            self.objects
+        }
+        fn extent_targets(&self, key: &[ExtStep]) -> Option<u64> {
+            self.extents.get(key).copied()
+        }
+        fn posting_docs(&self, term: &str) -> u64 {
+            self.postings.get(term).copied().unwrap_or(0)
+        }
+        fn avg_doc_words(&self) -> u64 {
+            self.avg_words
+        }
+    }
+
+    #[test]
+    fn pairwise_rule_orders_selective_filter_first() {
+        // A selective cheap filter clearly beats a fanning walk.
+        let filter = CostProfile {
+            unit: 1.0,
+            fanout: 0.05,
+        };
+        let walk = CostProfile {
+            unit: 5.0,
+            fanout: 20.0,
+        };
+        assert!(filter.clearly_before(&walk));
+        assert!(!walk.clearly_before(&filter));
+        // Near-ties stay put in both directions — stability.
+        let a = CostProfile {
+            unit: 1.0,
+            fanout: 0.5,
+        };
+        let b = CostProfile {
+            unit: 1.05,
+            fanout: 0.5,
+        };
+        assert!(!a.clearly_before(&b));
+        assert!(!b.clearly_before(&a));
+    }
+
+    #[test]
+    fn contains_selectivity_tracks_posting_lengths() {
+        let mut stats = FixedStats {
+            documents: 100,
+            avg_words: 40,
+            ..FixedStats::default()
+        };
+        stats.postings.insert("common".into(), 90);
+        stats.postings.insert("rare".into(), 1);
+        let common = contains_profile("common", &stats);
+        let rare = contains_profile("rare", &stats);
+        assert!(rare.fanout < common.fanout);
+        assert!(rare.clearly_before(&common));
+        // Multi-word patterns take the rarest word.
+        let both = contains_profile("common rare", &stats);
+        assert_eq!(both.fanout, rare.fanout);
+        // Unknown words floor at a nonzero selectivity.
+        assert!(contains_profile("zzz", &stats).fanout > 0.0);
+    }
+
+    #[test]
+    fn walk_fanout_prefers_measured_extents() {
+        let mut stats = FixedStats {
+            documents: 10,
+            ..FixedStats::default()
+        };
+        let key = vec![ExtStep::Deref, ExtStep::Attr(sym("title"))];
+        stats.extents.insert(key.clone(), 10);
+        // Per-document when there is no collection lead.
+        let steps = vec![WalkStep::Deref, WalkStep::Attr(sym("title"))];
+        let p = walk_profile(&steps, &stats);
+        assert_eq!(p.fanout, 1.0);
+        // Absolute when the walk fans over the collection first.
+        let lead_steps = vec![
+            WalkStep::UnnestList(None),
+            WalkStep::Deref,
+            WalkStep::Attr(sym("title")),
+        ];
+        stats.extents.insert(key, 10);
+        let p = walk_profile(&lead_steps, &stats);
+        assert_eq!(p.fanout, 10.0);
+        // Unknown keys fall back to the per-step default, with the lead
+        // charged at the document count.
+        let unknown = vec![
+            WalkStep::UnnestList(None),
+            WalkStep::Attr(sym("ghost")),
+            WalkStep::UnnestSet(None),
+        ];
+        let p = walk_profile(&unknown, &stats);
+        assert_eq!(p.fanout, 10.0 * DEFAULT_STEP_FANOUT);
+    }
+
+    #[test]
+    fn estimates_use_profile_preorder_numbering() {
+        use crate::PlanProfile;
+        let plan = Op::Project {
+            vars: vec![1],
+            input: Box::new(Op::Semi {
+                input: Box::new(Op::Walk {
+                    start: 0,
+                    steps: vec![WalkStep::UnnestList(None)],
+                    out: Some(1),
+                    input: Box::new(Op::Root {
+                        name: sym("Items"),
+                        out: 0,
+                    }),
+                }),
+                sub: Box::new(Op::Unit),
+            }),
+        };
+        let stats = FixedStats {
+            documents: 8,
+            ..FixedStats::default()
+        };
+        let est = estimate(&plan, &stats);
+        let profile = PlanProfile::new(&plan);
+        assert_eq!(est.rows.len(), profile.len());
+        // Node 2 is the Walk (same id the profile assigns); its unnest over
+        // the collection fans out to the document count.
+        assert_eq!(profile.child(1, 0), 2);
+        assert_eq!(est.rows(2), 8.0);
+        assert!(est.root_cost() > 0.0);
+        let text = est.render(&plan);
+        assert!(text.contains("est_rows="), "{text}");
+    }
+}

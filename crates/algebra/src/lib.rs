@@ -14,13 +14,15 @@
 
 pub mod algebraize;
 pub mod compile;
+pub mod cost;
 pub mod plan;
 pub mod profile;
 
 use std::fmt;
 
-pub use algebraize::{algebraize, Algebraized, MAX_CANDIDATE_PRODUCT};
-pub use compile::compile_query;
+pub use algebraize::{algebraize, algebraize_with_stats, Algebraized, MAX_CANDIDATE_PRODUCT};
+pub use compile::{compile_query, compile_query_with_stats};
+pub use cost::{CostProfile, PlanEstimates, StatsSource, REPLAN_DIVERGENCE};
 pub use plan::{ExecCtx, IndexPathScan, Op, WalkStep};
 pub use profile::{AlgebraMetrics, PlanProfile};
 

@@ -195,6 +195,17 @@ impl PlanProfile {
     pub fn render(&self, plan: &Op) -> String {
         plan.explain_annotated(&|id| format!("  [{}]", self.annotation(id)))
     }
+
+    /// Render `plan` with planner estimates and measured actuals side by
+    /// side on every operator line — the estimate-vs-actual view `EXPLAIN
+    /// ANALYZE` prints for cost-based plans. Both the estimates and this
+    /// profile must have been built from `plan` (they share its pre-order
+    /// numbering).
+    pub fn render_with_estimates(&self, plan: &Op, est: &crate::cost::PlanEstimates) -> String {
+        plan.explain_annotated(&|id| {
+            format!("  [{} | {}]", est.annotation(id), self.annotation(id))
+        })
+    }
 }
 
 /// Registry-level counters for algebra execution, shared across queries.

@@ -5,7 +5,10 @@ pub mod harness;
 
 use docql::model::{ClassDef, Instance, Schema, Type, Value};
 use docql::prelude::*;
-use docql_corpus::{generate_article, generate_letter, ArticleParams, LetterParams};
+use docql_corpus::{
+    adversarial_sgml, generate_article, generate_letter, AdversarialParams, ArticleParams,
+    LetterParams,
+};
 use std::sync::Arc;
 
 /// A store of `n_docs` generated articles with `sections` sections each.
@@ -25,6 +28,17 @@ pub fn article_store(n_docs: usize, sections: usize) -> DocStore {
         });
         store.ingest_document(&doc).expect("ingest");
     }
+    store
+}
+
+/// A store over the adversarial planner corpus (skewed posting lengths,
+/// hot/cold path extents, deep nesting — see `docql_corpus::adversarial`),
+/// batch-ingested. Workload for B14.
+pub fn adversarial_store(params: &AdversarialParams) -> DocStore {
+    let mut store = DocStore::new(docql::fixtures::ARTICLE_DTD, &[]).expect("store");
+    let texts = adversarial_sgml(params);
+    let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+    store.ingest_batch(&refs).expect("ingest");
     store
 }
 

@@ -10,14 +10,22 @@
 //! * [`letters`] — documents for the §4.4/Q6 letters DTD, with the
 //!   `&`-connector preamble in both orders;
 //! * [`mutate()`](mutate::mutate) — version-mutation operators (add a section, retitle,
-//!   append a paragraph) for the Q4 structural-diff experiments.
+//!   append a paragraph) for the Q4 structural-diff experiments;
+//! * [`adversarial`] — corpora with skewed posting lengths, hot/cold path
+//!   extents and deep nesting, where the heuristic planner provably picks
+//!   the wrong conjunct order (the cost-based planner's stress tests).
 
+pub mod adversarial;
 pub mod articles;
 pub mod knuth;
 pub mod letters;
 pub mod mutate;
 pub mod rng;
 
+pub use adversarial::{
+    adversarial_corpus, adversarial_sgml, generate_adversarial, AdversarialParams, COMMON_TERMS,
+    RARE_TERM,
+};
 pub use articles::{generate_article, ArticleParams};
 pub use knuth::{knuth_instance, knuth_schema, KnuthParams};
 pub use letters::{generate_letter, LetterParams};

@@ -5,33 +5,45 @@
 //! algebraization. The cache is safe to share across reader threads: the
 //! map is guarded by a [`Mutex`] held only for lookups/insertions (never
 //! during evaluation), hit/miss counters are atomics, and the lazily
-//! algebraized plans live in a [`OnceLock`] per entry.
+//! algebraized plans live in a per-entry slot guarded by its own mutex.
 //!
-//! Plans depend only on the *schema* (translation resolves identifiers
-//! against roots of persistence; algebraization substitutes schema paths),
-//! so ingesting more documents never invalidates the cache. A schema change
-//! means a new store, and with it a new cache. This also holds for the
-//! path-extent index: plans embed `IndexPathScan` *choice points*, and
-//! whether a scan reads the extent or walks is decided at evaluation time
-//! from the engine's [`docql_algebra::ExecCtx`] — toggling or rebuilding
-//! the index never invalidates cached plans either.
+//! *Correctness* depends only on the schema (translation resolves
+//! identifiers against roots of persistence; algebraization substitutes
+//! schema paths), so a cached plan evaluates correctly against any snapshot
+//! the store publishes — ingests never make a plan wrong, and the same
+//! plan serves every forked snapshot version. A schema change means a new
+//! store, and with it a new cache. The path-extent index is likewise an
+//! evaluation-time choice: plans embed `IndexPathScan` *choice points*
+//! resolved from the engine's [`docql_algebra::ExecCtx`].
 //!
-//! The same schema-only dependence is what lets a store share one cache
-//! (behind `Arc`) across every snapshot version it forks: a plan compiled
-//! against version *n* evaluates correctly against version *n+k*, because
-//! the engine binds the instance, indexes and extent handle at evaluation
-//! time. Publication never invalidates or cools the cache.
+//! *Quality*, however, depends on the statistics the cost-based planner
+//! saw: each algebra slot records the stats version it was planned
+//! against, and the engine invalidates the slot
+//! ([`CachedPlan::invalidate`]) when observed cardinality diverges from
+//! the estimate while fresher statistics exist — the next run re-plans.
+//! The translation is kept; only the algebraization re-runs.
 
 use crate::translate::Translated;
 use crate::O2sqlError;
-use docql_algebra::{algebraize, AlgebraError, Algebraized};
+use docql_algebra::{algebraize_with_stats, AlgebraError, Algebraized, StatsSource};
 use docql_model::Schema;
 use docql_obs::{Counter, Gauge, MetricsRegistry};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Default number of cached plans ([`PlanCache::with_capacity`] overrides).
 pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 256;
+
+/// The algebraized set-op chain (pre-order, shared), ready for evaluation.
+pub type AlgebraPlans = Arc<Vec<Arc<Algebraized>>>;
+
+/// One memoised algebraization of a plan's set-op chain, stamped with the
+/// statistics version it was costed against (0 when planned without
+/// statistics — the heuristic planner).
+struct AlgebraSlot {
+    plans: Result<Arc<Vec<Arc<Algebraized>>>, AlgebraError>,
+    stats_version: u64,
+}
 
 /// A compiled query, ready for repeated evaluation.
 pub struct CachedPlan {
@@ -40,8 +52,9 @@ pub struct CachedPlan {
     /// Algebraized plans for the set-op chain in pre-order (left query
     /// first, then each right-hand side), computed on the first algebraic
     /// run. `Err` is cached too: a query that cannot be algebraized fails
-    /// identically on every run.
-    algebra: OnceLock<Result<Vec<Arc<Algebraized>>, AlgebraError>>,
+    /// identically on every run — until [`CachedPlan::invalidate`] clears
+    /// the slot for re-planning against fresh statistics.
+    algebra: Mutex<Option<AlgebraSlot>>,
 }
 
 impl CachedPlan {
@@ -49,33 +62,48 @@ impl CachedPlan {
     pub fn new(translated: Translated) -> CachedPlan {
         CachedPlan {
             translated,
-            algebra: OnceLock::new(),
+            algebra: Mutex::new(None),
         }
     }
 
-    /// The algebraized plans for this query's set-op chain (pre-order),
-    /// computing and memoising them on first use.
-    pub fn algebra_plans(&self, schema: &Schema) -> Result<&[Arc<Algebraized>], O2sqlError> {
+    /// The algebraized plans for this query's set-op chain (pre-order) and
+    /// the stats version they were planned against, computing and memoising
+    /// them on first use. Algebraization runs *outside* the slot lock, so a
+    /// slow plan never blocks concurrent readers of an already-filled slot;
+    /// two threads may race to compute and the first insertion wins (both
+    /// get valid plans).
+    pub fn algebra_plans(
+        &self,
+        schema: &Schema,
+        stats: Option<&dyn StatsSource>,
+    ) -> Result<(AlgebraPlans, u64), O2sqlError> {
         fn collect(
             t: &Translated,
             schema: &Schema,
+            stats: Option<&dyn StatsSource>,
             out: &mut Vec<Arc<Algebraized>>,
         ) -> Result<(), AlgebraError> {
-            out.push(Arc::new(algebraize(&t.query, schema)?));
+            out.push(Arc::new(algebraize_with_stats(&t.query, schema, stats)?));
             if let Some((_, right)) = &t.set_op {
-                collect(right, schema, out)?;
+                collect(right, schema, stats, out)?;
             }
             Ok(())
         }
-        let computed = self.algebra.get_or_init(|| {
-            let mut out = Vec::new();
-            collect(&self.translated, schema, &mut out)?;
-            Ok(out)
-        });
-        match computed {
-            Ok(plans) => Ok(plans.as_slice()),
-            Err(e) => Err(O2sqlError::Eval(e.to_string())),
+        if let Some(slot) = self.slot_lock().as_ref() {
+            return slot_result(slot);
         }
+        let version = stats.map_or(0, StatsSource::version);
+        let mut out = Vec::new();
+        let plans = match collect(&self.translated, schema, stats, &mut out) {
+            Ok(()) => Ok(Arc::new(out)),
+            Err(e) => Err(e),
+        };
+        let mut guard = self.slot_lock();
+        let slot = guard.get_or_insert(AlgebraSlot {
+            plans,
+            stats_version: version,
+        });
+        slot_result(slot)
     }
 
     /// Has the §5.4 algebraization already run (successfully or not)?
@@ -83,7 +111,28 @@ impl CachedPlan {
     /// happens — memoised plans would otherwise record meaningless
     /// nanosecond samples on every run.
     pub fn is_algebraized(&self) -> bool {
-        self.algebra.get().is_some()
+        self.slot_lock().is_some()
+    }
+
+    /// Drop the memoised algebraization so the next algebraic run re-plans
+    /// against current statistics. The translation is kept — feedback
+    /// re-planning never re-parses. Called by the engine when observed
+    /// rows diverge from the plan's estimates and fresher stats exist.
+    pub fn invalidate(&self) {
+        *self.slot_lock() = None;
+    }
+
+    /// The slot guard. Poisoning is recovered: the slot is only ever
+    /// replaced whole, so an abandoned guard leaves it consistent.
+    fn slot_lock(&self) -> std::sync::MutexGuard<'_, Option<AlgebraSlot>> {
+        self.algebra.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+fn slot_result(slot: &AlgebraSlot) -> Result<(AlgebraPlans, u64), O2sqlError> {
+    match &slot.plans {
+        Ok(plans) => Ok((Arc::clone(plans), slot.stats_version)),
+        Err(e) => Err(O2sqlError::Eval(e.to_string())),
     }
 }
 
@@ -341,6 +390,59 @@ mod tests {
         let snap = reg.snapshot();
         assert_eq!(snap.counter("docql_plan_cache_hits_total"), Some(0));
         assert_eq!(snap.gauge("docql_plan_cache_entries"), Some(0));
+    }
+
+    /// A stats source that only carries a version — enough to check the
+    /// slot's version stamping and invalidation.
+    struct VersionOnly(u64);
+
+    impl StatsSource for VersionOnly {
+        fn version(&self) -> u64 {
+            self.0
+        }
+        fn documents(&self) -> u64 {
+            1
+        }
+        fn objects(&self) -> u64 {
+            1
+        }
+        fn extent_targets(&self, _key: &[docql_paths::ExtStep]) -> Option<u64> {
+            None
+        }
+        fn posting_docs(&self, _term: &str) -> u64 {
+            0
+        }
+        fn avg_doc_words(&self) -> u64 {
+            0
+        }
+    }
+
+    #[test]
+    fn algebra_slot_stamps_stats_version_and_invalidates() {
+        let schema = schema();
+        let plan = compile("select d.title from d in Docs", &schema);
+        assert!(!plan.is_algebraized());
+
+        // Heuristic planning stamps version 0.
+        let (_, v) = plan.algebra_plans(&schema, None).unwrap();
+        assert_eq!(v, 0);
+        assert!(plan.is_algebraized());
+
+        // The slot is memoised: fresher stats do not re-plan on their own.
+        let stats = VersionOnly(7);
+        let (_, v) = plan.algebra_plans(&schema, Some(&stats)).unwrap();
+        assert_eq!(v, 0, "memoised slot keeps its planned version");
+
+        // Invalidation clears the slot; the next run plans against the
+        // attached stats and stamps their version.
+        plan.invalidate();
+        assert!(!plan.is_algebraized());
+        let (plans, v) = plan.algebra_plans(&schema, Some(&stats)).unwrap();
+        assert_eq!(v, 7);
+        assert!(
+            plans.iter().all(|a| a.estimates.is_some()),
+            "cost-based planning records estimates"
+        );
     }
 
     #[test]

@@ -118,6 +118,15 @@ pub struct Engine<'a> {
     /// trip becomes [`crate::O2sqlError::Interrupted`], in degrade mode a
     /// flagged partial [`QueryResult`].
     pub guard: Option<&'a docql_guard::Guard>,
+    /// Live statistics for cost-based planning. When set, algebraization
+    /// chooses access paths, orders union branches and selection conjuncts
+    /// by estimated cost, and records per-operator estimates in the plan;
+    /// cached plans are stamped with the stats version they were planned
+    /// against, and the engine invalidates a cached plan when observed
+    /// rows diverge from its estimates while fresher statistics exist
+    /// (feedback re-planning). `None` (the default) is the heuristic
+    /// planner: textual order, no estimates.
+    pub stats: Option<&'a dyn docql_algebra::StatsSource>,
 }
 
 impl<'a> Engine<'a> {
@@ -131,6 +140,7 @@ impl<'a> Engine<'a> {
             extents: None,
             metrics: None,
             guard: None,
+            stats: None,
         }
     }
 
@@ -243,23 +253,71 @@ impl<'a> Engine<'a> {
                 // Time the algebraization only when it actually runs; a
                 // memoised plan would otherwise record a no-op sample on
                 // every cached execution.
-                let plans = match self.obs().filter(|_| !plan.is_algebraized()) {
+                let fresh = !plan.is_algebraized();
+                let (plans, planned_version) = match self.obs().filter(|_| fresh) {
                     Some(m) => {
                         let t0 = Instant::now();
-                        let plans = plan.algebra_plans(self.instance.schema());
+                        let plans = plan.algebra_plans(self.instance.schema(), self.stats);
                         m.algebraize_ns.record_duration(t0.elapsed());
+                        if self.stats.is_some() && plans.is_ok() {
+                            m.plans_costed.inc();
+                        }
                         plans?
                     }
-                    None => plan.algebra_plans(self.instance.schema())?,
+                    None => plan.algebra_plans(self.instance.schema(), self.stats)?,
                 };
                 let (rows, partial) = self.classify(self.timed_execute(|| {
-                    self.eval_rows_with(&plan.translated, Some(plans), &mut 0, None)
+                    self.eval_rows_with(&plan.translated, Some(plans.as_slice()), &mut 0, None)
                 }))?;
+                self.check_replan(plan, &plans, planned_version, rows.len());
                 Ok(QueryResult {
                     columns: plan.translated.columns.clone(),
                     rows,
                     partial,
                 })
+            }
+        }
+    }
+
+    /// Feedback re-planning: compare the rows a cached plan actually
+    /// produced against its planner estimates, and when they diverge by
+    /// more than [`docql_algebra::REPLAN_DIVERGENCE`] *and* the store's
+    /// statistics have moved since the plan was costed, invalidate the
+    /// plan's algebra slot so the next run re-plans against fresh stats.
+    /// Divergence alone (stats unchanged) never invalidates — re-planning
+    /// on the same statistics would rebuild the same plan.
+    fn check_replan(
+        &self,
+        plan: &CachedPlan,
+        plans: &[Arc<Algebraized>],
+        planned_version: u64,
+        observed: usize,
+    ) {
+        let Some(stats) = self.stats else { return };
+        let mut estimated = 0.0;
+        let mut any = false;
+        for a in plans {
+            if let Some(e) = &a.estimates {
+                estimated += e.root_rows();
+                any = true;
+            }
+        }
+        if !any {
+            return;
+        }
+        // +1 on both sides: estimates and results of 0 are common and must
+        // not divide by zero or declare infinite divergence against 1 row.
+        let ratio = (observed as f64 + 1.0) / (estimated + 1.0);
+        if let Some(m) = self.obs() {
+            m.estimate_error_pct.record((ratio * 100.0) as u64);
+        }
+        let diverged = !(docql_algebra::REPLAN_DIVERGENCE.recip()
+            ..=docql_algebra::REPLAN_DIVERGENCE)
+            .contains(&ratio);
+        if diverged && stats.version() != planned_version {
+            plan.invalidate();
+            if let Some(m) = self.obs() {
+                m.replans.inc();
             }
         }
     }
@@ -285,7 +343,18 @@ impl<'a> Engine<'a> {
         } else {
             "path-extent index: not attached (every IndexPathScan walks)\n"
         });
-        match docql_algebra::algebraize(&translated.query, self.instance.schema()) {
+        match self.stats {
+            Some(s) => out.push_str(&format!(
+                "planner: cost-based (stats version {})\n",
+                s.version()
+            )),
+            None => out.push_str("planner: heuristic (no statistics attached)\n"),
+        }
+        match docql_algebra::algebraize_with_stats(
+            &translated.query,
+            self.instance.schema(),
+            self.stats,
+        ) {
             Ok(a) => {
                 out.push_str(&format!(
                     "algebra plan ({} operators, {} branch(es)):
@@ -293,7 +362,10 @@ impl<'a> Engine<'a> {
                     a.plan.size(),
                     a.branches.len()
                 ));
-                out.push_str(&a.plan.explain());
+                match &a.estimates {
+                    Some(est) => out.push_str(&est.render(&a.plan)),
+                    None => out.push_str(&a.plan.explain()),
+                }
             }
             Err(e) => {
                 out.push_str(&format!(
@@ -381,7 +453,18 @@ impl<'a> Engine<'a> {
                         )
                         .map_err(|e| O2sqlError::Eval(e.to_string()))?
                     }
-                    None => docql_algebra_eval(&t.query, self.instance, self.interp, ctx)?,
+                    None => {
+                        // Uncached run: algebraize now, with the same
+                        // statistics a cached run would plan against.
+                        let a = docql_algebra::algebraize_with_stats(
+                            &t.query,
+                            self.instance.schema(),
+                            self.stats,
+                        )
+                        .map_err(|e| O2sqlError::Eval(e.to_string()))?;
+                        docql_algebra::eval_plan_with(&a, &t.query, self.instance, self.interp, ctx)
+                            .map_err(|e| O2sqlError::Eval(e.to_string()))?
+                    }
                 }
             }
         };
@@ -425,7 +508,8 @@ impl<'a> Engine<'a> {
         let mut node = Some(&translated);
         let mut algebra_err = None;
         while let Some(t) = node {
-            match docql_algebra::algebraize(&t.query, self.instance.schema()) {
+            match docql_algebra::algebraize_with_stats(&t.query, self.instance.schema(), self.stats)
+            {
                 Ok(a) => chain.push(Arc::new(a)),
                 Err(e) => {
                     algebra_err = Some(e);
@@ -446,6 +530,7 @@ impl<'a> Engine<'a> {
             extents: self.extents,
             metrics: self.metrics,
             guard: self.guard,
+            stats: self.stats,
         };
         let (rows, partial, plans, note) = match algebra_err {
             None => {
@@ -609,14 +694,4 @@ fn check_constructors(
             check_constructors(g, var_types, schema, errors);
         }
     }
-}
-
-fn docql_algebra_eval(
-    q: &docql_calculus::Query,
-    instance: &Instance,
-    interp: &Interp,
-    ctx: docql_algebra::ExecCtx<'_>,
-) -> Result<Vec<Vec<CalcValue>>, O2sqlError> {
-    docql_algebra::eval_algebraic_with(q, instance, interp, ctx)
-        .map_err(|e| O2sqlError::Eval(e.to_string()))
 }

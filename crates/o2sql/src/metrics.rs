@@ -37,6 +37,16 @@ pub struct EngineMetrics {
     pub algebraize_ns: Histogram,
     /// Nanoseconds evaluating (interpreter or plan execution).
     pub execute_ns: Histogram,
+    /// Plans costed by the statistics-driven planner (algebraizations run
+    /// with a stats source attached).
+    pub plans_costed: Counter,
+    /// Cached plans invalidated by feedback re-planning (observed rows
+    /// diverged from estimates while fresher statistics existed).
+    pub replans: Counter,
+    /// Estimate accuracy per executed cost-based plan: `100 × (observed
+    /// rows + 1) / (estimated rows + 1)` — 100 is a perfect estimate,
+    /// above is underestimation, below overestimation.
+    pub estimate_error_pct: Histogram,
     /// Per-operator registry counters for algebra execution.
     pub algebra: docql_algebra::AlgebraMetrics,
 }
@@ -51,6 +61,9 @@ impl EngineMetrics {
             translate_ns: registry.histogram("docql_query_translate_ns"),
             algebraize_ns: registry.histogram("docql_query_algebraize_ns"),
             execute_ns: registry.histogram("docql_query_execute_ns"),
+            plans_costed: registry.counter("docql_planner_plans_costed_total"),
+            replans: registry.counter("docql_planner_replans_total"),
+            estimate_error_pct: registry.histogram("docql_planner_estimate_error_pct"),
             algebra,
             registry,
         }
@@ -117,13 +130,27 @@ impl QueryProfile {
         }
         let n = self.plans.len();
         for (i, (a, p)) in self.plans.iter().enumerate() {
-            out.push_str(&format!(
-                "plan {}/{n} ({} operators, {} branch(es)):\n",
-                i + 1,
-                a.plan.size(),
-                a.branches.len()
-            ));
-            out.push_str(&p.render(&a.plan));
+            match &a.estimates {
+                Some(est) => {
+                    out.push_str(&format!(
+                        "plan {}/{n} ({} operators, {} branch(es), costed at stats v{}):\n",
+                        i + 1,
+                        a.plan.size(),
+                        a.branches.len(),
+                        est.stats_version
+                    ));
+                    out.push_str(&p.render_with_estimates(&a.plan, est));
+                }
+                None => {
+                    out.push_str(&format!(
+                        "plan {}/{n} ({} operators, {} branch(es)):\n",
+                        i + 1,
+                        a.plan.size(),
+                        a.branches.len()
+                    ));
+                    out.push_str(&p.render(&a.plan));
+                }
+            }
         }
         let (hits, walks) = self.scan_totals();
         if hits != 0 || walks != 0 {

@@ -93,6 +93,10 @@ pub struct PathExtentIndex {
     trie: Arc<Vec<TrieNode>>,
     /// Per path id: document root → targets, in walk (depth-first) order.
     extents: Vec<BTreeMap<Oid, Arc<Vec<Value>>>>,
+    /// Per path id: total target count across all roots, maintained
+    /// incrementally so the planner can read extent cardinalities without
+    /// summing the b-trees.
+    target_counts: Vec<u64>,
     /// The indexed document roots. An oid outside this set must fall back
     /// to walking — absence of targets is only meaningful for members.
     roots: BTreeSet<Oid>,
@@ -110,6 +114,7 @@ impl PathExtentIndex {
                 children: Vec::new(),
             }]),
             extents: Vec::new(),
+            target_counts: Vec::new(),
             roots: BTreeSet::new(),
         }
     }
@@ -183,6 +188,7 @@ impl PathExtentIndex {
         }
         let id = self.extents.len() as PathId;
         self.extents.push(BTreeMap::new());
+        self.target_counts.push(0);
         trie[node].path_id = id;
         Arc::make_mut(&mut self.paths).insert(key, id);
         id
@@ -196,6 +202,7 @@ impl PathExtentIndex {
             paths: Arc::clone(&self.paths),
             trie: Arc::clone(&self.trie),
             extents: vec![BTreeMap::new(); self.extents.len()],
+            target_counts: vec![0; self.extents.len()],
             roots: BTreeSet::new(),
         }
     }
@@ -205,9 +212,12 @@ impl PathExtentIndex {
     /// keep the shard's targets.
     pub fn merge(&mut self, shard: PathExtentIndex) {
         debug_assert_eq!(self.paths, shard.paths, "merging foreign extent shard");
-        for (mine, theirs) in self.extents.iter_mut().zip(shard.extents) {
+        for (pid, (mine, theirs)) in self.extents.iter_mut().zip(shard.extents).enumerate() {
             for (root, targets) in theirs {
-                mine.insert(root, targets);
+                self.target_counts[pid] += targets.len() as u64;
+                if let Some(old) = mine.insert(root, targets) {
+                    self.target_counts[pid] -= old.len() as u64;
+                }
             }
         }
         self.roots.extend(shard.roots);
@@ -227,6 +237,7 @@ impl PathExtentIndex {
         if pid != PathId::MAX {
             let targets = self.extents[pid as usize].entry(root).or_default();
             Arc::make_mut(targets).push(value.clone());
+            self.target_counts[pid as usize] += 1;
         }
         // Children are cloned out so the traversal can borrow `self`
         // mutably; fan-out per node is small (schema attribute counts).
@@ -268,6 +279,9 @@ impl PathExtentIndex {
         for e in &mut self.extents {
             e.clear();
         }
+        for c in &mut self.target_counts {
+            *c = 0;
+        }
         self.roots.clear();
     }
 
@@ -304,10 +318,14 @@ impl PathExtentIndex {
 
     /// Total number of materialised `(path, root, target)` entries.
     pub fn target_count(&self) -> usize {
-        self.extents
-            .iter()
-            .map(|m| m.values().map(|t| t.len()).sum::<usize>())
-            .sum()
+        self.target_counts.iter().map(|c| *c as usize).sum()
+    }
+
+    /// Total targets materialised for one path across all indexed roots —
+    /// the extent cardinality the cost model feeds on. O(1): maintained
+    /// incrementally at index/merge/restore time.
+    pub fn path_target_count(&self, path: PathId) -> u64 {
+        self.target_counts.get(path as usize).copied().unwrap_or(0)
     }
 
     /// The indexed paths, for diagnostics.
@@ -341,7 +359,10 @@ impl PathExtentIndex {
         let Some(pid) = self.lookup(key) else {
             return false;
         };
-        self.extents[pid as usize].insert(root, Arc::new(targets));
+        self.target_counts[pid as usize] += targets.len() as u64;
+        if let Some(old) = self.extents[pid as usize].insert(root, Arc::new(targets)) {
+            self.target_counts[pid as usize] -= old.len() as u64;
+        }
         true
     }
 
@@ -555,6 +576,49 @@ mod tests {
         assert!(!ix.is_root_indexed(b));
         assert!(ix.targets(eps, b).is_empty());
         assert_eq!(fork.targets(eps, b), &[Value::Oid(b)]);
+    }
+
+    #[test]
+    fn per_path_counts_track_index_merge_restore_and_clear() {
+        let schema = schema();
+        let mut inst = Instance::new(schema.clone());
+        let a = doc(&mut inst, "A", &["x", "y"]);
+        let b = doc(&mut inst, "B", &["z"]);
+        let key = vec![
+            ExtStep::Deref,
+            ExtStep::Attr(sym("sections")),
+            ExtStep::ListElem,
+            ExtStep::Deref,
+            ExtStep::Attr(sym("title")),
+        ];
+
+        let mut ix = PathExtentIndex::for_collection_root(&schema, sym("Docs"));
+        let pid = ix.lookup(&key).unwrap();
+        assert_eq!(ix.path_target_count(pid), 0);
+        ix.index_document(&inst, a);
+        assert_eq!(ix.path_target_count(pid), 2);
+
+        // A merged shard adds its counts; re-merging the same root must not
+        // double-count (merge keeps the shard's targets).
+        let mut shard = ix.empty_like();
+        shard.index_document(&inst, b);
+        assert_eq!(shard.path_target_count(pid), 1);
+        ix.merge(shard.clone());
+        assert_eq!(ix.path_target_count(pid), 3);
+        ix.merge(shard);
+        assert_eq!(ix.path_target_count(pid), 3);
+
+        // Restores count too, including replacement of an existing root.
+        let mut restored = ix.empty_like();
+        assert!(restored.restore_targets(&key, a, vec![Value::str("x"), Value::str("y")]));
+        assert_eq!(restored.path_target_count(pid), 2);
+        assert!(restored.restore_targets(&key, a, vec![Value::str("x")]));
+        assert_eq!(restored.path_target_count(pid), 1);
+
+        ix.clear();
+        assert_eq!(ix.path_target_count(pid), 0);
+        // Counts for out-of-range ids read as zero rather than panicking.
+        assert_eq!(ix.path_target_count(PathId::MAX), 0);
     }
 
     #[test]

@@ -112,8 +112,9 @@ impl From<O2sqlError> for StoreError {
 /// queries, text searches and exports against one store concurrently (e.g.
 /// via [`std::thread::scope`], or [`SharedStore`] when readers and writers
 /// must interleave). The query-plan cache is internally synchronised and
-/// shared by all readers; plans depend only on the schema, so ingesting
-/// more documents never invalidates them.
+/// shared by all readers; plans stay *correct* across ingests (they depend
+/// only on the schema), though feedback re-planning may re-cost one whose
+/// estimates drifted far from what execution observed.
 ///
 /// [`DocStore::fork`] produces an independent copy in O(structure) — the
 /// document data (object values, position lists, extent targets, text) is
@@ -134,13 +135,27 @@ pub struct DocStore {
     /// Whether engines attach the extent index (on by default; switched off
     /// to force walking, e.g. for differential tests and benches).
     use_extents: bool,
+    /// Whether engines plan cost-based against this store's live statistics
+    /// (on by default; switched off to force the heuristic planner, the
+    /// differential-testing and bench baseline).
+    use_cost_planning: bool,
+    /// Statistics version: bumped by every mutation that changes what the
+    /// planner's statistics describe (ingest, update, text refresh), and
+    /// carried across [`DocStore::fork`] — a published MVCC snapshot
+    /// therefore exposes exactly the version its data was planned from,
+    /// and stats can never tear mid-query (the snapshot is immutable).
+    stats_version: u64,
     /// Root objects of ingested documents, in ingestion order.
     documents: Vec<Oid>,
     /// Compiled-plan cache shared by all query paths (hit = skip lex,
     /// parse, translation and algebraization). Behind `Arc` so every fork
     /// of this store shares one cache: plans depend only on the schema,
     /// which forks preserve, so entries stay valid across snapshot
-    /// publication and a freshly published snapshot starts warm.
+    /// publication and a freshly published snapshot starts warm. Cost-based
+    /// plans additionally carry the stats version they were costed at;
+    /// the engine invalidates an entry's algebraization (not its
+    /// translation) when observed rows diverge from estimates under fresher
+    /// statistics.
     plan_cache: Arc<PlanCache>,
     /// Pre-resolved handles into this store's metrics registry (which the
     /// bundle owns). Disabled by default; see
@@ -262,6 +277,8 @@ impl DocStore {
             index,
             extents,
             use_extents: true,
+            use_cost_planning: true,
+            stats_version: 0,
             documents: Vec::new(),
             plan_cache: Arc::new(plan_cache),
             metrics,
@@ -294,6 +311,8 @@ impl DocStore {
             index: self.index.clone(),
             extents: self.extents.clone(),
             use_extents: self.use_extents,
+            use_cost_planning: self.use_cost_planning,
+            stats_version: self.stats_version,
             documents: self.documents.clone(),
             plan_cache: Arc::clone(&self.plan_cache),
             metrics: self.metrics.clone(),
@@ -328,7 +347,34 @@ impl DocStore {
             self.metrics.docs_ingested.inc();
         }
         self.documents.push(loaded.root);
+        self.bump_stats();
         Ok(loaded.root)
+    }
+
+    /// Advance the statistics version after a mutation and, when metrics
+    /// are on, mirror the live stats snapshot into the `docql_stats_*`
+    /// gauges. The counters themselves (extent target counts, posting
+    /// lengths, document totals) are maintained incrementally by the
+    /// substrate indexes; this only stamps the version they now describe.
+    fn bump_stats(&mut self) {
+        self.stats_version += 1;
+        if self.metrics.enabled() {
+            self.metrics
+                .stats_version
+                .set(i64::try_from(self.stats_version).unwrap_or(i64::MAX));
+            self.metrics
+                .stats_documents
+                .set(i64::try_from(self.documents.len()).unwrap_or(i64::MAX));
+            self.metrics
+                .stats_objects
+                .set(i64::try_from(self.instance.object_count()).unwrap_or(i64::MAX));
+            self.metrics
+                .stats_extent_targets
+                .set(i64::try_from(self.extents.target_count()).unwrap_or(i64::MAX));
+            self.metrics
+                .stats_text_terms
+                .set(i64::try_from(self.index.term_count()).unwrap_or(i64::MAX));
+        }
     }
 
     /// Ingest a batch of SGML documents, parallelising the per-document
@@ -494,6 +540,7 @@ impl DocStore {
             self.metrics.docs_ingested.add(roots.len() as u64);
         }
         self.documents.extend(roots.iter().copied());
+        self.bump_stats();
         Ok(roots)
     }
 
@@ -772,8 +819,36 @@ impl DocStore {
         if self.use_extents {
             e.extents = Some(&self.extents);
         }
+        if self.use_cost_planning {
+            e.stats = Some(self);
+        }
         e.metrics = Some(&self.metrics.engine);
         e
+    }
+
+    /// Enable or disable cost-based planning for subsequent queries
+    /// (enabled by default). Disabling forces the heuristic planner —
+    /// textual conjunct order, no estimates — the differential-testing and
+    /// bench baseline. Unlike the extent toggle, switching *does* clear the
+    /// plan cache: heuristic and cost-based plans can differ in operator
+    /// order, and cached plans are mode-blind.
+    pub fn set_cost_planning_enabled(&mut self, enabled: bool) {
+        if self.use_cost_planning != enabled {
+            self.plan_cache.clear();
+        }
+        self.use_cost_planning = enabled;
+    }
+
+    /// Do engines plan cost-based against this store's live statistics?
+    pub fn cost_planning_enabled(&self) -> bool {
+        self.use_cost_planning
+    }
+
+    /// The statistics version the planner currently sees (bumped by every
+    /// ingest/update; carried by forks, so a pinned MVCC snapshot reports
+    /// the version its data was published at).
+    pub fn stats_version(&self) -> u64 {
+        self.stats_version
     }
 
     /// Enable or disable the path-extent index for subsequent queries
@@ -889,6 +964,7 @@ impl DocStore {
         if self.metrics.enabled() {
             self.metrics.extent_build_ns.record(elapsed_ns(t_ext));
         }
+        self.bump_stats();
     }
 
     /// The text of an object = the texts of its element children in shape
@@ -1007,6 +1083,45 @@ impl DocStore {
             store.ingest(&text)?;
         }
         Ok(store)
+    }
+}
+
+/// A `DocStore` is its own statistics snapshot: the counters the cost
+/// model reads (document/object totals, per-path extent target counts,
+/// text-index posting lengths) are maintained incrementally by the
+/// substrate indexes at ingest/update time, and the whole store travels
+/// as one immutable MVCC snapshot — a plan costed against a pinned
+/// snapshot can never read torn statistics, because nothing in the
+/// snapshot ever changes (writers mutate a fork and publish a new
+/// version with a new [`DocStore::stats_version`]).
+impl docql_algebra::StatsSource for DocStore {
+    fn version(&self) -> u64 {
+        self.stats_version
+    }
+
+    fn documents(&self) -> u64 {
+        self.documents.len() as u64
+    }
+
+    fn objects(&self) -> u64 {
+        self.instance.object_count() as u64
+    }
+
+    fn extent_targets(&self, key: &[docql_paths::ExtStep]) -> Option<u64> {
+        self.extents
+            .lookup(key)
+            .map(|pid| self.extents.path_target_count(pid))
+    }
+
+    fn posting_docs(&self, term: &str) -> u64 {
+        self.index.posting_doc_count(term) as u64
+    }
+
+    fn avg_doc_words(&self) -> u64 {
+        self.index
+            .total_words()
+            .checked_div(self.documents.len() as u64)
+            .unwrap_or(0)
     }
 }
 

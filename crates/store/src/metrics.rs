@@ -73,6 +73,17 @@ pub struct StoreMetrics {
     /// Milliseconds since the current snapshot was published, sampled each
     /// time a reader pins it (a staleness signal for mixed workloads).
     pub snapshot_age_ms: Gauge,
+    /// Planner-statistics version (bumped per mutation; what cost-based
+    /// plans are stamped with).
+    pub stats_version: Gauge,
+    /// Documents in the planner's statistics snapshot.
+    pub stats_documents: Gauge,
+    /// Objects in the planner's statistics snapshot.
+    pub stats_objects: Gauge,
+    /// Total path-extent targets in the planner's statistics snapshot.
+    pub stats_extent_targets: Gauge,
+    /// Distinct text-index terms in the planner's statistics snapshot.
+    pub stats_text_terms: Gauge,
 }
 
 impl StoreMetrics {
@@ -104,6 +115,11 @@ impl StoreMetrics {
             snapshots_published: registry.counter("docql_store_snapshots_published_total"),
             snapshot_version: registry.gauge("docql_store_snapshot_version"),
             snapshot_age_ms: registry.gauge("docql_store_snapshot_age_ms"),
+            stats_version: registry.gauge("docql_stats_version"),
+            stats_documents: registry.gauge("docql_stats_documents"),
+            stats_objects: registry.gauge("docql_stats_objects"),
+            stats_extent_targets: registry.gauge("docql_stats_extent_targets"),
+            stats_text_terms: registry.gauge("docql_stats_text_terms"),
             registry,
         }
     }

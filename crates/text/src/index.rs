@@ -119,6 +119,20 @@ impl InvertedIndex {
         self.postings.len()
     }
 
+    /// Posting length of `word` (case-insensitive exact term match): how
+    /// many documents contain it. One b-tree lookup — the cost model reads
+    /// this per `contains` conjunct, without materialising the doc set.
+    pub fn posting_doc_count(&self, word: &str) -> usize {
+        self.postings.get(&normalize(word)).map_or(0, |m| m.len())
+    }
+
+    /// Total indexed words across all documents (the corpus token count;
+    /// `total_words / doc_count` is the average document length the cost
+    /// model charges for a text re-check).
+    pub fn total_words(&self) -> u64 {
+        self.docs.values().map(|c| u64::from(*c)).sum()
+    }
+
     /// All indexed document ids.
     pub fn all_docs(&self) -> BTreeSet<DocId> {
         self.docs.keys().copied().collect()
@@ -566,5 +580,17 @@ mod tests {
         let ix = sample();
         assert_eq!(ix.doc_count(), 3);
         assert!(ix.term_count() > 10);
+    }
+
+    #[test]
+    fn posting_lengths_and_word_totals() {
+        let ix = sample();
+        assert_eq!(ix.posting_doc_count("complex"), 1);
+        assert_eq!(ix.posting_doc_count("SGML"), 1, "case folded");
+        assert_eq!(ix.posting_doc_count("an"), 1, "per-doc, not per-occurrence");
+        assert_eq!(ix.posting_doc_count("ghost"), 0);
+        let words: u64 = ix.doc_words().map(|(_, c)| u64::from(c)).sum();
+        assert_eq!(ix.total_words(), words);
+        assert!(ix.total_words() > 0);
     }
 }
