@@ -64,6 +64,16 @@ else
     exit 1
 fi
 
+echo "==> no panicking unwrap/expect on crates/obs library paths (tracing must never fail a query)"
+if awk 'FNR==1 { intests=0 } /#\[cfg\(test\)\]/ { intests=1 } \
+       !intests && /\.(unwrap|expect)\(/ { print FILENAME ":" FNR ": " $0; bad=1 } \
+       END { exit bad }' crates/obs/src/*.rs; then
+    echo "    clean"
+else
+    echo "    panic sites above — crates/obs must stay panic-free" >&2
+    exit 1
+fi
+
 echo "==> bench smoke (1 ms window per benchmark target)"
 DOCQL_BENCH_MS=1 cargo bench --workspace -q >/dev/null
 
@@ -79,8 +89,28 @@ cargo run -q --release -p docql-bench --example b11_interleaved
 echo "==> B12 mixed read/write smoke (snapshots vs global lock, short windows)"
 DOCQL_B12_MS=50 cargo run -q --release -p docql-bench --example b12_mixed
 
+echo "==> B15 trace-overhead smoke (recorder disabled/enabled/sink, 1 ms windows)"
+DOCQL_BENCH_MS=1 cargo bench -q -p docql-bench --bench trace_overhead | grep "^B15"
+
+echo "==> B15 interleaved smoke (drift-immune traced vs untraced)"
+cargo run -q --release -p docql-bench --example b15_interleaved
+
 echo "==> profile_query example (EXPLAIN ANALYZE + metrics export)"
 cargo run -q --example profile_query >/dev/null
+
+echo "==> trace smoke (DOCQL_TRACE=stderr emits one JSON line per query)"
+trace_out=$(mktemp)
+DOCQL_TRACE=stderr cargo run -q --example trace_query >/dev/null 2>"$trace_out"
+if awk '/^\{"trace_id":"/ { seen+=1; if ($0 !~ /\}$/) bad=1 } \
+        END { exit (bad || seen == 0) }' "$trace_out"; then
+    echo "    $(grep -c '^{\"trace_id\"' "$trace_out") trace lines, each one JSON object with a trace id"
+else
+    echo "    malformed or missing trace lines:" >&2
+    cat "$trace_out" >&2
+    rm -f "$trace_out"
+    exit 1
+fi
+rm -f "$trace_out"
 
 echo "==> cargo doc (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet

@@ -31,6 +31,7 @@ use docql_calculus::{
 use docql_model::{Schema, Sym};
 use docql_paths::{AbsPath, AbsStep};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, OnceLock};
 
 /// Upper bound on the number of substituted branches (candidate product).
 pub const MAX_CANDIDATE_PRODUCT: usize = 10_000;
@@ -45,6 +46,49 @@ pub struct Algebraized {
     /// live statistics ([`algebraize_with_stats`]); records the stats
     /// version it was planned at. `None` for heuristic plans.
     pub estimates: Option<PlanEstimates>,
+    /// Lazily built tracing support — see [`Algebraized::trace_shape`].
+    trace_shape: OnceLock<TraceShape>,
+}
+
+/// What a traced execution needs from the plan, rendered once per plan:
+/// the profile's pre-order/child table and the first operators' span
+/// labels. Both depend only on the plan tree, and building them (a tree
+/// walk plus string formatting) costs far more than executing a small
+/// cached plan — so cached plans amortize it across every traced run.
+#[derive(Debug)]
+pub struct TraceShape {
+    /// The profile numbering/child table, shared into each traced run's
+    /// `PlanProfile`.
+    pub shape: Arc<crate::profile::ProfileShape>,
+    /// `(depth, label)` of the plan's first operators in pre-order; traces
+    /// aggregate any operators beyond these into one tail span.
+    pub labels: Arc<[(u32, Arc<str>)]>,
+}
+
+impl Algebraized {
+    /// An algebraized plan with empty tracing caches.
+    pub fn new(plan: Op, branches: Vec<Query>, estimates: Option<PlanEstimates>) -> Algebraized {
+        Algebraized {
+            plan,
+            branches,
+            estimates,
+            trace_shape: OnceLock::new(),
+        }
+    }
+
+    /// The plan's [`TraceShape`], built on first use with at most
+    /// `max_labels` rendered labels (later calls reuse the first
+    /// rendering, whatever its cap).
+    pub fn trace_shape(&self, max_labels: usize) -> &TraceShape {
+        self.trace_shape.get_or_init(|| {
+            let mut labels = Vec::new();
+            crate::profile::collect_labels(&self.plan, 0, max_labels.max(1), &mut labels);
+            TraceShape {
+                shape: Arc::new(crate::profile::ProfileShape::of(&self.plan)),
+                labels: labels.into(),
+            }
+        })
+    }
 }
 
 struct Ctx<'a> {
@@ -171,11 +215,7 @@ pub fn algebraize_with_stats(
         };
         let plan = compile_query_with_stats(&branch, stats)?;
         let estimates = stats.map(|s| cost::estimate(&plan, s));
-        return Ok(Algebraized {
-            plan,
-            branches: vec![branch],
-            estimates,
-        });
+        return Ok(Algebraized::new(plan, vec![branch], estimates));
     }
 
     // Candidate lists for the free variables.
@@ -287,11 +327,7 @@ pub fn algebraize_with_stats(
         vars: q.head.clone(),
     };
     let estimates = stats.map(|s| cost::estimate(&plan, s));
-    Ok(Algebraized {
-        plan,
-        branches,
-        estimates,
-    })
+    Ok(Algebraized::new(plan, branches, estimates))
 }
 
 /// Peephole over one substituted branch, exploiting that the union as a

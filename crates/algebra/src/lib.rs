@@ -20,7 +20,9 @@ pub mod profile;
 
 use std::fmt;
 
-pub use algebraize::{algebraize, algebraize_with_stats, Algebraized, MAX_CANDIDATE_PRODUCT};
+pub use algebraize::{
+    algebraize, algebraize_with_stats, Algebraized, TraceShape, MAX_CANDIDATE_PRODUCT,
+};
 pub use compile::{compile_query, compile_query_with_stats};
 pub use cost::{CostProfile, PlanEstimates, StatsSource, REPLAN_DIVERGENCE};
 pub use plan::{ExecCtx, IndexPathScan, Op, WalkStep};

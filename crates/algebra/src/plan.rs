@@ -228,6 +228,16 @@ impl Op {
         if ctx.profile.is_none() && ctx.metrics.is_none() {
             return self.run_inner(instance, ev, ctx, input_rows, node);
         }
+        if ctx.metrics.is_none() && ctx.profile.is_some_and(|p| !p.is_timed()) {
+            // Untimed profile (query tracing): count calls and rows, skip
+            // the clock — semi-join sub-plans re-enter here once per input
+            // row, and two `Instant::now` calls per entry would dominate.
+            let result = self.run_inner(instance, ev, ctx, input_rows, node);
+            if let (Ok(rows), Some(p)) = (&result, ctx.profile) {
+                p.record(node, 0, rows.len() as u64);
+            }
+            return result;
+        }
         let start = std::time::Instant::now();
         let result = self.run_inner(instance, ev, ctx, input_rows, node);
         if let Ok(rows) = &result {

@@ -22,6 +22,7 @@
 use crate::plan::Op;
 use docql_obs::{Counter, MetricsRegistry};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// One operator's accumulated statistics.
@@ -34,15 +35,15 @@ struct NodeStats {
     walk_fallbacks: AtomicU64,
 }
 
-/// Per-operator statistics for one plan, indexed by pre-order position.
-///
-/// Built once per profiled execution from the plan tree; recording uses
-/// relaxed atomics so the profile can be shared (the executor takes it by
-/// shared reference through `ExecCtx`).
+/// The pre-order numbering and child table of one plan tree, flattened to
+/// two arrays (CSR layout: `child_start[n]..child_start[n+1]` indexes
+/// `child_ids`). Building it walks the tree; sharing it through an `Arc`
+/// lets a cached plan pay that walk once, after which every traced
+/// execution's [`PlanProfile`] is a single zeroed allocation.
 #[derive(Debug)]
-pub struct PlanProfile {
-    nodes: Vec<NodeStats>,
-    children: Vec<Vec<usize>>,
+pub struct ProfileShape {
+    child_start: Vec<u32>,
+    child_ids: Vec<u32>,
 }
 
 fn build(op: &Op, children: &mut Vec<Vec<usize>>) -> usize {
@@ -57,24 +58,130 @@ fn build(op: &Op, children: &mut Vec<Vec<usize>>) -> usize {
     id
 }
 
+impl ProfileShape {
+    /// The shape of `plan` (node `0` is the root).
+    pub fn of(plan: &Op) -> ProfileShape {
+        let mut nested = Vec::new();
+        build(plan, &mut nested);
+        let mut child_start = Vec::with_capacity(nested.len() + 1);
+        let mut child_ids = Vec::with_capacity(nested.len().saturating_sub(1));
+        child_start.push(0);
+        for kids in &nested {
+            for k in kids {
+                child_ids.push(u32::try_from(*k).unwrap_or(0));
+            }
+            child_start.push(u32::try_from(child_ids.len()).unwrap_or(u32::MAX));
+        }
+        ProfileShape {
+            child_start,
+            child_ids,
+        }
+    }
+
+    /// Number of operators in the plan.
+    pub fn len(&self) -> usize {
+        self.child_start.len() - 1
+    }
+
+    /// True when the plan has no operators (a shape built from nothing).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn child(&self, node: usize, k: usize) -> usize {
+        let (Some(start), Some(end)) = (self.child_start.get(node), self.child_start.get(node + 1))
+        else {
+            return 0;
+        };
+        let idx = (*start as usize).saturating_add(k);
+        if idx >= *end as usize {
+            return 0;
+        }
+        self.child_ids.get(idx).map(|c| *c as usize).unwrap_or(0)
+    }
+}
+
+/// Per-operator statistics for one plan, indexed by pre-order position.
+///
+/// Built once per profiled execution from the plan tree (or, on the traced
+/// cached-plan path, from a shared [`ProfileShape`]); recording uses
+/// relaxed atomics so the profile can be shared (the executor takes it by
+/// shared reference through `ExecCtx`).
+#[derive(Debug)]
+pub struct PlanProfile {
+    /// One row per individually tracked operator, plus (when the plan is
+    /// larger than the tracking cap) a trailing overflow row that
+    /// accumulates every remaining operator. Generalized-path plans fan
+    /// out to thousands of union branches; tracking them all would turn
+    /// each record into a cold cache miss on a fresh multi-hundred-KB
+    /// allocation, for statistics a trace would aggregate anyway.
+    nodes: Vec<NodeStats>,
+    /// Ids `0..tracked` get individual rows; everything else folds into
+    /// the overflow row at index `tracked`.
+    tracked: usize,
+    shape: Arc<ProfileShape>,
+    timed: bool,
+}
+
 impl PlanProfile {
-    /// A zeroed profile shaped like `plan` (node `0` is the plan root).
+    /// A zeroed profile shaped like `plan` (node `0` is the plan root),
+    /// tracking every operator individually — the `EXPLAIN ANALYZE` shape.
     pub fn new(plan: &Op) -> PlanProfile {
-        let mut children = Vec::new();
-        build(plan, &mut children);
-        let nodes = (0..children.len()).map(|_| NodeStats::default()).collect();
-        PlanProfile { nodes, children }
+        PlanProfile::from_shape(Arc::new(ProfileShape::of(plan)), true, usize::MAX)
+    }
+
+    /// Like [`PlanProfile::new`], but the executor skips the per-operator
+    /// clock reads: `calls`, `rows`, and the scan split are still counted
+    /// (relaxed atomics), `nanos` stays zero. The sub-plan of a semi-join
+    /// re-enters the instrumentation shell once per input row, so two
+    /// `Instant::now` calls per entry dominate tight plans — this is what
+    /// lets query *tracing* collect estimated-vs-actual rows within its
+    /// few-percent overhead budget, where `EXPLAIN ANALYZE` keeps full
+    /// timing.
+    pub fn untimed(plan: &Op) -> PlanProfile {
+        PlanProfile::from_shape(Arc::new(ProfileShape::of(plan)), false, usize::MAX)
+    }
+
+    /// A profile over a prebuilt (typically plan-cached) shape. `timed`
+    /// selects whether the executor reads the clock per operator call;
+    /// `max_tracked` bounds the individually tracked operators (the rest
+    /// share one overflow row — see the `nodes` field).
+    pub fn from_shape(shape: Arc<ProfileShape>, timed: bool, max_tracked: usize) -> PlanProfile {
+        let tracked = shape.len().min(max_tracked.max(1));
+        let rows = if tracked < shape.len() {
+            tracked + 1
+        } else {
+            tracked
+        };
+        let nodes = (0..rows).map(|_| NodeStats::default()).collect();
+        PlanProfile {
+            nodes,
+            tracked,
+            shape,
+            timed,
+        }
+    }
+
+    /// Does the executor read the clock for this profile?
+    pub fn is_timed(&self) -> bool {
+        self.timed
     }
 
     /// Number of operators in the profiled plan.
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.shape.len()
     }
 
     /// Whether the profile covers no operators (never true for a profile
     /// built from a plan — every plan has at least one node).
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.shape.len() == 0
+    }
+
+    /// Number of operators with individual statistics rows; operators at
+    /// ids `tracked()..len()` fold into one shared overflow row.
+    pub fn tracked(&self) -> usize {
+        self.tracked
     }
 
     /// The pre-order id of `node`'s `k`-th child (in
@@ -82,26 +189,38 @@ impl PlanProfile {
     /// return node `0` rather than panicking; they indicate a profile built
     /// from a different plan than the one executing.
     pub fn child(&self, node: usize, k: usize) -> usize {
-        self.children
-            .get(node)
-            .and_then(|c| c.get(k))
-            .copied()
-            .unwrap_or(0)
+        self.shape.child(node, k)
+    }
+
+    /// Unsynchronized add on an atomic cell: executor recording is
+    /// single-writer (one thread runs a plan), so a relaxed load + store
+    /// beats the read-modify-write a `fetch_add` would lock the bus for —
+    /// it shows up, the sub-plan of a semi-join records once per input
+    /// row. Concurrent *readers* (a trace snapshot racing the run) stay
+    /// race-free and at worst observe the previous value.
+    #[inline]
+    fn bump(cell: &AtomicU64, delta: u64) {
+        cell.store(
+            cell.load(Ordering::Relaxed).wrapping_add(delta),
+            Ordering::Relaxed,
+        );
     }
 
     pub(crate) fn record(&self, node: usize, nanos: u64, rows: u64) {
-        if let Some(n) = self.nodes.get(node) {
-            n.calls.fetch_add(1, Ordering::Relaxed);
-            n.rows.fetch_add(rows, Ordering::Relaxed);
-            n.nanos.fetch_add(nanos, Ordering::Relaxed);
+        // Past-the-cap operators share the overflow row at `tracked`; a
+        // node id beyond even that (a profile built from a different plan)
+        // misses `nodes` entirely and is ignored.
+        if let Some(n) = self.nodes.get(node.min(self.tracked)) {
+            Self::bump(&n.calls, 1);
+            Self::bump(&n.rows, rows);
+            Self::bump(&n.nanos, nanos);
         }
     }
 
     pub(crate) fn record_scan(&self, node: usize, index_hits: u64, walk_fallbacks: u64) {
-        if let Some(n) = self.nodes.get(node) {
-            n.index_hits.fetch_add(index_hits, Ordering::Relaxed);
-            n.walk_fallbacks
-                .fetch_add(walk_fallbacks, Ordering::Relaxed);
+        if let Some(n) = self.nodes.get(node.min(self.tracked)) {
+            Self::bump(&n.index_hits, index_hits);
+            Self::bump(&n.walk_fallbacks, walk_fallbacks);
         }
     }
 
@@ -161,6 +280,11 @@ impl PlanProfile {
     }
 
     fn stat(&self, node: usize, f: impl Fn(&NodeStats) -> &AtomicU64) -> u64 {
+        // Individual statistics exist only for tracked operators; an
+        // untracked id would otherwise read the overflow row.
+        if node >= self.tracked {
+            return 0;
+        }
         self.nodes
             .get(node)
             .map(|n| f(n).load(Ordering::Relaxed))
@@ -205,6 +329,95 @@ impl PlanProfile {
         plan.explain_annotated(&|id| {
             format!("  [{} | {}]", est.annotation(id), self.annotation(id))
         })
+    }
+
+    /// Flatten this profile into per-operator trace spans
+    /// ([`docql_obs::OpSpan`]), pre-order with tree depth, pairing each
+    /// operator's measured actuals with its estimated rows when the plan
+    /// was costed. `plan` must be the plan this profile (and `est`) were
+    /// built from.
+    ///
+    /// At most `max_spans` operators are rendered individually; the rest
+    /// collapse into one trailing aggregate span (calls/rows/ns summed, no
+    /// label formatting). Generalized-path queries fan a union out to
+    /// thousands of branches, and rendering a label string per node — then
+    /// retaining all of them in the flight-recorder ring — would dominate
+    /// the cost of tracing such a query. Pre-order ids are assigned in
+    /// emission order, so the elided tail is exactly ids
+    /// `max_spans..len()`.
+    pub fn op_spans(
+        &self,
+        plan: &Op,
+        est: Option<&crate::cost::PlanEstimates>,
+        max_spans: usize,
+    ) -> Vec<docql_obs::OpSpan> {
+        let mut labels = Vec::new();
+        collect_labels(plan, 0, max_spans.max(1).min(self.len()), &mut labels);
+        self.op_spans_with_labels(&labels, est)
+    }
+
+    /// [`PlanProfile::op_spans`] against pre-rendered labels — no plan walk
+    /// and no string formatting. This is the traced cached-plan path: the
+    /// labels come from the plan's one-time
+    /// [`Algebraized::trace_shape`](crate::Algebraized::trace_shape)
+    /// rendering, and each span's label is an `Arc` clone.
+    pub fn op_spans_with_labels(
+        &self,
+        labels: &[(u32, Arc<str>)],
+        est: Option<&crate::cost::PlanEstimates>,
+    ) -> Vec<docql_obs::OpSpan> {
+        let emitted = labels.len().min(self.tracked);
+        let truncated = emitted < self.len();
+        let mut out = Vec::with_capacity(emitted + usize::from(truncated));
+        for (id, (depth, label)) in labels.iter().enumerate().take(emitted) {
+            out.push(docql_obs::OpSpan {
+                depth: *depth,
+                label: Arc::clone(label),
+                calls: self.calls(id),
+                rows: self.rows(id),
+                ns: self.nanos(id),
+                est_rows: est.map(|e| e.rows(id).round().clamp(0.0, 1e15) as u64),
+                index_hits: self.index_hits(id),
+                walk_fallbacks: self.walk_fallbacks(id),
+            });
+        }
+        if truncated {
+            // Sum the statistics rows past the emitted prefix — for a
+            // capped profile that is just the overflow row, never a scan
+            // over thousands of per-node entries.
+            let (mut calls, mut rows, mut ns, mut hits, mut falls) = (0u64, 0u64, 0u64, 0u64, 0u64);
+            for n in &self.nodes[emitted..] {
+                calls += n.calls.load(Ordering::Relaxed);
+                rows += n.rows.load(Ordering::Relaxed);
+                ns += n.nanos.load(Ordering::Relaxed);
+                hits += n.index_hits.load(Ordering::Relaxed);
+                falls += n.walk_fallbacks.load(Ordering::Relaxed);
+            }
+            out.push(docql_obs::OpSpan {
+                depth: 0,
+                label: format!("... {} more operators (aggregated)", self.len() - emitted).into(),
+                calls,
+                rows,
+                ns,
+                est_rows: None,
+                index_hits: hits,
+                walk_fallbacks: falls,
+            });
+        }
+        out
+    }
+}
+
+/// Collect `(depth, label)` pairs for the first `cap` operators of `plan`
+/// in pre-order — the label half of a trace's op spans, separated from the
+/// per-execution counters so a cached plan can render it once.
+pub(crate) fn collect_labels(op: &Op, depth: u32, cap: usize, out: &mut Vec<(u32, Arc<str>)>) {
+    if out.len() >= cap {
+        return;
+    }
+    out.push((depth, op.node_label().into()));
+    for c in op.children() {
+        collect_labels(c, depth + 1, cap, out);
     }
 }
 
@@ -293,5 +506,60 @@ mod tests {
         assert_eq!(p.root_rows(), 2);
         assert_eq!(p.total_rows(), 5);
         assert_eq!(p.scan_totals(), (2, 1));
+    }
+
+    #[test]
+    fn op_spans_follow_preorder_with_depth() {
+        let plan = sample_plan();
+        let p = PlanProfile::new(&plan);
+        p.record(0, 1_500, 2);
+        p.record(2, 700, 3);
+        p.record_scan(2, 2, 1);
+        let spans = p.op_spans(&plan, None, usize::MAX);
+        assert_eq!(spans.len(), 5);
+        assert_eq!(spans[0].depth, 0);
+        assert!(spans[0].label.starts_with("Project"));
+        assert_eq!(spans[0].calls, 1);
+        assert_eq!(spans[0].rows, 2);
+        assert_eq!(spans[0].est_rows, None);
+        assert_eq!(spans[1].depth, 1, "Semi under Project");
+        assert_eq!(spans[2].depth, 2, "Walk under Semi");
+        assert_eq!(spans[2].index_hits, 2);
+        assert_eq!(spans[2].walk_fallbacks, 1);
+        assert_eq!(spans[4].depth, 2, "Unit is Semi's second child");
+    }
+
+    #[test]
+    fn op_spans_cap_aggregates_the_preorder_tail() {
+        let plan = sample_plan();
+        let p = PlanProfile::new(&plan);
+        p.record(0, 1_500, 2);
+        p.record(2, 700, 3);
+        p.record(4, 100, 7);
+        p.record_scan(2, 2, 1);
+        let spans = p.op_spans(&plan, None, 2);
+        assert_eq!(spans.len(), 3, "2 real spans + 1 aggregate");
+        assert!(spans[0].label.starts_with("Project"));
+        assert_eq!(spans[1].depth, 1);
+        let tail = &spans[2];
+        assert!(tail.label.contains("3 more operators"), "{}", tail.label);
+        assert_eq!(tail.calls, 2, "nodes 2 and 4 were recorded");
+        assert_eq!(tail.rows, 10);
+        assert_eq!(tail.ns, 800);
+        assert_eq!(tail.index_hits, 2);
+        assert_eq!(tail.walk_fallbacks, 1);
+        assert_eq!(tail.est_rows, None);
+    }
+
+    #[test]
+    fn untimed_profile_counts_without_timing() {
+        let plan = sample_plan();
+        let p = PlanProfile::untimed(&plan);
+        assert!(!p.is_timed());
+        assert!(PlanProfile::new(&plan).is_timed());
+        p.record(0, 0, 2);
+        assert_eq!(p.calls(0), 1);
+        assert_eq!(p.rows(0), 2);
+        assert_eq!(p.nanos(0), 0);
     }
 }

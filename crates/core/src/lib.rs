@@ -57,6 +57,7 @@ pub mod prelude {
     pub use docql_guard::{CancelToken, ExecError, QueryLimits};
     pub use docql_model::{sym, Instance, Oid, Schema, Sym, Type, Value};
     pub use docql_o2sql::{Engine, Mode, QueryResult};
+    pub use docql_obs::{FlightRecorder, QueryTrace, TraceId};
     pub use docql_paths::{ConcretePath, PathSemantics, PathStep};
     pub use docql_sgml::{Document, Dtd};
     pub use docql_store::{DocStore, PersistentStore, SharedStore};
@@ -185,6 +186,39 @@ impl Database {
     /// The metrics as a JSON object.
     pub fn metrics_json(&self) -> String {
         self.inner.metrics_json()
+    }
+
+    /// Turn query tracing on or off (off by default; see
+    /// [`store::DocStore::set_tracing_enabled`]). While on, every query
+    /// leaves a structured trace in the flight recorder.
+    pub fn set_tracing_enabled(&self, on: bool) {
+        self.inner.set_tracing_enabled(on);
+    }
+
+    /// Is query tracing on?
+    pub fn tracing_enabled(&self) -> bool {
+        self.inner.tracing_enabled()
+    }
+
+    /// The query flight recorder (trace rings, sink, cutoffs).
+    pub fn flight_recorder(&self) -> &std::sync::Arc<docql_obs::FlightRecorder> {
+        self.inner.flight_recorder()
+    }
+
+    /// The most recent completed query traces, oldest first.
+    pub fn recent_queries(&self) -> Vec<std::sync::Arc<docql_obs::QueryTrace>> {
+        self.inner.recent_queries()
+    }
+
+    /// Retained slow (and errored) query traces, oldest first.
+    pub fn slow_queries(&self) -> Vec<std::sync::Arc<docql_obs::QueryTrace>> {
+        self.inner.slow_queries()
+    }
+
+    /// Both trace rings as one JSON object
+    /// (`{"recent":[...],"slow":[...]}`).
+    pub fn traces_json(&self) -> String {
+        self.inner.traces_json()
     }
 
     /// The underlying store (full API).

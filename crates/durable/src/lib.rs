@@ -40,7 +40,9 @@ pub use snapshot::{
     StoreImage, META_FILE,
 };
 pub use tempdir::TempDir;
-pub use wal::{encode_frame, scan, Wal, WalError, WalOp, WalRecord, WalScan, WAL_FILE};
+pub use wal::{
+    encode_frame, scan, AppendReceipt, Wal, WalError, WalOp, WalRecord, WalScan, WAL_FILE,
+};
 
 use docql_obs::{Counter, Gauge, Histogram, SharedRegistry};
 
@@ -53,6 +55,15 @@ pub struct DurableMetrics {
     pub wal_appends: Counter,
     /// `docql_durable_wal_bytes_total` — committed WAL bytes.
     pub wal_bytes: Counter,
+    /// `docql_durable_wal_append_ns` — `write_all` wall time per record.
+    pub wal_append_ns: Histogram,
+    /// `docql_durable_wal_fsync_ns` — `sync_data` wall time per record
+    /// (the durability point; its percentiles are the commit-latency
+    /// floor).
+    pub wal_fsync_ns: Histogram,
+    /// `docql_durable_recovery_ns` — wall time of a full recovery (segment
+    /// load plus WAL replay).
+    pub recovery_ns: Histogram,
     /// `docql_durable_checkpoints_total` — completed checkpoints.
     pub checkpoints: Counter,
     /// `docql_durable_checkpoint_ns` — checkpoint wall time, nanoseconds.
@@ -74,6 +85,9 @@ impl DurableMetrics {
         DurableMetrics {
             wal_appends: registry.counter("docql_durable_wal_appends_total"),
             wal_bytes: registry.counter("docql_durable_wal_bytes_total"),
+            wal_append_ns: registry.histogram("docql_durable_wal_append_ns"),
+            wal_fsync_ns: registry.histogram("docql_durable_wal_fsync_ns"),
+            recovery_ns: registry.histogram("docql_durable_recovery_ns"),
             checkpoints: registry.counter("docql_durable_checkpoints_total"),
             checkpoint_ns: registry.histogram("docql_durable_checkpoint_ns"),
             recovery_replayed_records: registry

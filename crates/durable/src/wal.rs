@@ -29,6 +29,7 @@ use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// File name of the log inside a store directory.
 pub const WAL_FILE: &str = "wal.log";
@@ -66,6 +67,25 @@ pub struct WalRecord {
     pub seqno: u64,
     /// The logged operation.
     pub op: WalOp,
+}
+
+/// What a successful [`Wal::append`] committed: the record, its on-disk
+/// frame length, and the split write/fsync wall times (the fsync is where
+/// commit latency lives; callers feed both into histograms and traces).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppendReceipt {
+    /// The committed record (seqno assigned by this append).
+    pub record: WalRecord,
+    /// On-disk frame length in bytes.
+    pub frame_len: u64,
+    /// Nanoseconds spent in `write_all`.
+    pub write_ns: u64,
+    /// Nanoseconds spent in `sync_data` (the durability point).
+    pub fsync_ns: u64,
+}
+
+fn saturating_ns(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Encode one record as its on-disk frame.
@@ -270,11 +290,12 @@ impl Wal {
     }
 
     /// Append one operation: encode, (maybe) injected-fault, `write_all`,
-    /// `fsync`. On success the record is durable and its frame length is
-    /// returned with it; on failure the handle is crashed — state on disk
+    /// `fsync`. On success the record is durable and the receipt carries
+    /// its frame length plus the split write/fsync wall times (for metrics
+    /// and query traces); on failure the handle is crashed — state on disk
     /// is whatever the simulated or real crash left, and recovery via
     /// [`Wal::open`] restores the committed prefix.
-    pub fn append(&mut self, op: WalOp) -> Result<(WalRecord, u64), WalError> {
+    pub fn append(&mut self, op: WalOp) -> Result<AppendReceipt, WalError> {
         if self.crashed {
             return Err(WalError::Crashed);
         }
@@ -292,18 +313,26 @@ impl Wal {
             let _ = self.file.sync_data();
             return Err(WalError::InjectedFault(fault));
         }
-        if let Err(e) = self
-            .file
-            .write_all(&frame)
-            .and_then(|()| self.file.sync_data())
-        {
+        let t0 = Instant::now();
+        if let Err(e) = self.file.write_all(&frame) {
             self.crashed = true;
             return Err(WalError::Io(e));
         }
+        let t1 = Instant::now();
+        if let Err(e) = self.file.sync_data() {
+            self.crashed = true;
+            return Err(WalError::Io(e));
+        }
+        let fsync_ns = saturating_ns(t1.elapsed());
         let frame_len = frame.len() as u64;
         self.len += frame_len;
         self.next_seqno += 1;
-        Ok((record, frame_len))
+        Ok(AppendReceipt {
+            record,
+            frame_len,
+            write_ns: saturating_ns(t1.duration_since(t0)),
+            fsync_ns,
+        })
     }
 
     /// Drop every record (the post-checkpoint step: the snapshot segment
@@ -444,13 +473,14 @@ mod tests {
         assert_eq!(wal.next_seqno(), 4);
         assert_eq!(std::fs::metadata(&path).unwrap().len(), clean as u64);
 
-        let (rec, _) = wal
+        let receipt = wal
             .append(WalOp::Bind {
                 name: "my_article".into(),
                 oid: 9,
             })
             .unwrap();
-        assert_eq!(rec.seqno, 4);
+        assert_eq!(receipt.record.seqno, 4);
+        assert!(receipt.frame_len > 0);
         let (_, rescan) = Wal::open(&path).unwrap();
         assert_eq!(rescan.records.len(), 4);
     }
@@ -505,8 +535,11 @@ mod tests {
         wal.append(WalOp::Ingest { sgml: "b".into() }).unwrap();
         wal.truncate().unwrap();
         assert_eq!(wal.len_bytes(), 0);
-        let (rec, _) = wal.append(WalOp::Ingest { sgml: "c".into() }).unwrap();
-        assert_eq!(rec.seqno, 3, "numbering continues across truncation");
+        let receipt = wal.append(WalOp::Ingest { sgml: "c".into() }).unwrap();
+        assert_eq!(
+            receipt.record.seqno, 3,
+            "numbering continues across truncation"
+        );
         let (_, scanned) = Wal::open(&path).unwrap();
         assert_eq!(scanned.records.len(), 1);
         assert_eq!(scanned.records[0].seqno, 3);

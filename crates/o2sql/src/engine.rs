@@ -14,6 +14,13 @@ use std::time::Instant;
 
 use crate::ast::SetOpKind;
 
+/// Per-operator spans a traced query keeps individually; deeper plans
+/// collapse the tail into one aggregate span (see
+/// [`PlanProfile::op_spans`]). Generalized-path queries can fan out to
+/// thousands of union branches, and an unbounded span list would dominate
+/// both the tracing overhead and the flight-recorder ring's memory.
+pub const MAX_TRACE_OP_SPANS: usize = 64;
+
 /// A query result: labelled columns and deduplicated rows.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryResult {
@@ -127,6 +134,11 @@ pub struct Engine<'a> {
     /// (feedback re-planning). `None` (the default) is the heuristic
     /// planner: textual order, no estimates.
     pub stats: Option<&'a dyn docql_algebra::StatsSource>,
+    /// Structured trace under construction for this query (the flight
+    /// recorder path). When attached, the engine stamps phase timings,
+    /// plan-cache and re-plan outcomes, and per-operator spans with
+    /// est-vs-actual rows into it. `None` (the default) costs nothing.
+    pub trace: Option<&'a docql_obs::TraceBuilder>,
 }
 
 impl<'a> Engine<'a> {
@@ -141,6 +153,7 @@ impl<'a> Engine<'a> {
             metrics: None,
             guard: None,
             stats: None,
+            trace: None,
         }
     }
 
@@ -196,46 +209,76 @@ impl<'a> Engine<'a> {
         self.eval_translated(&translated)
     }
 
-    /// Parse then translate, recording the two phase histograms when
-    /// metrics are attached and enabled.
+    /// Parse then translate, recording the two phase timings when metrics
+    /// are attached and enabled, and into the trace when one is attached.
     fn parse_translate(&self, src: &str) -> Result<Translated, O2sqlError> {
-        match self.obs() {
-            None => {
-                let ast = parse(src)?;
-                translate(&ast, self.instance.schema())
-            }
-            Some(m) => {
-                let t0 = Instant::now();
-                let ast = parse(src)?;
-                m.parse_ns.record_duration(t0.elapsed());
-                let t1 = Instant::now();
-                let translated = translate(&ast, self.instance.schema());
-                m.translate_ns.record_duration(t1.elapsed());
-                translated
-            }
+        let m = self.obs();
+        if m.is_none() && self.trace.is_none() {
+            let ast = parse(src)?;
+            return translate(&ast, self.instance.schema());
         }
+        let t0 = Instant::now();
+        let ast = parse(src)?;
+        let parsed = t0.elapsed();
+        let t1 = Instant::now();
+        let translated = translate(&ast, self.instance.schema());
+        let translated_d = t1.elapsed();
+        if let Some(m) = m {
+            m.parse_ns.record_duration(parsed);
+            m.translate_ns.record_duration(translated_d);
+        }
+        if let Some(tb) = self.trace {
+            tb.phase("parse", parsed);
+            tb.phase("translate", translated_d);
+        }
+        translated
     }
 
     /// Run `f` as the execute phase: counts the query and records the
-    /// execute histogram when metrics are attached and enabled.
+    /// execute histogram when metrics are attached and enabled, and stamps
+    /// the execute phase into the trace when one is attached.
     fn timed_execute<T>(&self, f: impl FnOnce() -> Result<T, O2sqlError>) -> Result<T, O2sqlError> {
-        match self.obs() {
-            None => f(),
-            Some(m) => {
-                m.queries.inc();
-                let t0 = Instant::now();
-                let result = f();
-                m.execute_ns.record_duration(t0.elapsed());
-                result
-            }
+        let m = self.obs();
+        if let Some(m) = m {
+            m.queries.inc();
         }
+        if m.is_none() && self.trace.is_none() {
+            return f();
+        }
+        let t0 = Instant::now();
+        let result = f();
+        let elapsed = t0.elapsed();
+        if let Some(m) = m {
+            m.execute_ns.record_duration(elapsed);
+        }
+        if let Some(tb) = self.trace {
+            tb.phase("execute", elapsed);
+        }
+        result
     }
 
     /// Evaluate a query through a plan cache: on a hit the lex → parse →
     /// translate (and, in algebraic mode, algebraization) work is skipped
     /// and only evaluation runs. Results are identical to [`Engine::run`].
     pub fn run_cached(&self, src: &str, cache: &PlanCache) -> Result<QueryResult, O2sqlError> {
-        let plan = cache.get_or_compile(src, || self.compile_plan(src))?;
+        let plan = match self.trace {
+            None => cache.get_or_compile(src, || self.compile_plan(src))?,
+            // Traced path: the same lookup → compile → insert sequence
+            // `get_or_compile` performs (hit/miss counters included), with
+            // the outcome stamped into the trace.
+            Some(tb) => match cache.lookup(src) {
+                Some(plan) => {
+                    tb.set_cache(true);
+                    plan
+                }
+                None => {
+                    tb.set_cache(false);
+                    let plan = Arc::new(self.compile_plan(src)?);
+                    cache.insert(src, Arc::clone(&plan));
+                    plan
+                }
+            },
+        };
         self.eval_plan(&plan)
     }
 
@@ -254,21 +297,64 @@ impl<'a> Engine<'a> {
                 // memoised plan would otherwise record a no-op sample on
                 // every cached execution.
                 let fresh = !plan.is_algebraized();
-                let (plans, planned_version) = match self.obs().filter(|_| fresh) {
-                    Some(m) => {
-                        let t0 = Instant::now();
-                        let plans = plan.algebra_plans(self.instance.schema(), self.stats);
-                        m.algebraize_ns.record_duration(t0.elapsed());
+                let timed = fresh && (self.obs().is_some() || self.trace.is_some());
+                let (plans, planned_version) = if timed {
+                    let t0 = Instant::now();
+                    let plans = plan.algebra_plans(self.instance.schema(), self.stats);
+                    let elapsed = t0.elapsed();
+                    if let Some(m) = self.obs() {
+                        m.algebraize_ns.record_duration(elapsed);
                         if self.stats.is_some() && plans.is_ok() {
                             m.plans_costed.inc();
                         }
-                        plans?
                     }
-                    None => plan.algebra_plans(self.instance.schema(), self.stats)?,
+                    if let Some(tb) = self.trace {
+                        tb.phase("algebraize", elapsed);
+                    }
+                    plans?
+                } else {
+                    plan.algebra_plans(self.instance.schema(), self.stats)?
                 };
+                // A traced run carries per-operator profiles (the same
+                // shape `profile()` builds) so the trace gets operator
+                // spans with est-vs-actual rows. Untimed: per-op clock
+                // reads would blow the tracing overhead budget; op wall
+                // times stay at zero unless metrics are also recording.
+                // The profile numbering and span labels come from the
+                // plan's cached trace shape, so a traced cached run adds
+                // one zeroed allocation per plan, not a tree walk.
+                let profiles: Option<Vec<PlanProfile>> = self.trace.map(|_| {
+                    plans
+                        .iter()
+                        .map(|a| {
+                            let ts = a.trace_shape(MAX_TRACE_OP_SPANS);
+                            PlanProfile::from_shape(
+                                Arc::clone(&ts.shape),
+                                false,
+                                MAX_TRACE_OP_SPANS,
+                            )
+                        })
+                        .collect()
+                });
                 let (rows, partial) = self.classify(self.timed_execute(|| {
-                    self.eval_rows_with(&plan.translated, Some(plans.as_slice()), &mut 0, None)
+                    self.eval_rows_with(
+                        &plan.translated,
+                        Some(plans.as_slice()),
+                        &mut 0,
+                        profiles.as_deref(),
+                    )
                 }))?;
+                if let (Some(tb), Some(profiles)) = (self.trace, &profiles) {
+                    let mut spans = Vec::new();
+                    for (a, p) in plans.iter().zip(profiles) {
+                        let ts = a.trace_shape(MAX_TRACE_OP_SPANS);
+                        spans.extend(p.op_spans_with_labels(&ts.labels, a.estimates.as_ref()));
+                    }
+                    tb.set_operators(spans);
+                    if self.stats.is_some() {
+                        tb.set_stats_version(planned_version);
+                    }
+                }
                 self.check_replan(plan, &plans, planned_version, rows.len());
                 Ok(QueryResult {
                     columns: plan.translated.columns.clone(),
@@ -318,6 +404,16 @@ impl<'a> Engine<'a> {
             plan.invalidate();
             if let Some(m) = self.obs() {
                 m.replans.inc();
+            }
+            if let Some(tb) = self.trace {
+                tb.set_replanned();
+                tb.event(
+                    "replan",
+                    format!(
+                        "estimated={estimated:.0} observed={observed} planned_version={planned_version} stats_version={}",
+                        stats.version()
+                    ),
+                );
             }
         }
     }
@@ -531,6 +627,7 @@ impl<'a> Engine<'a> {
             metrics: self.metrics,
             guard: self.guard,
             stats: self.stats,
+            trace: self.trace,
         };
         let (rows, partial, plans, note) = match algebra_err {
             None => {

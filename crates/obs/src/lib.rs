@@ -11,19 +11,33 @@
 //!   flag (one relaxed load — the per-query gate), snapshots, and
 //!   Prometheus-text / JSON exporters.
 //! - [`slowlog`] — the `DOCQL_LOG` env-gated slow-query log (threshold in
-//!   milliseconds, read once per process).
+//!   milliseconds, read once per process), plain or structured JSON
+//!   (`DOCQL_LOG_FORMAT=json`).
+//! - [`trace`] — per-query structured traces ([`TraceBuilder`] →
+//!   [`QueryTrace`]) and the bounded [`FlightRecorder`] (recent ring,
+//!   slow/error reservoir, background-event log, `DOCQL_TRACE` JSON-lines
+//!   sink).
 //!
-//! The overhead contract, relied on by bench B10: with a registry
-//! **disabled**, instrumented code performs at most a handful of relaxed
-//! atomic loads per query and allocates nothing; **enabled**, each recorded
-//! sample is a few relaxed RMW operations.
+//! The overhead contract, relied on by benches B10 and B15: with a registry
+//! or recorder **disabled**, instrumented code performs at most a handful
+//! of relaxed atomic loads per query and allocates nothing; **enabled**,
+//! each recorded sample is a few relaxed RMW operations (plus, for traces,
+//! one small allocation per query).
 
 pub mod metric;
 pub mod registry;
 pub mod slowlog;
+pub mod trace;
 
 pub use metric::{bucket_of, bucket_upper_bound, Counter, Gauge, Histogram, Span, BUCKETS};
 pub use registry::{
     HistogramSnapshot, Metric, MetricValue, MetricsRegistry, MetricsSnapshot, SharedRegistry,
 };
-pub use slowlog::{log_slow_query, slow_query_line, slow_query_threshold, SLOW_LOG_ENV};
+pub use slowlog::{
+    log_slow_query, log_slow_query_json, slow_log_format, slow_query_json_line, slow_query_line,
+    slow_query_threshold, SlowLogFormat, SLOW_LOG_ENV, SLOW_LOG_FORMAT_ENV,
+};
+pub use trace::{
+    json_escape, FlightRecorder, OpSpan, PhaseSpan, QueryTrace, TraceBuilder, TraceEvent, TraceId,
+    TraceSink, TRACE_ENV,
+};

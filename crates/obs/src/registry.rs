@@ -50,6 +50,44 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<(u64, u64)>,
 }
 
+impl HistogramSnapshot {
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) by linear interpolation
+    /// inside the log2 bucket holding the rank — the standard
+    /// Prometheus-style estimate, so the error is bounded by the bucket
+    /// width (the estimate lands in the same power-of-two bucket as the
+    /// exact quantile). `None` when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 || !q.is_finite() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut lower = 0u64;
+        for (j, &(upper, cum)) in self.buckets.iter().enumerate() {
+            if cum >= rank {
+                let prev_cum = if j == 0 { 0 } else { self.buckets[j - 1].1 };
+                let in_bucket = cum - prev_cum;
+                let pos = rank - prev_cum; // 1 ..= in_bucket
+                let width = upper - lower;
+                let est = lower + ((width as u128 * pos as u128) / in_bucket as u128) as u64;
+                return Some(est.clamp(lower, upper.saturating_sub(1)));
+            }
+            lower = upper;
+        }
+        // The rank falls in the implied unbounded last bucket: report its
+        // lower bound ("at least this much").
+        Some(lower)
+    }
+}
+
+/// Quantiles exported for every histogram: `(q, prometheus label, JSON
+/// key)`.
+const QUANTILES: [(f64, &str, &str); 3] = [
+    (0.5, "0.5", "p50"),
+    (0.95, "0.95", "p95"),
+    (0.99, "0.99", "p99"),
+];
+
 /// A point-in-time reading of a whole registry.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct MetricsSnapshot {
@@ -102,6 +140,11 @@ impl MetricsSnapshot {
                     out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
                     out.push_str(&format!("{name}_sum {}\n", h.sum));
                     out.push_str(&format!("{name}_count {}\n", h.count));
+                    for (q, label, _) in QUANTILES {
+                        if let Some(v) = h.quantile(q) {
+                            out.push_str(&format!("{name}{{quantile=\"{label}\"}} {v}\n"));
+                        }
+                    }
                 }
             }
         }
@@ -122,11 +165,16 @@ impl MetricsSnapshot {
                         .iter()
                         .map(|(le, cum)| format!("[{le},{cum}]"))
                         .collect();
+                    let quantiles: String = QUANTILES
+                        .iter()
+                        .filter_map(|&(q, _, key)| h.quantile(q).map(|v| format!(",\"{key}\":{v}")))
+                        .collect();
                     format!(
-                        "{{\"type\":\"histogram\",\"count\":{},\"sum\":{},\"buckets\":[{}]}}",
+                        "{{\"type\":\"histogram\",\"count\":{},\"sum\":{},\"buckets\":[{}]{}}}",
                         h.count,
                         h.sum,
-                        buckets.join(",")
+                        buckets.join(","),
+                        quantiles
                     )
                 }
             };
@@ -342,6 +390,93 @@ mod tests {
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"a_total\":{\"type\":\"counter\",\"value\":1}"));
         assert!(json.contains("\"h_ns\":{\"type\":\"histogram\",\"count\":1,\"sum\":5"));
+    }
+
+    /// Exact quantile of a sorted sample set, by the same nearest-rank
+    /// definition the estimator targets.
+    fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    #[test]
+    fn quantile_estimates_pin_to_exact_on_known_distributions() {
+        // Uniform 1..=1000, a two-point distribution, and powers of two:
+        // the estimate must land in the same log2 bucket as the exact
+        // quantile (error < 2x), and interpolation keeps it within the
+        // bucket bounds.
+        let distributions: Vec<Vec<u64>> = vec![
+            (1..=1000).collect(),
+            std::iter::repeat_n(10u64, 90)
+                .chain(std::iter::repeat_n(100_000u64, 10))
+                .collect(),
+            (0..12).map(|i| 1u64 << i).collect(),
+        ];
+        for samples in distributions {
+            let r = MetricsRegistry::new();
+            let h = r.histogram("d");
+            for &v in &samples {
+                h.record(v);
+            }
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            let snap = r.snapshot();
+            let hs = snap.histogram("d").unwrap();
+            for &(q, _, _) in &QUANTILES {
+                let est = hs.quantile(q).unwrap();
+                let exact = exact_quantile(&sorted, q);
+                assert_eq!(
+                    crate::bucket_of(est),
+                    crate::bucket_of(exact),
+                    "q={q}: estimate {est} must share a bucket with exact {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let empty = HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            buckets: Vec::new(),
+        };
+        assert_eq!(empty.quantile(0.5), None);
+
+        let r = MetricsRegistry::new();
+        let h = r.histogram("one");
+        h.record(0);
+        let snap = r.snapshot();
+        let hs = snap.histogram("one").unwrap();
+        assert_eq!(hs.quantile(0.5), Some(0), "all-zero samples estimate 0");
+        assert_eq!(hs.quantile(0.0), Some(0));
+        assert_eq!(hs.quantile(1.0), Some(0));
+
+        // Samples in the unbounded last bucket: the estimate reports at
+        // least the bucket's lower bound.
+        let r2 = MetricsRegistry::new();
+        let h2 = r2.histogram("huge");
+        h2.record(u64::MAX);
+        let snap2 = r2.snapshot();
+        let hs2 = snap2.histogram("huge").unwrap();
+        assert_eq!(hs2.quantile(0.99), Some(1u64 << 62));
+    }
+
+    #[test]
+    fn exporters_carry_quantiles() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("lat_ns");
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let prom = r.to_prometheus();
+        assert!(prom.contains("lat_ns{quantile=\"0.5\"}"));
+        assert!(prom.contains("lat_ns{quantile=\"0.95\"}"));
+        assert!(prom.contains("lat_ns{quantile=\"0.99\"}"));
+        let json = r.to_json();
+        assert!(json.contains("\"p50\":"));
+        assert!(json.contains("\"p95\":"));
+        assert!(json.contains("\"p99\":"));
     }
 
     #[test]

@@ -6,11 +6,45 @@
 //! the log is off and the only cost on the query path is one cached
 //! `Option` check — the environment is read exactly once per process.
 
+use crate::trace::{json_escape, QueryTrace};
 use std::sync::OnceLock;
 use std::time::Duration;
 
 /// Environment variable holding the threshold in milliseconds.
 pub const SLOW_LOG_ENV: &str = "DOCQL_LOG";
+
+/// Environment variable selecting the slow-log line format: `json` for the
+/// structured variant, anything else (or unset) for the legacy plain line —
+/// so current behavior is unchanged by default.
+pub const SLOW_LOG_FORMAT_ENV: &str = "DOCQL_LOG_FORMAT";
+
+/// The slow-log output format.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SlowLogFormat {
+    /// The legacy one-line human-readable format.
+    Plain,
+    /// One JSON object per slow query, carrying the trace when available.
+    Json,
+}
+
+/// Parse a `DOCQL_LOG_FORMAT` value (case-insensitive; unknown → plain).
+pub fn parse_log_format(s: &str) -> SlowLogFormat {
+    if s.trim().eq_ignore_ascii_case("json") {
+        SlowLogFormat::Json
+    } else {
+        SlowLogFormat::Plain
+    }
+}
+
+/// The process-wide slow-log format, read once and cached.
+pub fn slow_log_format() -> SlowLogFormat {
+    static FORMAT: OnceLock<SlowLogFormat> = OnceLock::new();
+    *FORMAT.get_or_init(|| {
+        std::env::var(SLOW_LOG_FORMAT_ENV)
+            .map(|s| parse_log_format(&s))
+            .unwrap_or(SlowLogFormat::Plain)
+    })
+}
 
 /// Parse a threshold string (milliseconds, integer or decimal) into a
 /// duration. Negative, empty, and non-numeric values disable the log.
@@ -53,6 +87,47 @@ pub fn log_slow_query(src: &str, elapsed: Duration) {
     eprintln!("{}", slow_query_line(src, elapsed));
 }
 
+/// The structured slow-log line: one JSON object with an `event` marker.
+/// With a trace, it carries the trace id, per-phase timings, and the
+/// governance outcome; without one (tracing disabled), it degrades to the
+/// minimal `{event, ms, query}` shape.
+pub fn slow_query_json_line(src: &str, elapsed: Duration, trace: Option<&QueryTrace>) -> String {
+    let ms = elapsed.as_secs_f64() * 1e3;
+    match trace {
+        Some(t) => {
+            let phases: Vec<String> = t
+                .phases
+                .iter()
+                .map(|p| format!("\"{}\":{}", json_escape(p.name), p.ns))
+                .collect();
+            format!(
+                "{{\"event\":\"slow_query\",\"trace_id\":\"{}\",\"ms\":{ms:.3},\"query\":\"{}\",\"phases\":{{{}}},\"governance\":\"{}\",\"outcome\":\"{}\",\"rows\":{}}}",
+                t.id,
+                json_escape(&t.query),
+                phases.join(","),
+                json_escape(&t.governance),
+                json_escape(&t.outcome),
+                t.rows
+            )
+        }
+        None => {
+            let flat: String = src
+                .chars()
+                .map(|c| if c == '\n' || c == '\r' { ' ' } else { c })
+                .collect();
+            format!(
+                "{{\"event\":\"slow_query\",\"ms\":{ms:.3},\"query\":\"{}\"}}",
+                json_escape(flat.trim())
+            )
+        }
+    }
+}
+
+/// Print the structured slow-query line to stderr.
+pub fn log_slow_query_json(src: &str, elapsed: Duration, trace: Option<&QueryTrace>) {
+    eprintln!("{}", slow_query_json_line(src, elapsed, trace));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -76,5 +151,45 @@ mod tests {
         assert!(!line.contains('\n'));
         assert!(line.contains("1.500 ms"));
         assert!(line.contains("select t from x"));
+    }
+
+    #[test]
+    fn format_parsing_defaults_to_plain() {
+        assert_eq!(parse_log_format("json"), SlowLogFormat::Json);
+        assert_eq!(parse_log_format(" JSON "), SlowLogFormat::Json);
+        assert_eq!(parse_log_format("plain"), SlowLogFormat::Plain);
+        assert_eq!(parse_log_format(""), SlowLogFormat::Plain);
+        assert_eq!(parse_log_format("yaml"), SlowLogFormat::Plain);
+    }
+
+    #[test]
+    fn json_line_without_trace_is_minimal() {
+        let line = slow_query_json_line("select \"t\"\nfrom x", Duration::from_micros(1500), None);
+        assert!(!line.contains('\n'));
+        assert!(line.starts_with("{\"event\":\"slow_query\""));
+        assert!(line.contains("\"ms\":1.500"));
+        assert!(line.contains("select \\\"t\\\" from x"));
+        assert!(line.ends_with('}'));
+    }
+
+    #[test]
+    fn json_line_with_trace_carries_id_phases_governance() {
+        let r = crate::FlightRecorder::default();
+        let b = r.begin("select t from x");
+        b.phase("parse", Duration::from_nanos(100));
+        b.phase("execute", Duration::from_nanos(900));
+        let t = b.finish(
+            "partial",
+            "row budget exhausted",
+            None,
+            3,
+            Duration::from_millis(2),
+        );
+        let line = slow_query_json_line("select t from x", Duration::from_millis(2), Some(&t));
+        assert!(line.contains(&format!("\"trace_id\":\"{}\"", t.id)));
+        assert!(line.contains("\"phases\":{\"parse\":100,\"execute\":900}"));
+        assert!(line.contains("\"governance\":\"row budget exhausted\""));
+        assert!(line.contains("\"outcome\":\"partial\""));
+        assert!(line.contains("\"rows\":3"));
     }
 }

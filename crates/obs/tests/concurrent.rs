@@ -94,7 +94,8 @@ fn concurrent_get_or_create_returns_one_cell_per_name() {
 
 /// Minimal line-by-line validation of the Prometheus text format: every
 /// line is either a `# TYPE <name> <kind>` comment or `<series> <integer>`
-/// where the series is an identifier with an optional `{le="..."}` label.
+/// where the series is an identifier with an optional `{le="..."}` or
+/// `{quantile="..."}` label.
 fn assert_prometheus_parses(text: &str) {
     fn is_series(s: &str) -> bool {
         let (name, label) = match s.split_once('{') {
@@ -107,7 +108,10 @@ fn assert_prometheus_parses(text: &str) {
                 .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':');
         let label_ok = match label {
             None => true,
-            Some(rest) => rest.starts_with("le=\"") && rest.ends_with("\"}"),
+            Some(rest) => {
+                (rest.starts_with("le=\"") || rest.starts_with("quantile=\""))
+                    && rest.ends_with("\"}")
+            }
         };
         name_ok && label_ok
     }

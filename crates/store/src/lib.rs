@@ -161,6 +161,17 @@ pub struct DocStore {
     /// bundle owns). Disabled by default; see
     /// [`DocStore::set_metrics_enabled`].
     metrics: StoreMetrics,
+    /// The query flight recorder, shared by every fork of this store (like
+    /// the plan cache) — recent-query and slow/error history therefore
+    /// survives MVCC snapshot publication, and background events (WAL,
+    /// checkpoints, publications) land on one shared timeline. Disabled by
+    /// default; enabled at construction when `DOCQL_TRACE` is set.
+    recorder: Arc<docql_obs::FlightRecorder>,
+    /// MVCC publication metadata, stamped by [`WriteTxn`] at publication:
+    /// the snapshot version this store *is* (0 = as built) and when it was
+    /// published. Traced queries report both.
+    published_version: u64,
+    published_at: Instant,
     /// Slow-query threshold: wall times at or above it are logged to stderr
     /// and counted. Defaults to the process-wide `DOCQL_LOG` setting.
     slow_threshold: Option<Duration>,
@@ -282,6 +293,9 @@ impl DocStore {
             documents: Vec::new(),
             plan_cache: Arc::new(plan_cache),
             metrics,
+            recorder: Arc::new(docql_obs::FlightRecorder::from_env()),
+            published_version: 0,
+            published_at: Instant::now(),
             slow_threshold: docql_obs::slow_query_threshold(),
             default_limits: docql_guard::QueryLimits::none(),
         })
@@ -316,6 +330,9 @@ impl DocStore {
             documents: self.documents.clone(),
             plan_cache: Arc::clone(&self.plan_cache),
             metrics: self.metrics.clone(),
+            recorder: Arc::clone(&self.recorder),
+            published_version: self.published_version,
+            published_at: self.published_at,
             slow_threshold: self.slow_threshold,
             default_limits: self.default_limits.clone(),
         }
@@ -656,41 +673,29 @@ impl DocStore {
             Some(l) => l.clone().or(&self.default_limits),
             None => self.default_limits.clone(),
         };
+        let trace = self.recorder.enabled().then(|| self.recorder.begin(src));
         let run = || -> Result<QueryResult, StoreError> {
             let guard = (!merged.is_none()).then(|| docql_guard::Guard::new(&merged));
             let mut e = self.engine();
             e.mode = mode;
             e.guard = guard.as_ref();
+            e.trace = trace.as_ref();
             Ok(e.run_cached(src, &self.plan_cache)?)
-        };
-        let timed = || -> Result<QueryResult, StoreError> {
-            match self.slow_threshold {
-                None => run(),
-                Some(threshold) => {
-                    let start = Instant::now();
-                    let result = run();
-                    let elapsed = start.elapsed();
-                    if elapsed >= threshold {
-                        self.metrics.slow_queries.inc();
-                        docql_obs::log_slow_query(src, elapsed);
-                    }
-                    result
-                }
-            }
         };
         // Panic isolation: a panicking query (a buggy predicate, an
         // injected fault) must never take the process down or wedge the
         // store. No store lock is held across evaluation here, and the
         // internal text-table lock recovers from poisoning (`read_table`),
         // so catching at this boundary leaves the store fully serviceable.
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(timed)).unwrap_or_else(
-            |payload| {
+        let start = (self.slow_threshold.is_some() || trace.is_some()).then(Instant::now);
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(run)).unwrap_or_else(|payload| {
                 if self.metrics.enabled() {
                     self.metrics.query_panics.inc();
                 }
                 Err(StoreError::QueryPanic(panic_message(payload.as_ref())))
-            },
-        );
+            });
+        let elapsed = start.map(|s| s.elapsed());
         if self.metrics.enabled() {
             use docql_guard::ExecError;
             match &result {
@@ -705,6 +710,49 @@ impl DocStore {
                     self.metrics.queries_cancelled.inc();
                 }
                 _ => {}
+            }
+        }
+        // Finish and file the trace: outcome classification mirrors the
+        // governance counters above, and the stored trace carries the MVCC
+        // snapshot identity this query ran against.
+        let trace = trace.map(|tb| {
+            let (outcome, governance, detail, rows) = match &result {
+                Ok(r) => {
+                    let rows = r.rows.len() as u64;
+                    match r.partial.as_ref() {
+                        Some(trip) => ("partial", trip.to_string(), None, rows),
+                        None => ("ok", "complete".to_string(), None, rows),
+                    }
+                }
+                Err(StoreError::Interrupted(e)) => ("error", e.to_string(), None, 0),
+                Err(StoreError::QueryPanic(m)) => {
+                    ("panic", "complete".to_string(), Some(m.clone()), 0)
+                }
+                Err(e) => ("error", "complete".to_string(), Some(e.to_string()), 0),
+            };
+            tb.set_snapshot(self.published_version, self.published_at.elapsed());
+            let qt = tb.finish(
+                outcome,
+                &governance,
+                detail,
+                rows,
+                elapsed.unwrap_or_default(),
+            );
+            let qt = self.recorder.record(qt);
+            if self.metrics.enabled() {
+                self.metrics.traces_recorded.inc();
+            }
+            qt
+        });
+        if let (Some(threshold), Some(elapsed)) = (self.slow_threshold, elapsed) {
+            if elapsed >= threshold {
+                self.metrics.slow_queries.inc();
+                match docql_obs::slow_log_format() {
+                    docql_obs::SlowLogFormat::Plain => docql_obs::log_slow_query(src, elapsed),
+                    docql_obs::SlowLogFormat::Json => {
+                        docql_obs::log_slow_query_json(src, elapsed, trace.as_deref());
+                    }
+                }
             }
         }
         result
@@ -737,6 +785,42 @@ impl DocStore {
     /// recording is disabled).
     pub fn metrics(&self) -> &StoreMetrics {
         &self.metrics
+    }
+
+    /// The query flight recorder: recent- and slow-query trace history,
+    /// shared across every fork of this store. Disabled by default (one
+    /// relaxed load per query); [`DOCQL_TRACE`](docql_obs::TRACE_ENV)
+    /// enables it at construction with a JSON-lines sink.
+    pub fn flight_recorder(&self) -> &Arc<docql_obs::FlightRecorder> {
+        &self.recorder
+    }
+
+    /// Turn query tracing on or off (independent of metrics recording).
+    pub fn set_tracing_enabled(&self, enabled: bool) {
+        self.recorder.set_enabled(enabled);
+    }
+
+    /// Is query tracing on?
+    pub fn tracing_enabled(&self) -> bool {
+        self.recorder.enabled()
+    }
+
+    /// The most recent completed query traces, oldest first.
+    pub fn recent_queries(&self) -> Vec<Arc<docql_obs::QueryTrace>> {
+        self.recorder.recent()
+    }
+
+    /// Retained slow (and errored/panicked) query traces, oldest first.
+    /// These outlive the recent ring: a burst of fast queries cannot evict
+    /// the slow outlier you are hunting.
+    pub fn slow_queries(&self) -> Vec<Arc<docql_obs::QueryTrace>> {
+        self.recorder.slow()
+    }
+
+    /// Both trace rings rendered as one JSON object
+    /// (`{"recent":[...],"slow":[...]}`).
+    pub fn traces_json(&self) -> String {
+        self.recorder.to_json()
     }
 
     /// The store's metrics registry (for adopting extra metrics or sharing
@@ -1433,6 +1517,39 @@ impl SharedStore {
         self.read().metrics_json()
     }
 
+    /// Turn query tracing on or off (the flight recorder is shared by
+    /// every snapshot version, so this takes effect store-wide at once).
+    pub fn set_tracing_enabled(&self, on: bool) {
+        self.read().set_tracing_enabled(on);
+    }
+
+    /// Is query tracing on?
+    pub fn tracing_enabled(&self) -> bool {
+        self.read().tracing_enabled()
+    }
+
+    /// The query flight recorder shared by every snapshot version.
+    pub fn flight_recorder(&self) -> Arc<docql_obs::FlightRecorder> {
+        Arc::clone(self.read().flight_recorder())
+    }
+
+    /// The most recent completed query traces, oldest first. Because the
+    /// recorder is shared across MVCC versions, history spans snapshot
+    /// publications seamlessly.
+    pub fn recent_queries(&self) -> Vec<Arc<docql_obs::QueryTrace>> {
+        self.read().recent_queries()
+    }
+
+    /// Retained slow (and errored) query traces, oldest first.
+    pub fn slow_queries(&self) -> Vec<Arc<docql_obs::QueryTrace>> {
+        self.read().slow_queries()
+    }
+
+    /// Both trace rings as one JSON object (see [`DocStore::traces_json`]).
+    pub fn traces_json(&self) -> String {
+        self.read().traces_json()
+    }
+
     /// Override the slow-query threshold in a write transaction (see
     /// [`DocStore::set_slow_query_threshold`]).
     pub fn set_slow_query_threshold(&self, threshold: Option<Duration>) {
@@ -1515,7 +1632,7 @@ impl WriteTxn<'_> {
 
 impl Drop for WriteTxn<'_> {
     fn drop(&mut self) {
-        let Some(store) = self.store.take() else {
+        let Some(mut store) = self.store.take() else {
             return;
         };
         // A panic inside the transaction must not publish a half-mutated
@@ -1523,7 +1640,6 @@ impl Drop for WriteTxn<'_> {
         if std::thread::panicking() {
             return;
         }
-        let store = Arc::new(store);
         if store.metrics.enabled() {
             store.metrics.snapshots_published.inc();
         }
@@ -1532,9 +1648,24 @@ impl Drop for WriteTxn<'_> {
             .current
             .write()
             .unwrap_or_else(PoisonError::into_inner);
-        cur.version += 1;
-        cur.at = Instant::now();
-        cur.store = store;
+        // Stamp the fork with the version it is about to become, so traces
+        // served from it report the snapshot they actually ran against.
+        let next_version = cur.version + 1;
+        let now = Instant::now();
+        store.published_version = next_version;
+        store.published_at = now;
+        if store.recorder.enabled() {
+            store.recorder.global_event(
+                "snapshot_publish",
+                format!(
+                    "version={next_version} stats_version={}",
+                    store.stats_version()
+                ),
+            );
+        }
+        cur.version = next_version;
+        cur.at = now;
+        cur.store = Arc::new(store);
     }
 }
 

@@ -64,6 +64,9 @@ pub struct StoreMetrics {
     pub admission_rejected: Counter,
     /// Panics caught at the query boundary (the store stayed serviceable).
     pub query_panics: Counter,
+    /// Query traces retained by the flight recorder (see
+    /// [`DocStore::flight_recorder`](crate::DocStore::flight_recorder)).
+    pub traces_recorded: Counter,
     /// Snapshots published by [`SharedStore`](crate::SharedStore) writers
     /// (each committed write transaction swaps in one new version).
     pub snapshots_published: Counter,
@@ -112,6 +115,7 @@ impl StoreMetrics {
             queries_partial: registry.counter("docql_store_queries_partial_total"),
             admission_rejected: registry.counter("docql_store_admission_rejected_total"),
             query_panics: registry.counter("docql_store_query_panics_total"),
+            traces_recorded: registry.counter("docql_store_traces_recorded_total"),
             snapshots_published: registry.counter("docql_store_snapshots_published_total"),
             snapshot_version: registry.gauge("docql_store_snapshot_version"),
             snapshot_age_ms: registry.gauge("docql_store_snapshot_age_ms"),

@@ -75,6 +75,11 @@ pub struct PersistentStore {
     wal: Mutex<Wal>,
     dir: PathBuf,
     metrics: DurableMetrics,
+    /// The flight recorder shared by every snapshot version (see
+    /// [`crate::DocStore::flight_recorder`]); durability events — WAL
+    /// appends/fsyncs, checkpoints, recovery — land on its timeline so
+    /// traced queries show what storage was doing while they ran.
+    recorder: Arc<docql_obs::FlightRecorder>,
 }
 
 impl std::fmt::Debug for PersistentStore {
@@ -132,8 +137,10 @@ impl PersistentStore {
         dtd_text: &str,
         extra_roots: &[&str],
     ) -> Result<(PersistentStore, RecoveryReport), StoreError> {
+        let t0 = Instant::now();
         let mut store = crate::DocStore::new(dtd_text, extra_roots)?;
         let metrics = DurableMetrics::register(store.metrics_registry());
+        let recorder = Arc::clone(store.flight_recorder());
 
         let (segment, segments_skipped) =
             snapshot::load_newest_valid(dir).map_err(crate::io_err)?;
@@ -156,6 +163,7 @@ impl PersistentStore {
         replay(&mut store, &tail)?;
         wal.set_next_seqno(applied + 1);
 
+        let recovery_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
         if metrics.enabled() {
             metrics
                 .recovery_replayed_records
@@ -163,11 +171,22 @@ impl PersistentStore {
             metrics
                 .recovery_truncated_bytes
                 .add(scanned.truncated_bytes);
+            metrics.recovery_ns.record(recovery_ns);
             if segment_bytes > 0 {
                 metrics
                     .segment_bytes
                     .set(i64::try_from(segment_bytes).unwrap_or(i64::MAX));
             }
+        }
+        if recorder.enabled() {
+            recorder.global_event(
+                "recovery",
+                format!(
+                    "segment_seqno={} replayed={replayed_records} truncated_bytes={} ns={recovery_ns}",
+                    segment_seqno.unwrap_or(0),
+                    scanned.truncated_bytes
+                ),
+            );
         }
 
         Ok((
@@ -176,6 +195,7 @@ impl PersistentStore {
                 wal: Mutex::new(wal),
                 dir: dir.to_path_buf(),
                 metrics,
+                recorder,
             },
             RecoveryReport {
                 segment_seqno,
@@ -246,12 +266,27 @@ impl PersistentStore {
     }
 
     /// Append one committed operation while holding the WAL lock,
-    /// recording metrics on success.
+    /// recording metrics and flight-recorder events on success.
     fn log(&self, wal: &mut Wal, op: WalOp) -> Result<(), StoreError> {
-        let (_, frame_len) = wal.append(op).map_err(wal_err)?;
+        let receipt = wal.append(op).map_err(wal_err)?;
         if self.metrics.enabled() {
             self.metrics.wal_appends.inc();
-            self.metrics.wal_bytes.add(frame_len);
+            self.metrics.wal_bytes.add(receipt.frame_len);
+            self.metrics.wal_append_ns.record(receipt.write_ns);
+            self.metrics.wal_fsync_ns.record(receipt.fsync_ns);
+        }
+        if self.recorder.enabled() {
+            self.recorder.global_event(
+                "wal_append",
+                format!(
+                    "seqno={} bytes={} ns={}",
+                    receipt.record.seqno, receipt.frame_len, receipt.write_ns
+                ),
+            );
+            self.recorder.global_event(
+                "wal_fsync",
+                format!("seqno={} ns={}", receipt.record.seqno, receipt.fsync_ns),
+            );
         }
         Ok(())
     }
@@ -368,14 +403,19 @@ impl PersistentStore {
         let image = image_of(&store, applied_seqno)?;
         let (path, bytes) = snapshot::write_segment(&self.dir, &image).map_err(crate::io_err)?;
         wal.truncate().map_err(crate::io_err)?;
+        let checkpoint_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
         if self.metrics.enabled() {
             self.metrics.checkpoints.inc();
-            self.metrics
-                .checkpoint_ns
-                .record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            self.metrics.checkpoint_ns.record(checkpoint_ns);
             self.metrics
                 .segment_bytes
                 .set(i64::try_from(bytes).unwrap_or(i64::MAX));
+        }
+        if self.recorder.enabled() {
+            self.recorder.global_event(
+                "checkpoint",
+                format!("applied_seqno={applied_seqno} bytes={bytes} ns={checkpoint_ns}"),
+            );
         }
         Ok(CheckpointReport {
             path,
