@@ -30,6 +30,14 @@ DOCQL_FAULT=0xD0C41994 cargo test -q --test snapshot_isolation
 echo "==> crash-recovery sweep (kill-at-every-record + fixed-seed fault battery)"
 DOCQL_FAULT=0xD0C41994 cargo test -q --test recovery
 
+echo "==> serving-tier suites (parser properties, robustness, chaos battery, HTTP smoke)"
+# server_smoke boots the docql-serve binary on a temp store and proves
+# Q1-Q6 over HTTP byte-identical to in-process, /metrics + /healthz
+# serve, and graceful shutdown + restart recovery; chaos runs the
+# 64-seed hostile-client battery and kill -9 recovery.
+DOCQL_FAULT=0xD0C41994 DOCQL_PROP_SEED=20260806 DOCQL_PROP_CASES=64 \
+    cargo test -q -p docql-serve
+
 echo "==> planner differential suite (fixed seed, cost-based vs heuristic)"
 DOCQL_PROP_SEED=20260806 DOCQL_PROP_CASES=64 cargo test -q -p docql-store \
     --test planner_diff
@@ -74,6 +82,16 @@ else
     exit 1
 fi
 
+echo "==> no panicking unwrap/expect on crates/serve library paths (a hostile request must never kill the server)"
+if awk 'FNR==1 { intests=0 } /#\[cfg\(test\)\]/ { intests=1 } \
+       !intests && /\.(unwrap|expect)\(/ { print FILENAME ":" FNR ": " $0; bad=1 } \
+       END { exit bad }' crates/serve/src/*.rs; then
+    echo "    clean"
+else
+    echo "    panic sites above — crates/serve must stay panic-free" >&2
+    exit 1
+fi
+
 echo "==> bench smoke (1 ms window per benchmark target)"
 DOCQL_BENCH_MS=1 cargo bench --workspace -q >/dev/null
 
@@ -94,6 +112,9 @@ DOCQL_BENCH_MS=1 cargo bench -q -p docql-bench --bench trace_overhead | grep "^B
 
 echo "==> B15 interleaved smoke (drift-immune traced vs untraced)"
 cargo run -q --release -p docql-bench --example b15_interleaved
+
+echo "==> B16 serve-load smoke (HTTP over the wire, 1 ms windows)"
+DOCQL_BENCH_MS=1 cargo bench -q -p docql-bench --bench serve_load | grep "^B16"
 
 echo "==> profile_query example (EXPLAIN ANALYZE + metrics export)"
 cargo run -q --example profile_query >/dev/null

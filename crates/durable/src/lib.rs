@@ -35,9 +35,9 @@ pub mod wal;
 pub use codec::{CodecError, Reader, Writer};
 pub use crc32::crc32;
 pub use snapshot::{
-    decode_segment, encode_segment, list_segments, load_newest_valid, parse_segment_name,
-    read_meta, read_segment, segment_file_name, write_meta, write_segment, SegmentError,
-    StoreImage, META_FILE,
+    decode_segment, encode_segment, gc_segments, list_segments, load_newest_valid,
+    parse_segment_name, read_meta, read_segment, segment_file_name, write_meta, write_segment,
+    SegmentError, StoreImage, META_FILE,
 };
 pub use tempdir::TempDir;
 pub use wal::{
@@ -76,6 +76,9 @@ pub struct DurableMetrics {
     pub recovery_truncated_bytes: Counter,
     /// `docql_durable_segment_bytes` — size of the newest segment.
     pub segment_bytes: Gauge,
+    /// `docql_durable_segments_removed_total` — old checkpoint segments
+    /// collected by GC after a checkpoint.
+    pub segments_removed: Counter,
     registry: SharedRegistry,
 }
 
@@ -95,6 +98,7 @@ impl DurableMetrics {
             recovery_truncated_bytes: registry
                 .counter("docql_durable_recovery_truncated_bytes_total"),
             segment_bytes: registry.gauge("docql_durable_segment_bytes"),
+            segments_removed: registry.counter("docql_durable_segments_removed_total"),
             registry: registry.clone(),
         }
     }

@@ -705,6 +705,36 @@ pub fn load_newest_valid(dir: &Path) -> io::Result<(Option<LoadedSegment>, usize
     Ok((None, skipped))
 }
 
+/// Remove checkpoint segments older than the newest `keep` **valid** ones.
+///
+/// Only validating segments count toward the retention quota, so a corrupt
+/// newest segment never causes its recovery fallback to be collected —
+/// after GC, [`load_newest_valid`] still has `keep` good generations to
+/// fall back through. `keep` is clamped to at least 1. Corrupt segments
+/// newer than the quota fill are left in place as evidence; everything
+/// older than the quota fill — valid or not — is removed. Returns the
+/// removed paths, oldest first.
+pub fn gc_segments(dir: &Path, keep: usize) -> io::Result<Vec<PathBuf>> {
+    let keep = keep.max(1);
+    let mut valid_kept = 0usize;
+    let mut removed = Vec::new();
+    for (_seqno, path) in list_segments(dir)?.into_iter().rev() {
+        if valid_kept < keep {
+            if read_segment(&path).is_ok() {
+                valid_kept += 1;
+            }
+            continue;
+        }
+        fs::remove_file(&path)?;
+        removed.push(path);
+    }
+    if !removed.is_empty() {
+        sync_dir(dir)?;
+    }
+    removed.reverse();
+    Ok(removed)
+}
+
 // ---------------------------------------------------------------------------
 // Store meta (schema text + declared roots — needed before any DocStore
 // can be constructed, so it lives outside the segment/WAL cycle and is
@@ -879,6 +909,45 @@ mod tests {
         let (seqno, image, _) = loaded.unwrap();
         assert_eq!((seqno, skipped), (10, 1));
         assert_eq!(image, old);
+    }
+
+    #[test]
+    fn gc_counts_only_valid_segments_toward_the_quota() {
+        let dir = TempDir::new("docql-seg-gc-test").unwrap();
+        let mut paths = Vec::new();
+        for seqno in [10u64, 20, 30] {
+            let mut image = sample_image();
+            image.applied_seqno = seqno;
+            paths.push(write_segment(dir.path(), &image).unwrap().0);
+        }
+
+        // Corrupt the newest, then GC with keep=1: the corrupt file must
+        // not count, so seg-20 (the fallback) survives and only seg-10
+        // goes. Recovery afterwards still finds a valid generation.
+        let mut bytes = fs::read(&paths[2]).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&paths[2], &bytes).unwrap();
+        let removed = gc_segments(dir.path(), 1).unwrap();
+        assert_eq!(removed, vec![paths[0].clone()]);
+        let (loaded, skipped) = load_newest_valid(dir.path()).unwrap();
+        let (seqno, _, _) = loaded.unwrap();
+        assert_eq!((seqno, skipped), (20, 1));
+
+        // keep=0 is clamped to 1; with everything already within quota
+        // (one corrupt newer + one valid), nothing more is collected.
+        assert!(gc_segments(dir.path(), 0).unwrap().is_empty());
+        assert_eq!(list_segments(dir.path()).unwrap().len(), 2);
+
+        // All segments valid: keep=1 removes every older generation.
+        let mut image = sample_image();
+        image.applied_seqno = 40;
+        write_segment(dir.path(), &image).unwrap();
+        let removed = gc_segments(dir.path(), 1).unwrap();
+        assert_eq!(removed.len(), 2, "seg-20 and corrupt seg-30 collected");
+        let left = list_segments(dir.path()).unwrap();
+        assert_eq!(left.len(), 1);
+        assert_eq!(left[0].0, 40);
     }
 
     #[test]

@@ -112,6 +112,38 @@ impl CancelToken {
     }
 }
 
+/// An external cancellation probe, consulted by the [`Guard`] at amortized
+/// check boundaries (every [`TICK_MASK`]` + 1` charged units — the probe
+/// may cost a syscall, unlike the [`CancelToken`]'s single atomic load).
+/// Returning `true` cancels the query exactly as the token does.
+///
+/// The serving tier uses this to detect client disconnects mid-query: the
+/// probe peeks the connection socket, and an abandoned query stops burning
+/// its budget within one amortization window instead of running to
+/// completion for a peer that already hung up.
+#[derive(Clone)]
+pub struct CancelProbe(Arc<dyn Fn() -> bool + Send + Sync>);
+
+impl CancelProbe {
+    /// Wrap a probe callback. `f` must be cheap-ish (it runs about once per
+    /// 256 charged work units) and must never panic or block.
+    pub fn new(f: impl Fn() -> bool + Send + Sync + 'static) -> CancelProbe {
+        CancelProbe(Arc::new(f))
+    }
+
+    /// Consult the probe: `true` means "cancel now".
+    #[inline]
+    pub fn should_cancel(&self) -> bool {
+        (self.0)()
+    }
+}
+
+impl std::fmt::Debug for CancelProbe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("CancelProbe(..)")
+    }
+}
+
 /// Per-call (or per-store default) resource limits. All fields optional;
 /// `QueryLimits::default()` governs nothing.
 #[derive(Debug, Clone, Default)]
@@ -126,6 +158,9 @@ pub struct QueryLimits {
     pub degrade: bool,
     /// Cooperative cancellation handle shared with the caller.
     pub cancel: Option<CancelToken>,
+    /// External cancellation probe (e.g. a socket-disconnect peek),
+    /// consulted at amortized check boundaries. See [`CancelProbe`].
+    pub probe: Option<CancelProbe>,
     /// Deterministic fault-injection seed (tests/CI only): operator
     /// boundaries consult a SplitMix64 stream to inject panics and forced
     /// budget trips.
@@ -144,6 +179,7 @@ impl QueryLimits {
             && self.row_budget.is_none()
             && self.path_fuel.is_none()
             && self.cancel.is_none()
+            && self.probe.is_none()
             && self.fault_seed.is_none()
     }
 
@@ -177,6 +213,12 @@ impl QueryLimits {
         self
     }
 
+    /// Attach an external cancellation probe (see [`CancelProbe`]).
+    pub fn with_probe(mut self, probe: CancelProbe) -> QueryLimits {
+        self.probe = Some(probe);
+        self
+    }
+
     /// Attach a deterministic fault-injection seed.
     pub fn with_fault_seed(mut self, seed: u64) -> QueryLimits {
         self.fault_seed = Some(seed);
@@ -197,6 +239,9 @@ impl QueryLimits {
         }
         if self.cancel.is_none() {
             self.cancel = defaults.cancel.clone();
+        }
+        if self.probe.is_none() {
+            self.probe = defaults.probe.clone();
         }
         if self.fault_seed.is_none() {
             self.fault_seed = defaults.fault_seed;
@@ -244,6 +289,7 @@ pub struct Guard {
     row_budget: Option<u64>,
     path_fuel: Option<u64>,
     cancel: Option<CancelToken>,
+    probe: Option<CancelProbe>,
     degrade: bool,
     /// Rows charged so far.
     rows: Cell<u64>,
@@ -264,6 +310,7 @@ impl Guard {
             row_budget: limits.row_budget,
             path_fuel: limits.path_fuel,
             cancel: limits.cancel.clone(),
+            probe: limits.probe.clone(),
             degrade: limits.degrade,
             rows: Cell::new(0),
             fuel: Cell::new(0),
@@ -316,12 +363,20 @@ impl Guard {
         }
     }
 
-    /// Deadline + cancellation, amortized: cheap counter bump, real check
-    /// every [`TICK_MASK`]` + 1` calls.
+    /// Deadline amortized, cancellation immediate: the [`CancelToken`] is
+    /// one relaxed atomic load, so it is consulted on **every** check — a
+    /// cancelled query stops within one charged unit, not one amortization
+    /// window. The expensive reads (`Instant::now()`, the external
+    /// [`CancelProbe`]) still run only every [`TICK_MASK`]` + 1` calls.
     #[inline]
     pub fn check(&self) -> Flow {
         if self.tripped() {
             return self.resolved();
+        }
+        if let Some(tok) = &self.cancel {
+            if tok.is_cancelled() {
+                return self.record(ExecError::Cancelled);
+            }
         }
         let t = self.ticks.get();
         self.ticks.set(t.wrapping_add(1));
@@ -331,14 +386,24 @@ impl Guard {
         Flow::Continue
     }
 
-    /// Deadline + cancellation, unamortized (query boundaries, expensive
-    /// operator starts).
+    /// Deadline + cancellation + probe, unamortized (query boundaries,
+    /// expensive operator starts, every `TICK_MASK + 1`-th charged unit).
     pub fn check_now(&self) -> Flow {
         if self.tripped() {
             return self.resolved();
         }
         if let Some(tok) = &self.cancel {
             if tok.is_cancelled() {
+                return self.record(ExecError::Cancelled);
+            }
+        }
+        if let Some(probe) = &self.probe {
+            if probe.should_cancel() {
+                // Mirror the external decision onto the token so every
+                // clone of it (other observers of this query) sees it too.
+                if let Some(tok) = &self.cancel {
+                    tok.cancel();
+                }
                 return self.record(ExecError::Cancelled);
             }
         }
@@ -675,6 +740,94 @@ mod tests {
             }
             assert!(start.elapsed() < Duration::from_secs(5), "never tripped");
         }
+    }
+
+    #[test]
+    fn cancellation_is_observed_on_the_very_next_check() {
+        // Regression: the token used to be consulted only every
+        // `TICK_MASK + 1` ticks, so a cancelled streaming query could run
+        // up to 256 more charged units before noticing. The token is one
+        // relaxed load — it must be seen by the next check, whatever the
+        // tick phase.
+        let token = CancelToken::new();
+        let g = Guard::new(&QueryLimits::none().with_cancel(token.clone()));
+        // Put the tick counter mid-window (worst case for the old code).
+        for _ in 0..=(TICK_MASK / 2) {
+            assert_eq!(g.check(), Flow::Continue);
+        }
+        token.cancel();
+        assert_eq!(
+            g.check(),
+            Flow::Abort(ExecError::Cancelled),
+            "cancellation must land on the next check, not the next window"
+        );
+    }
+
+    #[test]
+    fn cancellation_latency_is_bounded_by_one_row() {
+        let token = CancelToken::new();
+        let g = Guard::new(&QueryLimits::none().with_cancel(token.clone()));
+        let mut rows_after_cancel = 0u64;
+        for i in 0..100_000u64 {
+            if i == 1_000 {
+                token.cancel();
+            }
+            match g.row() {
+                Flow::Continue => {
+                    if i >= 1_000 {
+                        rows_after_cancel += 1;
+                    }
+                }
+                Flow::Abort(ExecError::Cancelled) => break,
+                other => panic!("unexpected flow {other:?}"),
+            }
+        }
+        assert_eq!(
+            rows_after_cancel, 0,
+            "no extra row may be produced after cancellation"
+        );
+    }
+
+    #[test]
+    fn probe_cancels_at_the_amortized_boundary_and_fires_the_token() {
+        use std::sync::atomic::{AtomicBool, AtomicU64};
+        let hung_up = Arc::new(AtomicBool::new(false));
+        let polls = Arc::new(AtomicU64::new(0));
+        let token = CancelToken::new();
+        let probe = {
+            let hung_up = Arc::clone(&hung_up);
+            let polls = Arc::clone(&polls);
+            CancelProbe::new(move || {
+                polls.fetch_add(1, Ordering::Relaxed);
+                hung_up.load(Ordering::Relaxed)
+            })
+        };
+        let g = Guard::new(
+            &QueryLimits::none()
+                .with_cancel(token.clone())
+                .with_probe(probe),
+        );
+        for _ in 0..(TICK_MASK + 1) * 4 {
+            assert_eq!(g.check(), Flow::Continue);
+        }
+        let polled_before = polls.load(Ordering::Relaxed);
+        assert!(
+            polled_before <= 8,
+            "probe is amortized, not per-tick: {polled_before} polls"
+        );
+        hung_up.store(true, Ordering::Relaxed);
+        let mut extra = 0u64;
+        loop {
+            match g.check() {
+                Flow::Continue => extra += 1,
+                Flow::Abort(ExecError::Cancelled) => break,
+                other => panic!("unexpected flow {other:?}"),
+            }
+            assert!(extra <= TICK_MASK + 1, "probe not consulted in a window");
+        }
+        // The probe decision is mirrored onto the token, so every other
+        // clone of it observes the disconnect too.
+        assert!(token.is_cancelled());
     }
 
     #[test]

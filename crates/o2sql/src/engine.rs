@@ -62,10 +62,27 @@ impl QueryResult {
     /// Render as simple aligned text (for the repro binary and examples).
     pub fn to_table(&self) -> String {
         let mut out = String::new();
-        out.push_str(&self.columns.join(" | "));
-        out.push('\n');
-        out.push_str(&"-".repeat(self.columns.join(" | ").len().max(4)));
-        out.push('\n');
+        out.push_str(&self.table_header());
+        for r in self.rendered_rows() {
+            out.push_str(&r);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The two header lines of [`QueryResult::to_table`] (column names and
+    /// the dash rule), newline-terminated.
+    pub fn table_header(&self) -> String {
+        let head = self.columns.join(" | ");
+        let rule = "-".repeat(head.len().max(4));
+        format!("{head}\n{rule}\n")
+    }
+
+    /// The body rows of [`QueryResult::to_table`], rendered and sorted but
+    /// not newline-terminated. Shared with the serving tier's chunked
+    /// streaming writer, which is what keeps streamed bodies byte-identical
+    /// to in-process `to_table()` output.
+    pub fn rendered_rows(&self) -> Vec<String> {
         let mut rendered: Vec<String> = self
             .rows
             .iter()
@@ -77,11 +94,7 @@ impl QueryResult {
             })
             .collect();
         rendered.sort();
-        for r in rendered {
-            out.push_str(&r);
-            out.push('\n');
-        }
-        out
+        rendered
     }
 }
 

@@ -26,6 +26,7 @@
 
 pub mod metric;
 pub mod registry;
+pub mod serve;
 pub mod slowlog;
 pub mod trace;
 
@@ -33,6 +34,7 @@ pub use metric::{bucket_of, bucket_upper_bound, Counter, Gauge, Histogram, Span,
 pub use registry::{
     HistogramSnapshot, Metric, MetricValue, MetricsRegistry, MetricsSnapshot, SharedRegistry,
 };
+pub use serve::ServeMetrics;
 pub use slowlog::{
     log_slow_query, log_slow_query_json, slow_log_format, slow_query_json_line, slow_query_line,
     slow_query_threshold, SlowLogFormat, SLOW_LOG_ENV, SLOW_LOG_FORMAT_ENV,

@@ -645,6 +645,17 @@ impl FlightRecorder {
         self.events_recorded.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one per-connection lifecycle event from the serving tier
+    /// (`conn_open`, `conn_close`, `conn_timeout`, `conn_disconnect`, …),
+    /// tagged with the server's connection id so the events of one socket
+    /// can be grepped out of the shared timeline.
+    pub fn connection_event(&self, kind: &'static str, conn_id: u64, detail: &str) {
+        if !self.enabled() {
+            return;
+        }
+        self.global_event(kind, format!("conn={conn_id} {detail}"));
+    }
+
     /// Events whose timestamp falls in `[from_ns, to_ns]`, oldest first.
     pub fn events_between(&self, from_ns: u64, to_ns: u64) -> Vec<TraceEvent> {
         let events = self.events.lock().unwrap_or_else(PoisonError::into_inner);

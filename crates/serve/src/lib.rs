@@ -1,0 +1,48 @@
+//! # docql-serve — the network serving tier
+//!
+//! An HTTP/1.1 server (std-only, like the rest of the workspace) that
+//! puts the whole stack behind a wire: MVCC snapshot reads, governed
+//! queries, WAL-durable writes, metrics, and traces — with every socket
+//! failure mode mapped to a typed, observable outcome.
+//!
+//! - [`http`] — the bounded request parser (hard head/body ceilings →
+//!   `431`/`413`/`400`, socket deadlines → `408`) and response writers,
+//!   including chunked streaming with governance trailers.
+//! - [`server`] — the fixed accept/worker pool, backpressure (`503` +
+//!   `Retry-After`), per-request `X-Docql-*` limits, cancel-on-disconnect,
+//!   and graceful drain + checkpoint-on-shutdown.
+//! - [`client`] — the small blocking client the tests, chaos battery, CI
+//!   smoke step, and bench B16 drive the server with.
+//! - [`signal`] — `SIGINT`/`SIGTERM` → drain, for the binary.
+//!
+//! ## Routes
+//!
+//! | Route | Method | Purpose |
+//! |---|---|---|
+//! | `/query` | POST | O₂SQL text in the body; chunked table out |
+//! | `/ingest` | POST | SGML document in the body; `201` + oid |
+//! | `/bind` | POST | `<root-name> <oid>` in the body; `204` |
+//! | `/metrics` | GET | Prometheus text exposition |
+//! | `/metrics.json` | GET | the same registry as JSON |
+//! | `/traces` | GET | flight-recorder rings as JSON |
+//! | `/healthz` | GET | `200 ok` (or `503 draining`) |
+//! | `/admin/shutdown` | POST | request a graceful drain |
+//!
+//! Per-request governance headers on `/query`: `X-Docql-Deadline-Ms`,
+//! `X-Docql-Row-Budget`, `X-Docql-Path-Fuel`, `X-Docql-Degrade`,
+//! `X-Docql-Mode` (`interp`|`algebraic`). Responses echo
+//! `X-Docql-Trace-Id` and carry `X-Docql-Rows` / `X-Docql-Partial`
+//! trailers after the chunked body.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod server;
+pub mod signal;
+
+pub use client::{HttpClient, HttpResponse};
+pub use http::{
+    read_request, reason, write_response, ChunkedWriter, HttpError, ParseLimits, Request,
+};
+pub use server::{ServeStore, Server, ServerConfig, ServerHandle, ShutdownReport};

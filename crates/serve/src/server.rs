@@ -1,0 +1,762 @@
+//! The server proper: a fixed accept/worker thread pool over a
+//! [`ServeStore`], with every socket failure mode mapped to a typed,
+//! observable outcome.
+//!
+//! Robustness machinery, layer by layer:
+//!
+//! - **Backpressure** — accepted connections go through a bounded queue to
+//!   the worker pool; a full queue answers `503` + `Retry-After` from the
+//!   accept thread instead of piling up unbounded.
+//! - **Slow-loris defense** — every connection socket carries OS read and
+//!   write deadlines; a peer dribbling bytes gets `408` and the worker
+//!   moves on.
+//! - **Bounded parsing** — [`crate::http::ParseLimits`] cap what one
+//!   request can make the server buffer (`431`/`413`/`400`).
+//! - **Governed queries** — `X-Docql-*` headers become per-request
+//!   [`QueryLimits`] merged over the server's defaults; guard trips map to
+//!   distinct statuses (`504`/`422`/`499`/`429`) and the flight-recorder
+//!   trace id is echoed in `X-Docql-Trace-Id`.
+//! - **Cancel on disconnect** — while a query runs, its guard polls a
+//!   [`CancelProbe`] that peeks the connection socket; a vanished client
+//!   cancels the query within one guard-check boundary.
+//! - **Graceful shutdown** — [`ServerHandle::shutdown`] stops accepting,
+//!   drains in-flight work under a deadline, force-cancels stragglers,
+//!   then checkpoints a persistent store.
+
+use crate::http::{read_request, write_response, ChunkedWriter, HttpError, ParseLimits, Request};
+use docql_guard::{CancelProbe, CancelToken, ExecError, QueryLimits};
+use docql_model::Oid;
+use docql_obs::{FlightRecorder, ServeMetrics};
+use docql_store::{CheckpointReport, PersistentStore, SharedStore, StoreError};
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The store a server fronts: plain MVCC, or MVCC + WAL durability.
+pub enum ServeStore {
+    /// In-memory [`SharedStore`] — writes die with the process.
+    Shared(SharedStore),
+    /// [`PersistentStore`] — writes are WAL-logged before they are
+    /// acknowledged, and shutdown checkpoints the store.
+    Persistent(Arc<PersistentStore>),
+}
+
+impl ServeStore {
+    /// The MVCC read/query handle.
+    pub fn shared(&self) -> &SharedStore {
+        match self {
+            ServeStore::Shared(s) => s,
+            ServeStore::Persistent(p) => p.shared(),
+        }
+    }
+
+    fn ingest(&self, sgml: &str) -> Result<Oid, StoreError> {
+        match self {
+            ServeStore::Shared(s) => s.ingest(sgml),
+            ServeStore::Persistent(p) => p.ingest(sgml),
+        }
+    }
+
+    fn bind(&self, name: &str, oid: Oid) -> Result<(), StoreError> {
+        match self {
+            ServeStore::Shared(s) => s.bind(name, oid),
+            ServeStore::Persistent(p) => p.bind(name, oid),
+        }
+    }
+
+    fn checkpoint(&self) -> Option<Result<CheckpointReport, StoreError>> {
+        match self {
+            ServeStore::Shared(_) => None,
+            ServeStore::Persistent(p) => Some(p.checkpoint()),
+        }
+    }
+}
+
+/// Server tuning knobs. The defaults suit tests and small deployments;
+/// the binary exposes each as a flag.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Worker threads — the concurrency ceiling for connections.
+    pub workers: usize,
+    /// Accepted connections waiting for a worker; beyond this the accept
+    /// thread answers `503`.
+    pub queue_depth: usize,
+    /// Per-connection socket read deadline (slow-loris bound).
+    pub read_timeout: Duration,
+    /// Per-connection socket write deadline (stuck-peer bound).
+    pub write_timeout: Duration,
+    /// Request parser ceilings.
+    pub parse: ParseLimits,
+    /// Query limits merged under each request's `X-Docql-*` headers.
+    pub default_limits: QueryLimits,
+    /// How long [`ServerHandle::shutdown`] waits for in-flight
+    /// connections before force-cancelling their queries.
+    pub drain_deadline: Duration,
+    /// Value of the `Retry-After` header on `429`/`503` responses.
+    pub retry_after_secs: u64,
+    /// Requests served per connection before it is closed (a fairness
+    /// bound so one keep-alive peer cannot hold a worker forever).
+    pub max_requests_per_conn: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 8,
+            queue_depth: 64,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            parse: ParseLimits::default(),
+            default_limits: QueryLimits::none(),
+            drain_deadline: Duration::from_secs(5),
+            retry_after_secs: 1,
+            max_requests_per_conn: 1024,
+        }
+    }
+}
+
+/// What [`ServerHandle::shutdown`] did.
+#[derive(Debug)]
+pub struct ShutdownReport {
+    /// Did every in-flight connection finish within the drain deadline?
+    pub drained_in_time: bool,
+    /// Queries force-cancelled at the deadline.
+    pub force_cancelled: usize,
+    /// The shutdown checkpoint, when the store is persistent.
+    pub checkpoint: Option<Result<CheckpointReport, StoreError>>,
+}
+
+struct Inner {
+    config: ServerConfig,
+    store: ServeStore,
+    metrics: ServeMetrics,
+    recorder: Arc<FlightRecorder>,
+    addr: SocketAddr,
+    draining: AtomicBool,
+    shutdown_requested: AtomicBool,
+    conn_seq: AtomicU64,
+    active_conns: AtomicUsize,
+    /// Cancel tokens of queries currently executing, keyed by connection
+    /// id — the force-cancel list at the drain deadline.
+    active_queries: Mutex<HashMap<u64, CancelToken>>,
+}
+
+/// A running server: the accept thread, the worker pool, and the shared
+/// state. Dropping the handle without calling
+/// [`ServerHandle::shutdown`] leaves the threads running detached.
+pub struct ServerHandle {
+    inner: Arc<Inner>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Namespace for [`Server::start`].
+pub struct Server;
+
+impl Server {
+    /// Bind, spawn the pool, and start serving. Enables the store's
+    /// metrics registry and flight recorder — the serving tier is not
+    /// observable without them, and `/metrics` would otherwise be empty.
+    pub fn start(config: ServerConfig, store: ServeStore) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        store.shared().set_metrics_enabled(true);
+        store.shared().set_tracing_enabled(true);
+        let registry = store.shared().read().metrics_registry().clone();
+        let metrics = ServeMetrics::register(registry);
+        let recorder = store.shared().flight_recorder();
+        let inner = Arc::new(Inner {
+            metrics,
+            recorder,
+            addr,
+            draining: AtomicBool::new(false),
+            shutdown_requested: AtomicBool::new(false),
+            conn_seq: AtomicU64::new(0),
+            active_conns: AtomicUsize::new(0),
+            active_queries: Mutex::new(HashMap::new()),
+            store,
+            config,
+        });
+
+        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(inner.config.queue_depth);
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..inner.config.workers.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("docql-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&inner, &rx))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        let accept = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("docql-serve-accept".to_string())
+                .spawn(move || accept_loop(&inner, listener, tx))?
+        };
+        Ok(ServerHandle {
+            inner,
+            accept: Some(accept),
+            workers,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// The serving-tier metric handles.
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.inner.metrics
+    }
+
+    /// The store being served.
+    pub fn store(&self) -> &ServeStore {
+        &self.inner.store
+    }
+
+    /// Has `POST /admin/shutdown` been called? The owner of the handle
+    /// is expected to poll this and call [`ServerHandle::shutdown`].
+    pub fn shutdown_requested(&self) -> bool {
+        self.inner.shutdown_requested.load(Ordering::Relaxed)
+    }
+
+    /// Connections currently held by workers or the queue.
+    pub fn active_connections(&self) -> usize {
+        self.inner.active_conns.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting, drain in-flight connections under the configured
+    /// deadline, force-cancel whatever is still running, join the pool,
+    /// and checkpoint a persistent store. Idempotent per handle (the
+    /// handle is consumed).
+    pub fn shutdown(mut self) -> ShutdownReport {
+        let inner = &self.inner;
+        inner.draining.store(true, Ordering::SeqCst);
+        if inner.metrics.enabled() {
+            inner.metrics.drains_started.inc();
+        }
+        if inner.recorder.enabled() {
+            inner
+                .recorder
+                .global_event("drain_start", format!("addr={}", inner.addr));
+        }
+        // Wake the blocking accept; the dummy connection is dropped by
+        // the accept loop once it observes the draining flag.
+        let _ = TcpStream::connect(inner.addr);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+
+        // Workers finish their queues and in-flight requests; poll until
+        // quiet or the deadline.
+        let deadline = Instant::now() + inner.config.drain_deadline;
+        while inner.active_conns.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let drained_in_time = inner.active_conns.load(Ordering::SeqCst) == 0;
+        let mut force_cancelled = 0usize;
+        if !drained_in_time {
+            let tokens = inner
+                .active_queries
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            for token in tokens.values() {
+                token.cancel();
+                force_cancelled += 1;
+            }
+            if inner.metrics.enabled() {
+                inner
+                    .metrics
+                    .drain_force_cancels
+                    .add(force_cancelled as u64);
+            }
+        }
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+        let checkpoint = inner.store.checkpoint();
+        if inner.recorder.enabled() {
+            inner.recorder.global_event(
+                "drain_complete",
+                format!("in_time={drained_in_time} force_cancelled={force_cancelled}"),
+            );
+        }
+        ShutdownReport {
+            drained_in_time,
+            force_cancelled,
+            checkpoint,
+        }
+    }
+}
+
+fn accept_loop(inner: &Inner, listener: TcpListener, tx: SyncSender<TcpStream>) {
+    for stream in listener.incoming() {
+        if inner.draining.load(Ordering::SeqCst) {
+            break; // the wake-up connection (or any racer) is dropped
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        if inner.metrics.enabled() {
+            inner.metrics.connections_total.inc();
+        }
+        inner.active_conns.fetch_add(1, Ordering::SeqCst);
+        match tx.try_send(stream) {
+            Ok(()) => {}
+            Err(TrySendError::Full(stream)) | Err(TrySendError::Disconnected(stream)) => {
+                inner.active_conns.fetch_sub(1, Ordering::SeqCst);
+                reject_busy(inner, stream);
+            }
+        }
+    }
+    // `tx` drops here; workers drain the queue and exit.
+}
+
+/// Tell an un-admitted peer to come back later, without letting it stall
+/// the accept thread.
+fn reject_busy(inner: &Inner, mut stream: TcpStream) {
+    if inner.metrics.enabled() {
+        inner.metrics.connections_rejected_busy.inc();
+        inner.metrics.count_status(503);
+    }
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
+    let _ = write_response(
+        &mut stream,
+        503,
+        &[("Retry-After", inner.config.retry_after_secs.to_string())],
+        b"server busy\n",
+        true,
+    );
+}
+
+fn worker_loop(inner: &Inner, rx: &Mutex<Receiver<TcpStream>>) {
+    loop {
+        let stream = {
+            let rx = rx.lock().unwrap_or_else(PoisonError::into_inner);
+            rx.recv()
+        };
+        let Ok(stream) = stream else {
+            break; // accept thread gone and queue empty
+        };
+        let conn_id = inner.conn_seq.fetch_add(1, Ordering::Relaxed);
+        // Connection-level panic isolation: queries are already caught at
+        // the store boundary, so this guards server bugs — a panic kills
+        // the connection, never the worker.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handle_connection(inner, stream, conn_id)
+        }));
+        // Whatever happened, the connection is done: release it so drain
+        // and leak accounting stay exact.
+        inner.active_conns.fetch_sub(1, Ordering::SeqCst);
+        inner
+            .active_queries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&conn_id);
+        if outcome.is_err() {
+            if inner.metrics.enabled() {
+                inner.metrics.worker_panics.inc();
+            }
+            if inner.recorder.enabled() {
+                inner
+                    .recorder
+                    .connection_event("conn_panic", conn_id, "worker caught a panic");
+            }
+        }
+    }
+}
+
+fn handle_connection(inner: &Inner, mut stream: TcpStream, conn_id: u64) {
+    if inner.metrics.enabled() {
+        inner.metrics.connections_active.add(1);
+    }
+    let cfg = &inner.config;
+    let served = (|| -> io::Result<()> {
+        stream.set_read_timeout(Some(cfg.read_timeout))?;
+        stream.set_write_timeout(Some(cfg.write_timeout))?;
+        stream.set_nodelay(true)?;
+        let mut reader = io::BufReader::new(stream.try_clone()?);
+        for _ in 0..cfg.max_requests_per_conn.max(1) {
+            match read_request(&mut reader, &cfg.parse) {
+                Err(e) => {
+                    match &e {
+                        HttpError::Timeout => {
+                            if inner.metrics.enabled() {
+                                inner.metrics.read_timeouts.inc();
+                            }
+                            if inner.recorder.enabled() {
+                                inner.recorder.connection_event(
+                                    "conn_read_timeout",
+                                    conn_id,
+                                    "request read deadline",
+                                );
+                            }
+                        }
+                        HttpError::Closed if inner.recorder.enabled() => {
+                            inner
+                                .recorder
+                                .connection_event("conn_closed", conn_id, "peer closed");
+                        }
+                        _ => {}
+                    }
+                    if let Some(status) = e.status() {
+                        if inner.metrics.enabled() {
+                            inner.metrics.count_status(status);
+                        }
+                        let mut body = e.message();
+                        body.push('\n');
+                        let _ = write_response(&mut stream, status, &[], body.as_bytes(), true);
+                    }
+                    break;
+                }
+                Ok(req) => {
+                    let started = Instant::now();
+                    let close = !req.keep_alive() || inner.draining.load(Ordering::SeqCst);
+                    let keep_going = respond(inner, &mut stream, &req, conn_id, close);
+                    if inner.metrics.enabled() {
+                        let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        inner.metrics.request_ns.record(ns);
+                    }
+                    if close || !keep_going {
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(())
+    })();
+    let _ = served;
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+    if inner.metrics.enabled() {
+        inner.metrics.connections_active.add(-1);
+    }
+}
+
+/// Write a complete response, counting it by status class. Returns
+/// whether the peer received it (a failed write means it is gone).
+fn send(
+    inner: &Inner,
+    stream: &mut TcpStream,
+    status: u16,
+    headers: &[(&str, String)],
+    body: &[u8],
+    close: bool,
+) -> bool {
+    if inner.metrics.enabled() {
+        inner.metrics.count_status(status);
+    }
+    write_response(stream, status, headers, body, close).is_ok()
+}
+
+/// Routes. Returns `false` when the connection should close (write
+/// failure — the peer is gone).
+fn respond(
+    inner: &Inner,
+    stream: &mut TcpStream,
+    req: &Request,
+    conn_id: u64,
+    close: bool,
+) -> bool {
+    let draining = inner.draining.load(Ordering::SeqCst);
+    let retry = ("Retry-After", inner.config.retry_after_secs.to_string());
+
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            if draining {
+                send(inner, stream, 503, &[retry], b"draining\n", close)
+            } else {
+                send(inner, stream, 200, &[], b"ok\n", close)
+            }
+        }
+        ("GET", "/metrics") => {
+            let text = inner.store.shared().metrics_prometheus();
+            send(inner, stream, 200, &[], text.as_bytes(), close)
+        }
+        ("GET", "/metrics.json") => {
+            let text = inner.store.shared().metrics_json();
+            send(inner, stream, 200, &[], text.as_bytes(), close)
+        }
+        ("GET", "/traces") => {
+            let text = inner.store.shared().traces_json();
+            send(inner, stream, 200, &[], text.as_bytes(), close)
+        }
+        ("POST", "/query") => {
+            if draining {
+                send(inner, stream, 503, &[retry], b"draining\n", close)
+            } else {
+                serve_query(inner, stream, req, conn_id, close)
+            }
+        }
+        ("POST", "/ingest") => {
+            if draining {
+                send(inner, stream, 503, &[retry], b"draining\n", close)
+            } else {
+                match std::str::from_utf8(&req.body) {
+                    Err(_) => send(inner, stream, 400, &[], b"body is not UTF-8\n", close),
+                    Ok(sgml) => match inner.store.ingest(sgml) {
+                        Ok(oid) => {
+                            let headers = [("X-Docql-Oid", oid.to_string())];
+                            let body = format!("{}\n", oid.0);
+                            send(inner, stream, 201, &headers, body.as_bytes(), close)
+                        }
+                        Err(e) => {
+                            let body = format!("ingest failed: {e}\n");
+                            send(inner, stream, 400, &[], body.as_bytes(), close)
+                        }
+                    },
+                }
+            }
+        }
+        ("POST", "/bind") => {
+            if draining {
+                send(inner, stream, 503, &[retry], b"draining\n", close)
+            } else {
+                let body = String::from_utf8_lossy(&req.body);
+                let mut parts = body.split_whitespace();
+                match (
+                    parts.next(),
+                    parts.next().and_then(|s| s.parse::<u32>().ok()),
+                ) {
+                    (Some(name), Some(id)) => match inner.store.bind(name, Oid(id)) {
+                        Ok(()) => send(inner, stream, 204, &[], b"", close),
+                        Err(e) => {
+                            let body = format!("bind failed: {e}\n");
+                            send(inner, stream, 400, &[], body.as_bytes(), close)
+                        }
+                    },
+                    _ => send(
+                        inner,
+                        stream,
+                        400,
+                        &[],
+                        b"expected body: <root-name> <oid-number>\n",
+                        close,
+                    ),
+                }
+            }
+        }
+        ("POST", "/admin/shutdown") => {
+            inner.shutdown_requested.store(true, Ordering::SeqCst);
+            if inner.recorder.enabled() {
+                inner
+                    .recorder
+                    .connection_event("shutdown_requested", conn_id, "admin endpoint");
+            }
+            send(inner, stream, 202, &[], b"draining\n", close)
+        }
+        (_, "/healthz" | "/metrics" | "/metrics.json" | "/traces") => {
+            send(inner, stream, 405, &[], b"use GET\n", close)
+        }
+        (_, "/query" | "/ingest" | "/bind" | "/admin/shutdown") => {
+            send(inner, stream, 405, &[], b"use POST\n", close)
+        }
+        _ => send(inner, stream, 404, &[], b"no such route\n", close),
+    }
+}
+
+/// Map a query failure onto the wire.
+fn error_status(e: &StoreError) -> u16 {
+    match e {
+        StoreError::Interrupted(ExecError::DeadlineExceeded) => 504,
+        StoreError::Interrupted(ExecError::BudgetExhausted(_)) => 422,
+        StoreError::Interrupted(ExecError::Cancelled) => 499,
+        StoreError::Interrupted(ExecError::AdmissionRejected) => 429,
+        StoreError::QueryPanic(_) => 500,
+        StoreError::Sgml(_) | StoreError::Map(_) | StoreError::Query(_) => 400,
+        StoreError::Other(_) => 500,
+    }
+}
+
+/// Build per-request limits from `X-Docql-*` headers.
+fn request_limits(req: &Request) -> Result<(QueryLimits, docql_o2sql::Mode), String> {
+    let mut limits = QueryLimits::none();
+    let parse_u64 = |name: &str| -> Result<Option<u64>, String> {
+        match req.header(name) {
+            None => Ok(None),
+            Some(v) => v
+                .trim()
+                .parse::<u64>()
+                .map(Some)
+                .map_err(|_| format!("{name} must be a non-negative integer, got {v:?}")),
+        }
+    };
+    if let Some(ms) = parse_u64("X-Docql-Deadline-Ms")? {
+        limits = limits.with_deadline(Duration::from_millis(ms));
+    }
+    if let Some(n) = parse_u64("X-Docql-Row-Budget")? {
+        limits = limits.with_row_budget(n);
+    }
+    if let Some(n) = parse_u64("X-Docql-Path-Fuel")? {
+        limits = limits.with_path_fuel(n);
+    }
+    match req.header("X-Docql-Degrade").map(str::trim) {
+        None => {}
+        Some("1") | Some("true") => limits = limits.with_degrade(),
+        Some("0") | Some("false") => {}
+        Some(v) => return Err(format!("X-Docql-Degrade must be 0/1/true/false, got {v:?}")),
+    }
+    let mode = match req.header("X-Docql-Mode").map(str::trim) {
+        None | Some("interp") => docql_o2sql::Mode::Interpret,
+        Some("algebraic") => docql_o2sql::Mode::Algebraic,
+        Some(v) => return Err(format!("X-Docql-Mode must be interp|algebraic, got {v:?}")),
+    };
+    Ok((limits, mode))
+}
+
+/// A probe that answers "has this peer hung up?" by peeking the socket
+/// in non-blocking mode. Consulted by the guard at amortized check
+/// boundaries while the query executes.
+fn disconnect_probe(stream: &TcpStream) -> Option<CancelProbe> {
+    let peek = stream.try_clone().ok()?;
+    Some(CancelProbe::new(move || {
+        if peek.set_nonblocking(true).is_err() {
+            return true;
+        }
+        let mut b = [0u8; 1];
+        let gone = match peek.peek(&mut b) {
+            Ok(0) => true,                                            // orderly FIN
+            Ok(_) => false,                                           // pipelined bytes
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => false, // alive, idle
+            Err(_) => true,                                           // reset
+        };
+        let _ = peek.set_nonblocking(false);
+        gone
+    }))
+}
+
+fn serve_query(
+    inner: &Inner,
+    stream: &mut TcpStream,
+    req: &Request,
+    conn_id: u64,
+    close: bool,
+) -> bool {
+    let Ok(src) = std::str::from_utf8(&req.body) else {
+        return send(inner, stream, 400, &[], b"query body is not UTF-8\n", close);
+    };
+    if src.trim().is_empty() {
+        return send(inner, stream, 400, &[], b"empty query body\n", close);
+    }
+    let (limits, mode) = match request_limits(req) {
+        Ok(v) => v,
+        Err(msg) => {
+            let body = format!("{msg}\n");
+            return send(inner, stream, 400, &[], body.as_bytes(), close);
+        }
+    };
+
+    let token = CancelToken::new();
+    let mut limits = limits.with_cancel(token.clone());
+    if let Some(probe) = disconnect_probe(stream) {
+        limits = limits.with_probe(probe);
+    }
+    let limits = limits.or(&inner.config.default_limits);
+    inner
+        .active_queries
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .insert(conn_id, token.clone());
+    let (result, trace) = inner.store.shared().query_traced(src, mode, &limits);
+    inner
+        .active_queries
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .remove(&conn_id);
+
+    let mut headers: Vec<(&str, String)> = Vec::new();
+    if let Some(t) = &trace {
+        headers.push(("X-Docql-Trace-Id", t.id.to_string()));
+    }
+    match result {
+        Err(e) => {
+            let status = error_status(&e);
+            if status == 429 || status == 503 {
+                headers.push(("Retry-After", inner.config.retry_after_secs.to_string()));
+            }
+            if status == 499 {
+                if inner.metrics.enabled() {
+                    inner.metrics.client_disconnects.inc();
+                }
+                if inner.recorder.enabled() {
+                    inner.recorder.connection_event(
+                        "conn_disconnect_cancel",
+                        conn_id,
+                        "query cancelled",
+                    );
+                }
+            }
+            let body = format!("{e}\n");
+            send(inner, stream, status, &headers, body.as_bytes(), close)
+        }
+        Ok(result) => {
+            // Stream the table: header lines, then one chunk per row, so
+            // a large or degraded (partial-prefix) result reaches the
+            // client incrementally; the governance outcome rides in the
+            // trailers. The concatenated body is byte-identical to
+            // `QueryResult::to_table()`.
+            if close {
+                headers.push(("Connection", "close".to_string()));
+            }
+            let rows = result.rendered_rows();
+            let mut streamed = 0u64;
+            let write = (|| -> io::Result<()> {
+                let mut w = ChunkedWriter::begin(
+                    stream,
+                    200,
+                    &headers,
+                    &["X-Docql-Rows", "X-Docql-Partial"],
+                )?;
+                let head = result.table_header();
+                w.chunk(head.as_bytes())?;
+                streamed += head.len() as u64;
+                for row in &rows {
+                    w.chunk(format!("{row}\n").as_bytes())?;
+                    streamed += row.len() as u64 + 1;
+                }
+                let partial = match &result.partial {
+                    Some(trip) => trip.to_string(),
+                    None => "none".to_string(),
+                };
+                w.finish(&[
+                    ("X-Docql-Rows", rows.len().to_string()),
+                    ("X-Docql-Partial", partial),
+                ])
+            })();
+            if inner.metrics.enabled() {
+                inner.metrics.count_status(200);
+                inner.metrics.bytes_streamed.add(streamed);
+            }
+            match write {
+                Ok(()) => true,
+                Err(_) => {
+                    // The peer vanished mid-stream.
+                    if inner.metrics.enabled() {
+                        inner.metrics.client_disconnects.inc();
+                    }
+                    if inner.recorder.enabled() {
+                        inner.recorder.connection_event(
+                            "conn_disconnect_midstream",
+                            conn_id,
+                            "write failed while streaming rows",
+                        );
+                    }
+                    false
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Minimal std-only signal handling for the server binary: a flag flipped
+//! by `SIGINT`/`SIGTERM`, polled from the main loop. The handler does
+//! nothing but a relaxed atomic store — the only thing that is
+//! async-signal-safe to do — so the actual drain runs on the main thread.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::SIGNALLED;
+    use std::os::raw::c_int;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: c_int = 2;
+    const SIGTERM: c_int = 15;
+
+    extern "C" {
+        // `std` already links libc on every unix target; `signal(2)` is
+        // enough here — we need one flag, not sigaction's full surface.
+        fn signal(signum: c_int, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_sig: c_int) {
+        SIGNALLED.store(true, Ordering::Relaxed);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal as extern "C" fn(c_int) as usize);
+            signal(SIGTERM, on_signal as extern "C" fn(c_int) as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// No-op on non-unix targets: ctrl-c kills the process, which the
+    /// recovery path already tolerates.
+    pub fn install() {}
+}
+
+/// Install the `SIGINT`/`SIGTERM` handlers.
+pub fn install() {
+    imp::install();
+}
+
+/// Has a termination signal arrived?
+pub fn signalled() -> bool {
+    SIGNALLED.load(Ordering::Relaxed)
+}

@@ -1,0 +1,282 @@
+//! In-process server robustness: wire-level status goldens, backpressure,
+//! admission rejection, cancel-on-disconnect, and drain force-cancel —
+//! each against a `Server::start`ed pool whose metrics we can read
+//! directly.
+
+mod common;
+
+use common::{article_sgml, SLOW_QUERY};
+use docql_serve::server::{ServeStore, Server, ServerConfig, ServerHandle};
+use docql_serve::HttpClient;
+use docql_store::{DocStore, SharedStore};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+fn article_serve_store(n_docs: usize) -> ServeStore {
+    let mut store = DocStore::new(
+        docql_sgml::fixtures::ARTICLE_DTD,
+        &["my_article", "my_old_article"],
+    )
+    .unwrap();
+    let texts: Vec<String> = (0..n_docs as u64).map(article_sgml).collect();
+    let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+    let roots = store.ingest_batch(&refs).unwrap();
+    store.bind("my_article", roots[1]).unwrap();
+    store.bind("my_old_article", roots[0]).unwrap();
+    ServeStore::Shared(SharedStore::new(store))
+}
+
+fn start(config: ServerConfig, n_docs: usize) -> ServerHandle {
+    Server::start(config, article_serve_store(n_docs)).unwrap()
+}
+
+/// Write raw bytes, read whatever comes back until the server closes.
+fn raw_exchange(addr: std::net::SocketAddr, wire: &[u8]) -> String {
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let _ = s.write_all(wire); // the server may close mid-write (431)
+    let _ = s.shutdown(std::net::Shutdown::Write);
+    let mut out = String::new();
+    let _ = s.read_to_string(&mut out);
+    out
+}
+
+#[test]
+fn raw_wire_status_goldens() {
+    let handle = start(ServerConfig::default(), 2);
+    let addr = handle.addr();
+
+    for (wire, status) in [
+        (&b"GARBAGE\r\n\r\n"[..], "400 Bad Request"),
+        (b"GET /no/such HTTP/1.1\r\n\r\n", "404 Not Found"),
+        (b"DELETE /query HTTP/1.1\r\n\r\n", "405 Method Not Allowed"),
+        (
+            b"POST /query HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n",
+            "413 Payload Too Large",
+        ),
+    ] {
+        let got = raw_exchange(addr, wire);
+        assert!(
+            got.starts_with(&format!("HTTP/1.1 {status}\r\n")),
+            "{:?} -> {got:?}",
+            String::from_utf8_lossy(wire)
+        );
+    }
+
+    // An oversized head is refused while it is still arriving.
+    let long = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(64 * 1024));
+    let got = raw_exchange(addr, long.as_bytes());
+    assert!(
+        got.starts_with("HTTP/1.1 431 Request Header Fields Too Large\r\n"),
+        "{got:?}"
+    );
+
+    let report = handle.shutdown();
+    assert!(report.drained_in_time);
+}
+
+#[test]
+fn slow_loris_gets_408_and_frees_the_worker() {
+    let config = ServerConfig {
+        read_timeout: Duration::from_millis(150),
+        ..ServerConfig::default()
+    };
+    let handle = start(config, 2);
+    let addr = handle.addr();
+
+    // Dribble a request head one byte at a time, then stall: the next
+    // server-side read blocks past the deadline and the request is cut.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    for b in b"GET / HT" {
+        s.write_all(&[*b]).unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let mut out = String::new();
+    let _ = s.read_to_string(&mut out);
+    assert!(
+        out.starts_with("HTTP/1.1 408 Request Timeout\r\n"),
+        "{out:?}"
+    );
+    assert!(handle.metrics().read_timeouts.get() >= 1);
+
+    // The worker it occupied is already serving others.
+    let mut client = HttpClient::connect(addr, Duration::from_secs(5)).unwrap();
+    assert_eq!(client.get("/healthz").unwrap().status, 200);
+    handle.shutdown();
+}
+
+#[test]
+fn full_queue_answers_503_with_retry_after() {
+    // One worker, queue of one: occupy the worker with a slow-loris
+    // connection, fill the queue, and the next arrival must bounce.
+    let config = ServerConfig {
+        workers: 1,
+        queue_depth: 1,
+        read_timeout: Duration::from_millis(800),
+        ..ServerConfig::default()
+    };
+    let handle = start(config, 2);
+    let addr = handle.addr();
+
+    let occupier = TcpStream::connect(addr).unwrap(); // never writes
+    std::thread::sleep(Duration::from_millis(100)); // let a worker pick it up
+    let queued = TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+
+    let mut rejected = TcpStream::connect(addr).unwrap();
+    rejected
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut out = String::new();
+    let _ = rejected.read_to_string(&mut out);
+    assert!(
+        out.starts_with("HTTP/1.1 503 Service Unavailable\r\n"),
+        "{out:?}"
+    );
+    assert!(out.contains("Retry-After: 1\r\n"), "{out:?}");
+    assert!(handle.metrics().connections_rejected_busy.get() >= 1);
+
+    drop(occupier);
+    drop(queued);
+    handle.shutdown();
+}
+
+#[test]
+fn admission_gate_maps_to_429() {
+    // One admission slot, held by a long-running query: the next query
+    // waits out the gate's bounded wait and is turned away as 429.
+    let handle = start(ServerConfig::default(), 60);
+    handle
+        .store()
+        .shared()
+        .set_admission_limit(1, Duration::from_millis(20));
+    let addr = handle.addr();
+    let holder = std::thread::spawn(move || {
+        let mut client = HttpClient::connect(addr, Duration::from_secs(30)).unwrap();
+        client.post("/query", &[], SLOW_QUERY.as_bytes())
+    });
+    std::thread::sleep(Duration::from_millis(100)); // let it take the slot
+
+    let mut client = HttpClient::connect(addr, Duration::from_secs(5)).unwrap();
+    let resp = client
+        .post("/query", &[], b"select t from my_article PATH_p.title(t)")
+        .unwrap();
+    assert_eq!(resp.status, 429, "{}", resp.text());
+    assert_eq!(resp.header("Retry-After"), Some("1"));
+
+    drop(client);
+    let resp = holder.join().unwrap().unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    handle.shutdown();
+}
+
+#[test]
+fn disconnect_mid_query_cancels_it() {
+    // A corpus big enough that SLOW_QUERY (|Articles|^3) runs for a long
+    // time, and a client that hangs up shortly after asking.
+    let handle = start(ServerConfig::default(), 60);
+    let store = handle.store().shared().read();
+    let cancelled_before = store.metrics().queries_cancelled.get();
+
+    let client = HttpClient::connect(handle.addr(), Duration::from_secs(5)).unwrap();
+    let head = format!(
+        "POST /query HTTP/1.1\r\nHost: docql\r\nContent-Length: {}\r\n\r\n",
+        SLOW_QUERY.len()
+    );
+    client
+        .stream()
+        .try_clone()
+        .unwrap()
+        .write_all(head.as_bytes())
+        .unwrap();
+    client
+        .stream()
+        .try_clone()
+        .unwrap()
+        .write_all(SLOW_QUERY.as_bytes())
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+    drop(client); // vanish mid-query
+
+    // The disconnect probe fires at a guard boundary and the query stops
+    // well before it could have finished.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let cancelled = handle
+            .store()
+            .shared()
+            .read()
+            .metrics()
+            .queries_cancelled
+            .get();
+        if cancelled > cancelled_before {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "query was not cancelled after disconnect"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(handle.metrics().client_disconnects.get() >= 1);
+    let report = handle.shutdown();
+    assert_eq!(report.force_cancelled, 0);
+}
+
+#[test]
+fn drain_deadline_force_cancels_stragglers() {
+    let config = ServerConfig {
+        drain_deadline: Duration::from_millis(120),
+        ..ServerConfig::default()
+    };
+    let handle = start(config, 60);
+    let addr = handle.addr();
+
+    // A well-behaved client stuck in a very long query...
+    let runner = std::thread::spawn(move || {
+        let mut client = HttpClient::connect(addr, Duration::from_secs(30)).unwrap();
+        client.post("/query", &[], SLOW_QUERY.as_bytes())
+    });
+    std::thread::sleep(Duration::from_millis(150)); // let it get going
+
+    // ...is force-cancelled when the drain deadline passes.
+    let report = handle.shutdown();
+    assert!(!report.drained_in_time);
+    assert!(report.force_cancelled >= 1, "{report:?}");
+
+    // The client sees the cancellation as a 499, not a hang or a panic.
+    let resp = runner.join().unwrap().unwrap();
+    assert_eq!(resp.status, 499, "{}", resp.text());
+}
+
+#[test]
+fn draining_healthz_and_routes_say_503() {
+    // Drain with a connection already held open: requests on it observe
+    // the draining state before the pool exits.
+    let config = ServerConfig {
+        drain_deadline: Duration::from_millis(300),
+        ..ServerConfig::default()
+    };
+    let handle = start(config, 2);
+    let addr = handle.addr();
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(2));
+    let b2 = std::sync::Arc::clone(&barrier);
+    let probe = std::thread::spawn(move || {
+        let mut client = HttpClient::connect(addr, Duration::from_secs(5)).unwrap();
+        assert_eq!(client.get("/healthz").unwrap().status, 200);
+        b2.wait(); // shutdown starts now
+        std::thread::sleep(Duration::from_millis(60));
+        // The keep-alive connection is still served, but answers 503.
+        client.get("/healthz").map(|r| r.status)
+    });
+    barrier.wait();
+    let shutdown = std::thread::spawn(move || handle.shutdown());
+    let status = probe.join().unwrap();
+    assert!(
+        matches!(status, Ok(503)) || status.is_err(),
+        "expected 503 or a closed connection, got {status:?}"
+    );
+    shutdown.join().unwrap();
+}

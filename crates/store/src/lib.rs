@@ -18,7 +18,7 @@ pub mod metrics;
 pub mod persist;
 
 pub use metrics::StoreMetrics;
-pub use persist::{CheckpointReport, PersistentStore, RecoveryReport};
+pub use persist::{CheckpointReport, PersistentStore, RecoveryReport, DEFAULT_SEGMENT_RETAIN};
 
 use docql_calculus::{CalcValue, Interp, InterpError};
 use docql_mapping::{
@@ -633,6 +633,24 @@ impl DocStore {
         self.serve_with(src, Mode::Algebraic, Some(limits))
     }
 
+    /// [`DocStore::query_with_limits`] in the given execution `mode`,
+    /// additionally returning the flight-recorder trace filed for this
+    /// query (`None` when the recorder is disabled or the text was served
+    /// as `explain analyze`). The serving tier echoes the trace's id in
+    /// the `X-Docql-Trace-Id` response header so a client can correlate
+    /// its wire-level outcome with the recorded trace.
+    pub fn query_traced(
+        &self,
+        src: &str,
+        mode: Mode,
+        limits: &docql_guard::QueryLimits,
+    ) -> (
+        Result<QueryResult, StoreError>,
+        Option<Arc<docql_obs::QueryTrace>>,
+    ) {
+        self.serve_traced(src, mode, Some(limits))
+    }
+
     /// Set the per-store default [`QueryLimits`](docql_guard::QueryLimits)
     /// applied to every query (merged under per-call limits; call fields
     /// win field-wise). Defaults to none.
@@ -661,13 +679,27 @@ impl DocStore {
         mode: Mode,
         limits: Option<&docql_guard::QueryLimits>,
     ) -> Result<QueryResult, StoreError> {
+        self.serve_traced(src, mode, limits).0
+    }
+
+    /// [`DocStore::serve_with`], returning the filed trace alongside the
+    /// result instead of discarding it.
+    fn serve_traced(
+        &self,
+        src: &str,
+        mode: Mode,
+        limits: Option<&docql_guard::QueryLimits>,
+    ) -> (
+        Result<QueryResult, StoreError>,
+        Option<Arc<docql_obs::QueryTrace>>,
+    ) {
         if let Some(rest) = strip_explain_analyze(src) {
-            let report = self.explain_analyze(rest)?;
-            return Ok(QueryResult {
+            let result = self.explain_analyze(rest).map(|report| QueryResult {
                 columns: vec!["explain analyze".to_string()],
                 rows: vec![vec![CalcValue::Data(Value::str(report))]],
                 partial: None,
             });
+            return (result, None);
         }
         let merged = match limits {
             Some(l) => l.clone().or(&self.default_limits),
@@ -755,7 +787,7 @@ impl DocStore {
                 }
             }
         }
-        result
+        (result, trace)
     }
 
     /// Run an O₂SQL query bypassing the plan cache (the bench baseline;
@@ -1479,6 +1511,24 @@ impl SharedStore {
         limits: &docql_guard::QueryLimits,
     ) -> Result<QueryResult, StoreError> {
         self.admitted(|| self.read().query_algebraic_with_limits(src, limits))
+    }
+
+    /// [`DocStore::query_traced`] against the current snapshot, subject
+    /// to the admission gate. An admission rejection returns before any
+    /// trace is begun, so the trace slot is `None` in that case.
+    pub fn query_traced(
+        &self,
+        src: &str,
+        mode: Mode,
+        limits: &docql_guard::QueryLimits,
+    ) -> (
+        Result<QueryResult, StoreError>,
+        Option<Arc<docql_obs::QueryTrace>>,
+    ) {
+        match self.admitted(|| Ok(self.read().query_traced(src, mode, limits))) {
+            Ok(pair) => pair,
+            Err(e) => (Err(e), None),
+        }
     }
 
     /// Index-accelerated text search against the current snapshot.

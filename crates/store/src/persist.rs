@@ -37,6 +37,7 @@ use docql_model::{Oid, Value};
 use docql_o2sql::QueryResult;
 use docql_text::ContainsExpr;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
@@ -53,6 +54,11 @@ pub struct RecoveryReport {
     pub truncated_bytes: u64,
 }
 
+/// Segment generations kept by default after a checkpoint: the one just
+/// written plus one fallback, so recovery survives a corrupt newest
+/// segment without old generations accumulating forever.
+pub const DEFAULT_SEGMENT_RETAIN: usize = 2;
+
 /// What a completed checkpoint wrote.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CheckpointReport {
@@ -62,6 +68,9 @@ pub struct CheckpointReport {
     pub bytes: u64,
     /// Highest WAL seqno whose effects the segment contains.
     pub applied_seqno: u64,
+    /// Old segment generations collected by GC after this checkpoint
+    /// (see [`PersistentStore::set_segment_retain`]).
+    pub segments_removed: usize,
 }
 
 /// A [`SharedStore`] whose commits survive process death.
@@ -75,6 +84,8 @@ pub struct PersistentStore {
     wal: Mutex<Wal>,
     dir: PathBuf,
     metrics: DurableMetrics,
+    /// Newest valid segment generations kept by post-checkpoint GC.
+    segment_retain: AtomicUsize,
     /// The flight recorder shared by every snapshot version (see
     /// [`crate::DocStore::flight_recorder`]); durability events — WAL
     /// appends/fsyncs, checkpoints, recovery — land on its timeline so
@@ -195,6 +206,7 @@ impl PersistentStore {
                 wal: Mutex::new(wal),
                 dir: dir.to_path_buf(),
                 metrics,
+                segment_retain: AtomicUsize::new(DEFAULT_SEGMENT_RETAIN),
                 recorder,
             },
             RecoveryReport {
@@ -248,6 +260,20 @@ impl PersistentStore {
     /// Bytes currently in the write-ahead log.
     pub fn wal_len_bytes(&self) -> u64 {
         self.lock_wal().len_bytes()
+    }
+
+    /// How many newest valid segment generations checkpoints keep
+    /// (older ones are garbage-collected after each checkpoint).
+    pub fn segment_retain(&self) -> usize {
+        self.segment_retain.load(Ordering::Relaxed)
+    }
+
+    /// Set the checkpoint retention depth. Clamped to at least 1; the
+    /// default is [`DEFAULT_SEGMENT_RETAIN`]. Only validating segments
+    /// count toward the quota, so a corrupt newest segment never evicts
+    /// its recovery fallback.
+    pub fn set_segment_retain(&self, keep: usize) {
+        self.segment_retain.store(keep.max(1), Ordering::Relaxed);
     }
 
     /// Arm (or disarm, with `None`) seeded I/O fault injection at WAL
@@ -403,6 +429,20 @@ impl PersistentStore {
         let image = image_of(&store, applied_seqno)?;
         let (path, bytes) = snapshot::write_segment(&self.dir, &image).map_err(crate::io_err)?;
         wal.truncate().map_err(crate::io_err)?;
+        // GC old generations while the WAL lock still serialises us
+        // against concurrent checkpoints. A GC failure is not a
+        // checkpoint failure — the new segment and truncated log are
+        // already durable; leftovers just wait for the next pass.
+        let segments_removed = match snapshot::gc_segments(&self.dir, self.segment_retain()) {
+            Ok(removed) => removed.len(),
+            Err(e) => {
+                if self.recorder.enabled() {
+                    self.recorder
+                        .global_event("segment_gc_error", e.to_string());
+                }
+                0
+            }
+        };
         let checkpoint_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
         if self.metrics.enabled() {
             self.metrics.checkpoints.inc();
@@ -410,17 +450,22 @@ impl PersistentStore {
             self.metrics
                 .segment_bytes
                 .set(i64::try_from(bytes).unwrap_or(i64::MAX));
+            self.metrics.segments_removed.add(segments_removed as u64);
         }
         if self.recorder.enabled() {
             self.recorder.global_event(
                 "checkpoint",
-                format!("applied_seqno={applied_seqno} bytes={bytes} ns={checkpoint_ns}"),
+                format!(
+                    "applied_seqno={applied_seqno} bytes={bytes} \
+                     segments_removed={segments_removed} ns={checkpoint_ns}"
+                ),
             );
         }
         Ok(CheckpointReport {
             path,
             bytes,
             applied_seqno,
+            segments_removed,
         })
     }
 

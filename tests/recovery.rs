@@ -316,6 +316,86 @@ fn corrupt_newest_segment_falls_back_to_the_previous_one() {
     assert!(ps.read().check().is_empty());
 }
 
+/// Segment GC: checkpoints retain only the newest N generations (default
+/// 2), older ones are collected, and after GC a corrupted newest segment
+/// still falls back to the retained previous generation — the quota counts
+/// only *valid* segments, so GC can never collect the recovery fallback.
+#[test]
+fn segment_gc_retains_fallback_and_survives_newest_corruption() {
+    let dir = TempDir::new("recovery-seg-gc").unwrap();
+    {
+        let (ps, _) =
+            PersistentStore::open(dir.path(), docql::fixtures::ARTICLE_DTD, ROOTS).unwrap();
+        assert_eq!(ps.segment_retain(), docql::store::DEFAULT_SEGMENT_RETAIN);
+        let mut roots = Vec::new();
+        let mut removed_total = 0usize;
+        for (k, op) in SCRIPT.iter().enumerate() {
+            match op {
+                Op::Ingest(seed) => roots.push(ps.ingest(&article_sgml(*seed)).unwrap()),
+                Op::Bind(name, i) => ps.bind(name, roots[*i]).unwrap(),
+            }
+            let report = ps.checkpoint().unwrap();
+            removed_total += report.segments_removed;
+            let on_disk = snapshot::list_segments(dir.path()).unwrap().len();
+            assert!(
+                on_disk <= docql::store::DEFAULT_SEGMENT_RETAIN,
+                "after checkpoint {k}: {on_disk} segments on disk"
+            );
+        }
+        assert_eq!(
+            removed_total,
+            SCRIPT.len() - docql::store::DEFAULT_SEGMENT_RETAIN,
+            "every generation beyond the retained ones was collected"
+        );
+    }
+    let segments = snapshot::list_segments(dir.path()).unwrap();
+    assert_eq!(segments.len(), 2, "newest two generations survive GC");
+    assert_eq!(
+        segments.last().unwrap().0 as usize,
+        SCRIPT.len(),
+        "newest segment covers the whole script"
+    );
+
+    // Corrupt the newest; recovery must fall back to the generation GC
+    // deliberately kept.
+    let newest = segments.last().unwrap().1.clone();
+    let mut bytes = fs::read(&newest).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    fs::write(&newest, bytes).unwrap();
+
+    let (ps, report) = PersistentStore::reopen(dir.path()).unwrap();
+    assert_eq!(report.segments_skipped, 1);
+    assert_eq!(report.segment_seqno, Some(SCRIPT.len() as u64 - 1));
+    assert_eq!(
+        answers(|q| ps.query(q)),
+        answers(|q| reference_store(SCRIPT.len() - 1).query(q)),
+        "fallback state is the previous retained checkpoint"
+    );
+
+    // Writing on and checkpointing again replaces the corrupt generation
+    // with a valid one at the same seqno and keeps the fallback.
+    ps.ingest(&article_sgml(8)).unwrap();
+    ps.checkpoint().unwrap();
+    let after = snapshot::list_segments(dir.path()).unwrap();
+    let valid = after
+        .iter()
+        .filter(|(_, p)| snapshot::read_segment(p).is_ok())
+        .count();
+    assert_eq!((after.len(), valid), (2, 2));
+
+    // Tightening retention to 1 collects everything but the newest.
+    ps.set_segment_retain(1);
+    ps.ingest(&article_sgml(9)).unwrap();
+    ps.checkpoint().unwrap();
+    let (seqnos, paths): (Vec<u64>, Vec<_>) = snapshot::list_segments(dir.path())
+        .unwrap()
+        .into_iter()
+        .unzip();
+    assert_eq!(seqnos.len(), 1, "retain=1 keeps only the newest: {paths:?}");
+    assert!(snapshot::read_segment(&paths[0]).is_ok());
+}
+
 /// A crash *between* segment rename and WAL truncation leaves both a fresh
 /// segment and the full log. Recovery must apply each committed operation
 /// exactly once (records at or below the segment's seqno are skipped).
